@@ -1,0 +1,26 @@
+"""Ablation: aggregation-group size sweep for locality-aware aggregation (Section 4.3)."""
+
+from repro.bench.sweep import group_size_sweep
+from repro.machine.systems import dane
+
+
+def _format_series(series):
+    lines = [f"group-size sweep: {series.label}"]
+    for point in series.points:
+        lines.append(f"  {int(point.x):>4d} processes/group: {point.seconds:10.3e} s")
+    return "\n".join(lines)
+
+
+def test_group_size_ablation(regenerate):
+    series = regenerate(
+        group_size_sweep, dane(32), 112,
+        algorithm="locality-aware", msg_bytes=4096, group_sizes=(1, 4, 8, 16, 28, 56, 112),
+        formatter=_format_series,
+    )
+    times = dict(zip(series.xs(), series.ys()))
+    # The optimum is at an intermediate group size: both extremes (1 process
+    # per group and the whole node) are slower than the best grouped setting —
+    # the non-single-modal behaviour Section 4.3 discusses.
+    best_grouped = min(times[g] for g in (4, 8, 16, 28))
+    assert best_grouped < times[1]
+    assert best_grouped < times[112]

@@ -1,0 +1,24 @@
+"""Ablation: sensitivity of the node-aware algorithm to NIC injection bandwidth."""
+
+from repro.bench.sweep import injection_bandwidth_sweep
+from repro.machine.systems import dane
+
+
+def _format_series(series):
+    lines = [f"injection-bandwidth sweep: {series.label}"]
+    for point in series.points:
+        lines.append(f"  {point.x:>4.1f}x injection bandwidth: {point.seconds:10.3e} s")
+    return "\n".join(lines)
+
+
+def test_injection_bandwidth_ablation(regenerate):
+    series = regenerate(
+        injection_bandwidth_sweep, dane(32), 112,
+        algorithm="node-aware", msg_bytes=4096, factors=(0.5, 1.0, 2.0, 4.0),
+        formatter=_format_series,
+    )
+    ys = series.ys()
+    # Large exchanges are injection-bound: halving the NIC bandwidth hurts a
+    # lot, and each doubling keeps helping (monotone non-increasing).
+    assert ys[0] > 1.5 * ys[1]
+    assert all(earlier >= later for earlier, later in zip(ys, ys[1:]))

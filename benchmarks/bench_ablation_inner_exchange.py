@@ -1,0 +1,22 @@
+"""Ablation: the exchange kind used inside the node-aware algorithm (solid vs dashed lines)."""
+
+from repro.bench.reporting import format_figure
+from repro.bench.sweep import inner_exchange_sweep
+from repro.machine.systems import dane
+
+
+def test_inner_exchange_ablation(regenerate):
+    fig = regenerate(
+        inner_exchange_sweep, dane(32), 112,
+        algorithm="node-aware", msg_sizes=(4, 256, 4096),
+        formatter=format_figure,
+    )
+    labels = set(fig.labels())
+    assert {"pairwise", "nonblocking", "bruck"} == labels
+    # A Bruck inner exchange helps at the smallest size (fewest messages) but
+    # is clearly the wrong choice at 4 KiB, where its forwarded volume makes
+    # it the slowest variant — the size-dependent trade-off behind the
+    # paper's solid (pairwise) vs dashed (non-blocking) comparison.
+    assert fig.get("bruck").at(4).seconds <= fig.get("pairwise").at(4).seconds
+    assert fig.get("bruck").at(4096).seconds > fig.get("pairwise").at(4096).seconds
+    assert fig.get("bruck").at(4096).seconds > fig.get("nonblocking").at(4096).seconds

@@ -1,0 +1,25 @@
+"""Ablation: sensitivity of the flat non-blocking exchange to matching (queue-search) cost."""
+
+from repro.bench.sweep import matching_cost_sweep
+from repro.machine.systems import dane
+
+
+def _format_series(series):
+    lines = [f"matching-cost sweep: {series.label}"]
+    for point in series.points:
+        lines.append(f"  {point.x:>5.1f}x matching cost: {point.seconds:10.3e} s")
+    return "\n".join(lines)
+
+
+def test_matching_cost_ablation(regenerate):
+    series = regenerate(
+        matching_cost_sweep, dane(32), 112,
+        algorithm="nonblocking", msg_bytes=1024, factors=(0.0, 1.0, 4.0, 16.0),
+        formatter=_format_series,
+    )
+    ys = series.ys()
+    # With thousands of posted receives per rank, the flat non-blocking
+    # exchange is highly sensitive to the per-entry queue-search cost — the
+    # overhead that motivates aggregation on many-core nodes.
+    assert ys[-1] > 2.0 * ys[0]
+    assert all(earlier <= later for earlier, later in zip(ys, ys[1:]))

@@ -1,0 +1,66 @@
+"""Extension benchmark: locality-aware variants of other collectives (paper Section 5).
+
+Compares the flat reference collectives with their locality-aware
+counterparts on a reduced-scale simulated Dane machine, reporting time and
+inter-node message counts.  The aggregated variants must cut the number of
+inter-node messages — the mechanism the paper expects to carry over from
+the all-to-all results.
+"""
+
+import numpy as np
+
+from repro.core.extensions import locality_aware_allgather, locality_aware_allreduce
+from repro.machine import ProcessMap
+from repro.machine.hierarchy import LocalityLevel
+from repro.machine.systems import dane
+from repro.simmpi import run_spmd
+
+
+def _flat_allgather(ctx, block):
+    mine = np.full(block, ctx.rank, dtype=np.int64)
+    recv = np.zeros(block * ctx.nprocs, dtype=np.int64)
+    yield from ctx.world.allgather(mine, recv)
+
+
+def _grouped_allgather(ctx, block):
+    mine = np.full(block, ctx.rank, dtype=np.int64)
+    recv = np.zeros(block * ctx.nprocs, dtype=np.int64)
+    yield from locality_aware_allgather(ctx, mine, recv)
+
+
+def _flat_allreduce(ctx, block):
+    out = np.zeros(block)
+    yield from ctx.world.allreduce(np.full(block, float(ctx.rank)), out)
+
+
+def _grouped_allreduce(ctx, block):
+    out = np.zeros(block)
+    yield from locality_aware_allreduce(ctx, np.full(block, float(ctx.rank)), out)
+
+
+def test_locality_aware_collective_extensions(benchmark, capsys):
+    pmap = ProcessMap(dane(8), ppn=8, num_nodes=8)
+    block = 64
+
+    def run_all():
+        rows = []
+        for label, program in [
+            ("allgather (flat ring)", _flat_allgather),
+            ("allgather (locality-aware)", _grouped_allgather),
+            ("allreduce (flat)", _flat_allreduce),
+            ("allreduce (locality-aware)", _grouped_allreduce),
+        ]:
+            job = run_spmd(pmap, program, block)
+            inter = job.traffic_by_level.get(LocalityLevel.NETWORK, (0, 0))[0]
+            rows.append((label, job.elapsed, inter))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\nLocality-aware collective extensions (8 nodes x 8 ranks, Dane parameters)")
+        for label, seconds, inter in rows:
+            print(f"  {label:<32s} {seconds * 1e6:10.1f} us   {inter:6d} inter-node msgs")
+
+    results = {label: (seconds, inter) for label, seconds, inter in rows}
+    assert results["allgather (locality-aware)"][1] < results["allgather (flat ring)"][1]
+    assert results["allreduce (locality-aware)"][1] <= results["allreduce (flat)"][1]

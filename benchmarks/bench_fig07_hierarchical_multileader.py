@@ -1,0 +1,15 @@
+"""Figure 7: hierarchical vs multi-leader all-to-all, 32 nodes of Dane, 4 B - 4 KiB."""
+
+from repro.bench.figures import figure07
+
+
+def test_figure07_hierarchical_vs_multileader(regenerate):
+    fig = regenerate(figure07)
+    # Multi-leader variants must beat the single-leader hierarchical algorithm
+    # at the largest size, and more leaders (fewer processes per leader) must
+    # help there — the paper's Figure 7 findings.
+    assert fig.get("4 Processes Per Leader").at(4096).seconds < fig.get("Hierarchical").at(4096).seconds
+    assert (
+        fig.get("4 Processes Per Leader").at(4096).seconds
+        < fig.get("16 Processes Per Leader").at(4096).seconds
+    )

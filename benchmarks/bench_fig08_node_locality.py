@@ -1,0 +1,14 @@
+"""Figure 8: node-aware vs locality-aware aggregation, 32 nodes of Dane."""
+
+from repro.bench.figures import figure08
+
+
+def test_figure08_node_aware_vs_locality_aware(regenerate):
+    fig = regenerate(figure08)
+    # Node-aware wins at small/medium sizes; locality-aware aggregation takes
+    # over at the largest tested size (the paper's first novel result).
+    assert fig.get("Node-Aware").at(64).seconds <= fig.get("4 Processes Per Group").at(64).seconds
+    best_locality = min(
+        fig.get(label).at(4096).seconds for label in fig.labels() if "Per Group" in label
+    )
+    assert best_locality < fig.get("Node-Aware").at(4096).seconds

@@ -1,0 +1,14 @@
+"""Figure 9: multi-leader + node-aware all-to-all across leader-group sizes."""
+
+from repro.bench.figures import figure09
+
+
+def test_figure09_multileader_node_aware_leader_sweep(regenerate):
+    fig = regenerate(figure09)
+    # At small sizes the combined algorithm beats both of its limiting cases
+    # (single-leader hierarchical and all-ranks node-aware).
+    best_mlna = min(
+        fig.get(label).at(4).seconds for label in fig.labels() if "Processes Per Leader" in label
+    )
+    assert best_mlna < fig.get("Hierarchical").at(4).seconds
+    assert best_mlna < fig.get("Node-Aware").at(4).seconds

@@ -1,0 +1,14 @@
+"""Figure 10: every algorithm across message sizes on 32 nodes of Dane."""
+
+from repro.bench.figures import figure10
+
+
+def test_figure10_all_algorithms(regenerate):
+    fig = regenerate(figure10)
+    # Paper findings: the multi-leader node-aware approach is best for small
+    # sizes, node-aware / locality-aware for large sizes, and the novel
+    # algorithms beat system MPI throughout.
+    assert fig.best_at(4)[0] == "Multileader + Locality"
+    assert fig.best_at(4096)[0] in ("Node-Aware", "Locality-Aware")
+    for size in fig.xs():
+        assert fig.speedup_over("System MPI", size) > 1.0

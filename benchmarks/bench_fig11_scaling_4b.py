@@ -1,0 +1,14 @@
+"""Figure 11: node scaling (2-32 nodes) at 4 bytes per process pair."""
+
+from repro.bench.figures import figure11
+
+
+def test_figure11_node_scaling_4_bytes(regenerate):
+    fig = regenerate(figure11)
+    # The combined multi-leader + node-aware algorithm stays below system MPI
+    # across the node-count sweep at 4 bytes.
+    for nodes in fig.xs():
+        assert (
+            fig.get("Multileader + Locality").at(nodes).seconds
+            < fig.get("System MPI").at(nodes).seconds
+        )

@@ -1,0 +1,13 @@
+"""Figure 12: node scaling (2-32 nodes) at 4096 bytes per process pair."""
+
+from repro.bench.figures import figure12
+
+
+def test_figure12_node_scaling_4096_bytes(regenerate):
+    fig = regenerate(figure12)
+    # At 4 KiB the aggregating algorithms beat system MPI once several nodes
+    # are involved, and everything grows with the node count.
+    assert fig.get("Node-Aware").at(32).seconds < fig.get("System MPI").at(32).seconds
+    for label in fig.labels():
+        ys = fig.get(label).ys()
+        assert ys == sorted(ys)

@@ -1,0 +1,16 @@
+"""Figure 13: hierarchical all-to-all timing breakdown (gather / scatter / leader alltoall)."""
+
+from repro.bench.figures import figure13
+
+
+def test_figure13_hierarchical_breakdown(regenerate):
+    fig = regenerate(figure13)
+    # The gather/scatter (intra-node) components dominate the hierarchical
+    # algorithm for large messages — the reason the paper moves to
+    # multi-leader and node-aware designs.
+    assert fig.get("MPI Gather").at(4096).seconds > fig.get("Alltoall (Pairwise)").at(4096).seconds
+    # The non-blocking leader exchange is never slower than pairwise at small sizes.
+    assert (
+        fig.get("Alltoall (Nonblocking)").at(4).seconds
+        <= fig.get("Alltoall (Pairwise)").at(4).seconds
+    )

@@ -1,0 +1,16 @@
+"""Figure 14: node-aware all-to-all breakdown (intra- vs inter-node, pairwise vs non-blocking)."""
+
+from repro.bench.figures import figure14
+
+
+def test_figure14_node_aware_breakdown(regenerate):
+    fig = regenerate(figure14)
+    # Inter-node communication dominates the node-aware algorithm at every
+    # message size, while the intra-node part scales along with it.
+    for size in fig.xs():
+        assert (
+            fig.get("Inter-Node (Pairwise)").at(size).seconds
+            > fig.get("Intra-Node (Pairwise)").at(size).seconds
+        )
+    intra = fig.get("Intra-Node (Pairwise)")
+    assert intra.at(max(fig.xs())).seconds > intra.at(min(fig.xs())).seconds

@@ -1,0 +1,13 @@
+"""Figure 15: node-aware breakdown across node counts at 4096 bytes (1024 integers)."""
+
+from repro.bench.figures import figure15
+
+
+def test_figure15_node_aware_scaling_breakdown(regenerate):
+    fig = regenerate(figure15)
+    # Inter-node communication dominates regardless of node count.
+    for nodes in fig.xs():
+        assert (
+            fig.get("Inter-Node Alltoall").at(nodes).seconds
+            > fig.get("Intra-Node Alltoall").at(nodes).seconds
+        )

@@ -1,0 +1,17 @@
+"""Figure 16: locality-aware breakdown versus aggregation-group size (1024 integers, 32 nodes)."""
+
+from repro.bench.figures import figure16
+
+
+def test_figure16_group_size_breakdown(regenerate):
+    fig = regenerate(figure16)
+    inter = fig.get("Inter-Node Alltoall")
+    intra = fig.get("Intra-Node Alltoall")
+    # Inter-node communication dominates for every group configuration, and
+    # shrinking the aggregation group reduces the intra-node redistribution
+    # cost (the mechanism behind locality-aware aggregation).
+    for group in inter.xs():
+        assert inter.at(group).seconds > intra.at(group).seconds
+    whole_node = max(intra.xs())
+    smallest_group = min(intra.xs())
+    assert intra.at(smallest_group).seconds < intra.at(whole_node).seconds

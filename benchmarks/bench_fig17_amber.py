@@ -1,0 +1,12 @@
+"""Figure 17: best algorithms vs system MPI on 32 nodes of Amber."""
+
+from repro.bench.figures import figure17
+
+
+def test_figure17_amber(regenerate):
+    fig = regenerate(figure17)
+    # Amber behaves like Dane: multi-leader + node-aware best at small sizes,
+    # node-aware aggregation best at large sizes.
+    assert fig.best_at(4)[0] == "Multileader + Locality"
+    assert fig.best_at(4096)[0] in ("Node-Aware", "Locality-Aware")
+    assert fig.get("Node-Aware").at(1024).seconds < fig.get("System MPI").at(1024).seconds

@@ -1,0 +1,15 @@
+"""Figure 18: best algorithms vs system MPI on 32 nodes of Tuolomne (MI300A + Slingshot)."""
+
+from repro.bench.figures import figure18
+
+
+def test_figure18_tuolomne(regenerate):
+    fig = regenerate(figure18)
+    # On Tuolomne the Cray MPICH baseline is far more competitive than on the
+    # Omni-Path systems: at the largest size it sits within a factor of two of
+    # the best novel algorithm (on Dane the gap is several-fold).
+    best_large = fig.best_at(4096)[1]
+    assert fig.get("System MPI").at(4096).seconds < 2.0 * best_large
+    # The node-aware algorithm remains ahead of the other novel variants at
+    # small message sizes.
+    assert fig.get("Node-Aware").at(4).seconds < fig.get("Locality-Aware").at(4).seconds

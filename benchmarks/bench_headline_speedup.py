@@ -1,0 +1,11 @@
+"""Section 1 headline: "up to 3x speedup over system MPI at 32 nodes"."""
+
+from repro.bench.figures import headline_speedup
+from repro.bench.reporting import format_speedup_summary
+
+
+def test_headline_speedup_over_system_mpi(regenerate):
+    summary = regenerate(headline_speedup, formatter=format_speedup_summary)
+    assert summary["best_speedup"] >= 3.0
+    # The advantage exists at every tested size (the magnitude varies with size).
+    assert all(value > 1.0 for value in summary["per_size"].values())

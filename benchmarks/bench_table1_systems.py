@@ -1,0 +1,11 @@
+"""Table 1: the three evaluation systems (architecture, network, system MPI)."""
+
+from repro.bench.figures import table1
+from repro.bench.reporting import format_table1
+
+
+def test_table1_system_architectures(regenerate):
+    rows = regenerate(table1, formatter=format_table1)
+    assert [row["name"] for row in rows] == ["dane", "amber", "tuolomne"]
+    assert rows[0]["cores_per_node"] == "112"
+    assert rows[2]["cores_per_node"] == "96"

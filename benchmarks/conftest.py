@@ -1,0 +1,29 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every benchmark module regenerates one table or figure of the paper.  The
+``regenerate`` helper runs the figure function under pytest-benchmark with a
+single round (the underlying engines are deterministic, so repeated rounds
+only waste time) and prints the regenerated series so that
+``pytest benchmarks/ --benchmark-only -s`` doubles as the reproduction
+report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import format_figure
+
+
+@pytest.fixture
+def regenerate(benchmark, capsys):
+    """Run a figure-producing callable under the benchmark fixture and print its table."""
+
+    def _run(figure_fn, *args, formatter=format_figure, **kwargs):
+        result = benchmark.pedantic(lambda: figure_fn(*args, **kwargs), rounds=1, iterations=1)
+        with capsys.disabled():
+            print()
+            print(formatter(result))
+        return result
+
+    return _run

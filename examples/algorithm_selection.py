@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Dynamic algorithm selection — the paper's Section 5 future-work item.
+
+The paper proposes selecting the best all-to-all algorithm automatically
+"for a given computer, system MPI, process count, and data size".  This
+example builds that selection in both of the ways the library supports:
+
+1. *model-driven*: :class:`repro.core.selection.AlgorithmSelector` evaluates
+   the analytic cost model for every candidate configuration and picks the
+   cheapest per (node count, message size) point — printed as a tuning
+   table for Dane and Tuolomne;
+2. *measurement-driven*: a :class:`repro.core.selection.SelectionTable`
+   built from actual (simulated) timings on a small machine, the way an MPI
+   library's tuning file would be generated.
+
+Run with::
+
+    python examples/algorithm_selection.py
+"""
+
+from __future__ import annotations
+
+from repro.core import run_alltoall
+from repro.core.selection import AlgorithmSelector, SelectionTable, default_candidates
+from repro.machine import ProcessMap, dane, tiny_cluster, tuolomne
+
+MESSAGE_SIZES = (4, 64, 1024, 4096)
+
+
+def model_driven() -> None:
+    for cluster in (dane(32), tuolomne(32)):
+        ppn = cluster.cores_per_node
+        selector = AlgorithmSelector(cluster, ppn=ppn)
+        print(f"\nModel-driven tuning table for {cluster.name} ({ppn} ranks/node, 32 nodes):")
+        for nodes in (8, 32):
+            mapping = selector.selection_map(num_nodes=nodes, msg_sizes=MESSAGE_SIZES)
+            for size in MESSAGE_SIZES:
+                print(f"  {nodes:>3d} nodes, {size:>5d} B -> {mapping[size]}")
+
+
+def measurement_driven() -> None:
+    cluster = tiny_cluster(num_nodes=4)
+    pmap = ProcessMap(cluster, ppn=8)
+    table = SelectionTable()
+    print(f"\nMeasurement-driven table from simulated runs on {pmap.describe()}:")
+    for candidate in default_candidates(pmap.ppn):
+        for size in (16, 256, 2048):
+            outcome = run_alltoall(
+                candidate.algorithm, pmap, msg_bytes=size, validate=False, keep_job=False,
+                **candidate.as_kwargs(),
+            )
+            table.record(pmap.num_nodes, size, candidate.describe(), outcome.elapsed)
+    for nodes, size, description, seconds in table.as_rows():
+        print(f"  {nodes:>3d} nodes, {size:>5d} B -> {description:<45s} ({seconds * 1e6:8.1f} us)")
+    # Look up a size that was never measured: the nearest measured size is used.
+    print(f"  interpolated best at 1024 B: {table.best(pmap.num_nodes, 1024)}")
+
+
+def main() -> None:
+    model_driven()
+    measurement_driven()
+
+
+if __name__ == "__main__":
+    main()

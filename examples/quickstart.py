@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: compare all-to-all algorithms on a simulated many-core cluster.
+
+This example builds a small simulated machine (4 nodes x 8 cores), runs the
+paper's main algorithms through the discrete-event engine at a couple of
+message sizes, checks that every exchange produced the correct transposition
+and prints a timing comparison.  It then evaluates the analytic cost model
+at the paper's full scale (32 nodes x 112 ranks of the Dane preset) to show
+how the same experiment extrapolates.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import run_alltoall
+from repro.machine import ProcessMap, dane, tiny_cluster
+from repro.model import predict_time
+
+#: The algorithm configurations compared throughout the example.
+CONFIGS = [
+    ("system-mpi", {}),
+    ("hierarchical", {}),
+    ("node-aware", {}),
+    ("locality-aware", {"procs_per_group": 4}),
+    ("multileader-node-aware", {"procs_per_leader": 4}),
+]
+
+MESSAGE_SIZES = (16, 1024)
+
+
+def simulate_small_cluster() -> None:
+    """Run the algorithms through the event simulator on a 4 x 8 machine."""
+    cluster = tiny_cluster(num_nodes=4)
+    pmap = ProcessMap(cluster, ppn=8)
+    print(f"Simulated machine: {pmap.describe()}")
+    for msg_bytes in MESSAGE_SIZES:
+        print(f"\n  per-destination message size: {msg_bytes} bytes")
+        for name, options in CONFIGS:
+            outcome = run_alltoall(name, pmap, msg_bytes=msg_bytes, **options)
+            status = "ok" if outcome.correct else "WRONG RESULT"
+            print(
+                f"    {outcome.algorithm:<55s} {outcome.elapsed * 1e6:10.1f} us "
+                f"[{status}, {outcome.inter_node_messages} inter-node msgs]"
+            )
+
+
+def model_paper_scale() -> None:
+    """Evaluate the analytic model at the paper's full 32 x 112 scale."""
+    pmap = ProcessMap(dane(32), ppn=112)
+    print(f"\nModelled machine: {pmap.describe()}")
+    for msg_bytes in MESSAGE_SIZES:
+        print(f"\n  per-destination message size: {msg_bytes} bytes")
+        baseline = predict_time("system-mpi", pmap, msg_bytes)
+        for name, options in CONFIGS:
+            predicted = predict_time(name, pmap, msg_bytes, **options)
+            print(
+                f"    {name:<28s} {predicted * 1e3:10.3f} ms  "
+                f"({baseline / predicted:4.2f}x vs system MPI)"
+            )
+
+
+def main() -> None:
+    simulate_small_cluster()
+    model_paper_scale()
+
+
+if __name__ == "__main__":
+    main()

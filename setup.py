@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (``pip install -e . --no-use-pep517``).
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+the package can be installed in environments whose setuptools/pip stack
+lacks the ``wheel`` package required by PEP 517 editable builds.
+"""
+
+from setuptools import setup
+
+setup()

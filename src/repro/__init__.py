@@ -1,0 +1,33 @@
+"""repro: reproduction of "Scaling All-to-all Operations Across Emerging Many-Core Supercomputers".
+
+The package is organised as:
+
+* :mod:`repro.machine` — many-core node / cluster / network models
+  (Dane, Amber, Tuolomne presets from Table 1 of the paper);
+* :mod:`repro.netsim` — deterministic discrete-event simulation core;
+* :mod:`repro.simmpi` — an mpi4py-like simulated MPI (communicators,
+  point-to-point, collectives) running on the machine model;
+* :mod:`repro.core` — the all-to-all algorithm family: Bruck, pairwise,
+  non-blocking, batched, hierarchical, multi-leader, node-aware,
+  locality-aware and multi-leader+node-aware (the paper's contributions),
+  plus validation, instrumentation and algorithm selection;
+* :mod:`repro.model` — closed-form cost models used for full-scale
+  (112 processes per node, 32 nodes) figure regeneration;
+* :mod:`repro.bench` — the experiment harness regenerating every figure
+  and table of the paper's evaluation.
+
+Quickstart::
+
+    from repro.machine import tiny_cluster, ProcessMap
+    from repro.core import run_alltoall
+
+    cluster = tiny_cluster(num_nodes=4)
+    pmap = ProcessMap(cluster, ppn=8)
+    outcome = run_alltoall("multileader-node-aware", pmap, msg_bytes=64,
+                           procs_per_group=4)
+    print(outcome.elapsed)
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,374 @@
+"""One function per table / figure of the paper's evaluation (Section 4).
+
+Every function regenerates the corresponding experiment and returns a
+:class:`~repro.bench.datasets.FigureResult` whose series mirror the lines of
+the paper's plot.  All figures default to the analytic-model engine at the
+paper's full scale (32 nodes x 112 ranks of Dane, or Amber / Tuolomne for
+Figures 17 / 18); passing ``engine="simulate"`` together with a smaller
+``ppn`` / ``num_nodes`` reruns the same experiment through the
+discrete-event simulator.
+
+The default multi-leader / locality-aware group size is 4 processes per
+leader/group (i.e. 28 groups per 112-core node), matching the configuration
+Figure 10 of the paper uses for its combined comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.bench.datasets import DataSeries, FigureResult
+from repro.bench.harness import PAPER_MESSAGE_SIZES, PAPER_NODE_COUNTS, BenchmarkHarness
+from repro.core.instrumentation import (
+    PHASE_GATHER,
+    PHASE_INTER,
+    PHASE_INTRA,
+    PHASE_SCATTER,
+)
+from repro.machine.cluster import Cluster
+from repro.machine.systems import amber, dane, tuolomne
+from repro.utils.statistics import speedup
+
+__all__ = [
+    "FIGURES",
+    "table1",
+    "figure07",
+    "figure08",
+    "figure09",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+    "figure15",
+    "figure16",
+    "figure17",
+    "figure18",
+    "headline_speedup",
+]
+
+#: Group sizes (processes per leader/group) the paper sweeps.
+GROUP_SIZES = (4, 8, 16)
+#: Default group size for the combined comparisons (28 groups per Dane node).
+DEFAULT_GROUP = 4
+
+
+def _harness(
+    cluster: Cluster | None,
+    *,
+    default_cluster: Callable[[], Cluster] = dane,
+    ppn: int | None,
+    engine: str,
+) -> BenchmarkHarness:
+    machine = cluster if cluster is not None else default_cluster()
+    processes = ppn if ppn is not None else machine.cores_per_node
+    return BenchmarkHarness(machine, processes, engine=engine)
+
+
+def _valid_groups(ppn: int) -> list[int]:
+    return [g for g in GROUP_SIZES if ppn % g == 0 and g <= ppn]
+
+
+def _default_group(ppn: int) -> int:
+    groups = _valid_groups(ppn)
+    return groups[0] if groups else ppn
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+
+def table1() -> list[dict[str, str]]:
+    """Table 1: the three evaluation systems and their software stacks."""
+    rows = []
+    for cluster in (dane(), amber(), tuolomne()):
+        rows.append(
+            {
+                "name": cluster.name,
+                "cpu": cluster.node.name,
+                "cores_per_node": str(cluster.cores_per_node),
+                "network": cluster.network_name,
+                "mpi": cluster.system_mpi_name,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figures 7-10: size sweeps on Dane, 32 nodes
+# ---------------------------------------------------------------------------
+
+def figure07(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model",
+             msg_sizes=PAPER_MESSAGE_SIZES, num_nodes: int | None = None) -> FigureResult:
+    """Figure 7: hierarchical vs multi-leader (4/8/16 processes per leader), 32 nodes of Dane."""
+    harness = _harness(cluster, ppn=ppn, engine=engine)
+    nodes = num_nodes or harness.cluster.num_nodes
+    fig = FigureResult("fig07", "Hierarchical vs Multileader", "message size (bytes)",
+                       configuration=harness.describe())
+    fig.add_series(harness.size_sweep("system-mpi", msg_sizes=msg_sizes, num_nodes=nodes,
+                                      label="System MPI"))
+    fig.add_series(harness.size_sweep("hierarchical", msg_sizes=msg_sizes, num_nodes=nodes,
+                                      label="Hierarchical"))
+    for group in _valid_groups(harness.ppn):
+        fig.add_series(
+            harness.size_sweep("multileader", msg_sizes=msg_sizes, num_nodes=nodes,
+                               label=f"{group} Processes Per Leader", procs_per_leader=group)
+        )
+    return fig
+
+
+def figure08(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model",
+             msg_sizes=PAPER_MESSAGE_SIZES, num_nodes: int | None = None) -> FigureResult:
+    """Figure 8: node-aware vs locality-aware aggregation (4/8/16 processes per group)."""
+    harness = _harness(cluster, ppn=ppn, engine=engine)
+    nodes = num_nodes or harness.cluster.num_nodes
+    fig = FigureResult("fig08", "Node-Aware vs Locality-Aware", "message size (bytes)",
+                       configuration=harness.describe())
+    fig.add_series(harness.size_sweep("system-mpi", msg_sizes=msg_sizes, num_nodes=nodes,
+                                      label="System MPI"))
+    for group in _valid_groups(harness.ppn):
+        fig.add_series(
+            harness.size_sweep("locality-aware", msg_sizes=msg_sizes, num_nodes=nodes,
+                               label=f"{group} Processes Per Group", procs_per_group=group)
+        )
+    fig.add_series(harness.size_sweep("node-aware", msg_sizes=msg_sizes, num_nodes=nodes,
+                                      label="Node-Aware"))
+    return fig
+
+
+def figure09(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model",
+             msg_sizes=PAPER_MESSAGE_SIZES, num_nodes: int | None = None) -> FigureResult:
+    """Figure 9: multi-leader + node-aware for 4/8/16 processes per leader, with its two limits."""
+    harness = _harness(cluster, ppn=ppn, engine=engine)
+    nodes = num_nodes or harness.cluster.num_nodes
+    fig = FigureResult("fig09", "Multileader + Locality", "message size (bytes)",
+                       configuration=harness.describe())
+    fig.add_series(harness.size_sweep("system-mpi", msg_sizes=msg_sizes, num_nodes=nodes,
+                                      label="System MPI"))
+    fig.add_series(harness.size_sweep("hierarchical", msg_sizes=msg_sizes, num_nodes=nodes,
+                                      label="Hierarchical"))
+    for group in _valid_groups(harness.ppn):
+        fig.add_series(
+            harness.size_sweep("multileader-node-aware", msg_sizes=msg_sizes, num_nodes=nodes,
+                               label=f"{group} Processes Per Leader", procs_per_leader=group)
+        )
+    fig.add_series(harness.size_sweep("node-aware", msg_sizes=msg_sizes, num_nodes=nodes,
+                                      label="Node-Aware"))
+    return fig
+
+
+def _all_algorithm_series(harness: BenchmarkHarness, fig: FigureResult, *, msg_sizes, num_nodes=None,
+                          node_counts=None, msg_bytes=None) -> None:
+    """The six series of Figures 10-12: every algorithm at the default group size."""
+    group = _default_group(harness.ppn)
+    configs = [
+        ("System MPI", "system-mpi", {}),
+        ("Hierarchical", "hierarchical", {}),
+        ("Node-Aware", "node-aware", {}),
+        ("Multileader", "multileader", {"procs_per_leader": group}),
+        ("Locality-Aware", "locality-aware", {"procs_per_group": group}),
+        ("Multileader + Locality", "multileader-node-aware", {"procs_per_leader": group}),
+    ]
+    for label, name, options in configs:
+        if node_counts is not None:
+            fig.add_series(
+                harness.node_sweep(name, msg_bytes=msg_bytes, node_counts=node_counts,
+                                   label=label, **options)
+            )
+        else:
+            fig.add_series(
+                harness.size_sweep(name, msg_sizes=msg_sizes, num_nodes=num_nodes,
+                                   label=label, **options)
+            )
+
+
+def figure10(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model",
+             msg_sizes=PAPER_MESSAGE_SIZES, num_nodes: int | None = None) -> FigureResult:
+    """Figure 10: all algorithms across message sizes on 32 nodes of Dane."""
+    harness = _harness(cluster, ppn=ppn, engine=engine)
+    nodes = num_nodes or harness.cluster.num_nodes
+    fig = FigureResult("fig10", "Various Sizes, 32 Nodes", "message size (bytes)",
+                       configuration=harness.describe())
+    _all_algorithm_series(harness, fig, msg_sizes=msg_sizes, num_nodes=nodes)
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Figures 11-12: node scaling
+# ---------------------------------------------------------------------------
+
+def figure11(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model",
+             node_counts=PAPER_NODE_COUNTS) -> FigureResult:
+    """Figure 11: node scaling at 4 bytes per process pair."""
+    harness = _harness(cluster, ppn=ppn, engine=engine)
+    fig = FigureResult("fig11", "Message Size: 4 bytes, Node Scaling", "nodes",
+                       configuration=harness.describe())
+    _all_algorithm_series(harness, fig, msg_sizes=None, node_counts=node_counts, msg_bytes=4)
+    return fig
+
+
+def figure12(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model",
+             node_counts=PAPER_NODE_COUNTS) -> FigureResult:
+    """Figure 12: node scaling at 4096 bytes per process pair."""
+    harness = _harness(cluster, ppn=ppn, engine=engine)
+    fig = FigureResult("fig12", "Message Size: 4096 bytes, Node Scaling", "nodes",
+                       configuration=harness.describe())
+    _all_algorithm_series(harness, fig, msg_sizes=None, node_counts=node_counts, msg_bytes=4096)
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Figures 13-16: intra- vs inter-node breakdowns
+# ---------------------------------------------------------------------------
+
+def figure13(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model",
+             msg_sizes=PAPER_MESSAGE_SIZES, num_nodes: int | None = None) -> FigureResult:
+    """Figure 13: hierarchical timing breakdown (gather, scatter, leader all-to-all)."""
+    harness = _harness(cluster, ppn=ppn, engine=engine)
+    nodes = num_nodes or harness.cluster.num_nodes
+    fig = FigureResult("fig13", "Hierarchical Timing Breakdown", "per-message size (bytes)",
+                       configuration=harness.describe())
+    fig.add_series(harness.phase_series("hierarchical", PHASE_GATHER, msg_sizes=msg_sizes,
+                                        num_nodes=nodes, label="MPI Gather", inner="pairwise"))
+    fig.add_series(harness.phase_series("hierarchical", PHASE_SCATTER, msg_sizes=msg_sizes,
+                                        num_nodes=nodes, label="MPI Scatter", inner="pairwise"))
+    fig.add_series(harness.phase_series("hierarchical", PHASE_INTER, msg_sizes=msg_sizes,
+                                        num_nodes=nodes, label="Alltoall (Pairwise)", inner="pairwise"))
+    fig.add_series(harness.phase_series("hierarchical", PHASE_INTER, msg_sizes=msg_sizes,
+                                        num_nodes=nodes, label="Alltoall (Nonblocking)",
+                                        inner="nonblocking"))
+    return fig
+
+
+def figure14(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model",
+             msg_sizes=PAPER_MESSAGE_SIZES, num_nodes: int | None = None) -> FigureResult:
+    """Figure 14: node-aware timing breakdown (intra- vs inter-node all-to-all, both inner exchanges)."""
+    harness = _harness(cluster, ppn=ppn, engine=engine)
+    nodes = num_nodes or harness.cluster.num_nodes
+    fig = FigureResult("fig14", "Node-Aware Timing Breakdown", "per-message size (bytes)",
+                       configuration=harness.describe())
+    for inner in ("pairwise", "nonblocking"):
+        fig.add_series(harness.phase_series("node-aware", PHASE_INTRA, msg_sizes=msg_sizes,
+                                            num_nodes=nodes, label=f"Intra-Node ({inner.title()})",
+                                            inner=inner))
+        fig.add_series(harness.phase_series("node-aware", PHASE_INTER, msg_sizes=msg_sizes,
+                                            num_nodes=nodes, label=f"Inter-Node ({inner.title()})",
+                                            inner=inner))
+    return fig
+
+
+def figure15(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model",
+             node_counts=PAPER_NODE_COUNTS, msg_bytes: int = 4096) -> FigureResult:
+    """Figure 15: node-aware breakdown versus node count at 4096 bytes (1024 integers)."""
+    harness = _harness(cluster, ppn=ppn, engine=engine)
+    fig = FigureResult("fig15", "Node-Aware Breakdown, 4096 B, 2-32 Nodes", "nodes",
+                       configuration=harness.describe())
+    intra = DataSeries("Intra-Node Alltoall")
+    inter = DataSeries("Inter-Node Alltoall")
+    for nodes in node_counts:
+        point = harness.time_point("node-aware", msg_bytes, nodes, inner="pairwise")
+        intra.add(nodes, point.phases.get(PHASE_INTRA, 0.0))
+        inter.add(nodes, point.phases.get(PHASE_INTER, 0.0))
+    fig.add_series(intra)
+    fig.add_series(inter)
+    return fig
+
+
+def figure16(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model",
+             num_nodes: int | None = None, msg_bytes: int = 4096) -> FigureResult:
+    """Figure 16: locality-aware breakdown versus group size (node-aware, 16, 8 and 4 PPG)."""
+    harness = _harness(cluster, ppn=ppn, engine=engine)
+    nodes = num_nodes or harness.cluster.num_nodes
+    fig = FigureResult("fig16", "Locality-Aware Breakdown vs Group Size", "group configuration",
+                       configuration=harness.describe(),
+                       notes="x = group size; the whole node (node-aware) is encoded as x = ppn")
+    intra = DataSeries("Intra-Node Alltoall")
+    inter = DataSeries("Inter-Node Alltoall")
+    configs: list[tuple[str, dict, int]] = [("node-aware", {}, harness.ppn)]
+    for group in sorted(_valid_groups(harness.ppn), reverse=True):
+        configs.append(("locality-aware", {"procs_per_group": group}, group))
+    for name, options, group in configs:
+        point = harness.time_point(name, msg_bytes, nodes, inner="pairwise", **options)
+        intra.add(group, point.phases.get(PHASE_INTRA, 0.0))
+        inter.add(group, point.phases.get(PHASE_INTER, 0.0))
+    fig.add_series(intra)
+    fig.add_series(inter)
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Figures 17-18: Amber and Tuolomne
+# ---------------------------------------------------------------------------
+
+def _best_algorithms_figure(figure_id: str, title: str, machine: Cluster, *, ppn: int | None,
+                            engine: str, msg_sizes) -> FigureResult:
+    harness = BenchmarkHarness(machine, ppn if ppn is not None else machine.cores_per_node,
+                               engine=engine)
+    group = _default_group(harness.ppn)
+    fig = FigureResult(figure_id, title, "message size (bytes)", configuration=harness.describe())
+    fig.add_series(harness.size_sweep("system-mpi", msg_sizes=msg_sizes, label="System MPI"))
+    fig.add_series(harness.size_sweep("node-aware", msg_sizes=msg_sizes, label="Node-Aware"))
+    fig.add_series(harness.size_sweep("locality-aware", msg_sizes=msg_sizes, label="Locality-Aware",
+                                      procs_per_group=group))
+    fig.add_series(harness.size_sweep("multileader-node-aware", msg_sizes=msg_sizes,
+                                      label="Multileader + Locality", procs_per_leader=group))
+    return fig
+
+
+def figure17(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model",
+             msg_sizes=PAPER_MESSAGE_SIZES) -> FigureResult:
+    """Figure 17: best algorithms vs system MPI on 32 nodes of Amber."""
+    machine = cluster if cluster is not None else amber()
+    return _best_algorithms_figure("fig17", "Amber, Various Sizes, 32 Nodes", machine,
+                                   ppn=ppn, engine=engine, msg_sizes=msg_sizes)
+
+
+def figure18(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model",
+             msg_sizes=PAPER_MESSAGE_SIZES) -> FigureResult:
+    """Figure 18: best algorithms vs system MPI on 32 nodes of Tuolomne."""
+    machine = cluster if cluster is not None else tuolomne()
+    return _best_algorithms_figure("fig18", "Tuolomne, Various Sizes, 32 Nodes", machine,
+                                   ppn=ppn, engine=engine, msg_sizes=msg_sizes)
+
+
+# ---------------------------------------------------------------------------
+# Headline claim
+# ---------------------------------------------------------------------------
+
+def headline_speedup(cluster: Cluster | None = None, *, ppn: int | None = None,
+                     engine: str = "model", msg_sizes=PAPER_MESSAGE_SIZES,
+                     num_nodes: int | None = None) -> dict:
+    """Section 1's headline: best speedup of the novel algorithms over system MPI at 32 nodes."""
+    fig = figure10(cluster, ppn=ppn, engine=engine, msg_sizes=msg_sizes, num_nodes=num_nodes)
+    speedups = {}
+    for size in fig.xs():
+        baseline = fig.get("System MPI").at(size).seconds
+        novel = min(
+            fig.get(label).at(size).seconds
+            for label in ("Node-Aware", "Locality-Aware", "Multileader + Locality")
+        )
+        speedups[size] = speedup(baseline, novel)
+    best_size = max(speedups, key=speedups.get)
+    return {
+        "per_size": speedups,
+        "best_size": best_size,
+        "best_speedup": speedups[best_size],
+        "configuration": fig.configuration,
+    }
+
+
+#: Registry used by the benchmark modules and tests.
+FIGURES: dict[str, Callable[..., FigureResult]] = {
+    "fig07": figure07,
+    "fig08": figure08,
+    "fig09": figure09,
+    "fig10": figure10,
+    "fig11": figure11,
+    "fig12": figure12,
+    "fig13": figure13,
+    "fig14": figure14,
+    "fig15": figure15,
+    "fig16": figure16,
+    "fig17": figure17,
+    "fig18": figure18,
+}

@@ -1,0 +1,150 @@
+"""Timing harness shared by every figure definition.
+
+A :class:`BenchmarkHarness` is bound to one machine (cluster preset + ppn)
+and one *engine*:
+
+* ``engine="simulate"`` runs the exchange on the discrete-event simulator —
+  exact per-message accounting, practical at reduced scale (a few hundred
+  ranks);
+* ``engine="model"`` evaluates the analytic cost model — instant, used to
+  regenerate the figures at the paper's full scale (32 nodes x 112 ranks).
+
+The paper reports the minimum of three repetitions for every point; the
+harness keeps that policy (``repetitions`` parameter) even though the
+simulator is deterministic, so measured-system backends can reuse the same
+interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.runner import run_alltoall
+from repro.errors import ConfigurationError
+from repro.machine.cluster import Cluster
+from repro.machine.process_map import ProcessMap
+from repro.model.predict import predict_breakdown
+from repro.bench.datasets import DataSeries
+from repro.utils.statistics import min_of_runs
+
+__all__ = ["BenchmarkHarness", "PAPER_MESSAGE_SIZES", "PAPER_NODE_COUNTS", "TimedPoint"]
+
+#: Per-destination message sizes the paper sweeps (4 B to 4096 B).
+PAPER_MESSAGE_SIZES: tuple[int, ...] = (4, 16, 64, 256, 1024, 4096)
+
+#: Node counts the paper scales over (2 to 32 nodes).
+PAPER_NODE_COUNTS: tuple[int, ...] = (2, 4, 8, 16, 32)
+
+_ENGINES = ("simulate", "model")
+
+
+@dataclass
+class TimedPoint:
+    """Result of timing one configuration."""
+
+    seconds: float
+    phases: dict[str, float] = field(default_factory=dict)
+
+
+class BenchmarkHarness:
+    """Times all-to-all configurations on one machine through one engine."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        ppn: int,
+        *,
+        engine: str = "model",
+        repetitions: int = 1,
+    ) -> None:
+        if engine not in _ENGINES:
+            raise ConfigurationError(f"unknown engine {engine!r}; choose from {_ENGINES}")
+        if repetitions <= 0:
+            raise ConfigurationError("repetitions must be positive")
+        self.cluster = cluster
+        self.ppn = ppn
+        self.engine = engine
+        self.repetitions = repetitions
+
+    # -- configuration ------------------------------------------------------
+    def describe(self) -> str:
+        return (
+            f"{self.cluster.name}: up to {self.cluster.num_nodes} nodes x {self.ppn} ppn, "
+            f"engine={self.engine}"
+        )
+
+    def process_map(self, num_nodes: int) -> ProcessMap:
+        if num_nodes > self.cluster.num_nodes:
+            raise ConfigurationError(
+                f"requested {num_nodes} nodes but the cluster has {self.cluster.num_nodes}"
+            )
+        return ProcessMap(self.cluster, ppn=self.ppn, num_nodes=num_nodes)
+
+    # -- timing --------------------------------------------------------------
+    def time_point(self, algorithm: str, msg_bytes: int, num_nodes: int, **options) -> TimedPoint:
+        """Time one (algorithm, message size, node count) configuration."""
+        pmap = self.process_map(num_nodes)
+        if self.engine == "model":
+            breakdown = predict_breakdown(algorithm, pmap, msg_bytes, **options)
+            return TimedPoint(seconds=breakdown.total, phases=dict(breakdown.phases))
+        samples: list[float] = []
+        phases: dict[str, float] = {}
+        for _ in range(self.repetitions):
+            outcome = run_alltoall(
+                algorithm, pmap, msg_bytes, validate=False, keep_job=False, **options
+            )
+            samples.append(outcome.elapsed)
+            phases = outcome.phase_times
+        return TimedPoint(seconds=min_of_runs(samples), phases=phases)
+
+    # -- sweeps ----------------------------------------------------------------
+    def size_sweep(
+        self,
+        algorithm: str,
+        *,
+        msg_sizes=PAPER_MESSAGE_SIZES,
+        num_nodes: int | None = None,
+        label: str | None = None,
+        **options,
+    ) -> DataSeries:
+        """Sweep the per-destination message size at a fixed node count."""
+        nodes = self.cluster.num_nodes if num_nodes is None else num_nodes
+        series = DataSeries(label=label or algorithm)
+        for msg_bytes in msg_sizes:
+            point = self.time_point(algorithm, msg_bytes, nodes, **options)
+            series.add(msg_bytes, point.seconds, phases=point.phases)
+        return series
+
+    def node_sweep(
+        self,
+        algorithm: str,
+        *,
+        msg_bytes: int,
+        node_counts=PAPER_NODE_COUNTS,
+        label: str | None = None,
+        **options,
+    ) -> DataSeries:
+        """Sweep the node count at a fixed message size."""
+        series = DataSeries(label=label or algorithm)
+        for nodes in node_counts:
+            point = self.time_point(algorithm, msg_bytes, nodes, **options)
+            series.add(nodes, point.seconds, phases=point.phases)
+        return series
+
+    def phase_series(
+        self,
+        algorithm: str,
+        phase: str,
+        *,
+        msg_sizes=PAPER_MESSAGE_SIZES,
+        num_nodes: int | None = None,
+        label: str | None = None,
+        **options,
+    ) -> DataSeries:
+        """Sweep the message size and report the duration of a single internal phase."""
+        nodes = self.cluster.num_nodes if num_nodes is None else num_nodes
+        series = DataSeries(label=label or f"{algorithm}:{phase}")
+        for msg_bytes in msg_sizes:
+            point = self.time_point(algorithm, msg_bytes, nodes, **options)
+            series.add(msg_bytes, point.phases.get(phase, 0.0), phases=point.phases)
+        return series

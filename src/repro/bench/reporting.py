@@ -1,0 +1,78 @@
+"""Rendering of regenerated figures as ASCII tables and CSV.
+
+The paper's figures are log-log line plots; in a text environment the same
+information is conveyed as one row per x value with one column per series,
+which is what :func:`format_figure` produces (and what the benchmark
+modules print).
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.bench.datasets import FigureResult
+
+__all__ = ["format_figure", "format_table1", "to_csv", "format_speedup_summary"]
+
+
+def _format_seconds(value: float) -> str:
+    return f"{value:10.3e}"
+
+
+def format_figure(figure: FigureResult, *, max_label: int = 28) -> str:
+    """Render a figure as an aligned ASCII table (one row per x value)."""
+    labels = [label[:max_label] for label in figure.labels()]
+    header = f"{figure.figure_id}: {figure.title}\n{figure.configuration}\n"
+    if figure.notes:
+        header += f"note: {figure.notes}\n"
+    xs = figure.xs()
+    col_width = max(12, max(len(label) for label in labels) + 2) if labels else 12
+    lines = [header]
+    lines.append(f"{figure.xlabel:>24s}" + "".join(f"{label:>{col_width}s}" for label in labels))
+    for x in xs:
+        row = f"{x:>24g}"
+        for series in figure.series:
+            try:
+                row += f"{_format_seconds(series.at(x).seconds):>{col_width}s}"
+            except Exception:
+                row += f"{'-':>{col_width}s}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_table1(rows: list[dict[str, str]]) -> str:
+    """Render Table 1 (system architectures)."""
+    columns = ["name", "cpu", "cores_per_node", "network", "mpi"]
+    widths = {c: max(len(c), max(len(r[c]) for r in rows)) + 2 for c in columns}
+    out = ["Table 1: System Architectures"]
+    out.append("".join(f"{c:<{widths[c]}s}" for c in columns))
+    for row in rows:
+        out.append("".join(f"{row[c]:<{widths[c]}s}" for c in columns))
+    return "\n".join(out)
+
+
+def format_speedup_summary(summary: dict) -> str:
+    """Render the headline-speedup dictionary produced by ``headline_speedup``."""
+    lines = [f"Speedup of the best novel algorithm over system MPI ({summary['configuration']})"]
+    for size, value in sorted(summary["per_size"].items()):
+        lines.append(f"  {int(size):>6d} B : {value:5.2f}x")
+    lines.append(
+        f"  best: {summary['best_speedup']:.2f}x at {int(summary['best_size'])} B per process pair"
+    )
+    return "\n".join(lines)
+
+
+def to_csv(figure: FigureResult) -> str:
+    """Render a figure as CSV (columns: x, one column per series)."""
+    buffer = io.StringIO()
+    labels = figure.labels()
+    buffer.write(",".join([figure.xlabel] + labels) + "\n")
+    for x in figure.xs():
+        row = [f"{x:g}"]
+        for series in figure.series:
+            try:
+                row.append(f"{series.at(x).seconds:.6e}")
+            except Exception:
+                row.append("")
+        buffer.write(",".join(row) + "\n")
+    return buffer.getvalue()

@@ -1,0 +1,83 @@
+"""Parameter sweeps beyond the paper's figures (used by the ablation benchmarks).
+
+These helpers vary one machine or algorithm parameter at a time and report
+how the algorithm ranking responds — the sensitivity studies DESIGN.md
+calls out (inner exchange kind, group size, NIC injection bandwidth,
+matching cost).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.datasets import DataSeries, FigureResult
+from repro.bench.harness import BenchmarkHarness
+from repro.machine.cluster import Cluster
+from repro.utils.partition import divisors
+
+__all__ = [
+    "inner_exchange_sweep",
+    "group_size_sweep",
+    "injection_bandwidth_sweep",
+    "matching_cost_sweep",
+]
+
+
+def inner_exchange_sweep(cluster: Cluster, ppn: int, *, algorithm: str = "node-aware",
+                         msg_sizes: Sequence[int] = (4, 256, 4096), engine: str = "model",
+                         inners: Sequence[str] = ("pairwise", "nonblocking", "bruck"),
+                         **options) -> FigureResult:
+    """Compare the inner exchange kinds inside one hierarchical algorithm."""
+    harness = BenchmarkHarness(cluster, ppn, engine=engine)
+    fig = FigureResult("ablation-inner", f"Inner exchange sweep for {algorithm}",
+                       "message size (bytes)", configuration=harness.describe())
+    for inner in inners:
+        fig.add_series(
+            harness.size_sweep(algorithm, msg_sizes=msg_sizes, label=inner, inner=inner, **options)
+        )
+    return fig
+
+
+def group_size_sweep(cluster: Cluster, ppn: int, *, algorithm: str = "locality-aware",
+                     msg_bytes: int = 4096, engine: str = "model",
+                     group_sizes: Sequence[int] | None = None) -> DataSeries:
+    """Sweep the aggregation-group / leader-group size from 1 to the whole node."""
+    harness = BenchmarkHarness(cluster, ppn, engine=engine)
+    sizes = list(group_sizes) if group_sizes is not None else divisors(ppn)
+    option_name = "procs_per_leader" if "leader" in algorithm else "procs_per_group"
+    series = DataSeries(label=f"{algorithm} @ {msg_bytes} B")
+    for group in sizes:
+        point = harness.time_point(algorithm, msg_bytes, harness.cluster.num_nodes,
+                                   **{option_name: group})
+        series.add(group, point.seconds, phases=point.phases)
+    return series
+
+
+def injection_bandwidth_sweep(cluster: Cluster, ppn: int, *, algorithm: str = "node-aware",
+                              msg_bytes: int = 4096, factors: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+                              engine: str = "model") -> DataSeries:
+    """Scale the per-node NIC injection bandwidth and report the resulting times."""
+    series = DataSeries(label=f"{algorithm} vs injection bandwidth @ {msg_bytes} B")
+    for factor in factors:
+        params = cluster.params.with_overrides(
+            injection_bandwidth=cluster.params.injection_bandwidth * factor
+        )
+        harness = BenchmarkHarness(cluster.with_params(params), ppn, engine=engine)
+        point = harness.time_point(algorithm, msg_bytes, cluster.num_nodes)
+        series.add(factor, point.seconds, phases=point.phases)
+    return series
+
+
+def matching_cost_sweep(cluster: Cluster, ppn: int, *, algorithm: str = "nonblocking",
+                        msg_bytes: int = 1024, factors: Sequence[float] = (0.0, 1.0, 4.0, 16.0),
+                        engine: str = "model") -> DataSeries:
+    """Scale the per-entry matching (queue search) cost; drives the pairwise/non-blocking trade-off."""
+    series = DataSeries(label=f"{algorithm} vs matching cost @ {msg_bytes} B")
+    for factor in factors:
+        params = cluster.params.with_overrides(
+            match_overhead_per_entry=cluster.params.match_overhead_per_entry * factor
+        )
+        harness = BenchmarkHarness(cluster.with_params(params), ppn, engine=engine)
+        point = harness.time_point(algorithm, msg_bytes, cluster.num_nodes)
+        series.add(factor, point.seconds, phases=point.phases)
+    return series

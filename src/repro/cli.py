@@ -1,0 +1,145 @@
+"""Command-line interface for the reproduction.
+
+Installed as the ``repro-bench`` console script (and runnable as
+``python -m repro.cli``).  Sub-commands:
+
+``systems``
+    Print Table 1 (the three evaluation systems).
+``figures``
+    Regenerate one or all of the paper's figures and print the series
+    (optionally as CSV).
+``run``
+    Simulate a single all-to-all exchange on a chosen system at reduced
+    scale and print timing, phase breakdown and traffic.
+``select``
+    Print the model-driven algorithm-selection table for a system
+    (the paper's Section 5 future-work item).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro._version import __version__
+from repro.bench.figures import FIGURES, headline_speedup, table1
+from repro.bench.reporting import format_figure, format_speedup_summary, format_table1, to_csv
+from repro.core.runner import run_alltoall
+from repro.core.selection import AlgorithmSelector
+from repro.machine.process_map import ProcessMap
+from repro.machine.systems import get_system, list_systems
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Reproduction toolkit for 'Scaling All-to-all Operations Across "
+        "Emerging Many-Core Supercomputers'",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("systems", help="print Table 1 (evaluation systems)")
+
+    figures = sub.add_parser("figures", help="regenerate the paper's figures")
+    figures.add_argument("--id", default="all", choices=["all", *sorted(FIGURES)],
+                         help="which figure to regenerate (default: all)")
+    figures.add_argument("--engine", default="model", choices=["model", "simulate"],
+                         help="timing engine (simulate runs at reduced scale)")
+    figures.add_argument("--csv", action="store_true", help="emit CSV instead of aligned tables")
+    figures.add_argument("--headline", action="store_true",
+                         help="also print the headline speedup summary")
+
+    run = sub.add_parser("run", help="simulate one all-to-all exchange")
+    run.add_argument("--system", default="dane", choices=list_systems())
+    run.add_argument("--algorithm", default="multileader-node-aware")
+    run.add_argument("--nodes", type=int, default=4)
+    run.add_argument("--ppn", type=int, default=8)
+    run.add_argument("--msg-bytes", type=int, default=256)
+    run.add_argument("--group-size", type=int, default=None,
+                     help="processes per leader/group for the hierarchical algorithms")
+    run.add_argument("--inner", default=None, choices=["pairwise", "nonblocking", "bruck", "batched"])
+
+    select = sub.add_parser("select", help="print the model-driven algorithm selection table")
+    select.add_argument("--system", default="dane", choices=list_systems())
+    select.add_argument("--nodes", type=int, default=32)
+    select.add_argument("--ppn", type=int, default=None,
+                        help="ranks per node (default: all cores of the system)")
+    select.add_argument("--sizes", type=int, nargs="+", default=[4, 16, 64, 256, 1024, 4096])
+    return parser
+
+
+def _cmd_systems(_args: argparse.Namespace) -> int:
+    print(format_table1(table1()))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    selected = sorted(FIGURES) if args.id == "all" else [args.id]
+    for figure_id in selected:
+        producer = FIGURES[figure_id]
+        if args.engine == "simulate":
+            figure = producer(get_system("dane", 8), ppn=8, engine="simulate")
+        else:
+            figure = producer()
+        print(to_csv(figure) if args.csv else format_figure(figure))
+        print()
+    if args.headline:
+        print(format_speedup_summary(headline_speedup()))
+    return 0
+
+
+def _algorithm_options(args: argparse.Namespace) -> dict:
+    options: dict = {}
+    if args.inner is not None:
+        options["inner"] = args.inner
+    if args.group_size is not None:
+        if args.algorithm in ("hierarchical", "multileader", "multileader-node-aware"):
+            options["procs_per_leader"] = args.group_size
+        elif args.algorithm == "locality-aware":
+            options["procs_per_group"] = args.group_size
+        else:
+            raise SystemExit(f"--group-size is not applicable to algorithm {args.algorithm!r}")
+    return options
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cluster = get_system(args.system, args.nodes)
+    pmap = ProcessMap(cluster, ppn=args.ppn, num_nodes=args.nodes)
+    outcome = run_alltoall(args.algorithm, pmap, args.msg_bytes, **_algorithm_options(args))
+    print(outcome.summary())
+    print(f"  inter-node messages: {outcome.inter_node_messages}")
+    print(f"  inter-node bytes:    {outcome.inter_node_bytes}")
+    for phase, seconds in sorted(outcome.phase_times.items()):
+        print(f"  phase {phase:<22s} {seconds:.3e} s")
+    return 0 if outcome.correct else 1
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    cluster = get_system(args.system, args.nodes)
+    ppn = args.ppn if args.ppn is not None else cluster.cores_per_node
+    selector = AlgorithmSelector(cluster, ppn=ppn)
+    print(f"Best algorithm per message size on {cluster.name} ({args.nodes} nodes x {ppn} ppn):")
+    for size, description in selector.selection_map(args.nodes, args.sizes).items():
+        print(f"  {size:>7d} B -> {description}")
+    return 0
+
+
+_COMMANDS = {
+    "systems": _cmd_systems,
+    "figures": _cmd_figures,
+    "run": _cmd_run,
+    "select": _cmd_select,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""The paper's contribution: the all-to-all algorithm family and its tooling.
+
+Public entry points:
+
+* :func:`repro.core.runner.run_alltoall` — run any algorithm of the family on
+  a simulated machine and get back timing, per-phase breakdown and a
+  correctness check;
+* :mod:`repro.core.alltoall` — the algorithms themselves (flat exchanges and
+  the hierarchical / node-aware / locality-aware / multi-leader variants);
+* :mod:`repro.core.selection` — pick the best algorithm for a machine,
+  process count and message size (the paper's future-work item);
+* :mod:`repro.core.validation` — reference results and result checking.
+"""
+
+from repro.core.alltoall import (
+    ALGORITHM_NAMES,
+    INNER_EXCHANGES,
+    AlltoallAlgorithm,
+    get_algorithm,
+    list_algorithms,
+)
+from repro.core.runner import AlltoallOutcome, run_alltoall
+from repro.core.selection import AlgorithmSelector, SelectionTable
+from repro.core.validation import expected_alltoall_result, validate_alltoall_results
+
+__all__ = [
+    "ALGORITHM_NAMES",
+    "INNER_EXCHANGES",
+    "AlltoallAlgorithm",
+    "get_algorithm",
+    "list_algorithms",
+    "AlltoallOutcome",
+    "run_alltoall",
+    "AlgorithmSelector",
+    "SelectionTable",
+    "expected_alltoall_result",
+    "validate_alltoall_results",
+]

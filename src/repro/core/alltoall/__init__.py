@@ -1,0 +1,76 @@
+"""The all-to-all algorithm family.
+
+Flat exchanges (Section 2 of the paper):
+
+* :class:`~repro.core.alltoall.pairwise.PairwiseAlltoall` — Algorithm 1;
+* :class:`~repro.core.alltoall.nonblocking.NonblockingAlltoall` — Algorithm 2;
+* :class:`~repro.core.alltoall.bruck.BruckAlltoall` — log-step small-message algorithm;
+* :class:`~repro.core.alltoall.batched.BatchedAlltoall` — bounded-outstanding related work;
+* :class:`~repro.core.alltoall.system_mpi.SystemMPIAlltoall` — size-switched baseline.
+
+Locality-exploiting algorithms (Section 3):
+
+* :class:`~repro.core.alltoall.hierarchical.HierarchicalAlltoall` /
+  :class:`~repro.core.alltoall.hierarchical.MultiLeaderAlltoall` — Algorithm 3;
+* :class:`~repro.core.alltoall.node_aware.NodeAwareAlltoall` /
+  :class:`~repro.core.alltoall.node_aware.LocalityAwareAlltoall` — Algorithm 4
+  (locality-aware aggregation is one of the paper's two novel algorithms);
+* :class:`~repro.core.alltoall.multileader_node_aware.MultiLeaderNodeAwareAlltoall`
+  — Algorithm 5, the paper's second novel algorithm.
+"""
+
+from repro.core.alltoall.base import AlltoallAlgorithm, check_alltoall_buffers
+from repro.core.alltoall.batched import BatchedAlltoall, exchange_batched
+from repro.core.alltoall.bruck import BruckAlltoall, exchange_bruck
+from repro.core.alltoall.exchanges import INNER_EXCHANGES, get_inner_exchange
+from repro.core.alltoall.hierarchical import (
+    HierarchicalAlltoall,
+    MultiLeaderAlltoall,
+    hierarchical_alltoall,
+)
+from repro.core.alltoall.multileader_node_aware import (
+    MultiLeaderNodeAwareAlltoall,
+    multileader_node_aware_alltoall,
+)
+from repro.core.alltoall.node_aware import (
+    LocalityAwareAlltoall,
+    NodeAwareAlltoall,
+    node_aware_alltoall,
+)
+from repro.core.alltoall.nonblocking import NonblockingAlltoall, exchange_nonblocking
+from repro.core.alltoall.pairwise import PairwiseAlltoall, exchange_pairwise
+from repro.core.alltoall.registry import (
+    ALGORITHM_NAMES,
+    ALGORITHMS,
+    get_algorithm,
+    list_algorithms,
+)
+from repro.core.alltoall.system_mpi import SystemMPIAlltoall
+
+__all__ = [
+    "AlltoallAlgorithm",
+    "check_alltoall_buffers",
+    "BatchedAlltoall",
+    "BruckAlltoall",
+    "HierarchicalAlltoall",
+    "MultiLeaderAlltoall",
+    "MultiLeaderNodeAwareAlltoall",
+    "LocalityAwareAlltoall",
+    "NodeAwareAlltoall",
+    "NonblockingAlltoall",
+    "PairwiseAlltoall",
+    "SystemMPIAlltoall",
+    "exchange_batched",
+    "exchange_bruck",
+    "exchange_nonblocking",
+    "exchange_pairwise",
+    "hierarchical_alltoall",
+    "multileader_node_aware_alltoall",
+    "node_aware_alltoall",
+    "INNER_EXCHANGES",
+    "get_inner_exchange",
+    "ALGORITHMS",
+    "ALGORITHM_NAMES",
+    "get_algorithm",
+    "list_algorithms",
+]

@@ -1,0 +1,81 @@
+"""Common infrastructure for the all-to-all algorithm family.
+
+Every algorithm is a small class with a ``run(ctx, sendbuf, recvbuf)``
+generator method so that it can be configured once (group size, inner
+exchange, thresholds) and then executed on any simulated machine.  The
+module also provides the buffer-validation helper shared by every
+implementation.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+import numpy as np
+
+from repro.errors import AlgorithmError, BufferSizeError
+from repro.machine.process_map import ProcessMap
+from repro.simmpi.engine import RankContext
+
+__all__ = ["AlltoallAlgorithm", "check_alltoall_buffers", "block_count"]
+
+
+def block_count(buf: np.ndarray, nprocs: int) -> int:
+    """Items per block of an all-to-all buffer over ``nprocs`` ranks."""
+    if nprocs <= 0:
+        raise AlgorithmError(f"nprocs must be positive, got {nprocs}")
+    if buf.size % nprocs != 0:
+        raise BufferSizeError(
+            f"buffer of {buf.size} items cannot be divided into {nprocs} equal blocks"
+        )
+    return buf.size // nprocs
+
+
+def check_alltoall_buffers(sendbuf: np.ndarray, recvbuf: np.ndarray, nprocs: int) -> int:
+    """Validate a send/receive buffer pair and return the per-block item count."""
+    if not isinstance(sendbuf, np.ndarray) or not isinstance(recvbuf, np.ndarray):
+        raise BufferSizeError("send and receive buffers must be numpy arrays")
+    if sendbuf.dtype != recvbuf.dtype:
+        raise BufferSizeError(
+            f"send ({sendbuf.dtype}) and receive ({recvbuf.dtype}) buffers must share a dtype"
+        )
+    if sendbuf.size != recvbuf.size:
+        raise BufferSizeError(
+            f"send buffer has {sendbuf.size} items but receive buffer has {recvbuf.size}"
+        )
+    return block_count(sendbuf, nprocs)
+
+
+class AlltoallAlgorithm(abc.ABC):
+    """Base class of every all-to-all implementation.
+
+    Subclasses set :attr:`name` (the registry key) and implement
+    :meth:`run`, a generator that performs the exchange for one rank using
+    the communicators derived from ``ctx``.  ``validate(pmap)`` is called by
+    the runner before a job starts so configuration errors (e.g. a group
+    size that does not divide the processes per node) surface immediately
+    rather than as a deadlock.
+    """
+
+    #: Registry key; overridden by subclasses.
+    name: str = "abstract"
+
+    def validate(self, pmap: ProcessMap) -> None:
+        """Check that this algorithm can run on ``pmap`` (default: always)."""
+
+    @abc.abstractmethod
+    def run(self, ctx: RankContext, sendbuf: np.ndarray, recvbuf: np.ndarray):
+        """Perform the exchange for the calling rank (generator)."""
+
+    # -- description -------------------------------------------------------
+    def options(self) -> dict[str, Any]:
+        """Configuration of this instance (reported by the benchmark harness)."""
+        return {}
+
+    def describe(self) -> str:
+        opts = ", ".join(f"{k}={v}" for k, v in sorted(self.options().items()))
+        return f"{self.name}({opts})" if opts else self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()}>"

@@ -1,0 +1,30 @@
+"""Extensions beyond the paper's all-to-all focus.
+
+Section 5 of the paper plans to apply the same locality-aware aggregation
+ideas "on both other HPC critical collectives (allgather, broadcast, etc.)
+and AI critical collectives (allreduce, reduce-scatter, etc.)".  This
+subpackage implements that extension on the same simulated substrate:
+
+* :func:`~repro.core.extensions.locality_collectives.locality_aware_allgather`
+* :func:`~repro.core.extensions.locality_collectives.locality_aware_bcast`
+* :func:`~repro.core.extensions.locality_collectives.locality_aware_allreduce`
+* :func:`~repro.core.extensions.locality_collectives.locality_aware_reduce_scatter`
+
+Each follows the same pattern as Algorithms 3–5: aggregate within a local
+group, perform the expensive exchange once per group (instead of once per
+rank), then redistribute locally.
+"""
+
+from repro.core.extensions.locality_collectives import (
+    locality_aware_allgather,
+    locality_aware_allreduce,
+    locality_aware_bcast,
+    locality_aware_reduce_scatter,
+)
+
+__all__ = [
+    "locality_aware_allgather",
+    "locality_aware_allreduce",
+    "locality_aware_bcast",
+    "locality_aware_reduce_scatter",
+]

@@ -1,0 +1,199 @@
+"""Locality-aware variants of allgather, broadcast, allreduce and reduce-scatter.
+
+These collectives apply the paper's aggregation idea beyond the all-to-all:
+communication-heavy phases run once per aggregation group (typically once
+per node or NUMA domain) instead of once per rank, and a cheap intra-group
+phase fans the result out (or in).  They operate on the same
+:class:`~repro.simmpi.engine.RankContext` / communicator machinery as the
+all-to-all family, so they can be simulated, traced and compared with their
+flat counterparts from :mod:`repro.simmpi.collectives`.
+
+All functions are generator functions (call with ``yield from``) and use the
+same contiguous group layout as the all-to-all algorithms
+(``procs_per_group`` consecutive local ranks per group, ``None`` meaning the
+whole node).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BufferSizeError, CommunicatorError
+from repro.simmpi.engine import RankContext
+from repro.simmpi.collectives import REDUCTION_OPS
+from repro.simmpi.ops import LocalCopy
+from repro.simmpi.split import cross_group_comm, local_group_comm
+from repro.utils.partition import validate_group_size
+
+__all__ = [
+    "locality_aware_allgather",
+    "locality_aware_bcast",
+    "locality_aware_allreduce",
+    "locality_aware_reduce_scatter",
+]
+
+
+def _group_size(ctx: RankContext, procs_per_group: int | None) -> int:
+    group = ctx.pmap.ppn if procs_per_group is None else procs_per_group
+    validate_group_size(ctx.pmap.ppn, group)
+    return group
+
+
+# ---------------------------------------------------------------------------
+# Allgather
+# ---------------------------------------------------------------------------
+
+def locality_aware_allgather(ctx: RankContext, sendbuf: np.ndarray, recvbuf: np.ndarray,
+                             *, procs_per_group: int | None = None):
+    """Two-phase allgather: aggregate within the group, then exchange between groups.
+
+    Phase 1 gathers the group's contributions onto every group member
+    (intra-group allgather); phase 2 exchanges the aggregated group blocks
+    between corresponding members of every group (inter-group allgather).
+    The result is ordered by world rank, exactly like a flat allgather.
+    """
+    group = _group_size(ctx, procs_per_group)
+    nprocs = ctx.nprocs
+    block = sendbuf.size
+    if recvbuf.size != nprocs * block:
+        raise BufferSizeError(
+            f"allgather receive buffer must hold {nprocs} blocks of {block} items"
+        )
+    local = local_group_comm(ctx, group)
+    cross = cross_group_comm(ctx, group)
+    ngroups = cross.size
+
+    # Phase 1: everyone in the group collects the group's blocks.
+    group_block = np.empty(group * block, dtype=sendbuf.dtype)
+    yield from local.allgather(sendbuf, group_block)
+
+    # Phase 2: exchange aggregated group blocks between groups.  Because
+    # groups are contiguous in world-rank order, the inter-group allgather
+    # writes straight into the final receive buffer.
+    yield from cross.allgather(group_block, recvbuf)
+
+
+# ---------------------------------------------------------------------------
+# Broadcast
+# ---------------------------------------------------------------------------
+
+def locality_aware_bcast(ctx: RankContext, buf: np.ndarray, *, root: int = 0,
+                         procs_per_group: int | None = None):
+    """Hierarchical broadcast: between group leaders first, then within each group.
+
+    ``root`` is a world rank.  The root first sends the data to the leader of
+    its own group if it is not a leader itself; the leaders then run a
+    binomial broadcast among themselves (one message per group, the only
+    inter-node traffic), and finally each leader broadcasts within its group.
+    """
+    group = _group_size(ctx, procs_per_group)
+    local = local_group_comm(ctx, group)
+
+    # The "leaders" of this broadcast are the members occupying the root's
+    # position within their group, so the root itself is one of them and no
+    # extra intra-group hop is needed before the leader phase.
+    position = root % group
+    if ctx.local_rank % group == position:
+        cross = cross_group_comm(ctx, group)
+        yield from cross.bcast(buf, root=cross.local_rank_of(root))
+    yield from local.bcast(buf, root=position)
+
+
+# ---------------------------------------------------------------------------
+# Allreduce
+# ---------------------------------------------------------------------------
+
+def locality_aware_allreduce(ctx: RankContext, sendbuf: np.ndarray, recvbuf: np.ndarray,
+                             *, op: str = "sum", procs_per_group: int | None = None):
+    """Three-phase allreduce: intra-group reduce, inter-group allreduce, intra-group broadcast.
+
+    Only the group leaders participate in the expensive inter-group phase, so
+    each group contributes a single message stream to the network — the
+    allreduce analogue of the node-aware aggregation studied in the paper
+    (and of reference [3], "Node-Aware Improvements to Allreduce").
+    """
+    if op not in REDUCTION_OPS:
+        raise CommunicatorError(f"unknown reduction op {op!r}; choose from {sorted(REDUCTION_OPS)}")
+    if recvbuf.size != sendbuf.size:
+        raise BufferSizeError("allreduce buffers must have identical sizes")
+    group = _group_size(ctx, procs_per_group)
+    local = local_group_comm(ctx, group)
+    cross = cross_group_comm(ctx, group)
+    is_leader = local.rank == 0
+
+    # Phase 1: reduce the group's contributions onto the leader.
+    partial = np.empty_like(sendbuf) if is_leader else None
+    yield from local.reduce(sendbuf, partial, op=op, root=0)
+
+    # Phase 2: allreduce among the leaders (one participant per group).
+    if is_leader:
+        yield from cross.allreduce(partial, recvbuf, op=op)
+
+    # Phase 3: broadcast the final result within the group.
+    yield from local.bcast(recvbuf, root=0)
+
+
+# ---------------------------------------------------------------------------
+# Reduce-scatter
+# ---------------------------------------------------------------------------
+
+def locality_aware_reduce_scatter(ctx: RankContext, sendbuf: np.ndarray, recvbuf: np.ndarray,
+                                  *, op: str = "sum", procs_per_group: int | None = None):
+    """Locality-aware reduce-scatter with equal blocks per rank.
+
+    ``sendbuf`` holds one block per world rank (``nprocs * block`` items);
+    after the collective, ``recvbuf`` (``block`` items) holds the reduction
+    of block ``r`` over every rank, where ``r`` is the caller's world rank.
+
+    Phases: (1) intra-group reduction of the full vector onto the leader;
+    (2) reduce-scatter among the leaders at whole-group granularity, so each
+    leader ends up with the fully reduced blocks of its own group's members;
+    (3) intra-group scatter of those blocks.
+    """
+    if op not in REDUCTION_OPS:
+        raise CommunicatorError(f"unknown reduction op {op!r}; choose from {sorted(REDUCTION_OPS)}")
+    group = _group_size(ctx, procs_per_group)
+    nprocs = ctx.nprocs
+    if sendbuf.size % nprocs != 0:
+        raise BufferSizeError(
+            f"reduce-scatter send buffer of {sendbuf.size} items is not divisible by {nprocs} ranks"
+        )
+    block = sendbuf.size // nprocs
+    if recvbuf.size != block:
+        raise BufferSizeError(f"reduce-scatter receive buffer must hold {block} items")
+    operator = REDUCTION_OPS[op]
+    local = local_group_comm(ctx, group)
+    cross = cross_group_comm(ctx, group)
+    ngroups = cross.size
+    is_leader = local.rank == 0
+
+    # Phase 1: reduce the group's full vectors onto the leader.
+    partial = np.empty_like(sendbuf) if is_leader else None
+    yield from local.reduce(sendbuf, partial, op=op, root=0)
+
+    scatter_source = None
+    if is_leader:
+        # Phase 2: reduce-scatter among leaders at group granularity,
+        # implemented as a pairwise exchange of group-sized slices followed
+        # by a local reduction (a "reduce-scatter-block" over ngroups
+        # participants).  Leader g must end up with the reduction of slice g
+        # (the blocks of its own group's members) over every group.
+        my_group_index = cross.rank
+        group_slice_items = group * block
+        partial_view = partial.reshape(ngroups, group_slice_items)
+        accumulator = np.array(partial_view[my_group_index], copy=True)
+        incoming = np.empty(group_slice_items, dtype=sendbuf.dtype)
+        for step in range(1, ngroups):
+            dest = (my_group_index + step) % ngroups
+            source = (my_group_index - step) % ngroups
+            # Send the slice belonging to ``dest``'s group, receive our slice
+            # as reduced by ``source``.
+            yield from cross.sendrecv(
+                np.ascontiguousarray(partial_view[dest]), dest, incoming, source,
+                sendtag=901, recvtag=901,
+            )
+            accumulator = operator(accumulator, incoming)
+        scatter_source = accumulator
+
+    # Phase 3: hand each group member its fully reduced block.
+    yield from local.scatter(scatter_source, recvbuf, root=0)

@@ -1,0 +1,63 @@
+"""Phase timing instrumentation for the all-to-all algorithms.
+
+The paper's Figures 13–16 break the hierarchical and node-aware algorithms
+into their internal phases (gather, scatter, inter-node all-to-all,
+intra-node all-to-all).  :class:`PhaseRecorder` gives algorithms a tiny API
+to attribute simulated time to named phases; the per-rank accumulations are
+collected into :class:`repro.simmpi.engine.JobResult.phase_timings` and
+reduced (max over ranks) by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AlgorithmError
+from repro.simmpi.engine import RankContext
+
+__all__ = ["PhaseRecorder", "PHASE_GATHER", "PHASE_SCATTER", "PHASE_INTER", "PHASE_INTRA", "PHASE_PACK"]
+
+#: Canonical phase names used across algorithms so figures can compare them.
+PHASE_GATHER = "gather"
+PHASE_SCATTER = "scatter"
+PHASE_INTER = "inter-node alltoall"
+PHASE_INTRA = "intra-node alltoall"
+PHASE_PACK = "pack"
+
+
+class PhaseRecorder:
+    """Accumulates simulated time per named phase for one rank.
+
+    Usage inside an algorithm generator::
+
+        phases = PhaseRecorder(ctx)
+        phases.start(PHASE_GATHER)
+        yield from comm.gather(...)
+        phases.stop(PHASE_GATHER)
+
+    Phases may be entered repeatedly; durations accumulate.  Nested phases
+    are rejected because the figures assume disjoint phases.
+    """
+
+    def __init__(self, ctx: RankContext) -> None:
+        self._ctx = ctx
+        self._open: str | None = None
+        self._start_time = 0.0
+
+    def start(self, phase: str) -> None:
+        if self._open is not None:
+            raise AlgorithmError(
+                f"cannot start phase {phase!r}: phase {self._open!r} is still open"
+            )
+        self._open = phase
+        self._start_time = self._ctx.now
+
+    def stop(self, phase: str) -> None:
+        if self._open != phase:
+            raise AlgorithmError(
+                f"cannot stop phase {phase!r}: open phase is {self._open!r}"
+            )
+        self._ctx.add_timing(phase, self._ctx.now - self._start_time)
+        self._open = None
+
+    @property
+    def open_phase(self) -> str | None:
+        return self._open

@@ -1,0 +1,152 @@
+"""High-level runner: execute one all-to-all on a simulated machine.
+
+This is the main user-facing entry point of the library: given an algorithm
+(name or instance), a process map and a per-destination message size, it
+builds deterministic send buffers, runs the SPMD job on the discrete-event
+engine, validates the result against the defining transposition and returns
+the timing plus the per-phase breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.alltoall.base import AlltoallAlgorithm
+from repro.core.alltoall.registry import get_algorithm
+from repro.core.validation import validate_alltoall_results
+from repro.errors import ConfigurationError
+from repro.machine.hierarchy import LocalityLevel
+from repro.machine.process_map import ProcessMap
+from repro.simmpi.engine import JobResult, run_spmd
+from repro.utils.buffers import make_alltoall_sendbuf
+
+__all__ = ["AlltoallOutcome", "run_alltoall", "alltoall_program"]
+
+
+@dataclass
+class AlltoallOutcome:
+    """Result of one simulated all-to-all exchange."""
+
+    #: Human-readable description of the algorithm and its options.
+    algorithm: str
+    #: Per-destination message size in bytes.
+    msg_bytes: int
+    #: Number of nodes used.
+    num_nodes: int
+    #: Processes per node.
+    ppn: int
+    #: Simulated execution time of the collective (max over ranks), seconds.
+    elapsed: float
+    #: Whether the receive buffers matched the reference transposition.
+    correct: bool
+    #: Max-over-ranks duration of each instrumented phase.
+    phase_times: dict[str, float] = field(default_factory=dict)
+    #: Message and byte counts per locality level.
+    traffic_by_level: dict[LocalityLevel, tuple[int, int]] = field(default_factory=dict)
+    #: Full engine result (per-rank data, traces, NIC statistics).
+    job: JobResult | None = None
+
+    @property
+    def nprocs(self) -> int:
+        return self.num_nodes * self.ppn
+
+    @property
+    def inter_node_bytes(self) -> int:
+        """Total bytes that crossed the network."""
+        counts = self.traffic_by_level.get(LocalityLevel.NETWORK, (0, 0))
+        return counts[1]
+
+    @property
+    def inter_node_messages(self) -> int:
+        """Total messages that crossed the network."""
+        counts = self.traffic_by_level.get(LocalityLevel.NETWORK, (0, 0))
+        return counts[0]
+
+    def summary(self) -> str:
+        phases = ", ".join(f"{k}={v:.3e}s" for k, v in sorted(self.phase_times.items()))
+        return (
+            f"{self.algorithm}: {self.msg_bytes} B x {self.nprocs} ranks "
+            f"({self.num_nodes} nodes x {self.ppn} ppn) -> {self.elapsed:.3e} s"
+            + (f" [{phases}]" if phases else "")
+            + ("" if self.correct else "  ** INCORRECT RESULT **")
+        )
+
+
+def alltoall_program(ctx, algorithm: AlltoallAlgorithm, block_items: int, dtype):
+    """Rank program that builds buffers, runs ``algorithm`` and stores the result."""
+    nprocs = ctx.nprocs
+    sendbuf = make_alltoall_sendbuf(ctx.rank, nprocs, block_items, dtype=dtype)
+    recvbuf = np.zeros(nprocs * block_items, dtype=dtype)
+    yield from algorithm.run(ctx, sendbuf, recvbuf)
+    ctx.result = recvbuf
+
+
+def run_alltoall(
+    algorithm: str | AlltoallAlgorithm,
+    pmap: ProcessMap,
+    msg_bytes: int,
+    *,
+    dtype=np.uint8,
+    validate: bool = True,
+    record_trace: bool = False,
+    keep_job: bool = True,
+    **algorithm_options: Any,
+) -> AlltoallOutcome:
+    """Simulate one all-to-all exchange and return its :class:`AlltoallOutcome`.
+
+    Parameters
+    ----------
+    algorithm:
+        Registry name (``"node-aware"``, ``"multileader-node-aware"``, ...)
+        or an :class:`AlltoallAlgorithm` instance.
+    pmap:
+        Process placement (machine, node count, processes per node).
+    msg_bytes:
+        Bytes each rank sends to each other rank (the paper's x-axis).
+    dtype:
+        Element type of the exchanged buffers; ``msg_bytes`` must be a
+        multiple of its item size.
+    validate:
+        Check the receive buffers against the reference transposition.
+    record_trace:
+        Keep a full per-message trace on the returned job (slower, more
+        memory; used by the breakdown figures and some tests).
+    algorithm_options:
+        Forwarded to the algorithm constructor when ``algorithm`` is a name.
+    """
+    if msg_bytes <= 0:
+        raise ConfigurationError(f"msg_bytes must be positive, got {msg_bytes}")
+    itemsize = np.dtype(dtype).itemsize
+    if msg_bytes % itemsize != 0:
+        raise ConfigurationError(
+            f"msg_bytes={msg_bytes} is not a multiple of the {itemsize}-byte dtype {np.dtype(dtype)}"
+        )
+    block_items = msg_bytes // itemsize
+
+    algo = get_algorithm(algorithm, **algorithm_options) if isinstance(algorithm, str) else algorithm
+    if algorithm_options and not isinstance(algorithm, str):
+        raise ConfigurationError("algorithm options can only be given together with an algorithm name")
+    algo.validate(pmap)
+
+    job = run_spmd(pmap, alltoall_program, algo, block_items, np.dtype(dtype), record_trace=record_trace)
+
+    correct = True
+    if validate:
+        correct = validate_alltoall_results(job.results, pmap.nprocs, block_items)
+
+    phase_times = {name: job.phase_time(name) for name in job.phases()}
+    outcome = AlltoallOutcome(
+        algorithm=algo.describe(),
+        msg_bytes=msg_bytes,
+        num_nodes=pmap.num_nodes,
+        ppn=pmap.ppn,
+        elapsed=job.elapsed,
+        correct=correct,
+        phase_times=phase_times,
+        traffic_by_level=dict(job.traffic_by_level),
+        job=job if keep_job else None,
+    )
+    return outcome

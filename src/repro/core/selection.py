@@ -1,0 +1,140 @@
+"""Dynamic algorithm selection (the paper's Section 5 future-work item).
+
+The paper closes by proposing to "explore how the optimal algorithm can be
+dynamically selected for a given computer, system MPI, process count, and
+data size".  This module implements that selection in two flavours:
+
+* :class:`AlgorithmSelector` — model-driven: evaluates the analytic cost
+  model (:mod:`repro.model`) for a set of candidate configurations and picks
+  the cheapest one for each (machine, nodes, ppn, message size) point;
+* :class:`SelectionTable` — measurement-driven: built from a sweep of
+  simulated (or, in principle, measured) timings, it answers look-ups with
+  nearest-size matching, the way an MPI library's tuning file would.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.machine.cluster import Cluster
+from repro.machine.process_map import ProcessMap
+
+__all__ = ["CandidateConfig", "AlgorithmSelector", "SelectionTable"]
+
+
+@dataclass(frozen=True)
+class CandidateConfig:
+    """One algorithm configuration considered by the selector."""
+
+    algorithm: str
+    options: tuple[tuple[str, object], ...] = ()
+
+    @classmethod
+    def make(cls, algorithm: str, **options) -> "CandidateConfig":
+        return cls(algorithm=algorithm, options=tuple(sorted(options.items())))
+
+    def as_kwargs(self) -> dict:
+        return dict(self.options)
+
+    def describe(self) -> str:
+        opts = ", ".join(f"{k}={v}" for k, v in self.options)
+        return f"{self.algorithm}({opts})" if opts else self.algorithm
+
+
+def default_candidates(ppn: int) -> list[CandidateConfig]:
+    """The candidate set used by the paper's evaluation (group sizes 4/8/16 plus limits)."""
+    candidates = [
+        CandidateConfig.make("system-mpi"),
+        CandidateConfig.make("hierarchical"),
+        CandidateConfig.make("node-aware"),
+    ]
+    for group in (4, 8, 16):
+        if ppn % group == 0 and group <= ppn:
+            candidates.append(CandidateConfig.make("multileader", procs_per_leader=group))
+            candidates.append(CandidateConfig.make("locality-aware", procs_per_group=group))
+            candidates.append(CandidateConfig.make("multileader-node-aware", procs_per_leader=group))
+    return candidates
+
+
+class AlgorithmSelector:
+    """Pick the cheapest algorithm configuration using the analytic cost model."""
+
+    def __init__(self, cluster: Cluster, ppn: int, candidates: Sequence[CandidateConfig] | None = None) -> None:
+        self.cluster = cluster
+        self.ppn = ppn
+        self.candidates = list(candidates) if candidates is not None else default_candidates(ppn)
+        if not self.candidates:
+            raise ConfigurationError("the selector needs at least one candidate configuration")
+
+    def predict(self, candidate: CandidateConfig, num_nodes: int, msg_bytes: int) -> float:
+        """Predicted execution time of one candidate (seconds)."""
+        from repro.model.predict import predict_time  # local import to avoid a cycle
+
+        pmap = ProcessMap(self.cluster.with_nodes(max(num_nodes, 1)), ppn=self.ppn, num_nodes=num_nodes)
+        return predict_time(candidate.algorithm, pmap, msg_bytes, **candidate.as_kwargs())
+
+    def select(self, num_nodes: int, msg_bytes: int) -> tuple[CandidateConfig, float]:
+        """Return the cheapest candidate and its predicted time."""
+        best: tuple[CandidateConfig, float] | None = None
+        for candidate in self.candidates:
+            predicted = self.predict(candidate, num_nodes, msg_bytes)
+            if best is None or predicted < best[1]:
+                best = (candidate, predicted)
+        assert best is not None
+        return best
+
+    def selection_map(self, num_nodes: int, msg_sizes: Iterable[int]) -> dict[int, str]:
+        """Best candidate description per message size (a tuning-table view)."""
+        return {size: self.select(num_nodes, size)[0].describe() for size in msg_sizes}
+
+
+@dataclass
+class SelectionTable:
+    """Measurement-driven selection table.
+
+    Entries map ``(num_nodes, msg_bytes)`` to ``(description, seconds)``;
+    look-ups for unmeasured sizes use the nearest measured size at the same
+    node count (logarithmic distance, matching how MPI tuning files bucket
+    message sizes).
+    """
+
+    entries: dict[tuple[int, int], tuple[str, float]] = field(default_factory=dict)
+
+    def record(self, num_nodes: int, msg_bytes: int, description: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ConfigurationError("recorded times must be non-negative")
+        key = (num_nodes, msg_bytes)
+        current = self.entries.get(key)
+        if current is None or seconds < current[1]:
+            self.entries[key] = (description, seconds)
+
+    def sizes_for(self, num_nodes: int) -> list[int]:
+        return sorted(size for nodes, size in self.entries if nodes == num_nodes)
+
+    def best(self, num_nodes: int, msg_bytes: int) -> str:
+        """Best known algorithm description for the given point."""
+        if (num_nodes, msg_bytes) in self.entries:
+            return self.entries[(num_nodes, msg_bytes)][0]
+        sizes = self.sizes_for(num_nodes)
+        if not sizes:
+            raise ConfigurationError(f"no measurements recorded for {num_nodes} nodes")
+        idx = bisect_left(sizes, msg_bytes)
+        neighbours = [s for s in (sizes[max(idx - 1, 0)], sizes[min(idx, len(sizes) - 1)])]
+        nearest = min(neighbours, key=lambda s: abs(_log2(s) - _log2(msg_bytes)))
+        return self.entries[(num_nodes, nearest)][0]
+
+    def as_rows(self) -> list[tuple[int, int, str, float]]:
+        """Table rows (num_nodes, msg_bytes, description, seconds), sorted."""
+        return [
+            (nodes, size, desc, seconds)
+            for (nodes, size), (desc, seconds) in sorted(self.entries.items())
+        ]
+
+
+def _log2(value: int) -> float:
+    from math import log2
+
+    return log2(value) if value > 0 else 0.0

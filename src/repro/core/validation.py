@@ -1,0 +1,86 @@
+"""Reference all-to-all results and result validation.
+
+Every algorithm in :mod:`repro.core.alltoall` must produce exactly the same
+receive buffers as the defining transposition: block ``s`` of rank ``r``'s
+receive buffer equals block ``r`` of rank ``s``'s send buffer.  The helpers
+here compute the expected buffers for the deterministic test pattern of
+:func:`repro.utils.buffers.make_alltoall_sendbuf` and check whole-job
+results, so the runner can validate every simulated exchange it performs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import BufferSizeError
+from repro.utils.buffers import make_alltoall_sendbuf
+
+__all__ = ["expected_alltoall_result", "validate_alltoall_results", "alltoall_reference"]
+
+
+def expected_alltoall_result(rank: int, nprocs: int, block_items: int, dtype=np.int64) -> np.ndarray:
+    """Expected receive buffer of ``rank`` when every rank sent the test pattern.
+
+    Equivalent to (but much faster than) building every rank's send buffer
+    with :func:`make_alltoall_sendbuf` and extracting block ``rank`` of each.
+    """
+    if block_items < 0:
+        raise BufferSizeError("block_items must be non-negative")
+    out = np.empty(nprocs * block_items, dtype=dtype)
+    view = out.reshape(nprocs, block_items) if block_items else out.reshape(nprocs, 0)
+    ramp = np.arange(block_items, dtype=np.int64)
+    for src in range(nprocs):
+        base = src * nprocs + rank
+        if block_items:
+            # Same int64-then-wrap convention as make_alltoall_sendbuf.
+            view[src, :] = (base * 1000 + ramp).astype(dtype)
+    return out
+
+
+def alltoall_reference(sendbufs: Sequence[np.ndarray]) -> list[np.ndarray]:
+    """Reference all-to-all on in-memory buffers (the defining transposition).
+
+    ``sendbufs[r]`` is rank ``r``'s send buffer with ``len(sendbufs)`` equal
+    blocks.  Returns the list of receive buffers.  Used by property-based
+    tests to compare simulated algorithms against an independent oracle.
+    """
+    nprocs = len(sendbufs)
+    if nprocs == 0:
+        raise BufferSizeError("need at least one rank")
+    size = sendbufs[0].size
+    if size % nprocs != 0:
+        raise BufferSizeError(f"buffer of {size} items does not divide into {nprocs} blocks")
+    block = size // nprocs
+    stacked = np.stack([np.asarray(b).reshape(nprocs, block) for b in sendbufs])
+    # stacked[s, d] is the block source s sends to destination d; the result
+    # for destination d is stacked[:, d] flattened in source order.
+    return [np.ascontiguousarray(stacked[:, d]).reshape(-1) for d in range(nprocs)]
+
+
+def validate_alltoall_results(
+    results: Sequence[np.ndarray],
+    nprocs: int,
+    block_items: int,
+) -> bool:
+    """Check a whole job's receive buffers against the expected test pattern.
+
+    Returns ``True`` when every rank's buffer matches; raises
+    :class:`BufferSizeError` when a buffer has the wrong size (which would
+    otherwise masquerade as a value mismatch).
+    """
+    if len(results) != nprocs:
+        raise BufferSizeError(f"expected {nprocs} result buffers, got {len(results)}")
+    for rank, buf in enumerate(results):
+        if buf is None:
+            return False
+        arr = np.asarray(buf)
+        if arr.size != nprocs * block_items:
+            raise BufferSizeError(
+                f"rank {rank} produced {arr.size} items, expected {nprocs * block_items}"
+            )
+        expected = expected_alltoall_result(rank, nprocs, block_items, dtype=arr.dtype)
+        if not np.array_equal(arr.reshape(-1), expected):
+            return False
+    return True

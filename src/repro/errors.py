@@ -1,0 +1,69 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration problems from simulation
+protocol violations.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "CommunicatorError",
+    "MatchingError",
+    "SimulationError",
+    "AlgorithmError",
+    "BufferSizeError",
+    "DeadlockError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or inconsistent configuration was supplied."""
+
+
+class TopologyError(ConfigurationError):
+    """A machine topology was specified inconsistently.
+
+    Raised for example when the number of cores per node is not divisible
+    by the number of NUMA domains, or when a rank is mapped outside the
+    cluster.
+    """
+
+
+class CommunicatorError(ReproError):
+    """Misuse of a simulated communicator (bad rank, empty group, ...)."""
+
+
+class MatchingError(ReproError):
+    """The message-matching engine detected a protocol violation."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """All simulated processes are blocked and no events remain.
+
+    This is the simulator's equivalent of an MPI job hanging: every rank is
+    waiting on a message that will never arrive.  The error message lists
+    the blocked ranks and what they are waiting for to ease debugging of
+    new algorithms.
+    """
+
+
+class AlgorithmError(ReproError):
+    """An all-to-all algorithm was invoked with unsupported parameters."""
+
+
+class BufferSizeError(AlgorithmError):
+    """A send or receive buffer does not have the size required by the
+    collective operation being performed."""

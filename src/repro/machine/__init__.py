@@ -1,0 +1,46 @@
+"""Machine and topology models for emerging many-core clusters.
+
+This package provides the hardware substrate the paper's evaluation runs on:
+hierarchical node architectures (cores grouped into NUMA domains, sockets and
+nodes), cluster-level network parameters (latency/bandwidth per locality
+level, NIC injection limits, matching costs) and the mapping of MPI-style
+ranks onto that hardware.  The presets in :mod:`repro.machine.systems`
+reproduce Table 1 of the paper (Dane, Amber, Tuolomne).
+"""
+
+from repro.machine.hierarchy import LocalityLevel, coarsest_level, finest_level
+from repro.machine.topology import NodeArchitecture
+from repro.machine.params import LevelCosts, MachineParameters
+from repro.machine.cluster import Cluster
+from repro.machine.process_map import ProcessMap
+from repro.machine.systems import (
+    SYSTEM_PRESETS,
+    amber,
+    dane,
+    get_system,
+    list_systems,
+    mi300a_node,
+    sapphire_rapids_node,
+    tiny_cluster,
+    tuolomne,
+)
+
+__all__ = [
+    "LocalityLevel",
+    "coarsest_level",
+    "finest_level",
+    "NodeArchitecture",
+    "LevelCosts",
+    "MachineParameters",
+    "Cluster",
+    "ProcessMap",
+    "SYSTEM_PRESETS",
+    "amber",
+    "dane",
+    "get_system",
+    "list_systems",
+    "mi300a_node",
+    "sapphire_rapids_node",
+    "tiny_cluster",
+    "tuolomne",
+]

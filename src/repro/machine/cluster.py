@@ -1,0 +1,63 @@
+"""Cluster model: many identical nodes connected by an interconnect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import TopologyError
+from repro.machine.params import MachineParameters
+from repro.machine.topology import NodeArchitecture
+
+__all__ = ["Cluster"]
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A homogeneous cluster of :class:`NodeArchitecture` nodes.
+
+    The cluster is the unit every experiment is configured against: it fixes
+    the node architecture, the number of nodes and the communication cost
+    parameters.  A cluster does not know how many MPI ranks run on it —
+    that mapping is handled by :class:`repro.machine.ProcessMap`, so that the
+    same cluster can be reused for different processes-per-node settings.
+    """
+
+    name: str
+    node: NodeArchitecture
+    num_nodes: int
+    params: MachineParameters = field(default_factory=MachineParameters)
+    #: Free-form description of the interconnect (reported in Table 1).
+    network_name: str = "generic fat-tree"
+    #: Free-form description of the system MPI this cluster emulates.
+    system_mpi_name: str = "reference MPI"
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise TopologyError(f"num_nodes must be positive, got {self.num_nodes}")
+
+    @property
+    def cores_per_node(self) -> int:
+        return self.node.cores_per_node
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_nodes * self.node.cores_per_node
+
+    def with_nodes(self, num_nodes: int) -> "Cluster":
+        """Return a copy of the cluster with a different node count.
+
+        Used by the node-scaling experiments (Figures 11, 12 and 15), which
+        sweep 2 to 32 nodes of an otherwise identical machine.
+        """
+        return replace(self, num_nodes=num_nodes)
+
+    def with_params(self, params: MachineParameters) -> "Cluster":
+        """Return a copy with different cost parameters (ablation studies)."""
+        return replace(self, params=params)
+
+    def describe(self) -> str:
+        """Table 1 style one-line description."""
+        return (
+            f"{self.name}: {self.num_nodes} nodes x {self.node.describe()} | "
+            f"network={self.network_name} | system MPI={self.system_mpi_name}"
+        )

@@ -1,0 +1,238 @@
+"""Presets for the systems evaluated in the paper (Table 1) plus test fixtures.
+
+==========  =======================  =======================  ==================
+Name        CPU                      Network                  System MPI
+==========  =======================  =======================  ==================
+Dane        Intel Sapphire Rapids    Cornelis Omni-Path       Open MPI 4.1.2
+Amber       Intel Sapphire Rapids    Cornelis Omni-Path       Open MPI 4.1.6
+Tuolomne    AMD Instinct MI300A      HPE Slingshot-11         Cray MPICH 8.1.32
+==========  =======================  =======================  ==================
+
+Dane and Amber have 112 cores per node (2 sockets x 4 NUMA x 14 cores);
+Tuolomne has 96 cores per node (4 MI300A chips of 24 cores, modelled as four
+"sockets" with a single NUMA domain each).
+
+The cost parameters are *not* measurements of the real machines (which are
+not available to this reproduction); they are calibrated so that the relative
+behaviour of the all-to-all algorithms matches the paper's evaluation: an
+injection-bandwidth- and message-rate-limited NIC shared by >90 ranks per
+node, intra-node transfers one order of magnitude cheaper than inter-node
+ones, and noticeably different costs for NUMA-local versus cross-socket
+traffic.  Amber differs from Dane only by slightly slower parameters (older
+libfabric), while Tuolomne has a faster interconnect (Slingshot-11) and a
+better-tuned system MPI, which the paper observes makes the system MPI hard
+to beat at large message sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.machine.cluster import Cluster
+from repro.machine.hierarchy import LocalityLevel
+from repro.machine.params import LevelCosts, MachineParameters
+from repro.machine.topology import NodeArchitecture
+
+__all__ = [
+    "sapphire_rapids_node",
+    "mi300a_node",
+    "dane",
+    "amber",
+    "tuolomne",
+    "tiny_cluster",
+    "SYSTEM_PRESETS",
+    "get_system",
+    "list_systems",
+]
+
+
+# ---------------------------------------------------------------------------
+# Node architectures
+# ---------------------------------------------------------------------------
+
+def sapphire_rapids_node() -> NodeArchitecture:
+    """112-core Sapphire Rapids node: 2 sockets, 4 NUMA domains each, 14 cores per NUMA."""
+    return NodeArchitecture(name="sapphire-rapids", sockets=2, numa_per_socket=4, cores_per_numa=14)
+
+
+def mi300a_node() -> NodeArchitecture:
+    """96-core MI300A node: 4 chips modelled as sockets with 24 cores each."""
+    return NodeArchitecture(name="mi300a", sockets=4, numa_per_socket=1, cores_per_numa=24)
+
+
+# ---------------------------------------------------------------------------
+# Cost parameter sets
+# ---------------------------------------------------------------------------
+
+def _omnipath_params(*, latency_scale: float = 1.0) -> MachineParameters:
+    """Omni-Path-like parameters used for Dane and Amber.
+
+    100 Gb/s (12.5 GB/s) per-node injection, ~1.6 us inter-node latency and a
+    NIC message-processing cost of ~0.1 us (onload network stack), combined
+    with Sapphire-Rapids-like intra-node characteristics.
+    """
+    levels = {
+        LocalityLevel.SELF: LevelCosts(latency=5.0e-8, bandwidth=5.0e10),
+        LocalityLevel.NUMA: LevelCosts(latency=2.5e-7 * latency_scale, bandwidth=1.2e10),
+        LocalityLevel.SOCKET: LevelCosts(latency=4.5e-7 * latency_scale, bandwidth=7.0e9),
+        LocalityLevel.NODE: LevelCosts(latency=7.0e-7 * latency_scale, bandwidth=4.5e9),
+        LocalityLevel.NETWORK: LevelCosts(latency=1.6e-6 * latency_scale, bandwidth=1.25e10),
+    }
+    return MachineParameters(
+        levels=levels,
+        injection_bandwidth=1.25e10,
+        nic_message_overhead=5.0e-8 * latency_scale,
+        send_overhead=1.5e-7,
+        recv_overhead=1.5e-7,
+        match_overhead_per_entry=3.0e-8,
+        eager_limit=8192,
+        rendezvous_overhead=1.6e-6,
+        copy_bandwidth=2.0e10,
+        copy_latency=2.0e-7,
+        cross_numa_bandwidth=5.0e10,
+    )
+
+
+def _slingshot_params() -> MachineParameters:
+    """Slingshot-11-like parameters used for Tuolomne.
+
+    200 Gb/s (25 GB/s) injection, lower per-message NIC cost (hardware
+    offload), slightly lower network latency, and a somewhat slower
+    intra-node fabric (MI300A cross-chip traffic goes over Infinity Fabric).
+    """
+    levels = {
+        LocalityLevel.SELF: LevelCosts(latency=5.0e-8, bandwidth=5.0e10),
+        LocalityLevel.NUMA: LevelCosts(latency=3.0e-7, bandwidth=1.0e10),
+        LocalityLevel.SOCKET: LevelCosts(latency=5.5e-7, bandwidth=6.0e9),
+        LocalityLevel.NODE: LevelCosts(latency=5.5e-7, bandwidth=6.0e9),
+        LocalityLevel.NETWORK: LevelCosts(latency=1.3e-6, bandwidth=2.5e10),
+    }
+    return MachineParameters(
+        levels=levels,
+        injection_bandwidth=2.5e10,
+        nic_message_overhead=2.0e-8,
+        send_overhead=1.2e-7,
+        recv_overhead=1.2e-7,
+        match_overhead_per_entry=5.0e-9,
+        eager_limit=16384,
+        rendezvous_overhead=1.3e-6,
+        copy_bandwidth=2.5e10,
+        copy_latency=2.0e-7,
+        cross_numa_bandwidth=3.5e10,
+    )
+
+
+def _testing_params() -> MachineParameters:
+    """Fast, well-separated parameters for unit tests (not calibrated)."""
+    levels = {
+        LocalityLevel.SELF: LevelCosts(latency=1.0e-8, bandwidth=1.0e11),
+        LocalityLevel.NUMA: LevelCosts(latency=1.0e-7, bandwidth=2.0e10),
+        LocalityLevel.SOCKET: LevelCosts(latency=2.0e-7, bandwidth=1.0e10),
+        LocalityLevel.NODE: LevelCosts(latency=4.0e-7, bandwidth=5.0e9),
+        LocalityLevel.NETWORK: LevelCosts(latency=2.0e-6, bandwidth=1.0e10),
+    }
+    return MachineParameters(
+        levels=levels,
+        injection_bandwidth=1.0e10,
+        nic_message_overhead=2.0e-7,
+        send_overhead=1.0e-7,
+        recv_overhead=1.0e-7,
+        match_overhead_per_entry=2.0e-8,
+        eager_limit=4096,
+        rendezvous_overhead=2.0e-6,
+        copy_bandwidth=1.0e10,
+        copy_latency=1.0e-7,
+        cross_numa_bandwidth=2.0e10,
+    )
+
+
+# ---------------------------------------------------------------------------
+# System presets (Table 1)
+# ---------------------------------------------------------------------------
+
+def dane(num_nodes: int = 32) -> Cluster:
+    """LLNL Dane: Sapphire Rapids + Omni-Path + Open MPI 4.1.2 / libfabric 2.2.0."""
+    return Cluster(
+        name="dane",
+        node=sapphire_rapids_node(),
+        num_nodes=num_nodes,
+        params=_omnipath_params(latency_scale=1.0),
+        network_name="Cornelis Networks Omni-Path",
+        system_mpi_name="OpenMPI 4.1.2 (libfabric 2.2.0)",
+    )
+
+
+def amber(num_nodes: int = 32) -> Cluster:
+    """SNL Amber: Sapphire Rapids + Omni-Path + Open MPI 4.1.6 / libfabric 2.1.0.
+
+    Amber is architecturally identical to Dane; the older libfabric shows up
+    as slightly higher small-message latencies in the paper's plots, which
+    the preset models with a 15% latency scale.
+    """
+    return Cluster(
+        name="amber",
+        node=sapphire_rapids_node(),
+        num_nodes=num_nodes,
+        params=_omnipath_params(latency_scale=1.15),
+        network_name="Cornelis Networks Omni-Path",
+        system_mpi_name="OpenMPI 4.1.6 (libfabric 2.1.0)",
+    )
+
+
+def tuolomne(num_nodes: int = 32) -> Cluster:
+    """LLNL Tuolomne: MI300A + Slingshot-11 + Cray MPICH 8.1.32."""
+    return Cluster(
+        name="tuolomne",
+        node=mi300a_node(),
+        num_nodes=num_nodes,
+        params=_slingshot_params(),
+        network_name="HPE Slingshot-11",
+        system_mpi_name="Cray MPICH 8.1.32 (libfabric 2.1)",
+    )
+
+
+def tiny_cluster(num_nodes: int = 4, *, sockets: int = 2, numa_per_socket: int = 2,
+                 cores_per_numa: int = 2) -> Cluster:
+    """A small cluster for unit tests and examples (default 4 nodes x 8 cores)."""
+    node = NodeArchitecture(
+        name="tiny",
+        sockets=sockets,
+        numa_per_socket=numa_per_socket,
+        cores_per_numa=cores_per_numa,
+    )
+    return Cluster(
+        name="tiny",
+        node=node,
+        num_nodes=num_nodes,
+        params=_testing_params(),
+        network_name="simulated test fabric",
+        system_mpi_name="reference MPI",
+    )
+
+
+#: Factory registry keyed by lower-case system name.
+SYSTEM_PRESETS: dict[str, Callable[..., Cluster]] = {
+    "dane": dane,
+    "amber": amber,
+    "tuolomne": tuolomne,
+    "tiny": tiny_cluster,
+}
+
+
+def list_systems() -> list[str]:
+    """Names of the available system presets."""
+    return sorted(SYSTEM_PRESETS)
+
+
+def get_system(name: str, num_nodes: int | None = None) -> Cluster:
+    """Instantiate a system preset by name (case-insensitive)."""
+    key = name.lower()
+    if key not in SYSTEM_PRESETS:
+        raise ConfigurationError(
+            f"unknown system {name!r}; available systems: {', '.join(list_systems())}"
+        )
+    factory = SYSTEM_PRESETS[key]
+    if num_nodes is None:
+        return factory()
+    return factory(num_nodes)

@@ -1,0 +1,40 @@
+"""Closed-form cost models of the all-to-all algorithm family.
+
+The discrete-event simulator (:mod:`repro.simmpi`) charges every message
+individually, which is exact but too slow in pure Python for the paper's
+full scale (3 584 ranks exchange ~12.8 million messages per flat all-to-all).
+This package provides hierarchical postal/LogGP-style closed forms derived
+from the *same* :class:`~repro.machine.params.MachineParameters`, so that
+the full-scale figures can be regenerated instantly.  The models are
+cross-validated against the event simulator at common scales in
+``tests/model/test_consistency.py``.
+"""
+
+from repro.model.costs import (
+    CostBreakdown,
+    bruck_flat_cost,
+    hierarchical_cost,
+    multileader_node_aware_cost,
+    node_aware_cost,
+    nonblocking_flat_cost,
+    pairwise_flat_cost,
+    system_mpi_cost,
+)
+from repro.model.loggp import ExchangeEstimate, exchange_estimate, nic_phase_bound
+from repro.model.predict import predict_breakdown, predict_time
+
+__all__ = [
+    "CostBreakdown",
+    "bruck_flat_cost",
+    "hierarchical_cost",
+    "multileader_node_aware_cost",
+    "node_aware_cost",
+    "nonblocking_flat_cost",
+    "pairwise_flat_cost",
+    "system_mpi_cost",
+    "ExchangeEstimate",
+    "exchange_estimate",
+    "nic_phase_bound",
+    "predict_breakdown",
+    "predict_time",
+]

@@ -1,0 +1,73 @@
+"""Cross-validation of the analytic model against the event simulator.
+
+The analytic model exists to extrapolate the figures to the paper's full
+scale; its value depends on agreeing with the detailed simulation where both
+can run.  :func:`compare_model_to_simulation` runs both for a set of
+configurations and reports the per-point ratio, and
+:func:`ordering_agreement` checks the property the reproduction actually
+relies on — that the two engines rank the algorithms the same way at a given
+message size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.runner import run_alltoall
+from repro.machine.process_map import ProcessMap
+from repro.model.predict import predict_time
+
+__all__ = ["CalibrationPoint", "compare_model_to_simulation", "ordering_agreement"]
+
+
+@dataclass(frozen=True)
+class CalibrationPoint:
+    """One (algorithm, message size) comparison between model and simulation."""
+
+    algorithm: str
+    msg_bytes: int
+    simulated: float
+    modelled: float
+
+    @property
+    def ratio(self) -> float:
+        """Modelled / simulated time (1.0 means perfect agreement)."""
+        if self.simulated <= 0.0:
+            return float("inf")
+        return self.modelled / self.simulated
+
+
+def compare_model_to_simulation(
+    pmap: ProcessMap,
+    configs: Sequence[tuple[str, dict]],
+    msg_sizes: Sequence[int],
+) -> list[CalibrationPoint]:
+    """Run every (algorithm, options) config at every size through both engines."""
+    points: list[CalibrationPoint] = []
+    for name, options in configs:
+        for msg_bytes in msg_sizes:
+            simulated = run_alltoall(
+                name, pmap, msg_bytes, validate=False, keep_job=False, **options
+            ).elapsed
+            modelled = predict_time(name, pmap, msg_bytes, **options)
+            points.append(
+                CalibrationPoint(
+                    algorithm=name, msg_bytes=msg_bytes, simulated=simulated, modelled=modelled
+                )
+            )
+    return points
+
+
+def ordering_agreement(points: Sequence[CalibrationPoint]) -> float:
+    """Fraction of message sizes at which model and simulation agree on the fastest algorithm."""
+    sizes = sorted({p.msg_bytes for p in points})
+    if not sizes:
+        return 1.0
+    agreements = 0
+    for size in sizes:
+        at_size = [p for p in points if p.msg_bytes == size]
+        best_sim = min(at_size, key=lambda p: p.simulated).algorithm
+        best_model = min(at_size, key=lambda p: p.modelled).algorithm
+        agreements += int(best_sim == best_model)
+    return agreements / len(sizes)

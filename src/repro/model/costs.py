@@ -1,0 +1,294 @@
+"""Closed-form cost models, one function per all-to-all algorithm.
+
+Every function mirrors the phase structure of the corresponding simulated
+algorithm in :mod:`repro.core.alltoall` and reuses the elementary estimates
+from :mod:`repro.model.loggp`, so the analytic predictions and the event
+simulation are derived from the same machine parameters and the same
+communication schedules — only the level of detail differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.instrumentation import (
+    PHASE_GATHER,
+    PHASE_INTER,
+    PHASE_INTRA,
+    PHASE_PACK,
+    PHASE_SCATTER,
+)
+from repro.errors import ConfigurationError
+from repro.machine.process_map import ProcessMap
+from repro.model.loggp import (
+    cross_numa_bytes,
+    exchange_estimate,
+    fabric_phase_bound,
+    linear_rooted_cost,
+    nic_phase_bound,
+)
+from repro.utils.partition import validate_group_size
+
+__all__ = [
+    "CostBreakdown",
+    "pairwise_flat_cost",
+    "nonblocking_flat_cost",
+    "bruck_flat_cost",
+    "system_mpi_cost",
+    "hierarchical_cost",
+    "node_aware_cost",
+    "multileader_node_aware_cost",
+]
+
+
+@dataclass
+class CostBreakdown:
+    """Predicted execution time of one algorithm, split into phases."""
+
+    algorithm: str
+    msg_bytes: int
+    num_nodes: int
+    ppn: int
+    phases: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.phases.values())
+
+    def phase(self, name: str) -> float:
+        return self.phases.get(name, 0.0)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.phases[name] = self.phases.get(name, 0.0) + max(0.0, seconds)
+
+
+def _check(pmap: ProcessMap, msg_bytes: int) -> None:
+    if msg_bytes <= 0:
+        raise ConfigurationError(f"msg_bytes must be positive, got {msg_bytes}")
+    if pmap.nprocs < 2:
+        raise ConfigurationError("cost models require at least two ranks")
+
+
+# ---------------------------------------------------------------------------
+# Flat exchanges
+# ---------------------------------------------------------------------------
+
+def _flat_cost(pmap: ProcessMap, msg_bytes: int, kind: str, name: str) -> CostBreakdown:
+    _check(pmap, msg_bytes)
+    me = 0
+    peers = [r for r in range(pmap.nprocs) if r != me]
+    estimate = exchange_estimate(pmap, me, peers, msg_bytes, kind)
+    nic = nic_phase_bound(
+        pmap.params,
+        messages_per_node=estimate.inter_messages * pmap.ppn,
+        bytes_per_node=estimate.inter_bytes * pmap.ppn,
+    )
+    fabric = fabric_phase_bound(
+        pmap.params,
+        cross_numa_bytes_per_node=cross_numa_bytes(pmap, me, peers, msg_bytes) * pmap.ppn,
+    )
+    breakdown = CostBreakdown(name, msg_bytes, pmap.num_nodes, pmap.ppn)
+    breakdown.add(PHASE_INTER, max(estimate.rank_time, nic, fabric))
+    return breakdown
+
+
+def pairwise_flat_cost(pmap: ProcessMap, msg_bytes: int) -> CostBreakdown:
+    """Flat pairwise exchange (Algorithm 1)."""
+    return _flat_cost(pmap, msg_bytes, "pairwise", "pairwise")
+
+
+def nonblocking_flat_cost(pmap: ProcessMap, msg_bytes: int) -> CostBreakdown:
+    """Flat non-blocking exchange (Algorithm 2)."""
+    return _flat_cost(pmap, msg_bytes, "nonblocking", "nonblocking")
+
+
+def bruck_flat_cost(pmap: ProcessMap, msg_bytes: int) -> CostBreakdown:
+    """Flat Bruck exchange (log-step, small messages)."""
+    return _flat_cost(pmap, msg_bytes, "bruck", "bruck")
+
+
+def system_mpi_cost(
+    pmap: ProcessMap,
+    msg_bytes: int,
+    *,
+    small_threshold: int = 256,
+    medium_threshold: int = 32768,
+) -> CostBreakdown:
+    """Size-switched baseline mirroring :class:`~repro.core.alltoall.system_mpi.SystemMPIAlltoall`."""
+    if msg_bytes <= small_threshold:
+        inner = bruck_flat_cost(pmap, msg_bytes)
+    elif msg_bytes <= medium_threshold:
+        inner = nonblocking_flat_cost(pmap, msg_bytes)
+    else:
+        inner = pairwise_flat_cost(pmap, msg_bytes)
+    inner.algorithm = "system-mpi"
+    return inner
+
+
+# ---------------------------------------------------------------------------
+# Hierarchical / multi-leader (Algorithm 3)
+# ---------------------------------------------------------------------------
+
+def hierarchical_cost(
+    pmap: ProcessMap,
+    msg_bytes: int,
+    *,
+    procs_per_leader: int | None = None,
+    inner: str = "pairwise",
+) -> CostBreakdown:
+    """Hierarchical (one leader per node) or multi-leader all-to-all."""
+    _check(pmap, msg_bytes)
+    params = pmap.params
+    nprocs = pmap.nprocs
+    ppl = pmap.ppn if procs_per_leader is None else procs_per_leader
+    validate_group_size(pmap.ppn, ppl)
+    ngroups = nprocs // ppl
+    leaders_per_node = pmap.ppn // ppl
+    breakdown = CostBreakdown("hierarchical", msg_bytes, pmap.num_nodes, pmap.ppn)
+
+    leader = 0
+    members = list(range(ppl))
+    full_buffer = nprocs * msg_bytes
+
+    # All leaders of a node perform their gathers concurrently, so the
+    # cross-NUMA portion of the gathered bytes contends on the node fabric.
+    rooted_fabric = fabric_phase_bound(
+        params,
+        cross_numa_bytes_per_node=cross_numa_bytes(pmap, leader, members, full_buffer)
+        * leaders_per_node,
+    )
+    breakdown.add(PHASE_GATHER, max(linear_rooted_cost(pmap, leader, members, full_buffer), rooted_fabric))
+    breakdown.add(PHASE_PACK, 2.0 * params.copy_time(ppl * full_buffer))
+
+    peer_leaders = [g * ppl for g in range(ngroups) if g != 0]
+    leader_msg = ppl * ppl * msg_bytes
+    estimate = exchange_estimate(pmap, leader, peer_leaders, leader_msg, inner)
+    nic = nic_phase_bound(
+        params,
+        messages_per_node=estimate.inter_messages * leaders_per_node,
+        bytes_per_node=estimate.inter_bytes * leaders_per_node,
+    )
+    leader_fabric = fabric_phase_bound(
+        params,
+        cross_numa_bytes_per_node=cross_numa_bytes(pmap, leader, peer_leaders, leader_msg)
+        * leaders_per_node,
+    )
+    breakdown.add(PHASE_INTER, max(estimate.rank_time, nic, leader_fabric))
+
+    breakdown.add(PHASE_SCATTER, max(linear_rooted_cost(pmap, leader, members, full_buffer), rooted_fabric))
+    return breakdown
+
+
+# ---------------------------------------------------------------------------
+# Node-aware / locality-aware (Algorithm 4)
+# ---------------------------------------------------------------------------
+
+def node_aware_cost(
+    pmap: ProcessMap,
+    msg_bytes: int,
+    *,
+    procs_per_group: int | None = None,
+    inner: str = "pairwise",
+) -> CostBreakdown:
+    """Node-aware aggregation, or locality-aware aggregation for smaller groups."""
+    _check(pmap, msg_bytes)
+    params = pmap.params
+    nprocs = pmap.nprocs
+    group = pmap.ppn if procs_per_group is None else procs_per_group
+    validate_group_size(pmap.ppn, group)
+    ngroups = nprocs // group
+    breakdown = CostBreakdown("node-aware", msg_bytes, pmap.num_nodes, pmap.ppn)
+
+    me = 0
+    # Inter-region phase: one peer per other aggregation group, messages of
+    # group * msg_bytes.
+    peers = [g * group for g in range(ngroups) if g != 0]
+    inter_msg = group * msg_bytes
+    estimate = exchange_estimate(pmap, me, peers, inter_msg, inner)
+    nic = nic_phase_bound(
+        params,
+        messages_per_node=estimate.inter_messages * pmap.ppn,
+        bytes_per_node=estimate.inter_bytes * pmap.ppn,
+    )
+    inter_fabric = fabric_phase_bound(
+        params,
+        cross_numa_bytes_per_node=cross_numa_bytes(pmap, me, peers, inter_msg) * pmap.ppn,
+    )
+    breakdown.add(PHASE_INTER, max(estimate.rank_time, nic, inter_fabric))
+
+    breakdown.add(PHASE_PACK, 2.0 * params.copy_time(nprocs * msg_bytes))
+
+    # Intra-region phase: exchange with the other members of my group,
+    # messages of (nprocs / group) * msg_bytes.  Every rank of the node does
+    # this concurrently, so cross-NUMA traffic contends on the node fabric —
+    # the effect locality-aware aggregation is designed to avoid.
+    group_members = [r for r in range(1, group)]
+    intra_msg = ngroups * msg_bytes
+    intra = exchange_estimate(pmap, me, group_members, intra_msg, inner)
+    intra_fabric = fabric_phase_bound(
+        params,
+        cross_numa_bytes_per_node=cross_numa_bytes(pmap, me, group_members, intra_msg) * pmap.ppn,
+    )
+    breakdown.add(PHASE_INTRA, max(intra.rank_time, intra_fabric))
+    return breakdown
+
+
+# ---------------------------------------------------------------------------
+# Multi-leader + node-aware (Algorithm 5)
+# ---------------------------------------------------------------------------
+
+def multileader_node_aware_cost(
+    pmap: ProcessMap,
+    msg_bytes: int,
+    *,
+    procs_per_leader: int = 4,
+    inner: str = "pairwise",
+) -> CostBreakdown:
+    """The paper's combined multi-leader + node-aware algorithm."""
+    _check(pmap, msg_bytes)
+    params = pmap.params
+    nprocs = pmap.nprocs
+    ppn = pmap.ppn
+    num_nodes = pmap.num_nodes
+    validate_group_size(ppn, procs_per_leader)
+    ppl = procs_per_leader
+    leaders_per_node = ppn // ppl
+    breakdown = CostBreakdown("multileader-node-aware", msg_bytes, num_nodes, ppn)
+
+    leader = 0
+    members = list(range(ppl))
+    full_buffer = nprocs * msg_bytes
+
+    rooted_fabric = fabric_phase_bound(
+        params,
+        cross_numa_bytes_per_node=cross_numa_bytes(pmap, leader, members, full_buffer)
+        * leaders_per_node,
+    )
+    breakdown.add(PHASE_GATHER, max(linear_rooted_cost(pmap, leader, members, full_buffer), rooted_fabric))
+    breakdown.add(PHASE_PACK, 3.0 * params.copy_time(ppl * full_buffer))
+
+    # Inter-node phase: one message per remote node of ppl * ppn * msg_bytes.
+    remote_leaders = [n * ppn for n in range(num_nodes) if n != 0]
+    inter_msg = ppl * ppn * msg_bytes
+    inter = exchange_estimate(pmap, leader, remote_leaders, inter_msg, inner)
+    nic = nic_phase_bound(
+        params,
+        messages_per_node=inter.inter_messages * leaders_per_node,
+        bytes_per_node=inter.inter_bytes * leaders_per_node,
+    )
+    breakdown.add(PHASE_INTER, max(inter.rank_time, nic))
+
+    # Intra-node phase among the node's leaders: messages of
+    # num_nodes * ppl^2 * msg_bytes, all leaders of the node concurrently.
+    node_leaders = [k * ppl for k in range(1, leaders_per_node)]
+    intra_msg = num_nodes * ppl * ppl * msg_bytes
+    intra = exchange_estimate(pmap, leader, node_leaders, intra_msg, inner)
+    intra_fabric = fabric_phase_bound(
+        params,
+        cross_numa_bytes_per_node=cross_numa_bytes(pmap, leader, node_leaders, intra_msg)
+        * leaders_per_node,
+    )
+    breakdown.add(PHASE_INTRA, max(intra.rank_time, intra_fabric))
+
+    breakdown.add(PHASE_SCATTER, max(linear_rooted_cost(pmap, leader, members, full_buffer), rooted_fabric))
+    return breakdown

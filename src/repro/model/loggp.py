@@ -1,0 +1,179 @@
+"""Hierarchical postal / LogGP building blocks for the analytic cost model.
+
+The two primitives every algorithm's cost decomposes into are:
+
+* :func:`exchange_estimate` — the time one *representative rank* spends in a
+  flat exchange (pairwise, non-blocking or Bruck) with a given peer set,
+  accounting for per-level latency/bandwidth, CPU overheads, matching-queue
+  search and the rendezvous handshake of large messages;
+* :func:`nic_phase_bound` — the lower bound imposed by the node's NIC on any
+  phase, computed from the aggregate inter-node messages and bytes the
+  node's ranks inject during that phase.
+
+A phase's duration is modelled as the maximum of the two, mirroring how the
+event simulator behaves (ranks proceed concurrently but serialize on the
+NIC), and an algorithm's duration as the sum of its phases.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.machine.hierarchy import LocalityLevel
+from repro.machine.params import MachineParameters
+from repro.machine.process_map import ProcessMap
+
+__all__ = [
+    "ExchangeEstimate",
+    "exchange_estimate",
+    "nic_phase_bound",
+    "fabric_phase_bound",
+    "cross_numa_bytes",
+    "linear_rooted_cost",
+]
+
+
+@dataclass(frozen=True)
+class ExchangeEstimate:
+    """Per-rank cost estimate of one flat exchange."""
+
+    #: Serial time of the representative rank (wire + CPU + matching), seconds.
+    rank_time: float
+    #: Inter-node messages the representative rank sends.
+    inter_messages: int
+    #: Inter-node bytes the representative rank sends.
+    inter_bytes: int
+
+
+def _per_message_time(params: MachineParameters, level: LocalityLevel, nbytes: int) -> float:
+    """Wire time of one message at ``level`` including the rendezvous handshake if needed."""
+    base = params.wire_time(level, nbytes)
+    if not params.is_eager(nbytes):
+        base += params.rendezvous_overhead
+    return base
+
+
+def exchange_estimate(
+    pmap: ProcessMap,
+    me: int,
+    peers: Sequence[int],
+    msg_bytes: int,
+    kind: str,
+) -> ExchangeEstimate:
+    """Estimate the time rank ``me`` spends exchanging ``msg_bytes`` with every peer.
+
+    ``kind`` selects the exchange structure:
+
+    * ``"pairwise"`` — the peer exchanges happen one after another
+      (Algorithm 1): latencies and transfer times add up, but the matching
+      queue stays short.
+    * ``"nonblocking"`` / ``"batched"`` — everything is posted at once
+      (Algorithm 2): transfers still serialize on the rank's own port but
+      only one latency is exposed, and matching costs grow quadratically
+      with the peer count.
+    * ``"bruck"`` — ``ceil(log2(n))`` steps each moving half of the
+      aggregate buffer plus local packing.
+    """
+    params = pmap.params
+    npeers = len(peers)
+    if npeers == 0:
+        return ExchangeEstimate(0.0, 0, 0)
+    levels = [pmap.locality(me, peer) for peer in peers]
+    inter = [lvl == LocalityLevel.NETWORK for lvl in levels]
+    inter_msgs = sum(inter)
+    inter_bytes = inter_msgs * msg_bytes
+    overhead = params.send_overhead + params.recv_overhead
+
+    if kind == "pairwise":
+        wire = sum(_per_message_time(params, lvl, msg_bytes) for lvl in levels)
+        cpu = npeers * (overhead + params.match_overhead_per_entry)
+        return ExchangeEstimate(wire + cpu, inter_msgs, inter_bytes)
+
+    if kind in ("nonblocking", "batched"):
+        # One exposed latency, transfers serialized at the sender's port,
+        # matching cost proportional to the average posted-queue length.
+        worst_latency = max(params.latency(lvl) for lvl in levels)
+        serialized = sum(msg_bytes * params.byte_time(lvl) for lvl in levels)
+        rendezvous = 0.0 if params.is_eager(msg_bytes) else params.rendezvous_overhead
+        matching = params.match_overhead_per_entry * npeers * (npeers + 1) / 2.0
+        cpu = npeers * overhead
+        return ExchangeEstimate(
+            worst_latency + serialized + rendezvous + matching + cpu, inter_msgs, inter_bytes
+        )
+
+    if kind == "bruck":
+        n = npeers + 1
+        steps = max(1, math.ceil(math.log2(n)))
+        step_bytes = (n // 2) * msg_bytes if n > 1 else 0
+        worst = max(levels)
+        per_step = (
+            _per_message_time(params, worst, step_bytes)
+            + 2.0 * params.copy_time(step_bytes)
+            + overhead
+            + params.match_overhead_per_entry
+        )
+        spans_network = worst == LocalityLevel.NETWORK
+        step_inter_msgs = steps if spans_network else 0
+        return ExchangeEstimate(steps * per_step, step_inter_msgs, step_inter_msgs * step_bytes)
+
+    raise ConfigurationError(f"unknown exchange kind {kind!r}")
+
+
+def nic_phase_bound(
+    params: MachineParameters,
+    *,
+    messages_per_node: float,
+    bytes_per_node: float,
+) -> float:
+    """Lower bound of a phase from the per-node NIC injection budget."""
+    if messages_per_node < 0 or bytes_per_node < 0:
+        raise ConfigurationError("NIC bound inputs must be non-negative")
+    return messages_per_node * params.nic_message_overhead + bytes_per_node / params.injection_bandwidth
+
+
+def cross_numa_bytes(pmap: ProcessMap, me: int, peers: Sequence[int], bytes_per_peer: int) -> int:
+    """Bytes rank ``me`` sends to intra-node peers across a NUMA boundary."""
+    total = 0
+    for peer in peers:
+        level = pmap.locality(me, peer)
+        if level in (LocalityLevel.SOCKET, LocalityLevel.NODE):
+            total += bytes_per_peer
+    return total
+
+
+def fabric_phase_bound(
+    params: MachineParameters,
+    *,
+    cross_numa_bytes_per_node: float,
+) -> float:
+    """Lower bound of a phase from the node's shared cross-NUMA fabric bandwidth."""
+    if cross_numa_bytes_per_node < 0:
+        raise ConfigurationError("fabric bound input must be non-negative")
+    return cross_numa_bytes_per_node / params.cross_numa_bandwidth
+
+
+def linear_rooted_cost(
+    pmap: ProcessMap,
+    root: int,
+    members: Sequence[int],
+    bytes_per_member: int,
+) -> float:
+    """Cost of a linear rooted gather or scatter at the root.
+
+    The root exchanges ``bytes_per_member`` with every non-root member; the
+    transfers serialize at the root, which is exactly the gather/scatter
+    bottleneck the hierarchical algorithm suffers from on many-core nodes.
+    """
+    params = pmap.params
+    others = [m for m in members if m != root]
+    if not others:
+        return params.copy_time(bytes_per_member)
+    worst_latency = max(params.latency(pmap.locality(root, m)) for m in others)
+    serialized = sum(bytes_per_member * params.byte_time(pmap.locality(root, m)) for m in others)
+    rendezvous = 0.0 if params.is_eager(bytes_per_member) else params.rendezvous_overhead
+    cpu = len(others) * (params.send_overhead + params.recv_overhead)
+    matching = params.match_overhead_per_entry * len(others)
+    return worst_latency + serialized + rendezvous + cpu + matching + params.copy_time(bytes_per_member)

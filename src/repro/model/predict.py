@@ -1,0 +1,89 @@
+"""Dispatch layer of the analytic model: predict by algorithm name.
+
+``predict_time`` / ``predict_breakdown`` accept the same algorithm names and
+options as :func:`repro.core.runner.run_alltoall`, which lets the benchmark
+harness and the algorithm selector switch transparently between simulated
+and modelled timings.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.machine.process_map import ProcessMap
+from repro.model.costs import (
+    CostBreakdown,
+    bruck_flat_cost,
+    hierarchical_cost,
+    multileader_node_aware_cost,
+    node_aware_cost,
+    nonblocking_flat_cost,
+    pairwise_flat_cost,
+    system_mpi_cost,
+)
+
+__all__ = ["predict_breakdown", "predict_time", "MODELED_ALGORITHMS"]
+
+#: Algorithm names the analytic model can predict.
+MODELED_ALGORITHMS = (
+    "pairwise",
+    "nonblocking",
+    "bruck",
+    "batched",
+    "system-mpi",
+    "hierarchical",
+    "multileader",
+    "node-aware",
+    "locality-aware",
+    "multileader-node-aware",
+)
+
+
+def predict_breakdown(algorithm: str, pmap: ProcessMap, msg_bytes: int, **options) -> CostBreakdown:
+    """Predicted per-phase cost of ``algorithm`` on ``pmap`` for ``msg_bytes`` per destination."""
+    name = algorithm.lower()
+    inner = options.pop("inner", "pairwise")
+    if name == "pairwise":
+        _reject_options(name, options)
+        return pairwise_flat_cost(pmap, msg_bytes)
+    if name in ("nonblocking", "batched"):
+        options.pop("batch_size", None)
+        _reject_options(name, options)
+        return nonblocking_flat_cost(pmap, msg_bytes)
+    if name == "bruck":
+        _reject_options(name, options)
+        return bruck_flat_cost(pmap, msg_bytes)
+    if name == "system-mpi":
+        return system_mpi_cost(pmap, msg_bytes, **options)
+    if name == "hierarchical":
+        return hierarchical_cost(
+            pmap, msg_bytes, procs_per_leader=options.pop("procs_per_leader", None), inner=inner
+        )
+    if name == "multileader":
+        return hierarchical_cost(
+            pmap, msg_bytes, procs_per_leader=options.pop("procs_per_leader", 4), inner=inner
+        )
+    if name == "node-aware":
+        _reject_options(name, options)
+        return node_aware_cost(pmap, msg_bytes, procs_per_group=None, inner=inner)
+    if name == "locality-aware":
+        return node_aware_cost(
+            pmap, msg_bytes, procs_per_group=options.pop("procs_per_group", 4), inner=inner
+        )
+    if name == "multileader-node-aware":
+        return multileader_node_aware_cost(
+            pmap, msg_bytes, procs_per_leader=options.pop("procs_per_leader", 4), inner=inner
+        )
+    raise ConfigurationError(
+        f"the analytic model does not cover algorithm {algorithm!r}; "
+        f"modelled algorithms: {', '.join(MODELED_ALGORITHMS)}"
+    )
+
+
+def predict_time(algorithm: str, pmap: ProcessMap, msg_bytes: int, **options) -> float:
+    """Predicted total execution time in seconds."""
+    return predict_breakdown(algorithm, pmap, msg_bytes, **options).total
+
+
+def _reject_options(name: str, options: dict) -> None:
+    if options:
+        raise ConfigurationError(f"algorithm {name!r} does not accept options {sorted(options)}")

@@ -1,0 +1,22 @@
+"""Discrete-event simulation core.
+
+This package contains the generic machinery underneath the simulated MPI
+layer: a time-ordered event queue, serial resources used to model NIC
+injection serialization, and a trace recorder for per-message accounting.
+It knows nothing about MPI semantics — those live in :mod:`repro.simmpi`.
+"""
+
+from repro.netsim.events import Event, EventQueue
+from repro.netsim.resources import SerialResource, ThroughputTracker
+from repro.netsim.simulator import Simulator
+from repro.netsim.trace import MessageRecord, TraceRecorder
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "SerialResource",
+    "ThroughputTracker",
+    "Simulator",
+    "MessageRecord",
+    "TraceRecorder",
+]

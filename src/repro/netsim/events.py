@@ -1,0 +1,68 @@
+"""Time-ordered event queue.
+
+Events are ``(time, sequence)`` ordered: two events scheduled for the same
+instant are processed in the order they were scheduled, which keeps the
+simulation fully deterministic (there is no randomness anywhere in the
+engine).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True, frozen=True)
+class Event:
+    """A scheduled callback.
+
+    The callback takes no arguments; any state it needs must be bound via a
+    closure or :func:`functools.partial` at scheduling time.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+
+    def fire(self) -> None:
+        self.callback()
+
+
+class EventQueue:
+    """Binary-heap priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if time < 0.0:
+            raise SimulationError(f"cannot schedule an event at negative time {time}")
+        event = Event(time=time, seq=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> float:
+        """Time of the earliest pending event."""
+        if not self._heap:
+            raise SimulationError("peek on an empty event queue")
+        return self._heap[0].time

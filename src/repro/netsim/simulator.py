@@ -1,0 +1,90 @@
+"""The discrete-event simulator driving all simulated ranks.
+
+The simulator is deliberately tiny: a clock, an event queue and a run loop.
+All semantics (processes, messages, matching) are layered on top by
+:mod:`repro.simmpi.engine`, which schedules plain callbacks here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.netsim.events import EventQueue
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Minimal deterministic discrete-event simulator."""
+
+    def __init__(self, *, max_events: int = 200_000_000) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._processed = 0
+        self._max_events = max_events
+        self._running = False
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    # -- scheduling ---------------------------------------------------------
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute time ``time`` (>= now)."""
+        if time < self._now - 1e-18:
+            raise SimulationError(
+                f"cannot schedule an event in the past (now={self._now}, requested={time})"
+            )
+        self._queue.push(max(time, self._now), callback)
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0.0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        self._queue.push(self._now + delay, callback)
+
+    # -- run loop -----------------------------------------------------------
+    def run(self, until: float | None = None) -> float:
+        """Process events until the queue is empty (or ``until`` is reached).
+
+        Returns the final simulated time.  The loop is re-entrant safe in the
+        sense that event callbacks may schedule further events, but calling
+        :meth:`run` from inside a callback is an error.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() called re-entrantly from an event callback")
+        self._running = True
+        try:
+            while self._queue:
+                if until is not None and self._queue.peek_time() > until:
+                    self._now = until
+                    break
+                event = self._queue.pop()
+                self._now = event.time
+                self._processed += 1
+                if self._processed > self._max_events:
+                    raise SimulationError(
+                        f"simulation exceeded {self._max_events} events; "
+                        "likely a livelock in the simulated program"
+                    )
+                event.fire()
+        finally:
+            self._running = False
+        return self._now
+
+    def reset(self) -> None:
+        """Discard all pending events and rewind the clock (used between runs)."""
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._processed = 0

@@ -1,0 +1,86 @@
+"""Per-message trace recording.
+
+A :class:`TraceRecorder` can be attached to a simulated job to capture every
+point-to-point message with its endpoints, size, locality level and timing.
+The intra- vs inter-node breakdown figures (Figures 13–16 of the paper) and
+several tests are built on these records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.hierarchy import LocalityLevel
+
+__all__ = ["MessageRecord", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """A single completed point-to-point message."""
+
+    source: int
+    dest: int
+    nbytes: int
+    level: LocalityLevel
+    tag: int
+    context_id: int
+    post_time: float
+    arrival_time: float
+    completion_time: float
+
+    @property
+    def latency(self) -> float:
+        """Time from send posting to receive completion."""
+        return self.completion_time - self.post_time
+
+    @property
+    def is_inter_node(self) -> bool:
+        return self.level == LocalityLevel.NETWORK
+
+
+@dataclass
+class TraceRecorder:
+    """Collects :class:`MessageRecord` objects for a simulated job."""
+
+    enabled: bool = True
+    records: list[MessageRecord] = field(default_factory=list)
+
+    def record(self, record: MessageRecord) -> None:
+        if self.enabled:
+            self.records.append(record)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    # -- aggregate queries -------------------------------------------------
+    def message_count(self, *, inter_node: bool | None = None) -> int:
+        """Number of recorded messages, optionally filtered by locality."""
+        return sum(1 for r in self._filtered(inter_node))
+
+    def byte_count(self, *, inter_node: bool | None = None) -> int:
+        """Total bytes moved, optionally filtered by locality."""
+        return sum(r.nbytes for r in self._filtered(inter_node))
+
+    def bytes_by_level(self) -> dict[LocalityLevel, int]:
+        """Total bytes moved per locality level."""
+        out: dict[LocalityLevel, int] = {}
+        for r in self.records:
+            out[r.level] = out.get(r.level, 0) + r.nbytes
+        return out
+
+    def messages_by_level(self) -> dict[LocalityLevel, int]:
+        """Message counts per locality level."""
+        out: dict[LocalityLevel, int] = {}
+        for r in self.records:
+            out[r.level] = out.get(r.level, 0) + 1
+        return out
+
+    def max_completion_time(self) -> float:
+        """Completion time of the last message (0.0 when no messages recorded)."""
+        return max((r.completion_time for r in self.records), default=0.0)
+
+    def _filtered(self, inter_node: bool | None):
+        if inter_node is None:
+            return iter(self.records)
+        return (r for r in self.records if r.is_inter_node == inter_node)

@@ -1,0 +1,230 @@
+"""Simulated MPI communicators.
+
+A :class:`Communicator` is a per-rank object (like an ``MPI_Comm`` handle):
+it knows the ordered set of world ranks that belong to it, this rank's
+position within that set, and a context id that isolates its traffic from
+other communicators.  All communication methods are generator functions and
+must be invoked with ``yield from`` inside a rank program::
+
+    status = yield from comm.sendrecv(sbuf, dest, rbuf, source)
+    yield from comm.alltoall(sendbuf, recvbuf)
+    node_comm = yield from comm.split(color=my_node)
+
+The communicator performs no simulation itself: it validates arguments,
+translates communicator-local ranks to world ranks, and yields primitive
+operations to the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import CommunicatorError
+from repro.simmpi.datatypes import ANY_SOURCE, ANY_TAG, MAX_USER_TAG, PROC_NULL
+from repro.simmpi.group import Group
+from repro.simmpi.ops import PostRecv, PostSend, Wait
+from repro.simmpi.request import Request
+from repro.simmpi.status import Status
+from repro.simmpi import collectives as _coll
+
+__all__ = ["Communicator"]
+
+_TAG_SPLIT = MAX_USER_TAG + 64
+
+
+class Communicator:
+    """Per-rank handle onto a group of simulated processes."""
+
+    __slots__ = ("_allocator", "group", "context_id", "_my_world_rank", "rank")
+
+    def __init__(self, allocator, world_ranks: Sequence[int], my_world_rank: int, context_id: int) -> None:
+        self._allocator = allocator
+        self.group = Group(tuple(world_ranks))
+        self._my_world_rank = my_world_rank
+        self.context_id = context_id
+        self.rank = self.group.rank_of(my_world_rank)
+
+    # -- basic queries -------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of ranks in this communicator."""
+        return self.group.size
+
+    @property
+    def world_rank(self) -> int:
+        """World rank of the calling process."""
+        return self._my_world_rank
+
+    def world_rank_of(self, local_rank: int) -> int:
+        """Translate a communicator-local rank to a world rank."""
+        return self.group.world_rank(local_rank)
+
+    def local_rank_of(self, world_rank: int) -> int:
+        """Translate a world rank to a communicator-local rank."""
+        return self.group.rank_of(world_rank)
+
+    def _translate_dest(self, local_rank: int) -> int:
+        if local_rank == PROC_NULL:
+            return PROC_NULL
+        return self.group.world_rank(local_rank)
+
+    def _translate_source(self, local_rank: int) -> int:
+        if local_rank in (PROC_NULL, ANY_SOURCE):
+            return local_rank
+        return self.group.world_rank(local_rank)
+
+    @staticmethod
+    def _check_buffer(buf: np.ndarray, name: str) -> np.ndarray:
+        if not isinstance(buf, np.ndarray):
+            raise CommunicatorError(f"{name} must be a numpy.ndarray, got {type(buf).__name__}")
+        return buf
+
+    # -- non-blocking point-to-point -------------------------------------------
+    def isend(self, buf: np.ndarray, dest: int, tag: int = 0):
+        """Post a non-blocking send of ``buf`` to ``dest``; resumes with a :class:`Request`."""
+        self._check_buffer(buf, "send buffer")
+        request = yield PostSend(
+            dest=self._translate_dest(dest), payload=buf, tag=tag, context_id=self.context_id
+        )
+        return request
+
+    def irecv(self, buf: np.ndarray, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Post a non-blocking receive into ``buf``; resumes with a :class:`Request`."""
+        self._check_buffer(buf, "receive buffer")
+        request = yield PostRecv(
+            source=self._translate_source(source), buffer=buf, tag=tag, context_id=self.context_id
+        )
+        return request
+
+    # -- waiting ----------------------------------------------------------------
+    def wait(self, request: Request):
+        """Wait for a single request; resumes with its :class:`Status` (``None`` for sends)."""
+        statuses = yield Wait(requests=(request,))
+        return statuses[0]
+
+    def waitall(self, requests: Iterable[Request]):
+        """Wait for all requests; resumes with the list of statuses."""
+        statuses = yield Wait(requests=tuple(requests))
+        return statuses
+
+    # -- blocking point-to-point ---------------------------------------------------
+    def send(self, buf: np.ndarray, dest: int, tag: int = 0):
+        """Blocking send (post + wait)."""
+        request = yield from self.isend(buf, dest, tag)
+        yield from self.wait(request)
+
+    def recv(self, buf: np.ndarray, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Blocking receive; resumes with the :class:`Status`."""
+        request = yield from self.irecv(buf, source, tag)
+        status = yield from self.wait(request)
+        return status
+
+    def sendrecv(
+        self,
+        sendbuf: np.ndarray,
+        dest: int,
+        recvbuf: np.ndarray,
+        source: int,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+    ):
+        """Combined send and receive (the workhorse of pairwise exchange).
+
+        The receive is posted before the send so two ranks exchanging with
+        each other never deadlock, mirroring ``MPI_Sendrecv`` semantics.
+        """
+        recv_req = yield from self.irecv(recvbuf, source, recvtag)
+        send_req = yield from self.isend(sendbuf, dest, sendtag)
+        statuses = yield from self.waitall([recv_req, send_req])
+        return statuses[0]
+
+    # -- collectives -------------------------------------------------------------
+    def barrier(self):
+        """Block until every rank of the communicator has entered the barrier."""
+        yield from _coll.barrier(self)
+
+    def bcast(self, buf: np.ndarray, root: int = 0):
+        """Broadcast ``buf`` from ``root`` to all ranks (in place)."""
+        yield from _coll.bcast(self, buf, root)
+
+    def gather(self, sendbuf: np.ndarray, recvbuf: np.ndarray | None, root: int = 0):
+        """Gather equal-sized contributions into the root's ``recvbuf``."""
+        yield from _coll.gather(self, sendbuf, recvbuf, root)
+
+    def scatter(self, sendbuf: np.ndarray | None, recvbuf: np.ndarray, root: int = 0):
+        """Scatter equal-sized blocks of the root's ``sendbuf`` to all ranks."""
+        yield from _coll.scatter(self, sendbuf, recvbuf, root)
+
+    def allgather(self, sendbuf: np.ndarray, recvbuf: np.ndarray):
+        """Gather equal-sized contributions from every rank onto every rank."""
+        yield from _coll.allgather(self, sendbuf, recvbuf)
+
+    def reduce(self, sendbuf: np.ndarray, recvbuf: np.ndarray | None, op: str = "sum", root: int = 0):
+        """Element-wise reduction into the root's ``recvbuf``."""
+        yield from _coll.reduce(self, sendbuf, recvbuf, op, root)
+
+    def allreduce(self, sendbuf: np.ndarray, recvbuf: np.ndarray, op: str = "sum"):
+        """Element-wise reduction delivered to every rank."""
+        yield from _coll.allreduce(self, sendbuf, recvbuf, op)
+
+    def alltoall(self, sendbuf: np.ndarray, recvbuf: np.ndarray):
+        """Flat pairwise-exchange all-to-all (see :mod:`repro.core.alltoall` for the full family)."""
+        yield from _coll.alltoall(self, sendbuf, recvbuf)
+
+    # -- communicator construction ---------------------------------------------------
+    def dup(self) -> "Communicator":
+        """Duplicate this communicator with a fresh context id (non-collective here)."""
+        return self.create_subcomm(self.group.world_ranks, key=("dup", self.context_id))
+
+    def create_subcomm(self, world_ranks: Sequence[int], key: tuple | None = None) -> "Communicator":
+        """Create a communicator over ``world_ranks`` without communication.
+
+        Every member must call this with the *same* rank sequence (typically
+        derived deterministically from the process map); the shared context
+        allocator then hands out identical context ids on every rank.
+        """
+        ranks = tuple(int(r) for r in world_ranks)
+        if self._my_world_rank not in ranks:
+            raise CommunicatorError(
+                f"rank {self._my_world_rank} cannot create a communicator it is not a member of"
+            )
+        context_key = (key if key is not None else ("subcomm",)) + (ranks,)
+        context_id = self._allocator.context_for(context_key)
+        return Communicator(
+            allocator=self._allocator,
+            world_ranks=ranks,
+            my_world_rank=self._my_world_rank,
+            context_id=context_id,
+        )
+
+    def split(self, color: int | None, key: int | None = None):
+        """Collective split, following ``MPI_Comm_split`` semantics.
+
+        Ranks passing the same non-negative ``color`` end up in the same new
+        communicator, ordered by ``key`` (ties broken by old rank).  Ranks
+        passing ``None`` (the analogue of ``MPI_UNDEFINED``) receive ``None``.
+        Resumes with the new :class:`Communicator` (or ``None``).
+        """
+        sort_key = self.rank if key is None else int(key)
+        color_value = -1 if color is None else int(color)
+        if color is not None and color_value < 0:
+            raise CommunicatorError(f"split color must be non-negative or None, got {color}")
+        mine = np.array([color_value, sort_key], dtype=np.int64)
+        everyone = np.empty(2 * self.size, dtype=np.int64)
+        yield from self.allgather(mine, everyone)
+        table = everyone.reshape(self.size, 2)
+        if color is None:
+            return None
+        members = sorted(
+            (int(table[r, 1]), r) for r in range(self.size) if int(table[r, 0]) == color_value
+        )
+        world_ranks = tuple(self.group.world_rank(r) for _, r in members)
+        return self.create_subcomm(world_ranks, key=("split", self.context_id, color_value))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Communicator ctx={self.context_id} rank={self.rank}/{self.size} "
+            f"world_rank={self._my_world_rank}>"
+        )

@@ -1,0 +1,35 @@
+"""Constants and datatype helpers for the simulated MPI layer.
+
+The simulated MPI communicates NumPy arrays directly (mirroring mpi4py's
+upper-case buffer interface), so "datatypes" reduce to byte-size helpers and
+the special wildcard / null constants MPI programs expect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "PROC_NULL", "MAX_USER_TAG", "nbytes_of", "itemsize_of"]
+
+#: Wildcard source for receives (matches a message from any rank).
+ANY_SOURCE: int = -1
+#: Wildcard tag for receives (matches a message with any tag).
+ANY_TAG: int = -1
+#: Null process: sends/receives addressed to it complete immediately and move no data.
+PROC_NULL: int = -2
+#: Largest tag value user code may use; larger tags are reserved for collectives.
+MAX_USER_TAG: int = 2**20
+
+
+def nbytes_of(buf: np.ndarray) -> int:
+    """Byte size of a NumPy buffer (the message size used by the cost model)."""
+    if not isinstance(buf, np.ndarray):
+        raise TypeError(f"expected a numpy.ndarray, got {type(buf).__name__}")
+    return int(buf.nbytes)
+
+
+def itemsize_of(buf: np.ndarray) -> int:
+    """Size in bytes of one element of ``buf``."""
+    if not isinstance(buf, np.ndarray):
+        raise TypeError(f"expected a numpy.ndarray, got {type(buf).__name__}")
+    return int(buf.dtype.itemsize)

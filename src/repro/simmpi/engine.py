@@ -1,0 +1,361 @@
+"""The SPMD engine: runs one rank program per simulated process.
+
+A *rank program* is a generator function ``program(ctx, *args, **kwargs)``
+that yields :mod:`repro.simmpi.ops` operations (usually indirectly, through
+``yield from comm.<operation>(...)``).  The engine drives all programs over
+a shared :class:`~repro.netsim.simulator.Simulator`, charging communication
+costs from the machine model, and returns a :class:`JobResult` with per-rank
+results and the simulated elapsed time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.errors import CommunicatorError, DeadlockError, SimulationError
+from repro.machine.hierarchy import LocalityLevel
+from repro.machine.process_map import ProcessMap
+from repro.netsim.simulator import Simulator
+from repro.netsim.trace import TraceRecorder
+from repro.simmpi.datatypes import PROC_NULL
+from repro.simmpi.ops import Delay, LocalCopy, PostRecv, PostSend, Wait
+from repro.simmpi.p2p import MessageRouter, TimingModel
+from repro.simmpi.request import Request
+from repro.simmpi.status import Status
+
+__all__ = ["ContextIdAllocator", "RankContext", "JobResult", "SpmdEngine", "run_spmd"]
+
+
+class ContextIdAllocator:
+    """Deterministic communicator-context allocation.
+
+    Every communicator is identified by a context id so that messages from
+    different communicators never match each other.  Ids are assigned by the
+    member set (plus a split sequence number), so all ranks constructing the
+    same communicator — in any order — obtain the same id without
+    communication.
+    """
+
+    def __init__(self) -> None:
+        self._ids: dict[tuple, int] = {}
+        self._next = 1  # id 0 is reserved for the world communicator
+
+    def world_context(self) -> int:
+        return 0
+
+    def context_for(self, key: tuple) -> int:
+        """Return (allocating on first use) the context id for ``key``."""
+        if key not in self._ids:
+            self._ids[key] = self._next
+            self._next += 1
+        return self._ids[key]
+
+
+@dataclass
+class _RankProcess:
+    rank: int
+    generator: Any
+    local_time: float = 0.0
+    state: str = "ready"  # ready | running | waiting | done | failed
+    finish_time: float | None = None
+    waiting_desc: str = ""
+
+
+class RankContext:
+    """Per-rank view of the job handed to every rank program.
+
+    Attributes
+    ----------
+    rank:
+        World rank of this process.
+    pmap:
+        The :class:`~repro.machine.ProcessMap` the job runs on.
+    world:
+        The world :class:`~repro.simmpi.comm.Communicator`.
+    result:
+        Slot for the program to deposit its result; collected into
+        :attr:`JobResult.results`.
+    timings:
+        Free-form dictionary used by instrumented algorithms to report phase
+        durations (e.g. ``{"gather": 1.2e-4}``); collected into
+        :attr:`JobResult.phase_timings`.
+    """
+
+    __slots__ = ("rank", "pmap", "world", "result", "timings", "_process", "_engine")
+
+    def __init__(self, rank: int, pmap: ProcessMap, engine: "SpmdEngine") -> None:
+        self.rank = rank
+        self.pmap = pmap
+        self.world = None  # set by the engine once the world communicator exists
+        self.result: Any = None
+        self.timings: dict[str, float] = {}
+        self._process: _RankProcess | None = None
+        self._engine = engine
+
+    # -- identity helpers --------------------------------------------------
+    @property
+    def nprocs(self) -> int:
+        return self.pmap.nprocs
+
+    @property
+    def node(self) -> int:
+        return self.pmap.node_of(self.rank)
+
+    @property
+    def local_rank(self) -> int:
+        return self.pmap.local_rank(self.rank)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time of this rank."""
+        if self._process is None:
+            return 0.0
+        return self._process.local_time
+
+    def add_timing(self, phase: str, elapsed: float) -> None:
+        """Accumulate ``elapsed`` seconds into the named phase."""
+        self.timings[phase] = self.timings.get(phase, 0.0) + elapsed
+
+
+@dataclass
+class JobResult:
+    """Outcome of one simulated SPMD job."""
+
+    #: Per-rank values deposited in ``ctx.result``.
+    results: list[Any]
+    #: Per-rank simulated completion time of the rank program.
+    finish_times: list[float]
+    #: Simulated wall-clock of the job (max over ranks).
+    elapsed: float
+    #: Per-rank phase timing dictionaries (``ctx.timings``).
+    phase_timings: list[dict[str, float]]
+    #: Message/byte counts per locality level.
+    traffic_by_level: dict[LocalityLevel, tuple[int, int]]
+    #: Optional full message trace (``None`` unless requested).
+    trace: TraceRecorder | None
+    #: Per-node NIC accounting.
+    nic_statistics: list[dict]
+    #: Number of discrete events processed.
+    events_processed: int
+
+    def phase_time(self, phase: str, *, reduce: Callable[[Sequence[float]], float] = max) -> float:
+        """Aggregate one named phase across ranks (default: max over ranks)."""
+        values = [t.get(phase, 0.0) for t in self.phase_timings]
+        if not values:
+            return 0.0
+        return float(reduce(values))
+
+    def phases(self) -> list[str]:
+        names: list[str] = []
+        for timings in self.phase_timings:
+            for name in timings:
+                if name not in names:
+                    names.append(name)
+        return names
+
+
+class SpmdEngine:
+    """Runs rank programs over a simulated machine."""
+
+    def __init__(
+        self,
+        pmap: ProcessMap,
+        *,
+        record_trace: bool = False,
+        max_events: int = 200_000_000,
+    ) -> None:
+        self.pmap = pmap
+        self.params = pmap.params
+        self.simulator = Simulator(max_events=max_events)
+        self.timing = TimingModel(pmap)
+        self.trace = TraceRecorder() if record_trace else None
+        self.router = MessageRouter(self.timing, trace=self.trace)
+        self.contexts = ContextIdAllocator()
+        self._processes: list[_RankProcess] = []
+        self._rank_contexts: list[RankContext] = []
+        self._finished = 0
+
+    # -- public API ---------------------------------------------------------
+    def run(self, program: Callable[..., Any], *args: Any, **kwargs: Any) -> JobResult:
+        """Run ``program(ctx, *args, **kwargs)`` on every rank and simulate to completion."""
+        # Imported here to avoid a circular import at module load time.
+        from repro.simmpi.comm import Communicator
+
+        if self._processes:
+            raise SimulationError("an SpmdEngine can only run a single job; create a new engine")
+
+        nprocs = self.pmap.nprocs
+        world_group = tuple(range(nprocs))
+        for rank in range(nprocs):
+            ctx = RankContext(rank, self.pmap, self)
+            ctx.world = Communicator(
+                allocator=self.contexts,
+                world_ranks=world_group,
+                my_world_rank=rank,
+                context_id=self.contexts.world_context(),
+            )
+            generator = program(ctx, *args, **kwargs)
+            if not hasattr(generator, "send"):
+                raise SimulationError(
+                    "rank programs must be generator functions (use 'yield from' for "
+                    "communication); got a plain function returning "
+                    f"{type(generator).__name__}"
+                )
+            process = _RankProcess(rank=rank, generator=generator)
+            ctx._process = process
+            self._rank_contexts.append(ctx)
+            self._processes.append(process)
+
+        for process in self._processes:
+            self.simulator.schedule_at(0.0, partial(self._step, process, None))
+
+        self.simulator.run()
+        self._check_completion()
+        return self._build_result()
+
+    # -- process stepping -----------------------------------------------------
+    def _step(self, process: _RankProcess, send_value: Any) -> None:
+        process.local_time = self.simulator.now
+        process.state = "running"
+        try:
+            operation = process.generator.send(send_value)
+        except StopIteration:
+            process.state = "done"
+            process.finish_time = process.local_time
+            self._finished += 1
+            return
+        self._dispatch(process, operation)
+
+    def _dispatch(self, process: _RankProcess, operation: Any) -> None:
+        now = process.local_time
+        params = self.params
+        if isinstance(operation, PostSend):
+            if operation.dest == PROC_NULL:
+                request = Request("send", process.rank)
+                request.complete(now)
+                self.simulator.schedule_at(now, partial(self._step, process, request))
+                return
+            ready = now + params.send_overhead
+            request = self.router.post_send(
+                process.rank, operation.dest, operation.payload, operation.tag,
+                operation.context_id, ready,
+            )
+            self.simulator.schedule_at(ready, partial(self._step, process, request))
+        elif isinstance(operation, PostRecv):
+            if operation.source == PROC_NULL:
+                request = Request("recv", process.rank)
+                request.complete(now, Status(source=PROC_NULL, tag=operation.tag, nbytes=0))
+                self.simulator.schedule_at(now, partial(self._step, process, request))
+                return
+            post_time = now + params.send_overhead
+            request = self.router.post_recv(
+                process.rank, operation.source, operation.buffer, operation.tag,
+                operation.context_id, post_time,
+            )
+            self.simulator.schedule_at(post_time, partial(self._step, process, request))
+        elif isinstance(operation, Wait):
+            self._handle_wait(process, list(operation.requests))
+        elif isinstance(operation, Delay):
+            if operation.seconds < 0.0:
+                raise SimulationError(f"negative delay {operation.seconds}")
+            self.simulator.schedule_at(now + operation.seconds, partial(self._step, process, None))
+        elif isinstance(operation, LocalCopy):
+            nbytes = int(operation.source.nbytes)
+            _copy_local(operation.dest, operation.source)
+            done = now + params.copy_time(nbytes)
+            self.simulator.schedule_at(done, partial(self._step, process, None))
+        else:
+            raise SimulationError(
+                f"rank {process.rank} yielded an unknown operation {operation!r}; "
+                "did a rank program 'yield' a value instead of 'yield from' a comm call?"
+            )
+
+    def _handle_wait(self, process: _RankProcess, requests: list[Request]) -> None:
+        issue_time = process.local_time
+        if not requests:
+            self.simulator.schedule_at(issue_time, partial(self._step, process, []))
+            return
+
+        def _resume() -> None:
+            resume_time = max([issue_time] + [r.completion_time for r in requests])
+            statuses = [r.status for r in requests]
+            process.state = "ready"
+            self.simulator.schedule_at(resume_time, partial(self._step, process, statuses))
+
+        pending = [r for r in requests if not r.completed]
+        if not pending:
+            _resume()
+            return
+
+        process.state = "waiting"
+        process.waiting_desc = (
+            f"waiting on {len(pending)} of {len(requests)} requests "
+            f"({', '.join(r.kind for r in pending[:8])}{'...' if len(pending) > 8 else ''})"
+        )
+        remaining = {"count": len(pending)}
+
+        def _on_complete(_req: Request) -> None:
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                _resume()
+
+        for request in pending:
+            request.on_complete(_on_complete)
+
+    # -- completion ---------------------------------------------------------
+    def _check_completion(self) -> None:
+        unfinished = [p for p in self._processes if p.state != "done"]
+        if not unfinished:
+            return
+        lines = [
+            f"rank {p.rank}: state={p.state} t={p.local_time:.3e} {p.waiting_desc}"
+            for p in unfinished[:32]
+        ]
+        lines.extend(self.router.pending_summary()[:32])
+        raise DeadlockError(
+            f"{len(unfinished)} of {len(self._processes)} ranks never finished; "
+            "the simulated program deadlocked:\n  " + "\n  ".join(lines)
+        )
+
+    def _build_result(self) -> JobResult:
+        finish_times = [p.finish_time if p.finish_time is not None else 0.0 for p in self._processes]
+        traffic = {
+            level: tuple(counts) for level, counts in self.router.traffic.per_key.items()
+        }
+        return JobResult(
+            results=[ctx.result for ctx in self._rank_contexts],
+            finish_times=finish_times,
+            elapsed=max(finish_times) if finish_times else 0.0,
+            phase_timings=[dict(ctx.timings) for ctx in self._rank_contexts],
+            traffic_by_level=traffic,
+            trace=self.trace,
+            nic_statistics=self.timing.nic_statistics(),
+            events_processed=self.simulator.events_processed,
+        )
+
+
+def _copy_local(dest: np.ndarray, source: np.ndarray) -> None:
+    if dest.nbytes < source.nbytes:
+        raise CommunicatorError(
+            f"local copy destination of {dest.nbytes} bytes is smaller than the "
+            f"{source.nbytes}-byte source"
+        )
+    dest_bytes = dest.reshape(-1).view(np.uint8)
+    src_bytes = source.reshape(-1).view(np.uint8)
+    dest_bytes[: source.nbytes] = src_bytes
+
+
+def run_spmd(
+    pmap: ProcessMap,
+    program: Callable[..., Any],
+    *args: Any,
+    record_trace: bool = False,
+    **kwargs: Any,
+) -> JobResult:
+    """Convenience wrapper: build an engine, run ``program`` on every rank, return the result."""
+    engine = SpmdEngine(pmap, record_trace=record_trace)
+    return engine.run(program, *args, **kwargs)

@@ -1,0 +1,83 @@
+"""Process groups: ordered sets of world ranks.
+
+A :class:`Group` is the static part of a communicator — the list of world
+ranks that belong to it and the translation between group-local ranks and
+world ranks.  Groups are value objects (hashable, immutable) so they can be
+compared and reused freely when building the per-node / per-leader
+communicator layouts of the hierarchical algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import CommunicatorError
+
+__all__ = ["Group"]
+
+
+@dataclass(frozen=True)
+class Group:
+    """An ordered, duplicate-free tuple of world ranks."""
+
+    world_ranks: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        ranks = tuple(int(r) for r in self.world_ranks)
+        if len(ranks) == 0:
+            raise CommunicatorError("a group must contain at least one rank")
+        if len(set(ranks)) != len(ranks):
+            raise CommunicatorError(f"group contains duplicate ranks: {ranks}")
+        if any(r < 0 for r in ranks):
+            raise CommunicatorError(f"group contains negative ranks: {ranks}")
+        object.__setattr__(self, "world_ranks", ranks)
+
+    @classmethod
+    def from_ranks(cls, ranks: Iterable[int]) -> "Group":
+        return cls(tuple(ranks))
+
+    # -- size / membership -------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self.world_ranks)
+
+    def __len__(self) -> int:
+        return len(self.world_ranks)
+
+    def __contains__(self, world_rank: int) -> bool:
+        return world_rank in self.world_ranks
+
+    def __iter__(self):
+        return iter(self.world_ranks)
+
+    # -- rank translation ----------------------------------------------------
+    def rank_of(self, world_rank: int) -> int:
+        """Group-local rank of ``world_rank`` (raises if not a member)."""
+        try:
+            return self.world_ranks.index(world_rank)
+        except ValueError:
+            raise CommunicatorError(f"world rank {world_rank} is not in group {self.world_ranks}") from None
+
+    def world_rank(self, local_rank: int) -> int:
+        """World rank of group-local ``local_rank``."""
+        if not 0 <= local_rank < self.size:
+            raise CommunicatorError(f"local rank {local_rank} out of range for group of size {self.size}")
+        return self.world_ranks[local_rank]
+
+    def translate(self, local_ranks: Sequence[int]) -> list[int]:
+        """Translate several group-local ranks to world ranks."""
+        return [self.world_rank(r) for r in local_ranks]
+
+    # -- set operations ------------------------------------------------------
+    def intersection(self, other: "Group") -> "Group":
+        common = [r for r in self.world_ranks if r in other]
+        return Group(tuple(common))
+
+    def union(self, other: "Group") -> "Group":
+        merged = list(self.world_ranks) + [r for r in other.world_ranks if r not in self]
+        return Group(tuple(merged))
+
+    def difference(self, other: "Group") -> "Group":
+        remaining = [r for r in self.world_ranks if r not in other]
+        return Group(tuple(remaining))

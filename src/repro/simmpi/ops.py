@@ -1,0 +1,82 @@
+"""Primitive operations yielded by rank programs to the engine.
+
+Rank programs (and the communicator methods they call) never touch the
+engine directly: they ``yield`` one of the small operation objects below and
+are resumed by the engine with the operation's result (a request, a status,
+or nothing).  Keeping this interface tiny makes the simulated-MPI semantics
+easy to audit: everything a program can do to the simulated machine is
+listed in this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.simmpi.request import Request
+
+__all__ = ["PostSend", "PostRecv", "Wait", "Delay", "LocalCopy", "Operation"]
+
+
+@dataclass
+class PostSend:
+    """Post a (non-blocking) send of ``payload`` to world rank ``dest``.
+
+    The engine copies the payload at posting time, so the caller may reuse
+    the underlying buffer immediately (the semantics of a buffered send).
+    Resumes with the :class:`Request`.
+    """
+
+    dest: int
+    payload: np.ndarray
+    tag: int
+    context_id: int
+
+
+@dataclass
+class PostRecv:
+    """Post a (non-blocking) receive into ``buffer`` from ``source``.
+
+    ``buffer`` must be a writable NumPy view; the engine fills it when the
+    matching message is delivered.  Resumes with the :class:`Request`.
+    """
+
+    source: int
+    buffer: np.ndarray
+    tag: int
+    context_id: int
+
+
+@dataclass
+class Wait:
+    """Block until every request in ``requests`` has completed.
+
+    Resumes with the list of statuses (``None`` entries for send requests)
+    at the simulated time the last request completes.
+    """
+
+    requests: Sequence[Request]
+
+
+@dataclass
+class Delay:
+    """Advance this rank's clock by ``seconds`` of local work (packing, compute)."""
+
+    seconds: float
+
+
+@dataclass
+class LocalCopy:
+    """Copy ``source`` into ``dest`` locally, charging the memory-copy cost.
+
+    Used for self-messages and for the repacking steps of the hierarchical
+    algorithms, so that data rearrangement is not free in the simulation.
+    """
+
+    dest: np.ndarray
+    source: np.ndarray
+
+
+Operation = (PostSend, PostRecv, Wait, Delay, LocalCopy)

@@ -1,0 +1,338 @@
+"""Point-to-point message timing and matching.
+
+This module implements the performance model of a single message and the
+MPI matching semantics (posted-receive and unexpected-message queues per
+rank).  It is used by the engine; rank programs never call it directly.
+
+Timing model
+------------
+A message from rank *s* to rank *d* of *n* bytes is charged:
+
+* the sender-side CPU overhead (charged by the engine before the message
+  reaches this module);
+* if the ranks are on different nodes, NIC injection at the sender's node:
+  all inter-node messages leaving a node serialize on a
+  :class:`~repro.netsim.resources.SerialResource`, each occupying the NIC
+  for ``nic_message_overhead + n / injection_bandwidth`` seconds — the
+  injection bottleneck the paper identifies for >100-rank nodes;
+* a wire/fabric term ``alpha_level + n * beta_level`` where the level is
+  the locality between the two ranks (NUMA, socket, node or network);
+* at the receiver, a matching cost proportional to the number of queue
+  entries scanned plus the receive CPU overhead.
+
+Messages larger than ``eager_limit`` use a rendezvous protocol: the data
+transfer cannot start before the receiver has posted the matching receive
+(plus a handshake delay), which is what makes pairwise exchange wait idly
+when its partner is late — exactly the synchronization cost discussed in
+Section 2 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import MatchingError
+from repro.machine.hierarchy import LocalityLevel
+from repro.machine.params import MachineParameters
+from repro.machine.process_map import ProcessMap
+from repro.netsim.resources import SerialResource, ThroughputTracker
+from repro.netsim.trace import MessageRecord, TraceRecorder
+from repro.simmpi.datatypes import ANY_SOURCE, ANY_TAG
+from repro.simmpi.request import Request
+from repro.simmpi.status import Status
+
+__all__ = ["TimingModel", "MessageRouter"]
+
+
+# ---------------------------------------------------------------------------
+# Timing
+# ---------------------------------------------------------------------------
+
+
+class TimingModel:
+    """Computes transfer times over the machine model.
+
+    One NIC injection resource is kept per node; intra-node transfers only
+    pay the level latency/bandwidth costs (the sending core performs the
+    copy through shared memory).
+    """
+
+    def __init__(self, pmap: ProcessMap) -> None:
+        self.pmap = pmap
+        self.params: MachineParameters = pmap.params
+        self.nics = [SerialResource(name=f"nic-node{n}") for n in range(pmap.num_nodes)]
+        # Shared cross-NUMA fabric per node: intra-node transfers that cross a
+        # NUMA boundary (SOCKET and NODE levels) serialize on it, modelling
+        # the UPI / inter-chip bandwidth contention of many-core nodes.
+        self.fabrics = [SerialResource(name=f"fabric-node{n}") for n in range(pmap.num_nodes)]
+
+    def level(self, src: int, dst: int) -> LocalityLevel:
+        return self.pmap.locality(src, dst)
+
+    def control_latency(self, level: LocalityLevel) -> float:
+        """One-way latency of a tiny control message (RTS/CTS) at ``level``."""
+        if level == LocalityLevel.SELF:
+            return 0.0
+        return self.params.latency(level)
+
+    def transfer(self, src: int, dst: int, nbytes: int, start_time: float) -> tuple[float, float, LocalityLevel]:
+        """Move ``nbytes`` from ``src`` to ``dst`` starting no earlier than ``start_time``.
+
+        Returns ``(sender_done, arrival, level)``: the time the sending side
+        finishes injecting the data and the time the data is fully available
+        at the receiver.
+        """
+        params = self.params
+        level = self.pmap.locality(src, dst)
+        if level == LocalityLevel.SELF:
+            done = start_time + nbytes / params.copy_bandwidth
+            return done, done, level
+        if level == LocalityLevel.NETWORK:
+            occupancy = params.injection_time(nbytes)
+            _, injected = self.nics[self.pmap.node_of(src)].reserve(start_time, occupancy)
+            arrival = injected + params.latency(level) + nbytes * params.byte_time(level)
+            return injected, arrival, level
+        # Intra-node: the sender's core streams the data through shared memory.
+        # Transfers that cross a NUMA boundary additionally serialize on the
+        # node's shared fabric, so many concurrent cross-socket exchanges
+        # (e.g. a 112-rank on-node all-to-all) contend with each other.
+        if level in (LocalityLevel.SOCKET, LocalityLevel.NODE):
+            occupancy = params.fabric_time(nbytes)
+            start_time, _ = self.fabrics[self.pmap.node_of(src)].reserve(start_time, occupancy)
+        done = start_time + nbytes * params.byte_time(level)
+        arrival = done + params.latency(level)
+        return done, arrival, level
+
+    def nic_statistics(self) -> list[dict]:
+        """Per-node NIC accounting (reservations, busy time)."""
+        return [
+            {"node": i, "messages": nic.reservations, "busy_time": nic.busy_time}
+            for i, nic in enumerate(self.nics)
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Matching structures
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _InboundSend:
+    """A send that has been posted and is waiting to be matched at ``dst``."""
+
+    request: Request
+    src: int
+    dst: int
+    tag: int
+    context_id: int
+    nbytes: int
+    payload: np.ndarray
+    protocol: str  # "eager" or "rndv"
+    #: Eager: time the data arrives at the receiver.  Rendezvous: time the
+    #: ready-to-send control message arrives at the receiver.
+    ready_time: float
+    #: Rendezvous only: earliest time the sender can start the data transfer.
+    sender_ready: float
+    post_time: float
+    level: LocalityLevel
+
+
+@dataclass
+class _PostedRecv:
+    """A receive that has been posted and is waiting for a matching send."""
+
+    request: Request
+    owner: int
+    source_spec: int
+    tag_spec: int
+    context_id: int
+    buffer: np.ndarray
+    post_time: float
+
+
+@dataclass
+class _Mailbox:
+    """Matching queues of a single rank."""
+
+    posted: list[_PostedRecv] = field(default_factory=list)
+    unexpected: list[_InboundSend] = field(default_factory=list)
+
+
+def _copy_payload(buffer: np.ndarray, payload: np.ndarray) -> None:
+    """Byte-wise copy of ``payload`` into the start of ``buffer``."""
+    nbytes = payload.nbytes
+    if nbytes == 0:
+        return
+    if buffer.nbytes < nbytes:
+        raise MatchingError(
+            f"receive buffer of {buffer.nbytes} bytes is too small for a {nbytes}-byte message"
+        )
+    dst_bytes = buffer.reshape(-1).view(np.uint8)
+    src_bytes = payload.reshape(-1).view(np.uint8)
+    dst_bytes[:nbytes] = src_bytes
+    # ``buffer`` is a view into the receiver's array, so the write above is
+    # already visible to the receiving rank; nothing else to do.
+
+
+def _matches(recv_source: int, recv_tag: int, recv_ctx: int, send: _InboundSend) -> bool:
+    if recv_ctx != send.context_id:
+        return False
+    if recv_source != ANY_SOURCE and recv_source != send.src:
+        return False
+    if recv_tag != ANY_TAG and recv_tag != send.tag:
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Router
+# ---------------------------------------------------------------------------
+
+
+class MessageRouter:
+    """Owns every rank's matching queues and applies the timing model."""
+
+    def __init__(
+        self,
+        timing: TimingModel,
+        *,
+        trace: TraceRecorder | None = None,
+        traffic: ThroughputTracker | None = None,
+    ) -> None:
+        self.timing = timing
+        self.params = timing.params
+        self.trace = trace
+        self.traffic = traffic if traffic is not None else ThroughputTracker(name="p2p")
+        self._mailboxes = [_Mailbox() for _ in range(timing.pmap.nprocs)]
+
+    # -- posting ------------------------------------------------------------
+    def post_send(
+        self,
+        src: int,
+        dst: int,
+        payload: np.ndarray,
+        tag: int,
+        context_id: int,
+        ready_time: float,
+    ) -> Request:
+        """Post a send whose data is ready at simulated ``ready_time``."""
+        request = Request("send", src)
+        nbytes = int(payload.nbytes)
+        data = np.array(payload.reshape(-1), copy=True)
+        level = self.timing.level(src, dst)
+        self.traffic.record(nbytes, key=level)
+
+        if self.params.is_eager(nbytes):
+            sender_done, arrival, level = self.timing.transfer(src, dst, nbytes, ready_time)
+            request.complete(sender_done)
+            inbound = _InboundSend(
+                request=request, src=src, dst=dst, tag=tag, context_id=context_id,
+                nbytes=nbytes, payload=data, protocol="eager", ready_time=arrival,
+                sender_ready=ready_time, post_time=ready_time, level=level,
+            )
+        else:
+            rts_arrival = ready_time + 0.5 * self.params.rendezvous_overhead \
+                + self.timing.control_latency(level)
+            inbound = _InboundSend(
+                request=request, src=src, dst=dst, tag=tag, context_id=context_id,
+                nbytes=nbytes, payload=data, protocol="rndv", ready_time=rts_arrival,
+                sender_ready=ready_time, post_time=ready_time, level=level,
+            )
+        self._deliver(inbound)
+        return request
+
+    def post_recv(
+        self,
+        owner: int,
+        source_spec: int,
+        buffer: np.ndarray,
+        tag_spec: int,
+        context_id: int,
+        post_time: float,
+    ) -> Request:
+        """Post a receive at simulated ``post_time``."""
+        request = Request("recv", owner)
+        mailbox = self._mailboxes[owner]
+        scanned = 0
+        for i, inbound in enumerate(mailbox.unexpected):
+            scanned += 1
+            if _matches(source_spec, tag_spec, context_id, inbound):
+                mailbox.unexpected.pop(i)
+                posted = _PostedRecv(
+                    request=request, owner=owner, source_spec=source_spec,
+                    tag_spec=tag_spec, context_id=context_id, buffer=buffer,
+                    post_time=post_time,
+                )
+                self._complete_match(inbound, posted, scanned)
+                return request
+        mailbox.posted.append(
+            _PostedRecv(
+                request=request, owner=owner, source_spec=source_spec,
+                tag_spec=tag_spec, context_id=context_id, buffer=buffer,
+                post_time=post_time,
+            )
+        )
+        return request
+
+    # -- internal ------------------------------------------------------------
+    def _deliver(self, inbound: _InboundSend) -> None:
+        mailbox = self._mailboxes[inbound.dst]
+        scanned = 0
+        for i, posted in enumerate(mailbox.posted):
+            scanned += 1
+            if _matches(posted.source_spec, posted.tag_spec, posted.context_id, inbound):
+                mailbox.posted.pop(i)
+                self._complete_match(inbound, posted, scanned)
+                return
+        mailbox.unexpected.append(inbound)
+
+    def _complete_match(self, inbound: _InboundSend, posted: _PostedRecv, scanned: int) -> None:
+        params = self.params
+        match_cost = scanned * params.match_overhead_per_entry
+        if inbound.protocol == "eager":
+            completion = max(inbound.ready_time, posted.post_time) + match_cost + params.recv_overhead
+            arrival = inbound.ready_time
+        else:
+            handshake = max(inbound.ready_time, posted.post_time) + match_cost
+            clear_to_send = handshake + 0.5 * params.rendezvous_overhead \
+                + self.timing.control_latency(inbound.level)
+            data_start = max(inbound.sender_ready, clear_to_send)
+            sender_done, arrival, _ = self.timing.transfer(
+                inbound.src, inbound.dst, inbound.nbytes, data_start
+            )
+            inbound.request.complete(sender_done)
+            completion = arrival + params.recv_overhead
+        _copy_payload(posted.buffer, inbound.payload)
+        status = Status(source=inbound.src, tag=inbound.tag, nbytes=inbound.nbytes)
+        posted.request.complete(completion, status)
+        if self.trace is not None:
+            self.trace.record(
+                MessageRecord(
+                    source=inbound.src, dest=inbound.dst, nbytes=inbound.nbytes,
+                    level=inbound.level, tag=inbound.tag, context_id=inbound.context_id,
+                    post_time=inbound.post_time, arrival_time=arrival,
+                    completion_time=completion,
+                )
+            )
+
+    # -- diagnostics -----------------------------------------------------------
+    def pending_summary(self) -> list[str]:
+        """Describe outstanding queue entries (used in deadlock reports)."""
+        lines = []
+        for rank, mailbox in enumerate(self._mailboxes):
+            for posted in mailbox.posted:
+                lines.append(
+                    f"rank {rank}: posted recv waiting for source={posted.source_spec} "
+                    f"tag={posted.tag_spec} ctx={posted.context_id}"
+                )
+            for inbound in mailbox.unexpected:
+                lines.append(
+                    f"rank {rank}: unexpected message from {inbound.src} "
+                    f"tag={inbound.tag} ctx={inbound.context_id} ({inbound.nbytes} bytes)"
+                )
+        return lines
+
+    def has_pending(self) -> bool:
+        return any(m.posted or m.unexpected for m in self._mailboxes)

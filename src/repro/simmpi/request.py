@@ -1,0 +1,68 @@
+"""Non-blocking communication requests.
+
+A :class:`Request` is returned by ``isend``/``irecv`` and later completed by
+the engine.  "Completed" here means the *simulated completion time is
+determined*: the engine may determine at posting time that an eager send
+will complete two microseconds in the future.  Processes that wait on the
+request are resumed no earlier than that time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.simmpi.status import Status
+
+__all__ = ["Request"]
+
+_request_ids = itertools.count()
+
+
+class Request:
+    """Handle for an outstanding non-blocking operation."""
+
+    __slots__ = ("id", "kind", "owner", "completion_time", "status", "_callbacks", "cancelled")
+
+    def __init__(self, kind: str, owner: int) -> None:
+        self.id = next(_request_ids)
+        #: ``"send"`` or ``"recv"``.
+        self.kind = kind
+        #: World rank that posted the request.
+        self.owner = owner
+        #: Simulated time at which the operation completes; ``None`` until determined.
+        self.completion_time: float | None = None
+        #: Receive status (populated for recv requests at completion).
+        self.status: Status | None = None
+        self._callbacks: list[Callable[["Request"], None]] = []
+        self.cancelled = False
+
+    # -- completion ------------------------------------------------------
+    @property
+    def completed(self) -> bool:
+        """Whether the completion time has been determined."""
+        return self.completion_time is not None
+
+    def complete(self, time: float, status: Status | None = None) -> None:
+        """Mark the request complete at simulated ``time`` (engine use only)."""
+        if self.completed:
+            raise SimulationError(f"request {self.id} completed twice")
+        if time < 0.0:
+            raise SimulationError(f"completion time must be non-negative, got {time}")
+        self.completion_time = time
+        self.status = status
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def on_complete(self, callback: Callable[["Request"], None]) -> None:
+        """Invoke ``callback(request)`` once the completion time is known."""
+        if self.completed:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"t={self.completion_time}" if self.completed else "pending"
+        return f"<Request {self.id} {self.kind} rank={self.owner} {state}>"

@@ -1,0 +1,154 @@
+"""Topology-derived communicator layouts.
+
+The hierarchical, node-aware, locality-aware and multi-leader all-to-all
+algorithms all operate on sub-communicators derived from the process
+placement: "all ranks on my node", "the ranks of my aggregation group",
+"one rank per node with my local rank", and so on.  Because the placement
+is known to every rank (it is a deterministic function of the process map),
+these communicators can be constructed without any communication; this
+module centralises that construction so every algorithm uses identical
+definitions.
+
+Terminology (matching the paper):
+
+``node_comm``
+    All ranks on the calling rank's node (size = processes per node).
+``local_comm`` (a.k.a. the aggregation group / leader group)
+    The ``procs_per_group`` consecutive local ranks containing the caller.
+    With ``procs_per_group == ppn`` this degenerates to ``node_comm``.
+``group_comm``
+    One rank from every aggregation group in the job, chosen so that all
+    members occupy the same position within their group (Algorithm 4's
+    inter-region communicator).  With one group per node this is "all ranks
+    with my local rank", the classic node-aware communicator.
+``cross_node_comm``
+    One rank per node with the caller's node-local rank (Algorithm 5's
+    inter-node communicator for leaders).
+``node_leaders_comm``
+    The leaders (first rank of each aggregation group) of the caller's node
+    (Algorithm 5's ``leader_group_comm``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.simmpi.comm import Communicator
+from repro.simmpi.engine import RankContext
+from repro.utils.partition import validate_group_size
+
+__all__ = [
+    "CommLayout",
+    "node_comm",
+    "local_group_comm",
+    "cross_group_comm",
+    "cross_node_comm",
+    "node_leaders_comm",
+    "build_comm_layout",
+]
+
+
+def node_comm(ctx: RankContext) -> Communicator:
+    """Communicator of all ranks on the caller's node."""
+    ranks = ctx.pmap.ranks_on_node(ctx.node)
+    return ctx.world.create_subcomm(ranks, key=("node", ctx.node))
+
+
+def local_group_comm(ctx: RankContext, procs_per_group: int) -> Communicator:
+    """Communicator of the caller's aggregation group (``procs_per_group`` consecutive local ranks)."""
+    validate_group_size(ctx.pmap.ppn, procs_per_group)
+    group_index = ctx.local_rank // procs_per_group
+    groups = ctx.pmap.leader_groups(ctx.node, procs_per_group)
+    ranks = groups[group_index]
+    return ctx.world.create_subcomm(ranks, key=("local-group", procs_per_group, ctx.node, group_index))
+
+
+def cross_group_comm(ctx: RankContext, procs_per_group: int) -> Communicator:
+    """Communicator of all ranks occupying the caller's position within their group.
+
+    This is Algorithm 4's ``group_comm``: its size equals the total number of
+    aggregation groups in the job (``nprocs / procs_per_group``), with exactly
+    one member per group.
+    """
+    validate_group_size(ctx.pmap.ppn, procs_per_group)
+    position = ctx.local_rank % procs_per_group
+    ranks = []
+    for node in range(ctx.pmap.num_nodes):
+        for group in ctx.pmap.leader_groups(node, procs_per_group):
+            ranks.append(group[position])
+    return ctx.world.create_subcomm(ranks, key=("cross-group", procs_per_group, position))
+
+
+def cross_node_comm(ctx: RankContext) -> Communicator:
+    """Communicator of one rank per node sharing the caller's node-local rank."""
+    ranks = ctx.pmap.ranks_with_local_rank(ctx.local_rank)
+    return ctx.world.create_subcomm(ranks, key=("cross-node", ctx.local_rank))
+
+
+def node_leaders_comm(ctx: RankContext, procs_per_leader: int) -> Communicator:
+    """Communicator of the leaders (first rank of each group) on the caller's node.
+
+    Only meaningful for callers that *are* leaders; other ranks may still
+    construct it (the communicator is defined by the node, not the caller)
+    but are not members and will get a :class:`CommunicatorError` — callers
+    should only build it when ``ctx.local_rank % procs_per_leader == 0``.
+    """
+    validate_group_size(ctx.pmap.ppn, procs_per_leader)
+    groups = ctx.pmap.leader_groups(ctx.node, procs_per_leader)
+    leaders = [group[0] for group in groups]
+    return ctx.world.create_subcomm(leaders, key=("node-leaders", procs_per_leader, ctx.node))
+
+
+@dataclass
+class CommLayout:
+    """Bundle of the communicators used by the all-to-all algorithm family."""
+
+    #: The world communicator of the job.
+    world: Communicator
+    #: All ranks on the caller's node.
+    node: Communicator
+    #: The caller's aggregation group (size ``procs_per_group``).
+    local: Communicator
+    #: One member of every aggregation group (Algorithm 4's ``group_comm``).
+    cross_group: Communicator
+    #: One rank per node with the caller's node-local rank.
+    cross_node: Communicator
+    #: Aggregation group size the layout was built for.
+    procs_per_group: int
+
+    @property
+    def ppn(self) -> int:
+        return self.node.size
+
+    @property
+    def num_nodes(self) -> int:
+        return self.cross_node.size
+
+    @property
+    def groups_per_node(self) -> int:
+        return self.ppn // self.procs_per_group
+
+
+def build_comm_layout(ctx: RankContext, procs_per_group: int | None = None) -> CommLayout:
+    """Construct the full :class:`CommLayout` for a given aggregation group size.
+
+    ``procs_per_group`` defaults to the whole node (one group per node),
+    which yields the communicators used by the standard hierarchical and
+    node-aware algorithms.
+    """
+    ppn = ctx.pmap.ppn
+    if procs_per_group is None:
+        procs_per_group = ppn
+    if procs_per_group > ppn:
+        raise ConfigurationError(
+            f"procs_per_group={procs_per_group} exceeds the {ppn} processes per node"
+        )
+    return CommLayout(
+        world=ctx.world,
+        node=node_comm(ctx),
+        local=local_group_comm(ctx, procs_per_group),
+        cross_group=cross_group_comm(ctx, procs_per_group),
+        cross_node=cross_node_comm(ctx),
+        procs_per_group=procs_per_group,
+    )

@@ -1,0 +1,38 @@
+"""Receive status objects (the analogue of ``MPI_Status``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Status"]
+
+
+@dataclass
+class Status:
+    """Describes a completed receive.
+
+    Attributes
+    ----------
+    source:
+        World rank of the sender.
+    tag:
+        Tag the message was sent with.
+    nbytes:
+        Number of bytes actually received (may be smaller than the posted
+        receive buffer, as in MPI).
+    """
+
+    source: int = -1
+    tag: int = -1
+    nbytes: int = 0
+
+    def count(self, itemsize: int) -> int:
+        """Number of elements received for a given element size."""
+        if itemsize <= 0:
+            raise ValueError(f"itemsize must be positive, got {itemsize}")
+        if self.nbytes % itemsize != 0:
+            raise ValueError(
+                f"received {self.nbytes} bytes which is not a whole number of "
+                f"{itemsize}-byte elements"
+            )
+        return self.nbytes // itemsize

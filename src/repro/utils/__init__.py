@@ -1,0 +1,43 @@
+"""Small supporting utilities shared across the :mod:`repro` subpackages."""
+
+from repro.utils.buffers import (
+    as_block_view,
+    block_slice,
+    check_buffer,
+    concat_blocks,
+    make_alltoall_sendbuf,
+    split_blocks,
+)
+from repro.utils.partition import (
+    chunk_evenly,
+    contiguous_partition,
+    divisors,
+    round_robin_partition,
+    validate_group_size,
+)
+from repro.utils.statistics import (
+    RunningStatistics,
+    geometric_mean,
+    min_of_runs,
+    speedup,
+    summarize,
+)
+
+__all__ = [
+    "as_block_view",
+    "block_slice",
+    "check_buffer",
+    "concat_blocks",
+    "make_alltoall_sendbuf",
+    "split_blocks",
+    "chunk_evenly",
+    "contiguous_partition",
+    "divisors",
+    "round_robin_partition",
+    "validate_group_size",
+    "RunningStatistics",
+    "geometric_mean",
+    "min_of_runs",
+    "speedup",
+    "summarize",
+]

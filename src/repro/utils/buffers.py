@@ -1,0 +1,104 @@
+"""Buffer helpers used by the all-to-all algorithms.
+
+All collective algorithms in this package operate on flat, C-contiguous
+NumPy arrays divided into equally sized *blocks*, one block per peer
+process, mirroring the layout of ``MPI_Alltoall`` send/receive buffers.
+These helpers centralise the block arithmetic so the algorithm modules can
+stay close to the paper's pseudocode.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import BufferSizeError
+
+__all__ = [
+    "check_buffer",
+    "block_slice",
+    "as_block_view",
+    "split_blocks",
+    "concat_blocks",
+    "make_alltoall_sendbuf",
+]
+
+
+def check_buffer(buf: np.ndarray, nblocks: int, block_items: int, *, name: str = "buffer") -> np.ndarray:
+    """Validate that ``buf`` is a flat contiguous array of ``nblocks * block_items`` items.
+
+    Returns the validated buffer (possibly the same object) so the call can
+    be used inline.  Raises :class:`BufferSizeError` when the shape does not
+    match and ``TypeError`` when the argument is not a NumPy array.
+    """
+    if not isinstance(buf, np.ndarray):
+        raise TypeError(f"{name} must be a numpy.ndarray, got {type(buf).__name__}")
+    if buf.ndim != 1:
+        raise BufferSizeError(f"{name} must be one-dimensional, got shape {buf.shape}")
+    if not buf.flags["C_CONTIGUOUS"]:
+        raise BufferSizeError(f"{name} must be C-contiguous")
+    expected = nblocks * block_items
+    if buf.size != expected:
+        raise BufferSizeError(
+            f"{name} has {buf.size} items but the collective requires "
+            f"{nblocks} blocks x {block_items} items = {expected}"
+        )
+    return buf
+
+
+def block_slice(block: int, block_items: int) -> slice:
+    """Return the slice selecting block ``block`` of a block-partitioned buffer."""
+    if block < 0:
+        raise ValueError(f"block index must be non-negative, got {block}")
+    if block_items < 0:
+        raise ValueError(f"block_items must be non-negative, got {block_items}")
+    start = block * block_items
+    return slice(start, start + block_items)
+
+
+def as_block_view(buf: np.ndarray, nblocks: int, block_items: int) -> np.ndarray:
+    """Return a 2-D view of ``buf`` with one row per block (no copy)."""
+    check_buffer(buf, nblocks, block_items)
+    return buf.reshape(nblocks, block_items)
+
+
+def split_blocks(buf: np.ndarray, nblocks: int) -> list[np.ndarray]:
+    """Split ``buf`` into ``nblocks`` equally sized contiguous views."""
+    if nblocks <= 0:
+        raise ValueError(f"nblocks must be positive, got {nblocks}")
+    if buf.size % nblocks != 0:
+        raise BufferSizeError(f"buffer of {buf.size} items cannot be split into {nblocks} equal blocks")
+    block_items = buf.size // nblocks
+    return [buf[block_slice(i, block_items)] for i in range(nblocks)]
+
+
+def concat_blocks(blocks: Sequence[np.ndarray]) -> np.ndarray:
+    """Concatenate blocks into a single contiguous buffer (copies)."""
+    if len(blocks) == 0:
+        raise ValueError("cannot concatenate an empty sequence of blocks")
+    return np.concatenate([np.asarray(b).ravel() for b in blocks])
+
+
+def make_alltoall_sendbuf(rank: int, nprocs: int, block_items: int, dtype=np.int64) -> np.ndarray:
+    """Build a deterministic all-to-all send buffer for testing and examples.
+
+    Block ``d`` (destined for rank ``d``) of rank ``rank`` is filled with the
+    values ``rank * nprocs + d`` followed by an arithmetic ramp, making every
+    (source, destination, offset) triple uniquely identifiable.  The matching
+    expected receive buffer can be produced with the same function by swapping
+    the roles of source and destination (see
+    :func:`repro.core.validation.expected_alltoall_result`).
+    """
+    if block_items < 0:
+        raise ValueError("block_items must be non-negative")
+    buf = np.empty(nprocs * block_items, dtype=dtype)
+    view = buf.reshape(nprocs, block_items) if block_items else buf.reshape(nprocs, 0)
+    ramp = np.arange(block_items, dtype=np.int64)
+    for dest in range(nprocs):
+        base = rank * nprocs + dest
+        if block_items:
+            # Compute in int64 and wrap into the target dtype so small integer
+            # dtypes (e.g. uint8 payload buffers) stay valid test patterns.
+            view[dest, :] = (base * 1000 + ramp).astype(dtype)
+    return buf

@@ -1,0 +1,45 @@
+"""Logging configuration for the :mod:`repro` package.
+
+The library never configures the root logger; it only attaches a
+``NullHandler`` to its own namespace (standard library practice) and offers
+:func:`enable_console_logging` as a convenience for the examples and the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "enable_console_logging"]
+
+_PACKAGE_LOGGER = "repro"
+
+logging.getLogger(_PACKAGE_LOGGER).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger namespaced under ``repro``.
+
+    ``get_logger("simmpi.engine")`` returns the ``repro.simmpi.engine``
+    logger.  Passing ``None`` (or an already qualified ``repro.*`` name)
+    returns the package logger itself / the name unchanged.
+    """
+    if name is None:
+        return logging.getLogger(_PACKAGE_LOGGER)
+    if name.startswith(_PACKAGE_LOGGER + ".") or name == _PACKAGE_LOGGER:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_PACKAGE_LOGGER}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Handler:
+    """Attach a stream handler with a compact format to the package logger.
+
+    Returns the handler so callers (tests in particular) can remove it again.
+    """
+    logger = logging.getLogger(_PACKAGE_LOGGER)
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s"))
+    handler.setLevel(level)
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return handler

@@ -1,0 +1,87 @@
+"""Partitioning helpers for leader/group assignment.
+
+The hierarchical, multi-leader and locality-aware algorithms all divide the
+processes of a node into groups (each with a designated leader).  The paper
+evaluates group sizes of 4, 8 and 16 processes per leader; these helpers
+implement the contiguous partitioning used there as well as a round-robin
+variant used in ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "chunk_evenly",
+    "contiguous_partition",
+    "round_robin_partition",
+    "divisors",
+    "validate_group_size",
+]
+
+
+def chunk_evenly(n: int, nchunks: int) -> list[int]:
+    """Return the sizes of ``nchunks`` chunks covering ``n`` items as evenly as possible.
+
+    The first ``n % nchunks`` chunks receive one extra item, matching the
+    block distribution conventionally used by MPI implementations.
+    """
+    if nchunks <= 0:
+        raise ConfigurationError(f"number of chunks must be positive, got {nchunks}")
+    if n < 0:
+        raise ConfigurationError(f"number of items must be non-negative, got {n}")
+    base, extra = divmod(n, nchunks)
+    return [base + (1 if i < extra else 0) for i in range(nchunks)]
+
+
+def contiguous_partition(items: Sequence[int], group_size: int) -> list[list[int]]:
+    """Partition ``items`` into consecutive groups of ``group_size`` elements.
+
+    ``len(items)`` must be divisible by ``group_size``; this mirrors the
+    paper's requirement that the number of processes per node be a multiple
+    of the processes-per-leader parameter.
+    """
+    validate_group_size(len(items), group_size)
+    return [list(items[i : i + group_size]) for i in range(0, len(items), group_size)]
+
+
+def round_robin_partition(items: Sequence[int], ngroups: int) -> list[list[int]]:
+    """Deal ``items`` into ``ngroups`` groups round-robin (group ``i`` gets items ``i, i+ngroups, ...``)."""
+    if ngroups <= 0:
+        raise ConfigurationError(f"number of groups must be positive, got {ngroups}")
+    if len(items) % ngroups != 0:
+        raise ConfigurationError(
+            f"{len(items)} items cannot be dealt evenly into {ngroups} round-robin groups"
+        )
+    return [list(items[g::ngroups]) for g in range(ngroups)]
+
+
+def divisors(n: int) -> list[int]:
+    """Return the sorted positive divisors of ``n`` (used for group-size sweeps)."""
+    if n <= 0:
+        raise ConfigurationError(f"n must be positive, got {n}")
+    small, large = [], []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            small.append(d)
+            if d != n // d:
+                large.append(n // d)
+        d += 1
+    return small + large[::-1]
+
+
+def validate_group_size(nitems: int, group_size: int) -> int:
+    """Validate that ``group_size`` evenly divides ``nitems``; return the number of groups."""
+    if group_size <= 0:
+        raise ConfigurationError(f"group size must be positive, got {group_size}")
+    if nitems <= 0:
+        raise ConfigurationError(f"number of items must be positive, got {nitems}")
+    if nitems % group_size != 0:
+        raise ConfigurationError(
+            f"group size {group_size} does not evenly divide {nitems} items; "
+            f"valid sizes are {divisors(nitems)}"
+        )
+    return nitems // group_size

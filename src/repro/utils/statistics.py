@@ -1,0 +1,119 @@
+"""Timing statistics helpers used by the benchmark harness.
+
+The paper reports the minimum of three runs for every data point; the
+helpers here implement that policy together with the summary statistics the
+reporting layer prints (and a Welford running-statistics accumulator used
+when many repetitions are requested).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = [
+    "min_of_runs",
+    "speedup",
+    "geometric_mean",
+    "summarize",
+    "RunningStatistics",
+]
+
+
+def min_of_runs(samples: Sequence[float]) -> float:
+    """Return the minimum of a sequence of timing samples (the paper's policy)."""
+    if len(samples) == 0:
+        raise ValueError("min_of_runs requires at least one sample")
+    return float(min(samples))
+
+
+def speedup(baseline: float, candidate: float) -> float:
+    """Return ``baseline / candidate`` (how many times faster the candidate is)."""
+    if candidate <= 0.0:
+        raise ValueError(f"candidate time must be positive, got {candidate}")
+    if baseline < 0.0:
+        raise ValueError(f"baseline time must be non-negative, got {baseline}")
+    return baseline / candidate
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (used for cross-size speedup summaries)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("geometric_mean requires at least one value")
+    if any(v <= 0.0 for v in vals):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def summarize(samples: Sequence[float]) -> dict[str, float]:
+    """Return min/max/mean/median/std of a sample set as a plain dict."""
+    if len(samples) == 0:
+        raise ValueError("summarize requires at least one sample")
+    vals = sorted(float(v) for v in samples)
+    n = len(vals)
+    mean = sum(vals) / n
+    var = sum((v - mean) ** 2 for v in vals) / n
+    mid = n // 2
+    median = vals[mid] if n % 2 else 0.5 * (vals[mid - 1] + vals[mid])
+    return {
+        "n": float(n),
+        "min": vals[0],
+        "max": vals[-1],
+        "mean": mean,
+        "median": median,
+        "std": math.sqrt(var),
+    }
+
+
+@dataclass
+class RunningStatistics:
+    """Welford-style online accumulator for timing samples.
+
+    Keeps O(1) state regardless of how many samples are added, which lets
+    long parameter sweeps track per-configuration statistics without storing
+    every sample.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    minimum: float = field(default=math.inf)
+    maximum: float = field(default=-math.inf)
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def update(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.add(v)
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def as_dict(self) -> dict[str, float]:
+        if self.count == 0:
+            raise ValueError("no samples accumulated")
+        return {
+            "n": float(self.count),
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "std": self.std,
+        }

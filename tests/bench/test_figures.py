@@ -1,0 +1,109 @@
+"""Tests that every figure of the paper can be regenerated and has the right structure."""
+
+import pytest
+
+from repro.bench.figures import (
+    FIGURES,
+    figure07,
+    figure08,
+    figure10,
+    figure13,
+    figure15,
+    figure16,
+    headline_speedup,
+    table1,
+)
+from repro.bench.harness import PAPER_MESSAGE_SIZES
+from repro.machine.systems import tiny_cluster
+
+
+SMALL_SIZES = (4, 256, 4096)
+
+
+class TestTable1:
+    def test_rows(self):
+        rows = table1()
+        assert [r["name"] for r in rows] == ["dane", "amber", "tuolomne"]
+        assert rows[0]["cores_per_node"] == "112"
+        assert rows[2]["cores_per_node"] == "96"
+        assert "Omni-Path" in rows[1]["network"]
+        assert "MPICH" in rows[2]["mpi"]
+
+
+class TestEveryFigure:
+    @pytest.mark.parametrize("figure_id", sorted(FIGURES))
+    def test_model_engine_produces_series(self, figure_id):
+        fig = FIGURES[figure_id]()
+        assert fig.figure_id == figure_id
+        assert len(fig.series) >= 2
+        for series in fig.series:
+            assert len(series) >= 2
+            assert all(y >= 0.0 for y in series.ys())
+
+    @pytest.mark.parametrize("figure_id", ["fig07", "fig10", "fig13"])
+    def test_simulate_engine_reduced_scale(self, figure_id):
+        """The same figure definitions run through the event simulator at reduced scale."""
+        fig = FIGURES[figure_id](
+            tiny_cluster(num_nodes=4), ppn=8, engine="simulate", msg_sizes=(16, 256)
+        )
+        assert len(fig.series) >= 2
+        for series in fig.series:
+            assert all(y > 0.0 for y in series.ys())
+
+    def test_simulate_engine_breakdown_figure16(self):
+        fig = figure16(tiny_cluster(num_nodes=4), ppn=8, engine="simulate", msg_bytes=256)
+        assert set(fig.labels()) == {"Intra-Node Alltoall", "Inter-Node Alltoall"}
+        assert all(y > 0.0 for series in fig.series for y in series.ys())
+
+
+class TestFigureContents:
+    def test_figure07_series_labels(self):
+        fig = figure07(msg_sizes=SMALL_SIZES)
+        labels = fig.labels()
+        assert "Hierarchical" in labels and "System MPI" in labels
+        assert any("Processes Per Leader" in label for label in labels)
+
+    def test_figure08_includes_node_aware_and_groups(self):
+        fig = figure08(msg_sizes=SMALL_SIZES)
+        assert "Node-Aware" in fig.labels()
+        assert "4 Processes Per Group" in fig.labels()
+
+    def test_figure10_covers_all_algorithms(self):
+        fig = figure10(msg_sizes=SMALL_SIZES)
+        assert set(fig.labels()) == {
+            "System MPI", "Hierarchical", "Node-Aware", "Multileader",
+            "Locality-Aware", "Multileader + Locality",
+        }
+
+    def test_figure13_breakdown_series(self):
+        fig = figure13(msg_sizes=SMALL_SIZES)
+        assert set(fig.labels()) == {
+            "MPI Gather", "MPI Scatter", "Alltoall (Pairwise)", "Alltoall (Nonblocking)",
+        }
+
+    def test_figure15_x_axis_is_nodes(self):
+        fig = figure15(node_counts=(2, 8, 32))
+        assert fig.xs() == [2, 8, 32]
+        assert set(fig.labels()) == {"Intra-Node Alltoall", "Inter-Node Alltoall"}
+
+    def test_figure16_group_configurations(self):
+        fig = figure16()
+        # node-aware encoded as the whole node (112), plus group sizes 16, 8, 4.
+        assert fig.get("Inter-Node Alltoall").xs() == [112, 16, 8, 4]
+
+    def test_default_sizes_are_paper_sizes(self):
+        fig = figure10()
+        assert tuple(fig.xs()) == PAPER_MESSAGE_SIZES
+
+
+class TestHeadlineSpeedup:
+    def test_structure(self):
+        summary = headline_speedup(msg_sizes=SMALL_SIZES)
+        assert set(summary["per_size"]) == set(SMALL_SIZES)
+        assert summary["best_speedup"] == max(summary["per_size"].values())
+        assert summary["best_size"] in SMALL_SIZES
+
+    def test_reproduces_paper_scale_speedup(self):
+        """Section 1: 'up to 3x speedup over system MPI when scaled to 32 nodes'."""
+        summary = headline_speedup()
+        assert summary["best_speedup"] >= 2.5

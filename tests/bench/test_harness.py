@@ -1,0 +1,109 @@
+"""Tests of the benchmark harness (both engines) and the ablation sweeps."""
+
+import pytest
+
+from repro.bench.harness import PAPER_MESSAGE_SIZES, PAPER_NODE_COUNTS, BenchmarkHarness
+from repro.bench.sweep import (
+    group_size_sweep,
+    injection_bandwidth_sweep,
+    inner_exchange_sweep,
+    matching_cost_sweep,
+)
+from repro.core.instrumentation import PHASE_INTER
+from repro.errors import ConfigurationError
+from repro.machine.systems import dane, tiny_cluster
+
+
+class TestConstants:
+    def test_paper_sweep_ranges(self):
+        assert PAPER_MESSAGE_SIZES[0] == 4 and PAPER_MESSAGE_SIZES[-1] == 4096
+        assert PAPER_NODE_COUNTS == (2, 4, 8, 16, 32)
+
+
+class TestHarnessModelEngine:
+    @pytest.fixture(scope="class")
+    def harness(self):
+        return BenchmarkHarness(dane(32), 112, engine="model")
+
+    def test_time_point(self, harness):
+        point = harness.time_point("node-aware", 1024, 32)
+        assert point.seconds > 0.0
+        assert PHASE_INTER in point.phases
+
+    def test_size_sweep(self, harness):
+        series = harness.size_sweep("system-mpi", msg_sizes=(4, 64, 1024), num_nodes=32)
+        assert series.xs() == [4, 64, 1024]
+        assert series.ys() == sorted(series.ys())  # monotone in size
+
+    def test_node_sweep(self, harness):
+        series = harness.node_sweep("node-aware", msg_bytes=1024, node_counts=(2, 8, 32))
+        assert series.xs() == [2, 8, 32]
+        assert series.ys() == sorted(series.ys())  # more nodes -> more time
+
+    def test_phase_series(self, harness):
+        series = harness.phase_series("hierarchical", PHASE_INTER, msg_sizes=(4, 256), num_nodes=32)
+        assert all(y > 0 for y in series.ys())
+
+    def test_label_override(self, harness):
+        series = harness.size_sweep("node-aware", msg_sizes=(4,), num_nodes=32, label="NA")
+        assert series.label == "NA"
+
+    def test_too_many_nodes_rejected(self, harness):
+        with pytest.raises(ConfigurationError):
+            harness.time_point("node-aware", 64, 64)
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BenchmarkHarness(dane(2), 4, engine="hardware")
+
+    def test_invalid_repetitions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BenchmarkHarness(dane(2), 4, repetitions=0)
+
+    def test_describe(self, harness):
+        assert "dane" in harness.describe() and "model" in harness.describe()
+
+
+class TestHarnessSimulateEngine:
+    @pytest.fixture(scope="class")
+    def harness(self):
+        return BenchmarkHarness(tiny_cluster(num_nodes=4), 4, engine="simulate")
+
+    def test_time_point_runs_simulation(self, harness):
+        point = harness.time_point("node-aware", 64, 4)
+        assert point.seconds > 0.0
+        assert PHASE_INTER in point.phases
+
+    def test_repetitions_min_policy(self):
+        harness = BenchmarkHarness(tiny_cluster(num_nodes=2), 4, engine="simulate", repetitions=3)
+        point = harness.time_point("pairwise", 16, 2)
+        assert point.seconds > 0.0
+
+    def test_sweep_matches_direct_runner(self, harness):
+        from repro.core import run_alltoall
+
+        series = harness.size_sweep("pairwise", msg_sizes=(16,), num_nodes=4)
+        direct = run_alltoall("pairwise", harness.process_map(4), 16, validate=False, keep_job=False)
+        assert series.at(16).seconds == pytest.approx(direct.elapsed)
+
+
+class TestAblationSweeps:
+    def test_inner_exchange_sweep(self):
+        fig = inner_exchange_sweep(dane(32), 112, msg_sizes=(4, 4096))
+        assert set(fig.labels()) == {"pairwise", "nonblocking", "bruck"}
+
+    def test_group_size_sweep_covers_divisors(self):
+        series = group_size_sweep(dane(32), 112, msg_bytes=4096, group_sizes=(4, 8, 16, 112))
+        assert series.xs() == [4, 8, 16, 112]
+        assert all(y > 0 for y in series.ys())
+
+    def test_injection_bandwidth_sweep_monotone(self):
+        series = injection_bandwidth_sweep(dane(32), 112, msg_bytes=4096, factors=(0.5, 1.0, 4.0))
+        # More injection bandwidth never makes the exchange slower.
+        ys = series.ys()
+        assert ys[0] >= ys[1] >= ys[2]
+
+    def test_matching_cost_sweep_monotone(self):
+        series = matching_cost_sweep(dane(32), 112, msg_bytes=1024, factors=(0.0, 1.0, 8.0))
+        ys = series.ys()
+        assert ys[0] <= ys[1] <= ys[2]

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite.
+
+The fixtures centralise the small simulated machines used across tests so
+individual test modules stay focused on behaviour rather than set-up.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import ProcessMap, tiny_cluster
+from repro.machine.systems import dane
+
+
+@pytest.fixture
+def tiny_pmap() -> ProcessMap:
+    """4 nodes x 8 ranks on the tiny test cluster (2 sockets x 2 NUMA x 2 cores)."""
+    return ProcessMap(tiny_cluster(num_nodes=4), ppn=8)
+
+
+@pytest.fixture
+def two_node_pmap() -> ProcessMap:
+    """2 nodes x 4 ranks — the smallest configuration with real inter-node traffic."""
+    return ProcessMap(tiny_cluster(num_nodes=2), ppn=4)
+
+
+@pytest.fixture
+def single_node_pmap() -> ProcessMap:
+    """1 node x 8 ranks — no network traffic at all."""
+    return ProcessMap(tiny_cluster(num_nodes=1), ppn=8)
+
+
+@pytest.fixture
+def dane_pmap() -> ProcessMap:
+    """Full-scale Dane placement used by analytic-model tests (never simulated)."""
+    return ProcessMap(dane(32), ppn=112)

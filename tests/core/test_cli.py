@@ -1,0 +1,68 @@
+"""Tests for the repro-bench command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "--id", "fig99"])
+
+
+class TestCommands:
+    def test_systems(self, capsys):
+        assert main(["systems"]) == 0
+        out = capsys.readouterr().out
+        assert "dane" in out and "tuolomne" in out
+
+    def test_single_figure_table(self, capsys):
+        assert main(["figures", "--id", "fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "System MPI" in out and "Multileader + Locality" in out
+
+    def test_single_figure_csv(self, capsys):
+        assert main(["figures", "--id", "fig15", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("nodes,")
+
+    def test_run_reports_outcome(self, capsys):
+        code = main([
+            "run", "--system", "dane", "--nodes", "2", "--ppn", "4",
+            "--algorithm", "node-aware", "--msg-bytes", "64",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "node-aware" in out and "inter-node messages" in out
+
+    def test_run_with_group_size(self, capsys):
+        code = main([
+            "run", "--system", "dane", "--nodes", "2", "--ppn", "4",
+            "--algorithm", "multileader-node-aware", "--group-size", "2", "--msg-bytes", "32",
+        ])
+        assert code == 0
+        assert "procs_per_leader=2" in capsys.readouterr().out
+
+    def test_run_group_size_invalid_for_flat_algorithm(self):
+        with pytest.raises(SystemExit):
+            main([
+                "run", "--system", "dane", "--nodes", "2", "--ppn", "4",
+                "--algorithm", "pairwise", "--group-size", "2",
+            ])
+
+    def test_select_prints_table(self, capsys):
+        assert main(["select", "--system", "dane", "--nodes", "8", "--ppn", "16",
+                     "--sizes", "4", "4096"]) == 0
+        out = capsys.readouterr().out
+        assert "4 B" in out or "      4 B" in out
+        assert "->" in out

@@ -1,0 +1,106 @@
+"""Correctness tests of the flat exchanges (pairwise, non-blocking, Bruck, batched, system MPI)."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_alltoall
+from repro.core.alltoall.system_mpi import SystemMPIAlltoall
+from repro.errors import ConfigurationError
+from repro.machine import ProcessMap, tiny_cluster
+
+
+FLAT_ALGORITHMS = ["pairwise", "nonblocking", "bruck", "batched"]
+
+
+@pytest.fixture(scope="module")
+def pmap():
+    return ProcessMap(tiny_cluster(num_nodes=4), ppn=4)
+
+
+class TestFlatCorrectness:
+    @pytest.mark.parametrize("name", FLAT_ALGORITHMS)
+    def test_small_messages(self, pmap, name):
+        outcome = run_alltoall(name, pmap, msg_bytes=8)
+        assert outcome.correct
+
+    @pytest.mark.parametrize("name", FLAT_ALGORITHMS)
+    def test_rendezvous_sized_messages(self, pmap, name):
+        # Larger than the tiny cluster's 4 KiB eager limit.
+        outcome = run_alltoall(name, pmap, msg_bytes=8192)
+        assert outcome.correct
+
+    @pytest.mark.parametrize("name", FLAT_ALGORITHMS)
+    def test_int64_payload(self, pmap, name):
+        outcome = run_alltoall(name, pmap, msg_bytes=64, dtype=np.int64)
+        assert outcome.correct
+
+    @pytest.mark.parametrize("name", FLAT_ALGORITHMS)
+    def test_single_node(self, name):
+        pmap = ProcessMap(tiny_cluster(num_nodes=1), ppn=8)
+        assert run_alltoall(name, pmap, msg_bytes=16).correct
+
+    @pytest.mark.parametrize("name", FLAT_ALGORITHMS)
+    def test_two_ranks(self, name):
+        pmap = ProcessMap(tiny_cluster(num_nodes=2), ppn=1)
+        assert run_alltoall(name, pmap, msg_bytes=32).correct
+
+    @pytest.mark.parametrize("nprocs", [3, 5, 6, 7])
+    def test_bruck_non_power_of_two(self, nprocs):
+        """The Bruck rotation/reversal logic is easiest to get wrong off powers of two."""
+        pmap = ProcessMap(tiny_cluster(num_nodes=1), ppn=nprocs)
+        assert run_alltoall("bruck", pmap, msg_bytes=12).correct
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 64])
+    def test_batched_various_batch_sizes(self, pmap, batch_size):
+        outcome = run_alltoall("batched", pmap, msg_bytes=16, batch_size=batch_size)
+        assert outcome.correct
+
+    def test_batched_invalid_batch_size(self):
+        with pytest.raises(ConfigurationError):
+            run_alltoall("batched", ProcessMap(tiny_cluster(2), ppn=2), msg_bytes=8, batch_size=0)
+
+
+class TestFlatTrafficCounts:
+    def test_pairwise_message_count(self, pmap):
+        """Every rank exchanges once with every inter-node peer."""
+        outcome = run_alltoall("pairwise", pmap, msg_bytes=8)
+        p, ppn, nodes = pmap.nprocs, pmap.ppn, pmap.num_nodes
+        expected = p * ppn * (nodes - 1)
+        assert outcome.inter_node_messages == expected
+
+    def test_bruck_sends_fewer_inter_node_messages(self, pmap):
+        bruck = run_alltoall("bruck", pmap, msg_bytes=8)
+        pairwise = run_alltoall("pairwise", pmap, msg_bytes=8)
+        assert bruck.inter_node_messages < pairwise.inter_node_messages
+
+    def test_bruck_moves_more_bytes(self, pmap):
+        """Bruck forwards data through intermediates, so it moves more volume."""
+        bruck = run_alltoall("bruck", pmap, msg_bytes=64)
+        pairwise = run_alltoall("pairwise", pmap, msg_bytes=64)
+        assert bruck.inter_node_bytes > pairwise.inter_node_bytes
+
+
+class TestSystemMPISelection:
+    def test_threshold_selection(self):
+        algo = SystemMPIAlltoall(small_threshold=256, medium_threshold=32768)
+        assert algo.chosen_exchange(4) == "bruck"
+        assert algo.chosen_exchange(256) == "bruck"
+        assert algo.chosen_exchange(257) == "nonblocking"
+        assert algo.chosen_exchange(32768) == "nonblocking"
+        assert algo.chosen_exchange(32769) == "pairwise"
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemMPIAlltoall(small_threshold=100, medium_threshold=10)
+        with pytest.raises(ConfigurationError):
+            SystemMPIAlltoall(small_threshold=-1)
+
+    @pytest.mark.parametrize("msg_bytes", [8, 1024])
+    def test_correct_at_both_regimes(self, pmap, msg_bytes):
+        outcome = run_alltoall("system-mpi", pmap, msg_bytes=msg_bytes, small_threshold=64)
+        assert outcome.correct
+
+    def test_small_message_path_matches_bruck_traffic(self, pmap):
+        system = run_alltoall("system-mpi", pmap, msg_bytes=8)
+        bruck = run_alltoall("bruck", pmap, msg_bytes=8)
+        assert system.inter_node_messages == bruck.inter_node_messages

@@ -1,0 +1,175 @@
+"""Correctness and structure tests of the hierarchical / node-aware / locality-aware /
+multi-leader + node-aware algorithms (Algorithms 3-5 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.core import get_algorithm, run_alltoall
+from repro.core.instrumentation import (
+    PHASE_GATHER,
+    PHASE_INTER,
+    PHASE_INTRA,
+    PHASE_SCATTER,
+)
+from repro.errors import ConfigurationError
+from repro.machine import ProcessMap, tiny_cluster
+
+
+@pytest.fixture(scope="module")
+def pmap():
+    # 4 nodes x 8 ranks: large enough for every group size {1, 2, 4, 8}.
+    return ProcessMap(tiny_cluster(num_nodes=4), ppn=8)
+
+
+class TestHierarchical:
+    @pytest.mark.parametrize("inner", ["pairwise", "nonblocking", "bruck"])
+    def test_single_leader_correct(self, pmap, inner):
+        assert run_alltoall("hierarchical", pmap, msg_bytes=16, inner=inner).correct
+
+    @pytest.mark.parametrize("ppl", [1, 2, 4, 8])
+    def test_multileader_group_sizes(self, pmap, ppl):
+        assert run_alltoall("hierarchical", pmap, msg_bytes=16, procs_per_leader=ppl).correct
+
+    def test_large_messages(self, pmap):
+        assert run_alltoall("hierarchical", pmap, msg_bytes=2048, procs_per_leader=4).correct
+
+    def test_single_node(self):
+        pmap = ProcessMap(tiny_cluster(num_nodes=1), ppn=8)
+        assert run_alltoall("hierarchical", pmap, msg_bytes=16, procs_per_leader=4).correct
+
+    def test_invalid_group_size_rejected(self, pmap):
+        with pytest.raises(ConfigurationError):
+            run_alltoall("hierarchical", pmap, msg_bytes=16, procs_per_leader=3)
+
+    def test_phase_breakdown_present(self, pmap):
+        outcome = run_alltoall("hierarchical", pmap, msg_bytes=64)
+        for phase in (PHASE_GATHER, PHASE_INTER, PHASE_SCATTER):
+            assert outcome.phase_times.get(phase, 0.0) > 0.0
+
+    def test_fewer_inter_node_messages_than_flat(self, pmap):
+        hierarchical = run_alltoall("hierarchical", pmap, msg_bytes=16)
+        flat = run_alltoall("pairwise", pmap, msg_bytes=16)
+        assert hierarchical.inter_node_messages < flat.inter_node_messages
+
+    def test_single_leader_minimises_inter_node_messages(self, pmap):
+        """One leader per node sends exactly one message per remote node."""
+        outcome = run_alltoall("hierarchical", pmap, msg_bytes=16)
+        nodes = pmap.num_nodes
+        assert outcome.inter_node_messages == nodes * (nodes - 1)
+
+    def test_multileader_alias_registered(self, pmap):
+        algo = get_algorithm("multileader", procs_per_leader=2)
+        assert algo.procs_per_leader == 2
+        assert run_alltoall(algo, pmap, msg_bytes=16).correct
+
+
+class TestNodeAware:
+    @pytest.mark.parametrize("inner", ["pairwise", "nonblocking", "bruck"])
+    def test_correct_with_each_inner_exchange(self, pmap, inner):
+        assert run_alltoall("node-aware", pmap, msg_bytes=16, inner=inner).correct
+
+    def test_large_messages(self, pmap):
+        assert run_alltoall("node-aware", pmap, msg_bytes=4096).correct
+
+    def test_inter_node_message_count(self, pmap):
+        """Each rank sends one message to each remote node (to its same-local-rank peer)."""
+        outcome = run_alltoall("node-aware", pmap, msg_bytes=16)
+        expected = pmap.nprocs * (pmap.num_nodes - 1)
+        assert outcome.inter_node_messages == expected
+
+    def test_inter_node_bytes_match_flat_volume(self, pmap):
+        """Node-aware aggregation moves the same inter-node volume, in fewer messages."""
+        node_aware = run_alltoall("node-aware", pmap, msg_bytes=32)
+        flat = run_alltoall("pairwise", pmap, msg_bytes=32)
+        assert node_aware.inter_node_bytes == flat.inter_node_bytes
+        assert node_aware.inter_node_messages < flat.inter_node_messages
+
+    def test_phase_breakdown_present(self, pmap):
+        outcome = run_alltoall("node-aware", pmap, msg_bytes=64)
+        assert outcome.phase_times.get(PHASE_INTER, 0.0) > 0.0
+        assert outcome.phase_times.get(PHASE_INTRA, 0.0) > 0.0
+
+    def test_two_nodes(self):
+        pmap = ProcessMap(tiny_cluster(num_nodes=2), ppn=8)
+        assert run_alltoall("node-aware", pmap, msg_bytes=16).correct
+
+
+class TestLocalityAware:
+    @pytest.mark.parametrize("ppg", [1, 2, 4, 8])
+    def test_group_sizes(self, pmap, ppg):
+        assert run_alltoall("locality-aware", pmap, msg_bytes=16, procs_per_group=ppg).correct
+
+    @pytest.mark.parametrize("inner", ["pairwise", "nonblocking"])
+    def test_inner_exchanges(self, pmap, inner):
+        assert run_alltoall(
+            "locality-aware", pmap, msg_bytes=16, procs_per_group=4, inner=inner
+        ).correct
+
+    def test_group_of_whole_node_equals_node_aware_traffic(self, pmap):
+        locality = run_alltoall("locality-aware", pmap, msg_bytes=16, procs_per_group=pmap.ppn)
+        node_aware = run_alltoall("node-aware", pmap, msg_bytes=16)
+        assert locality.inter_node_messages == node_aware.inter_node_messages
+        assert locality.inter_node_bytes == node_aware.inter_node_bytes
+
+    def test_smaller_groups_send_more_inter_node_messages(self, pmap):
+        small_groups = run_alltoall("locality-aware", pmap, msg_bytes=16, procs_per_group=2)
+        whole_node = run_alltoall("node-aware", pmap, msg_bytes=16)
+        assert small_groups.inter_node_messages > whole_node.inter_node_messages
+        # ... while the aggregate inter-node volume stays the same.
+        assert small_groups.inter_node_bytes == whole_node.inter_node_bytes
+
+    def test_invalid_group_rejected(self, pmap):
+        with pytest.raises(ConfigurationError):
+            run_alltoall("locality-aware", pmap, msg_bytes=16, procs_per_group=5)
+
+    def test_large_messages(self, pmap):
+        assert run_alltoall("locality-aware", pmap, msg_bytes=2048, procs_per_group=4).correct
+
+
+class TestMultiLeaderNodeAware:
+    @pytest.mark.parametrize("ppl", [1, 2, 4, 8])
+    def test_group_sizes(self, pmap, ppl):
+        assert run_alltoall(
+            "multileader-node-aware", pmap, msg_bytes=16, procs_per_leader=ppl
+        ).correct
+
+    @pytest.mark.parametrize("inner", ["pairwise", "nonblocking", "bruck"])
+    def test_inner_exchanges(self, pmap, inner):
+        assert run_alltoall(
+            "multileader-node-aware", pmap, msg_bytes=16, procs_per_leader=4, inner=inner
+        ).correct
+
+    def test_large_messages(self, pmap):
+        assert run_alltoall(
+            "multileader-node-aware", pmap, msg_bytes=2048, procs_per_leader=4
+        ).correct
+
+    def test_two_nodes(self):
+        pmap = ProcessMap(tiny_cluster(num_nodes=2), ppn=8)
+        assert run_alltoall("multileader-node-aware", pmap, msg_bytes=16, procs_per_leader=4).correct
+
+    def test_single_node(self):
+        pmap = ProcessMap(tiny_cluster(num_nodes=1), ppn=8)
+        assert run_alltoall("multileader-node-aware", pmap, msg_bytes=16, procs_per_leader=2).correct
+
+    def test_inter_node_message_count(self, pmap):
+        """Each leader sends exactly one message per remote node (Section 3.3's key property)."""
+        ppl = 4
+        outcome = run_alltoall("multileader-node-aware", pmap, msg_bytes=16, procs_per_leader=ppl)
+        leaders = pmap.nprocs // ppl
+        expected = leaders * (pmap.num_nodes - 1)
+        assert outcome.inter_node_messages == expected
+
+    def test_fewer_inter_node_messages_than_node_aware(self, pmap):
+        mlna = run_alltoall("multileader-node-aware", pmap, msg_bytes=16, procs_per_leader=4)
+        node_aware = run_alltoall("node-aware", pmap, msg_bytes=16)
+        assert mlna.inter_node_messages < node_aware.inter_node_messages
+
+    def test_full_phase_breakdown(self, pmap):
+        outcome = run_alltoall("multileader-node-aware", pmap, msg_bytes=64, procs_per_leader=4)
+        for phase in (PHASE_GATHER, PHASE_INTER, PHASE_INTRA, PHASE_SCATTER):
+            assert outcome.phase_times.get(phase, 0.0) > 0.0, phase
+
+    def test_invalid_group_rejected(self, pmap):
+        with pytest.raises(ConfigurationError):
+            run_alltoall("multileader-node-aware", pmap, msg_bytes=16, procs_per_leader=3)

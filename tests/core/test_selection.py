@@ -1,0 +1,110 @@
+"""Tests for dynamic algorithm selection (repro.core.selection)."""
+
+import pytest
+
+from repro.core.selection import AlgorithmSelector, CandidateConfig, SelectionTable, default_candidates
+from repro.errors import ConfigurationError
+from repro.machine.systems import dane, tiny_cluster
+
+
+class TestCandidateConfig:
+    def test_make_sorts_options(self):
+        a = CandidateConfig.make("x", b=2, a=1)
+        b = CandidateConfig.make("x", a=1, b=2)
+        assert a == b
+
+    def test_as_kwargs_roundtrip(self):
+        candidate = CandidateConfig.make("locality-aware", procs_per_group=4)
+        assert candidate.as_kwargs() == {"procs_per_group": 4}
+
+    def test_describe(self):
+        assert CandidateConfig.make("node-aware").describe() == "node-aware"
+        assert "procs_per_leader=8" in CandidateConfig.make("multileader", procs_per_leader=8).describe()
+
+
+class TestDefaultCandidates:
+    def test_includes_novel_algorithms(self):
+        names = {c.algorithm for c in default_candidates(112)}
+        assert {"system-mpi", "node-aware", "locality-aware", "multileader-node-aware"} <= names
+
+    def test_skips_group_sizes_that_do_not_divide(self):
+        candidates = default_candidates(6)
+        group_sizes = {
+            dict(c.options).get("procs_per_group") for c in candidates if c.algorithm == "locality-aware"
+        }
+        assert group_sizes == set() or group_sizes <= {1, 2, 3, 6}
+
+
+class TestAlgorithmSelector:
+    @pytest.fixture(scope="class")
+    def selector(self):
+        return AlgorithmSelector(dane(32), ppn=112)
+
+    def test_predictions_positive(self, selector):
+        candidate = CandidateConfig.make("node-aware")
+        assert selector.predict(candidate, num_nodes=32, msg_bytes=1024) > 0.0
+
+    def test_selects_small_message_algorithm(self, selector):
+        best, predicted = selector.select(num_nodes=32, msg_bytes=4)
+        assert predicted > 0.0
+        # At 4 bytes the paper's winner is the multi-leader + node-aware algorithm.
+        assert best.algorithm == "multileader-node-aware"
+
+    def test_selects_aggregating_algorithm_for_large_messages(self, selector):
+        best, _ = selector.select(num_nodes=32, msg_bytes=4096)
+        assert best.algorithm in ("node-aware", "locality-aware")
+
+    def test_never_selects_single_leader_hierarchical_at_scale(self, selector):
+        for size in (4, 64, 1024, 4096):
+            best, _ = selector.select(num_nodes=32, msg_bytes=size)
+            assert best.algorithm != "hierarchical"
+
+    def test_selection_map_covers_all_sizes(self, selector):
+        mapping = selector.selection_map(num_nodes=32, msg_sizes=[4, 64, 1024])
+        assert set(mapping) == {4, 64, 1024}
+        assert all(isinstance(v, str) and v for v in mapping.values())
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AlgorithmSelector(tiny_cluster(), ppn=8, candidates=[])
+
+
+class TestSelectionTable:
+    def test_records_best_only(self):
+        table = SelectionTable()
+        table.record(32, 64, "slow", 2.0)
+        table.record(32, 64, "fast", 1.0)
+        table.record(32, 64, "slower", 3.0)
+        assert table.best(32, 64) == "fast"
+
+    def test_nearest_size_lookup(self):
+        table = SelectionTable()
+        table.record(32, 16, "small-algo", 1.0)
+        table.record(32, 4096, "large-algo", 1.0)
+        assert table.best(32, 32) == "small-algo"
+        assert table.best(32, 2048) == "large-algo"
+
+    def test_missing_node_count_rejected(self):
+        table = SelectionTable()
+        table.record(8, 64, "algo", 1.0)
+        with pytest.raises(ConfigurationError):
+            table.best(16, 64)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SelectionTable().record(8, 64, "algo", -1.0)
+
+    def test_as_rows_sorted(self):
+        table = SelectionTable()
+        table.record(8, 128, "b", 1.0)
+        table.record(2, 4, "a", 1.0)
+        rows = table.as_rows()
+        assert rows[0][:2] == (2, 4)
+        assert rows[1][:2] == (8, 128)
+
+    def test_sizes_for(self):
+        table = SelectionTable()
+        table.record(4, 64, "x", 1.0)
+        table.record(4, 8, "y", 1.0)
+        table.record(2, 16, "z", 1.0)
+        assert table.sizes_for(4) == [8, 64]

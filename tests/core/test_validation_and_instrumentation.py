@@ -1,0 +1,152 @@
+"""Tests for repro.core.validation and repro.core.instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.core.instrumentation import PHASE_GATHER, PHASE_INTER, PhaseRecorder
+from repro.core.validation import (
+    alltoall_reference,
+    expected_alltoall_result,
+    validate_alltoall_results,
+)
+from repro.errors import AlgorithmError, BufferSizeError
+from repro.machine import ProcessMap, tiny_cluster
+from repro.simmpi import run_spmd
+from repro.utils.buffers import make_alltoall_sendbuf
+
+
+class TestExpectedResult:
+    def test_matches_bruteforce_construction(self):
+        nprocs, block = 5, 3
+        for rank in range(nprocs):
+            expected = expected_alltoall_result(rank, nprocs, block)
+            brute = np.concatenate(
+                [make_alltoall_sendbuf(src, nprocs, block).reshape(nprocs, block)[rank]
+                 for src in range(nprocs)]
+            )
+            assert np.array_equal(expected, brute)
+
+    def test_uint8_consistency_with_sendbuf(self):
+        nprocs, block = 9, 4
+        expected = expected_alltoall_result(2, nprocs, block, dtype=np.uint8)
+        brute = np.concatenate(
+            [make_alltoall_sendbuf(src, nprocs, block, dtype=np.uint8).reshape(nprocs, block)[2]
+             for src in range(nprocs)]
+        )
+        assert np.array_equal(expected, brute)
+
+    def test_negative_block_rejected(self):
+        with pytest.raises(BufferSizeError):
+            expected_alltoall_result(0, 4, -1)
+
+
+class TestAlltoallReference:
+    def test_transposition(self):
+        sendbufs = [make_alltoall_sendbuf(r, 4, 2) for r in range(4)]
+        recvbufs = alltoall_reference(sendbufs)
+        for rank, buf in enumerate(recvbufs):
+            assert np.array_equal(buf, expected_alltoall_result(rank, 4, 2))
+
+    def test_double_application_is_identity_for_symmetric_layout(self):
+        rng = np.random.default_rng(0)
+        sendbufs = [rng.integers(0, 100, size=12) for _ in range(4)]
+        once = alltoall_reference(sendbufs)
+        twice = alltoall_reference(once)
+        # Applying the block transposition twice returns the original data.
+        for original, roundtrip in zip(sendbufs, twice):
+            assert np.array_equal(original, roundtrip)
+
+    def test_empty_rejected(self):
+        with pytest.raises(BufferSizeError):
+            alltoall_reference([])
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(BufferSizeError):
+            alltoall_reference([np.zeros(5), np.zeros(5)])
+
+
+class TestValidateResults:
+    def test_accepts_correct_results(self):
+        nprocs, block = 6, 2
+        results = [expected_alltoall_result(r, nprocs, block) for r in range(nprocs)]
+        assert validate_alltoall_results(results, nprocs, block)
+
+    def test_rejects_corrupted_value(self):
+        nprocs, block = 6, 2
+        results = [expected_alltoall_result(r, nprocs, block) for r in range(nprocs)]
+        results[3][4] += 1
+        assert not validate_alltoall_results(results, nprocs, block)
+
+    def test_rejects_missing_rank(self):
+        nprocs, block = 4, 2
+        results = [expected_alltoall_result(r, nprocs, block) for r in range(nprocs)]
+        results[1] = None
+        assert not validate_alltoall_results(results, nprocs, block)
+
+    def test_wrong_count_rejected(self):
+        with pytest.raises(BufferSizeError):
+            validate_alltoall_results([np.zeros(4)], 2, 2)
+
+    def test_wrong_size_rejected(self):
+        nprocs, block = 4, 2
+        results = [expected_alltoall_result(r, nprocs, block) for r in range(nprocs)]
+        results[0] = np.zeros(3)
+        with pytest.raises(BufferSizeError):
+            validate_alltoall_results(results, nprocs, block)
+
+
+class TestPhaseRecorder:
+    def test_records_elapsed_time(self):
+        pmap = ProcessMap(tiny_cluster(num_nodes=2), ppn=2)
+
+        def program(ctx):
+            from repro.simmpi.ops import Delay
+
+            phases = PhaseRecorder(ctx)
+            phases.start(PHASE_GATHER)
+            yield Delay(1.0e-4)
+            phases.stop(PHASE_GATHER)
+            phases.start(PHASE_INTER)
+            yield Delay(2.0e-4)
+            phases.stop(PHASE_INTER)
+
+        result = run_spmd(pmap, program)
+        assert result.phase_time(PHASE_GATHER) == pytest.approx(1.0e-4, rel=1e-6)
+        assert result.phase_time(PHASE_INTER) == pytest.approx(2.0e-4, rel=1e-6)
+
+    def test_phases_accumulate(self):
+        pmap = ProcessMap(tiny_cluster(num_nodes=1), ppn=1)
+
+        def program(ctx):
+            from repro.simmpi.ops import Delay
+
+            phases = PhaseRecorder(ctx)
+            for _ in range(3):
+                phases.start("work")
+                yield Delay(1.0e-5)
+                phases.stop("work")
+
+        result = run_spmd(pmap, program)
+        assert result.phase_time("work") == pytest.approx(3.0e-5, rel=1e-6)
+
+    def test_nested_phases_rejected(self, two_node_pmap):
+        def program(ctx):
+            phases = PhaseRecorder(ctx)
+            phases.start("a")
+            phases.start("b")
+            return
+            yield  # pragma: no cover
+
+        with pytest.raises(AlgorithmError):
+            run_spmd(two_node_pmap, program)
+
+    def test_stopping_wrong_phase_rejected(self, two_node_pmap):
+        def program(ctx):
+            phases = PhaseRecorder(ctx)
+            phases.start("a")
+            phases.stop("b")
+            return
+            yield  # pragma: no cover
+
+        with pytest.raises(AlgorithmError):
+            run_spmd(two_node_pmap, program)

@@ -1,0 +1,29 @@
+"""Smoke tests: every example script runs to completion and prints its report."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+EXAMPLES = [
+    ("quickstart.py", ["Simulated machine", "Modelled machine"]),
+    ("fft_transpose.py", ["matched numpy.fft.fft2"]),
+    ("matrix_transpose.py", ["matrix.T exactly"]),
+    ("moe_shuffle.py", ["routing verified", "Best algorithm per hidden dimension"]),
+    ("algorithm_selection.py", ["Model-driven tuning table", "Measurement-driven table"]),
+]
+
+
+@pytest.mark.parametrize("script,expected_phrases", EXAMPLES, ids=[e[0] for e in EXAMPLES])
+def test_example_runs(script, expected_phrases):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    completed = subprocess.run(
+        [sys.executable, str(path)], capture_output=True, text=True, timeout=600
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    for phrase in expected_phrases:
+        assert phrase in completed.stdout, f"{script} output missing {phrase!r}"

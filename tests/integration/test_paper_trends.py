@@ -1,0 +1,198 @@
+"""Qualitative reproduction checks of the paper's findings.
+
+These tests assert the *shape* of the paper's results — which algorithm wins
+in which regime — rather than absolute times.  The full-scale checks use the
+analytic model on the Dane/Amber/Tuolomne presets (32 nodes, all cores per
+node); the reduced-scale checks rerun key comparisons through the
+discrete-event simulator to confirm the trends are not an artefact of the
+closed forms.
+"""
+
+import pytest
+
+from repro.bench.figures import figure07, figure08, figure09, figure10, figure12, figure14, figure15, figure17, figure18, headline_speedup
+from repro.core import run_alltoall
+from repro.core.instrumentation import PHASE_INTER, PHASE_INTRA
+from repro.machine import ProcessMap, tiny_cluster
+
+
+SIZES = (4, 64, 1024, 4096)
+
+
+class TestDaneFullScaleTrends:
+    """Figures 7-12 on the modelled 32-node, 112-rank Dane machine."""
+
+    def test_fig07_multileader_beats_hierarchical_at_large_sizes(self):
+        fig = figure07(msg_sizes=SIZES)
+        hierarchical = fig.get("Hierarchical")
+        for label in fig.labels():
+            if "Processes Per Leader" in label:
+                assert fig.get(label).at(4096).seconds < hierarchical.at(4096).seconds
+
+    def test_fig07_more_leaders_help_large_messages(self):
+        """'For large data sizes, performance increases with the number of leaders per node.'"""
+        fig = figure07(msg_sizes=SIZES)
+        assert (
+            fig.get("4 Processes Per Leader").at(4096).seconds
+            < fig.get("16 Processes Per Leader").at(4096).seconds
+        )
+
+    def test_fig07_fewer_leaders_help_small_messages(self):
+        """'For smaller data sizes ... fewer leaders are beneficial.'"""
+        fig = figure07(msg_sizes=SIZES)
+        assert (
+            fig.get("16 Processes Per Leader").at(4).seconds
+            < fig.get("4 Processes Per Leader").at(4).seconds
+        )
+
+    def test_fig08_node_aware_best_at_small_and_mid_sizes(self):
+        fig = figure08(msg_sizes=SIZES)
+        node_aware = fig.get("Node-Aware")
+        for size in (4, 64):
+            for label in fig.labels():
+                if "Processes Per Group" in label:
+                    assert node_aware.at(size).seconds < fig.get(label).at(size).seconds
+
+    def test_fig08_locality_aware_wins_at_largest_size(self):
+        """The paper's first novel result: locality-aware aggregation wins at 4096 B."""
+        fig = figure08(msg_sizes=SIZES)
+        node_aware = fig.get("Node-Aware").at(4096).seconds
+        best_locality = min(
+            fig.get(label).at(4096).seconds
+            for label in fig.labels()
+            if "Processes Per Group" in label
+        )
+        assert best_locality < node_aware
+
+    def test_fig09_mlna_best_at_small_sizes_with_intermediate_leader_count(self):
+        """Algorithm 5 beats both of its limits (hierarchical, node-aware) at 4 bytes."""
+        fig = figure09(msg_sizes=SIZES)
+        best_mlna = min(
+            fig.get(label).at(4).seconds for label in fig.labels() if "Processes Per Leader" in label
+        )
+        assert best_mlna < fig.get("Hierarchical").at(4).seconds
+        assert best_mlna < fig.get("Node-Aware").at(4).seconds
+        assert best_mlna < fig.get("System MPI").at(4).seconds
+
+    def test_fig10_multileader_node_aware_best_at_small_sizes(self):
+        fig = figure10(msg_sizes=SIZES)
+        assert fig.best_at(4)[0] == "Multileader + Locality"
+
+    def test_fig10_aggregating_algorithms_best_at_large_sizes(self):
+        fig = figure10(msg_sizes=SIZES)
+        assert fig.best_at(1024)[0] in ("Node-Aware", "Locality-Aware", "Multileader")
+        assert fig.best_at(4096)[0] in ("Node-Aware", "Locality-Aware")
+
+    def test_fig10_novel_algorithms_beat_system_mpi_at_every_size(self):
+        fig = figure10(msg_sizes=SIZES)
+        for size in SIZES:
+            assert fig.speedup_over("System MPI", size) > 1.0
+
+    def test_headline_up_to_3x_speedup(self):
+        """Abstract: 'achieving up to 3x speedup over system MPI at 32 nodes'."""
+        summary = headline_speedup(msg_sizes=SIZES)
+        assert summary["best_speedup"] >= 3.0
+
+    def test_fig11_fig12_times_grow_with_node_count(self):
+        for fig in (figure12(node_counts=(2, 8, 32)),):
+            for label in fig.labels():
+                ys = fig.get(label).ys()
+                assert ys == sorted(ys), label
+
+    def test_fig12_node_aware_family_beats_system_mpi_when_scaled(self):
+        fig = figure12(node_counts=(2, 8, 32))
+        assert fig.get("Node-Aware").at(32).seconds < fig.get("System MPI").at(32).seconds
+        assert fig.get("Locality-Aware").at(32).seconds < fig.get("System MPI").at(32).seconds
+
+
+class TestBreakdownTrends:
+    """Figures 13-16: intra- vs inter-node decomposition."""
+
+    def test_fig14_inter_node_dominates_node_aware_at_all_sizes(self):
+        fig = figure14(msg_sizes=SIZES)
+        for size in SIZES:
+            inter = fig.get("Inter-Node (Pairwise)").at(size).seconds
+            intra = fig.get("Intra-Node (Pairwise)").at(size).seconds
+            assert inter > intra
+
+    def test_fig15_inter_node_dominates_at_every_node_count(self):
+        fig = figure15(node_counts=(2, 8, 32))
+        for nodes in (2, 8, 32):
+            assert (
+                fig.get("Inter-Node Alltoall").at(nodes).seconds
+                > fig.get("Intra-Node Alltoall").at(nodes).seconds
+            )
+
+    def test_fig14_intra_node_scales_with_inter_node(self):
+        """Section 4.1: 'intra-node communication scales with internode communication'."""
+        fig = figure14(msg_sizes=SIZES)
+        intra = fig.get("Intra-Node (Pairwise)")
+        assert intra.at(4096).seconds > intra.at(4).seconds
+
+
+class TestOtherSystems:
+    def test_fig17_amber_matches_dane_trends(self):
+        fig = figure17(msg_sizes=SIZES)
+        assert fig.best_at(4)[0] == "Multileader + Locality"
+        assert fig.best_at(4096)[0] in ("Node-Aware", "Locality-Aware")
+        assert fig.get("Node-Aware").at(1024).seconds < fig.get("System MPI").at(1024).seconds
+
+    def test_fig18_tuolomne_system_mpi_is_competitive(self):
+        """On Tuolomne the Cray MPICH baseline is much harder to beat (Figure 18)."""
+        fig = figure18(msg_sizes=SIZES)
+        system = fig.get("System MPI")
+        node_aware = fig.get("Node-Aware")
+        # At the largest size the baseline is within ~2x of (or better than)
+        # the best novel algorithm, unlike the ~5x gaps seen on Dane.
+        best = fig.best_at(4096)[1]
+        assert system.at(4096).seconds < 2.0 * best
+        # Node-aware remains the best of the novel algorithms at small sizes.
+        assert node_aware.at(4).seconds < fig.get("Locality-Aware").at(4).seconds
+
+
+class TestReducedScaleSimulation:
+    """The same qualitative findings, observed in the event-driven simulation.
+
+    The simulator cannot run 3 584 ranks in reasonable time, so these checks
+    use the Dane cost parameters at 8 nodes x 16 ranks — small enough to
+    simulate, large enough that the many-core effects (per-node NIC
+    serialization, message-count reduction from aggregation) are visible.
+    """
+
+    @pytest.fixture(scope="class")
+    def pmap(self):
+        from repro.machine.systems import dane
+
+        return ProcessMap(dane(8), ppn=16, num_nodes=8)
+
+    def test_node_aware_beats_flat_pairwise_for_small_messages(self, pmap):
+        """Aggregation removes most per-message overheads of the flat exchange."""
+        flat = run_alltoall("pairwise", pmap, msg_bytes=8, keep_job=False, validate=False)
+        node_aware = run_alltoall("node-aware", pmap, msg_bytes=8, keep_job=False, validate=False)
+        assert node_aware.elapsed < flat.elapsed
+
+    def test_bruck_loses_to_pairwise_for_large_messages(self, pmap):
+        """Bruck's extra forwarded volume makes it uncompetitive at 2 KiB (Section 2)."""
+        bruck = run_alltoall("bruck", pmap, msg_bytes=2048, keep_job=False, validate=False)
+        pairwise = run_alltoall("pairwise", pmap, msg_bytes=2048, keep_job=False, validate=False)
+        assert bruck.elapsed > pairwise.elapsed
+
+    def test_mlna_beats_hierarchical_for_small_messages(self, pmap):
+        hierarchical = run_alltoall("hierarchical", pmap, msg_bytes=8, keep_job=False, validate=False)
+        mlna = run_alltoall("multileader-node-aware", pmap, msg_bytes=8, procs_per_leader=4,
+                            keep_job=False, validate=False)
+        assert mlna.elapsed < hierarchical.elapsed
+
+    def test_multileader_beats_single_leader_for_large_messages(self, pmap):
+        """Figure 7's large-message trend: more leaders per node help."""
+        hierarchical = run_alltoall("hierarchical", pmap, msg_bytes=2048, keep_job=False,
+                                    validate=False)
+        multileader = run_alltoall("multileader", pmap, msg_bytes=2048, procs_per_leader=4,
+                                   keep_job=False, validate=False)
+        node_aware = run_alltoall("node-aware", pmap, msg_bytes=2048, keep_job=False, validate=False)
+        assert multileader.elapsed < hierarchical.elapsed
+        assert node_aware.elapsed < hierarchical.elapsed
+
+    def test_node_aware_inter_node_phase_dominates(self, pmap):
+        outcome = run_alltoall("node-aware", pmap, msg_bytes=1024, keep_job=False, validate=False)
+        assert outcome.phase_times[PHASE_INTER] > outcome.phase_times[PHASE_INTRA]

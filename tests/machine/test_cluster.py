@@ -1,0 +1,43 @@
+"""Tests for repro.machine.cluster."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.machine.cluster import Cluster
+from repro.machine.params import MachineParameters
+from repro.machine.topology import NodeArchitecture
+
+
+@pytest.fixture
+def node() -> NodeArchitecture:
+    return NodeArchitecture("n", sockets=2, numa_per_socket=2, cores_per_numa=4)
+
+
+class TestCluster:
+    def test_totals(self, node):
+        cluster = Cluster(name="c", node=node, num_nodes=8)
+        assert cluster.cores_per_node == 16
+        assert cluster.total_cores == 128
+
+    def test_invalid_node_count(self, node):
+        with pytest.raises(TopologyError):
+            Cluster(name="c", node=node, num_nodes=0)
+
+    def test_with_nodes_returns_copy(self, node):
+        cluster = Cluster(name="c", node=node, num_nodes=8)
+        smaller = cluster.with_nodes(2)
+        assert smaller.num_nodes == 2
+        assert cluster.num_nodes == 8
+        assert smaller.node is cluster.node
+
+    def test_with_params_returns_copy(self, node):
+        cluster = Cluster(name="c", node=node, num_nodes=4)
+        new_params = MachineParameters(eager_limit=1)
+        modified = cluster.with_params(new_params)
+        assert modified.params.eager_limit == 1
+        assert cluster.params.eager_limit != 1
+
+    def test_describe_mentions_name_and_network(self, node):
+        cluster = Cluster(name="testsys", node=node, num_nodes=4, network_name="fabric-x")
+        text = cluster.describe()
+        assert "testsys" in text and "fabric-x" in text

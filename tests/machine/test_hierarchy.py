@@ -1,0 +1,44 @@
+"""Tests for repro.machine.hierarchy."""
+
+from repro.machine.hierarchy import (
+    INTRA_NODE_LEVELS,
+    LocalityLevel,
+    coarsest_level,
+    finest_level,
+)
+
+
+class TestOrdering:
+    def test_levels_strictly_ordered(self):
+        assert (
+            LocalityLevel.SELF
+            < LocalityLevel.NUMA
+            < LocalityLevel.SOCKET
+            < LocalityLevel.NODE
+            < LocalityLevel.NETWORK
+        )
+
+    def test_finest_and_coarsest(self):
+        assert finest_level() == LocalityLevel.NUMA
+        assert coarsest_level() == LocalityLevel.NETWORK
+
+
+class TestClassification:
+    def test_intra_node_levels(self):
+        for level in INTRA_NODE_LEVELS:
+            assert level.is_intra_node
+            assert not level.is_inter_node
+
+    def test_network_is_inter_node(self):
+        assert LocalityLevel.NETWORK.is_inter_node
+        assert not LocalityLevel.NETWORK.is_intra_node
+
+    def test_intra_node_levels_complete(self):
+        assert set(INTRA_NODE_LEVELS) | {LocalityLevel.NETWORK} == set(LocalityLevel)
+
+
+class TestDescribe:
+    def test_all_levels_have_descriptions(self):
+        for level in LocalityLevel:
+            text = level.describe()
+            assert isinstance(text, str) and text

@@ -1,0 +1,109 @@
+"""Tests for repro.machine.params."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.hierarchy import LocalityLevel
+from repro.machine.params import LevelCosts, MachineParameters
+
+
+class TestLevelCosts:
+    def test_byte_time_is_inverse_bandwidth(self):
+        costs = LevelCosts(latency=1e-6, bandwidth=1e9)
+        assert costs.byte_time == pytest.approx(1e-9)
+
+    def test_message_time(self):
+        costs = LevelCosts(latency=2e-6, bandwidth=1e9)
+        assert costs.message_time(1000) == pytest.approx(2e-6 + 1e-6)
+
+    def test_zero_byte_message_is_latency(self):
+        costs = LevelCosts(latency=5e-7, bandwidth=1e10)
+        assert costs.message_time(0) == pytest.approx(5e-7)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LevelCosts(latency=-1e-6, bandwidth=1e9)
+
+    def test_non_positive_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LevelCosts(latency=1e-6, bandwidth=0.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LevelCosts(latency=1e-6, bandwidth=1e9).message_time(-1)
+
+
+class TestMachineParameters:
+    def test_defaults_cover_all_levels(self):
+        params = MachineParameters()
+        for level in LocalityLevel:
+            assert params.latency(level) >= 0.0
+            assert params.byte_time(level) > 0.0
+
+    def test_network_slower_than_numa_by_default(self):
+        params = MachineParameters()
+        assert params.latency(LocalityLevel.NETWORK) > params.latency(LocalityLevel.NUMA)
+
+    def test_missing_level_rejected(self):
+        levels = {LocalityLevel.SELF: LevelCosts(0.0, 1e9)}
+        with pytest.raises(ConfigurationError, match="missing"):
+            MachineParameters(levels=levels)
+
+    def test_injection_time_components(self):
+        params = MachineParameters(nic_message_overhead=1e-6, injection_bandwidth=1e9)
+        assert params.injection_time(1000) == pytest.approx(1e-6 + 1e-6)
+
+    def test_fabric_time(self):
+        params = MachineParameters(cross_numa_bandwidth=1e9)
+        assert params.fabric_time(2000) == pytest.approx(2e-6)
+
+    def test_copy_time_zero_bytes(self):
+        assert MachineParameters().copy_time(0) == 0.0
+
+    def test_copy_time_includes_latency(self):
+        params = MachineParameters(copy_latency=1e-6, copy_bandwidth=1e9)
+        assert params.copy_time(1000) == pytest.approx(2e-6)
+
+    def test_eager_threshold(self):
+        params = MachineParameters(eager_limit=100)
+        assert params.is_eager(100)
+        assert not params.is_eager(101)
+
+    def test_negative_sizes_rejected(self):
+        params = MachineParameters()
+        with pytest.raises(ConfigurationError):
+            params.injection_time(-1)
+        with pytest.raises(ConfigurationError):
+            params.copy_time(-1)
+        with pytest.raises(ConfigurationError):
+            params.fabric_time(-1)
+
+    def test_invalid_scalars_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineParameters(injection_bandwidth=0.0)
+        with pytest.raises(ConfigurationError):
+            MachineParameters(send_overhead=-1.0)
+        with pytest.raises(ConfigurationError):
+            MachineParameters(eager_limit=-1)
+
+    def test_with_overrides(self):
+        params = MachineParameters()
+        modified = params.with_overrides(eager_limit=1)
+        assert modified.eager_limit == 1
+        assert params.eager_limit != 1  # original untouched
+
+    def test_scale_level(self):
+        params = MachineParameters()
+        scaled = params.scale_level(LocalityLevel.NETWORK, latency_factor=2.0, bandwidth_factor=0.5)
+        assert scaled.latency(LocalityLevel.NETWORK) == pytest.approx(
+            2.0 * params.latency(LocalityLevel.NETWORK)
+        )
+        assert scaled.byte_time(LocalityLevel.NETWORK) == pytest.approx(
+            2.0 * params.byte_time(LocalityLevel.NETWORK)
+        )
+        # other levels untouched
+        assert scaled.latency(LocalityLevel.NUMA) == params.latency(LocalityLevel.NUMA)
+
+    def test_scale_level_invalid_factor(self):
+        with pytest.raises(ConfigurationError):
+            MachineParameters().scale_level(LocalityLevel.NUMA, bandwidth_factor=0.0)

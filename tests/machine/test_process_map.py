@@ -1,0 +1,145 @@
+"""Tests for repro.machine.process_map."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.machine import ProcessMap, tiny_cluster
+from repro.machine.hierarchy import LocalityLevel
+from repro.machine.systems import dane
+
+
+@pytest.fixture
+def pmap() -> ProcessMap:
+    # tiny cluster: 2 sockets x 2 NUMA x 2 cores = 8 cores/node, 4 nodes
+    return ProcessMap(tiny_cluster(num_nodes=4), ppn=8)
+
+
+class TestConstruction:
+    def test_sizes(self, pmap):
+        assert pmap.nprocs == 32
+        assert pmap.ppn == 8
+        assert pmap.num_nodes == 4
+
+    def test_defaults_to_whole_cluster(self):
+        pmap = ProcessMap(tiny_cluster(num_nodes=4), ppn=2)
+        assert pmap.num_nodes == 4
+        assert pmap.nprocs == 8
+
+    def test_subset_of_nodes(self):
+        pmap = ProcessMap(tiny_cluster(num_nodes=8), ppn=4, num_nodes=2)
+        assert pmap.nprocs == 8
+
+    def test_ppn_exceeding_cores_rejected(self):
+        with pytest.raises(TopologyError):
+            ProcessMap(tiny_cluster(num_nodes=2), ppn=9)
+
+    def test_too_many_nodes_rejected(self):
+        with pytest.raises(TopologyError):
+            ProcessMap(tiny_cluster(num_nodes=2), ppn=4, num_nodes=3)
+
+    def test_non_positive_ppn_rejected(self):
+        with pytest.raises(TopologyError):
+            ProcessMap(tiny_cluster(num_nodes=2), ppn=0)
+
+
+class TestPlacement:
+    def test_node_of_block_mapping(self, pmap):
+        assert pmap.node_of(0) == 0
+        assert pmap.node_of(7) == 0
+        assert pmap.node_of(8) == 1
+        assert pmap.node_of(31) == 3
+
+    def test_local_rank(self, pmap):
+        assert pmap.local_rank(0) == 0
+        assert pmap.local_rank(7) == 7
+        assert pmap.local_rank(8) == 0
+
+    def test_numa_and_socket(self, pmap):
+        # 2 cores per NUMA, 4 cores per socket on the tiny node
+        assert pmap.numa_of(0) == 0
+        assert pmap.numa_of(2) == 1
+        assert pmap.socket_of(3) == 0
+        assert pmap.socket_of(4) == 1
+
+    def test_out_of_range_rank(self, pmap):
+        with pytest.raises(TopologyError):
+            pmap.node_of(32)
+
+    def test_node_assignment_cache(self, pmap):
+        assignment = pmap.node_assignment
+        assert len(assignment) == 32
+        assert assignment[:8] == [0] * 8
+        assert assignment[-1] == 3
+
+
+class TestLocality:
+    def test_self(self, pmap):
+        assert pmap.locality(3, 3) == LocalityLevel.SELF
+
+    def test_same_numa(self, pmap):
+        assert pmap.locality(0, 1) == LocalityLevel.NUMA
+
+    def test_same_socket(self, pmap):
+        assert pmap.locality(0, 2) == LocalityLevel.SOCKET
+
+    def test_same_node_cross_socket(self, pmap):
+        assert pmap.locality(0, 4) == LocalityLevel.NODE
+
+    def test_cross_node(self, pmap):
+        assert pmap.locality(0, 8) == LocalityLevel.NETWORK
+
+    def test_same_node_predicate(self, pmap):
+        assert pmap.same_node(0, 7)
+        assert not pmap.same_node(7, 8)
+
+    def test_symmetry(self, pmap):
+        for a, b in [(0, 1), (0, 2), (0, 4), (0, 8), (5, 29)]:
+            assert pmap.locality(a, b) == pmap.locality(b, a)
+
+
+class TestGroupings:
+    def test_ranks_on_node(self, pmap):
+        assert pmap.ranks_on_node(1) == list(range(8, 16))
+        with pytest.raises(TopologyError):
+            pmap.ranks_on_node(4)
+
+    def test_ranks_with_local_rank(self, pmap):
+        assert pmap.ranks_with_local_rank(3) == [3, 11, 19, 27]
+        with pytest.raises(TopologyError):
+            pmap.ranks_with_local_rank(8)
+
+    def test_ranks_in_numa(self, pmap):
+        assert pmap.ranks_in_numa(0, 0) == [0, 1]
+        assert pmap.ranks_in_numa(1, 3) == [14, 15]
+
+    def test_ranks_in_numa_partial_occupancy(self):
+        pmap = ProcessMap(tiny_cluster(num_nodes=2), ppn=3)
+        # only 3 ranks per node: NUMA 1 holds a single rank, NUMA 2/3 none
+        assert pmap.ranks_in_numa(0, 1) == [2]
+        assert pmap.ranks_in_numa(0, 2) == []
+
+    def test_leader_groups(self, pmap):
+        groups = pmap.leader_groups(1, 4)
+        assert groups == [[8, 9, 10, 11], [12, 13, 14, 15]]
+
+    def test_leader_groups_whole_node(self, pmap):
+        assert pmap.leader_groups(0, 8) == [list(range(8))]
+
+    def test_group_of(self, pmap):
+        assert pmap.group_of(0, 4) == 0
+        assert pmap.group_of(5, 4) == 1
+        assert pmap.group_of(13, 4) == 1
+
+    def test_full_scale_dane_mapping(self):
+        pmap = ProcessMap(dane(32), ppn=112)
+        assert pmap.nprocs == 3584
+        assert pmap.node_of(3583) == 31
+        assert pmap.locality(0, 13) == LocalityLevel.NUMA
+        assert pmap.locality(0, 14) == LocalityLevel.SOCKET
+        assert pmap.locality(0, 56) == LocalityLevel.NODE
+        assert pmap.locality(0, 112) == LocalityLevel.NETWORK
+        assert len(pmap.leader_groups(0, 4)) == 28
+
+    def test_describe(self, pmap):
+        text = pmap.describe()
+        assert "32" in text and "tiny" in text

@@ -1,0 +1,89 @@
+"""Tests for repro.machine.topology."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.machine.hierarchy import LocalityLevel
+from repro.machine.topology import NodeArchitecture
+
+
+@pytest.fixture
+def sapphire() -> NodeArchitecture:
+    """The paper's Sapphire Rapids node: 2 sockets x 4 NUMA x 14 cores."""
+    return NodeArchitecture(name="spr", sockets=2, numa_per_socket=4, cores_per_numa=14)
+
+
+class TestSizes:
+    def test_derived_counts(self, sapphire):
+        assert sapphire.cores_per_socket == 56
+        assert sapphire.cores_per_node == 112
+        assert sapphire.numa_domains == 8
+
+    def test_single_socket_node(self):
+        node = NodeArchitecture("flat", sockets=1, numa_per_socket=1, cores_per_numa=4)
+        assert node.cores_per_node == 4
+        assert node.numa_domains == 1
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(TopologyError):
+            NodeArchitecture("bad", sockets=0, numa_per_socket=1, cores_per_numa=1)
+        with pytest.raises(TopologyError):
+            NodeArchitecture("bad", sockets=1, numa_per_socket=-1, cores_per_numa=1)
+        with pytest.raises(TopologyError):
+            NodeArchitecture("bad", sockets=1, numa_per_socket=1, cores_per_numa=0)
+
+
+class TestPlacement:
+    def test_socket_of_core(self, sapphire):
+        assert sapphire.socket_of_core(0) == 0
+        assert sapphire.socket_of_core(55) == 0
+        assert sapphire.socket_of_core(56) == 1
+        assert sapphire.socket_of_core(111) == 1
+
+    def test_numa_of_core(self, sapphire):
+        assert sapphire.numa_of_core(0) == 0
+        assert sapphire.numa_of_core(13) == 0
+        assert sapphire.numa_of_core(14) == 1
+        assert sapphire.numa_of_core(111) == 7
+
+    def test_out_of_range_core_rejected(self, sapphire):
+        with pytest.raises(TopologyError):
+            sapphire.socket_of_core(112)
+        with pytest.raises(TopologyError):
+            sapphire.numa_of_core(-1)
+
+    def test_cores_in_numa(self, sapphire):
+        assert list(sapphire.cores_in_numa(0)) == list(range(0, 14))
+        assert list(sapphire.cores_in_numa(7)) == list(range(98, 112))
+        with pytest.raises(TopologyError):
+            sapphire.cores_in_numa(8)
+
+    def test_cores_in_socket(self, sapphire):
+        assert list(sapphire.cores_in_socket(1)) == list(range(56, 112))
+        with pytest.raises(TopologyError):
+            sapphire.cores_in_socket(2)
+
+
+class TestLocality:
+    def test_same_core(self, sapphire):
+        assert sapphire.core_locality(5, 5) == LocalityLevel.SELF
+
+    def test_same_numa(self, sapphire):
+        assert sapphire.core_locality(0, 13) == LocalityLevel.NUMA
+
+    def test_same_socket_different_numa(self, sapphire):
+        assert sapphire.core_locality(0, 14) == LocalityLevel.SOCKET
+        assert sapphire.core_locality(13, 55) == LocalityLevel.SOCKET
+
+    def test_different_socket(self, sapphire):
+        assert sapphire.core_locality(0, 56) == LocalityLevel.NODE
+        assert sapphire.core_locality(55, 111) == LocalityLevel.NODE
+
+    def test_symmetry(self, sapphire):
+        for a, b in [(0, 13), (0, 14), (0, 56), (30, 100)]:
+            assert sapphire.core_locality(a, b) == sapphire.core_locality(b, a)
+
+
+class TestDescribe:
+    def test_mentions_core_count(self, sapphire):
+        assert "112" in sapphire.describe()

@@ -1,0 +1,175 @@
+"""Tests of the analytic cost model building blocks and per-algorithm formulas."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine import ProcessMap
+from repro.machine.systems import dane, tiny_cluster
+from repro.model.costs import (
+    bruck_flat_cost,
+    hierarchical_cost,
+    multileader_node_aware_cost,
+    node_aware_cost,
+    nonblocking_flat_cost,
+    pairwise_flat_cost,
+    system_mpi_cost,
+)
+from repro.model.loggp import (
+    cross_numa_bytes,
+    exchange_estimate,
+    fabric_phase_bound,
+    linear_rooted_cost,
+    nic_phase_bound,
+)
+from repro.core.instrumentation import PHASE_GATHER, PHASE_INTER, PHASE_INTRA, PHASE_SCATTER
+
+
+@pytest.fixture(scope="module")
+def pmap():
+    return ProcessMap(tiny_cluster(num_nodes=4), ppn=8)
+
+
+@pytest.fixture(scope="module")
+def dane_pmap():
+    return ProcessMap(dane(32), ppn=112)
+
+
+class TestExchangeEstimate:
+    def test_empty_peer_list(self, pmap):
+        est = exchange_estimate(pmap, 0, [], 64, "pairwise")
+        assert est.rank_time == 0.0 and est.inter_messages == 0
+
+    def test_pairwise_counts_inter_node_peers(self, pmap):
+        peers = [1, 8, 16]  # one intra-node, two inter-node
+        est = exchange_estimate(pmap, 0, peers, 100, "pairwise")
+        assert est.inter_messages == 2
+        assert est.inter_bytes == 200
+
+    def test_pairwise_time_grows_with_peers(self, pmap):
+        few = exchange_estimate(pmap, 0, [8], 64, "pairwise").rank_time
+        many = exchange_estimate(pmap, 0, [8, 9, 10, 11], 64, "pairwise").rank_time
+        assert many > few
+
+    def test_nonblocking_cheaper_than_pairwise_for_small_messages(self, pmap):
+        peers = list(range(1, 32))
+        nb = exchange_estimate(pmap, 0, peers, 8, "nonblocking").rank_time
+        pw = exchange_estimate(pmap, 0, peers, 8, "pairwise").rank_time
+        assert nb < pw
+
+    def test_nonblocking_matching_cost_quadratic(self, pmap):
+        """Doubling the peer count more than doubles the non-blocking estimate for tiny messages."""
+        half = exchange_estimate(pmap, 0, list(range(1, 16)), 1, "nonblocking").rank_time
+        full = exchange_estimate(pmap, 0, list(range(1, 31)), 1, "nonblocking").rank_time
+        assert full > 2.0 * half
+
+    def test_bruck_logarithmic_steps(self, pmap):
+        est = exchange_estimate(pmap, 0, list(range(1, 32)), 4, "bruck")
+        # 32 ranks -> 5 steps, all counted as inter-node on a multi-node peer set.
+        assert est.inter_messages == 5
+
+    def test_rendezvous_adds_overhead(self, pmap):
+        params = pmap.params
+        small = exchange_estimate(pmap, 0, [8], params.eager_limit, "pairwise").rank_time
+        large = exchange_estimate(pmap, 0, [8], params.eager_limit + 8, "pairwise").rank_time
+        assert large > small + params.rendezvous_overhead * 0.5
+
+    def test_unknown_kind_rejected(self, pmap):
+        with pytest.raises(ConfigurationError):
+            exchange_estimate(pmap, 0, [1], 8, "telepathy")
+
+
+class TestBounds:
+    def test_nic_phase_bound(self, pmap):
+        params = pmap.params
+        bound = nic_phase_bound(params, messages_per_node=10, bytes_per_node=1e6)
+        assert bound == pytest.approx(10 * params.nic_message_overhead + 1e6 / params.injection_bandwidth)
+
+    def test_nic_bound_rejects_negative(self, pmap):
+        with pytest.raises(ConfigurationError):
+            nic_phase_bound(pmap.params, messages_per_node=-1, bytes_per_node=0)
+
+    def test_fabric_bound(self, pmap):
+        params = pmap.params
+        assert fabric_phase_bound(params, cross_numa_bytes_per_node=params.cross_numa_bandwidth) == pytest.approx(1.0)
+
+    def test_cross_numa_bytes_excludes_network_and_numa(self, pmap):
+        # peer 1 is NUMA-local, peer 2 crosses NUMA, peer 4 crosses the socket,
+        # peer 8 is on another node.
+        assert cross_numa_bytes(pmap, 0, [1], 100) == 0
+        assert cross_numa_bytes(pmap, 0, [2], 100) == 100
+        assert cross_numa_bytes(pmap, 0, [4], 100) == 100
+        assert cross_numa_bytes(pmap, 0, [8], 100) == 0
+
+    def test_linear_rooted_cost_scales_with_members(self, pmap):
+        small = linear_rooted_cost(pmap, 0, [0, 1], 1024)
+        large = linear_rooted_cost(pmap, 0, list(range(8)), 1024)
+        assert large > small
+
+    def test_linear_rooted_cost_single_member(self, pmap):
+        assert linear_rooted_cost(pmap, 0, [0], 1024) > 0.0
+
+
+class TestCostBreakdowns:
+    def test_all_models_positive(self, dane_pmap):
+        for fn in (
+            pairwise_flat_cost, nonblocking_flat_cost, bruck_flat_cost,
+        ):
+            assert fn(dane_pmap, 64).total > 0.0
+        assert system_mpi_cost(dane_pmap, 64).total > 0.0
+        assert hierarchical_cost(dane_pmap, 64).total > 0.0
+        assert node_aware_cost(dane_pmap, 64).total > 0.0
+        assert multileader_node_aware_cost(dane_pmap, 64, procs_per_leader=4).total > 0.0
+
+    def test_monotonic_in_message_size(self, dane_pmap):
+        for fn, kwargs in [
+            (pairwise_flat_cost, {}),
+            (node_aware_cost, {}),
+            (hierarchical_cost, {}),
+            (multileader_node_aware_cost, {"procs_per_leader": 4}),
+        ]:
+            times = [fn(dane_pmap, s, **kwargs).total for s in (4, 64, 1024, 4096)]
+            assert times == sorted(times), fn.__name__
+
+    def test_monotonic_in_node_count(self):
+        cluster = dane(32)
+        times = []
+        for nodes in (2, 8, 32):
+            pmap = ProcessMap(cluster, ppn=112, num_nodes=nodes)
+            times.append(node_aware_cost(pmap, 1024).total)
+        assert times == sorted(times)
+
+    def test_bruck_beats_pairwise_small_loses_large(self, dane_pmap):
+        assert bruck_flat_cost(dane_pmap, 4).total < pairwise_flat_cost(dane_pmap, 4).total
+        assert bruck_flat_cost(dane_pmap, 4096).total > pairwise_flat_cost(dane_pmap, 4096).total
+
+    def test_system_mpi_switches_algorithm(self, dane_pmap):
+        small = system_mpi_cost(dane_pmap, 4)
+        large = system_mpi_cost(dane_pmap, 65536)
+        assert small.total == pytest.approx(bruck_flat_cost(dane_pmap, 4).total)
+        assert large.total == pytest.approx(pairwise_flat_cost(dane_pmap, 65536).total)
+
+    def test_hierarchical_has_expected_phases(self, dane_pmap):
+        breakdown = hierarchical_cost(dane_pmap, 256)
+        for phase in (PHASE_GATHER, PHASE_INTER, PHASE_SCATTER):
+            assert breakdown.phase(phase) > 0.0
+
+    def test_node_aware_has_expected_phases(self, dane_pmap):
+        breakdown = node_aware_cost(dane_pmap, 256)
+        assert breakdown.phase(PHASE_INTER) > 0.0
+        assert breakdown.phase(PHASE_INTRA) > 0.0
+
+    def test_mlna_reduces_to_extremes(self, dane_pmap):
+        """procs_per_leader=1 behaves like node-aware; =ppn like hierarchical (Section 3.3)."""
+        as_node_aware = multileader_node_aware_cost(dane_pmap, 1024, procs_per_leader=1).total
+        node_aware = node_aware_cost(dane_pmap, 1024).total
+        assert as_node_aware == pytest.approx(node_aware, rel=0.5)
+
+        as_hierarchical = multileader_node_aware_cost(dane_pmap, 1024, procs_per_leader=112).total
+        hierarchical = hierarchical_cost(dane_pmap, 1024).total
+        assert as_hierarchical == pytest.approx(hierarchical, rel=0.5)
+
+    def test_invalid_inputs_rejected(self, dane_pmap):
+        with pytest.raises(ConfigurationError):
+            pairwise_flat_cost(dane_pmap, 0)
+        with pytest.raises(ConfigurationError):
+            node_aware_cost(dane_pmap, 64, procs_per_group=5)

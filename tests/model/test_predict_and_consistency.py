@@ -1,0 +1,96 @@
+"""Tests of the prediction dispatch layer and model-vs-simulation consistency."""
+
+import pytest
+
+from repro.core.runner import run_alltoall
+from repro.errors import ConfigurationError
+from repro.machine import ProcessMap
+from repro.machine.systems import dane, tiny_cluster
+from repro.model.calibrate import CalibrationPoint, compare_model_to_simulation, ordering_agreement
+from repro.model.predict import MODELED_ALGORITHMS, predict_breakdown, predict_time
+
+
+@pytest.fixture(scope="module")
+def dane_pmap():
+    return ProcessMap(dane(32), ppn=112)
+
+
+@pytest.fixture(scope="module")
+def small_pmap():
+    return ProcessMap(tiny_cluster(num_nodes=4), ppn=8)
+
+
+class TestPredictDispatch:
+    @pytest.mark.parametrize("name", MODELED_ALGORITHMS)
+    def test_every_algorithm_predictable(self, dane_pmap, name):
+        assert predict_time(name, dane_pmap, 64) > 0.0
+
+    def test_breakdown_total_matches_time(self, dane_pmap):
+        breakdown = predict_breakdown("node-aware", dane_pmap, 256)
+        assert breakdown.total == pytest.approx(predict_time("node-aware", dane_pmap, 256))
+
+    def test_options_forwarded(self, dane_pmap):
+        few = predict_time("locality-aware", dane_pmap, 4096, procs_per_group=4)
+        default = predict_time("locality-aware", dane_pmap, 4096)
+        assert few == pytest.approx(default)  # default group size is 4
+        different = predict_time("locality-aware", dane_pmap, 4096, procs_per_group=16)
+        assert different != pytest.approx(few)
+
+    def test_unknown_algorithm_rejected(self, dane_pmap):
+        with pytest.raises(ConfigurationError):
+            predict_time("warp-drive", dane_pmap, 64)
+
+    def test_unknown_option_rejected(self, dane_pmap):
+        with pytest.raises(ConfigurationError):
+            predict_time("pairwise", dane_pmap, 64, procs_per_group=4)
+
+
+class TestModelSimulationConsistency:
+    """The analytic model must agree with the event simulator where both run."""
+
+    CONFIGS = [
+        ("pairwise", {}),
+        ("node-aware", {}),
+        ("hierarchical", {}),
+        ("multileader-node-aware", {"procs_per_leader": 4}),
+    ]
+
+    @pytest.fixture(scope="class")
+    def points(self, small_pmap):
+        return compare_model_to_simulation(small_pmap, self.CONFIGS, msg_sizes=[16, 1024])
+
+    def test_all_points_positive(self, points):
+        for point in points:
+            assert point.simulated > 0.0 and point.modelled > 0.0
+
+    def test_model_within_order_of_magnitude(self, points):
+        for point in points:
+            assert 0.1 < point.ratio < 10.0, (
+                f"{point.algorithm} @ {point.msg_bytes}B: model {point.modelled:.2e}s "
+                f"vs simulation {point.simulated:.2e}s"
+            )
+
+    def test_ordering_agreement_reported(self, points):
+        agreement = ordering_agreement(points)
+        assert 0.0 <= agreement <= 1.0
+
+    def test_ordering_agreement_empty(self):
+        assert ordering_agreement([]) == 1.0
+
+    def test_calibration_point_ratio(self):
+        point = CalibrationPoint("x", 4, simulated=2.0, modelled=1.0)
+        assert point.ratio == 0.5
+        degenerate = CalibrationPoint("x", 4, simulated=0.0, modelled=1.0)
+        assert degenerate.ratio == float("inf")
+
+    def test_relative_size_scaling_matches_simulation(self, small_pmap):
+        """Model and simulation agree that 4096-byte exchanges are much slower than 16-byte ones."""
+        for name, opts in self.CONFIGS:
+            sim_ratio = (
+                run_alltoall(name, small_pmap, 4096, validate=False, keep_job=False, **opts).elapsed
+                / run_alltoall(name, small_pmap, 16, validate=False, keep_job=False, **opts).elapsed
+            )
+            model_ratio = predict_time(name, small_pmap, 4096, **opts) / predict_time(
+                name, small_pmap, 16, **opts
+            )
+            assert sim_ratio > 1.5 and model_ratio > 1.5

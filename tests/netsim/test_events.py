@@ -1,0 +1,56 @@
+"""Tests for repro.netsim.events."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim.events import Event, EventQueue
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(3.0, lambda: fired.append("c"))
+        queue.push(1.0, lambda: fired.append("a"))
+        queue.push(2.0, lambda: fired.append("b"))
+        while queue:
+            queue.pop().fire()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = EventQueue()
+        fired = []
+        for label in "abc":
+            queue.push(1.0, lambda label=label: fired.append(label))
+        while queue:
+            queue.pop().fire()
+        assert fired == ["a", "b", "c"]
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(0.0, lambda: None)
+        assert queue and len(queue) == 1
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        queue.push(5.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert queue.peek_time() == 2.0
+
+    def test_pop_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().peek_time()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1.0, lambda: None)
+
+    def test_event_ordering_dataclass(self):
+        early = Event(time=1.0, seq=0, callback=lambda: None)
+        late = Event(time=2.0, seq=0, callback=lambda: None)
+        assert early < late

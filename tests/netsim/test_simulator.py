@@ -1,0 +1,98 @@
+"""Tests for repro.netsim.simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim.simulator import Simulator
+
+
+class TestScheduling:
+    def test_runs_events_in_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(2.0, lambda: seen.append(2))
+        sim.schedule_at(1.0, lambda: seen.append(1))
+        sim.run()
+        assert seen == [1, 2]
+        assert sim.now == 2.0
+
+    def test_schedule_after_is_relative(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_after(1.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [1.0]
+
+    def test_callbacks_can_schedule_more_events(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append("first")
+            sim.schedule_after(1.0, lambda: seen.append("second"))
+
+        sim.schedule_at(1.0, first)
+        sim.run()
+        assert seen == ["first", "second"]
+        assert sim.now == 2.0
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(1.0, lambda: seen.append(1))
+        sim.schedule_at(5.0, lambda: seen.append(5))
+        sim.run(until=2.0)
+        assert seen == [1]
+        assert sim.now == 2.0
+        assert sim.pending_events == 1
+
+    def test_scheduling_in_the_past_rejected(self):
+        sim = Simulator()
+        sim.schedule_at(3.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_after(-1.0, lambda: None)
+
+    def test_event_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule_at(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_max_events_guard(self):
+        sim = Simulator(max_events=10)
+
+        def rescheduler():
+            sim.schedule_after(1.0, rescheduler)
+
+        sim.schedule_at(0.0, rescheduler)
+        with pytest.raises(SimulationError, match="exceeded"):
+            sim.run()
+
+    def test_reset(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        sim.reset()
+        assert sim.now == 0.0
+        assert sim.pending_events == 0
+        assert sim.events_processed == 0
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+        errors = []
+
+        def nested():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule_at(0.0, nested)
+        sim.run()
+        assert len(errors) == 1

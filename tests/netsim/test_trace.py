@@ -1,0 +1,58 @@
+"""Tests for repro.netsim.trace."""
+
+from repro.machine.hierarchy import LocalityLevel
+from repro.netsim.trace import MessageRecord, TraceRecorder
+
+
+def _record(source=0, dest=1, nbytes=100, level=LocalityLevel.NETWORK, post=0.0, arrival=1.0, done=2.0):
+    return MessageRecord(
+        source=source, dest=dest, nbytes=nbytes, level=level, tag=0, context_id=0,
+        post_time=post, arrival_time=arrival, completion_time=done,
+    )
+
+
+class TestMessageRecord:
+    def test_latency(self):
+        assert _record(post=1.0, done=3.5).latency == 2.5
+
+    def test_inter_node_flag(self):
+        assert _record(level=LocalityLevel.NETWORK).is_inter_node
+        assert not _record(level=LocalityLevel.NUMA).is_inter_node
+
+
+class TestTraceRecorder:
+    def test_disabled_recorder_ignores_records(self):
+        trace = TraceRecorder(enabled=False)
+        trace.record(_record())
+        assert trace.message_count() == 0
+
+    def test_counts_and_bytes(self):
+        trace = TraceRecorder()
+        trace.record(_record(nbytes=10, level=LocalityLevel.NETWORK))
+        trace.record(_record(nbytes=20, level=LocalityLevel.NUMA))
+        trace.record(_record(nbytes=30, level=LocalityLevel.NODE))
+        assert trace.message_count() == 3
+        assert trace.byte_count() == 60
+        assert trace.message_count(inter_node=True) == 1
+        assert trace.byte_count(inter_node=False) == 50
+
+    def test_by_level_aggregation(self):
+        trace = TraceRecorder()
+        trace.record(_record(nbytes=10, level=LocalityLevel.NUMA))
+        trace.record(_record(nbytes=15, level=LocalityLevel.NUMA))
+        trace.record(_record(nbytes=5, level=LocalityLevel.NETWORK))
+        assert trace.bytes_by_level()[LocalityLevel.NUMA] == 25
+        assert trace.messages_by_level()[LocalityLevel.NETWORK] == 1
+
+    def test_max_completion_time(self):
+        trace = TraceRecorder()
+        assert trace.max_completion_time() == 0.0
+        trace.record(_record(done=4.0))
+        trace.record(_record(done=2.0))
+        assert trace.max_completion_time() == 4.0
+
+    def test_clear(self):
+        trace = TraceRecorder()
+        trace.record(_record())
+        trace.clear()
+        assert trace.message_count() == 0

@@ -1,0 +1,115 @@
+"""Property-based tests of the all-to-all algorithm family.
+
+Every algorithm, at every valid configuration drawn by Hypothesis, must
+produce exactly the transposition that defines ``MPI_Alltoall``.  The
+machine shapes are kept small so the discrete-event simulation stays fast,
+but the strategies deliberately cover non-power-of-two rank counts, group
+sizes that equal 1 or the whole node, and message sizes straddling the
+eager/rendezvous threshold.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import run_alltoall
+from repro.core.validation import alltoall_reference
+from repro.machine import ProcessMap, tiny_cluster
+from repro.utils.partition import divisors
+
+
+def _pmap(num_nodes: int, ppn: int) -> ProcessMap:
+    return ProcessMap(tiny_cluster(num_nodes=num_nodes), ppn=ppn)
+
+
+flat_algorithms = st.sampled_from(["pairwise", "nonblocking", "bruck", "batched"])
+small_shapes = st.tuples(st.integers(1, 3), st.integers(1, 6))  # (nodes, ppn)
+msg_sizes = st.sampled_from([1, 3, 8, 17, 64])
+
+
+@settings(max_examples=25, deadline=None)
+@given(name=flat_algorithms, shape=small_shapes, msg_bytes=msg_sizes)
+def test_flat_algorithms_always_transpose(name, shape, msg_bytes):
+    nodes, ppn = shape
+    if nodes * ppn < 2:
+        return
+    outcome = run_alltoall(name, _pmap(nodes, ppn), msg_bytes=msg_bytes, keep_job=False)
+    assert outcome.correct
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    shape=st.tuples(st.integers(1, 3), st.sampled_from([2, 4, 6, 8])),
+    msg_bytes=msg_sizes,
+    data=st.data(),
+)
+def test_grouped_algorithms_always_transpose(shape, msg_bytes, data):
+    nodes, ppn = shape
+    group = data.draw(st.sampled_from(divisors(ppn)), label="group size")
+    algorithm = data.draw(
+        st.sampled_from(["hierarchical", "locality-aware", "multileader-node-aware"]),
+        label="algorithm",
+    )
+    inner = data.draw(st.sampled_from(["pairwise", "nonblocking"]), label="inner")
+    option = {
+        "hierarchical": "procs_per_leader",
+        "locality-aware": "procs_per_group",
+        "multileader-node-aware": "procs_per_leader",
+    }[algorithm]
+    outcome = run_alltoall(
+        algorithm, _pmap(nodes, ppn), msg_bytes=msg_bytes, keep_job=False,
+        inner=inner, **{option: group},
+    )
+    assert outcome.correct
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    nprocs=st.integers(2, 9),
+    block=st.integers(1, 7),
+    seed=st.integers(0, 2**16),
+)
+def test_simulated_pairwise_matches_numpy_reference_on_random_data(nprocs, block, seed):
+    """The simulated exchange agrees with an independent NumPy oracle on arbitrary payloads."""
+    from repro.simmpi import run_spmd
+    from repro.core.alltoall.pairwise import exchange_pairwise
+
+    pmap = ProcessMap(tiny_cluster(num_nodes=1, cores_per_numa=9), ppn=nprocs)
+    rng = np.random.default_rng(seed)
+    sendbufs = [rng.integers(-1000, 1000, size=nprocs * block, dtype=np.int64) for _ in range(nprocs)]
+
+    def program(ctx):
+        recv = np.zeros(nprocs * block, dtype=np.int64)
+        yield from exchange_pairwise(ctx.world, sendbufs[ctx.rank], recv)
+        ctx.result = recv
+
+    results = run_spmd(pmap, program).results
+    expected = alltoall_reference(sendbufs)
+    for got, want in zip(results, expected):
+        assert np.array_equal(got, want)
+
+
+@settings(max_examples=10, deadline=None)
+@given(msg_bytes=st.integers(1, 256))
+def test_traffic_volume_invariant(msg_bytes):
+    """Node-aware aggregation never changes the total inter-node volume, only the message count."""
+    pmap = _pmap(2, 4)
+    flat = run_alltoall("pairwise", pmap, msg_bytes=msg_bytes, keep_job=False, validate=False)
+    aggregated = run_alltoall("node-aware", pmap, msg_bytes=msg_bytes, keep_job=False, validate=False)
+    assert aggregated.inter_node_bytes == flat.inter_node_bytes
+    assert aggregated.inter_node_messages <= flat.inter_node_messages
+
+
+@settings(max_examples=20, deadline=None)
+@given(msg_bytes=st.integers(1, 2048), nodes=st.integers(2, 4))
+def test_model_predictions_positive_and_monotone_in_nodes(msg_bytes, nodes):
+    from repro.model.predict import predict_time
+
+    cluster = tiny_cluster(num_nodes=4)
+    smaller = ProcessMap(cluster, ppn=8, num_nodes=nodes - 1) if nodes > 2 else None
+    current = ProcessMap(cluster, ppn=8, num_nodes=nodes)
+    value = predict_time("node-aware", current, msg_bytes)
+    assert value > 0.0
+    if smaller is not None:
+        assert value >= predict_time("node-aware", smaller, msg_bytes)

@@ -1,0 +1,57 @@
+"""Property-based tests for the partitioning utilities."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.partition import chunk_evenly, contiguous_partition, divisors, round_robin_partition
+
+
+@settings(max_examples=200, deadline=None)
+@given(n=st.integers(min_value=0, max_value=10_000), nchunks=st.integers(min_value=1, max_value=200))
+def test_chunk_evenly_preserves_total_and_balance(n, nchunks):
+    chunks = chunk_evenly(n, nchunks)
+    assert len(chunks) == nchunks
+    assert sum(chunks) == n
+    assert max(chunks) - min(chunks) <= 1
+    assert chunks == sorted(chunks, reverse=True)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    group_size=st.integers(min_value=1, max_value=32),
+    ngroups=st.integers(min_value=1, max_value=32),
+)
+def test_contiguous_partition_covers_everything_once(group_size, ngroups):
+    items = list(range(group_size * ngroups))
+    groups = contiguous_partition(items, group_size)
+    assert len(groups) == ngroups
+    flattened = [item for group in groups for item in group]
+    assert flattened == items
+    assert all(len(group) == group_size for group in groups)
+    # Contiguity: each group is a consecutive run.
+    for group in groups:
+        assert group == list(range(group[0], group[0] + group_size))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    per_group=st.integers(min_value=1, max_value=32),
+    ngroups=st.integers(min_value=1, max_value=32),
+)
+def test_round_robin_partition_is_a_partition(per_group, ngroups):
+    items = list(range(per_group * ngroups))
+    groups = round_robin_partition(items, ngroups)
+    assert len(groups) == ngroups
+    assert sorted(item for group in groups for item in group) == items
+    assert all(len(group) == per_group for group in groups)
+
+
+@settings(max_examples=200, deadline=None)
+@given(n=st.integers(min_value=1, max_value=100_000))
+def test_divisors_divide_and_include_bounds(n):
+    divs = divisors(n)
+    assert divs[0] == 1 and divs[-1] == n
+    assert divs == sorted(set(divs))
+    assert all(n % d == 0 for d in divs)
+    # Divisors pair up with their complements.
+    assert all(n // d in divs for d in divs)

@@ -1,0 +1,76 @@
+"""Property-based tests of the simulated-MPI collectives and buffer helpers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import ProcessMap, tiny_cluster
+from repro.simmpi import run_spmd
+from repro.utils.buffers import make_alltoall_sendbuf, split_blocks, concat_blocks
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    nprocs=st.integers(2, 8),
+    block=st.integers(1, 16),
+    root=st.data(),
+)
+def test_gather_scatter_roundtrip_preserves_data(nprocs, block, root):
+    """Scatter(gather(x)) == x for every rank, any root, any block size."""
+    root_rank = root.draw(st.integers(0, nprocs - 1), label="root")
+    pmap = ProcessMap(tiny_cluster(num_nodes=1, cores_per_numa=8), ppn=nprocs)
+
+    def program(ctx):
+        comm = ctx.world
+        mine = make_alltoall_sendbuf(ctx.rank, 1, block)
+        gathered = np.zeros(block * nprocs, dtype=mine.dtype) if comm.rank == root_rank else None
+        yield from comm.gather(mine, gathered, root=root_rank)
+        back = np.zeros(block, dtype=mine.dtype)
+        yield from comm.scatter(gathered, back, root=root_rank)
+        ctx.result = bool(np.array_equal(back, mine))
+
+    assert all(run_spmd(pmap, program).results)
+
+
+@settings(max_examples=30, deadline=None)
+@given(nprocs=st.integers(1, 8), values=st.data())
+def test_allreduce_sum_matches_python_sum(nprocs, values):
+    contributions = values.draw(
+        st.lists(st.integers(-1000, 1000), min_size=nprocs, max_size=nprocs), label="values"
+    )
+    pmap = ProcessMap(tiny_cluster(num_nodes=1, cores_per_numa=8), ppn=nprocs)
+
+    def program(ctx):
+        out = np.zeros(1, dtype=np.int64)
+        yield from ctx.world.allreduce(np.array([contributions[ctx.rank]], dtype=np.int64), out)
+        ctx.result = int(out[0])
+
+    results = run_spmd(pmap, program).results
+    assert results == [sum(contributions)] * nprocs
+
+
+@settings(max_examples=30, deadline=None)
+@given(nprocs=st.integers(1, 8), block=st.integers(1, 8))
+def test_allgather_orders_by_rank(nprocs, block):
+    pmap = ProcessMap(tiny_cluster(num_nodes=1, cores_per_numa=8), ppn=nprocs)
+
+    def program(ctx):
+        mine = np.full(block, ctx.rank, dtype=np.int64)
+        everyone = np.zeros(block * nprocs, dtype=np.int64)
+        yield from ctx.world.allgather(mine, everyone)
+        ctx.result = everyone.copy()
+
+    results = run_spmd(pmap, program).results
+    expected = np.repeat(np.arange(nprocs), block)
+    for buf in results:
+        assert np.array_equal(buf, expected)
+
+
+@settings(max_examples=100, deadline=None)
+@given(nblocks=st.integers(1, 20), block=st.integers(0, 20))
+def test_split_concat_blocks_roundtrip(nblocks, block):
+    buf = np.arange(nblocks * block)
+    if buf.size == 0:
+        return
+    blocks = split_blocks(buf, nblocks)
+    assert np.array_equal(concat_blocks(blocks), buf)

@@ -1,0 +1,120 @@
+"""Tests for the small simulated-MPI value objects (datatypes, status, request, group)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicatorError, SimulationError
+from repro.simmpi.datatypes import ANY_SOURCE, ANY_TAG, PROC_NULL, itemsize_of, nbytes_of
+from repro.simmpi.group import Group
+from repro.simmpi.request import Request
+from repro.simmpi.status import Status
+
+
+class TestDatatypes:
+    def test_constants_are_distinct(self):
+        assert len({ANY_SOURCE, ANY_TAG, PROC_NULL}) >= 2
+        assert PROC_NULL < 0 and ANY_SOURCE < 0
+
+    def test_nbytes_of(self):
+        assert nbytes_of(np.zeros(10, dtype=np.float64)) == 80
+        assert nbytes_of(np.zeros(3, dtype=np.uint8)) == 3
+
+    def test_itemsize_of(self):
+        assert itemsize_of(np.zeros(1, dtype=np.int32)) == 4
+
+    def test_non_array_rejected(self):
+        with pytest.raises(TypeError):
+            nbytes_of([1, 2, 3])
+        with pytest.raises(TypeError):
+            itemsize_of("abc")
+
+
+class TestStatus:
+    def test_count(self):
+        status = Status(source=1, tag=2, nbytes=32)
+        assert status.count(8) == 4
+
+    def test_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Status(nbytes=10).count(8)
+
+    def test_count_invalid_itemsize(self):
+        with pytest.raises(ValueError):
+            Status(nbytes=8).count(0)
+
+
+class TestRequest:
+    def test_completion(self):
+        req = Request("send", owner=0)
+        assert not req.completed
+        req.complete(1.5)
+        assert req.completed and req.completion_time == 1.5
+
+    def test_double_completion_rejected(self):
+        req = Request("send", owner=0)
+        req.complete(1.0)
+        with pytest.raises(SimulationError):
+            req.complete(2.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            Request("recv", owner=0).complete(-1.0)
+
+    def test_callback_after_completion_fires_immediately(self):
+        req = Request("recv", owner=0)
+        req.complete(1.0, Status(source=3, tag=1, nbytes=4))
+        seen = []
+        req.on_complete(lambda r: seen.append(r.status.source))
+        assert seen == [3]
+
+    def test_callback_before_completion_deferred(self):
+        req = Request("recv", owner=0)
+        seen = []
+        req.on_complete(lambda r: seen.append(r.completion_time))
+        assert seen == []
+        req.complete(2.0)
+        assert seen == [2.0]
+
+    def test_unique_ids(self):
+        assert Request("send", 0).id != Request("send", 0).id
+
+
+class TestGroup:
+    def test_size_and_membership(self):
+        group = Group((4, 7, 9))
+        assert group.size == 3
+        assert 7 in group and 5 not in group
+        assert list(group) == [4, 7, 9]
+
+    def test_rank_translation(self):
+        group = Group((4, 7, 9))
+        assert group.rank_of(7) == 1
+        assert group.world_rank(2) == 9
+        assert group.translate([0, 2]) == [4, 9]
+
+    def test_rank_of_non_member_rejected(self):
+        with pytest.raises(CommunicatorError):
+            Group((1, 2)).rank_of(5)
+
+    def test_world_rank_out_of_range_rejected(self):
+        with pytest.raises(CommunicatorError):
+            Group((1, 2)).world_rank(2)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(CommunicatorError):
+            Group((1, 1, 2))
+
+    def test_empty_rejected(self):
+        with pytest.raises(CommunicatorError):
+            Group(())
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(CommunicatorError):
+            Group((0, -1))
+
+    def test_set_operations(self):
+        a = Group((0, 1, 2, 3))
+        b = Group((2, 3, 4))
+        assert a.intersection(b).world_ranks == (2, 3)
+        assert a.union(b).world_ranks == (0, 1, 2, 3, 4)
+        assert a.difference(b).world_ranks == (0, 1)

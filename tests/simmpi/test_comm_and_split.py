@@ -1,0 +1,237 @@
+"""Tests for communicator construction, splitting and the topology layouts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicatorError, ConfigurationError
+from repro.machine import ProcessMap, tiny_cluster
+from repro.simmpi import run_spmd
+from repro.simmpi.split import (
+    build_comm_layout,
+    cross_group_comm,
+    cross_node_comm,
+    local_group_comm,
+    node_comm,
+    node_leaders_comm,
+)
+
+
+class TestCommunicatorBasics:
+    def test_world_properties(self, two_node_pmap):
+        def program(ctx):
+            comm = ctx.world
+            ctx.result = (comm.rank, comm.size, comm.world_rank, comm.context_id)
+            return
+            yield  # pragma: no cover
+
+        result = run_spmd(two_node_pmap, program)
+        for world_rank, (rank, size, wr, ctx_id) in enumerate(result.results):
+            assert rank == world_rank == wr
+            assert size == two_node_pmap.nprocs
+            assert ctx_id == 0
+
+    def test_rank_translation(self, two_node_pmap):
+        def program(ctx):
+            comm = ctx.world
+            ctx.result = (comm.world_rank_of(3), comm.local_rank_of(3))
+            return
+            yield  # pragma: no cover
+
+        result = run_spmd(two_node_pmap, program)
+        assert result.results[0] == (3, 3)
+
+    def test_create_subcomm_requires_membership(self, two_node_pmap):
+        def program(ctx):
+            if ctx.rank == 0:
+                try:
+                    ctx.world.create_subcomm([1, 2, 3])
+                except CommunicatorError:
+                    ctx.result = "rejected"
+            return
+            yield  # pragma: no cover
+
+        result = run_spmd(two_node_pmap, program)
+        assert result.results[0] == "rejected"
+
+    def test_dup_gets_new_context(self, two_node_pmap):
+        def program(ctx):
+            dup = ctx.world.dup()
+            ctx.result = (dup.context_id, dup.size, dup.rank)
+            return
+            yield  # pragma: no cover
+
+        result = run_spmd(two_node_pmap, program)
+        context_ids = {r[0] for r in result.results}
+        assert len(context_ids) == 1  # every rank derives the same id
+        assert result.results[0][0] != 0
+        assert result.results[3] == (result.results[0][0], two_node_pmap.nprocs, 3)
+
+    def test_non_array_buffer_rejected(self, two_node_pmap):
+        def program(ctx):
+            yield from ctx.world.send([1, 2, 3], dest=0)
+
+        with pytest.raises(CommunicatorError):
+            run_spmd(two_node_pmap, program)
+
+
+class TestSplit:
+    def test_split_by_node(self, tiny_pmap):
+        def program(ctx):
+            comm = yield from ctx.world.split(color=ctx.node)
+            ctx.result = (comm.size, comm.rank, tuple(comm.group.world_ranks))
+
+        result = run_spmd(tiny_pmap, program)
+        for rank, (size, local, members) in enumerate(result.results):
+            node = tiny_pmap.node_of(rank)
+            assert size == tiny_pmap.ppn
+            assert local == tiny_pmap.local_rank(rank)
+            assert members == tuple(tiny_pmap.ranks_on_node(node))
+
+    def test_split_with_custom_key_reorders(self, two_node_pmap):
+        def program(ctx):
+            # Reverse ordering within a single color.
+            comm = yield from ctx.world.split(color=0, key=-ctx.rank)
+            ctx.result = comm.rank
+
+        result = run_spmd(two_node_pmap, program)
+        p = two_node_pmap.nprocs
+        assert result.results == [p - 1 - r for r in range(p)]
+
+    def test_split_undefined_color_returns_none(self, two_node_pmap):
+        def program(ctx):
+            comm = yield from ctx.world.split(color=None if ctx.rank % 2 else 0)
+            ctx.result = None if comm is None else comm.size
+
+        result = run_spmd(two_node_pmap, program)
+        expected_size = two_node_pmap.nprocs // 2
+        for rank, value in enumerate(result.results):
+            assert value == (None if rank % 2 else expected_size)
+
+    def test_split_negative_color_rejected(self, two_node_pmap):
+        def program(ctx):
+            yield from ctx.world.split(color=-2)
+
+        with pytest.raises(CommunicatorError):
+            run_spmd(two_node_pmap, program)
+
+    def test_split_subcomm_is_usable(self, tiny_pmap):
+        def program(ctx):
+            comm = yield from ctx.world.split(color=ctx.node)
+            total = np.zeros(1)
+            yield from comm.allreduce(np.array([float(ctx.rank)]), total)
+            ctx.result = float(total[0])
+
+        result = run_spmd(tiny_pmap, program)
+        for rank, value in enumerate(result.results):
+            node = tiny_pmap.node_of(rank)
+            assert value == pytest.approx(sum(tiny_pmap.ranks_on_node(node)))
+
+
+class TestTopologyLayouts:
+    def test_node_comm(self, tiny_pmap):
+        def program(ctx):
+            comm = node_comm(ctx)
+            ctx.result = (comm.size, comm.rank, tuple(comm.group.world_ranks))
+            return
+            yield  # pragma: no cover
+
+        result = run_spmd(tiny_pmap, program)
+        for rank, (size, local, members) in enumerate(result.results):
+            assert size == tiny_pmap.ppn
+            assert local == tiny_pmap.local_rank(rank)
+            assert members == tuple(tiny_pmap.ranks_on_node(tiny_pmap.node_of(rank)))
+
+    def test_local_group_comm(self, tiny_pmap):
+        def program(ctx):
+            comm = local_group_comm(ctx, 4)
+            ctx.result = tuple(comm.group.world_ranks)
+            return
+            yield  # pragma: no cover
+
+        result = run_spmd(tiny_pmap, program)
+        assert result.results[0] == (0, 1, 2, 3)
+        assert result.results[5] == (4, 5, 6, 7)
+        assert result.results[13] == (12, 13, 14, 15)
+
+    def test_cross_group_comm_members(self, tiny_pmap):
+        def program(ctx):
+            comm = cross_group_comm(ctx, 4)
+            ctx.result = (comm.size, tuple(comm.group.world_ranks))
+            return
+            yield  # pragma: no cover
+
+        result = run_spmd(tiny_pmap, program)
+        size, members = result.results[0]
+        # 32 ranks / groups of 4 = 8 groups; rank 0 sits at position 0 of its group.
+        assert size == 8
+        assert members == (0, 4, 8, 12, 16, 20, 24, 28)
+        # rank 5 is at position 1 of its group.
+        _, members5 = result.results[5]
+        assert members5 == (1, 5, 9, 13, 17, 21, 25, 29)
+
+    def test_cross_node_comm(self, tiny_pmap):
+        def program(ctx):
+            comm = cross_node_comm(ctx)
+            ctx.result = tuple(comm.group.world_ranks)
+            return
+            yield  # pragma: no cover
+
+        result = run_spmd(tiny_pmap, program)
+        assert result.results[3] == (3, 11, 19, 27)
+
+    def test_node_leaders_comm(self, tiny_pmap):
+        def program(ctx):
+            if ctx.local_rank % 4 == 0:
+                comm = node_leaders_comm(ctx, 4)
+                ctx.result = tuple(comm.group.world_ranks)
+            return
+            yield  # pragma: no cover
+
+        result = run_spmd(tiny_pmap, program)
+        assert result.results[0] == (0, 4)
+        assert result.results[12] == (8, 12)
+        assert result.results[1] is None
+
+    def test_build_comm_layout_defaults_to_node(self, tiny_pmap):
+        def program(ctx):
+            layout = build_comm_layout(ctx)
+            ctx.result = (
+                layout.procs_per_group,
+                layout.groups_per_node,
+                layout.local.size,
+                layout.cross_group.size,
+                layout.cross_node.size,
+            )
+            return
+            yield  # pragma: no cover
+
+        result = run_spmd(tiny_pmap, program)
+        assert result.results[0] == (8, 1, 8, 4, 4)
+
+    def test_build_comm_layout_with_groups(self, tiny_pmap):
+        def program(ctx):
+            layout = build_comm_layout(ctx, procs_per_group=2)
+            ctx.result = (layout.local.size, layout.cross_group.size, layout.groups_per_node)
+            return
+            yield  # pragma: no cover
+
+        result = run_spmd(tiny_pmap, program)
+        assert result.results[0] == (2, 16, 4)
+
+    def test_layout_group_too_large_rejected(self, tiny_pmap):
+        def program(ctx):
+            build_comm_layout(ctx, procs_per_group=16)
+            return
+            yield  # pragma: no cover
+
+        with pytest.raises(ConfigurationError):
+            run_spmd(tiny_pmap, program)
+
+    def test_invalid_group_size_rejected(self, tiny_pmap):
+        def program(ctx):
+            local_group_comm(ctx, 3)
+            return
+            yield  # pragma: no cover
+
+        with pytest.raises(ConfigurationError):
+            run_spmd(tiny_pmap, program)

@@ -1,0 +1,33 @@
+"""Tests for repro.utils.logging."""
+
+import logging
+
+from repro.utils.logging import enable_console_logging, get_logger
+
+
+class TestGetLogger:
+    def test_default_is_package_logger(self):
+        assert get_logger().name == "repro"
+
+    def test_namespacing(self):
+        assert get_logger("simmpi.engine").name == "repro.simmpi.engine"
+
+    def test_already_qualified_name_unchanged(self):
+        assert get_logger("repro.core").name == "repro.core"
+
+    def test_package_logger_has_null_handler(self):
+        handlers = logging.getLogger("repro").handlers
+        assert any(isinstance(h, logging.NullHandler) for h in handlers)
+
+
+class TestEnableConsoleLogging:
+    def test_adds_and_removable(self):
+        logger = logging.getLogger("repro")
+        before = list(logger.handlers)
+        handler = enable_console_logging(logging.DEBUG)
+        try:
+            assert handler in logger.handlers
+            assert handler.level == logging.DEBUG
+        finally:
+            logger.removeHandler(handler)
+        assert logger.handlers == before

@@ -1,0 +1,111 @@
+"""Tests for repro.utils.partition."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.partition import (
+    chunk_evenly,
+    contiguous_partition,
+    divisors,
+    round_robin_partition,
+    validate_group_size,
+)
+
+
+class TestChunkEvenly:
+    def test_even_division(self):
+        assert chunk_evenly(12, 4) == [3, 3, 3, 3]
+
+    def test_remainder_goes_to_first_chunks(self):
+        assert chunk_evenly(10, 4) == [3, 3, 2, 2]
+
+    def test_more_chunks_than_items(self):
+        assert chunk_evenly(2, 4) == [1, 1, 0, 0]
+
+    def test_zero_items(self):
+        assert chunk_evenly(0, 3) == [0, 0, 0]
+
+    def test_sum_preserved(self):
+        assert sum(chunk_evenly(113, 7)) == 113
+
+    def test_invalid_chunks(self):
+        with pytest.raises(ConfigurationError):
+            chunk_evenly(10, 0)
+
+    def test_negative_items(self):
+        with pytest.raises(ConfigurationError):
+            chunk_evenly(-1, 3)
+
+
+class TestContiguousPartition:
+    def test_basic(self):
+        assert contiguous_partition(range(8), 4) == [[0, 1, 2, 3], [4, 5, 6, 7]]
+
+    def test_group_size_one(self):
+        assert contiguous_partition([5, 6, 7], 1) == [[5], [6], [7]]
+
+    def test_whole_list_one_group(self):
+        assert contiguous_partition([1, 2, 3], 3) == [[1, 2, 3]]
+
+    def test_uneven_rejected(self):
+        with pytest.raises(ConfigurationError):
+            contiguous_partition(range(10), 4)
+
+
+class TestRoundRobinPartition:
+    def test_basic(self):
+        assert round_robin_partition(range(8), 2) == [[0, 2, 4, 6], [1, 3, 5, 7]]
+
+    def test_single_group(self):
+        assert round_robin_partition([3, 4], 1) == [[3, 4]]
+
+    def test_uneven_rejected(self):
+        with pytest.raises(ConfigurationError):
+            round_robin_partition(range(7), 2)
+
+    def test_zero_groups_rejected(self):
+        with pytest.raises(ConfigurationError):
+            round_robin_partition(range(4), 0)
+
+
+class TestDivisors:
+    def test_small_numbers(self):
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+
+    def test_prime(self):
+        assert divisors(13) == [1, 13]
+
+    def test_one(self):
+        assert divisors(1) == [1]
+
+    def test_perfect_square(self):
+        assert divisors(16) == [1, 2, 4, 8, 16]
+
+    def test_paper_node_size(self):
+        # 112 cores per node: the group sizes the paper sweeps must all divide it.
+        divs = divisors(112)
+        assert {4, 8, 16, 28, 56, 112} <= set(divs)
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            divisors(0)
+
+
+class TestValidateGroupSize:
+    def test_returns_group_count(self):
+        assert validate_group_size(112, 4) == 28
+
+    def test_whole_set(self):
+        assert validate_group_size(8, 8) == 1
+
+    def test_non_divisible_rejected(self):
+        with pytest.raises(ConfigurationError, match="does not evenly divide"):
+            validate_group_size(112, 5)
+
+    def test_zero_group_rejected(self):
+        with pytest.raises(ConfigurationError):
+            validate_group_size(8, 0)
+
+    def test_zero_items_rejected(self):
+        with pytest.raises(ConfigurationError):
+            validate_group_size(0, 2)

@@ -1,0 +1,112 @@
+"""Tests for repro.utils.statistics."""
+
+import math
+
+import pytest
+
+from repro.utils.statistics import (
+    RunningStatistics,
+    geometric_mean,
+    min_of_runs,
+    speedup,
+    summarize,
+)
+
+
+class TestMinOfRuns:
+    def test_returns_minimum(self):
+        assert min_of_runs([3.0, 1.5, 2.0]) == 1.5
+
+    def test_single_sample(self):
+        assert min_of_runs([7.0]) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            min_of_runs([])
+
+
+class TestSpeedup:
+    def test_faster_candidate(self):
+        assert speedup(2.0, 0.5) == 4.0
+
+    def test_slower_candidate(self):
+        assert speedup(1.0, 2.0) == 0.5
+
+    def test_zero_candidate_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_negative_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(-1.0, 1.0)
+
+
+class TestGeometricMean:
+    def test_identical_values(self):
+        assert geometric_mean([3.0, 3.0, 3.0]) == pytest.approx(3.0)
+
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestSummarize:
+    def test_fields_present(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats["n"] == 3
+        assert stats["min"] == 1.0
+        assert stats["max"] == 3.0
+        assert stats["mean"] == pytest.approx(2.0)
+        assert stats["median"] == pytest.approx(2.0)
+
+    def test_even_count_median(self):
+        assert summarize([1.0, 2.0, 3.0, 4.0])["median"] == pytest.approx(2.5)
+
+    def test_std_of_constant_is_zero(self):
+        assert summarize([5.0, 5.0, 5.0])["std"] == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestRunningStatistics:
+    def test_matches_batch_summary(self):
+        samples = [0.5, 1.5, 2.5, 10.0, 0.25]
+        acc = RunningStatistics()
+        acc.update(samples)
+        assert acc.count == 5
+        assert acc.minimum == 0.25
+        assert acc.maximum == 10.0
+        assert acc.mean == pytest.approx(sum(samples) / 5)
+
+    def test_variance_matches_two_pass(self):
+        samples = [1.0, 2.0, 4.0, 8.0]
+        acc = RunningStatistics()
+        acc.update(samples)
+        mean = sum(samples) / len(samples)
+        expected = sum((s - mean) ** 2 for s in samples) / (len(samples) - 1)
+        assert acc.variance == pytest.approx(expected)
+        assert acc.std == pytest.approx(math.sqrt(expected))
+
+    def test_single_sample_variance_zero(self):
+        acc = RunningStatistics()
+        acc.add(3.0)
+        assert acc.variance == 0.0
+
+    def test_as_dict_requires_samples(self):
+        with pytest.raises(ValueError):
+            RunningStatistics().as_dict()
+
+    def test_as_dict_contents(self):
+        acc = RunningStatistics()
+        acc.update([2.0, 4.0])
+        d = acc.as_dict()
+        assert d["n"] == 2 and d["min"] == 2.0 and d["max"] == 4.0
