@@ -3,11 +3,15 @@
 
 Mixture-of-experts training shuffles token activations between data-parallel
 ranks and expert-parallel ranks with an all-to-all in every layer, twice per
-forward/backward pass.  This example routes a batch of tokens to the experts
-that own them (equal tokens per expert, as in capacity-limited MoE layers),
-runs the exchange with several algorithms, verifies the routing and then
-uses the analytic model to show how the best algorithm changes with the
-hidden dimension (i.e. the per-pair message size) at the paper's full scale.
+forward/backward pass.  Real routing is *skewed*: popular experts receive
+many more tokens than the capacity-limited average, which is exactly the
+non-uniform traffic the :mod:`repro.workloads` subsystem describes.
+
+This example builds the shuffle as a ``skewed-moe`` traffic matrix, runs it
+through the variable-count (alltoallv) algorithm family — verifying that
+every token lands at its expert via the reference transposition — and then
+uses the analytic workload model to show how the best algorithm changes with
+the hidden dimension (the per-token payload) at a larger modelled scale.
 
 Run with::
 
@@ -16,68 +20,59 @@ Run with::
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.core.alltoall import get_algorithm
-from repro.core.selection import AlgorithmSelector
+from repro.core import run_workload
 from repro.machine import ProcessMap, dane, tiny_cluster
-from repro.simmpi import run_spmd
+from repro.model.predict import WORKLOAD_MODELED_ALGORITHMS, predict_workload_time
+from repro.workloads import skewed_moe
 
-#: Tokens each rank routes to each expert (capacity per expert pair).
+#: Tokens each rank routes to an average expert (capacity per expert pair).
 TOKENS_PER_PAIR = 4
 #: Hidden dimension of each token activation in the simulated exchange.
 HIDDEN_DIM = 16
+#: Hot experts receive this many times the average token traffic.
+CONCENTRATION = 4.0
 
 ALGORITHMS = [
     ("pairwise", {}),
+    ("nonblocking", {}),
     ("node-aware", {}),
-    ("multileader-node-aware", {"procs_per_leader": 4}),
+    ("node-aware", {"procs_per_group": 4, "inner": "nonblocking"}),
 ]
 
 
-def shuffle_program(ctx, algorithm_name: str, options: dict):
-    """Route TOKENS_PER_PAIR activations from every rank to every expert rank."""
-    comm = ctx.world
-    p = comm.size
-    # Token (r, e, t) is the t-th token rank r routes to expert e; its
-    # activation is a ramp tagged with the (source, expert) pair so the
-    # routing can be verified exactly.
-    activations = np.zeros((p, TOKENS_PER_PAIR, HIDDEN_DIM), dtype=np.float64)
-    for expert in range(p):
-        for token in range(TOKENS_PER_PAIR):
-            activations[expert, token, :] = ctx.rank * 1000 + expert * 10 + token
-
-    sendbuf = activations.reshape(-1)
-    recvbuf = np.zeros_like(sendbuf)
-    algorithm = get_algorithm(algorithm_name, **options)
-    yield from algorithm.run(ctx, sendbuf, recvbuf)
-
-    received = recvbuf.reshape(p, TOKENS_PER_PAIR, HIDDEN_DIM)
-    expected_tags = np.array(
-        [[src * 1000 + ctx.rank * 10 + t for t in range(TOKENS_PER_PAIR)] for src in range(p)]
-    )
-    ok = np.allclose(received[:, :, 0], expected_tags)
-    ctx.result = ok
-
-
 def simulate() -> None:
+    """Route skewed token traffic on the event simulator and verify every landing."""
     pmap = ProcessMap(tiny_cluster(num_nodes=4), ppn=8)
-    msg_bytes = TOKENS_PER_PAIR * HIDDEN_DIM * 8
-    print(f"Expert-parallel shuffle on {pmap.describe()} ({msg_bytes} bytes per expert pair)")
+    base_bytes = TOKENS_PER_PAIR * HIDDEN_DIM * 2  # bf16 activations
+    matrix = skewed_moe(
+        pmap.nprocs, base_bytes, concentration=CONCENTRATION, seed=7
+    )
+    print(f"Expert-parallel shuffle on {pmap.describe()}")
+    print(f"  traffic: {matrix.describe()}")
     for name, options in ALGORITHMS:
-        job = run_spmd(pmap, shuffle_program, name, options)
-        assert all(job.results), f"{name}: tokens were routed to the wrong expert"
-        print(f"  {name:<28s} {job.elapsed * 1e6:9.1f} us  (routing verified)")
+        outcome = run_workload(name, pmap, matrix, **options)
+        assert outcome.correct, f"{name}: tokens were routed to the wrong expert"
+        print(f"  {outcome.algorithm:<50s} {outcome.elapsed * 1e6:9.1f} us  (routing verified)")
 
 
 def model_hidden_dim_sweep() -> None:
     """Which algorithm should an MoE layer use as the hidden dimension grows?"""
-    selector = AlgorithmSelector(dane(32), ppn=112)
-    print("\nBest algorithm per hidden dimension (modelled, 32 nodes x 112 ranks of Dane):")
+    pmap = ProcessMap(dane(16), ppn=16)
+    print(f"\nBest algorithm per hidden dimension (modelled, {pmap.describe()}):")
     for hidden in (1, 16, 128, 512):
-        msg_bytes = TOKENS_PER_PAIR * hidden * 2  # bf16 activations
-        best, seconds = selector.select(num_nodes=32, msg_bytes=msg_bytes)
-        print(f"  hidden={hidden:<5d} ({msg_bytes:>6d} B per pair): {best.describe():<45s} {seconds * 1e3:8.3f} ms")
+        base_bytes = TOKENS_PER_PAIR * hidden * 2  # bf16 activations
+        matrix = skewed_moe(
+            pmap.nprocs, base_bytes, concentration=CONCENTRATION, seed=7
+        )
+        timings = {
+            name: predict_workload_time(name, pmap, matrix)
+            for name in WORKLOAD_MODELED_ALGORITHMS
+        }
+        best = min(timings, key=timings.get)
+        print(
+            f"  hidden={hidden:<5d} ({base_bytes:>6d} B per pair): "
+            f"{best:<14s} {timings[best] * 1e3:8.3f} ms"
+        )
 
 
 def main() -> None:

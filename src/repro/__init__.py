@@ -11,6 +11,9 @@ The package is organised as:
   non-blocking, batched, hierarchical, multi-leader, node-aware,
   locality-aware and multi-leader+node-aware (the paper's contributions),
   plus validation, instrumentation and algorithm selection;
+* :mod:`repro.workloads` — non-uniform traffic matrices and pattern
+  generators (skewed MoE, block-diagonal, Zipf, sparse, trace replay)
+  exchanged with ``alltoallv`` semantics across the whole stack;
 * :mod:`repro.model` — closed-form cost models used for full-scale
   (112 processes per node, 32 nodes) figure regeneration;
 * :mod:`repro.bench` — the experiment harness regenerating every figure

@@ -69,6 +69,17 @@ def _valid_groups(ppn: int) -> list[int]:
     return [g for g in GROUP_SIZES if ppn % g == 0 and g <= ppn]
 
 
+def _clamp_node_counts(harness: BenchmarkHarness, node_counts) -> list[int]:
+    """Restrict a node sweep to what the harness's cluster can host.
+
+    Lets the node-scaling figures run on small clusters (``--system X
+    --nodes 2`` or the reduced-scale simulate engine) instead of failing on
+    the paper's 32-node sweep.
+    """
+    valid = [n for n in node_counts if n <= harness.cluster.num_nodes]
+    return valid or [harness.cluster.num_nodes]
+
+
 def _default_group(ppn: int) -> int:
     groups = _valid_groups(ppn)
     return groups[0] if groups else ppn
@@ -203,7 +214,8 @@ def figure11(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
     harness = _harness(cluster, ppn=ppn, engine=engine)
     fig = FigureResult("fig11", "Message Size: 4 bytes, Node Scaling", "nodes",
                        configuration=harness.describe())
-    _all_algorithm_series(harness, fig, msg_sizes=None, node_counts=node_counts, msg_bytes=4)
+    _all_algorithm_series(harness, fig, msg_sizes=None,
+                          node_counts=_clamp_node_counts(harness, node_counts), msg_bytes=4)
     return fig
 
 
@@ -213,7 +225,8 @@ def figure12(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
     harness = _harness(cluster, ppn=ppn, engine=engine)
     fig = FigureResult("fig12", "Message Size: 4096 bytes, Node Scaling", "nodes",
                        configuration=harness.describe())
-    _all_algorithm_series(harness, fig, msg_sizes=None, node_counts=node_counts, msg_bytes=4096)
+    _all_algorithm_series(harness, fig, msg_sizes=None,
+                          node_counts=_clamp_node_counts(harness, node_counts), msg_bytes=4096)
     return fig
 
 
@@ -265,7 +278,7 @@ def figure15(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
                        configuration=harness.describe())
     intra = DataSeries("Intra-Node Alltoall")
     inter = DataSeries("Inter-Node Alltoall")
-    for nodes in node_counts:
+    for nodes in _clamp_node_counts(harness, node_counts):
         point = harness.time_point("node-aware", msg_bytes, nodes, inner="pairwise")
         intra.add(nodes, point.phases.get(PHASE_INTRA, 0.0))
         inter.add(nodes, point.phases.get(PHASE_INTER, 0.0))

@@ -19,11 +19,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.runner import run_alltoall
+from repro.core.runner import run_alltoall, run_workload
 from repro.errors import ConfigurationError
 from repro.machine.cluster import Cluster
 from repro.machine.process_map import ProcessMap
-from repro.model.predict import predict_breakdown
+from repro.model.predict import predict_breakdown, predict_workload_breakdown
 from repro.bench.datasets import DataSeries
 from repro.utils.statistics import min_of_runs
 
@@ -87,15 +87,47 @@ class BenchmarkHarness:
         if self.engine == "model":
             breakdown = predict_breakdown(algorithm, pmap, msg_bytes, **options)
             return TimedPoint(seconds=breakdown.total, phases=dict(breakdown.phases))
-        samples: list[float] = []
-        phases: dict[str, float] = {}
-        for _ in range(self.repetitions):
-            outcome = run_alltoall(
+        return self._timed_min(
+            lambda: run_alltoall(
                 algorithm, pmap, msg_bytes, validate=False, keep_job=False, **options
             )
+        )
+
+    def workload_point(self, algorithm: str, matrix, num_nodes: int, **options) -> TimedPoint:
+        """Time one non-uniform workload (algorithm, :class:`~repro.workloads.TrafficMatrix`, node count).
+
+        The matrix must describe exactly ``num_nodes * ppn`` ranks.  With the
+        model engine the point is priced by
+        :func:`repro.model.predict.predict_workload_breakdown`; with the
+        simulate engine the exchange runs on the discrete-event simulator,
+        following the same minimum-of-repetitions policy as
+        :meth:`time_point`.
+        """
+        pmap = self.process_map(num_nodes)
+        if matrix.nprocs != pmap.nprocs:
+            raise ConfigurationError(
+                f"traffic matrix describes {matrix.nprocs} ranks but the harness "
+                f"point uses {pmap.nprocs} ({num_nodes} nodes x {self.ppn} ppn)"
+            )
+        if self.engine == "model":
+            breakdown = predict_workload_breakdown(algorithm, pmap, matrix, **options)
+            return TimedPoint(seconds=breakdown.total, phases=dict(breakdown.phases))
+        return self._timed_min(
+            lambda: run_workload(
+                algorithm, pmap, matrix, validate=False, keep_job=False, **options
+            )
+        )
+
+    def _timed_min(self, run_once) -> TimedPoint:
+        """Minimum-of-repetitions timing; the phase breakdown comes from the fastest run."""
+        samples: list[float] = []
+        best = None
+        for _ in range(self.repetitions):
+            outcome = run_once()
             samples.append(outcome.elapsed)
-            phases = outcome.phase_times
-        return TimedPoint(seconds=min_of_runs(samples), phases=phases)
+            if best is None or outcome.elapsed < best.elapsed:
+                best = outcome
+        return TimedPoint(seconds=min_of_runs(samples), phases=dict(best.phase_times))
 
     # -- sweeps ----------------------------------------------------------------
     def size_sweep(

@@ -14,6 +14,10 @@ Installed as the ``repro-bench`` console script (and runnable as
 ``select``
     Print the model-driven algorithm-selection table for a system
     (the paper's Section 5 future-work item).
+``workload``
+    Simulate a non-uniform traffic workload (alltoallv semantics) from a
+    generated pattern or a recorded JSON trace, validate the exchange, and
+    compare against the analytic workload model.
 """
 
 from __future__ import annotations
@@ -25,10 +29,14 @@ from typing import Sequence
 from repro._version import __version__
 from repro.bench.figures import FIGURES, headline_speedup, table1
 from repro.bench.reporting import format_figure, format_speedup_summary, format_table1, to_csv
-from repro.core.runner import run_alltoall
+from repro.core.alltoall.valgorithms import list_v_algorithms
+from repro.core.runner import run_alltoall, run_workload
 from repro.core.selection import AlgorithmSelector
+from repro.errors import ConfigurationError
 from repro.machine.process_map import ProcessMap
 from repro.machine.systems import get_system, list_systems
+from repro.model.predict import WORKLOAD_MODELED_ALGORITHMS, predict_workload_time
+from repro.workloads import list_patterns, load_trace, make_pattern
 
 __all__ = ["build_parser", "main"]
 
@@ -49,6 +57,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="which figure to regenerate (default: all)")
     figures.add_argument("--engine", default="model", choices=["model", "simulate"],
                          help="timing engine (simulate runs at reduced scale)")
+    figures.add_argument("--system", default=None, choices=list_systems(),
+                         help="system preset (default: each figure's own system; "
+                              "dane for --engine simulate)")
+    figures.add_argument("--nodes", type=int, default=None,
+                         help="cluster size in nodes (default: the preset's; 8 for simulate)")
+    figures.add_argument("--ppn", type=int, default=None,
+                         help="ranks per node (default: all cores; 8 for simulate)")
     figures.add_argument("--csv", action="store_true", help="emit CSV instead of aligned tables")
     figures.add_argument("--headline", action="store_true",
                          help="also print the headline speedup summary")
@@ -69,6 +84,38 @@ def build_parser() -> argparse.ArgumentParser:
     select.add_argument("--ppn", type=int, default=None,
                         help="ranks per node (default: all cores of the system)")
     select.add_argument("--sizes", type=int, nargs="+", default=[4, 16, 64, 256, 1024, 4096])
+
+    workload = sub.add_parser(
+        "workload", help="simulate a non-uniform traffic workload (alltoallv)"
+    )
+    workload.add_argument("--pattern", default="skewed-moe",
+                          choices=[*list_patterns(), "trace"],
+                          help="traffic pattern to generate (or 'trace' to replay --trace)")
+    workload.add_argument("--trace", default=None,
+                          help="JSON trace file to replay (requires --pattern trace)")
+    workload.add_argument("--algorithm", default="node-aware", choices=list_v_algorithms())
+    workload.add_argument("--system", default="dane", choices=list_systems())
+    workload.add_argument("--nodes", type=int, default=4)
+    workload.add_argument("--ppn", type=int, default=8)
+    workload.add_argument("--msg-bytes", type=int, default=64,
+                          help="base bytes per (source, destination) pair")
+    workload.add_argument("--seed", type=int, default=0, help="RNG seed of random patterns")
+    workload.add_argument("--concentration", type=float, default=4.0,
+                          help="skewed-moe: traffic multiplier of hot experts")
+    workload.add_argument("--hot-fraction", type=float, default=0.125,
+                          help="skewed-moe: fraction of destinations that are hot")
+    workload.add_argument("--exponent", type=float, default=1.2,
+                          help="zipf: power-law exponent of the per-destination decay")
+    workload.add_argument("--out-degree", type=int, default=4,
+                          help="sparse: destinations per source")
+    workload.add_argument("--pattern-group-size", type=int, default=4,
+                          help="block-diagonal: ranks per dense group")
+    workload.add_argument("--group-size", type=int, default=None,
+                          help="node-aware: aggregation group size (default: whole node)")
+    workload.add_argument("--inner", default=None, choices=["pairwise", "nonblocking"],
+                          help="node-aware: inner exchange of both phases")
+    workload.add_argument("--no-model", action="store_true",
+                          help="skip the analytic-model comparison")
     return parser
 
 
@@ -79,12 +126,25 @@ def _cmd_systems(_args: argparse.Namespace) -> int:
 
 def _cmd_figures(args: argparse.Namespace) -> int:
     selected = sorted(FIGURES) if args.id == "all" else [args.id]
+    # The simulate engine needs a reduced scale to stay tractable, so it gets
+    # concrete defaults; the model engine keeps each figure's own full-scale
+    # system unless the user overrides it.
+    if args.engine == "simulate":
+        system = args.system or "dane"
+        nodes = args.nodes if args.nodes is not None else 8
+        ppn = args.ppn if args.ppn is not None else 8
+    else:
+        system = args.system
+        nodes = args.nodes
+        ppn = args.ppn
+        if nodes is not None and system is None:
+            raise SystemExit(
+                "--nodes requires --system with --engine model (the cluster preset to resize)"
+            )
+    cluster = get_system(system, nodes) if system is not None else None
     for figure_id in selected:
         producer = FIGURES[figure_id]
-        if args.engine == "simulate":
-            figure = producer(get_system("dane", 8), ppn=8, engine="simulate")
-        else:
-            figure = producer()
+        figure = producer(cluster, ppn=ppn, engine=args.engine)
         print(to_csv(figure) if args.csv else format_figure(figure))
         print()
     if args.headline:
@@ -128,11 +188,79 @@ def _cmd_select(args: argparse.Namespace) -> int:
     return 0
 
 
+def _workload_matrix(args: argparse.Namespace, nprocs: int):
+    """Build the TrafficMatrix the workload subcommand was asked for."""
+    if args.pattern == "trace":
+        if args.trace is None:
+            raise SystemExit("--pattern trace requires --trace FILE")
+        return load_trace(args.trace)
+    pattern_options: dict = {}
+    if args.pattern == "skewed-moe":
+        pattern_options = {
+            "concentration": args.concentration,
+            "hot_fraction": args.hot_fraction,
+            "seed": args.seed,
+        }
+    elif args.pattern == "zipf":
+        pattern_options = {"exponent": args.exponent, "seed": args.seed}
+    elif args.pattern == "sparse":
+        pattern_options = {"out_degree": args.out_degree, "seed": args.seed}
+    elif args.pattern == "block-diagonal":
+        pattern_options = {"group_size": args.pattern_group_size}
+    return make_pattern(args.pattern, nprocs, args.msg_bytes, **pattern_options)
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    cluster = get_system(args.system, args.nodes)
+    pmap = ProcessMap(cluster, ppn=args.ppn, num_nodes=args.nodes)
+    try:
+        matrix = _workload_matrix(args, pmap.nprocs)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from exc
+    if matrix.nprocs != pmap.nprocs:
+        raise SystemExit(
+            f"trace describes {matrix.nprocs} ranks but {args.nodes} nodes x "
+            f"{args.ppn} ppn gives {pmap.nprocs}"
+        )
+
+    options: dict = {}
+    if args.inner is not None:
+        options["inner"] = args.inner
+    if args.group_size is not None:
+        if args.algorithm != "node-aware":
+            raise SystemExit(f"--group-size is not applicable to algorithm {args.algorithm!r}")
+        options["procs_per_group"] = args.group_size
+
+    print(f"Workload: {matrix.describe()}")
+    print(f"Machine:  {pmap.describe()}")
+    try:
+        outcome = run_workload(args.algorithm, pmap, matrix, **options)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from exc
+    validated = "validated against the reference transposition" if outcome.correct \
+        else "** INCORRECT RESULT **"
+    print(f"Simulated {outcome.algorithm}: {outcome.elapsed:.3e} s  ({validated})")
+    print(f"  inter-node messages: {outcome.inter_node_messages}")
+    print(f"  inter-node bytes:    {outcome.inter_node_bytes}")
+    for phase, seconds in sorted(outcome.phase_times.items()):
+        print(f"  phase {phase:<22s} {seconds:.3e} s")
+
+    if not args.no_model:
+        if args.algorithm in WORKLOAD_MODELED_ALGORITHMS:
+            predicted = predict_workload_time(args.algorithm, pmap, matrix, **options)
+            ratio = outcome.elapsed / predicted if predicted else float("inf")
+            print(f"Model prediction: {predicted:.3e} s  (simulated / modelled = {ratio:.2f}x)")
+        else:
+            print(f"Model prediction: not available for algorithm {args.algorithm!r}")
+    return 0 if outcome.correct else 1
+
+
 _COMMANDS = {
     "systems": _cmd_systems,
     "figures": _cmd_figures,
     "run": _cmd_run,
     "select": _cmd_select,
+    "workload": _cmd_workload,
 }
 
 

@@ -15,24 +15,43 @@ Public entry points:
 from repro.core.alltoall import (
     ALGORITHM_NAMES,
     INNER_EXCHANGES,
+    V_ALGORITHM_NAMES,
     AlltoallAlgorithm,
+    AlltoallvAlgorithm,
     get_algorithm,
+    get_v_algorithm,
     list_algorithms,
+    list_v_algorithms,
 )
-from repro.core.runner import AlltoallOutcome, run_alltoall
+from repro.core.runner import AlltoallOutcome, WorkloadOutcome, run_alltoall, run_workload
 from repro.core.selection import AlgorithmSelector, SelectionTable
-from repro.core.validation import expected_alltoall_result, validate_alltoall_results
+from repro.core.validation import (
+    alltoallv_reference,
+    expected_alltoall_result,
+    expected_workload_result,
+    validate_alltoall_results,
+    validate_workload_results,
+)
 
 __all__ = [
     "ALGORITHM_NAMES",
     "INNER_EXCHANGES",
+    "V_ALGORITHM_NAMES",
     "AlltoallAlgorithm",
+    "AlltoallvAlgorithm",
     "get_algorithm",
+    "get_v_algorithm",
     "list_algorithms",
+    "list_v_algorithms",
     "AlltoallOutcome",
+    "WorkloadOutcome",
     "run_alltoall",
+    "run_workload",
     "AlgorithmSelector",
     "SelectionTable",
     "expected_alltoall_result",
+    "expected_workload_result",
     "validate_alltoall_results",
+    "validate_workload_results",
+    "alltoallv_reference",
 ]

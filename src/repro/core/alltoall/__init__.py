@@ -17,6 +17,15 @@ Locality-exploiting algorithms (Section 3):
   (locality-aware aggregation is one of the paper's two novel algorithms);
 * :class:`~repro.core.alltoall.multileader_node_aware.MultiLeaderNodeAwareAlltoall`
   — Algorithm 5, the paper's second novel algorithm.
+
+Variable-count (``alltoallv``) members, driven by a
+:class:`~repro.workloads.TrafficMatrix` (see :mod:`repro.workloads`):
+
+* :class:`~repro.core.alltoall.valgorithms.PairwiseAlltoallv` /
+  :class:`~repro.core.alltoall.valgorithms.NonblockingAlltoallv` — flat
+  schedules with per-peer counts;
+* :class:`~repro.core.alltoall.valgorithms.NodeAwareAlltoallv` — Algorithm 4
+  generalised to non-uniform traffic (node-aware and locality-aware).
 """
 
 from repro.core.alltoall.base import AlltoallAlgorithm, check_alltoall_buffers
@@ -46,6 +55,23 @@ from repro.core.alltoall.registry import (
     list_algorithms,
 )
 from repro.core.alltoall.system_mpi import SystemMPIAlltoall
+from repro.core.alltoall.valgorithms import (
+    V_ALGORITHM_NAMES,
+    V_ALGORITHMS,
+    AlltoallvAlgorithm,
+    NodeAwareAlltoallv,
+    NonblockingAlltoallv,
+    PairwiseAlltoallv,
+    get_v_algorithm,
+    list_v_algorithms,
+    node_aware_alltoallv,
+)
+from repro.core.alltoall.vexchange import (
+    V_EXCHANGES,
+    exchange_nonblocking_v,
+    exchange_pairwise_v,
+    get_v_exchange,
+)
 
 __all__ = [
     "AlltoallAlgorithm",
@@ -73,4 +99,17 @@ __all__ = [
     "ALGORITHM_NAMES",
     "get_algorithm",
     "list_algorithms",
+    "AlltoallvAlgorithm",
+    "PairwiseAlltoallv",
+    "NonblockingAlltoallv",
+    "NodeAwareAlltoallv",
+    "node_aware_alltoallv",
+    "exchange_pairwise_v",
+    "exchange_nonblocking_v",
+    "V_EXCHANGES",
+    "get_v_exchange",
+    "V_ALGORITHMS",
+    "V_ALGORITHM_NAMES",
+    "get_v_algorithm",
+    "list_v_algorithms",
 ]

@@ -1,0 +1,315 @@
+"""Variable-count (alltoallv) members of the all-to-all algorithm family.
+
+Every algorithm here exchanges a :class:`~repro.workloads.TrafficMatrix`
+worth of data: rank ``r``'s send buffer is the concatenation of its
+variable-size blocks for destinations ``0..p-1`` (packed layout), and its
+receive buffer ends up holding the blocks from sources ``0..p-1`` — the
+same transposition that defines ``MPI_Alltoallv``.  The per-pair *item*
+counts are a global ``(p, p)`` matrix known to every rank, exactly as the
+count arguments of ``MPI_Alltoallv`` are.
+
+Three algorithms cover the paper's design space for irregular traffic:
+
+* :class:`PairwiseAlltoallv` — Algorithm 1's step-synchronous schedule;
+* :class:`NonblockingAlltoallv` — Algorithm 2's post-all-then-wait schedule;
+* :class:`NodeAwareAlltoallv` — Algorithm 4's two-phase aggregation, where
+  the inter-node phase moves per-*group* aggregated (still non-uniform)
+  messages and the intra-node phase redistributes them; with
+  ``procs_per_group < ppn`` this is the locality-aware variant.
+
+Zero-count pairs exchange no message, so sparse matrices benefit fully from
+aggregation (fewer, larger inter-node messages) without paying for empty
+pairs.  Resolve algorithms by name through :func:`get_v_algorithm`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+import numpy as np
+
+from repro.core.alltoall.vexchange import get_v_exchange
+from repro.core.alltoall.repack import pack_delay
+from repro.core.instrumentation import PHASE_INTER, PHASE_INTRA, PHASE_PACK, PhaseRecorder
+from repro.errors import BufferSizeError, ConfigurationError
+from repro.machine.process_map import ProcessMap
+from repro.simmpi.engine import RankContext
+from repro.simmpi.split import cross_group_comm, local_group_comm
+from repro.utils.buffers import check_counts_matrix
+from repro.utils.partition import validate_group_size
+
+__all__ = [
+    "AlltoallvAlgorithm",
+    "PairwiseAlltoallv",
+    "NonblockingAlltoallv",
+    "NodeAwareAlltoallv",
+    "check_workload_counts",
+    "V_ALGORITHMS",
+    "V_ALGORITHM_NAMES",
+    "get_v_algorithm",
+    "list_v_algorithms",
+]
+
+
+def check_workload_counts(counts, nprocs: int) -> np.ndarray:
+    """Validate a per-pair item-count matrix and return it as ``int64``."""
+    return check_counts_matrix(counts, nprocs)
+
+
+class AlltoallvAlgorithm(abc.ABC):
+    """Base class of the variable-count all-to-all implementations.
+
+    Subclasses set :attr:`name` and implement :meth:`run`, a generator that
+    performs the exchange for one rank: ``counts[s, d]`` items flow from
+    rank ``s`` to rank ``d``, with ``sendbuf`` / ``recvbuf`` in the packed
+    layout (block order = peer rank order, no gaps).
+    """
+
+    #: Registry key; overridden by subclasses.
+    name: str = "abstract"
+
+    def validate(self, pmap: ProcessMap, counts: np.ndarray) -> None:
+        """Check that this algorithm can run ``counts`` on ``pmap``.
+
+        The default checks the count matrix shape; subclasses add their own
+        configuration checks (e.g. group-size divisibility) on top.
+        """
+        check_workload_counts(counts, pmap.nprocs)
+
+    @abc.abstractmethod
+    def run(self, ctx: RankContext, counts: np.ndarray, sendbuf: np.ndarray, recvbuf: np.ndarray):
+        """Perform the exchange for the calling rank (generator)."""
+
+    # -- description -------------------------------------------------------
+    def options(self) -> dict[str, Any]:
+        """Configuration of this instance (reported by the benchmark harness)."""
+        return {}
+
+    def describe(self) -> str:
+        opts = ", ".join(f"{k}={v}" for k, v in sorted(self.options().items()))
+        return f"{self.name}v({opts})" if opts else f"{self.name}v"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class PairwiseAlltoallv(AlltoallvAlgorithm):
+    """Flat pairwise-exchange alltoallv over the world communicator."""
+
+    name = "pairwise"
+
+    def run(self, ctx: RankContext, counts: np.ndarray, sendbuf: np.ndarray, recvbuf: np.ndarray):
+        # validate() checked the matrix once for the whole job; the exchange
+        # kernel still validates this rank's count vectors.
+        counts = np.asarray(counts, dtype=np.int64)
+        exchange = get_v_exchange("pairwise")
+        yield from exchange(ctx.world, sendbuf, recvbuf, counts[ctx.rank], counts[:, ctx.rank])
+
+
+class NonblockingAlltoallv(AlltoallvAlgorithm):
+    """Flat post-all-then-wait alltoallv over the world communicator."""
+
+    name = "nonblocking"
+
+    def run(self, ctx: RankContext, counts: np.ndarray, sendbuf: np.ndarray, recvbuf: np.ndarray):
+        counts = np.asarray(counts, dtype=np.int64)
+        exchange = get_v_exchange("nonblocking")
+        yield from exchange(ctx.world, sendbuf, recvbuf, counts[ctx.rank], counts[:, ctx.rank])
+
+
+def _concat(chunks: list[np.ndarray], dtype) -> np.ndarray:
+    if not chunks:
+        return np.empty(0, dtype=dtype)
+    return np.concatenate(chunks)
+
+
+def node_aware_alltoallv(
+    ctx: RankContext,
+    counts: np.ndarray,
+    sendbuf: np.ndarray,
+    recvbuf: np.ndarray,
+    *,
+    procs_per_group: int | None = None,
+    inner: str = "pairwise",
+    phases: PhaseRecorder | None = None,
+):
+    """Run the node-aware / locality-aware alltoallv for one rank (generator).
+
+    The structure is Algorithm 4's, generalised to variable counts.  With
+    aggregation groups of ``L`` consecutive ranks (``G`` groups in total),
+    rank ``r`` — member ``m`` of group ``i`` — proceeds as:
+
+    1. *inter-region*: on the cross-group communicator (one member of every
+       group at position ``m``), send to the member of group ``g`` the
+       concatenation of my blocks for all of ``g``'s members
+       (``sum(counts[r, g*L:(g+1)*L])`` items — contiguous in the packed
+       send buffer because destination ranks within a group are consecutive);
+    2. *repack* from (source group, destination member) order to
+       (destination member, source group) order;
+    3. *intra-region*: on my aggregation group, send member ``k`` everything
+       that arrived for it and receive from member ``k`` everything the
+       position-``k`` sources addressed to me;
+    4. *repack* into source world-rank order.
+
+    All counts of the intermediate exchanges are derived from the global
+    ``counts`` matrix, so every rank computes a consistent schedule without
+    extra communication.
+    """
+    pmap = ctx.pmap
+    params = pmap.params
+    nprocs = pmap.nprocs
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.shape != (nprocs, nprocs):
+        raise BufferSizeError(
+            f"the count matrix must have shape ({nprocs}, {nprocs}), got {counts.shape}"
+        )
+    group_size = pmap.ppn if procs_per_group is None else procs_per_group
+    validate_group_size(pmap.ppn, group_size)
+    exchange = get_v_exchange(inner)
+    recorder = phases if phases is not None else PhaseRecorder(ctx)
+
+    rank = ctx.rank
+    L = group_size
+    G = nprocs // L
+    my_group = rank // L
+    my_pos = rank % L
+    dtype = sendbuf.dtype
+
+    if sendbuf.size != int(counts[rank].sum()):
+        raise BufferSizeError(
+            f"rank {rank}: send buffer has {sendbuf.size} items but the count row sums "
+            f"to {int(counts[rank].sum())}"
+        )
+    if recvbuf.size != int(counts[:, rank].sum()):
+        raise BufferSizeError(
+            f"rank {rank}: receive buffer has {recvbuf.size} items but the count column "
+            f"sums to {int(counts[:, rank].sum())}"
+        )
+
+    local = local_group_comm(ctx, L)
+    cross = cross_group_comm(ctx, L)
+
+    # World ranks of my cross-group peers (the position-`my_pos` member of
+    # every group) and of my own group's members.
+    reps = np.arange(G) * L + my_pos
+    group_members = my_group * L + np.arange(L)
+
+    # Phase 1: inter-region alltoallv.  Send to cross-peer g my blocks for
+    # all of group g's members; receive from it its blocks for all of mine.
+    recorder.start(PHASE_INTER)
+    send_cross = counts[rank].reshape(G, L).sum(axis=1)
+    # chunk_sizes[g, k]: items cross-peer g holds for member k of my group.
+    chunk_sizes = counts[np.ix_(reps, group_members)]
+    recv_cross = chunk_sizes.sum(axis=1)
+    inter_recv = np.empty(int(recv_cross.sum()), dtype=dtype)
+    yield from exchange(cross, sendbuf, inter_recv, send_cross, recv_cross)
+    recorder.stop(PHASE_INTER)
+
+    # Phase 2: repack (source group, dest member) -> (dest member, source group).
+    recorder.start(PHASE_PACK)
+    offsets = np.concatenate(([0], np.cumsum(chunk_sizes.reshape(-1))))
+
+    def chunk(g: int, k: int) -> np.ndarray:
+        start = offsets[g * L + k]
+        return inter_recv[start: start + chunk_sizes[g, k]]
+
+    intra_send = _concat([chunk(g, k) for k in range(L) for g in range(G)], dtype)
+    yield pack_delay(params, intra_send.nbytes)
+    recorder.stop(PHASE_PACK)
+
+    # Phase 3: intra-region alltoallv redistributes within the group.
+    recorder.start(PHASE_INTRA)
+    send_local = chunk_sizes.sum(axis=0)
+    # recv_sizes[g, k]: items the position-k sources of group g addressed to me.
+    recv_sizes = counts[:, rank].reshape(G, L)
+    recv_local = recv_sizes.sum(axis=0)
+    intra_recv = np.empty(int(recv_local.sum()), dtype=dtype)
+    yield from exchange(local, intra_send, intra_recv, send_local, recv_local)
+    recorder.stop(PHASE_INTRA)
+
+    # Phase 4: repack (source position, source group) -> source world-rank order.
+    recorder.start(PHASE_PACK)
+    pos_major = np.concatenate(([0], np.cumsum(recv_sizes.T.reshape(-1))))
+
+    def final_chunk(g: int, k: int) -> np.ndarray:
+        start = pos_major[k * G + g]
+        return intra_recv[start: start + recv_sizes[g, k]]
+
+    final = _concat([final_chunk(g, k) for g in range(G) for k in range(L)], dtype)
+    recvbuf[:] = final
+    yield pack_delay(params, final.nbytes)
+    recorder.stop(PHASE_PACK)
+
+
+class NodeAwareAlltoallv(AlltoallvAlgorithm):
+    """Node-aware (or, with smaller groups, locality-aware) aggregated alltoallv.
+
+    Parameters
+    ----------
+    procs_per_group:
+        Aggregation group size; ``None`` uses the whole node (the classic
+        node-aware algorithm), smaller divisors of ``ppn`` give the paper's
+        locality-aware aggregation.
+    inner:
+        Variable-count exchange used for both phases (``"pairwise"`` or
+        ``"nonblocking"``).
+    """
+
+    name = "node-aware"
+
+    def __init__(self, procs_per_group: int | None = None, inner: str = "pairwise") -> None:
+        if procs_per_group is not None and procs_per_group <= 0:
+            raise ConfigurationError(
+                f"procs_per_group must be positive, got {procs_per_group}"
+            )
+        self.procs_per_group = procs_per_group
+        self.inner = inner
+        get_v_exchange(inner)
+
+    def validate(self, pmap: ProcessMap, counts: np.ndarray) -> None:
+        super().validate(pmap, counts)
+        if self.procs_per_group is not None:
+            validate_group_size(pmap.ppn, self.procs_per_group)
+
+    def options(self):
+        opts: dict[str, Any] = {"inner": self.inner}
+        if self.procs_per_group is not None:
+            opts["procs_per_group"] = self.procs_per_group
+        return opts
+
+    def run(self, ctx: RankContext, counts: np.ndarray, sendbuf: np.ndarray, recvbuf: np.ndarray):
+        yield from node_aware_alltoallv(
+            ctx, counts, sendbuf, recvbuf,
+            procs_per_group=self.procs_per_group, inner=self.inner,
+        )
+
+
+#: Registry mapping algorithm name to its class.
+V_ALGORITHMS: dict[str, type[AlltoallvAlgorithm]] = {
+    cls.name: cls
+    for cls in (PairwiseAlltoallv, NonblockingAlltoallv, NodeAwareAlltoallv)
+}
+
+#: Stable ordering of v-algorithm names used by reports and the CLI.
+V_ALGORITHM_NAMES: tuple[str, ...] = tuple(V_ALGORITHMS)
+
+
+def list_v_algorithms() -> list[str]:
+    """Names of every registered variable-count algorithm."""
+    return list(V_ALGORITHM_NAMES)
+
+
+def get_v_algorithm(name: str, **options) -> AlltoallvAlgorithm:
+    """Instantiate a variable-count algorithm by name with keyword configuration."""
+    if isinstance(name, AlltoallvAlgorithm):
+        return name
+    key = name.lower()
+    if key not in V_ALGORITHMS:
+        raise ConfigurationError(
+            f"unknown alltoallv algorithm {name!r}; available: {', '.join(V_ALGORITHM_NAMES)}"
+        )
+    try:
+        return V_ALGORITHMS[key](**options)
+    except TypeError as exc:
+        raise ConfigurationError(f"invalid options for algorithm {name!r}: {exc}") from exc

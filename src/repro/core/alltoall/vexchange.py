@@ -1,0 +1,131 @@
+"""Flat variable-count exchange kernels (``alltoallv`` semantics).
+
+These mirror :mod:`repro.core.alltoall.pairwise` and
+:mod:`repro.core.alltoall.nonblocking` but move a *different* number of
+items to every peer, as described by per-peer count vectors.  Both kernels
+use the packed buffer layout (block ``i`` at the exclusive prefix sum of the
+counts) and skip zero-count pairs entirely, so sparse traffic matrices cost
+only the messages they actually contain.
+
+They serve double duty exactly like the uniform kernels: as the flat
+v-algorithms over the world communicator and as the inner exchanges of the
+hierarchical v-algorithms (see :mod:`repro.core.alltoall.valgorithms`),
+resolved by name through :data:`V_EXCHANGES`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import BufferSizeError, ConfigurationError
+from repro.simmpi.comm import Communicator
+from repro.simmpi.ops import LocalCopy
+from repro.utils.buffers import check_v_counts, displacements_from_counts
+
+__all__ = [
+    "exchange_pairwise_v",
+    "exchange_nonblocking_v",
+    "V_EXCHANGES",
+    "get_v_exchange",
+]
+
+_TAG_NONBLOCKING_V = 112
+
+
+def _validate_v_buffers(
+    comm: Communicator,
+    sendbuf: np.ndarray,
+    recvbuf: np.ndarray,
+    sendcounts,
+    recvcounts,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Validate packed v-exchange buffers; return (sendcounts, recvcounts, sdispls, rdispls)."""
+    size, rank = comm.size, comm.rank
+    sendcounts = check_v_counts(sendcounts, size, name="sendcounts")
+    recvcounts = check_v_counts(recvcounts, size, name="recvcounts")
+    if sendbuf.size != int(sendcounts.sum()):
+        raise BufferSizeError(
+            f"send buffer has {sendbuf.size} items but the counts sum to {int(sendcounts.sum())}"
+        )
+    if recvbuf.size != int(recvcounts.sum()):
+        raise BufferSizeError(
+            f"receive buffer has {recvbuf.size} items but the counts sum to {int(recvcounts.sum())}"
+        )
+    if sendcounts[rank] != recvcounts[rank]:
+        raise BufferSizeError(
+            f"rank {rank} sends itself {int(sendcounts[rank])} items "
+            f"but expects {int(recvcounts[rank])}"
+        )
+    return sendcounts, recvcounts, displacements_from_counts(sendcounts), displacements_from_counts(recvcounts)
+
+
+def exchange_pairwise_v(comm: Communicator, sendbuf: np.ndarray, recvbuf: np.ndarray,
+                        sendcounts, recvcounts):
+    """Pairwise-exchange alltoallv over ``comm`` (generator; packed layout).
+
+    ``p - 1`` disjoint steps with at most one exchange in flight per rank,
+    like the uniform Algorithm 1; step partners with zero bytes in both
+    directions cost nothing.  After validating the packed layout this
+    delegates to :meth:`~repro.simmpi.comm.Communicator.alltoallv`, which
+    implements exactly that schedule.
+    """
+    sendcounts, recvcounts, sdispls, rdispls = _validate_v_buffers(
+        comm, sendbuf, recvbuf, sendcounts, recvcounts
+    )
+    yield from comm.alltoallv(sendbuf, sendcounts, recvbuf, recvcounts, sdispls, rdispls)
+
+
+def exchange_nonblocking_v(comm: Communicator, sendbuf: np.ndarray, recvbuf: np.ndarray,
+                           sendcounts, recvcounts):
+    """Post-all-then-wait alltoallv over ``comm`` (generator; packed layout).
+
+    All non-empty receives are posted first (in expected arrival order, to
+    keep the unexpected queue short), then all non-empty sends, like the
+    uniform Algorithm 2 — and with the same matching-cost exposure when the
+    effective peer count is large.
+    """
+    size, rank = comm.size, comm.rank
+    sendcounts, recvcounts, sdispls, rdispls = _validate_v_buffers(
+        comm, sendbuf, recvbuf, sendcounts, recvcounts
+    )
+    requests = []
+    for step in range(1, size):
+        source = (rank - step) % size
+        if recvcounts[source]:
+            req = yield from comm.irecv(
+                recvbuf[rdispls[source]: rdispls[source] + recvcounts[source]],
+                source=source, tag=_TAG_NONBLOCKING_V,
+            )
+            requests.append(req)
+    for step in range(1, size):
+        dest = (rank + step) % size
+        if sendcounts[dest]:
+            req = yield from comm.isend(
+                sendbuf[sdispls[dest]: sdispls[dest] + sendcounts[dest]],
+                dest=dest, tag=_TAG_NONBLOCKING_V,
+            )
+            requests.append(req)
+    if sendcounts[rank]:
+        yield LocalCopy(
+            dest=recvbuf[rdispls[rank]: rdispls[rank] + recvcounts[rank]],
+            source=sendbuf[sdispls[rank]: sdispls[rank] + sendcounts[rank]],
+        )
+    yield from comm.waitall(requests)
+
+
+#: name -> generator function ``f(comm, sendbuf, recvbuf, sendcounts, recvcounts)``.
+V_EXCHANGES: dict[str, Callable] = {
+    "pairwise": exchange_pairwise_v,
+    "nonblocking": exchange_nonblocking_v,
+}
+
+
+def get_v_exchange(name: str) -> Callable:
+    """Resolve a variable-count inner exchange by name."""
+    if name not in V_EXCHANGES:
+        raise ConfigurationError(
+            f"unknown v-exchange {name!r}; available: {', '.join(sorted(V_EXCHANGES))}"
+        )
+    return V_EXCHANGES[name]

@@ -5,6 +5,15 @@ This is the main user-facing entry point of the library: given an algorithm
 builds deterministic send buffers, runs the SPMD job on the discrete-event
 engine, validates the result against the defining transposition and returns
 the timing plus the per-phase breakdown.
+
+Two entry points cover the two traffic families:
+
+* :func:`run_alltoall` — the paper's uniform exchange, parameterised by a
+  scalar per-destination ``msg_bytes``;
+* :func:`run_workload` — a non-uniform exchange described by a
+  :class:`~repro.workloads.TrafficMatrix`, run with the variable-count
+  (``alltoallv``) algorithms of :mod:`repro.core.alltoall.valgorithms` and
+  validated against the non-uniform transposition.
 """
 
 from __future__ import annotations
@@ -16,14 +25,27 @@ import numpy as np
 
 from repro.core.alltoall.base import AlltoallAlgorithm
 from repro.core.alltoall.registry import get_algorithm
-from repro.core.validation import validate_alltoall_results
+from repro.core.alltoall.valgorithms import AlltoallvAlgorithm, get_v_algorithm
+from repro.core.validation import (
+    make_workload_sendbuf,
+    validate_alltoall_results,
+    validate_workload_results,
+)
 from repro.errors import ConfigurationError
 from repro.machine.hierarchy import LocalityLevel
 from repro.machine.process_map import ProcessMap
 from repro.simmpi.engine import JobResult, run_spmd
 from repro.utils.buffers import make_alltoall_sendbuf
+from repro.workloads.matrix import TrafficMatrix
 
-__all__ = ["AlltoallOutcome", "run_alltoall", "alltoall_program"]
+__all__ = [
+    "AlltoallOutcome",
+    "WorkloadOutcome",
+    "run_alltoall",
+    "run_workload",
+    "alltoall_program",
+    "workload_program",
+]
 
 
 @dataclass
@@ -150,3 +172,146 @@ def run_alltoall(
         job=job if keep_job else None,
     )
     return outcome
+
+
+# ---------------------------------------------------------------------------
+# Non-uniform workloads (alltoallv)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WorkloadOutcome:
+    """Result of one simulated non-uniform (alltoallv) exchange."""
+
+    #: Human-readable description of the algorithm and its options.
+    algorithm: str
+    #: Traffic pattern name of the matrix that was exchanged.
+    pattern: str
+    #: Total bytes moved by the exchange.
+    total_bytes: int
+    #: Load imbalance of the matrix (max per-rank send bytes over the mean).
+    skew: float
+    #: Number of nodes used.
+    num_nodes: int
+    #: Processes per node.
+    ppn: int
+    #: Simulated execution time of the collective (max over ranks), seconds.
+    elapsed: float
+    #: Whether the receive buffers matched the reference transposition.
+    correct: bool
+    #: Max-over-ranks duration of each instrumented phase.
+    phase_times: dict[str, float] = field(default_factory=dict)
+    #: Message and byte counts per locality level.
+    traffic_by_level: dict[LocalityLevel, tuple[int, int]] = field(default_factory=dict)
+    #: Full engine result (per-rank data, traces, NIC statistics).
+    job: JobResult | None = None
+
+    @property
+    def nprocs(self) -> int:
+        return self.num_nodes * self.ppn
+
+    @property
+    def inter_node_bytes(self) -> int:
+        """Total bytes that crossed the network."""
+        counts = self.traffic_by_level.get(LocalityLevel.NETWORK, (0, 0))
+        return counts[1]
+
+    @property
+    def inter_node_messages(self) -> int:
+        """Total messages that crossed the network."""
+        counts = self.traffic_by_level.get(LocalityLevel.NETWORK, (0, 0))
+        return counts[0]
+
+    def summary(self) -> str:
+        phases = ", ".join(f"{k}={v:.3e}s" for k, v in sorted(self.phase_times.items()))
+        return (
+            f"{self.algorithm} [{self.pattern}]: {self.total_bytes} B total "
+            f"(skew {self.skew:.2f}x) over {self.nprocs} ranks "
+            f"({self.num_nodes} nodes x {self.ppn} ppn) -> {self.elapsed:.3e} s"
+            + (f" [{phases}]" if phases else "")
+            + ("" if self.correct else "  ** INCORRECT RESULT **")
+        )
+
+
+def workload_program(ctx, algorithm: AlltoallvAlgorithm, counts: np.ndarray, dtype):
+    """Rank program that builds packed v-buffers, runs ``algorithm`` and stores the result."""
+    sendbuf = make_workload_sendbuf(ctx.rank, counts, dtype=dtype)
+    recvbuf = np.zeros(int(counts[:, ctx.rank].sum()), dtype=dtype)
+    yield from algorithm.run(ctx, counts, sendbuf, recvbuf)
+    ctx.result = recvbuf
+
+
+def run_workload(
+    algorithm: str | AlltoallvAlgorithm,
+    pmap: ProcessMap,
+    matrix: TrafficMatrix | np.ndarray,
+    *,
+    dtype=np.uint8,
+    validate: bool = True,
+    record_trace: bool = False,
+    keep_job: bool = True,
+    **algorithm_options: Any,
+) -> WorkloadOutcome:
+    """Simulate one non-uniform exchange and return its :class:`WorkloadOutcome`.
+
+    Parameters
+    ----------
+    algorithm:
+        V-algorithm registry name (``"pairwise"``, ``"nonblocking"``,
+        ``"node-aware"``) or an :class:`AlltoallvAlgorithm` instance.
+    pmap:
+        Process placement; ``matrix.nprocs`` must equal ``pmap.nprocs``.
+    matrix:
+        The :class:`~repro.workloads.TrafficMatrix` to exchange (a raw
+        square byte array is accepted and wrapped).
+    dtype:
+        Element type of the exchanged buffers; every matrix entry must be a
+        multiple of its item size (always true for the default ``uint8``).
+    validate:
+        Check the receive buffers against the non-uniform reference
+        transposition.
+    record_trace:
+        Keep a full per-message trace on the returned job.
+    algorithm_options:
+        Forwarded to the algorithm constructor when ``algorithm`` is a name
+        (e.g. ``procs_per_group=4``, ``inner="nonblocking"``).
+    """
+    if isinstance(matrix, np.ndarray):
+        matrix = TrafficMatrix(matrix)
+    if matrix.nprocs != pmap.nprocs:
+        raise ConfigurationError(
+            f"traffic matrix describes {matrix.nprocs} ranks but the process map "
+            f"has {pmap.nprocs}"
+        )
+    counts = matrix.item_counts(np.dtype(dtype))
+
+    if isinstance(algorithm, str):
+        algo = get_v_algorithm(algorithm, **algorithm_options)
+    else:
+        algo = algorithm
+        if algorithm_options:
+            raise ConfigurationError(
+                "algorithm options can only be given together with an algorithm name"
+            )
+    algo.validate(pmap, counts)
+
+    job = run_spmd(pmap, workload_program, algo, counts, np.dtype(dtype), record_trace=record_trace)
+
+    correct = True
+    if validate:
+        correct = validate_workload_results(job.results, counts)
+
+    phase_times = {name: job.phase_time(name) for name in job.phases()}
+    return WorkloadOutcome(
+        algorithm=algo.describe(),
+        pattern=matrix.pattern,
+        total_bytes=matrix.total_bytes,
+        skew=matrix.skew,
+        num_nodes=pmap.num_nodes,
+        ppn=pmap.ppn,
+        elapsed=job.elapsed,
+        correct=correct,
+        phase_times=phase_times,
+        traffic_by_level=dict(job.traffic_by_level),
+        job=job if keep_job else None,
+    )

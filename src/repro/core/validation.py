@@ -6,6 +6,12 @@ receive buffer equals block ``r`` of rank ``s``'s send buffer.  The helpers
 here compute the expected buffers for the deterministic test pattern of
 :func:`repro.utils.buffers.make_alltoall_sendbuf` and check whole-job
 results, so the runner can validate every simulated exchange it performs.
+
+The ``workload`` variants generalise all of this to non-uniform exchanges
+driven by a per-pair count matrix (``alltoallv`` semantics): block sizes
+vary per (source, destination) pair, but the deterministic tagging scheme —
+``(source * nprocs + dest) * 1000`` plus an arithmetic ramp — is identical,
+so uniform and non-uniform validation are directly comparable.
 """
 
 from __future__ import annotations
@@ -15,9 +21,17 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import BufferSizeError
-from repro.utils.buffers import make_alltoall_sendbuf
+from repro.utils.buffers import check_counts_matrix, make_alltoall_sendbuf
 
-__all__ = ["expected_alltoall_result", "validate_alltoall_results", "alltoall_reference"]
+__all__ = [
+    "expected_alltoall_result",
+    "validate_alltoall_results",
+    "alltoall_reference",
+    "make_workload_sendbuf",
+    "expected_workload_result",
+    "validate_workload_results",
+    "alltoallv_reference",
+]
 
 
 def expected_alltoall_result(rank: int, nprocs: int, block_items: int, dtype=np.int64) -> np.ndarray:
@@ -57,6 +71,101 @@ def alltoall_reference(sendbufs: Sequence[np.ndarray]) -> list[np.ndarray]:
     # stacked[s, d] is the block source s sends to destination d; the result
     # for destination d is stacked[:, d] flattened in source order.
     return [np.ascontiguousarray(stacked[:, d]).reshape(-1) for d in range(nprocs)]
+
+
+def _workload_pattern(src: int, dest: int, nprocs: int, items: int, dtype) -> np.ndarray:
+    # Same int64-then-wrap convention as make_alltoall_sendbuf.
+    base = src * nprocs + dest
+    return (base * 1000 + np.arange(items, dtype=np.int64)).astype(dtype)
+
+
+def make_workload_sendbuf(rank: int, counts, dtype=np.int64) -> np.ndarray:
+    """Build rank ``rank``'s deterministic packed send buffer for a count matrix.
+
+    ``counts[s, d]`` is the number of items ``s`` sends to ``d``; the buffer
+    concatenates the variable-size blocks for destinations ``0..p-1`` with
+    the tagging scheme of :func:`repro.utils.buffers.make_alltoall_sendbuf`.
+    """
+    arr = check_counts_matrix(counts)
+    nprocs = arr.shape[0]
+    row = arr[rank]
+    buf = np.empty(int(row.sum()), dtype=dtype)
+    pos = 0
+    for dest in range(nprocs):
+        items = int(row[dest])
+        buf[pos: pos + items] = _workload_pattern(rank, dest, nprocs, items, dtype)
+        pos += items
+    return buf
+
+
+def expected_workload_result(rank: int, counts, dtype=np.int64) -> np.ndarray:
+    """Expected packed receive buffer of ``rank`` for the workload test pattern."""
+    arr = check_counts_matrix(counts)
+    nprocs = arr.shape[0]
+    col = arr[:, rank]
+    out = np.empty(int(col.sum()), dtype=dtype)
+    pos = 0
+    for src in range(nprocs):
+        items = int(col[src])
+        out[pos: pos + items] = _workload_pattern(src, rank, nprocs, items, dtype)
+        pos += items
+    return out
+
+
+def alltoallv_reference(sendbufs: Sequence[np.ndarray], counts) -> list[np.ndarray]:
+    """Reference alltoallv on in-memory packed buffers (the defining transposition).
+
+    ``sendbufs[s]`` holds rank ``s``'s packed send buffer with block sizes
+    ``counts[s, :]``; the returned receive buffers concatenate, for each
+    destination ``d``, the blocks ``counts[s, d]`` in source order.  Used by
+    property-based tests as an independent oracle for the v-algorithms.
+    """
+    arr = check_counts_matrix(counts)
+    nprocs = arr.shape[0]
+    if len(sendbufs) != nprocs:
+        raise BufferSizeError(f"expected {nprocs} send buffers, got {len(sendbufs)}")
+    displs = np.zeros((nprocs, nprocs), dtype=np.int64)
+    np.cumsum(arr[:, :-1], axis=1, out=displs[:, 1:])
+    results = []
+    for dest in range(nprocs):
+        chunks = []
+        for src in range(nprocs):
+            buf = np.asarray(sendbufs[src])
+            if buf.size != int(arr[src].sum()):
+                raise BufferSizeError(
+                    f"send buffer of rank {src} has {buf.size} items but its counts "
+                    f"sum to {int(arr[src].sum())}"
+                )
+            start = displs[src, dest]
+            chunks.append(buf[start: start + arr[src, dest]])
+        results.append(np.concatenate(chunks) if chunks else np.empty(0))
+    return results
+
+
+def validate_workload_results(results: Sequence[np.ndarray], counts) -> bool:
+    """Check a whole job's packed receive buffers against the workload test pattern.
+
+    Returns ``True`` when every rank's buffer matches; raises
+    :class:`BufferSizeError` on size mismatches (which would otherwise
+    masquerade as value mismatches).
+    """
+    arr = check_counts_matrix(counts)
+    nprocs = arr.shape[0]
+    if len(results) != nprocs:
+        raise BufferSizeError(f"expected {nprocs} result buffers, got {len(results)}")
+    for rank, buf in enumerate(results):
+        if buf is None:
+            return False
+        got = np.asarray(buf)
+        expected_items = int(arr[:, rank].sum())
+        if got.size != expected_items:
+            raise BufferSizeError(
+                f"rank {rank} produced {got.size} items, expected {expected_items}"
+            )
+        expected = expected_workload_result(rank, arr, dtype=got.dtype)
+        if not np.array_equal(got.reshape(-1), expected):
+            return False
+    return True
 
 
 def validate_alltoall_results(

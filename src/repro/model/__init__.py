@@ -20,8 +20,23 @@ from repro.model.costs import (
     pairwise_flat_cost,
     system_mpi_cost,
 )
-from repro.model.loggp import ExchangeEstimate, exchange_estimate, nic_phase_bound
-from repro.model.predict import predict_breakdown, predict_time
+from repro.model.loggp import (
+    ExchangeEstimate,
+    exchange_estimate,
+    exchange_estimate_v,
+    nic_phase_bound,
+)
+from repro.model.predict import (
+    predict_breakdown,
+    predict_time,
+    predict_workload_breakdown,
+    predict_workload_time,
+)
+from repro.model.workload_cost import (
+    WORKLOAD_MODELED_ALGORITHMS,
+    flat_workload_cost,
+    node_aware_workload_cost,
+)
 
 __all__ = [
     "CostBreakdown",
@@ -34,7 +49,13 @@ __all__ = [
     "system_mpi_cost",
     "ExchangeEstimate",
     "exchange_estimate",
+    "exchange_estimate_v",
     "nic_phase_bound",
     "predict_breakdown",
     "predict_time",
+    "predict_workload_breakdown",
+    "predict_workload_time",
+    "WORKLOAD_MODELED_ALGORITHMS",
+    "flat_workload_cost",
+    "node_aware_workload_cost",
 ]

@@ -29,9 +29,11 @@ from repro.machine.process_map import ProcessMap
 __all__ = [
     "ExchangeEstimate",
     "exchange_estimate",
+    "exchange_estimate_v",
     "nic_phase_bound",
     "fabric_phase_bound",
     "cross_numa_bytes",
+    "cross_numa_bytes_v",
     "linear_rooted_cost",
 ]
 
@@ -122,6 +124,58 @@ def exchange_estimate(
     raise ConfigurationError(f"unknown exchange kind {kind!r}")
 
 
+def exchange_estimate_v(
+    pmap: ProcessMap,
+    me: int,
+    peers: Sequence[int],
+    peer_bytes: Sequence[int],
+    kind: str,
+) -> ExchangeEstimate:
+    """Estimate the time rank ``me`` spends in a *variable-count* flat exchange.
+
+    Like :func:`exchange_estimate`, but each peer receives its own byte
+    count (``peer_bytes[i]`` to ``peers[i]``).  Zero-byte peers exchange no
+    message at all, matching the v-algorithms' skip-empty schedule, so a
+    sparse traffic matrix pays neither their wire time nor their matching
+    cost.  Only the ``"pairwise"`` and ``"nonblocking"`` schedules exist in
+    v-form.
+    """
+    params = pmap.params
+    if len(peers) != len(peer_bytes):
+        raise ConfigurationError(
+            f"got {len(peers)} peers but {len(peer_bytes)} byte counts"
+        )
+    live = [(peer, int(nbytes)) for peer, nbytes in zip(peers, peer_bytes) if nbytes > 0]
+    if not live:
+        return ExchangeEstimate(0.0, 0, 0)
+    levels = [pmap.locality(me, peer) for peer, _ in live]
+    sizes = [nbytes for _, nbytes in live]
+    inter = [lvl == LocalityLevel.NETWORK for lvl in levels]
+    inter_msgs = sum(inter)
+    inter_bytes = sum(n for n, crossing in zip(sizes, inter) if crossing)
+    npeers = len(live)
+    overhead = params.send_overhead + params.recv_overhead
+
+    if kind == "pairwise":
+        wire = sum(_per_message_time(params, lvl, n) for lvl, n in zip(levels, sizes))
+        cpu = npeers * (overhead + params.match_overhead_per_entry)
+        return ExchangeEstimate(wire + cpu, inter_msgs, inter_bytes)
+
+    if kind in ("nonblocking", "batched"):
+        worst_latency = max(params.latency(lvl) for lvl in levels)
+        serialized = sum(n * params.byte_time(lvl) for lvl, n in zip(levels, sizes))
+        rendezvous = 0.0 if params.is_eager(max(sizes)) else params.rendezvous_overhead
+        matching = params.match_overhead_per_entry * npeers * (npeers + 1) / 2.0
+        cpu = npeers * overhead
+        return ExchangeEstimate(
+            worst_latency + serialized + rendezvous + matching + cpu, inter_msgs, inter_bytes
+        )
+
+    raise ConfigurationError(
+        f"unknown v-exchange kind {kind!r}; only 'pairwise' and 'nonblocking' have v-forms"
+    )
+
+
 def nic_phase_bound(
     params: MachineParameters,
     *,
@@ -141,6 +195,18 @@ def cross_numa_bytes(pmap: ProcessMap, me: int, peers: Sequence[int], bytes_per_
         level = pmap.locality(me, peer)
         if level in (LocalityLevel.SOCKET, LocalityLevel.NODE):
             total += bytes_per_peer
+    return total
+
+
+def cross_numa_bytes_v(
+    pmap: ProcessMap, me: int, peers: Sequence[int], peer_bytes: Sequence[int]
+) -> int:
+    """Bytes rank ``me`` sends to intra-node peers across a NUMA boundary (variable counts)."""
+    total = 0
+    for peer, nbytes in zip(peers, peer_bytes):
+        level = pmap.locality(me, peer)
+        if level in (LocalityLevel.SOCKET, LocalityLevel.NODE):
+            total += int(nbytes)
     return total
 
 

@@ -3,10 +3,15 @@
 ``predict_time`` / ``predict_breakdown`` accept the same algorithm names and
 options as :func:`repro.core.runner.run_alltoall`, which lets the benchmark
 harness and the algorithm selector switch transparently between simulated
-and modelled timings.
+and modelled timings.  ``predict_workload_time`` /
+``predict_workload_breakdown`` do the same for non-uniform workloads: they
+consume a :class:`~repro.workloads.TrafficMatrix` instead of a scalar
+message size and mirror :func:`repro.core.runner.run_workload`.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.machine.process_map import ProcessMap
@@ -20,8 +25,20 @@ from repro.model.costs import (
     pairwise_flat_cost,
     system_mpi_cost,
 )
+from repro.model.workload_cost import (
+    WORKLOAD_MODELED_ALGORITHMS,
+    flat_workload_cost,
+    node_aware_workload_cost,
+)
 
-__all__ = ["predict_breakdown", "predict_time", "MODELED_ALGORITHMS"]
+__all__ = [
+    "predict_breakdown",
+    "predict_time",
+    "predict_workload_breakdown",
+    "predict_workload_time",
+    "MODELED_ALGORITHMS",
+    "WORKLOAD_MODELED_ALGORITHMS",
+]
 
 #: Algorithm names the analytic model can predict.
 MODELED_ALGORITHMS = (
@@ -82,6 +99,40 @@ def predict_breakdown(algorithm: str, pmap: ProcessMap, msg_bytes: int, **option
 def predict_time(algorithm: str, pmap: ProcessMap, msg_bytes: int, **options) -> float:
     """Predicted total execution time in seconds."""
     return predict_breakdown(algorithm, pmap, msg_bytes, **options).total
+
+
+def predict_workload_breakdown(algorithm: str, pmap: ProcessMap, matrix, **options) -> CostBreakdown:
+    """Predicted per-phase cost of exchanging a :class:`~repro.workloads.TrafficMatrix`.
+
+    Accepts the same algorithm names and options as
+    :func:`repro.core.runner.run_workload` (``pairwise``, ``nonblocking``
+    and ``node-aware``, the latter with ``procs_per_group`` / ``inner``).
+    A raw square byte array is accepted and wrapped.
+    """
+    from repro.workloads.matrix import TrafficMatrix
+
+    if isinstance(matrix, np.ndarray):
+        matrix = TrafficMatrix(matrix)
+    name = algorithm.lower()
+    if name in ("pairwise", "nonblocking"):
+        _reject_options(name, options)
+        return flat_workload_cost(pmap, matrix, name)
+    if name == "node-aware":
+        procs_per_group = options.pop("procs_per_group", None)
+        inner = options.pop("inner", "pairwise")
+        _reject_options(name, options)
+        return node_aware_workload_cost(
+            pmap, matrix, procs_per_group=procs_per_group, inner=inner
+        )
+    raise ConfigurationError(
+        f"the workload model does not cover algorithm {algorithm!r}; "
+        f"modelled algorithms: {', '.join(WORKLOAD_MODELED_ALGORITHMS)}"
+    )
+
+
+def predict_workload_time(algorithm: str, pmap: ProcessMap, matrix, **options) -> float:
+    """Predicted total execution time of a workload exchange, in seconds."""
+    return predict_workload_breakdown(algorithm, pmap, matrix, **options).total
 
 
 def _reject_options(name: str, options: dict) -> None:

@@ -38,6 +38,7 @@ __all__ = [
     "reduce",
     "allreduce",
     "alltoall",
+    "alltoallv",
     "REDUCTION_OPS",
 ]
 
@@ -49,6 +50,7 @@ TAG_SCATTER = MAX_USER_TAG + 4
 TAG_ALLGATHER = MAX_USER_TAG + 5
 TAG_REDUCE = MAX_USER_TAG + 6
 TAG_ALLTOALL = MAX_USER_TAG + 7
+TAG_ALLTOALLV = MAX_USER_TAG + 8
 
 #: Reduction operators accepted by :func:`reduce` / :func:`allreduce`.
 REDUCTION_OPS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
@@ -267,3 +269,67 @@ def alltoall(comm, sendbuf: np.ndarray, recvbuf: np.ndarray):
             send_view[dest], dest, recv_view[source], source,
             sendtag=TAG_ALLTOALL, recvtag=TAG_ALLTOALL,
         )
+
+
+# ---------------------------------------------------------------------------
+# Alltoallv (variable per-peer counts)
+# ---------------------------------------------------------------------------
+
+def _check_v_layout(buf: np.ndarray, counts: np.ndarray, displs: np.ndarray, name: str) -> None:
+    if displs.size != counts.size:
+        raise BufferSizeError(
+            f"alltoallv: {name} needs {counts.size} displacements, got {displs.size}"
+        )
+    if counts.size and ((displs < 0).any() or (displs + counts > buf.size).any()):
+        raise BufferSizeError(
+            f"alltoallv: {name} blocks exceed the {buf.size}-item buffer"
+        )
+
+
+def alltoallv(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls):
+    """Pairwise-exchange ``MPI_Alltoallv``: variable per-peer block sizes.
+
+    Rank ``r`` sends ``sendcounts[d]`` items starting at ``sdispls[d]`` of
+    ``sendbuf`` to every rank ``d`` and receives ``recvcounts[s]`` items into
+    ``recvbuf`` at ``rdispls[s]`` from every rank ``s``.  Counts of zero skip
+    the transfer entirely (both sides derive the schedule from the same count
+    vectors, so no rank ever waits for a message that is never sent) — sparse
+    traffic matrices therefore cost only the messages they actually contain.
+    """
+    from repro.utils.buffers import check_v_counts
+
+    size, rank = comm.size, comm.rank
+    sendcounts = check_v_counts(sendcounts, size, name="sendcounts")
+    recvcounts = check_v_counts(recvcounts, size, name="recvcounts")
+    sdispls = np.asarray(sdispls, dtype=np.int64)
+    rdispls = np.asarray(rdispls, dtype=np.int64)
+    _check_v_layout(sendbuf, sendcounts, sdispls, "send")
+    _check_v_layout(recvbuf, recvcounts, rdispls, "receive")
+    if sendcounts[rank] != recvcounts[rank]:
+        raise BufferSizeError(
+            f"alltoallv: rank {rank} sends itself {sendcounts[rank]} items "
+            f"but expects to receive {recvcounts[rank]}"
+        )
+    if sendcounts[rank]:
+        yield LocalCopy(
+            dest=recvbuf[rdispls[rank]: rdispls[rank] + recvcounts[rank]],
+            source=sendbuf[sdispls[rank]: sdispls[rank] + sendcounts[rank]],
+        )
+    for step in range(1, size):
+        dest = (rank + step) % size
+        source = (rank - step) % size
+        requests = []
+        if recvcounts[source]:
+            req = yield from comm.irecv(
+                recvbuf[rdispls[source]: rdispls[source] + recvcounts[source]],
+                source=source, tag=TAG_ALLTOALLV,
+            )
+            requests.append(req)
+        if sendcounts[dest]:
+            req = yield from comm.isend(
+                sendbuf[sdispls[dest]: sdispls[dest] + sendcounts[dest]],
+                dest=dest, tag=TAG_ALLTOALLV,
+            )
+            requests.append(req)
+        if requests:
+            yield from comm.waitall(requests)

@@ -173,6 +173,31 @@ class Communicator:
         """Flat pairwise-exchange all-to-all (see :mod:`repro.core.alltoall` for the full family)."""
         yield from _coll.alltoall(self, sendbuf, recvbuf)
 
+    def alltoallv(
+        self,
+        sendbuf: np.ndarray,
+        sendcounts,
+        recvbuf: np.ndarray,
+        recvcounts,
+        sdispls=None,
+        rdispls=None,
+    ):
+        """Variable-count all-to-all (``MPI_Alltoallv``).
+
+        ``sendcounts[d]`` / ``recvcounts[s]`` give the per-peer item counts;
+        displacements default to the packed layout (exclusive prefix sums of
+        the counts).  Zero-count pairs exchange no message at all.
+        """
+        from repro.utils.buffers import displacements_from_counts
+
+        if sdispls is None:
+            sdispls = displacements_from_counts(sendcounts)
+        if rdispls is None:
+            rdispls = displacements_from_counts(recvcounts)
+        yield from _coll.alltoallv(
+            self, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls
+        )
+
     # -- communicator construction ---------------------------------------------------
     def dup(self) -> "Communicator":
         """Duplicate this communicator with a fresh context id (non-collective here)."""

@@ -22,6 +22,9 @@ __all__ = [
     "split_blocks",
     "concat_blocks",
     "make_alltoall_sendbuf",
+    "displacements_from_counts",
+    "check_v_counts",
+    "check_counts_matrix",
 ]
 
 
@@ -78,6 +81,55 @@ def concat_blocks(blocks: Sequence[np.ndarray]) -> np.ndarray:
     if len(blocks) == 0:
         raise ValueError("cannot concatenate an empty sequence of blocks")
     return np.concatenate([np.asarray(b).ravel() for b in blocks])
+
+
+def displacements_from_counts(counts: Sequence[int] | np.ndarray) -> np.ndarray:
+    """Exclusive prefix sum of ``counts`` — the packed-layout displacements of ``MPI_Alltoallv``.
+
+    ``displacements_from_counts([3, 0, 2])`` is ``[0, 3, 3]``: block ``i``
+    occupies ``[displs[i], displs[i] + counts[i])`` of the flat buffer.
+    """
+    arr = np.asarray(counts, dtype=np.int64)
+    displs = np.zeros(arr.size, dtype=np.int64)
+    if arr.size > 1:
+        np.cumsum(arr[:-1], out=displs[1:])
+    return displs
+
+
+def check_v_counts(counts: Sequence[int] | np.ndarray, nblocks: int, *, name: str = "counts") -> np.ndarray:
+    """Validate a per-peer count vector for a v-style (variable-size) collective.
+
+    Returns the counts as an ``int64`` array; raises
+    :class:`BufferSizeError` when the length does not match the peer count or
+    any entry is negative.
+    """
+    arr = np.asarray(counts, dtype=np.int64)
+    if arr.ndim != 1 or arr.size != nblocks:
+        raise BufferSizeError(
+            f"{name} must be a flat vector of {nblocks} entries, got shape {arr.shape}"
+        )
+    if (arr < 0).any():
+        raise BufferSizeError(f"{name} entries must be non-negative")
+    return arr
+
+
+def check_counts_matrix(counts, nprocs: int | None = None, *, name: str = "count") -> np.ndarray:
+    """Validate a square per-pair count matrix and return it as ``int64``.
+
+    The single checker behind every alltoallv-style consumer (v-algorithms,
+    workload validation).  When ``nprocs`` is given the shape must be exactly
+    ``(nprocs, nprocs)``; otherwise any square matrix is accepted.
+    """
+    arr = np.asarray(counts, dtype=np.int64)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise BufferSizeError(f"the {name} matrix must be square, got shape {arr.shape}")
+    if nprocs is not None and arr.shape[0] != nprocs:
+        raise BufferSizeError(
+            f"the {name} matrix must have shape ({nprocs}, {nprocs}), got {arr.shape}"
+        )
+    if (arr < 0).any():
+        raise BufferSizeError(f"{name} matrix entries must be non-negative")
+    return arr
 
 
 def make_alltoall_sendbuf(rank: int, nprocs: int, block_items: int, dtype=np.int64) -> np.ndarray:

@@ -1,0 +1,63 @@
+"""Non-uniform traffic workloads for the all-to-all stack.
+
+The seed reproduction simulates the paper's *uniform* exchange — every rank
+sends the same ``msg_bytes`` to every peer.  The workloads that motivate the
+paper (MoE token shuffles with skewed expert routing, ragged FFT/matrix
+transposes, neighbourhood exchanges) are irregular; this package makes them
+first-class:
+
+* :class:`~repro.workloads.matrix.TrafficMatrix` — dense per-(source,
+  destination) byte counts with the aggregate views (totals, skew, per-node
+  traffic) the runner, cost model and benchmark harness consume;
+* :mod:`~repro.workloads.generators` — pattern generators (``uniform``,
+  ``skewed_moe``, ``block_diagonal``, ``zipf``, ``sparse``, ``from_trace``)
+  behind the :data:`~repro.workloads.generators.PATTERNS` registry;
+* :mod:`~repro.workloads.traceio` — JSON trace replay and persistence.
+
+Downstream entry points: :func:`repro.core.runner.run_workload` simulates a
+matrix with the v-capable algorithms (``alltoallv`` semantics),
+:func:`repro.model.predict.predict_workload_time` prices one analytically,
+:meth:`repro.bench.harness.BenchmarkHarness.workload_point` times one
+through either engine, and ``repro-bench workload`` drives it all from the
+command line.
+
+Quickstart::
+
+    from repro.workloads import skewed_moe
+    from repro.machine import ProcessMap, tiny_cluster
+    from repro.core import run_workload
+
+    pmap = ProcessMap(tiny_cluster(num_nodes=4), ppn=8)
+    matrix = skewed_moe(pmap.nprocs, msg_bytes=64, concentration=8.0)
+    outcome = run_workload("node-aware", pmap, matrix)
+    print(outcome.summary())
+"""
+
+from repro.workloads.generators import (
+    PATTERNS,
+    block_diagonal,
+    from_trace,
+    list_patterns,
+    make_pattern,
+    skewed_moe,
+    sparse,
+    uniform,
+    zipf,
+)
+from repro.workloads.matrix import TrafficMatrix
+from repro.workloads.traceio import load_trace, save_trace
+
+__all__ = [
+    "TrafficMatrix",
+    "PATTERNS",
+    "uniform",
+    "skewed_moe",
+    "block_diagonal",
+    "zipf",
+    "sparse",
+    "from_trace",
+    "make_pattern",
+    "list_patterns",
+    "load_trace",
+    "save_trace",
+]

@@ -1,0 +1,221 @@
+"""Traffic-pattern generators: one function per workload family.
+
+Each generator returns a :class:`~repro.workloads.matrix.TrafficMatrix` and
+is deterministic for a given ``seed``, so simulated runs, model predictions
+and tests all see exactly the same exchange.  The families mirror the
+workloads that motivate the paper:
+
+* :func:`uniform` — the paper's benchmark: every rank sends ``msg_bytes``
+  to every rank (including itself, like ``MPI_Alltoall``);
+* :func:`skewed_moe` — MoE token shuffle with hot experts: a fraction of
+  destination ranks receives ``concentration`` times the base traffic,
+  with per-pair jitter from the routing randomness;
+* :func:`block_diagonal` — tensor-parallel groups: dense traffic inside
+  consecutive groups of ranks, optional light background traffic outside;
+* :func:`zipf` — power-law fan-out: each source's per-destination bytes
+  follow a Zipf distribution over a source-specific destination order;
+* :func:`sparse` — bounded out-degree: each source sends to a fixed number
+  of random destinations only (neighbourhood exchanges, graph workloads);
+* :func:`from_trace` — replay a recorded JSON trace
+  (see :mod:`repro.workloads.traceio`).
+
+The :data:`PATTERNS` registry maps CLI-friendly names to the generators;
+:func:`make_pattern` instantiates one by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.matrix import TrafficMatrix
+
+__all__ = [
+    "uniform",
+    "skewed_moe",
+    "block_diagonal",
+    "zipf",
+    "sparse",
+    "from_trace",
+    "PATTERNS",
+    "make_pattern",
+    "list_patterns",
+]
+
+
+def _check_args(nprocs: int, msg_bytes: int) -> None:
+    if nprocs <= 0:
+        raise ConfigurationError(f"nprocs must be positive, got {nprocs}")
+    if msg_bytes <= 0:
+        raise ConfigurationError(f"msg_bytes must be positive, got {msg_bytes}")
+
+
+def uniform(nprocs: int, msg_bytes: int) -> TrafficMatrix:
+    """Every rank sends ``msg_bytes`` to every rank — the paper's uniform exchange."""
+    _check_args(nprocs, msg_bytes)
+    return TrafficMatrix(
+        np.full((nprocs, nprocs), msg_bytes, dtype=np.int64), pattern="uniform"
+    )
+
+
+def skewed_moe(
+    nprocs: int,
+    msg_bytes: int,
+    *,
+    concentration: float = 4.0,
+    hot_fraction: float = 0.125,
+    jitter: float = 0.25,
+    seed: int = 0,
+) -> TrafficMatrix:
+    """MoE token shuffle with skewed expert routing.
+
+    Destinations model experts; a ``hot_fraction`` of them (at least one)
+    attracts ``concentration`` times the base bytes from every source, and
+    every pair gets multiplicative jitter of up to ``jitter`` drawn from the
+    seeded RNG — the token-count noise of real routing.
+    """
+    _check_args(nprocs, msg_bytes)
+    if concentration < 1.0:
+        raise ConfigurationError(f"concentration must be >= 1, got {concentration}")
+    if not 0.0 < hot_fraction <= 1.0:
+        raise ConfigurationError(f"hot_fraction must be in (0, 1], got {hot_fraction}")
+    if not 0.0 <= jitter < 1.0:
+        raise ConfigurationError(f"jitter must be in [0, 1), got {jitter}")
+    rng = np.random.default_rng(seed)
+    num_hot = max(1, int(round(hot_fraction * nprocs)))
+    hot = rng.permutation(nprocs)[:num_hot]
+    weights = np.ones(nprocs)
+    weights[hot] = concentration
+    matrix = msg_bytes * np.broadcast_to(weights, (nprocs, nprocs)).copy()
+    if jitter:
+        matrix = matrix * (1.0 + rng.uniform(-jitter, jitter, size=(nprocs, nprocs)))
+    return TrafficMatrix(np.maximum(1, np.rint(matrix)).astype(np.int64), pattern="skewed-moe")
+
+
+def block_diagonal(
+    nprocs: int,
+    msg_bytes: int,
+    *,
+    group_size: int = 4,
+    remote_bytes: int = 0,
+) -> TrafficMatrix:
+    """Dense traffic inside consecutive groups of ``group_size`` ranks.
+
+    Models tensor-parallel collectives (each group exchanges internally);
+    ``remote_bytes`` adds uniform background traffic between groups (e.g. a
+    light data-parallel component).
+    """
+    _check_args(nprocs, msg_bytes)
+    if group_size <= 0 or nprocs % group_size != 0:
+        raise ConfigurationError(
+            f"group_size={group_size} does not evenly divide {nprocs} ranks"
+        )
+    if remote_bytes < 0:
+        raise ConfigurationError(f"remote_bytes must be non-negative, got {remote_bytes}")
+    groups = np.arange(nprocs) // group_size
+    same_group = groups[:, None] == groups[None, :]
+    matrix = np.where(same_group, msg_bytes, remote_bytes)
+    return TrafficMatrix(matrix.astype(np.int64), pattern="block-diagonal")
+
+
+def zipf(
+    nprocs: int,
+    msg_bytes: int,
+    *,
+    exponent: float = 1.2,
+    seed: int = 0,
+) -> TrafficMatrix:
+    """Power-law fan-out: destination ``k``-th favourite of a source gets ``msg_bytes / (k+1)^a``.
+
+    Each source ranks the destinations in a source-specific random order, so
+    the heavy pairs are spread over the machine rather than piling onto rank 0.
+    Entries round down to whole bytes; at least the favourite destination of
+    every source always receives ``msg_bytes``.
+    """
+    _check_args(nprocs, msg_bytes)
+    if exponent <= 0.0:
+        raise ConfigurationError(f"exponent must be positive, got {exponent}")
+    rng = np.random.default_rng(seed)
+    decay = msg_bytes / np.power(np.arange(1, nprocs + 1, dtype=np.float64), exponent)
+    matrix = np.zeros((nprocs, nprocs), dtype=np.int64)
+    for src in range(nprocs):
+        order = rng.permutation(nprocs)
+        matrix[src, order] = decay.astype(np.int64)
+    return TrafficMatrix(matrix, pattern="zipf")
+
+
+def sparse(
+    nprocs: int,
+    msg_bytes: int,
+    *,
+    out_degree: int = 4,
+    seed: int = 0,
+) -> TrafficMatrix:
+    """Bounded fan-out: each source sends ``msg_bytes`` to ``out_degree`` distinct peers.
+
+    Destinations are drawn without replacement from the other ranks, so the
+    diagonal stays empty and every row has exactly ``out_degree`` non-zero
+    entries (clamped to ``nprocs - 1`` on tiny jobs).
+    """
+    _check_args(nprocs, msg_bytes)
+    if out_degree <= 0:
+        raise ConfigurationError(f"out_degree must be positive, got {out_degree}")
+    degree = min(out_degree, nprocs - 1)
+    matrix = np.zeros((nprocs, nprocs), dtype=np.int64)
+    if degree == 0:
+        # A single-rank job has no peers; keep one self-entry so the matrix
+        # still describes a (degenerate but valid) exchange.
+        matrix[0, 0] = msg_bytes
+        return TrafficMatrix(matrix, pattern="sparse")
+    rng = np.random.default_rng(seed)
+    for src in range(nprocs):
+        peers = np.delete(np.arange(nprocs), src)
+        chosen = rng.choice(peers, size=degree, replace=False)
+        matrix[src, chosen] = msg_bytes
+    return TrafficMatrix(matrix, pattern="sparse")
+
+
+def from_trace(source) -> TrafficMatrix:
+    """Replay a recorded trace (path, JSON string, dict or record list).
+
+    Thin wrapper over :func:`repro.workloads.traceio.load_trace` so traces
+    participate in the :data:`PATTERNS` registry documentation.
+    """
+    from repro.workloads.traceio import load_trace
+
+    return load_trace(source)
+
+
+#: CLI-friendly pattern name -> generator ``f(nprocs, msg_bytes, **options)``.
+PATTERNS: dict[str, Callable[..., TrafficMatrix]] = {
+    "uniform": uniform,
+    "skewed-moe": skewed_moe,
+    "block-diagonal": block_diagonal,
+    "zipf": zipf,
+    "sparse": sparse,
+}
+
+
+def list_patterns() -> list[str]:
+    """Names of every registered traffic pattern generator."""
+    return list(PATTERNS)
+
+
+def make_pattern(name: str, nprocs: int, msg_bytes: int, **options) -> TrafficMatrix:
+    """Instantiate a registered pattern by name.
+
+    Examples
+    --------
+    >>> make_pattern("skewed-moe", 32, 64, concentration=8.0)
+    >>> make_pattern("block-diagonal", 32, 256, group_size=8)
+    """
+    if name not in PATTERNS:
+        raise ConfigurationError(
+            f"unknown traffic pattern {name!r}; available: {', '.join(sorted(PATTERNS))}"
+        )
+    try:
+        return PATTERNS[name](nprocs, msg_bytes, **options)
+    except TypeError as exc:
+        raise ConfigurationError(f"invalid options for pattern {name!r}: {exc}") from exc

@@ -1,0 +1,177 @@
+"""The :class:`TrafficMatrix` abstraction: who sends how much to whom.
+
+A traffic matrix is the dense description of one non-uniform all-to-all
+exchange: entry ``[s, d]`` is the number of *bytes* rank ``s`` sends to rank
+``d``.  The uniform exchange the paper benchmarks is the special case where
+every entry equals ``msg_bytes``; MoE token shuffles, ragged FFT transposes
+and sparse neighbourhood exchanges are all just other matrices.
+
+The class is deliberately small: it validates the matrix once, exposes the
+aggregate quantities the cost model and reports need (total bytes, skew,
+per-node aggregation), and converts bytes to element counts for a given
+dtype so the simulated :mod:`repro.core.alltoall` v-algorithms can run it.
+Generators for common patterns live in :mod:`repro.workloads.generators`;
+JSON (trace) persistence lives in :mod:`repro.workloads.traceio`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TrafficMatrix"]
+
+
+class TrafficMatrix:
+    """Per-(source, destination) byte counts of one all-to-all style exchange.
+
+    Parameters
+    ----------
+    bytes_matrix:
+        Square array-like; entry ``[s, d]`` is the number of bytes rank ``s``
+        sends to rank ``d``.  Entries must be non-negative integers (the
+        diagonal is allowed: a rank may "send" to itself, which costs a local
+        copy exactly like the uniform ``MPI_Alltoall`` self-block).
+    pattern:
+        Name of the generator that produced the matrix (``"uniform"``,
+        ``"skewed-moe"``, ...); purely descriptive.
+    """
+
+    __slots__ = ("bytes", "pattern")
+
+    def __init__(self, bytes_matrix, *, pattern: str = "custom") -> None:
+        matrix = np.asarray(bytes_matrix)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ConfigurationError(
+                f"a traffic matrix must be square, got shape {matrix.shape}"
+            )
+        if matrix.shape[0] == 0:
+            raise ConfigurationError("a traffic matrix needs at least one rank")
+        if not np.issubdtype(matrix.dtype, np.integer):
+            rounded = np.rint(matrix)
+            if not np.allclose(matrix, rounded):
+                raise ConfigurationError("traffic matrix entries must be whole byte counts")
+            matrix = rounded
+        matrix = matrix.astype(np.int64, copy=True)
+        if (matrix < 0).any():
+            raise ConfigurationError("traffic matrix entries must be non-negative")
+        self.bytes = matrix
+        self.pattern = pattern
+
+    # -- sizes ---------------------------------------------------------------
+    @property
+    def nprocs(self) -> int:
+        """Number of ranks the matrix describes."""
+        return self.bytes.shape[0]
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes moved by the exchange (sum of every entry)."""
+        return int(self.bytes.sum())
+
+    def send_bytes(self, rank: int) -> int:
+        """Bytes ``rank`` sends (its row sum)."""
+        return int(self.bytes[rank].sum())
+
+    def recv_bytes(self, rank: int) -> int:
+        """Bytes ``rank`` receives (its column sum)."""
+        return int(self.bytes[:, rank].sum())
+
+    @property
+    def send_totals(self) -> np.ndarray:
+        """Row sums: bytes each rank sends."""
+        return self.bytes.sum(axis=1)
+
+    @property
+    def recv_totals(self) -> np.ndarray:
+        """Column sums: bytes each rank receives."""
+        return self.bytes.sum(axis=0)
+
+    @property
+    def max_pair_bytes(self) -> int:
+        """Largest single (source, destination) transfer."""
+        return int(self.bytes.max())
+
+    # -- shape statistics ------------------------------------------------------
+    @property
+    def skew(self) -> float:
+        """Load imbalance: the worse of the send-side and receive-side imbalance.
+
+        Each side's imbalance is the max per-rank total over the mean
+        (1.0 = perfectly balanced).  A hot-expert MoE matrix is skewed on
+        the receive side even though every source sends the same volume, so
+        both directions matter.
+        """
+        worst = 1.0
+        for totals in (self.send_totals, self.recv_totals):
+            mean = float(totals.mean())
+            if mean > 0.0:
+                worst = max(worst, float(totals.max()) / mean)
+        return worst
+
+    @property
+    def density(self) -> float:
+        """Fraction of (source, destination) pairs with non-zero traffic."""
+        return float(np.count_nonzero(self.bytes)) / float(self.bytes.size)
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when every entry carries the same number of bytes."""
+        return bool((self.bytes == self.bytes.flat[0]).all())
+
+    # -- aggregation -----------------------------------------------------------
+    def node_bytes(self, ppn: int) -> np.ndarray:
+        """Aggregate to a node-level matrix for a blockwise placement of ``ppn`` ranks per node.
+
+        Entry ``[m, n]`` of the result is the total bytes the ranks of node
+        ``m`` send to the ranks of node ``n`` — the quantity the NIC
+        injection model cares about.
+        """
+        if ppn <= 0 or self.nprocs % ppn != 0:
+            raise ConfigurationError(
+                f"ppn={ppn} does not evenly divide the {self.nprocs} ranks of the matrix"
+            )
+        nodes = self.nprocs // ppn
+        return self.bytes.reshape(nodes, ppn, nodes, ppn).sum(axis=(1, 3))
+
+    def inter_node_bytes(self, ppn: int) -> int:
+        """Total bytes crossing the network for a blockwise placement."""
+        node_matrix = self.node_bytes(ppn)
+        return int(node_matrix.sum() - np.trace(node_matrix))
+
+    # -- conversion -------------------------------------------------------------
+    def item_counts(self, dtype=np.uint8) -> np.ndarray:
+        """Per-pair element counts for exchanging this matrix with buffers of ``dtype``.
+
+        Every entry must be a multiple of the dtype's item size (for the
+        default ``uint8`` payload this is always true).
+        """
+        itemsize = np.dtype(dtype).itemsize
+        if itemsize > 1 and (self.bytes % itemsize).any():
+            raise ConfigurationError(
+                f"traffic matrix entries are not all multiples of the {itemsize}-byte "
+                f"dtype {np.dtype(dtype)}"
+            )
+        return self.bytes // itemsize
+
+    def scaled(self, factor: int) -> "TrafficMatrix":
+        """A new matrix with every entry multiplied by a positive integer factor."""
+        if factor <= 0:
+            raise ConfigurationError(f"scale factor must be positive, got {factor}")
+        return TrafficMatrix(self.bytes * int(factor), pattern=self.pattern)
+
+    # -- description -------------------------------------------------------------
+    def describe(self) -> str:
+        return (
+            f"{self.pattern}: {self.nprocs} ranks, {self.total_bytes} B total, "
+            f"skew {self.skew:.2f}x, density {self.density:.2f}"
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TrafficMatrix):
+            return NotImplemented
+        return np.array_equal(self.bytes, other.bytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TrafficMatrix {self.describe()}>"

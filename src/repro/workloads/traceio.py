@@ -1,0 +1,105 @@
+"""JSON persistence for traffic matrices (trace replay).
+
+Two interchangeable on-disk forms are supported:
+
+* a *dense* object — ``{"pattern": "...", "nprocs": p, "bytes": [[...], ...]}``;
+* a *record list* — ``[{"src": s, "dst": d, "bytes": n}, ...]`` (sparse,
+  the natural dump format of an application-side communication profiler);
+  ``nprocs`` is inferred from the largest rank mentioned unless wrapped as
+  ``{"nprocs": p, "records": [...]}``.
+
+:func:`load_trace` accepts a path, a JSON string, or the already-decoded
+Python objects; :func:`save_trace` always writes the dense form.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.matrix import TrafficMatrix
+
+__all__ = ["load_trace", "save_trace"]
+
+
+def _matrix_from_records(records: list, nprocs: int | None) -> TrafficMatrix:
+    if not records:
+        raise ConfigurationError("a trace record list must contain at least one record")
+    try:
+        triples = [(int(r["src"]), int(r["dst"]), int(r["bytes"])) for r in records]
+    except (KeyError, TypeError) as exc:
+        raise ConfigurationError(
+            "trace records must be objects with 'src', 'dst' and 'bytes' keys"
+        ) from exc
+    max_rank = max(max(s, d) for s, d, _ in triples)
+    size = (max_rank + 1) if nprocs is None else nprocs
+    if max_rank >= size:
+        raise ConfigurationError(
+            f"trace mentions rank {max_rank} but declares only {size} ranks"
+        )
+    matrix = np.zeros((size, size), dtype=np.int64)
+    for s, d, n in triples:
+        if s < 0 or d < 0:
+            raise ConfigurationError("trace record ranks must be non-negative")
+        matrix[s, d] += n
+    return TrafficMatrix(matrix, pattern="trace")
+
+
+def _matrix_from_object(obj: Any) -> TrafficMatrix:
+    if isinstance(obj, list):
+        return _matrix_from_records(obj, nprocs=None)
+    if isinstance(obj, dict):
+        if "records" in obj:
+            return _matrix_from_records(obj["records"], nprocs=obj.get("nprocs"))
+        if "bytes" in obj:
+            matrix = TrafficMatrix(obj["bytes"], pattern=obj.get("pattern", "trace"))
+            declared = obj.get("nprocs")
+            if declared is not None and declared != matrix.nprocs:
+                raise ConfigurationError(
+                    f"trace declares {declared} ranks but the matrix has {matrix.nprocs}"
+                )
+            return matrix
+    raise ConfigurationError(
+        "a trace must be a record list or an object with a 'bytes' matrix or 'records' list"
+    )
+
+
+def load_trace(source) -> TrafficMatrix:
+    """Load a :class:`TrafficMatrix` from a trace (path, JSON string, dict or list)."""
+    if isinstance(source, TrafficMatrix):
+        return source
+    if isinstance(source, (dict, list)):
+        return _matrix_from_object(source)
+    if isinstance(source, (str, os.PathLike)):
+        text = str(source)
+        if not text.lstrip().startswith(("{", "[")):
+            try:
+                with open(source, "r", encoding="utf-8") as handle:
+                    text = handle.read()
+            except OSError as exc:
+                raise ConfigurationError(f"cannot read trace file {source!r}: {exc}") from exc
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"trace is not valid JSON: {exc}") from exc
+        return _matrix_from_object(obj)
+    raise ConfigurationError(
+        f"cannot load a trace from {type(source).__name__}; "
+        "expected a path, JSON string, dict or record list"
+    )
+
+
+def save_trace(matrix: TrafficMatrix, path) -> None:
+    """Write ``matrix`` to ``path`` in the dense JSON trace form."""
+    payload = {
+        "pattern": matrix.pattern,
+        "nprocs": matrix.nprocs,
+        "bytes": matrix.bytes.tolist(),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+        handle.write("\n")

@@ -107,3 +107,56 @@ class TestAblationSweeps:
         series = matching_cost_sweep(dane(32), 112, msg_bytes=1024, factors=(0.0, 1.0, 8.0))
         ys = series.ys()
         assert ys[0] <= ys[1] <= ys[2]
+
+
+class TestRepetitionPhaseConsistency:
+    """The phase breakdown must come from the run that produced the minimum."""
+
+    def _harness_with_fake_runs(self, monkeypatch, outcomes, target):
+        import repro.bench.harness as harness_module
+
+        queue = list(outcomes)
+
+        def fake_run(*args, **kwargs):
+            return queue.pop(0)
+
+        monkeypatch.setattr(harness_module, target, fake_run)
+        return BenchmarkHarness(tiny_cluster(num_nodes=2), 4, engine="simulate",
+                                repetitions=len(outcomes))
+
+    class _FakeOutcome:
+        def __init__(self, elapsed, phases):
+            self.elapsed = elapsed
+            self.phase_times = phases
+
+    def test_time_point_phases_match_min_run(self, monkeypatch):
+        outcomes = [
+            self._FakeOutcome(3.0, {"inter-node alltoall": 3.0}),
+            self._FakeOutcome(1.0, {"inter-node alltoall": 1.0}),
+            self._FakeOutcome(2.0, {"inter-node alltoall": 2.0}),
+        ]
+        harness = self._harness_with_fake_runs(monkeypatch, outcomes, "run_alltoall")
+        point = harness.time_point("pairwise", 16, 2)
+        assert point.seconds == 1.0
+        assert point.phases == {"inter-node alltoall": 1.0}
+
+    def test_workload_point_phases_match_min_run(self, monkeypatch):
+        from repro.workloads import uniform
+
+        outcomes = [
+            self._FakeOutcome(2.0, {"pack": 2.0}),
+            self._FakeOutcome(5.0, {"pack": 5.0}),
+        ]
+        harness = self._harness_with_fake_runs(monkeypatch, outcomes, "run_workload")
+        point = harness.workload_point("pairwise", uniform(8, 16), 2)
+        assert point.seconds == 2.0
+        assert point.phases == {"pack": 2.0}
+
+    def test_real_repetitions_still_deterministic(self):
+        harness = BenchmarkHarness(tiny_cluster(num_nodes=2), 4, engine="simulate",
+                                   repetitions=3)
+        point = harness.time_point("node-aware", 64, 2)
+        single = BenchmarkHarness(tiny_cluster(num_nodes=2), 4,
+                                  engine="simulate").time_point("node-aware", 64, 2)
+        assert point.seconds == pytest.approx(single.seconds)
+        assert point.phases == single.phases

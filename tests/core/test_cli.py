@@ -66,3 +66,129 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "4 B" in out or "      4 B" in out
         assert "->" in out
+
+
+class TestSelectCommand:
+    def test_covers_all_requested_sizes(self, capsys):
+        assert main(["select", "--system", "dane", "--nodes", "4", "--ppn", "8",
+                     "--sizes", "4", "64", "1024"]) == 0
+        out = capsys.readouterr().out
+        for size in ("4 B", "64 B", "1024 B"):
+            assert size in out
+
+    def test_default_ppn_uses_all_cores(self, capsys):
+        assert main(["select", "--system", "tuolomne", "--nodes", "2", "--sizes", "64"]) == 0
+        assert "x 96 ppn" in capsys.readouterr().out
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["select", "--system", "frontier"])
+
+    def test_header_names_system_and_shape(self, capsys):
+        assert main(["select", "--system", "amber", "--nodes", "2", "--ppn", "4",
+                     "--sizes", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "amber" in out and "(2 nodes x 4 ppn)" in out
+
+
+class TestFiguresSystemFlags:
+    def test_simulate_honours_system_choice(self, capsys):
+        assert main(["figures", "--id", "fig10", "--engine", "simulate",
+                     "--system", "tuolomne", "--nodes", "2", "--ppn", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "tuolomne" in out
+        assert "2 nodes x 4 ppn" in out
+
+    def test_simulate_defaults_to_dane(self, capsys):
+        assert main(["figures", "--id", "fig16", "--engine", "simulate",
+                     "--nodes", "2", "--ppn", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "dane" in out and "4 ppn" in out
+
+    def test_model_engine_system_override(self, capsys):
+        assert main(["figures", "--id", "fig10", "--system", "amber", "--nodes", "4"]) == 0
+        assert "amber" in capsys.readouterr().out
+
+    def test_model_engine_defaults_preserved(self, capsys):
+        """Without --system, figure 17 still runs on its own system (Amber)."""
+        assert main(["figures", "--id", "fig17"]) == 0
+        assert "amber" in capsys.readouterr().out
+
+
+class TestWorkloadCommand:
+    def test_skewed_moe_end_to_end(self, capsys):
+        code = main(["workload", "--pattern", "skewed-moe", "--algorithm", "node-aware",
+                     "--system", "dane", "--nodes", "2", "--ppn", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "skewed-moe" in out
+        assert "validated against the reference transposition" in out
+        assert "Model prediction" in out
+
+    def test_sparse_pattern_options(self, capsys):
+        code = main(["workload", "--pattern", "sparse", "--algorithm", "pairwise",
+                     "--system", "dane", "--nodes", "2", "--ppn", "4",
+                     "--out-degree", "2", "--seed", "3"])
+        assert code == 0
+        assert "sparse" in capsys.readouterr().out
+
+    def test_group_size_for_node_aware(self, capsys):
+        code = main(["workload", "--pattern", "uniform", "--algorithm", "node-aware",
+                     "--system", "dane", "--nodes", "2", "--ppn", "4",
+                     "--group-size", "2", "--inner", "nonblocking"])
+        assert code == 0
+        assert "procs_per_group=2" in capsys.readouterr().out
+
+    def test_group_size_invalid_for_flat_algorithm(self):
+        with pytest.raises(SystemExit):
+            main(["workload", "--pattern", "uniform", "--algorithm", "pairwise",
+                  "--system", "dane", "--nodes", "2", "--ppn", "4", "--group-size", "2"])
+
+    def test_trace_replay(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.json"
+        matrix = [[0 if s == d else 16 for d in range(8)] for s in range(8)]
+        path.write_text(json.dumps({"nprocs": 8, "bytes": matrix}))
+        code = main(["workload", "--pattern", "trace", "--trace", str(path),
+                     "--system", "dane", "--nodes", "2", "--ppn", "4"])
+        assert code == 0
+        assert "trace" in capsys.readouterr().out
+
+    def test_trace_requires_file(self):
+        with pytest.raises(SystemExit):
+            main(["workload", "--pattern", "trace", "--system", "dane",
+                  "--nodes", "2", "--ppn", "4"])
+
+    def test_trace_size_mismatch_rejected(self, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps({"bytes": [[0, 8], [8, 0]]}))
+        with pytest.raises(SystemExit):
+            main(["workload", "--pattern", "trace", "--trace", str(path),
+                  "--system", "dane", "--nodes", "2", "--ppn", "4"])
+
+    def test_no_model_flag(self, capsys):
+        code = main(["workload", "--pattern", "uniform", "--algorithm", "nonblocking",
+                     "--system", "dane", "--nodes", "2", "--ppn", "4", "--no-model"])
+        assert code == 0
+        assert "Model prediction" not in capsys.readouterr().out
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["workload", "--pattern", "fractal", "--system", "dane"])
+
+
+class TestFiguresNodeClamping:
+    def test_node_scaling_figure_on_small_cluster(self, capsys):
+        """fig11 sweeps the paper's node counts; a 2-node override clamps the sweep."""
+        assert main(["figures", "--id", "fig11", "--system", "dane", "--nodes", "2",
+                     "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("nodes,")
+        assert "\n2," in out and "\n4," not in out
+
+    def test_nodes_without_system_rejected_for_model_engine(self):
+        with pytest.raises(SystemExit):
+            main(["figures", "--id", "fig10", "--nodes", "2"])

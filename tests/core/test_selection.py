@@ -108,3 +108,48 @@ class TestSelectionTable:
         table.record(4, 8, "y", 1.0)
         table.record(2, 16, "z", 1.0)
         assert table.sizes_for(4) == [8, 64]
+
+
+class TestSelectionTableTieBreaking:
+    def test_exact_match_wins_over_neighbours(self):
+        table = SelectionTable()
+        table.record(32, 16, "small-algo", 1.0)
+        table.record(32, 64, "exact-algo", 1.0)
+        table.record(32, 256, "large-algo", 1.0)
+        assert table.best(32, 64) == "exact-algo"
+
+    def test_log_distance_tie_prefers_smaller_size(self):
+        """32 is log-equidistant from 16 and 64; the smaller measured size wins."""
+        table = SelectionTable()
+        table.record(32, 16, "small-algo", 1.0)
+        table.record(32, 64, "large-algo", 1.0)
+        assert table.best(32, 32) == "small-algo"
+
+    def test_lookup_below_smallest_measured_size(self):
+        table = SelectionTable()
+        table.record(8, 64, "only-algo", 1.0)
+        table.record(8, 4096, "big-algo", 1.0)
+        assert table.best(8, 1) == "only-algo"
+
+    def test_lookup_above_largest_measured_size(self):
+        table = SelectionTable()
+        table.record(8, 16, "small-algo", 1.0)
+        table.record(8, 64, "big-algo", 1.0)
+        assert table.best(8, 10**6) == "big-algo"
+
+    def test_nearest_is_logarithmic_not_linear(self):
+        """48 is linearly closer to 64 but logarithmically closer to... still 64;
+        96 is linearly closer to 64 (distance 32) than to 256 (160) and also
+        log-closer to 64 — but 160 is log-closer to 256 despite the linear
+        distance favouring neither clearly."""
+        table = SelectionTable()
+        table.record(4, 64, "sixty-four", 1.0)
+        table.record(4, 256, "two-fifty-six", 1.0)
+        assert table.best(4, 96) == "sixty-four"
+        assert table.best(4, 160) == "two-fifty-six"
+
+    def test_single_measurement_answers_everything(self):
+        table = SelectionTable()
+        table.record(2, 128, "solo", 1.0)
+        for size in (1, 128, 10**9):
+            assert table.best(2, size) == "solo"

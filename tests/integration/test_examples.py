@@ -1,12 +1,14 @@
 """Smoke tests: every example script runs to completion and prints its report."""
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
 
 EXAMPLES = [
     ("quickstart.py", ["Simulated machine", "Modelled machine"]),
@@ -21,8 +23,13 @@ EXAMPLES = [
 def test_example_runs(script, expected_phrases):
     path = EXAMPLES_DIR / script
     assert path.exists(), f"missing example {script}"
+    # Forward the package path explicitly so the smoke tests also pass when
+    # pytest found repro via the pyproject `pythonpath` setting rather than
+    # an exported PYTHONPATH.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
     completed = subprocess.run(
-        [sys.executable, str(path)], capture_output=True, text=True, timeout=600
+        [sys.executable, str(path)], capture_output=True, text=True, timeout=600, env=env
     )
     assert completed.returncode == 0, completed.stderr[-2000:]
     for phrase in expected_phrases:

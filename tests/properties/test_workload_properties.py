@@ -1,0 +1,137 @@
+"""Property-based tests of the non-uniform workload subsystem.
+
+Two invariants anchor everything the workloads package promises:
+
+* *byte conservation* — for any generated :class:`TrafficMatrix`, the bytes
+  sent (row sums) and received (column sums) agree in aggregate, and a
+  simulated exchange delivers every rank exactly its column's worth of data;
+* *exact transposition* — ``alltoallv`` (and every v-algorithm built on it)
+  delivers, for arbitrary random count matrices and payloads, exactly the
+  same receive buffers as the independent NumPy oracle
+  :func:`repro.core.validation.alltoallv_reference`.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import run_workload
+from repro.core.validation import alltoallv_reference
+from repro.machine import ProcessMap, tiny_cluster
+from repro.simmpi import run_spmd
+from repro.utils.partition import divisors
+from repro.workloads import TrafficMatrix, make_pattern
+
+pattern_names = st.sampled_from(["uniform", "skewed-moe", "block-diagonal", "zipf", "sparse"])
+small_shapes = st.tuples(st.integers(1, 3), st.sampled_from([2, 4, 6]))  # (nodes, ppn)
+
+
+def _pmap(num_nodes: int, ppn: int) -> ProcessMap:
+    return ProcessMap(tiny_cluster(num_nodes=num_nodes), ppn=ppn)
+
+
+def _pattern_options(name: str, nprocs: int, seed: int, data) -> dict:
+    if name == "block-diagonal":
+        group = data.draw(st.sampled_from(divisors(nprocs)), label="pattern group")
+        return {"group_size": group}
+    if name == "sparse":
+        return {"out_degree": data.draw(st.integers(1, max(1, nprocs - 1))), "seed": seed}
+    if name in ("skewed-moe", "zipf"):
+        return {"seed": seed}
+    return {}
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    name=pattern_names,
+    shape=small_shapes,
+    msg_bytes=st.sampled_from([1, 7, 64, 300]),
+    seed=st.integers(0, 2**16),
+    data=st.data(),
+)
+def test_generated_matrices_conserve_bytes(name, shape, msg_bytes, seed, data):
+    """Row sums sent == column sums received, in aggregate, for every generator."""
+    nprocs = shape[0] * shape[1]
+    matrix = make_pattern(name, nprocs, msg_bytes, **_pattern_options(name, nprocs, seed, data))
+    assert matrix.send_totals.sum() == matrix.recv_totals.sum() == matrix.total_bytes
+    assert (matrix.bytes >= 0).all()
+    node_matrix = matrix.node_bytes(shape[1])
+    assert node_matrix.sum() == matrix.total_bytes
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    name=pattern_names,
+    shape=small_shapes,
+    msg_bytes=st.sampled_from([1, 16, 120]),
+    seed=st.integers(0, 2**16),
+    data=st.data(),
+)
+def test_simulated_exchange_delivers_column_sums(name, shape, msg_bytes, seed, data):
+    """Every rank receives exactly the bytes the matrix's column promises it."""
+    nodes, ppn = shape
+    nprocs = nodes * ppn
+    if nprocs < 2:
+        return
+    matrix = make_pattern(name, nprocs, msg_bytes, **_pattern_options(name, nprocs, seed, data))
+    algorithm = data.draw(st.sampled_from(["pairwise", "nonblocking", "node-aware"]),
+                          label="algorithm")
+    outcome = run_workload(algorithm, _pmap(nodes, ppn), matrix)
+    assert outcome.correct
+    for rank, buf in enumerate(outcome.job.results):
+        assert buf.nbytes == matrix.recv_bytes(rank)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    nprocs=st.integers(2, 8),
+    seed=st.integers(0, 2**16),
+    max_items=st.sampled_from([1, 3, 9]),
+)
+def test_alltoallv_delivers_exact_transposition(nprocs, seed, max_items):
+    """The simmpi alltoallv collective matches the NumPy oracle on random matrices."""
+    rng = np.random.default_rng(seed)
+    counts = rng.integers(0, max_items + 1, size=(nprocs, nprocs))
+    sendbufs = [
+        rng.integers(-1000, 1000, size=int(counts[r].sum()), dtype=np.int64)
+        for r in range(nprocs)
+    ]
+    pmap = ProcessMap(tiny_cluster(num_nodes=1, cores_per_numa=8), ppn=nprocs)
+
+    def program(ctx):
+        recv = np.zeros(int(counts[:, ctx.rank].sum()), dtype=np.int64)
+        yield from ctx.world.alltoallv(
+            sendbufs[ctx.rank], counts[ctx.rank], recv, counts[:, ctx.rank]
+        )
+        ctx.result = recv
+
+    results = run_spmd(pmap, program).results
+    expected = alltoallv_reference(sendbufs, counts)
+    for got, want in zip(results, expected):
+        assert np.array_equal(got, want)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    shape=st.tuples(st.integers(1, 3), st.sampled_from([2, 4, 6])),
+    seed=st.integers(0, 2**16),
+    data=st.data(),
+)
+def test_v_algorithms_match_oracle_on_random_matrices(shape, seed, data):
+    """Every v-algorithm, at every valid group size, is an exact alltoallv."""
+    nodes, ppn = shape
+    nprocs = nodes * ppn
+    rng = np.random.default_rng(seed)
+    counts = rng.integers(0, 5, size=(nprocs, nprocs))
+    matrix = TrafficMatrix(counts)
+    algorithm = data.draw(st.sampled_from(["pairwise", "nonblocking", "node-aware"]),
+                          label="algorithm")
+    options = {}
+    if algorithm == "node-aware":
+        options = {
+            "procs_per_group": data.draw(st.sampled_from(divisors(ppn)), label="group"),
+            "inner": data.draw(st.sampled_from(["pairwise", "nonblocking"]), label="inner"),
+        }
+    outcome = run_workload(algorithm, _pmap(nodes, ppn), matrix, dtype=np.uint8, **options)
+    assert outcome.correct

@@ -251,3 +251,99 @@ class TestBasicAlltoall:
 
         with pytest.raises(BufferSizeError):
             _run(two_node_pmap, program)
+
+
+class TestAlltoallv:
+    def test_matches_variable_transposition(self, two_node_pmap):
+        """Ragged counts: rank s sends s+1 items to every destination."""
+        p = two_node_pmap.nprocs
+        counts = np.tile(np.arange(1, p + 1, dtype=np.int64)[:, None], (1, p))
+
+        def program(ctx):
+            mine = counts[ctx.rank]
+            send = np.concatenate(
+                [np.full(mine[d], 100 * ctx.rank + d, dtype=np.int64) for d in range(p)]
+            )
+            recv = np.zeros(int(counts[:, ctx.rank].sum()), dtype=np.int64)
+            yield from ctx.world.alltoallv(send, mine, recv, counts[:, ctx.rank])
+            ctx.result = recv.copy()
+
+        result = _run(two_node_pmap, program)
+        for dest, buf in enumerate(result.results):
+            expected = np.concatenate(
+                [np.full(src + 1, 100 * src + dest, dtype=np.int64) for src in range(p)]
+            )
+            assert np.array_equal(buf, expected)
+
+    def test_zero_counts_skip_messages(self, two_node_pmap):
+        """A diagonal-plus-one-pair matrix exchanges only that single message."""
+        p = two_node_pmap.nprocs
+        counts = np.zeros((p, p), dtype=np.int64)
+        counts[0, p - 1] = 3
+
+        def program(ctx):
+            send = np.full(int(counts[ctx.rank].sum()), 42, dtype=np.int64)
+            recv = np.zeros(int(counts[:, ctx.rank].sum()), dtype=np.int64)
+            yield from ctx.world.alltoallv(send, counts[ctx.rank], recv, counts[:, ctx.rank])
+            ctx.result = recv.copy()
+
+        result = _run(two_node_pmap, program)
+        assert np.array_equal(result.results[p - 1], np.full(3, 42))
+        assert all(buf.size == 0 for buf in result.results[:-1])
+
+    def test_explicit_displacements(self, two_node_pmap):
+        """Non-packed layouts: blocks laid out in reverse peer order."""
+        p = two_node_pmap.nprocs
+
+        def program(ctx):
+            counts = np.full(p, 2, dtype=np.int64)
+            displs = np.array([(p - 1 - i) * 2 for i in range(p)], dtype=np.int64)
+            send = np.zeros(2 * p, dtype=np.int64)
+            for d in range(p):
+                send[displs[d]: displs[d] + 2] = 100 * ctx.rank + d
+            recv = np.zeros(2 * p, dtype=np.int64)
+            yield from ctx.world.alltoallv(send, counts, recv, counts, displs, displs)
+            ctx.result = recv.copy()
+
+        result = _run(two_node_pmap, program)
+        for dest, buf in enumerate(result.results):
+            for src in range(p):
+                start = (p - 1 - src) * 2
+                assert np.array_equal(buf[start: start + 2], np.full(2, 100 * src + dest))
+
+    def test_count_vector_length_checked(self, two_node_pmap):
+        def program(ctx):
+            p = ctx.world.size
+            yield from ctx.world.alltoallv(
+                np.zeros(p, dtype=np.int64), np.ones(p - 1, dtype=np.int64),
+                np.zeros(p, dtype=np.int64), np.ones(p, dtype=np.int64),
+            )
+
+        with pytest.raises(BufferSizeError):
+            _run(two_node_pmap, program)
+
+    def test_self_count_mismatch_rejected(self, two_node_pmap):
+        def program(ctx):
+            p = ctx.world.size
+            sendcounts = np.ones(p, dtype=np.int64)
+            recvcounts = np.ones(p, dtype=np.int64)
+            recvcounts[ctx.world.rank] = 2
+            yield from ctx.world.alltoallv(
+                np.ones(p, dtype=np.int64), sendcounts,
+                np.zeros(p + 1, dtype=np.int64), recvcounts,
+            )
+
+        with pytest.raises(BufferSizeError):
+            _run(two_node_pmap, program)
+
+    def test_blocks_beyond_buffer_rejected(self, two_node_pmap):
+        def program(ctx):
+            p = ctx.world.size
+            counts = np.full(p, 4, dtype=np.int64)
+            yield from ctx.world.alltoallv(
+                np.zeros(2, dtype=np.int64), counts,
+                np.zeros(4 * p, dtype=np.int64), counts,
+            )
+
+        with pytest.raises(BufferSizeError):
+            _run(two_node_pmap, program)

@@ -1,0 +1,176 @@
+"""Tests for the traffic-pattern generators (repro.workloads.generators)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    PATTERNS,
+    block_diagonal,
+    list_patterns,
+    load_trace,
+    make_pattern,
+    save_trace,
+    skewed_moe,
+    sparse,
+    uniform,
+    zipf,
+)
+
+
+class TestUniform:
+    def test_every_pair_equal(self):
+        matrix = uniform(8, 64)
+        assert matrix.is_uniform and matrix.bytes[0, 0] == 64
+        assert matrix.total_bytes == 8 * 8 * 64
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            uniform(0, 64)
+        with pytest.raises(ConfigurationError):
+            uniform(8, 0)
+
+
+class TestSkewedMoe:
+    def test_hot_experts_receive_more(self):
+        matrix = skewed_moe(32, 64, concentration=8.0, jitter=0.0, seed=3)
+        recv = matrix.recv_totals
+        hot = recv.max()
+        cold = recv.min()
+        assert hot == pytest.approx(8.0 * cold)
+        assert matrix.skew > 2.0
+
+    def test_deterministic_per_seed(self):
+        assert skewed_moe(16, 32, seed=5) == skewed_moe(16, 32, seed=5)
+        assert skewed_moe(16, 32, seed=5) != skewed_moe(16, 32, seed=6)
+
+    def test_every_pair_positive(self):
+        assert (skewed_moe(16, 4).bytes > 0).all()
+
+    def test_invalid_options(self):
+        with pytest.raises(ConfigurationError):
+            skewed_moe(8, 64, concentration=0.5)
+        with pytest.raises(ConfigurationError):
+            skewed_moe(8, 64, hot_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            skewed_moe(8, 64, jitter=1.0)
+
+
+class TestBlockDiagonal:
+    def test_traffic_stays_in_groups(self):
+        matrix = block_diagonal(8, 100, group_size=4)
+        groups = np.arange(8) // 4
+        same = groups[:, None] == groups[None, :]
+        assert (matrix.bytes[same] == 100).all()
+        assert (matrix.bytes[~same] == 0).all()
+
+    def test_background_traffic(self):
+        matrix = block_diagonal(8, 100, group_size=2, remote_bytes=1)
+        assert matrix.bytes[0, 7] == 1
+
+    def test_group_size_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            block_diagonal(8, 100, group_size=3)
+
+
+class TestZipf:
+    def test_power_law_row_profile(self):
+        matrix = zipf(16, 4096, exponent=1.0, seed=0)
+        for row in matrix.bytes:
+            assert sorted(row, reverse=True)[0] == 4096
+        # Heavy pairs are spread: not every source favours the same destination.
+        favourites = matrix.bytes.argmax(axis=1)
+        assert len(set(favourites.tolist())) > 1
+
+    def test_higher_exponent_more_concentrated(self):
+        flat = zipf(16, 4096, exponent=0.5, seed=1)
+        steep = zipf(16, 4096, exponent=2.5, seed=1)
+        assert steep.total_bytes < flat.total_bytes
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ConfigurationError):
+            zipf(8, 64, exponent=0.0)
+
+
+class TestSparse:
+    def test_out_degree_bounds_fanout(self):
+        matrix = sparse(16, 64, out_degree=3, seed=2)
+        nonzero_per_row = (matrix.bytes > 0).sum(axis=1)
+        assert (nonzero_per_row == 3).all()
+        assert np.diagonal(matrix.bytes).sum() == 0
+
+    def test_degree_clamped_to_peers(self):
+        matrix = sparse(4, 64, out_degree=100)
+        assert ((matrix.bytes > 0).sum(axis=1) == 3).all()
+
+    def test_single_rank_degenerate(self):
+        matrix = sparse(1, 64, out_degree=2)
+        assert matrix.total_bytes == 64
+
+    def test_invalid_degree(self):
+        with pytest.raises(ConfigurationError):
+            sparse(8, 64, out_degree=0)
+
+
+class TestRegistry:
+    def test_all_patterns_listed(self):
+        assert set(list_patterns()) == {"uniform", "skewed-moe", "block-diagonal", "zipf", "sparse"}
+
+    def test_make_pattern_dispatch(self):
+        matrix = make_pattern("block-diagonal", 8, 32, group_size=2)
+        assert matrix.pattern == "block-diagonal"
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ConfigurationError):
+            make_pattern("fractal", 8, 32)
+
+    def test_bad_option_reported(self):
+        with pytest.raises(ConfigurationError):
+            make_pattern("uniform", 8, 32, concentration=2.0)
+
+    def test_every_generator_produces_valid_matrix(self):
+        for name in PATTERNS:
+            matrix = make_pattern(name, 8, 32)
+            assert matrix.nprocs == 8
+            assert matrix.total_bytes > 0
+            assert matrix.pattern == name
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path):
+        original = skewed_moe(8, 64, seed=9)
+        path = tmp_path / "trace.json"
+        save_trace(original, path)
+        loaded = load_trace(path)
+        assert loaded == original
+        assert loaded.pattern == "skewed-moe"
+
+    def test_record_list(self):
+        records = [
+            {"src": 0, "dst": 1, "bytes": 10},
+            {"src": 1, "dst": 0, "bytes": 20},
+            {"src": 0, "dst": 1, "bytes": 5},  # accumulates
+        ]
+        matrix = load_trace(records)
+        assert matrix.nprocs == 2
+        assert matrix.bytes[0, 1] == 15
+
+    def test_records_with_declared_size(self):
+        matrix = load_trace({"nprocs": 4, "records": [{"src": 0, "dst": 1, "bytes": 8}]})
+        assert matrix.nprocs == 4
+
+    def test_json_string(self):
+        matrix = load_trace('{"bytes": [[0, 1], [2, 0]]}')
+        assert matrix.bytes[1, 0] == 2
+
+    def test_rank_out_of_declared_range(self):
+        with pytest.raises(ConfigurationError):
+            load_trace({"nprocs": 2, "records": [{"src": 0, "dst": 5, "bytes": 8}]})
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_trace(tmp_path / "nope.json")
+
+    def test_malformed_records(self):
+        with pytest.raises(ConfigurationError):
+            load_trace([{"source": 0}])

@@ -1,0 +1,103 @@
+"""Tests for the TrafficMatrix abstraction (repro.workloads.matrix)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import TrafficMatrix, uniform
+
+
+class TestConstruction:
+    def test_square_required(self):
+        with pytest.raises(ConfigurationError):
+            TrafficMatrix(np.zeros((2, 3)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrafficMatrix(np.zeros((0, 0)))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrafficMatrix([[1, -1], [0, 2]])
+
+    def test_fractional_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrafficMatrix([[1.5, 0.0], [0.0, 1.0]])
+
+    def test_whole_floats_accepted(self):
+        matrix = TrafficMatrix([[2.0, 4.0], [8.0, 16.0]])
+        assert matrix.bytes.dtype == np.int64
+        assert matrix.total_bytes == 30
+
+    def test_copies_input(self):
+        raw = np.ones((2, 2), dtype=np.int64)
+        matrix = TrafficMatrix(raw)
+        raw[0, 0] = 99
+        assert matrix.bytes[0, 0] == 1
+
+
+class TestAggregates:
+    @pytest.fixture
+    def matrix(self):
+        return TrafficMatrix([[0, 10, 0, 0], [5, 0, 5, 0], [0, 0, 0, 20], [1, 1, 1, 1]])
+
+    def test_totals(self, matrix):
+        assert matrix.nprocs == 4
+        assert matrix.total_bytes == 44
+        assert matrix.send_bytes(2) == 20
+        assert matrix.recv_bytes(3) == 21
+        assert list(matrix.send_totals) == [10, 10, 20, 4]
+        assert list(matrix.recv_totals) == [6, 11, 6, 21]
+
+    def test_conservation(self, matrix):
+        assert matrix.send_totals.sum() == matrix.recv_totals.sum() == matrix.total_bytes
+
+    def test_max_pair(self, matrix):
+        assert matrix.max_pair_bytes == 20
+
+    def test_skew_and_density(self, matrix):
+        assert matrix.skew > 1.0
+        assert matrix.density == pytest.approx(8 / 16)
+        assert not matrix.is_uniform
+
+    def test_uniform_flags(self):
+        assert uniform(4, 16).is_uniform
+        assert uniform(4, 16).skew == 1.0
+        assert uniform(4, 16).density == 1.0
+
+    def test_node_aggregation(self, matrix):
+        nodes = matrix.node_bytes(2)
+        assert nodes.shape == (2, 2)
+        assert nodes[0, 0] == 15  # ranks 0,1 -> ranks 0,1
+        assert nodes[1, 0] == 2  # rank 3 -> ranks 0, 1
+        assert nodes.sum() == matrix.total_bytes
+        assert matrix.inter_node_bytes(2) == 5 + 1 + 1  # 1->2 plus 3->0 and 3->1
+
+    def test_node_aggregation_requires_divisor(self, matrix):
+        with pytest.raises(ConfigurationError):
+            matrix.node_bytes(3)
+
+
+class TestConversion:
+    def test_item_counts_uint8(self):
+        matrix = TrafficMatrix([[3, 5], [7, 11]])
+        assert np.array_equal(matrix.item_counts(np.uint8), matrix.bytes)
+
+    def test_item_counts_divisibility(self):
+        matrix = TrafficMatrix([[8, 16], [24, 32]])
+        assert np.array_equal(matrix.item_counts(np.int64), matrix.bytes // 8)
+        with pytest.raises(ConfigurationError):
+            TrafficMatrix([[3, 5], [7, 11]]).item_counts(np.int64)
+
+    def test_scaled(self):
+        matrix = TrafficMatrix([[1, 2], [3, 4]], pattern="custom").scaled(3)
+        assert matrix.total_bytes == 30
+        with pytest.raises(ConfigurationError):
+            matrix.scaled(0)
+
+    def test_equality(self):
+        assert TrafficMatrix([[1, 2], [3, 4]]) == TrafficMatrix([[1, 2], [3, 4]])
+        assert TrafficMatrix([[1, 2], [3, 4]]) != TrafficMatrix([[1, 2], [3, 5]])
+
+    def test_describe_mentions_pattern(self):
+        assert "uniform" in uniform(4, 8).describe()
