@@ -17,7 +17,10 @@ The package is organised as:
 * :mod:`repro.model` — closed-form cost models used for full-scale
   (112 processes per node, 32 nodes) figure regeneration;
 * :mod:`repro.bench` — the experiment harness regenerating every figure
-  and table of the paper's evaluation.
+  and table of the paper's evaluation;
+* :mod:`repro.runtime` — parallel sweep execution: picklable point specs,
+  a process-pool :class:`~repro.runtime.SweepExecutor` and an on-disk
+  :class:`~repro.runtime.ResultStore` keyed by stable spec hashes.
 
 Quickstart::
 

@@ -6,7 +6,15 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
 
-__all__ = ["SeriesPoint", "DataSeries", "FigureResult"]
+__all__ = ["TimedPoint", "SeriesPoint", "DataSeries", "FigureResult"]
+
+
+@dataclass
+class TimedPoint:
+    """Result of timing one benchmark configuration."""
+
+    seconds: float
+    phases: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)

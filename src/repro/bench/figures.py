@@ -27,6 +27,7 @@ from repro.core.instrumentation import (
 )
 from repro.machine.cluster import Cluster
 from repro.machine.systems import amber, dane, tuolomne
+from repro.runtime import SweepExecutor
 from repro.utils.statistics import speedup
 
 __all__ = [
@@ -59,10 +60,11 @@ def _harness(
     default_cluster: Callable[[], Cluster] = dane,
     ppn: int | None,
     engine: str,
+    executor: SweepExecutor | None = None,
 ) -> BenchmarkHarness:
     machine = cluster if cluster is not None else default_cluster()
     processes = ppn if ppn is not None else machine.cores_per_node
-    return BenchmarkHarness(machine, processes, engine=engine)
+    return BenchmarkHarness(machine, processes, engine=engine, executor=executor)
 
 
 def _valid_groups(ppn: int) -> list[int]:
@@ -109,10 +111,10 @@ def table1() -> list[dict[str, str]]:
 # Figures 7-10: size sweeps on Dane, 32 nodes
 # ---------------------------------------------------------------------------
 
-def figure07(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model",
+def figure07(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None,
              msg_sizes=PAPER_MESSAGE_SIZES, num_nodes: int | None = None) -> FigureResult:
     """Figure 7: hierarchical vs multi-leader (4/8/16 processes per leader), 32 nodes of Dane."""
-    harness = _harness(cluster, ppn=ppn, engine=engine)
+    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor)
     nodes = num_nodes or harness.cluster.num_nodes
     fig = FigureResult("fig07", "Hierarchical vs Multileader", "message size (bytes)",
                        configuration=harness.describe())
@@ -128,10 +130,10 @@ def figure07(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
     return fig
 
 
-def figure08(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model",
+def figure08(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None,
              msg_sizes=PAPER_MESSAGE_SIZES, num_nodes: int | None = None) -> FigureResult:
     """Figure 8: node-aware vs locality-aware aggregation (4/8/16 processes per group)."""
-    harness = _harness(cluster, ppn=ppn, engine=engine)
+    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor)
     nodes = num_nodes or harness.cluster.num_nodes
     fig = FigureResult("fig08", "Node-Aware vs Locality-Aware", "message size (bytes)",
                        configuration=harness.describe())
@@ -147,10 +149,10 @@ def figure08(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
     return fig
 
 
-def figure09(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model",
+def figure09(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None,
              msg_sizes=PAPER_MESSAGE_SIZES, num_nodes: int | None = None) -> FigureResult:
     """Figure 9: multi-leader + node-aware for 4/8/16 processes per leader, with its two limits."""
-    harness = _harness(cluster, ppn=ppn, engine=engine)
+    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor)
     nodes = num_nodes or harness.cluster.num_nodes
     fig = FigureResult("fig09", "Multileader + Locality", "message size (bytes)",
                        configuration=harness.describe())
@@ -193,10 +195,10 @@ def _all_algorithm_series(harness: BenchmarkHarness, fig: FigureResult, *, msg_s
             )
 
 
-def figure10(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model",
+def figure10(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None,
              msg_sizes=PAPER_MESSAGE_SIZES, num_nodes: int | None = None) -> FigureResult:
     """Figure 10: all algorithms across message sizes on 32 nodes of Dane."""
-    harness = _harness(cluster, ppn=ppn, engine=engine)
+    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor)
     nodes = num_nodes or harness.cluster.num_nodes
     fig = FigureResult("fig10", "Various Sizes, 32 Nodes", "message size (bytes)",
                        configuration=harness.describe())
@@ -208,10 +210,10 @@ def figure10(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
 # Figures 11-12: node scaling
 # ---------------------------------------------------------------------------
 
-def figure11(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model",
+def figure11(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None,
              node_counts=PAPER_NODE_COUNTS) -> FigureResult:
     """Figure 11: node scaling at 4 bytes per process pair."""
-    harness = _harness(cluster, ppn=ppn, engine=engine)
+    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor)
     fig = FigureResult("fig11", "Message Size: 4 bytes, Node Scaling", "nodes",
                        configuration=harness.describe())
     _all_algorithm_series(harness, fig, msg_sizes=None,
@@ -219,10 +221,10 @@ def figure11(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
     return fig
 
 
-def figure12(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model",
+def figure12(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None,
              node_counts=PAPER_NODE_COUNTS) -> FigureResult:
     """Figure 12: node scaling at 4096 bytes per process pair."""
-    harness = _harness(cluster, ppn=ppn, engine=engine)
+    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor)
     fig = FigureResult("fig12", "Message Size: 4096 bytes, Node Scaling", "nodes",
                        configuration=harness.describe())
     _all_algorithm_series(harness, fig, msg_sizes=None,
@@ -234,10 +236,10 @@ def figure12(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
 # Figures 13-16: intra- vs inter-node breakdowns
 # ---------------------------------------------------------------------------
 
-def figure13(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model",
+def figure13(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None,
              msg_sizes=PAPER_MESSAGE_SIZES, num_nodes: int | None = None) -> FigureResult:
     """Figure 13: hierarchical timing breakdown (gather, scatter, leader all-to-all)."""
-    harness = _harness(cluster, ppn=ppn, engine=engine)
+    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor)
     nodes = num_nodes or harness.cluster.num_nodes
     fig = FigureResult("fig13", "Hierarchical Timing Breakdown", "per-message size (bytes)",
                        configuration=harness.describe())
@@ -253,10 +255,10 @@ def figure13(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
     return fig
 
 
-def figure14(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model",
+def figure14(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None,
              msg_sizes=PAPER_MESSAGE_SIZES, num_nodes: int | None = None) -> FigureResult:
     """Figure 14: node-aware timing breakdown (intra- vs inter-node all-to-all, both inner exchanges)."""
-    harness = _harness(cluster, ppn=ppn, engine=engine)
+    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor)
     nodes = num_nodes or harness.cluster.num_nodes
     fig = FigureResult("fig14", "Node-Aware Timing Breakdown", "per-message size (bytes)",
                        configuration=harness.describe())
@@ -270,16 +272,18 @@ def figure14(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
     return fig
 
 
-def figure15(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model",
+def figure15(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None,
              node_counts=PAPER_NODE_COUNTS, msg_bytes: int = 4096) -> FigureResult:
     """Figure 15: node-aware breakdown versus node count at 4096 bytes (1024 integers)."""
-    harness = _harness(cluster, ppn=ppn, engine=engine)
+    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor)
     fig = FigureResult("fig15", "Node-Aware Breakdown, 4096 B, 2-32 Nodes", "nodes",
                        configuration=harness.describe())
     intra = DataSeries("Intra-Node Alltoall")
     inter = DataSeries("Inter-Node Alltoall")
-    for nodes in _clamp_node_counts(harness, node_counts):
-        point = harness.time_point("node-aware", msg_bytes, nodes, inner="pairwise")
+    counts = _clamp_node_counts(harness, node_counts)
+    specs = [harness.point_spec("node-aware", msg_bytes, nodes, inner="pairwise")
+             for nodes in counts]
+    for nodes, point in zip(counts, harness.run_specs(specs)):
         intra.add(nodes, point.phases.get(PHASE_INTRA, 0.0))
         inter.add(nodes, point.phases.get(PHASE_INTER, 0.0))
     fig.add_series(intra)
@@ -287,10 +291,10 @@ def figure15(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
     return fig
 
 
-def figure16(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model",
+def figure16(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None,
              num_nodes: int | None = None, msg_bytes: int = 4096) -> FigureResult:
     """Figure 16: locality-aware breakdown versus group size (node-aware, 16, 8 and 4 PPG)."""
-    harness = _harness(cluster, ppn=ppn, engine=engine)
+    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor)
     nodes = num_nodes or harness.cluster.num_nodes
     fig = FigureResult("fig16", "Locality-Aware Breakdown vs Group Size", "group configuration",
                        configuration=harness.describe(),
@@ -300,8 +304,9 @@ def figure16(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
     configs: list[tuple[str, dict, int]] = [("node-aware", {}, harness.ppn)]
     for group in sorted(_valid_groups(harness.ppn), reverse=True):
         configs.append(("locality-aware", {"procs_per_group": group}, group))
-    for name, options, group in configs:
-        point = harness.time_point(name, msg_bytes, nodes, inner="pairwise", **options)
+    specs = [harness.point_spec(name, msg_bytes, nodes, inner="pairwise", **options)
+             for name, options, _ in configs]
+    for (name, options, group), point in zip(configs, harness.run_specs(specs)):
         intra.add(group, point.phases.get(PHASE_INTRA, 0.0))
         inter.add(group, point.phases.get(PHASE_INTER, 0.0))
     fig.add_series(intra)
@@ -314,9 +319,10 @@ def figure16(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
 # ---------------------------------------------------------------------------
 
 def _best_algorithms_figure(figure_id: str, title: str, machine: Cluster, *, ppn: int | None,
-                            engine: str, msg_sizes) -> FigureResult:
+                            engine: str, msg_sizes,
+                            executor: SweepExecutor | None = None) -> FigureResult:
     harness = BenchmarkHarness(machine, ppn if ppn is not None else machine.cores_per_node,
-                               engine=engine)
+                               engine=engine, executor=executor)
     group = _default_group(harness.ppn)
     fig = FigureResult(figure_id, title, "message size (bytes)", configuration=harness.describe())
     fig.add_series(harness.size_sweep("system-mpi", msg_sizes=msg_sizes, label="System MPI"))
@@ -328,20 +334,20 @@ def _best_algorithms_figure(figure_id: str, title: str, machine: Cluster, *, ppn
     return fig
 
 
-def figure17(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model",
+def figure17(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None,
              msg_sizes=PAPER_MESSAGE_SIZES) -> FigureResult:
     """Figure 17: best algorithms vs system MPI on 32 nodes of Amber."""
     machine = cluster if cluster is not None else amber()
     return _best_algorithms_figure("fig17", "Amber, Various Sizes, 32 Nodes", machine,
-                                   ppn=ppn, engine=engine, msg_sizes=msg_sizes)
+                                   ppn=ppn, engine=engine, msg_sizes=msg_sizes, executor=executor)
 
 
-def figure18(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model",
+def figure18(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None,
              msg_sizes=PAPER_MESSAGE_SIZES) -> FigureResult:
     """Figure 18: best algorithms vs system MPI on 32 nodes of Tuolomne."""
     machine = cluster if cluster is not None else tuolomne()
     return _best_algorithms_figure("fig18", "Tuolomne, Various Sizes, 32 Nodes", machine,
-                                   ppn=ppn, engine=engine, msg_sizes=msg_sizes)
+                                   ppn=ppn, engine=engine, msg_sizes=msg_sizes, executor=executor)
 
 
 # ---------------------------------------------------------------------------
@@ -349,10 +355,12 @@ def figure18(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
 # ---------------------------------------------------------------------------
 
 def headline_speedup(cluster: Cluster | None = None, *, ppn: int | None = None,
-                     engine: str = "model", msg_sizes=PAPER_MESSAGE_SIZES,
+                     engine: str = "model", executor: SweepExecutor | None = None,
+                     msg_sizes=PAPER_MESSAGE_SIZES,
                      num_nodes: int | None = None) -> dict:
     """Section 1's headline: best speedup of the novel algorithms over system MPI at 32 nodes."""
-    fig = figure10(cluster, ppn=ppn, engine=engine, msg_sizes=msg_sizes, num_nodes=num_nodes)
+    fig = figure10(cluster, ppn=ppn, engine=engine, executor=executor,
+                   msg_sizes=msg_sizes, num_nodes=num_nodes)
     speedups = {}
     for size in fig.xs():
         baseline = fig.get("System MPI").at(size).seconds

@@ -13,18 +13,25 @@ The paper reports the minimum of three repetitions for every point; the
 harness keeps that policy (``repetitions`` parameter) even though the
 simulator is deterministic, so measured-system backends can reuse the same
 interface.
+
+Every point is described by a picklable
+:class:`~repro.runtime.spec.PointSpec` and executed either inline (the
+default) or through a :class:`~repro.runtime.SweepExecutor`, which fans the
+independent points of a sweep out over a process pool and can serve
+already-simulated points from an on-disk result store.  Sweeps batch all
+their specs into a single executor call, so ``size_sweep`` over six message
+sizes becomes six parallel simulator runs.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass, field
 
 from repro.core.runner import run_alltoall, run_workload
 from repro.errors import ConfigurationError
 from repro.machine.cluster import Cluster
 from repro.machine.process_map import ProcessMap
 from repro.model.predict import predict_breakdown, predict_workload_breakdown
-from repro.bench.datasets import DataSeries
+from repro.bench.datasets import DataSeries, TimedPoint
+from repro.runtime.spec import PointSpec
 from repro.utils.statistics import min_of_runs
 
 __all__ = ["BenchmarkHarness", "PAPER_MESSAGE_SIZES", "PAPER_NODE_COUNTS", "TimedPoint"]
@@ -38,14 +45,6 @@ PAPER_NODE_COUNTS: tuple[int, ...] = (2, 4, 8, 16, 32)
 _ENGINES = ("simulate", "model")
 
 
-@dataclass
-class TimedPoint:
-    """Result of timing one configuration."""
-
-    seconds: float
-    phases: dict[str, float] = field(default_factory=dict)
-
-
 class BenchmarkHarness:
     """Times all-to-all configurations on one machine through one engine."""
 
@@ -56,6 +55,7 @@ class BenchmarkHarness:
         *,
         engine: str = "model",
         repetitions: int = 1,
+        executor=None,
     ) -> None:
         if engine not in _ENGINES:
             raise ConfigurationError(f"unknown engine {engine!r}; choose from {_ENGINES}")
@@ -65,6 +65,8 @@ class BenchmarkHarness:
         self.ppn = ppn
         self.engine = engine
         self.repetitions = repetitions
+        #: Optional :class:`~repro.runtime.SweepExecutor`; ``None`` executes inline.
+        self.executor = executor
 
     # -- configuration ------------------------------------------------------
     def describe(self) -> str:
@@ -80,18 +82,33 @@ class BenchmarkHarness:
             )
         return ProcessMap(self.cluster, ppn=self.ppn, num_nodes=num_nodes)
 
+    # -- point specs ---------------------------------------------------------
+    def point_spec(self, algorithm: str, msg_bytes: int, num_nodes: int, **options) -> PointSpec:
+        """The :class:`PointSpec` of one uniform (algorithm, size, nodes) point.
+
+        ``PointSpec`` itself rejects node counts the cluster cannot host.
+        """
+        return PointSpec.for_alltoall(
+            self.cluster, self.ppn, num_nodes, algorithm, msg_bytes,
+            engine=self.engine, repetitions=self.repetitions, **options,
+        )
+
+    def workload_spec(self, algorithm: str, matrix, num_nodes: int, **options) -> PointSpec:
+        """The :class:`PointSpec` of one non-uniform workload point."""
+        if matrix.nprocs != num_nodes * self.ppn:
+            raise ConfigurationError(
+                f"traffic matrix describes {matrix.nprocs} ranks but the harness "
+                f"point uses {num_nodes * self.ppn} ({num_nodes} nodes x {self.ppn} ppn)"
+            )
+        return PointSpec.for_workload(
+            self.cluster, self.ppn, num_nodes, algorithm, matrix,
+            engine=self.engine, repetitions=self.repetitions, **options,
+        )
+
     # -- timing --------------------------------------------------------------
     def time_point(self, algorithm: str, msg_bytes: int, num_nodes: int, **options) -> TimedPoint:
         """Time one (algorithm, message size, node count) configuration."""
-        pmap = self.process_map(num_nodes)
-        if self.engine == "model":
-            breakdown = predict_breakdown(algorithm, pmap, msg_bytes, **options)
-            return TimedPoint(seconds=breakdown.total, phases=dict(breakdown.phases))
-        return self._timed_min(
-            lambda: run_alltoall(
-                algorithm, pmap, msg_bytes, validate=False, keep_job=False, **options
-            )
-        )
+        return self.run_specs([self.point_spec(algorithm, msg_bytes, num_nodes, **options)])[0]
 
     def workload_point(self, algorithm: str, matrix, num_nodes: int, **options) -> TimedPoint:
         """Time one non-uniform workload (algorithm, :class:`~repro.workloads.TrafficMatrix`, node count).
@@ -103,26 +120,54 @@ class BenchmarkHarness:
         following the same minimum-of-repetitions policy as
         :meth:`time_point`.
         """
-        pmap = self.process_map(num_nodes)
-        if matrix.nprocs != pmap.nprocs:
-            raise ConfigurationError(
-                f"traffic matrix describes {matrix.nprocs} ranks but the harness "
-                f"point uses {pmap.nprocs} ({num_nodes} nodes x {self.ppn} ppn)"
+        return self.run_specs([self.workload_spec(algorithm, matrix, num_nodes, **options)])[0]
+
+    def run_spec(self, spec: PointSpec) -> TimedPoint:
+        """Execute one spec in-process (the executor's worker also lands here).
+
+        The spec is self-contained and wins over the harness configuration:
+        cluster, ppn, engine and repetitions all come from the spec, so the
+        inline path and the worker-pool path (which rebuilds a harness from
+        the spec) produce identical results for any spec.
+        """
+        pmap = ProcessMap(spec.cluster, ppn=spec.ppn, num_nodes=spec.num_nodes)
+        options = dict(spec.options)
+        if spec.trace is not None:
+            matrix = spec.matrix()
+            if matrix.nprocs != pmap.nprocs:
+                raise ConfigurationError(
+                    f"traffic matrix describes {matrix.nprocs} ranks but the spec "
+                    f"point uses {pmap.nprocs} ({spec.num_nodes} nodes x {spec.ppn} ppn)"
+                )
+            if spec.engine == "model":
+                breakdown = predict_workload_breakdown(spec.algorithm, pmap, matrix, **options)
+                return TimedPoint(seconds=breakdown.total, phases=dict(breakdown.phases))
+            return self._timed_min(
+                lambda: run_workload(
+                    spec.algorithm, pmap, matrix, validate=False, keep_job=False, **options
+                ),
+                spec.repetitions,
             )
-        if self.engine == "model":
-            breakdown = predict_workload_breakdown(algorithm, pmap, matrix, **options)
+        if spec.engine == "model":
+            breakdown = predict_breakdown(spec.algorithm, pmap, spec.msg_bytes, **options)
             return TimedPoint(seconds=breakdown.total, phases=dict(breakdown.phases))
         return self._timed_min(
-            lambda: run_workload(
-                algorithm, pmap, matrix, validate=False, keep_job=False, **options
-            )
+            lambda: run_alltoall(
+                spec.algorithm, pmap, spec.msg_bytes, validate=False, keep_job=False, **options
+            ),
+            spec.repetitions,
         )
 
-    def _timed_min(self, run_once) -> TimedPoint:
+    def run_specs(self, specs: list[PointSpec]) -> list[TimedPoint]:
+        if self.executor is None:
+            return [self.run_spec(spec) for spec in specs]
+        return self.executor.run(specs)
+
+    def _timed_min(self, run_once, repetitions: int | None = None) -> TimedPoint:
         """Minimum-of-repetitions timing; the phase breakdown comes from the fastest run."""
         samples: list[float] = []
         best = None
-        for _ in range(self.repetitions):
+        for _ in range(repetitions if repetitions is not None else self.repetitions):
             outcome = run_once()
             samples.append(outcome.elapsed)
             if best is None or outcome.elapsed < best.elapsed:
@@ -141,9 +186,9 @@ class BenchmarkHarness:
     ) -> DataSeries:
         """Sweep the per-destination message size at a fixed node count."""
         nodes = self.cluster.num_nodes if num_nodes is None else num_nodes
+        specs = [self.point_spec(algorithm, msg_bytes, nodes, **options) for msg_bytes in msg_sizes]
         series = DataSeries(label=label or algorithm)
-        for msg_bytes in msg_sizes:
-            point = self.time_point(algorithm, msg_bytes, nodes, **options)
+        for msg_bytes, point in zip(msg_sizes, self.run_specs(specs)):
             series.add(msg_bytes, point.seconds, phases=point.phases)
         return series
 
@@ -157,9 +202,9 @@ class BenchmarkHarness:
         **options,
     ) -> DataSeries:
         """Sweep the node count at a fixed message size."""
+        specs = [self.point_spec(algorithm, msg_bytes, nodes, **options) for nodes in node_counts]
         series = DataSeries(label=label or algorithm)
-        for nodes in node_counts:
-            point = self.time_point(algorithm, msg_bytes, nodes, **options)
+        for nodes, point in zip(node_counts, self.run_specs(specs)):
             series.add(nodes, point.seconds, phases=point.phases)
         return series
 
@@ -175,8 +220,8 @@ class BenchmarkHarness:
     ) -> DataSeries:
         """Sweep the message size and report the duration of a single internal phase."""
         nodes = self.cluster.num_nodes if num_nodes is None else num_nodes
+        specs = [self.point_spec(algorithm, msg_bytes, nodes, **options) for msg_bytes in msg_sizes]
         series = DataSeries(label=label or f"{algorithm}:{phase}")
-        for msg_bytes in msg_sizes:
-            point = self.time_point(algorithm, msg_bytes, nodes, **options)
+        for msg_bytes, point in zip(msg_sizes, self.run_specs(specs)):
             series.add(msg_bytes, point.phases.get(phase, 0.0), phases=point.phases)
         return series

@@ -11,6 +11,7 @@ from __future__ import annotations
 import io
 
 from repro.bench.datasets import FigureResult
+from repro.errors import ConfigurationError
 
 __all__ = ["format_figure", "format_table1", "to_csv", "format_speedup_summary"]
 
@@ -32,9 +33,12 @@ def format_figure(figure: FigureResult, *, max_label: int = 28) -> str:
     for x in xs:
         row = f"{x:>24g}"
         for series in figure.series:
+            # Only a genuinely missing point renders as '-'; any other error
+            # (e.g. a broken cost model raising) is a real defect and
+            # propagates.
             try:
                 row += f"{_format_seconds(series.at(x).seconds):>{col_width}s}"
-            except Exception:
+            except ConfigurationError:
                 row += f"{'-':>{col_width}s}"
         lines.append(row)
     return "\n".join(lines)
@@ -72,7 +76,7 @@ def to_csv(figure: FigureResult) -> str:
         for series in figure.series:
             try:
                 row.append(f"{series.at(x).seconds:.6e}")
-            except Exception:
+            except ConfigurationError:
                 row.append("")
         buffer.write(",".join(row) + "\n")
     return buffer.getvalue()

@@ -4,6 +4,11 @@ These helpers vary one machine or algorithm parameter at a time and report
 how the algorithm ranking responds — the sensitivity studies DESIGN.md
 calls out (inner exchange kind, group size, NIC injection bandwidth,
 matching cost).
+
+Every sweep collects its full batch of :class:`PointSpec` objects first and
+runs them through :func:`repro.runtime.execute`, so passing an ``executor``
+parallelizes (and caches) the whole sweep, including the variants that
+rebuild the cluster with overridden cost parameters.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from typing import Sequence
 from repro.bench.datasets import DataSeries, FigureResult
 from repro.bench.harness import BenchmarkHarness
 from repro.machine.cluster import Cluster
+from repro.runtime import SweepExecutor, execute
 from repro.utils.partition import divisors
 
 __all__ = [
@@ -26,9 +32,9 @@ __all__ = [
 def inner_exchange_sweep(cluster: Cluster, ppn: int, *, algorithm: str = "node-aware",
                          msg_sizes: Sequence[int] = (4, 256, 4096), engine: str = "model",
                          inners: Sequence[str] = ("pairwise", "nonblocking", "bruck"),
-                         **options) -> FigureResult:
+                         executor: SweepExecutor | None = None, **options) -> FigureResult:
     """Compare the inner exchange kinds inside one hierarchical algorithm."""
-    harness = BenchmarkHarness(cluster, ppn, engine=engine)
+    harness = BenchmarkHarness(cluster, ppn, engine=engine, executor=executor)
     fig = FigureResult("ablation-inner", f"Inner exchange sweep for {algorithm}",
                        "message size (bytes)", configuration=harness.describe())
     for inner in inners:
@@ -40,44 +46,54 @@ def inner_exchange_sweep(cluster: Cluster, ppn: int, *, algorithm: str = "node-a
 
 def group_size_sweep(cluster: Cluster, ppn: int, *, algorithm: str = "locality-aware",
                      msg_bytes: int = 4096, engine: str = "model",
-                     group_sizes: Sequence[int] | None = None) -> DataSeries:
+                     group_sizes: Sequence[int] | None = None,
+                     executor: SweepExecutor | None = None) -> DataSeries:
     """Sweep the aggregation-group / leader-group size from 1 to the whole node."""
     harness = BenchmarkHarness(cluster, ppn, engine=engine)
     sizes = list(group_sizes) if group_sizes is not None else divisors(ppn)
     option_name = "procs_per_leader" if "leader" in algorithm else "procs_per_group"
+    specs = [
+        harness.point_spec(algorithm, msg_bytes, harness.cluster.num_nodes,
+                           **{option_name: group})
+        for group in sizes
+    ]
     series = DataSeries(label=f"{algorithm} @ {msg_bytes} B")
-    for group in sizes:
-        point = harness.time_point(algorithm, msg_bytes, harness.cluster.num_nodes,
-                                   **{option_name: group})
+    for group, point in zip(sizes, execute(specs, executor)):
         series.add(group, point.seconds, phases=point.phases)
     return series
 
 
 def injection_bandwidth_sweep(cluster: Cluster, ppn: int, *, algorithm: str = "node-aware",
                               msg_bytes: int = 4096, factors: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
-                              engine: str = "model") -> DataSeries:
+                              engine: str = "model",
+                              executor: SweepExecutor | None = None) -> DataSeries:
     """Scale the per-node NIC injection bandwidth and report the resulting times."""
-    series = DataSeries(label=f"{algorithm} vs injection bandwidth @ {msg_bytes} B")
+    specs = []
     for factor in factors:
         params = cluster.params.with_overrides(
             injection_bandwidth=cluster.params.injection_bandwidth * factor
         )
         harness = BenchmarkHarness(cluster.with_params(params), ppn, engine=engine)
-        point = harness.time_point(algorithm, msg_bytes, cluster.num_nodes)
+        specs.append(harness.point_spec(algorithm, msg_bytes, cluster.num_nodes))
+    series = DataSeries(label=f"{algorithm} vs injection bandwidth @ {msg_bytes} B")
+    for factor, point in zip(factors, execute(specs, executor)):
         series.add(factor, point.seconds, phases=point.phases)
     return series
 
 
 def matching_cost_sweep(cluster: Cluster, ppn: int, *, algorithm: str = "nonblocking",
                         msg_bytes: int = 1024, factors: Sequence[float] = (0.0, 1.0, 4.0, 16.0),
-                        engine: str = "model") -> DataSeries:
+                        engine: str = "model",
+                        executor: SweepExecutor | None = None) -> DataSeries:
     """Scale the per-entry matching (queue search) cost; drives the pairwise/non-blocking trade-off."""
-    series = DataSeries(label=f"{algorithm} vs matching cost @ {msg_bytes} B")
+    specs = []
     for factor in factors:
         params = cluster.params.with_overrides(
             match_overhead_per_entry=cluster.params.match_overhead_per_entry * factor
         )
         harness = BenchmarkHarness(cluster.with_params(params), ppn, engine=engine)
-        point = harness.time_point(algorithm, msg_bytes, cluster.num_nodes)
+        specs.append(harness.point_spec(algorithm, msg_bytes, cluster.num_nodes))
+    series = DataSeries(label=f"{algorithm} vs matching cost @ {msg_bytes} B")
+    for factor, point in zip(factors, execute(specs, executor)):
         series.add(factor, point.seconds, phases=point.phases)
     return series

@@ -29,16 +29,52 @@ from typing import Sequence
 from repro._version import __version__
 from repro.bench.figures import FIGURES, headline_speedup, table1
 from repro.bench.reporting import format_figure, format_speedup_summary, format_table1, to_csv
+from repro.bench.harness import BenchmarkHarness
 from repro.core.alltoall.valgorithms import list_v_algorithms
 from repro.core.runner import run_alltoall, run_workload
-from repro.core.selection import AlgorithmSelector
+from repro.core.selection import AlgorithmSelector, build_selection_table
 from repro.errors import ConfigurationError
 from repro.machine.process_map import ProcessMap
 from repro.machine.systems import get_system, list_systems
 from repro.model.predict import WORKLOAD_MODELED_ALGORITHMS, predict_workload_time
+from repro.runtime import ResultStore, SweepExecutor
+from repro.runtime.executor import default_jobs
 from repro.workloads import list_patterns, load_trace, make_pattern
 
 __all__ = ["build_parser", "main"]
+
+
+def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
+    """The parallel-runtime flags shared by figures / workload / select."""
+    runtime = parser.add_argument_group("parallel runtime")
+    runtime.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes for independent benchmark points "
+                              "(1 = serial in-process, 0 = all CPU cores)")
+    runtime.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="on-disk result store; already-simulated points are "
+                              "served from it and new results are appended")
+    runtime.add_argument("--no-cache", action="store_true",
+                         help="ignore --cache-dir entirely (recompute everything, "
+                              "write nothing)")
+
+
+def _executor_from_args(args: argparse.Namespace) -> SweepExecutor | None:
+    """Build the executor the runtime flags ask for (None = legacy inline path)."""
+    jobs = args.jobs if args.jobs != 0 else default_jobs()
+    if jobs < 1:
+        raise SystemExit(f"--jobs must be >= 0, got {args.jobs}")
+    store = None
+    if args.cache_dir is not None and not args.no_cache:
+        store = ResultStore(args.cache_dir)
+    if jobs == 1 and store is None:
+        return None
+    return SweepExecutor(jobs, store=store)
+
+
+def _finish_executor(executor: SweepExecutor | None) -> None:
+    if executor is not None:
+        print(executor.stats_line(), file=sys.stderr)
+        executor.close()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,6 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--csv", action="store_true", help="emit CSV instead of aligned tables")
     figures.add_argument("--headline", action="store_true",
                          help="also print the headline speedup summary")
+    _add_runtime_arguments(figures)
 
     run = sub.add_parser("run", help="simulate one all-to-all exchange")
     run.add_argument("--system", default="dane", choices=list_systems())
@@ -78,12 +115,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="processes per leader/group for the hierarchical algorithms")
     run.add_argument("--inner", default=None, choices=["pairwise", "nonblocking", "bruck", "batched"])
 
-    select = sub.add_parser("select", help="print the model-driven algorithm selection table")
+    select = sub.add_parser("select", help="print the algorithm selection table")
     select.add_argument("--system", default="dane", choices=list_systems())
     select.add_argument("--nodes", type=int, default=32)
     select.add_argument("--ppn", type=int, default=None,
                         help="ranks per node (default: all cores of the system)")
     select.add_argument("--sizes", type=int, nargs="+", default=[4, 16, 64, 256, 1024, 4096])
+    select.add_argument("--engine", default="model", choices=["model", "simulate"],
+                        help="model: analytic cost model (instant); simulate: build a "
+                             "measurement-driven table from simulator sweeps "
+                             "(use small --nodes/--ppn)")
+    _add_runtime_arguments(select)
 
     workload = sub.add_parser(
         "workload", help="simulate a non-uniform traffic workload (alltoallv)"
@@ -116,6 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="node-aware: inner exchange of both phases")
     workload.add_argument("--no-model", action="store_true",
                           help="skip the analytic-model comparison")
+    _add_runtime_arguments(workload)
     return parser
 
 
@@ -142,13 +185,17 @@ def _cmd_figures(args: argparse.Namespace) -> int:
                 "--nodes requires --system with --engine model (the cluster preset to resize)"
             )
     cluster = get_system(system, nodes) if system is not None else None
-    for figure_id in selected:
-        producer = FIGURES[figure_id]
-        figure = producer(cluster, ppn=ppn, engine=args.engine)
-        print(to_csv(figure) if args.csv else format_figure(figure))
-        print()
-    if args.headline:
-        print(format_speedup_summary(headline_speedup()))
+    executor = _executor_from_args(args)
+    try:
+        for figure_id in selected:
+            producer = FIGURES[figure_id]
+            figure = producer(cluster, ppn=ppn, engine=args.engine, executor=executor)
+            print(to_csv(figure) if args.csv else format_figure(figure))
+            print()
+        if args.headline:
+            print(format_speedup_summary(headline_speedup(executor=executor)))
+    finally:
+        _finish_executor(executor)
     return 0
 
 
@@ -181,11 +228,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_select(args: argparse.Namespace) -> int:
     cluster = get_system(args.system, args.nodes)
     ppn = args.ppn if args.ppn is not None else cluster.cores_per_node
-    selector = AlgorithmSelector(cluster, ppn=ppn)
-    print(f"Best algorithm per message size on {cluster.name} ({args.nodes} nodes x {ppn} ppn):")
-    for size, description in selector.selection_map(args.nodes, args.sizes).items():
-        print(f"  {size:>7d} B -> {description}")
+    executor = _executor_from_args(args)
+    try:
+        if args.engine == "simulate":
+            table = build_selection_table(cluster, ppn, node_counts=[args.nodes],
+                                          msg_sizes=args.sizes, engine="simulate",
+                                          executor=executor)
+            mapping = {size: table.best(args.nodes, size) for size in args.sizes}
+            flavour = " [measured, simulate engine]"
+        else:
+            selector = AlgorithmSelector(cluster, ppn=ppn, executor=executor)
+            mapping = selector.selection_map(args.nodes, args.sizes)
+            flavour = ""
+        print(f"Best algorithm per message size on {cluster.name} "
+              f"({args.nodes} nodes x {ppn} ppn){flavour}:")
+        for size, description in mapping.items():
+            print(f"  {size:>7d} B -> {description}")
+    finally:
+        _finish_executor(executor)
     return 0
+
+
+def _print_workload_model_comparison(args: argparse.Namespace, pmap: ProcessMap, matrix,
+                                     options: dict, simulated_seconds: float) -> None:
+    if args.algorithm in WORKLOAD_MODELED_ALGORITHMS:
+        predicted = predict_workload_time(args.algorithm, pmap, matrix, **options)
+        ratio = simulated_seconds / predicted if predicted else float("inf")
+        print(f"Model prediction: {predicted:.3e} s  (simulated / modelled = {ratio:.2f}x)")
+    else:
+        print(f"Model prediction: not available for algorithm {args.algorithm!r}")
 
 
 def _workload_matrix(args: argparse.Namespace, nprocs: int):
@@ -233,6 +304,34 @@ def _cmd_workload(args: argparse.Namespace) -> int:
 
     print(f"Workload: {matrix.describe()}")
     print(f"Machine:  {pmap.describe()}")
+    executor = _executor_from_args(args)
+    if executor is not None and executor.store is None:
+        # A single workload point gains nothing from a worker pool; keep the
+        # validated direct path (and its exit-code contract) unless a result
+        # store was explicitly requested.
+        executor.close()
+        executor = None
+    if executor is not None:
+        # Runtime path: timing through the executor / result store.  The
+        # cache can satisfy the point without running the simulator at all,
+        # so the validation and traffic report of the direct path are
+        # unavailable here.
+        try:
+            harness = BenchmarkHarness(cluster, args.ppn, engine="simulate",
+                                       executor=executor)
+            point = harness.workload_point(args.algorithm, matrix, args.nodes, **options)
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc)) from exc
+        finally:
+            _finish_executor(executor)
+        print(f"Simulated {args.algorithm}: {point.seconds:.3e} s  "
+              "(timing via runtime executor; rerun without --cache-dir to validate)")
+        for phase, seconds in sorted(point.phases.items()):
+            print(f"  phase {phase:<22s} {seconds:.3e} s")
+        if not args.no_model:
+            _print_workload_model_comparison(args, pmap, matrix, options, point.seconds)
+        return 0
+
     try:
         outcome = run_workload(args.algorithm, pmap, matrix, **options)
     except ConfigurationError as exc:
@@ -246,12 +345,7 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         print(f"  phase {phase:<22s} {seconds:.3e} s")
 
     if not args.no_model:
-        if args.algorithm in WORKLOAD_MODELED_ALGORITHMS:
-            predicted = predict_workload_time(args.algorithm, pmap, matrix, **options)
-            ratio = outcome.elapsed / predicted if predicted else float("inf")
-            print(f"Model prediction: {predicted:.3e} s  (simulated / modelled = {ratio:.2f}x)")
-        else:
-            print(f"Model prediction: not available for algorithm {args.algorithm!r}")
+        _print_workload_model_comparison(args, pmap, matrix, options, outcome.elapsed)
     return 0 if outcome.correct else 1
 
 

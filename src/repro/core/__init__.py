@@ -24,7 +24,7 @@ from repro.core.alltoall import (
     list_v_algorithms,
 )
 from repro.core.runner import AlltoallOutcome, WorkloadOutcome, run_alltoall, run_workload
-from repro.core.selection import AlgorithmSelector, SelectionTable
+from repro.core.selection import AlgorithmSelector, SelectionTable, build_selection_table
 from repro.core.validation import (
     alltoallv_reference,
     expected_alltoall_result,
@@ -49,6 +49,7 @@ __all__ = [
     "run_workload",
     "AlgorithmSelector",
     "SelectionTable",
+    "build_selection_table",
     "expected_alltoall_result",
     "expected_workload_result",
     "validate_alltoall_results",

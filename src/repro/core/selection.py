@@ -20,9 +20,14 @@ from typing import Iterable, Sequence
 
 from repro.errors import ConfigurationError
 from repro.machine.cluster import Cluster
-from repro.machine.process_map import ProcessMap
+from repro.runtime import PointSpec, SweepExecutor, execute
 
-__all__ = ["CandidateConfig", "AlgorithmSelector", "SelectionTable"]
+__all__ = [
+    "CandidateConfig",
+    "AlgorithmSelector",
+    "SelectionTable",
+    "build_selection_table",
+]
 
 
 @dataclass(frozen=True)
@@ -60,29 +65,48 @@ def default_candidates(ppn: int) -> list[CandidateConfig]:
 
 
 class AlgorithmSelector:
-    """Pick the cheapest algorithm configuration using the analytic cost model."""
+    """Pick the cheapest algorithm configuration using the analytic cost model.
 
-    def __init__(self, cluster: Cluster, ppn: int, candidates: Sequence[CandidateConfig] | None = None) -> None:
+    With an attached :class:`~repro.runtime.SweepExecutor`, the candidate
+    evaluations of :meth:`select` (and every size of :meth:`selection_map`)
+    fan out over the executor's worker pool and result store instead of
+    being priced one at a time.
+    """
+
+    def __init__(self, cluster: Cluster, ppn: int, candidates: Sequence[CandidateConfig] | None = None,
+                 *, executor: SweepExecutor | None = None) -> None:
         self.cluster = cluster
         self.ppn = ppn
         self.candidates = list(candidates) if candidates is not None else default_candidates(ppn)
         if not self.candidates:
             raise ConfigurationError("the selector needs at least one candidate configuration")
+        self.executor = executor
+
+    def _spec(self, candidate: CandidateConfig, num_nodes: int, msg_bytes: int) -> PointSpec:
+        if num_nodes < 1:
+            raise ConfigurationError(f"num_nodes must be >= 1, got {num_nodes}")
+        return PointSpec.for_alltoall(
+            self.cluster.with_nodes(num_nodes), self.ppn, num_nodes,
+            candidate.algorithm, msg_bytes, engine="model", **candidate.as_kwargs(),
+        )
 
     def predict(self, candidate: CandidateConfig, num_nodes: int, msg_bytes: int) -> float:
-        """Predicted execution time of one candidate (seconds)."""
-        from repro.model.predict import predict_time  # local import to avoid a cycle
+        """Predicted execution time of one candidate (seconds).
 
-        pmap = ProcessMap(self.cluster.with_nodes(max(num_nodes, 1)), ppn=self.ppn, num_nodes=num_nodes)
-        return predict_time(candidate.algorithm, pmap, msg_bytes, **candidate.as_kwargs())
+        Shares the spec pricing path of :meth:`select`, so the two can never
+        diverge.
+        """
+        from repro.runtime import run_point  # local import to avoid a cycle
+
+        return run_point(self._spec(candidate, num_nodes, msg_bytes)).seconds
 
     def select(self, num_nodes: int, msg_bytes: int) -> tuple[CandidateConfig, float]:
-        """Return the cheapest candidate and its predicted time."""
+        """Return the cheapest candidate and its predicted time (first wins ties)."""
+        specs = [self._spec(candidate, num_nodes, msg_bytes) for candidate in self.candidates]
         best: tuple[CandidateConfig, float] | None = None
-        for candidate in self.candidates:
-            predicted = self.predict(candidate, num_nodes, msg_bytes)
-            if best is None or predicted < best[1]:
-                best = (candidate, predicted)
+        for candidate, point in zip(self.candidates, execute(specs, self.executor)):
+            if best is None or point.seconds < best[1]:
+                best = (candidate, point.seconds)
         assert best is not None
         return best
 
@@ -132,6 +156,49 @@ class SelectionTable:
             (nodes, size, desc, seconds)
             for (nodes, size), (desc, seconds) in sorted(self.entries.items())
         ]
+
+
+def build_selection_table(
+    cluster: Cluster,
+    ppn: int,
+    *,
+    node_counts: Sequence[int],
+    msg_sizes: Sequence[int],
+    candidates: Sequence[CandidateConfig] | None = None,
+    engine: str = "simulate",
+    repetitions: int = 1,
+    executor: SweepExecutor | None = None,
+) -> SelectionTable:
+    """Build a measurement-driven :class:`SelectionTable` from a benchmark sweep.
+
+    Every (candidate, node count, message size) point is described by a
+    :class:`~repro.runtime.PointSpec` and the whole sweep is dispatched in
+    one :func:`~repro.runtime.execute` batch, so an attached executor
+    parallelizes it across a process pool and serves repeated builds from
+    its result store.  The table records the fastest candidate per
+    (node count, size), exactly as an MPI tuning file would.
+    """
+    from repro.bench.harness import BenchmarkHarness  # local import to avoid a cycle
+
+    chosen = list(candidates) if candidates is not None else default_candidates(ppn)
+    if not chosen:
+        raise ConfigurationError("the selection sweep needs at least one candidate")
+    harness = BenchmarkHarness(cluster, ppn, engine=engine, repetitions=repetitions,
+                               executor=executor)
+    points: list[tuple[int, int, CandidateConfig]] = [
+        (nodes, size, candidate)
+        for nodes in node_counts
+        for size in msg_sizes
+        for candidate in chosen
+    ]
+    specs = [
+        harness.point_spec(candidate.algorithm, size, nodes, **candidate.as_kwargs())
+        for nodes, size, candidate in points
+    ]
+    table = SelectionTable()
+    for (nodes, size, candidate), timed in zip(points, harness.run_specs(specs)):
+        table.record(nodes, size, candidate.describe(), timed.seconds)
+    return table
 
 
 def _log2(value: int) -> float:

@@ -7,6 +7,7 @@ All semantics (processes, messages, matching) are layered on top by
 
 from __future__ import annotations
 
+import math
 from typing import Callable
 
 from repro.errors import SimulationError
@@ -41,8 +42,17 @@ class Simulator:
 
     # -- scheduling ---------------------------------------------------------
     def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` at absolute time ``time`` (>= now)."""
-        if time < self._now - 1e-18:
+        """Schedule ``callback`` at absolute time ``time`` (>= now).
+
+        The past-scheduling guard tolerates rounding error *relative* to the
+        current clock: an absolute tolerance would drop below one float ulp
+        once simulated time passes a few milliseconds, turning single-ulp
+        rounding in a callback's computed time into a spurious error.  The
+        window stays at a few ulps so genuinely mis-computed past times
+        still raise.
+        """
+        tolerance = max(1e-18, 4.0 * math.ulp(self._now))
+        if time < self._now - tolerance:
             raise SimulationError(
                 f"cannot schedule an event in the past (now={self._now}, requested={time})"
             )

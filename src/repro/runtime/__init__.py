@@ -1,0 +1,34 @@
+"""Parallel sweep runtime: picklable point specs, a process-pool executor
+and an on-disk result store.
+
+Every figure, ablation sweep and selection table of the reproduction is a
+collection of *independent* benchmark points, so regenerating them is
+embarrassingly parallel.  This package provides the plumbing:
+
+* :class:`~repro.runtime.spec.PointSpec` — one benchmark point (cluster,
+  placement, engine, algorithm, options, message size or workload trace) as
+  a picklable, hashable value;
+* :func:`~repro.runtime.worker.run_point` — module-level worker function
+  mapping a spec to a :class:`~repro.bench.datasets.TimedPoint`, safe for
+  ``multiprocessing`` spawn;
+* :class:`~repro.runtime.executor.SweepExecutor` — fans specs out over a
+  process pool (``jobs=1`` falls back to in-process execution) with
+  deterministic, input-ordered results;
+* :class:`~repro.runtime.store.ResultStore` — JSON cache keyed by the
+  stable spec hash, so repeated sweeps skip already-simulated points.
+"""
+
+from repro.runtime.executor import SweepExecutor, execute
+from repro.runtime.spec import PointSpec, cluster_from_payload, cluster_payload
+from repro.runtime.store import ResultStore
+from repro.runtime.worker import run_point
+
+__all__ = [
+    "PointSpec",
+    "ResultStore",
+    "SweepExecutor",
+    "cluster_from_payload",
+    "cluster_payload",
+    "execute",
+    "run_point",
+]

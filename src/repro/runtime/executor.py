@@ -1,0 +1,147 @@
+"""Process-pool executor for benchmark point sweeps.
+
+A :class:`SweepExecutor` maps :class:`PointSpec` batches to
+:class:`TimedPoint` results with three guarantees:
+
+* **deterministic ordering** — results come back in input order whatever
+  the worker scheduling (``Pool.map`` semantics; the serial path trivially
+  preserves order), so parallel sweeps are byte-identical to serial ones;
+* **serial fallback** — ``jobs=1`` executes in-process with no pool, no
+  pickling and no extra interpreters (the default everywhere, keeping
+  library behaviour unchanged unless parallelism is requested);
+* **transparent caching** — with a :class:`ResultStore` attached, cached
+  points are served from disk and only the misses are executed (then
+  written back), with duplicate specs inside one batch computed once.
+
+The pool is created lazily on the first parallel batch and reused until
+:meth:`close`, so one executor can serve a whole figure's worth of sweeps
+without paying repeated worker start-up costs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.runtime.spec import PointSpec
+from repro.runtime.store import ResultStore
+from repro.runtime.worker import run_point
+
+if TYPE_CHECKING:  # pragma: no cover - runtime must not import bench at module scope
+    from repro.bench.datasets import TimedPoint
+
+__all__ = ["SweepExecutor", "execute"]
+
+
+class SweepExecutor:
+    """Fan benchmark point specs out over a process pool, with optional caching."""
+
+    def __init__(self, jobs: int = 1, *, store: ResultStore | None = None,
+                 mp_context: str = "spawn") -> None:
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.store = store
+        self.mp_context = mp_context
+        self._pool = None
+        #: Points actually executed (cache misses included), cumulative.
+        self.executed_points = 0
+        #: Points served from the result store, cumulative.
+        self.cached_points = 0
+
+    # -- pool lifecycle ------------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            ctx = multiprocessing.get_context(self.mp_context)
+            self._pool = ctx.Pool(processes=self.jobs)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- execution -----------------------------------------------------------
+    def run(self, specs: Iterable[PointSpec]) -> list[TimedPoint]:
+        """Execute a batch of specs; results are returned in input order."""
+        batch = list(specs)
+
+        # Identical specs inside one batch (e.g. the same point feeding two
+        # phase series) resolve to one unique entry: one store lookup, one
+        # execution, fanned back out to every duplicate.
+        unique_index: dict[str, int] = {}
+        unique_specs: list[PointSpec] = []
+        for spec in batch:
+            if spec.key() not in unique_index:
+                unique_index[spec.key()] = len(unique_specs)
+                unique_specs.append(spec)
+
+        # Both counters are in units of *unique* points, so per batch
+        # "simulated + served from cache" always reconciles to the number of
+        # distinct points, however many duplicates fanned out of them.
+        resolved: list[TimedPoint | None] = [None] * len(unique_specs)
+        to_compute: list[int] = []
+        for uidx, spec in enumerate(unique_specs):
+            cached = self.store.get(spec) if self.store is not None else None
+            if cached is not None:
+                resolved[uidx] = cached
+                self.cached_points += 1
+            else:
+                to_compute.append(uidx)
+
+        computed = self._compute([unique_specs[uidx] for uidx in to_compute])
+        self.executed_points += len(to_compute)
+        for uidx, point in zip(to_compute, computed):
+            resolved[uidx] = point
+            if self.store is not None:
+                self.store.put(unique_specs[uidx], point)
+
+        return [resolved[unique_index[spec.key()]] for spec in batch]  # type: ignore[misc]
+
+    def _compute(self, specs: Sequence[PointSpec]) -> list[TimedPoint]:
+        if not specs:
+            return []
+        if self.jobs == 1 or len(specs) == 1:
+            # A lone point never justifies spinning up (or even reusing) a
+            # pool of spawn workers; run it in-process.
+            return [run_point(spec) for spec in specs]
+        pool = self._ensure_pool()
+        chunksize = max(1, len(specs) // (4 * self.jobs))
+        return pool.map(run_point, specs, chunksize)
+
+    # -- reporting -----------------------------------------------------------
+    def stats_line(self) -> str:
+        """One-line execution summary (printed by the CLI when caching is on)."""
+        return (
+            f"[runtime] jobs={self.jobs}: {self.executed_points} point(s) simulated, "
+            f"{self.cached_points} served from cache"
+        )
+
+
+def execute(specs: Iterable[PointSpec], executor: SweepExecutor | None = None) -> list[TimedPoint]:
+    """Run specs through ``executor``, or inline (serial, uncached) when it is None."""
+    if executor is None:
+        return [run_point(spec) for spec in specs]
+    return executor.run(specs)
+
+
+def default_jobs() -> int:
+    """A sensible ``--jobs`` default for 'use the whole machine' requests.
+
+    Prefers the scheduling affinity mask (which honours cgroup / cpuset
+    limits in containers) over the raw core count.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # platforms without sched_getaffinity
+        return max(1, os.cpu_count() or 1)

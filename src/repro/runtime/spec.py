@@ -1,0 +1,208 @@
+"""Picklable, hashable benchmark point specifications.
+
+A :class:`PointSpec` captures everything needed to reproduce one benchmark
+point — the cluster (name and full cost parameters, so ablation overrides
+are part of the identity), the placement (ppn, node count), the engine, the
+algorithm with its options, and either a uniform per-destination message
+size or a workload trace (the dense JSON form of a
+:class:`~repro.workloads.TrafficMatrix`).
+
+Specs serialize to a canonical JSON form; the SHA-256 of that form is the
+cache key of the on-disk :class:`~repro.runtime.store.ResultStore`.  Two
+specs are equal exactly when their canonical forms are equal, so any change
+to the cluster parameters, the algorithm options or the traffic invalidates
+the cached result.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields as _dataclass_fields
+from hashlib import sha256
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.machine.cluster import Cluster
+from repro.machine.hierarchy import LocalityLevel
+from repro.machine.params import LevelCosts, MachineParameters
+from repro.machine.topology import NodeArchitecture
+
+__all__ = ["PointSpec", "cluster_payload", "cluster_from_payload"]
+
+#: Bumped whenever the canonical payload layout changes, so stale cache
+#: entries from older layouts miss instead of being misinterpreted.
+SPEC_VERSION = 1
+
+_ENGINES = ("simulate", "model")
+
+
+def _params_payload(params: MachineParameters) -> dict:
+    payload: dict[str, Any] = {
+        "levels": {
+            level.name: [params.levels[level].latency, params.levels[level].bandwidth]
+            for level in LocalityLevel
+        }
+    }
+    for spec_field in _dataclass_fields(params):
+        if spec_field.name != "levels":
+            payload[spec_field.name] = getattr(params, spec_field.name)
+    return payload
+
+
+def cluster_payload(cluster: Cluster) -> dict:
+    """Serialize a :class:`Cluster` to a plain-JSON dictionary."""
+    return {
+        "name": cluster.name,
+        "num_nodes": cluster.num_nodes,
+        "node": {
+            "name": cluster.node.name,
+            "sockets": cluster.node.sockets,
+            "numa_per_socket": cluster.node.numa_per_socket,
+            "cores_per_numa": cluster.node.cores_per_numa,
+        },
+        "params": _params_payload(cluster.params),
+        "network_name": cluster.network_name,
+        "system_mpi_name": cluster.system_mpi_name,
+    }
+
+
+def cluster_from_payload(payload: dict) -> Cluster:
+    """Rebuild a :class:`Cluster` from :func:`cluster_payload` output."""
+    params_payload = dict(payload["params"])
+    levels = {
+        LocalityLevel[name]: LevelCosts(latency=pair[0], bandwidth=pair[1])
+        for name, pair in params_payload.pop("levels").items()
+    }
+    return Cluster(
+        name=payload["name"],
+        node=NodeArchitecture(**payload["node"]),
+        num_nodes=payload["num_nodes"],
+        params=MachineParameters(levels=levels, **params_payload),
+        network_name=payload["network_name"],
+        system_mpi_name=payload["system_mpi_name"],
+    )
+
+
+@dataclass(frozen=True, eq=False)
+class PointSpec:
+    """One benchmark point as a self-contained, picklable value.
+
+    Exactly one of ``msg_bytes`` (uniform all-to-all) and ``trace``
+    (non-uniform workload, as a dense JSON trace string) is set.
+    """
+
+    cluster: Cluster
+    ppn: int
+    num_nodes: int
+    engine: str
+    algorithm: str
+    repetitions: int = 1
+    options: tuple[tuple[str, Any], ...] = ()
+    msg_bytes: int | None = None
+    trace: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.engine not in _ENGINES:
+            raise ConfigurationError(f"unknown engine {self.engine!r}; choose from {_ENGINES}")
+        if (self.msg_bytes is None) == (self.trace is None):
+            raise ConfigurationError("a PointSpec needs exactly one of msg_bytes and trace")
+        if self.ppn <= 0 or self.num_nodes <= 0:
+            raise ConfigurationError("ppn and num_nodes must be positive")
+        if self.repetitions <= 0:
+            raise ConfigurationError("repetitions must be positive")
+        if self.num_nodes > self.cluster.num_nodes:
+            raise ConfigurationError(
+                f"spec requests {self.num_nodes} nodes but the cluster has "
+                f"{self.cluster.num_nodes}"
+            )
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def for_alltoall(cls, cluster: Cluster, ppn: int, num_nodes: int, algorithm: str,
+                     msg_bytes: int, *, engine: str = "model", repetitions: int = 1,
+                     **options: Any) -> "PointSpec":
+        """Spec for one uniform all-to-all point."""
+        return cls(cluster=cluster, ppn=ppn, num_nodes=num_nodes, engine=engine,
+                   algorithm=algorithm, repetitions=repetitions,
+                   options=tuple(sorted(options.items())), msg_bytes=int(msg_bytes))
+
+    @classmethod
+    def for_workload(cls, cluster: Cluster, ppn: int, num_nodes: int, algorithm: str,
+                     matrix, *, engine: str = "model", repetitions: int = 1,
+                     **options: Any) -> "PointSpec":
+        """Spec for one non-uniform workload point (the matrix is embedded as a trace)."""
+        trace = json.dumps(
+            {"pattern": matrix.pattern, "nprocs": matrix.nprocs, "bytes": matrix.bytes.tolist()},
+            sort_keys=True, separators=(",", ":"),
+        )
+        return cls(cluster=cluster, ppn=ppn, num_nodes=num_nodes, engine=engine,
+                   algorithm=algorithm, repetitions=repetitions,
+                   options=tuple(sorted(options.items())), trace=trace)
+
+    # -- execution helpers ---------------------------------------------------
+    def matrix(self):
+        """Rebuild the :class:`~repro.workloads.TrafficMatrix` of a workload spec."""
+        if self.trace is None:
+            raise ConfigurationError("not a workload spec: no trace attached")
+        from repro.workloads.traceio import load_trace  # deferred: workloads is heavier
+
+        return load_trace(json.loads(self.trace))
+
+    # -- identity ------------------------------------------------------------
+    def payload(self) -> dict:
+        """Plain-JSON description of the spec (what the cache stores alongside results)."""
+        return {
+            "version": SPEC_VERSION,
+            "cluster": cluster_payload(self.cluster),
+            "ppn": self.ppn,
+            "num_nodes": self.num_nodes,
+            "engine": self.engine,
+            "algorithm": self.algorithm,
+            "repetitions": self.repetitions,
+            "options": [[k, v] for k, v in self.options],
+            "msg_bytes": self.msg_bytes,
+            "trace": self.trace,
+        }
+
+    def canonical(self) -> str:
+        """Canonical JSON form; the sole basis of equality, hashing and cache keys.
+
+        Memoized: workload specs embed the whole traffic matrix, and one
+        executor batch consults the key several times per spec (store
+        lookup, dedupe, fan-out), so serializing once matters.
+        """
+        cached = self.__dict__.get("_canonical")
+        if cached is None:
+            try:
+                cached = json.dumps(self.payload(), sort_keys=True, separators=(",", ":"))
+            except (TypeError, ValueError) as exc:
+                raise ConfigurationError(
+                    f"point spec is not serializable (non-JSON option value?): {exc}"
+                ) from exc
+            object.__setattr__(self, "_canonical", cached)
+        return cached
+
+    def key(self) -> str:
+        """Stable hex digest used as the on-disk cache key."""
+        cached = self.__dict__.get("_key")
+        if cached is None:
+            cached = sha256(self.canonical().encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_key", cached)
+        return cached
+
+    def describe(self) -> str:
+        opts = ", ".join(f"{k}={v}" for k, v in self.options)
+        what = f"{self.msg_bytes} B" if self.msg_bytes is not None else "trace"
+        algo = f"{self.algorithm}({opts})" if opts else self.algorithm
+        return (
+            f"{algo} @ {what} on {self.cluster.name} "
+            f"({self.num_nodes} nodes x {self.ppn} ppn, engine={self.engine})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PointSpec):
+            return NotImplemented
+        return self.canonical() == other.canonical()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical())

@@ -1,0 +1,88 @@
+"""On-disk JSON result store keyed by stable point-spec hashes.
+
+Layout: ``<cache_dir>/<key[:2]>/<key>.json`` where ``key`` is the SHA-256
+of the spec's canonical JSON form.  Each entry stores the full spec payload
+next to the result, so cache directories are self-describing and
+``BENCH_*.json`` style trajectories can be assembled from them without
+re-simulating.
+
+The store is defensive: a missing, truncated or otherwise corrupted entry
+reads as a miss (the point is recomputed and rewritten), never as an error.
+Writes are atomic (temp file + ``os.replace``) so concurrent sweeps sharing
+a cache directory cannot observe half-written entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.runtime.spec import PointSpec
+
+if TYPE_CHECKING:  # pragma: no cover - runtime must not import bench at module scope
+    from repro.bench.datasets import TimedPoint
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """JSON cache of :class:`TimedPoint` results keyed by spec hash."""
+
+    def __init__(self, cache_dir: str | os.PathLike) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, spec: PointSpec) -> Path:
+        key = spec.key()
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    # -- read ----------------------------------------------------------------
+    def get(self, spec: PointSpec) -> "TimedPoint | None":
+        """Cached result for ``spec``, or ``None`` on a miss or a corrupt entry."""
+        from repro.bench.datasets import TimedPoint  # deferred to break the import cycle
+
+        path = self.path_for(spec)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            result = entry["result"]
+            seconds = float(result["seconds"])
+            phases = {str(name): float(value) for name, value in result["phases"].items()}
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError, AttributeError):
+            return None
+        return TimedPoint(seconds=seconds, phases=phases)
+
+    # -- write ---------------------------------------------------------------
+    def put(self, spec: PointSpec, point: "TimedPoint") -> None:
+        """Persist one result atomically."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "key": spec.key(),
+            "spec": spec.payload(),
+            "result": {"seconds": point.seconds, "phases": dict(point.phases)},
+        }
+        handle = tempfile.NamedTemporaryFile(
+            "w", encoding="utf-8", dir=path.parent, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                json.dump(entry, handle)
+                handle.write("\n")
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    # -- introspection -------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for _ in self.cache_dir.glob("??/*.json"))
+
+    def __contains__(self, spec: PointSpec) -> bool:
+        return self.get(spec) is not None

@@ -1,0 +1,34 @@
+"""Module-level worker function executed by the sweep process pool.
+
+Process pools pickle workers by reference, so :func:`run_point` must live at
+module level and depend only on its picklable :class:`PointSpec` argument.
+It is safe for every ``multiprocessing`` start method including ``spawn``:
+the heavyweight imports happen inside the function, after the child
+interpreter has fully initialized the package.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.runtime.spec import PointSpec
+
+if TYPE_CHECKING:  # pragma: no cover - runtime must not import bench at module scope
+    from repro.bench.datasets import TimedPoint
+
+__all__ = ["run_point"]
+
+
+def run_point(spec: PointSpec) -> "TimedPoint":
+    """Execute one benchmark point and return its timing.
+
+    Builds a fresh :class:`~repro.bench.harness.BenchmarkHarness` from the
+    spec (each worker process gets its own simulator state) and runs the
+    point through the engine the spec names.
+    """
+    from repro.bench.harness import BenchmarkHarness  # deferred to break the import cycle
+
+    harness = BenchmarkHarness(
+        spec.cluster, spec.ppn, engine=spec.engine, repetitions=spec.repetitions
+    )
+    return harness.run_spec(spec)

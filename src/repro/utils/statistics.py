@@ -48,13 +48,18 @@ def geometric_mean(values: Iterable[float]) -> float:
 
 
 def summarize(samples: Sequence[float]) -> dict[str, float]:
-    """Return min/max/mean/median/std of a sample set as a plain dict."""
+    """Return min/max/mean/median/std of a sample set as a plain dict.
+
+    ``std`` is the sample standard deviation (n-1 denominator), matching
+    :class:`RunningStatistics` so both reporting paths agree on the same
+    samples; a single sample has ``std = 0``.
+    """
     if len(samples) == 0:
         raise ValueError("summarize requires at least one sample")
     vals = sorted(float(v) for v in samples)
     n = len(vals)
     mean = sum(vals) / n
-    var = sum((v - mean) ** 2 for v in vals) / n
+    var = sum((v - mean) ** 2 for v in vals) / (n - 1) if n > 1 else 0.0
     mid = n // 2
     median = vals[mid] if n % 2 else 0.5 * (vals[mid - 1] + vals[mid])
     return {

@@ -76,7 +76,12 @@ def load_trace(source) -> TrafficMatrix:
         return _matrix_from_object(source)
     if isinstance(source, (str, os.PathLike)):
         text = str(source)
-        if not text.lstrip().startswith(("{", "[")):
+        # An existing file (or anything path-like) always wins over inline
+        # JSON: a real path must be read even when it happens to look like
+        # JSON, and an unreadable path must report a read error, not a
+        # confusing parse error.
+        is_path = isinstance(source, os.PathLike) or os.path.exists(text)
+        if is_path or not text.lstrip().startswith(("{", "[")):
             try:
                 with open(source, "r", encoding="utf-8") as handle:
                     text = handle.read()

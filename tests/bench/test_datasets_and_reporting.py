@@ -77,6 +77,30 @@ class TestReporting:
         text = format_figure(fig)
         assert "-" in text  # the missing 64-byte point renders as a dash
 
+    def test_format_figure_propagates_real_defects(self):
+        """Only missing points render as '-'; other errors are real defects."""
+
+        class BrokenSeries(DataSeries):
+            def at(self, x):
+                raise RuntimeError("broken cost model")
+
+        fig = _sample_figure()
+        broken = BrokenSeries("broken")
+        broken.add(4, 1.0)
+        fig.add_series(broken)
+        with pytest.raises(RuntimeError, match="broken cost model"):
+            format_figure(fig)
+        with pytest.raises(RuntimeError, match="broken cost model"):
+            to_csv(fig)
+
+    def test_to_csv_missing_points_render_empty(self):
+        fig = _sample_figure()
+        sparse = DataSeries("sparse")
+        sparse.add(4, 5.0e-5)
+        fig.add_series(sparse)
+        lines = to_csv(fig).strip().splitlines()
+        assert lines[2].endswith(",")  # the missing 64-byte point is empty
+
     def test_to_csv_roundtrip(self):
         csv = to_csv(_sample_figure())
         lines = csv.strip().splitlines()

@@ -2,9 +2,16 @@
 
 import pytest
 
-from repro.core.selection import AlgorithmSelector, CandidateConfig, SelectionTable, default_candidates
+from repro.core.selection import (
+    AlgorithmSelector,
+    CandidateConfig,
+    SelectionTable,
+    build_selection_table,
+    default_candidates,
+)
 from repro.errors import ConfigurationError
 from repro.machine.systems import dane, tiny_cluster
+from repro.runtime import ResultStore, SweepExecutor
 
 
 class TestCandidateConfig:
@@ -153,3 +160,62 @@ class TestSelectionTableTieBreaking:
         table.record(2, 128, "solo", 1.0)
         for size in (1, 128, 10**9):
             assert table.best(2, size) == "solo"
+
+
+class TestSelectorWithExecutor:
+    def test_same_choice_with_and_without_executor(self):
+        plain = AlgorithmSelector(dane(8), ppn=16)
+        with SweepExecutor(jobs=1) as executor:
+            routed = AlgorithmSelector(dane(8), ppn=16, executor=executor)
+            for size in (4, 256, 4096):
+                assert routed.select(8, size) == plain.select(8, size)
+
+    def test_non_positive_node_count_rejected(self):
+        selector = AlgorithmSelector(dane(8), ppn=16)
+        with pytest.raises(ConfigurationError):
+            selector.select(0, 64)
+        with pytest.raises(ConfigurationError):
+            selector.selection_map(-2, [4])
+
+    def test_selection_map_served_from_store(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        with SweepExecutor(jobs=1, store=store) as executor:
+            selector = AlgorithmSelector(dane(8), ppn=16, executor=executor)
+            first = selector.selection_map(8, [4, 4096])
+            executed = executor.executed_points
+            assert executed > 0
+            second = selector.selection_map(8, [4, 4096])
+            assert executor.executed_points == executed  # all cache hits
+        assert first == second
+
+
+class TestBuildSelectionTable:
+    def test_simulated_table_records_all_points(self):
+        table = build_selection_table(
+            tiny_cluster(2), 4, node_counts=[2], msg_sizes=[16, 64], engine="simulate"
+        )
+        assert table.sizes_for(2) == [16, 64]
+        assert all(seconds > 0 for _, _, _, seconds in table.as_rows())
+        assert table.best(2, 16)
+
+    def test_parallel_build_matches_serial(self, tmp_path):
+        kwargs = dict(node_counts=[2], msg_sizes=[16, 64], engine="simulate")
+        serial = build_selection_table(tiny_cluster(2), 4, **kwargs)
+        with SweepExecutor(jobs=2, store=ResultStore(tmp_path / "cache")) as executor:
+            parallel = build_selection_table(tiny_cluster(2), 4, executor=executor, **kwargs)
+        assert parallel.as_rows() == serial.as_rows()
+
+    def test_model_engine_agrees_with_selector(self):
+        candidates = default_candidates(8)
+        table = build_selection_table(
+            dane(4), 8, node_counts=[4], msg_sizes=[4, 4096],
+            candidates=candidates, engine="model",
+        )
+        selector = AlgorithmSelector(dane(4), ppn=8, candidates=candidates)
+        for size in (4, 4096):
+            assert table.best(4, size) == selector.select(4, size)[0].describe()
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_selection_table(tiny_cluster(2), 4, node_counts=[2], msg_sizes=[16],
+                                  candidates=[])

@@ -57,6 +57,39 @@ class TestScheduling:
         with pytest.raises(SimulationError):
             Simulator().schedule_after(-1.0, lambda: None)
 
+    def test_ulp_rounding_error_tolerated_at_large_times(self):
+        """A single-ulp-in-the-past time must not raise once the clock is large.
+
+        The guard's tolerance is relative to ``now``: with the old absolute
+        1e-18 tolerance, one ulp of rounding (~8.7e-19 at 4 ms, growing with
+        the clock) in a callback's computed time raised a spurious error.
+        """
+        import math
+
+        sim = Simulator()
+        sim.schedule_at(0.0084, lambda: None)  # past the ~4 ms ulp crossover
+        sim.run()
+        seen = []
+        sim.schedule_at(math.nextafter(sim.now, 0.0), lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [0.0084], "the clamped event must still fire at now"
+
+    def test_relative_tolerance_tracks_clock_magnitude(self):
+        import math
+
+        sim = Simulator()
+        sim.schedule_at(1000.0, lambda: None)
+        sim.run()
+        sim.schedule_at(math.nextafter(1000.0, 0.0), lambda: None)  # 1 ulp: tolerated
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1000.0 * (1.0 - 1e-12), lambda: None)  # thousands of ulps: past
+
+    def test_near_zero_clock_keeps_absolute_floor(self):
+        sim = Simulator()
+        sim.schedule_at(0.0, lambda: None)  # exactly now is fine at t=0
+        with pytest.raises(SimulationError):
+            sim.schedule_at(-1e-9, lambda: None)
+
     def test_event_counter(self):
         sim = Simulator()
         for i in range(5):

@@ -77,6 +77,35 @@ class TestSummarize:
             summarize([])
 
 
+class TestVarianceConvention:
+    """Both reporting paths must agree on the sample-variance (n-1) convention."""
+
+    @pytest.mark.parametrize(
+        "samples",
+        [
+            [1.0, 2.0, 4.0, 8.0],
+            [0.5, 0.5, 0.5],
+            [3.0, 7.0],
+            [1e-6, 2e-6, 5e-6, 9e-6, 1.3e-5],
+        ],
+    )
+    def test_summarize_and_running_statistics_agree(self, samples):
+        acc = RunningStatistics()
+        acc.update(samples)
+        batch = summarize(samples)
+        mean = sum(samples) / len(samples)
+        expected_var = sum((s - mean) ** 2 for s in samples) / (len(samples) - 1)
+        assert batch["std"] == pytest.approx(math.sqrt(expected_var))
+        assert batch["std"] == pytest.approx(acc.std)
+        assert batch["mean"] == pytest.approx(acc.mean)
+
+    def test_single_sample_std_is_zero_in_both(self):
+        acc = RunningStatistics()
+        acc.add(4.2)
+        assert summarize([4.2])["std"] == 0.0
+        assert acc.std == 0.0
+
+
 class TestRunningStatistics:
     def test_matches_batch_summary(self):
         samples = [0.5, 1.5, 2.5, 10.0, 0.25]

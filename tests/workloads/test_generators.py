@@ -174,3 +174,26 @@ class TestTraceIO:
     def test_malformed_records(self):
         with pytest.raises(ConfigurationError):
             load_trace([{"source": 0}])
+
+    def test_existing_file_wins_over_inline_json(self, tmp_path, monkeypatch):
+        """A real path is read even when the path string itself looks like JSON."""
+        monkeypatch.chdir(tmp_path)
+        original = uniform(4, 32)
+        save_trace(original, "[v1]trace.json")
+        loaded = load_trace("[v1]trace.json")  # starts with '[' but is a file
+        assert loaded == original
+
+    def test_file_named_like_json_object(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        original = uniform(4, 8)
+        save_trace(original, "{run0}.json")
+        assert load_trace("{run0}.json") == original
+
+    def test_unreadable_pathlike_reports_read_error(self, tmp_path):
+        # PathLike sources are always files, even with JSON-looking names.
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            load_trace(tmp_path / "{missing}.json")
+
+    def test_inline_json_fallback_for_nonexistent_strings(self):
+        matrix = load_trace('[{"src": 0, "dst": 1, "bytes": 4}]')
+        assert matrix.bytes[0, 1] == 4
