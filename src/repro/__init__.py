@@ -20,7 +20,10 @@ The package is organised as:
   and table of the paper's evaluation;
 * :mod:`repro.runtime` — parallel sweep execution: picklable point specs,
   a process-pool :class:`~repro.runtime.SweepExecutor` and an on-disk
-  :class:`~repro.runtime.ResultStore` keyed by stable spec hashes.
+  :class:`~repro.runtime.ResultStore` keyed by stable spec hashes;
+* :mod:`repro.verify` — differential conformance fuzzing: seeded random
+  scenarios run through every registered algorithm, byte-compared against
+  the reference, with shrinking failure reports and a golden corpus.
 
 Quickstart::
 

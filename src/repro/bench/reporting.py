@@ -13,7 +13,13 @@ import io
 from repro.bench.datasets import FigureResult
 from repro.errors import ConfigurationError
 
-__all__ = ["format_figure", "format_table1", "to_csv", "format_speedup_summary"]
+__all__ = [
+    "format_figure",
+    "format_table1",
+    "to_csv",
+    "format_speedup_summary",
+    "format_verification_summary",
+]
 
 
 def _format_seconds(value: float) -> str:
@@ -62,6 +68,24 @@ def format_speedup_summary(summary: dict) -> str:
         lines.append(f"  {int(size):>6d} B : {value:5.2f}x")
     lines.append(
         f"  best: {summary['best_speedup']:.2f}x at {int(summary['best_size'])} B per process pair"
+    )
+    return "\n".join(lines)
+
+
+def format_verification_summary(records) -> str:
+    """Render a batch of :class:`~repro.verify.VerificationRecord` results.
+
+    One line per scenario plus an aggregate tail; failure details are
+    rendered separately by :func:`repro.verify.format_failure` so the
+    summary stays scannable even when a sweep goes red.
+    """
+    lines = [record.summary_line() for record in records]
+    verified = sum(len(record.verified) for record in records)
+    skipped = sum(len(record.skipped) for record in records)
+    failing = [record for record in records if not record.ok]
+    lines.append(
+        f"{len(records)} scenario(s): {verified} algorithm run(s) verified, "
+        f"{skipped} skipped, {len(failing)} scenario(s) failing"
     )
     return "\n".join(lines)
 

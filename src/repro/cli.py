@@ -18,6 +18,10 @@ Installed as the ``repro-bench`` console script (and runnable as
     Simulate a non-uniform traffic workload (alltoallv semantics) from a
     generated pattern or a recorded JSON trace, validate the exchange, and
     compare against the analytic workload model.
+``verify``
+    Differential conformance fuzzing: run every registered algorithm on
+    seeded random scenarios, assert byte-identical results against the
+    reference, and print a minimal seeded reproducer on any mismatch.
 """
 
 from __future__ import annotations
@@ -28,7 +32,13 @@ from typing import Sequence
 
 from repro._version import __version__
 from repro.bench.figures import FIGURES, headline_speedup, table1
-from repro.bench.reporting import format_figure, format_speedup_summary, format_table1, to_csv
+from repro.bench.reporting import (
+    format_figure,
+    format_speedup_summary,
+    format_table1,
+    format_verification_summary,
+    to_csv,
+)
 from repro.bench.harness import BenchmarkHarness
 from repro.core.alltoall.valgorithms import list_v_algorithms
 from repro.core.runner import run_alltoall, run_workload
@@ -159,6 +169,22 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--no-model", action="store_true",
                           help="skip the analytic-model comparison")
     _add_runtime_arguments(workload)
+
+    verify = sub.add_parser(
+        "verify", help="differential conformance check over seeded random scenarios"
+    )
+    verify.add_argument("--seed", type=int, default=2025,
+                        help="base seed; scenario i uses seed SEED+i, so a failure "
+                             "at seed S is replayed with --seed S --count 1")
+    verify.add_argument("--count", type=int, default=25,
+                        help="number of consecutive-seed scenarios to verify")
+    verify.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for independent scenarios "
+                             "(1 = serial in-process, 0 = all CPU cores)")
+    verify.add_argument("--max-ranks", type=int, default=24,
+                        help="upper bound on nodes x ppn per sampled scenario")
+    verify.add_argument("--golden", default=None, metavar="PATH",
+                        help="also check the golden corpus file and fail on drift")
     return parser
 
 
@@ -349,12 +375,48 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     return 0 if outcome.correct else 1
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import format_failure, verify_task
+    from repro.verify.golden import check_corpus
+
+    if args.count < 1:
+        raise SystemExit(f"--count must be >= 1, got {args.count}")
+    if args.max_ranks < 1:
+        raise SystemExit(f"--max-ranks must be >= 1, got {args.max_ranks}")
+    jobs = args.jobs if args.jobs != 0 else default_jobs()
+    if jobs < 1:
+        raise SystemExit(f"--jobs must be >= 0, got {args.jobs}")
+
+    tasks = [(args.seed + i, args.max_ranks) for i in range(args.count)]
+    with SweepExecutor(jobs) as executor:
+        records = executor.map(verify_task, tasks)
+    print(format_verification_summary(records))
+
+    status = 0
+    for record in records:
+        for failure in record.failures:
+            print()
+            print(format_failure(failure))
+            status = 1
+
+    if args.golden is not None:
+        problems = check_corpus(args.golden)
+        for problem in problems:
+            print(f"golden corpus: {problem}", file=sys.stderr)
+        if problems:
+            status = 1
+        else:
+            print("golden corpus: consistent")
+    return status
+
+
 _COMMANDS = {
     "systems": _cmd_systems,
     "figures": _cmd_figures,
     "run": _cmd_run,
     "select": _cmd_select,
     "workload": _cmd_workload,
+    "verify": _cmd_verify,
 }
 
 

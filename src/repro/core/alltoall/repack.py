@@ -50,7 +50,7 @@ def hierarchical_pack_for_leaders(gathered: np.ndarray, ppl: int, ngroups: int, 
     member and every destination member of group ``g``, the corresponding
     payload — the ``s·ppl²`` message of Algorithm 3.
     """
-    cube = gathered.reshape(ppl, ngroups, ppl, block if block else 1)[..., :block]
+    cube = gathered.reshape(ppl, ngroups, ppl, block)
     # axes: (src_member, dest_group, dest_member, item) -> (dest_group, src_member, dest_member, item)
     packed = cube.transpose(1, 0, 2, 3)
     return np.ascontiguousarray(packed).reshape(-1)
@@ -64,7 +64,7 @@ def hierarchical_unpack_to_scatter(received: np.ndarray, ppl: int, ngroups: int,
     member first (one contiguous chunk per group member), with each chunk
     ordered by source world rank, i.e. by (source group, source member).
     """
-    cube = received.reshape(ngroups, ppl, ppl, block if block else 1)[..., :block]
+    cube = received.reshape(ngroups, ppl, ppl, block)
     # axes: (src_group, src_member, dest_member, item) -> (dest_member, src_group, src_member, item)
     packed = cube.transpose(2, 0, 1, 3)
     return np.ascontiguousarray(packed).reshape(-1)
@@ -81,7 +81,7 @@ def group_transpose_forward(received: np.ndarray, ngroups: int, group_size: int,
     then destination member; the intra-region all-to-all needs it ordered by
     destination member then source group.
     """
-    cube = received.reshape(ngroups, group_size, block if block else 1)[..., :block]
+    cube = received.reshape(ngroups, group_size, block)
     packed = cube.transpose(1, 0, 2)
     return np.ascontiguousarray(packed).reshape(-1)
 
@@ -93,7 +93,7 @@ def group_transpose_backward(received: np.ndarray, ngroups: int, group_size: int
     then source group; the final receive buffer is ordered by source world
     rank, i.e. source group then source member.
     """
-    cube = received.reshape(group_size, ngroups, block if block else 1)[..., :block]
+    cube = received.reshape(group_size, ngroups, block)
     packed = cube.transpose(1, 0, 2)
     return np.ascontiguousarray(packed).reshape(-1)
 
@@ -109,7 +109,7 @@ def mlna_pack_for_internode(gathered: np.ndarray, ppl: int, num_nodes: int, ppn:
     leader's group, the data destined to every rank of node ``n``
     (``s·ppn·ppl`` bytes in the paper's notation).
     """
-    cube = gathered.reshape(ppl, num_nodes, ppn, block if block else 1)[..., :block]
+    cube = gathered.reshape(ppl, num_nodes, ppn, block)
     # (src_member, dest_node, dest_local_rank, item) -> (dest_node, src_member, dest_local_rank, item)
     packed = cube.transpose(1, 0, 2, 3)
     return np.ascontiguousarray(packed).reshape(-1)
@@ -123,7 +123,7 @@ def mlna_pack_for_intranode(received: np.ndarray, num_nodes: int, ppl: int, lead
     data destined to the members of leader ``k``'s group
     (``s·nnodes·ppl²`` bytes in the paper's notation).
     """
-    cube = received.reshape(num_nodes, ppl, leaders_per_node, ppl, block if block else 1)[..., :block]
+    cube = received.reshape(num_nodes, ppl, leaders_per_node, ppl, block)
     # (src_node, src_member, dest_leader, dest_member, item)
     #   -> (dest_leader, src_node, src_member, dest_member, item)
     packed = cube.transpose(2, 0, 1, 3, 4)
@@ -137,7 +137,7 @@ def mlna_unpack_to_scatter(received: np.ndarray, leaders_per_node: int, num_node
     destination), each ordered by source world rank, i.e. by
     (source node, source leader, source member).
     """
-    cube = received.reshape(leaders_per_node, num_nodes, ppl, ppl, block if block else 1)[..., :block]
+    cube = received.reshape(leaders_per_node, num_nodes, ppl, ppl, block)
     # (src_leader, src_node, src_member, dest_member, item)
     #   -> (dest_member, src_node, src_leader, src_member, item)
     packed = cube.transpose(3, 1, 0, 2, 4)

@@ -108,16 +108,27 @@ class SweepExecutor:
 
         return [resolved[unique_index[spec.key()]] for spec in batch]  # type: ignore[misc]
 
-    def _compute(self, specs: Sequence[PointSpec]) -> list[TimedPoint]:
-        if not specs:
+    def map(self, func, items: Iterable) -> list:
+        """Fan an arbitrary task list out over the worker pool.
+
+        The generic sibling of :meth:`run` for work that is not a
+        :class:`PointSpec` batch (e.g. the conformance scenarios of
+        :mod:`repro.verify`).  ``func`` must be picklable by reference — a
+        module-level function — and ``items`` picklable values; results come
+        back in input order (``Pool.map`` semantics).  No store interaction:
+        caching is keyed on spec hashes, which arbitrary tasks do not have.
+        """
+        tasks = list(items)
+        if not tasks:
             return []
-        if self.jobs == 1 or len(specs) == 1:
-            # A lone point never justifies spinning up (or even reusing) a
-            # pool of spawn workers; run it in-process.
-            return [run_point(spec) for spec in specs]
+        if self.jobs == 1 or len(tasks) == 1:
+            return [func(task) for task in tasks]
         pool = self._ensure_pool()
-        chunksize = max(1, len(specs) // (4 * self.jobs))
-        return pool.map(run_point, specs, chunksize)
+        chunksize = max(1, len(tasks) // (4 * self.jobs))
+        return pool.map(func, tasks, chunksize)
+
+    def _compute(self, specs: Sequence[PointSpec]) -> list[TimedPoint]:
+        return self.map(run_point, specs)
 
     # -- reporting -----------------------------------------------------------
     def stats_line(self) -> str:

@@ -1,0 +1,61 @@
+"""Cross-algorithm differential conformance and seeded scenario fuzzing.
+
+The paper's algorithms are interchangeable in *result* but not in *cost*;
+this package checks the first claim mechanically across the whole cluster x
+placement x workload space the repository can generate:
+
+* :class:`~repro.verify.scenario.ScenarioGenerator` — samples reproducible
+  random scenarios (system presets or randomized clusters, every traffic
+  generator including degenerate shapes: zero-byte send rows, single-rank
+  jobs, self-only traffic, highly skewed Zipf) from a single integer seed;
+* :class:`~repro.verify.differential.DifferentialRunner` — executes every
+  applicable registered algorithm on the same scenario through the
+  :mod:`repro.simmpi` engine and asserts byte-identical receive buffers
+  against the closed-form reference (and, for uniform scenarios, the
+  ``system-mpi`` baseline), plus timing sanity: finite, non-negative,
+  model monotone in message size;
+* :class:`~repro.verify.report.FailureReport` — on mismatch, a shrunken
+  minimal reproducer carrying the seed, replayable with
+  ``repro-bench verify --seed <seed> --count 1``;
+* :mod:`~repro.verify.golden` — the frozen digest/result-hash corpus under
+  ``tests/golden/`` that stops future PRs from silently changing delivered
+  bytes.
+
+Drive it from the CLI (``repro-bench verify --seed 2025 --count 25
+--jobs 4``) or programmatically::
+
+    from repro.verify import DifferentialRunner, ScenarioGenerator
+
+    record = DifferentialRunner().verify(ScenarioGenerator().scenario(2025))
+    assert record.ok, record.failures
+"""
+
+from repro.verify.differential import (
+    AlgorithmConfig,
+    DifferentialRunner,
+    VerificationRecord,
+    result_hash,
+    uniform_configurations,
+    verify_seed,
+    verify_task,
+    workload_configurations,
+)
+from repro.verify.report import FailureReport, format_failure, shrink_scenario
+from repro.verify.scenario import SCENARIO_VERSION, Scenario, ScenarioGenerator
+
+__all__ = [
+    "AlgorithmConfig",
+    "DifferentialRunner",
+    "FailureReport",
+    "Scenario",
+    "ScenarioGenerator",
+    "SCENARIO_VERSION",
+    "VerificationRecord",
+    "format_failure",
+    "result_hash",
+    "shrink_scenario",
+    "uniform_configurations",
+    "verify_seed",
+    "verify_task",
+    "workload_configurations",
+]

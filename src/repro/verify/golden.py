@@ -1,0 +1,132 @@
+"""Golden regression corpus: frozen scenario digests and result hashes.
+
+The corpus (``tests/golden/verify_corpus.json``) pins, for a fixed set of
+seeds, the scenario digest (what the generator samples) and the result hash
+(the exact bytes every conforming algorithm must deliver for that scenario).
+Future PRs cannot silently change either: a sampler change shifts the
+digest, a semantic change to any exchange shifts the result hash, and both
+fail the corpus test until the change is acknowledged by refreshing.
+
+Refresh procedure (after an *intentional* behaviour change)::
+
+    PYTHONPATH=src python -m repro.verify.golden refresh
+    git diff tests/golden/verify_corpus.json   # review what moved, commit
+
+``check`` recomputes everything and prints the first divergence::
+
+    PYTHONPATH=src python -m repro.verify.golden check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.verify.differential import result_hash
+from repro.verify.scenario import SCENARIO_VERSION, ScenarioGenerator
+
+__all__ = [
+    "GOLDEN_SEEDS",
+    "DEFAULT_CORPUS_PATH",
+    "build_corpus",
+    "check_corpus",
+    "write_corpus",
+]
+
+#: The frozen seed set.  Chosen once; extend (do not reorder) when widening
+#: the corpus so existing entries keep their meaning.
+GOLDEN_SEEDS: tuple[int, ...] = tuple(range(2025000, 2025012))
+
+DEFAULT_CORPUS_PATH = Path(__file__).resolve().parents[3] / "tests" / "golden" / "verify_corpus.json"
+
+
+def build_corpus(seeds: Sequence[int] = GOLDEN_SEEDS) -> dict:
+    """Compute the corpus entries for ``seeds`` (no simulation: oracle only)."""
+    generator = ScenarioGenerator()
+    entries = []
+    for seed in seeds:
+        scenario = generator.scenario(seed)
+        entries.append(
+            {
+                "seed": seed,
+                "digest": scenario.digest(),
+                "result_hash": result_hash(scenario),
+                "family": scenario.family,
+                "pattern": scenario.pattern,
+                "nprocs": scenario.nprocs,
+            }
+        )
+    return {"version": SCENARIO_VERSION, "entries": entries}
+
+
+def check_corpus(path: Path | str = DEFAULT_CORPUS_PATH) -> list[str]:
+    """Recompute the corpus and return a list of divergences (empty = green)."""
+    path = Path(path)
+    try:
+        frozen = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"cannot read golden corpus at {path}: {exc}"]
+    problems: list[str] = []
+    if frozen.get("version") != SCENARIO_VERSION:
+        problems.append(
+            f"corpus version {frozen.get('version')!r} != scenario version "
+            f"{SCENARIO_VERSION}; refresh the corpus"
+        )
+        return problems
+    # A hand-edited or half-merged corpus may be valid JSON with the wrong
+    # shape; that is a divergence to report, not a crash of the checker.
+    try:
+        seeds = [entry["seed"] for entry in frozen["entries"]]
+        current = {e["seed"]: e for e in build_corpus(seeds)["entries"]}
+        for entry in frozen["entries"]:
+            live = current[entry["seed"]]
+            for key in ("digest", "result_hash", "family", "pattern", "nprocs"):
+                if entry[key] != live[key]:
+                    problems.append(
+                        f"seed {entry['seed']}: {key} changed "
+                        f"({entry[key]!r} -> {live[key]!r})"
+                    )
+    except (KeyError, TypeError) as exc:
+        problems.append(
+            f"corpus at {path} is malformed ({type(exc).__name__}: {exc}); "
+            "refresh it with `python -m repro.verify.golden refresh`"
+        )
+    return problems
+
+
+def write_corpus(path: Path | str = DEFAULT_CORPUS_PATH,
+                 seeds: Sequence[int] = GOLDEN_SEEDS) -> Path:
+    """(Re)write the corpus file; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(build_corpus(seeds), indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify.golden",
+        description="Check or refresh the golden conformance corpus",
+    )
+    parser.add_argument("action", choices=["check", "refresh"])
+    parser.add_argument("--path", default=str(DEFAULT_CORPUS_PATH),
+                        help=f"corpus file (default: {DEFAULT_CORPUS_PATH})")
+    args = parser.parse_args(argv)
+    if args.action == "refresh":
+        written = write_corpus(args.path)
+        print(f"wrote {written}")
+        return 0
+    problems = check_corpus(args.path)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        print("golden corpus is consistent")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

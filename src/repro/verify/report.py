@@ -1,0 +1,167 @@
+"""Failure reports and scenario shrinking for the conformance subsystem.
+
+When the differential runner finds a mismatch it does not just point at the
+original (possibly 24-rank, multi-kilobyte) scenario: it greedily *shrinks*
+it — halving the node count, the ranks per node and the traffic volume, as
+long as the reduced scenario still fails the same way — and reports the
+minimal reproducer together with the seed of the original scenario, so the
+failure can be replayed with ``repro-bench verify --seed <seed> --count 1``
+and debugged at the smallest scale that exhibits it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.workloads import TrafficMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: differential imports report
+    from repro.verify.differential import AlgorithmConfig
+    from repro.verify.scenario import Scenario
+
+__all__ = ["FailureReport", "shrink_scenario", "format_failure"]
+
+#: Upper bound on shrinking re-runs per failure, so a pathological failure
+#: cannot stall the whole sweep.
+MAX_SHRINK_RUNS = 40
+
+
+@dataclass
+class FailureReport:
+    """One conformance failure, with an optional minimal reproducer."""
+
+    #: ``"mismatch"`` (wrong bytes), ``"timing"`` (non-finite / negative /
+    #: non-monotone), ``"error"`` (crash on a valid scenario), or
+    #: ``"inapplicable"`` (not a failure; filtered out by the runner).
+    kind: str
+    #: Seed of the original scenario — the reproduction handle.
+    seed: int
+    digest: str
+    #: ``describe()`` of the failing algorithm configuration.
+    algorithm: str
+    detail: str
+    #: Full payload of the original scenario (self-contained JSON).
+    scenario_payload: dict = field(default_factory=dict)
+    #: Payload of the smallest shrunken scenario that still fails, if any.
+    minimal_payload: dict | None = None
+    #: Algorithm configuration of the minimal reproducer (options may have
+    #: been clamped while the placement shrank).
+    minimal_algorithm: str | None = None
+
+    @property
+    def command(self) -> str:
+        """CLI invocation that regenerates and re-verifies the original scenario."""
+        return f"repro-bench verify --seed {self.seed} --count 1"
+
+
+def format_failure(failure: FailureReport) -> str:
+    """Render one failure as a multi-line report for the CLI."""
+    lines = [
+        f"FAILURE [{failure.kind}] scenario {failure.digest[:12]} (seed {failure.seed})",
+        f"  algorithm: {failure.algorithm}",
+        f"  detail:    {failure.detail}",
+        f"  reproduce: {failure.command}",
+    ]
+    payload = failure.minimal_payload
+    if payload is not None:
+        shape = f"{payload['num_nodes']} nodes x {payload['ppn']} ppn"
+        traffic = (
+            f"{payload['msg_bytes']} B uniform"
+            if payload.get("msg_bytes") is not None
+            else f"{payload['pattern']} matrix"
+        )
+        lines.append(
+            f"  minimal reproducer: {failure.minimal_algorithm} on {shape}, {traffic}"
+        )
+        lines.append(f"  minimal scenario JSON: {json.dumps(payload, sort_keys=True)}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Shrinking
+# ---------------------------------------------------------------------------
+
+
+def _clamped_config(config: "AlgorithmConfig", ppn: int) -> "AlgorithmConfig":
+    """Re-fit group-size options to a reduced ppn (gcd keeps them divisors)."""
+    from repro.verify.differential import AlgorithmConfig
+
+    options = config.as_dict()
+    for key in ("procs_per_group", "procs_per_leader"):
+        if key in options and isinstance(options[key], int):
+            options[key] = math.gcd(int(options[key]), ppn) or 1
+    return AlgorithmConfig.make(config.name, **options)
+
+
+def _truncated_matrix(matrix: TrafficMatrix, nprocs: int) -> TrafficMatrix:
+    return TrafficMatrix(matrix.bytes[:nprocs, :nprocs], pattern=matrix.pattern)
+
+
+def _halved_matrix(matrix: TrafficMatrix) -> TrafficMatrix:
+    return TrafficMatrix(matrix.bytes // 2, pattern=matrix.pattern)
+
+
+def _reductions(scenario: "Scenario") -> Iterator["Scenario"]:
+    """Candidate one-step reductions of ``scenario``, most aggressive first."""
+    if scenario.num_nodes > 1:
+        nodes = scenario.num_nodes // 2
+        matrix = (
+            None if scenario.matrix is None
+            else _truncated_matrix(scenario.matrix, nodes * scenario.ppn)
+        )
+        yield replace(scenario, num_nodes=nodes, matrix=matrix)
+    if scenario.ppn > 1:
+        ppn = scenario.ppn // 2
+        matrix = (
+            None if scenario.matrix is None
+            else _truncated_matrix(scenario.matrix, scenario.num_nodes * ppn)
+        )
+        yield replace(
+            scenario, ppn=ppn, matrix=matrix,
+            group_size=math.gcd(scenario.group_size, ppn) or 1,
+        )
+    if scenario.msg_bytes is not None and scenario.msg_bytes > 1:
+        yield replace(scenario, msg_bytes=scenario.msg_bytes // 2)
+    if scenario.matrix is not None and scenario.matrix.max_pair_bytes > 1:
+        yield replace(scenario, matrix=_halved_matrix(scenario.matrix))
+
+
+def shrink_scenario(
+    scenario: "Scenario",
+    config: "AlgorithmConfig",
+    still_fails: Callable[["Scenario", "AlgorithmConfig"], bool],
+    *,
+    max_runs: int = MAX_SHRINK_RUNS,
+) -> tuple["Scenario", "AlgorithmConfig"]:
+    """Greedily reduce ``scenario`` while ``still_fails`` holds.
+
+    ``still_fails(candidate, candidate_config)`` re-runs only the failing
+    configuration (clamped to the candidate's shape) and returns whether the
+    same kind of failure persists.  Returns the smallest (scenario, config)
+    pair found; the original pair when no reduction reproduces the failure
+    or the run budget is exhausted.
+    """
+    current, current_config = scenario, config
+    runs = 0
+    progress = True
+    while progress and runs < max_runs:
+        progress = False
+        for candidate in _reductions(current):
+            candidate_config = _clamped_config(config, candidate.ppn)
+            runs += 1
+            try:
+                failing = still_fails(candidate, candidate_config)
+            except Exception:
+                # A reduction that crashes the checker itself is not a
+                # usable reproducer; try the next one.
+                failing = False
+            if failing:
+                current, current_config = candidate, candidate_config
+                progress = True
+                break
+            if runs >= max_runs:
+                break
+    return current, current_config

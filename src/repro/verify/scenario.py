@@ -1,0 +1,239 @@
+"""Seeded random scenarios for cross-algorithm conformance checking.
+
+A :class:`Scenario` is one fully-specified exchange: a cluster (preset or
+randomized parameters), a placement (nodes x ppn), a traffic description
+(uniform per-destination bytes or a :class:`~repro.workloads.TrafficMatrix`
+from any registered generator, including degenerate shapes), and the
+algorithm-option samples (group size, inner exchange) the differential
+runner fans every registered algorithm out with.
+
+Scenarios are *pure functions of one integer seed*: ``ScenarioGenerator``
+derives every random choice from ``random.Random(f"repro-verify:{seed}")``
+(string seeding is hash-randomization-proof), so a failure reported by
+``repro-bench verify`` is reproduced exactly by rerunning with the failing
+scenario's seed and ``--count 1``.  The canonical JSON payload and its
+SHA-256 :meth:`Scenario.digest` freeze the sampled space: the golden corpus
+(``tests/golden/``) pins digests so a behavioural change in the sampler — or
+in anything it builds on (cluster presets, workload generators) — is caught
+rather than silently shifting what gets verified.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from hashlib import sha256
+
+from repro.errors import ConfigurationError
+from repro.machine.cluster import Cluster
+from repro.machine.process_map import ProcessMap
+from repro.machine.systems import get_system, tiny_cluster
+from repro.runtime.spec import cluster_payload
+from repro.utils.partition import divisors
+from repro.workloads import TrafficMatrix, make_pattern
+
+__all__ = ["Scenario", "ScenarioGenerator", "SCENARIO_VERSION"]
+
+#: Bumped whenever the sampled scenario space or the payload layout changes,
+#: so golden-corpus digests from older layouts fail loudly instead of
+#: comparing incomparable scenarios.
+SCENARIO_VERSION = 1
+
+_FAMILIES = ("uniform", "workload")
+
+#: Workload patterns the generator samples from (every registered generator
+#: family; trace replay is covered separately because it needs a source).
+_PATTERN_NAMES = ("uniform", "skewed-moe", "block-diagonal", "zipf", "sparse", "self-only")
+
+_UNIFORM_SIZES = (1, 2, 3, 4, 8, 16, 64, 256, 1024, 4096)
+_WORKLOAD_SIZES = (1, 4, 16, 64, 256)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-specified conformance scenario (picklable, hashable by digest)."""
+
+    #: The integer seed that regenerates this scenario exactly.
+    seed: int
+    #: System preset name, or ``"random"`` for a sampled tiny-cluster variant.
+    system: str
+    cluster: Cluster
+    num_nodes: int
+    ppn: int
+    #: ``"uniform"`` (MPI_Alltoall) or ``"workload"`` (MPI_Alltoallv).
+    family: str
+    #: Per-destination bytes of a uniform scenario (None for workloads).
+    msg_bytes: int | None
+    #: Traffic matrix of a workload scenario (None for uniform).
+    matrix: TrafficMatrix | None
+    #: Sampled aggregation/leader group size (a divisor of ``ppn``).
+    group_size: int
+    #: Sampled inner exchange for the hierarchical/aggregating algorithms.
+    inner: str
+
+    def __post_init__(self) -> None:
+        if self.family not in _FAMILIES:
+            raise ConfigurationError(f"unknown scenario family {self.family!r}")
+        if (self.msg_bytes is None) == (self.matrix is None):
+            raise ConfigurationError("a scenario needs exactly one of msg_bytes and matrix")
+        if self.matrix is not None and self.matrix.nprocs != self.num_nodes * self.ppn:
+            raise ConfigurationError(
+                f"scenario matrix describes {self.matrix.nprocs} ranks but the "
+                f"placement has {self.num_nodes * self.ppn}"
+            )
+
+    # -- derived views -------------------------------------------------------
+    @property
+    def nprocs(self) -> int:
+        return self.num_nodes * self.ppn
+
+    @property
+    def pattern(self) -> str:
+        """Traffic-pattern name (``"uniform"`` for the uniform family)."""
+        return "uniform" if self.matrix is None else self.matrix.pattern
+
+    def process_map(self) -> ProcessMap:
+        return ProcessMap(self.cluster, ppn=self.ppn, num_nodes=self.num_nodes)
+
+    # -- identity ------------------------------------------------------------
+    def payload(self) -> dict:
+        """Plain-JSON description; the sole basis of :meth:`digest`."""
+        return {
+            "version": SCENARIO_VERSION,
+            "seed": self.seed,
+            "system": self.system,
+            "cluster": cluster_payload(self.cluster),
+            "num_nodes": self.num_nodes,
+            "ppn": self.ppn,
+            "family": self.family,
+            "msg_bytes": self.msg_bytes,
+            "pattern": self.pattern,
+            "matrix": None if self.matrix is None else self.matrix.bytes.tolist(),
+            "group_size": self.group_size,
+            "inner": self.inner,
+        }
+
+    def canonical(self) -> str:
+        return json.dumps(self.payload(), sort_keys=True, separators=(",", ":"))
+
+    def digest(self) -> str:
+        """Stable hex digest identifying the scenario (golden-corpus key)."""
+        return sha256(self.canonical().encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        traffic = (
+            f"{self.msg_bytes} B uniform"
+            if self.msg_bytes is not None
+            else f"{self.pattern} ({self.matrix.total_bytes} B total)"
+        )
+        return (
+            f"seed {self.seed}: {traffic} on {self.cluster.name} "
+            f"({self.num_nodes} nodes x {self.ppn} ppn, group={self.group_size}, "
+            f"inner={self.inner})"
+        )
+
+
+class ScenarioGenerator:
+    """Samples reproducible random scenarios across the cluster x traffic space.
+
+    Parameters
+    ----------
+    max_ranks:
+        Upper bound on ``nodes * ppn``.  The differential runner simulates
+        every applicable algorithm per scenario, so scenarios stay small
+        enough that a 25-scenario CI sweep completes in seconds.
+    """
+
+    def __init__(self, max_ranks: int = 24) -> None:
+        if max_ranks < 1:
+            raise ConfigurationError(f"max_ranks must be positive, got {max_ranks}")
+        self.max_ranks = max_ranks
+
+    # -- public API ----------------------------------------------------------
+    def scenario(self, seed: int) -> Scenario:
+        """The scenario of one integer seed (pure: same seed, same scenario)."""
+        rng = random.Random(f"repro-verify:{seed}")
+        cluster, system = self._sample_cluster(rng)
+        num_nodes, ppn = self._sample_shape(rng, cluster)
+        group_size = rng.choice(divisors(ppn))
+        inner = rng.choice(["pairwise", "nonblocking"])
+        if rng.random() < 0.4:
+            return Scenario(
+                seed=seed, system=system, cluster=cluster, num_nodes=num_nodes,
+                ppn=ppn, family="uniform", msg_bytes=rng.choice(_UNIFORM_SIZES),
+                matrix=None, group_size=group_size, inner=inner,
+            )
+        matrix = self._sample_matrix(rng, num_nodes * ppn)
+        return Scenario(
+            seed=seed, system=system, cluster=cluster, num_nodes=num_nodes,
+            ppn=ppn, family="workload", msg_bytes=None, matrix=matrix,
+            group_size=group_size, inner=inner,
+        )
+
+    def scenarios(self, base_seed: int, count: int) -> list[Scenario]:
+        """Scenarios of the consecutive seeds ``base_seed .. base_seed + count - 1``.
+
+        Consecutive seeding keeps the reproduction contract trivial: scenario
+        ``i`` of ``verify --seed S --count N`` is exactly
+        ``verify --seed S+i --count 1``.
+        """
+        if count < 1:
+            raise ConfigurationError(f"count must be positive, got {count}")
+        return [self.scenario(base_seed + i) for i in range(count)]
+
+    # -- sampling ------------------------------------------------------------
+    def _sample_cluster(self, rng: random.Random) -> tuple[Cluster, str]:
+        roll = rng.random()
+        if roll < 0.5:
+            # Randomized node architecture: exercises NUMA/socket boundaries
+            # the fixed presets never hit.
+            cluster = tiny_cluster(
+                num_nodes=4,
+                sockets=rng.choice([1, 2]),
+                numa_per_socket=rng.choice([1, 2]),
+                cores_per_numa=rng.choice([1, 2, 3, 4]),
+            )
+            return cluster, "random"
+        name = rng.choice(["tiny", "dane", "amber", "tuolomne"])
+        return get_system(name, 4), name
+
+    def _sample_shape(self, rng: random.Random, cluster: Cluster) -> tuple[int, int]:
+        choices = [
+            (nodes, ppn)
+            for nodes in range(1, cluster.num_nodes + 1)
+            for ppn in range(1, min(cluster.cores_per_node, 8) + 1)
+            if nodes * ppn <= self.max_ranks
+        ]
+        return rng.choice(choices)
+
+    def _sample_matrix(self, rng: random.Random, nprocs: int) -> TrafficMatrix:
+        name = rng.choice(_PATTERN_NAMES)
+        msg_bytes = rng.choice(_WORKLOAD_SIZES)
+        sub_seed = rng.randrange(2**31)
+        options: dict = {}
+        if name == "skewed-moe":
+            options = {
+                "concentration": rng.choice([1.0, 2.0, 4.0, 8.0]),
+                "hot_fraction": rng.choice([0.1, 0.25, 0.5]),
+                "jitter": rng.choice([0.0, 0.25]),
+                "seed": sub_seed,
+            }
+        elif name == "block-diagonal":
+            options = {
+                "group_size": rng.choice(divisors(nprocs)),
+                "remote_bytes": rng.choice([0, 1, 8]),
+            }
+        elif name == "zipf":
+            # Exponents up to 4 give the "highly skewed" degenerate shape:
+            # all but each source's favourite destination round down to zero.
+            options = {"exponent": rng.choice([0.8, 1.2, 2.5, 4.0]), "seed": sub_seed}
+        elif name == "sparse":
+            options = {"out_degree": rng.choice([1, 2, 4]), "seed": sub_seed}
+        matrix = make_pattern(name, nprocs, msg_bytes, **options)
+        # Degenerate post-op: zero out random send rows (possibly all of
+        # them) — ranks that participate but contribute no bytes.
+        if rng.random() < 0.25:
+            rows = rng.sample(range(nprocs), rng.randint(1, nprocs))
+            matrix = matrix.with_zero_rows(rows)
+        return matrix

@@ -39,6 +39,7 @@ from repro.workloads.generators import (
     from_trace,
     list_patterns,
     make_pattern,
+    self_only,
     skewed_moe,
     sparse,
     uniform,
@@ -55,6 +56,7 @@ __all__ = [
     "block_diagonal",
     "zipf",
     "sparse",
+    "self_only",
     "from_trace",
     "make_pattern",
     "list_patterns",

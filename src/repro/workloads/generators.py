@@ -38,6 +38,7 @@ __all__ = [
     "block_diagonal",
     "zipf",
     "sparse",
+    "self_only",
     "from_trace",
     "PATTERNS",
     "make_pattern",
@@ -177,6 +178,20 @@ def sparse(
     return TrafficMatrix(matrix, pattern="sparse")
 
 
+def self_only(nprocs: int, msg_bytes: int) -> TrafficMatrix:
+    """Purely diagonal traffic: every rank sends ``msg_bytes`` only to itself.
+
+    The degenerate limit of locality: no bytes ever leave a rank, so every
+    algorithm must reduce to a local copy.  Exercised by the conformance
+    fuzzer (:mod:`repro.verify`) because self-blocks follow a different code
+    path (``LocalCopy``) than real messages in every exchange kernel.
+    """
+    _check_args(nprocs, msg_bytes)
+    return TrafficMatrix(
+        np.diag(np.full(nprocs, msg_bytes, dtype=np.int64)), pattern="self-only"
+    )
+
+
 def from_trace(source) -> TrafficMatrix:
     """Replay a recorded trace (path, JSON string, dict or record list).
 
@@ -195,6 +210,7 @@ PATTERNS: dict[str, Callable[..., TrafficMatrix]] = {
     "block-diagonal": block_diagonal,
     "zipf": zipf,
     "sparse": sparse,
+    "self-only": self_only,
 }
 
 

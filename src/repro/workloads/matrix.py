@@ -161,6 +161,23 @@ class TrafficMatrix:
             raise ConfigurationError(f"scale factor must be positive, got {factor}")
         return TrafficMatrix(self.bytes * int(factor), pattern=self.pattern)
 
+    def with_zero_rows(self, rows) -> "TrafficMatrix":
+        """A new matrix with the given source rows zeroed out.
+
+        Degenerate-case helper for conformance fuzzing: an empty send row is
+        a rank that participates in the collective but contributes no bytes,
+        which every v-algorithm must handle without deadlocking or
+        corrupting the packed layout.
+        """
+        zeroed = self.bytes.copy()
+        for row in rows:
+            if not 0 <= row < self.nprocs:
+                raise ConfigurationError(
+                    f"row {row} out of range for a {self.nprocs}-rank matrix"
+                )
+            zeroed[row, :] = 0
+        return TrafficMatrix(zeroed, pattern=f"{self.pattern}+zero-rows")
+
     # -- description -------------------------------------------------------------
     def describe(self) -> str:
         return (

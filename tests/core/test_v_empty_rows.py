@@ -1,0 +1,105 @@
+"""Regression tests: alltoallv with empty send rows, for every v-algorithm.
+
+Edge cases surfaced by the :mod:`repro.verify` scenario generator: matrices
+where some (or all) source rows are entirely zero — ranks that participate
+in the collective but contribute no bytes.  Every v-capable algorithm
+configuration must deliver the exact reference transposition for these, and
+the check must go through :mod:`repro.core.validation` (the
+``validate=True`` path of ``run_workload`` plus the explicit oracle), not
+just through the pairwise kernel's internal buffer checks.
+
+The same sweep pinned down a related 0-byte landmine: the repack helpers
+crashed on ``block == 0`` buffers (fixed in ``core/alltoall/repack.py``,
+regression-tested in ``tests/properties/test_repack_partition_random.py``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import run_workload
+from repro.core.validation import expected_workload_result, validate_workload_results
+from repro.machine import ProcessMap, tiny_cluster
+from repro.utils.partition import divisors
+from repro.workloads import TrafficMatrix, self_only, uniform
+
+
+def _pmap(num_nodes=2, ppn=4) -> ProcessMap:
+    return ProcessMap(tiny_cluster(num_nodes=num_nodes), ppn=ppn, num_nodes=num_nodes)
+
+
+def _v_configurations(ppn: int):
+    """Every v-capable algorithm configuration valid for ``ppn``."""
+    configs = [("pairwise", {}), ("nonblocking", {}), ("node-aware", {})]
+    for group in divisors(ppn):
+        for inner in ("pairwise", "nonblocking"):
+            configs.append(("node-aware", {"procs_per_group": group, "inner": inner}))
+    return configs
+
+
+def _empty_row_matrices(nprocs: int) -> list[TrafficMatrix]:
+    rng = np.random.default_rng(2025)
+    dense = rng.integers(0, 48, size=(nprocs, nprocs))
+    return [
+        uniform(nprocs, 16).with_zero_rows([0]),                  # one silent source
+        uniform(nprocs, 16).with_zero_rows(range(nprocs // 2)),   # half the sources silent
+        uniform(nprocs, 16).with_zero_rows(range(nprocs)),        # nothing moves at all
+        TrafficMatrix(dense).with_zero_rows([1, nprocs - 1]),     # irregular + silent rows
+    ]
+
+
+class TestEmptySendRowsEveryAlgorithm:
+    @pytest.mark.parametrize("algorithm,options", _v_configurations(4))
+    def test_empty_rows_validate_for_every_v_algorithm(self, algorithm, options):
+        pmap = _pmap()
+        for matrix in _empty_row_matrices(pmap.nprocs):
+            outcome = run_workload(algorithm, pmap, matrix, **options)
+            assert outcome.correct, (
+                f"{algorithm}({options}) failed core.validation on {matrix.describe()}"
+            )
+            # Belt and braces: re-run the core.validation oracle directly on
+            # the job's buffers, independent of the runner's own call.
+            counts = matrix.item_counts(np.uint8)
+            assert validate_workload_results(outcome.job.results, counts)
+            for rank, buf in enumerate(outcome.job.results):
+                expected = expected_workload_result(rank, counts, dtype=np.uint8)
+                assert np.array_equal(np.asarray(buf), expected)
+
+    @pytest.mark.parametrize("algorithm,options", _v_configurations(2))
+    def test_empty_rows_on_single_node_and_tiny_groups(self, algorithm, options):
+        pmap = _pmap(num_nodes=1, ppn=2)
+        matrix = uniform(pmap.nprocs, 8).with_zero_rows([1])
+        outcome = run_workload(algorithm, pmap, matrix, **options)
+        assert outcome.correct
+
+    def test_self_only_traffic_with_empty_rows(self):
+        pmap = _pmap()
+        matrix = self_only(pmap.nprocs, 32).with_zero_rows([2, 5])
+        for algorithm, options in _v_configurations(pmap.ppn):
+            outcome = run_workload(algorithm, pmap, matrix, **options)
+            assert outcome.correct, f"{algorithm}({options})"
+
+    def test_empty_column_ranks_receive_empty_buffers(self):
+        """A rank no one sends to must end with a 0-item buffer that still
+        validates (size mismatches raise rather than masquerade)."""
+        pmap = _pmap()
+        bytes_matrix = uniform(pmap.nprocs, 16).bytes.copy()
+        bytes_matrix[:, 3] = 0
+        matrix = TrafficMatrix(bytes_matrix)
+        for algorithm in ("pairwise", "nonblocking", "node-aware"):
+            outcome = run_workload(algorithm, pmap, matrix)
+            assert outcome.correct
+            assert np.asarray(outcome.job.results[3]).size == 0
+
+
+class TestWithZeroRowsHelper:
+    def test_marks_pattern_and_zeroes_rows(self):
+        matrix = uniform(8, 16).with_zero_rows([0, 7])
+        assert matrix.pattern == "uniform+zero-rows"
+        assert matrix.bytes[0].sum() == 0 and matrix.bytes[7].sum() == 0
+        assert matrix.bytes[1].sum() == 16 * 8
+
+    def test_out_of_range_row_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            uniform(4, 16).with_zero_rows([4])

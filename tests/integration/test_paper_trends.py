@@ -6,6 +6,15 @@ analytic model on the Dane/Amber/Tuolomne presets (32 nodes, all cores per
 node); the reduced-scale checks rerun key comparisons through the
 discrete-event simulator to confirm the trends are not an artefact of the
 closed forms.
+
+Flake-risk policy: every input is deterministic — fixed system presets,
+fixed message sizes and node counts, and a deterministic model/simulator
+(any randomness in the stack is behind fixed seeds).  The only residual
+nondeterminism is floating-point jitter when a refactor reorders
+mathematically-equivalent arithmetic (e.g. the summation order inside a
+cost model), which moves results by ULPs, not percents.  Comparisons
+therefore go through the tolerance helpers below instead of raw
+``<``/``==`` on floats; each tolerance documents what it absorbs.
 """
 
 import pytest
@@ -13,10 +22,36 @@ import pytest
 from repro.bench.figures import figure07, figure08, figure09, figure10, figure12, figure14, figure15, figure17, figure18, headline_speedup
 from repro.core import run_alltoall
 from repro.core.instrumentation import PHASE_INTER, PHASE_INTRA
-from repro.machine import ProcessMap, tiny_cluster
+from repro.machine import ProcessMap
 
 
 SIZES = (4, 64, 1024, 4096)
+
+#: Relative slack for strict-trend comparisons (a beats b).  The winning
+#: margins in the paper's regimes are tens of percent; 1e-9 only absorbs
+#: reordered-arithmetic jitter and can never flip a real trend.
+REL_EPS = 1e-9
+
+#: Relative slack for threshold claims (speedup >= 3x).  The modelled
+#: headline speedup clears 3x with margin; the slack again only covers
+#: float jitter, not modelling drift.
+THRESHOLD_EPS = 1e-9
+
+
+def assert_faster(fast: float, slow: float, label: str = "") -> None:
+    """``fast`` beats ``slow`` up to float jitter (strict in exact arithmetic)."""
+    assert fast < slow * (1.0 + REL_EPS), (
+        f"{label}: expected {fast:.6e} s to beat {slow:.6e} s"
+    )
+
+
+def assert_nondecreasing(values, label: str = "") -> None:
+    """Each step may dip below its predecessor only by float jitter."""
+    for i in range(len(values) - 1):
+        assert values[i + 1] >= values[i] * (1.0 - REL_EPS), (
+            f"{label}: value {i + 1} ({values[i + 1]:.6e}) dropped below "
+            f"value {i} ({values[i]:.6e})"
+        )
 
 
 class TestDaneFullScaleTrends:
@@ -27,22 +62,25 @@ class TestDaneFullScaleTrends:
         hierarchical = fig.get("Hierarchical")
         for label in fig.labels():
             if "Processes Per Leader" in label:
-                assert fig.get(label).at(4096).seconds < hierarchical.at(4096).seconds
+                assert_faster(fig.get(label).at(4096).seconds,
+                              hierarchical.at(4096).seconds, label)
 
     def test_fig07_more_leaders_help_large_messages(self):
         """'For large data sizes, performance increases with the number of leaders per node.'"""
         fig = figure07(msg_sizes=SIZES)
-        assert (
-            fig.get("4 Processes Per Leader").at(4096).seconds
-            < fig.get("16 Processes Per Leader").at(4096).seconds
+        assert_faster(
+            fig.get("4 Processes Per Leader").at(4096).seconds,
+            fig.get("16 Processes Per Leader").at(4096).seconds,
+            "fig07 large-message leader trend",
         )
 
     def test_fig07_fewer_leaders_help_small_messages(self):
         """'For smaller data sizes ... fewer leaders are beneficial.'"""
         fig = figure07(msg_sizes=SIZES)
-        assert (
-            fig.get("16 Processes Per Leader").at(4).seconds
-            < fig.get("4 Processes Per Leader").at(4).seconds
+        assert_faster(
+            fig.get("16 Processes Per Leader").at(4).seconds,
+            fig.get("4 Processes Per Leader").at(4).seconds,
+            "fig07 small-message leader trend",
         )
 
     def test_fig08_node_aware_best_at_small_and_mid_sizes(self):
@@ -51,7 +89,9 @@ class TestDaneFullScaleTrends:
         for size in (4, 64):
             for label in fig.labels():
                 if "Processes Per Group" in label:
-                    assert node_aware.at(size).seconds < fig.get(label).at(size).seconds
+                    assert_faster(node_aware.at(size).seconds,
+                                  fig.get(label).at(size).seconds,
+                                  f"fig08 @ {size} B vs {label}")
 
     def test_fig08_locality_aware_wins_at_largest_size(self):
         """The paper's first novel result: locality-aware aggregation wins at 4096 B."""
@@ -62,7 +102,7 @@ class TestDaneFullScaleTrends:
             for label in fig.labels()
             if "Processes Per Group" in label
         )
-        assert best_locality < node_aware
+        assert_faster(best_locality, node_aware, "fig08 locality-aware @ 4096 B")
 
     def test_fig09_mlna_best_at_small_sizes_with_intermediate_leader_count(self):
         """Algorithm 5 beats both of its limits (hierarchical, node-aware) at 4 bytes."""
@@ -70,9 +110,9 @@ class TestDaneFullScaleTrends:
         best_mlna = min(
             fig.get(label).at(4).seconds for label in fig.labels() if "Processes Per Leader" in label
         )
-        assert best_mlna < fig.get("Hierarchical").at(4).seconds
-        assert best_mlna < fig.get("Node-Aware").at(4).seconds
-        assert best_mlna < fig.get("System MPI").at(4).seconds
+        assert_faster(best_mlna, fig.get("Hierarchical").at(4).seconds, "fig09 vs hierarchical")
+        assert_faster(best_mlna, fig.get("Node-Aware").at(4).seconds, "fig09 vs node-aware")
+        assert_faster(best_mlna, fig.get("System MPI").at(4).seconds, "fig09 vs system MPI")
 
     def test_fig10_multileader_node_aware_best_at_small_sizes(self):
         fig = figure10(msg_sizes=SIZES)
@@ -86,23 +126,25 @@ class TestDaneFullScaleTrends:
     def test_fig10_novel_algorithms_beat_system_mpi_at_every_size(self):
         fig = figure10(msg_sizes=SIZES)
         for size in SIZES:
-            assert fig.speedup_over("System MPI", size) > 1.0
+            # The observed speedups are 1.5x-5x; the epsilon only guards the
+            # ratio computation's float jitter, never a real 1.0x tie.
+            assert fig.speedup_over("System MPI", size) > 1.0 * (1.0 - REL_EPS)
 
     def test_headline_up_to_3x_speedup(self):
         """Abstract: 'achieving up to 3x speedup over system MPI at 32 nodes'."""
         summary = headline_speedup(msg_sizes=SIZES)
-        assert summary["best_speedup"] >= 3.0
+        assert summary["best_speedup"] >= 3.0 * (1.0 - THRESHOLD_EPS)
 
     def test_fig11_fig12_times_grow_with_node_count(self):
         for fig in (figure12(node_counts=(2, 8, 32)),):
             for label in fig.labels():
-                ys = fig.get(label).ys()
-                assert ys == sorted(ys), label
+                assert_nondecreasing(fig.get(label).ys(), label)
 
     def test_fig12_node_aware_family_beats_system_mpi_when_scaled(self):
         fig = figure12(node_counts=(2, 8, 32))
-        assert fig.get("Node-Aware").at(32).seconds < fig.get("System MPI").at(32).seconds
-        assert fig.get("Locality-Aware").at(32).seconds < fig.get("System MPI").at(32).seconds
+        system = fig.get("System MPI").at(32).seconds
+        assert_faster(fig.get("Node-Aware").at(32).seconds, system, "fig12 node-aware")
+        assert_faster(fig.get("Locality-Aware").at(32).seconds, system, "fig12 locality-aware")
 
 
 class TestBreakdownTrends:
@@ -113,21 +155,22 @@ class TestBreakdownTrends:
         for size in SIZES:
             inter = fig.get("Inter-Node (Pairwise)").at(size).seconds
             intra = fig.get("Intra-Node (Pairwise)").at(size).seconds
-            assert inter > intra
+            assert_faster(intra, inter, f"fig14 breakdown @ {size} B")
 
     def test_fig15_inter_node_dominates_at_every_node_count(self):
         fig = figure15(node_counts=(2, 8, 32))
         for nodes in (2, 8, 32):
-            assert (
-                fig.get("Inter-Node Alltoall").at(nodes).seconds
-                > fig.get("Intra-Node Alltoall").at(nodes).seconds
+            assert_faster(
+                fig.get("Intra-Node Alltoall").at(nodes).seconds,
+                fig.get("Inter-Node Alltoall").at(nodes).seconds,
+                f"fig15 @ {nodes} nodes",
             )
 
     def test_fig14_intra_node_scales_with_inter_node(self):
         """Section 4.1: 'intra-node communication scales with internode communication'."""
         fig = figure14(msg_sizes=SIZES)
         intra = fig.get("Intra-Node (Pairwise)")
-        assert intra.at(4096).seconds > intra.at(4).seconds
+        assert_faster(intra.at(4).seconds, intra.at(4096).seconds, "fig14 intra scaling")
 
 
 class TestOtherSystems:
@@ -135,19 +178,22 @@ class TestOtherSystems:
         fig = figure17(msg_sizes=SIZES)
         assert fig.best_at(4)[0] == "Multileader + Locality"
         assert fig.best_at(4096)[0] in ("Node-Aware", "Locality-Aware")
-        assert fig.get("Node-Aware").at(1024).seconds < fig.get("System MPI").at(1024).seconds
+        assert_faster(fig.get("Node-Aware").at(1024).seconds,
+                      fig.get("System MPI").at(1024).seconds, "fig17 @ 1024 B")
 
     def test_fig18_tuolomne_system_mpi_is_competitive(self):
         """On Tuolomne the Cray MPICH baseline is much harder to beat (Figure 18)."""
         fig = figure18(msg_sizes=SIZES)
         system = fig.get("System MPI")
         node_aware = fig.get("Node-Aware")
-        # At the largest size the baseline is within ~2x of (or better than)
-        # the best novel algorithm, unlike the ~5x gaps seen on Dane.
+        # The factor-2 headroom *is* the tolerance here: the claim is "within
+        # ~2x of the best novel algorithm, unlike the ~5x gaps on Dane", so
+        # the bound itself carries the slack and needs no extra epsilon.
         best = fig.best_at(4096)[1]
         assert system.at(4096).seconds < 2.0 * best
         # Node-aware remains the best of the novel algorithms at small sizes.
-        assert node_aware.at(4).seconds < fig.get("Locality-Aware").at(4).seconds
+        assert_faster(node_aware.at(4).seconds,
+                      fig.get("Locality-Aware").at(4).seconds, "fig18 @ 4 B")
 
 
 class TestReducedScaleSimulation:
@@ -157,6 +203,8 @@ class TestReducedScaleSimulation:
     use the Dane cost parameters at 8 nodes x 16 ranks — small enough to
     simulate, large enough that the many-core effects (per-node NIC
     serialization, message-count reduction from aggregation) are visible.
+    The simulator is deterministic (no seeds involved), so the REL_EPS
+    helpers cover these comparisons too.
     """
 
     @pytest.fixture(scope="class")
@@ -169,19 +217,19 @@ class TestReducedScaleSimulation:
         """Aggregation removes most per-message overheads of the flat exchange."""
         flat = run_alltoall("pairwise", pmap, msg_bytes=8, keep_job=False, validate=False)
         node_aware = run_alltoall("node-aware", pmap, msg_bytes=8, keep_job=False, validate=False)
-        assert node_aware.elapsed < flat.elapsed
+        assert_faster(node_aware.elapsed, flat.elapsed, "node-aware vs pairwise @ 8 B")
 
     def test_bruck_loses_to_pairwise_for_large_messages(self, pmap):
         """Bruck's extra forwarded volume makes it uncompetitive at 2 KiB (Section 2)."""
         bruck = run_alltoall("bruck", pmap, msg_bytes=2048, keep_job=False, validate=False)
         pairwise = run_alltoall("pairwise", pmap, msg_bytes=2048, keep_job=False, validate=False)
-        assert bruck.elapsed > pairwise.elapsed
+        assert_faster(pairwise.elapsed, bruck.elapsed, "pairwise vs bruck @ 2 KiB")
 
     def test_mlna_beats_hierarchical_for_small_messages(self, pmap):
         hierarchical = run_alltoall("hierarchical", pmap, msg_bytes=8, keep_job=False, validate=False)
         mlna = run_alltoall("multileader-node-aware", pmap, msg_bytes=8, procs_per_leader=4,
                             keep_job=False, validate=False)
-        assert mlna.elapsed < hierarchical.elapsed
+        assert_faster(mlna.elapsed, hierarchical.elapsed, "mlna vs hierarchical @ 8 B")
 
     def test_multileader_beats_single_leader_for_large_messages(self, pmap):
         """Figure 7's large-message trend: more leaders per node help."""
@@ -190,9 +238,10 @@ class TestReducedScaleSimulation:
         multileader = run_alltoall("multileader", pmap, msg_bytes=2048, procs_per_leader=4,
                                    keep_job=False, validate=False)
         node_aware = run_alltoall("node-aware", pmap, msg_bytes=2048, keep_job=False, validate=False)
-        assert multileader.elapsed < hierarchical.elapsed
-        assert node_aware.elapsed < hierarchical.elapsed
+        assert_faster(multileader.elapsed, hierarchical.elapsed, "multileader vs hierarchical")
+        assert_faster(node_aware.elapsed, hierarchical.elapsed, "node-aware vs hierarchical")
 
     def test_node_aware_inter_node_phase_dominates(self, pmap):
         outcome = run_alltoall("node-aware", pmap, msg_bytes=1024, keep_job=False, validate=False)
-        assert outcome.phase_times[PHASE_INTER] > outcome.phase_times[PHASE_INTRA]
+        assert_faster(outcome.phase_times[PHASE_INTRA], outcome.phase_times[PHASE_INTER],
+                      "node-aware phase breakdown")

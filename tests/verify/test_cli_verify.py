@@ -1,0 +1,76 @@
+"""Tests for the ``repro-bench verify`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.verify import VerificationRecord
+from repro.verify.golden import GOLDEN_SEEDS, write_corpus
+
+
+class TestArguments:
+    def test_invalid_count_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "--count", "0"])
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "--jobs", "-2"])
+
+    def test_invalid_max_ranks_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "--max-ranks", "0"])
+
+
+class TestSweep:
+    def test_small_green_sweep_exits_zero(self, capsys):
+        assert main(["verify", "--seed", "2025", "--count", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "3 scenario(s)" in out and "0 scenario(s) failing" in out
+        assert "seed 2025" in out and "seed 2027" in out
+
+    def test_max_ranks_is_honoured(self, capsys):
+        assert main(["verify", "--seed", "1", "--count", "2", "--max-ranks", "4"]) == 0
+
+    def test_failure_exits_nonzero_with_reproducer(self, capsys, monkeypatch):
+        import repro.verify
+
+        def failing_task(task):
+            seed, _max_ranks = task
+            record = VerificationRecord(
+                seed=seed, digest="f" * 64, family="uniform",
+                description="injected", result_hash="0" * 64,
+            )
+            from repro.verify import FailureReport
+
+            record.failures.append(FailureReport(
+                kind="mismatch", seed=seed, digest="f" * 64,
+                algorithm="pairwise", detail="injected failure",
+            ))
+            return record
+
+        monkeypatch.setattr(repro.verify, "verify_task", failing_task)
+        assert main(["verify", "--seed", "5", "--count", "1"]) == 1
+        out = capsys.readouterr().out
+        assert "FAILURE [mismatch]" in out
+        assert "repro-bench verify --seed 5 --count 1" in out
+
+
+class TestGoldenFlag:
+    def test_consistent_corpus_passes(self, tmp_path, capsys):
+        corpus = write_corpus(tmp_path / "corpus.json", GOLDEN_SEEDS[:2])
+        code = main(["verify", "--seed", "2025", "--count", "1",
+                     "--golden", str(corpus)])
+        assert code == 0
+        assert "golden corpus: consistent" in capsys.readouterr().out
+
+    def test_drifted_corpus_fails(self, tmp_path, capsys):
+        corpus = write_corpus(tmp_path / "corpus.json", GOLDEN_SEEDS[:2])
+        data = json.loads(corpus.read_text())
+        data["entries"][0]["digest"] = "0" * 64
+        corpus.write_text(json.dumps(data))
+        code = main(["verify", "--seed", "2025", "--count", "1",
+                     "--golden", str(corpus)])
+        assert code == 1
+        assert "digest changed" in capsys.readouterr().err

@@ -1,0 +1,183 @@
+"""Tests for the differential runner, failure reports and shrinking."""
+
+import numpy as np
+import pytest
+
+from repro.machine.systems import tiny_cluster
+from repro.runtime import SweepExecutor
+from repro.verify import (
+    AlgorithmConfig,
+    DifferentialRunner,
+    Scenario,
+    ScenarioGenerator,
+    format_failure,
+    result_hash,
+    uniform_configurations,
+    verify_seed,
+    verify_task,
+    workload_configurations,
+)
+from repro.workloads import TrafficMatrix, uniform
+
+
+def _scenario(**overrides) -> Scenario:
+    base = dict(
+        seed=11, system="tiny", cluster=tiny_cluster(num_nodes=2), num_nodes=2,
+        ppn=4, family="uniform", msg_bytes=8, matrix=None, group_size=2,
+        inner="pairwise",
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+def _workload_scenario(**overrides) -> Scenario:
+    matrix = overrides.pop("matrix", uniform(8, 16))
+    return _scenario(family="workload", msg_bytes=None, matrix=matrix, **overrides)
+
+
+class TestGreenPath:
+    def test_uniform_scenario_verifies_every_algorithm(self):
+        record = DifferentialRunner().verify(_scenario())
+        assert record.ok
+        assert len(record.verified) == len(uniform_configurations(_scenario()))
+        assert record.skipped == []
+        assert record.result_hash == result_hash(_scenario())
+        assert "ok" in record.summary_line()
+
+    def test_workload_scenario_verifies_every_v_algorithm(self):
+        record = DifferentialRunner().verify(_workload_scenario())
+        assert record.ok
+        assert len(record.verified) == len(workload_configurations(_workload_scenario()))
+
+    def test_degenerate_scenarios_verify(self):
+        zero_rows = uniform(8, 16).with_zero_rows([0, 3, 7])
+        assert DifferentialRunner().verify(_workload_scenario(matrix=zero_rows)).ok
+        all_zero = TrafficMatrix(np.zeros((8, 8), dtype=np.int64))
+        assert DifferentialRunner().verify(_workload_scenario(matrix=all_zero)).ok
+        single = _scenario(
+            cluster=tiny_cluster(num_nodes=1), num_nodes=1, ppn=1, msg_bytes=4,
+            group_size=1,
+        )
+        assert DifferentialRunner().verify(single).ok
+
+    def test_verify_seed_and_task_agree(self):
+        assert verify_seed(2025).digest == verify_task((2025, 24)).digest
+
+    def test_result_hash_tracks_traffic(self):
+        assert result_hash(_scenario()) != result_hash(_scenario(msg_bytes=16))
+
+
+class TestApplicabilityFilter:
+    def test_non_dividing_group_size_is_skipped_not_failed(self):
+        runner = DifferentialRunner()
+        config = AlgorithmConfig.make("locality-aware", procs_per_group=3)
+        failure = runner.check_configuration(_scenario(), config)
+        assert failure is not None and failure.kind == "inapplicable"
+        record = runner.verify(_scenario(group_size=2))
+        assert record.ok  # sampled group sizes always divide, nothing skipped
+
+
+class TestFailureDetection:
+    def _corrupting(self, real):
+        """Wrap a runner entry point to corrupt rank 0's delivered bytes."""
+
+        def run(*args, **kwargs):
+            outcome = real(*args, **kwargs)
+            results = outcome.job.results
+            if results and np.asarray(results[0]).size:
+                np.asarray(results[0])[0] += 1
+            return outcome
+
+        return run
+
+    def test_corrupted_uniform_buffers_reported_and_shrunk(self, monkeypatch):
+        import repro.verify.differential as differential
+
+        monkeypatch.setattr(
+            differential, "run_alltoall", self._corrupting(differential.run_alltoall)
+        )
+        record = DifferentialRunner().verify(_scenario(msg_bytes=8))
+        assert not record.ok
+        failure = record.failures[0]
+        assert failure.kind == "mismatch"
+        assert failure.seed == 11
+        assert "--seed 11 --count 1" in failure.command
+        # Shrinking must reach the smallest scenario that still fails:
+        # 1 node x 1 ppn at 1 byte.
+        assert failure.minimal_payload is not None
+        assert failure.minimal_payload["num_nodes"] == 1
+        assert failure.minimal_payload["ppn"] == 1
+        assert failure.minimal_payload["msg_bytes"] == 1
+        text = format_failure(failure)
+        assert "minimal reproducer" in text and "repro-bench verify" in text
+
+    def test_corrupted_workload_buffers_reported(self, monkeypatch):
+        import repro.verify.differential as differential
+
+        monkeypatch.setattr(
+            differential, "run_workload", self._corrupting(differential.run_workload)
+        )
+        record = DifferentialRunner(shrink=False).verify(_workload_scenario())
+        assert not record.ok
+        assert all(f.kind == "mismatch" for f in record.failures)
+
+    def test_crash_reported_as_error(self, monkeypatch):
+        import repro.verify.differential as differential
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(differential, "run_alltoall", explode)
+        record = DifferentialRunner(shrink=False).verify(_scenario())
+        assert not record.ok
+        assert all(f.kind == "error" for f in record.failures)
+        assert "boom" in record.failures[0].detail
+
+
+class TestTimingSanity:
+    def test_non_monotone_model_reported(self, monkeypatch):
+        import repro.verify.differential as differential
+
+        def shrinking_model(algorithm, pmap, msg_bytes, **options):
+            return 1.0 / msg_bytes  # more bytes, less time: must be flagged
+
+        monkeypatch.setattr(differential, "predict_time", shrinking_model)
+        runner = DifferentialRunner(shrink=False)
+        failure = runner.check_configuration(_scenario(), AlgorithmConfig.make("pairwise"))
+        assert failure is not None and failure.kind == "timing"
+        assert "monotone" in failure.detail
+
+    def test_negative_model_time_reported(self, monkeypatch):
+        import repro.verify.differential as differential
+
+        monkeypatch.setattr(differential, "predict_time", lambda *a, **k: -1.0)
+        runner = DifferentialRunner(shrink=False)
+        failure = runner.check_configuration(_scenario(), AlgorithmConfig.make("pairwise"))
+        assert failure is not None and failure.kind == "timing"
+
+    def test_system_mpi_threshold_switch_is_exempt(self):
+        """256 -> 512 B crosses the Bruck/nonblocking switch, where both the
+        model and the simulator are legitimately non-monotone."""
+        runner = DifferentialRunner(shrink=False)
+        scenario = _scenario(msg_bytes=256)
+        assert runner.check_configuration(scenario, AlgorithmConfig.make("system-mpi")) is None
+
+
+class TestExecutorFanOut:
+    def test_parallel_map_matches_serial(self):
+        tasks = [(2025, 24), (2026, 24), (2027, 24), (2028, 24)]
+        serial = [verify_task(task) for task in tasks]
+        with SweepExecutor(jobs=2) as executor:
+            parallel = executor.map(verify_task, tasks)
+        assert parallel == serial
+
+    def test_map_generic_helper(self):
+        with SweepExecutor(jobs=1) as executor:
+            assert executor.map(abs, [-1, 2, -3]) == [1, 2, 3]
+            assert executor.map(abs, []) == []
+
+
+@pytest.mark.parametrize("seed", [1, 17, 333, 90210])
+def test_random_seeds_are_green(seed):
+    """A sample of arbitrary seeds across the sampled space verifies clean."""
+    assert verify_seed(seed).ok

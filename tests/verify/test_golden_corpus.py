@@ -1,0 +1,89 @@
+"""Golden-corpus regression tests: frozen digests and result hashes.
+
+The corpus under ``tests/golden/`` pins what the scenario generator samples
+(digest) and what bytes every conforming algorithm must deliver
+(result_hash) for a fixed seed set.  If either changes, this test fails
+until the corpus is deliberately refreshed with
+``python -m repro.verify.golden refresh`` — delivered bytes cannot drift
+silently.
+"""
+
+import json
+from pathlib import Path
+
+from repro.verify import DifferentialRunner, ScenarioGenerator
+from repro.verify.golden import (
+    DEFAULT_CORPUS_PATH,
+    GOLDEN_SEEDS,
+    build_corpus,
+    check_corpus,
+    write_corpus,
+)
+
+CORPUS = Path(__file__).resolve().parents[1] / "golden" / "verify_corpus.json"
+
+
+class TestCorpusFile:
+    def test_checked_in_corpus_is_current(self):
+        assert CORPUS.exists(), "tests/golden/verify_corpus.json is missing"
+        assert check_corpus(CORPUS) == []
+
+    def test_default_path_points_at_checked_in_corpus(self):
+        assert Path(DEFAULT_CORPUS_PATH) == CORPUS
+
+    def test_corpus_covers_both_families(self):
+        entries = json.loads(CORPUS.read_text())["entries"]
+        assert {entry["seed"] for entry in entries} == set(GOLDEN_SEEDS)
+        assert {entry["family"] for entry in entries} == {"uniform", "workload"}
+
+
+class TestCorpusMechanics:
+    def test_build_is_deterministic(self):
+        assert build_corpus(GOLDEN_SEEDS[:4]) == build_corpus(GOLDEN_SEEDS[:4])
+
+    def test_tampered_result_hash_detected(self, tmp_path):
+        target = tmp_path / "corpus.json"
+        write_corpus(target, GOLDEN_SEEDS[:3])
+        corpus = json.loads(target.read_text())
+        corpus["entries"][1]["result_hash"] = "0" * 64
+        target.write_text(json.dumps(corpus))
+        problems = check_corpus(target)
+        assert len(problems) == 1 and "result_hash" in problems[0]
+
+    def test_missing_file_reported(self, tmp_path):
+        problems = check_corpus(tmp_path / "nope.json")
+        assert problems and "cannot read" in problems[0]
+
+    def test_malformed_but_valid_json_reported_not_crashed(self, tmp_path):
+        """Valid JSON with the wrong shape (missing keys) must come back as
+        a divergence message, not an uncaught KeyError."""
+        target = tmp_path / "corpus.json"
+        for malformed in (
+            {"version": 1},                                   # no entries
+            {"version": 1, "entries": [{"seed": 2025000}]},   # entry missing keys
+            {"version": 1, "entries": 3},                     # wrong type
+        ):
+            target.write_text(json.dumps(malformed))
+            problems = check_corpus(target)
+            assert problems and "malformed" in problems[0]
+
+    def test_version_drift_reported(self, tmp_path):
+        target = tmp_path / "corpus.json"
+        write_corpus(target, GOLDEN_SEEDS[:2])
+        corpus = json.loads(target.read_text())
+        corpus["version"] = 999
+        target.write_text(json.dumps(corpus))
+        problems = check_corpus(target)
+        assert problems and "version" in problems[0]
+
+
+class TestCorpusScenariosStillConform:
+    def test_first_corpus_scenarios_verify_green(self):
+        """The frozen scenarios are not just hashed — they still pass the
+        full differential check (a slice, to keep the suite fast; the CLI
+        sweep in CI covers volume)."""
+        generator = ScenarioGenerator()
+        runner = DifferentialRunner()
+        for seed in GOLDEN_SEEDS[:3]:
+            record = runner.verify(generator.scenario(seed))
+            assert record.ok, record.failures

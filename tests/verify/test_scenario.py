@@ -1,0 +1,103 @@
+"""Tests for the seeded scenario generator (repro.verify.scenario)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.systems import tiny_cluster
+from repro.verify import Scenario, ScenarioGenerator
+from repro.workloads import uniform
+
+
+def _uniform_scenario(**overrides) -> Scenario:
+    base = dict(
+        seed=7, system="tiny", cluster=tiny_cluster(num_nodes=2), num_nodes=2,
+        ppn=4, family="uniform", msg_bytes=16, matrix=None, group_size=2,
+        inner="pairwise",
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+class TestScenario:
+    def test_needs_exactly_one_traffic_description(self):
+        with pytest.raises(ConfigurationError):
+            _uniform_scenario(msg_bytes=None)
+        with pytest.raises(ConfigurationError):
+            _uniform_scenario(matrix=uniform(8, 4))
+
+    def test_matrix_shape_must_match_placement(self):
+        with pytest.raises(ConfigurationError):
+            _uniform_scenario(msg_bytes=None, matrix=uniform(4, 16), family="workload")
+
+    def test_digest_is_stable_and_shape_sensitive(self):
+        assert _uniform_scenario().digest() == _uniform_scenario().digest()
+        assert _uniform_scenario().digest() != _uniform_scenario(msg_bytes=32).digest()
+        assert _uniform_scenario().digest() != replace(_uniform_scenario(), ppn=2).digest()
+
+    def test_describe_mentions_seed_and_shape(self):
+        text = _uniform_scenario().describe()
+        assert "seed 7" in text and "2 nodes x 4 ppn" in text and "16 B" in text
+
+    def test_workload_pattern_surfaces(self):
+        scenario = _uniform_scenario(
+            family="workload", msg_bytes=None, matrix=uniform(8, 4)
+        )
+        assert scenario.pattern == "uniform"
+        assert scenario.nprocs == 8
+
+
+class TestScenarioGenerator:
+    def test_same_seed_same_scenario(self):
+        generator = ScenarioGenerator()
+        assert generator.scenario(2025).digest() == generator.scenario(2025).digest()
+        assert (
+            ScenarioGenerator().scenario(123).canonical()
+            == ScenarioGenerator().scenario(123).canonical()
+        )
+
+    def test_consecutive_seed_contract(self):
+        """Scenario i of (base, count) is exactly the scenario of seed base+i."""
+        generator = ScenarioGenerator()
+        batch = generator.scenarios(500, 5)
+        for i, scenario in enumerate(batch):
+            assert scenario.seed == 500 + i
+            assert scenario.digest() == generator.scenario(500 + i).digest()
+
+    def test_seeds_explore_distinct_scenarios(self):
+        generator = ScenarioGenerator()
+        digests = {generator.scenario(seed).digest() for seed in range(100)}
+        assert len(digests) == 100
+
+    def test_respects_max_ranks(self):
+        generator = ScenarioGenerator(max_ranks=6)
+        for seed in range(50):
+            assert generator.scenario(seed).nprocs <= 6
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioGenerator(max_ranks=0)
+        with pytest.raises(ConfigurationError):
+            ScenarioGenerator().scenarios(0, 0)
+
+    def test_group_size_always_divides_ppn(self):
+        generator = ScenarioGenerator()
+        for seed in range(100):
+            scenario = generator.scenario(seed)
+            assert scenario.ppn % scenario.group_size == 0
+
+    def test_sampled_space_hits_degenerate_shapes(self):
+        """Both families, zero-row matrices, self-only traffic and single-rank
+        jobs must all appear in a modest sample — the degenerate cases are
+        the point of the fuzzing subsystem."""
+        generator = ScenarioGenerator()
+        scenarios = [generator.scenario(seed) for seed in range(400)]
+        families = {s.family for s in scenarios}
+        assert families == {"uniform", "workload"}
+        patterns = {s.pattern for s in scenarios if s.family == "workload"}
+        assert "self-only" in patterns
+        assert any(p.endswith("+zero-rows") for p in patterns)
+        assert any(s.nprocs == 1 for s in scenarios)
+        systems = {s.system for s in scenarios}
+        assert "random" in systems and len(systems) >= 3

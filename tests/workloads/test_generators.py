@@ -114,7 +114,9 @@ class TestSparse:
 
 class TestRegistry:
     def test_all_patterns_listed(self):
-        assert set(list_patterns()) == {"uniform", "skewed-moe", "block-diagonal", "zipf", "sparse"}
+        assert set(list_patterns()) == {
+            "uniform", "skewed-moe", "block-diagonal", "zipf", "sparse", "self-only",
+        }
 
     def test_make_pattern_dispatch(self):
         matrix = make_pattern("block-diagonal", 8, 32, group_size=2)
