@@ -12,7 +12,9 @@ The harness has three layers:
   :func:`headline_speedup`), each returning a
   :class:`~repro.bench.datasets.FigureResult` whose rows mirror the series
   the paper plots;
-* :mod:`repro.bench.reporting` — ASCII/CSV rendering of those results.
+* :mod:`repro.bench.reporting` — ASCII/CSV rendering of those results;
+* :mod:`repro.bench.micro` — hot-path microbenchmarks of the simulator
+  itself (the ``repro-bench perf`` suite behind ``BENCH_simmpi.json``).
 
 The ``benchmarks/`` directory at the repository root contains one
 pytest-benchmark module per figure that simply invokes these functions and

@@ -22,6 +22,10 @@ Installed as the ``repro-bench`` console script (and runnable as
     Differential conformance fuzzing: run every registered algorithm on
     seeded random scenarios, assert byte-identical results against the
     reference, and print a minimal seeded reproducer on any mismatch.
+``perf``
+    Hot-path microbenchmarks of the discrete-event simulator: time the
+    canonical job suite, record/compare the committed ``BENCH_simmpi.json``
+    trajectory, and fail on wall-clock regressions beyond the tolerance.
 """
 
 from __future__ import annotations
@@ -185,6 +189,28 @@ def build_parser() -> argparse.ArgumentParser:
                         help="upper bound on nodes x ppn per sampled scenario")
     verify.add_argument("--golden", default=None, metavar="PATH",
                         help="also check the golden corpus file and fail on drift")
+
+    perf = sub.add_parser(
+        "perf", help="time the simulator hot path on the canonical job suite"
+    )
+    perf.add_argument("--quick", action="store_true",
+                      help="run only the fast subset (the CI smoke set)")
+    perf.add_argument("--repeats", type=int, default=3,
+                      help="fresh runs per point; the best wall-clock is kept")
+    perf.add_argument("--out", default=None, metavar="PATH",
+                      help="write/update the report file (default: the committed "
+                           "BENCH_simmpi.json when recording, none when checking)")
+    perf.add_argument("--check", default=None, metavar="PATH",
+                      help="compare against the committed report instead of "
+                           "recording; exit 1 on any regression beyond --tolerance")
+    perf.add_argument("--tolerance", type=float, default=None,
+                      help="allowed slowdown vs the committed measurement "
+                           "(default 0.25 = 25%%)")
+    perf.add_argument("--record-baseline", action="store_true",
+                      help="write results into the 'baseline' section (done once, "
+                           "pre-optimization) instead of 'current'")
+    perf.add_argument("--label", default=None,
+                      help="free-form label stored with the recorded section")
     return parser
 
 
@@ -410,6 +436,55 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.bench import micro
+
+    if args.repeats < 1:
+        raise SystemExit(f"--repeats must be >= 1, got {args.repeats}")
+    tolerance = micro.DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+    if tolerance < 0.0:
+        raise SystemExit(f"--tolerance must be non-negative, got {args.tolerance}")
+    if args.check is not None and args.record_baseline:
+        raise SystemExit("--check and --record-baseline are mutually exclusive")
+
+    print("calibrating machine speed...", file=sys.stderr)
+    calibration = micro.calibrate()
+    results = micro.run_suite(
+        quick=args.quick, repeats=args.repeats,
+        progress=lambda message: print(message, file=sys.stderr),
+    )
+
+    if args.check is not None:
+        report = micro.load_report(args.check)
+        print(micro.format_results(results, report))
+        problems = micro.compare_results(report, results, calibration, tolerance=tolerance)
+        for problem in problems:
+            print(f"perf regression: {problem}", file=sys.stderr)
+        if args.out is not None:
+            # Persist what this run measured (CI uploads it as an artifact)
+            # without touching the committed sections semantics: the measured
+            # points land in a standalone report file.
+            out = {"schema": 1, "suite": "repro.bench.micro"}
+            micro.merge_results(out, results, calibration,
+                                label=args.label or "check run")
+            micro.write_report(out, args.out)
+        if not problems:
+            print(f"perf check: no regression beyond {tolerance:.0%} "
+                  f"across {len(results)} point(s)")
+        return 1 if problems else 0
+
+    path = args.out if args.out is not None else micro.DEFAULT_REPORT_PATH
+    report = micro.load_report(path)
+    section = "baseline" if args.record_baseline else "current"
+    default_label = "pre-optimization baseline" if args.record_baseline else "recorded run"
+    micro.merge_results(report, results, calibration,
+                        label=args.label or default_label, section=section)
+    micro.write_report(report, path)
+    print(micro.format_results(results, report))
+    print(f"recorded {len(results)} point(s) into the {section!r} section of {path}")
+    return 0
+
+
 _COMMANDS = {
     "systems": _cmd_systems,
     "figures": _cmd_figures,
@@ -417,6 +492,7 @@ _COMMANDS = {
     "select": _cmd_select,
     "workload": _cmd_workload,
     "verify": _cmd_verify,
+    "perf": _cmd_perf,
 }
 
 

@@ -14,7 +14,7 @@ import numpy as np
 from repro.core.alltoall.base import AlltoallAlgorithm, check_alltoall_buffers
 from repro.simmpi.comm import Communicator
 from repro.simmpi.engine import RankContext
-from repro.simmpi.ops import LocalCopy
+from repro.simmpi.ops import LocalCopy, PostRecv, PostSend, Wait
 
 __all__ = ["exchange_nonblocking", "NonblockingAlltoall"]
 
@@ -22,26 +22,40 @@ _TAG = 102
 
 
 def exchange_nonblocking(comm: Communicator, sendbuf: np.ndarray, recvbuf: np.ndarray):
-    """Post-all-then-wait exchange over ``comm`` (generator; also used as an inner exchange)."""
+    """Post-all-then-wait exchange over ``comm`` (generator; also used as an inner exchange).
+
+    Like :func:`~repro.core.alltoall.pairwise.exchange_pairwise`, the body
+    yields the primitive operations directly — same operation sequence as
+    the former ``irecv``/``isend``/``waitall`` calls, one generator frame
+    and one per-step validation less.
+    """
     size, rank = comm.size, comm.rank
     block = check_alltoall_buffers(sendbuf, recvbuf, size)
     send_view = sendbuf.reshape(size, block) if block else sendbuf.reshape(size, 0)
     recv_view = recvbuf.reshape(size, block) if block else recvbuf.reshape(size, 0)
 
+    world = comm.group.world_ranks
+    context_id = comm.context_id
     requests = []
+    # Operations are consumed synchronously by the engine (see
+    # repro.simmpi.ops), so one record per direction is reused across steps.
     # Receives are posted first (and in the order the messages are expected
     # to arrive) to keep the unexpected-message queue short, mirroring the
     # usual MPI implementation guidance.
+    recv_op = PostRecv(0, recvbuf, _TAG, context_id)
     for step in range(1, size):
         source = (rank - step) % size
-        req = yield from comm.irecv(recv_view[source], source=source, tag=_TAG)
-        requests.append(req)
+        recv_op.source = world[source]
+        recv_op.buffer = recv_view[source]
+        requests.append((yield recv_op))
+    send_op = PostSend(0, sendbuf, _TAG, context_id)
     for step in range(1, size):
         dest = (rank + step) % size
-        req = yield from comm.isend(send_view[dest], dest=dest, tag=_TAG)
-        requests.append(req)
+        send_op.dest = world[dest]
+        send_op.payload = send_view[dest]
+        requests.append((yield send_op))
     yield LocalCopy(dest=recv_view[rank], source=send_view[rank])
-    yield from comm.waitall(requests)
+    yield Wait(tuple(requests))
 
 
 class NonblockingAlltoall(AlltoallAlgorithm):
@@ -50,4 +64,6 @@ class NonblockingAlltoall(AlltoallAlgorithm):
     name = "nonblocking"
 
     def run(self, ctx: RankContext, sendbuf: np.ndarray, recvbuf: np.ndarray):
-        yield from exchange_nonblocking(ctx.world, sendbuf, recvbuf)
+        # Returns the exchange generator directly (rather than forwarding it
+        # with ``yield from``) so every operation crosses one frame less.
+        return exchange_nonblocking(ctx.world, sendbuf, recvbuf)

@@ -15,7 +15,7 @@ import numpy as np
 from repro.core.alltoall.base import AlltoallAlgorithm, check_alltoall_buffers
 from repro.simmpi.comm import Communicator
 from repro.simmpi.engine import RankContext
-from repro.simmpi.ops import LocalCopy
+from repro.simmpi.ops import LocalCopy, PostRecv, PostSend, Wait
 
 __all__ = ["exchange_pairwise", "PairwiseAlltoall"]
 
@@ -23,18 +23,42 @@ _TAG = 101
 
 
 def exchange_pairwise(comm: Communicator, sendbuf: np.ndarray, recvbuf: np.ndarray):
-    """Pairwise exchange over ``comm`` (generator; also used as an inner exchange)."""
+    """Pairwise exchange over ``comm`` (generator; also used as an inner exchange).
+
+    The body yields the primitive operations of ``comm.sendrecv`` directly
+    (receive posted first, exactly as ``MPI_Sendrecv`` requires): with
+    O(P^2) sendrecv steps per job this is the simulator's hottest rank
+    program, and flattening it drops one generator frame plus the per-step
+    buffer/rank re-validation, all of which is invariant across steps.
+    """
     size, rank = comm.size, comm.rank
     block = check_alltoall_buffers(sendbuf, recvbuf, size)
     send_view = sendbuf.reshape(size, block) if block else sendbuf.reshape(size, 0)
     recv_view = recvbuf.reshape(size, block) if block else recvbuf.reshape(size, 0)
     yield LocalCopy(dest=recv_view[rank], source=send_view[rank])
+    world = comm.group.world_ranks
+    context_id = comm.context_id
+    # The engine consumes operations synchronously while this generator is
+    # suspended (see repro.simmpi.ops), so the three per-step records can be
+    # reused across all P-1 steps instead of allocated anew.
+    recv_op = PostRecv(0, recvbuf, _TAG, context_id)
+    send_op = PostSend(0, sendbuf, _TAG, context_id)
+    wait_op = Wait(())
     for step in range(1, size):
-        dest = (rank + step) % size
-        source = (rank - step) % size
-        yield from comm.sendrecv(
-            send_view[dest], dest, recv_view[source], source, sendtag=_TAG, recvtag=_TAG
-        )
+        dest = rank + step
+        if dest >= size:
+            dest -= size
+        source = rank - step
+        if source < 0:
+            source += size
+        recv_op.source = world[source]
+        recv_op.buffer = recv_view[source]
+        recv_req = yield recv_op
+        send_op.dest = world[dest]
+        send_op.payload = send_view[dest]
+        send_req = yield send_op
+        wait_op.requests = (recv_req, send_req)
+        yield wait_op
 
 
 class PairwiseAlltoall(AlltoallAlgorithm):
@@ -43,4 +67,6 @@ class PairwiseAlltoall(AlltoallAlgorithm):
     name = "pairwise"
 
     def run(self, ctx: RankContext, sendbuf: np.ndarray, recvbuf: np.ndarray):
-        yield from exchange_pairwise(ctx.world, sendbuf, recvbuf)
+        # Returns the exchange generator directly (rather than forwarding it
+        # with ``yield from``) so every operation crosses one frame less.
+        return exchange_pairwise(ctx.world, sendbuf, recvbuf)

@@ -98,12 +98,18 @@ class AlltoallOutcome:
 
 
 def alltoall_program(ctx, algorithm: AlltoallAlgorithm, block_items: int, dtype):
-    """Rank program that builds buffers, runs ``algorithm`` and stores the result."""
+    """Rank program that builds buffers, runs ``algorithm`` and stores the result.
+
+    The receive buffer is exposed as the rank result up front (the exchange
+    fills it in place) and the algorithm's generator is returned directly:
+    a ``yield from`` wrapper here would put one more frame under every
+    simulated operation.
+    """
     nprocs = ctx.nprocs
     sendbuf = make_alltoall_sendbuf(ctx.rank, nprocs, block_items, dtype=dtype)
     recvbuf = np.zeros(nprocs * block_items, dtype=dtype)
-    yield from algorithm.run(ctx, sendbuf, recvbuf)
     ctx.result = recvbuf
+    return algorithm.run(ctx, sendbuf, recvbuf)
 
 
 def run_alltoall(
@@ -234,11 +240,16 @@ class WorkloadOutcome:
 
 
 def workload_program(ctx, algorithm: AlltoallvAlgorithm, counts: np.ndarray, dtype):
-    """Rank program that builds packed v-buffers, runs ``algorithm`` and stores the result."""
+    """Rank program that builds packed v-buffers, runs ``algorithm`` and stores the result.
+
+    Like :func:`alltoall_program`, the receive buffer is published as the
+    rank result up front and the algorithm's generator is returned without
+    a delegating frame.
+    """
     sendbuf = make_workload_sendbuf(ctx.rank, counts, dtype=dtype)
     recvbuf = np.zeros(int(counts[:, ctx.rank].sum()), dtype=dtype)
-    yield from algorithm.run(ctx, counts, sendbuf, recvbuf)
     ctx.result = recvbuf
+    return algorithm.run(ctx, counts, sendbuf, recvbuf)
 
 
 def run_workload(

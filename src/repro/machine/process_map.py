@@ -98,15 +98,34 @@ class ProcessMap:
         """Socket index of ``rank`` within its node."""
         return self.node_arch.socket_of_core(self.core_of(rank))
 
+    @cached_property
+    def _pair_locality(self) -> dict[tuple[int, int], LocalityLevel]:
+        """Memo table behind :meth:`locality` (one entry per queried pair).
+
+        The simulator resolves the locality of every simulated message; the
+        level of a pair is a pure function of the (frozen) placement, so the
+        at-most-``nprocs^2`` results are cached instead of re-deriving node
+        and core indices per message.
+        """
+        return {}
+
     def locality(self, rank_a: int, rank_b: int) -> LocalityLevel:
         """Locality level between two ranks."""
-        self._check_rank(rank_a)
-        self._check_rank(rank_b)
-        if rank_a == rank_b:
-            return LocalityLevel.SELF
-        if self.node_of(rank_a) != self.node_of(rank_b):
-            return LocalityLevel.NETWORK
-        return self.node_arch.core_locality(self.core_of(rank_a), self.core_of(rank_b))
+        key = (rank_a, rank_b)
+        level = self._pair_locality.get(key)
+        if level is None:
+            ppn = self.ppn
+            if not (0 <= rank_a < self.nprocs and 0 <= rank_b < self.nprocs):
+                self._check_rank(rank_a)
+                self._check_rank(rank_b)
+            if rank_a == rank_b:
+                level = LocalityLevel.SELF
+            elif rank_a // ppn != rank_b // ppn:
+                level = LocalityLevel.NETWORK
+            else:
+                level = self.node_arch.core_locality(rank_a % ppn, rank_b % ppn)
+            self._pair_locality[key] = level
+        return level
 
     def same_node(self, rank_a: int, rank_b: int) -> bool:
         return self.node_of(rank_a) == self.node_of(rank_b)

@@ -4,13 +4,17 @@ Events are ``(time, sequence)`` ordered: two events scheduled for the same
 instant are processed in the order they were scheduled, which keeps the
 simulation fully deterministic (there is no randomness anywhere in the
 engine).
+
+:class:`Simulator` no longer routes its hot path through this module — it
+keeps a bare tuple heap internally (see :mod:`repro.netsim.simulator`) —
+but the queue remains the public standalone primitive for tooling and
+tests that want explicit :class:`Event` records.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import SimulationError
@@ -18,20 +22,36 @@ from repro.errors import SimulationError
 __all__ = ["Event", "EventQueue"]
 
 
-@dataclass(order=True, frozen=True)
 class Event:
     """A scheduled callback.
 
     The callback takes no arguments; any state it needs must be bound via a
-    closure or :func:`functools.partial` at scheduling time.
+    closure or :func:`functools.partial` at scheduling time.  Events order
+    by ``(time, seq)``; the callback never participates in comparisons.
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
+    __slots__ = ("time", "seq", "callback")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
 
     def fire(self) -> None:
         self.callback()
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.time == other.time and self.seq == other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Event t={self.time} seq={self.seq}>"
 
 
 class EventQueue:

@@ -62,7 +62,13 @@ class SerialResource:
 
 @dataclass
 class ThroughputTracker:
-    """Accumulates message and byte counts crossing a resource or level."""
+    """Accumulates message and byte counts crossing a resource or level.
+
+    ``per_key`` maps a key to a **mutable** ``[messages, bytes]`` pair so
+    the steady state of a record is two in-place increments (the simulated
+    message router inlines exactly this); consumers wanting an immutable
+    view normalise with ``tuple(counts)``.
+    """
 
     name: str = "traffic"
     messages: int = 0
@@ -75,20 +81,28 @@ class ThroughputTracker:
         self.messages += 1
         self.total_bytes += nbytes
         if key is not None:
-            msgs, byts = self.per_key.get(key, (0, 0))
-            self.per_key[key] = (msgs + 1, byts + nbytes)
+            counts = self.per_key.get(key)
+            if counts is None:
+                self.per_key[key] = [1, nbytes]
+            else:
+                counts[0] += 1
+                counts[1] += nbytes
 
     def merge(self, other: "ThroughputTracker") -> None:
         self.messages += other.messages
         self.total_bytes += other.total_bytes
         for key, (msgs, byts) in other.per_key.items():
-            m, b = self.per_key.get(key, (0, 0))
-            self.per_key[key] = (m + msgs, b + byts)
+            counts = self.per_key.get(key)
+            if counts is None:
+                self.per_key[key] = [msgs, byts]
+            else:
+                counts[0] += msgs
+                counts[1] += byts
 
     def as_dict(self) -> dict:
         return {
             "name": self.name,
             "messages": self.messages,
             "bytes": self.total_bytes,
-            "per_key": dict(self.per_key),
+            "per_key": {key: tuple(counts) for key, counts in self.per_key.items()},
         }

@@ -3,28 +3,47 @@
 The simulator is deliberately tiny: a clock, an event queue and a run loop.
 All semantics (processes, messages, matching) are layered on top by
 :mod:`repro.simmpi.engine`, which schedules plain callbacks here.
+
+The queue is a bare heap of ``(time, seq, fn, a, b)`` tuples: tuple
+comparison is native, ties are broken by the scheduling sequence number
+(keeping the simulation fully deterministic), and binding the callback's
+two argument slots directly into the heap entry removes both the
+per-event ``functools.partial`` allocation the engine used to pay on
+every step and the ``*args`` tuple of a generic variadic design.  Calls
+with other arities are routed through a tiny trampoline.
 """
 
 from __future__ import annotations
 
 import math
+from heapq import heappop, heappush
 from typing import Callable
 
 from repro.errors import SimulationError
-from repro.netsim.events import EventQueue
 
 __all__ = ["Simulator"]
+
+
+def _call_nullary(callback, _unused) -> None:
+    callback()
+
+
+def _call_variadic(fn, args) -> None:
+    fn(*args)
 
 
 class Simulator:
     """Minimal deterministic discrete-event simulator."""
 
+    __slots__ = ("_heap", "_now", "_processed", "_max_events", "_running", "_next_seq")
+
     def __init__(self, *, max_events: int = 200_000_000) -> None:
-        self._queue = EventQueue()
+        self._heap: list[tuple] = []
         self._now = 0.0
         self._processed = 0
         self._max_events = max_events
         self._running = False
+        self._next_seq = 0
 
     # -- clock ------------------------------------------------------------
     @property
@@ -38,11 +57,11 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        return len(self._queue)
+        return len(self._heap)
 
     # -- scheduling ---------------------------------------------------------
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` at absolute time ``time`` (>= now).
+    def schedule_call(self, time: float, fn: Callable, *args) -> None:
+        """Schedule ``fn(*args)`` at absolute time ``time`` (>= now).
 
         The past-scheduling guard tolerates rounding error *relative* to the
         current clock: an absolute tolerance would drop below one float ulp
@@ -51,18 +70,42 @@ class Simulator:
         window stays at a few ulps so genuinely mis-computed past times
         still raise.
         """
-        tolerance = max(1e-18, 4.0 * math.ulp(self._now))
-        if time < self._now - tolerance:
-            raise SimulationError(
-                f"cannot schedule an event in the past (now={self._now}, requested={time})"
-            )
-        self._queue.push(max(time, self._now), callback)
+        now = self._now
+        if time < now:
+            tolerance = max(1e-18, 4.0 * math.ulp(now))
+            if time < now - tolerance:
+                raise SimulationError(
+                    f"cannot schedule an event in the past (now={now}, requested={time})"
+                )
+            time = now
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        if len(args) == 2:
+            heappush(self._heap, (time, seq, fn, args[0], args[1]))
+        else:
+            heappush(self._heap, (time, seq, _call_variadic, fn, args))
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule a no-argument ``callback`` at absolute time ``time`` (>= now)."""
+        now = self._now
+        if time < now:
+            tolerance = max(1e-18, 4.0 * math.ulp(now))
+            if time < now - tolerance:
+                raise SimulationError(
+                    f"cannot schedule an event in the past (now={now}, requested={time})"
+                )
+            time = now
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        heappush(self._heap, (time, seq, _call_nullary, callback, None))
 
     def schedule_after(self, delay: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` ``delay`` seconds from now."""
         if delay < 0.0:
             raise SimulationError(f"delay must be non-negative, got {delay}")
-        self._queue.push(self._now + delay, callback)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        heappush(self._heap, (self._now + delay, seq, _call_nullary, callback, None))
 
     # -- run loop -----------------------------------------------------------
     def run(self, until: float | None = None) -> float:
@@ -75,26 +118,31 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run() called re-entrantly from an event callback")
         self._running = True
+        heap = self._heap
+        max_events = self._max_events
+        processed = self._processed
         try:
-            while self._queue:
-                if until is not None and self._queue.peek_time() > until:
+            while heap:
+                if until is not None and heap[0][0] > until:
                     self._now = until
                     break
-                event = self._queue.pop()
-                self._now = event.time
-                self._processed += 1
-                if self._processed > self._max_events:
+                time, _seq, fn, a, b = heappop(heap)
+                self._now = time
+                processed += 1
+                if processed > max_events:
                     raise SimulationError(
-                        f"simulation exceeded {self._max_events} events; "
+                        f"simulation exceeded {max_events} events; "
                         "likely a livelock in the simulated program"
                     )
-                event.fire()
+                fn(a, b)
         finally:
             self._running = False
+            self._processed = processed
         return self._now
 
     def reset(self) -> None:
         """Discard all pending events and rewind the clock (used between runs)."""
-        self._queue = EventQueue()
+        self._heap = []
         self._now = 0.0
         self._processed = 0
+        self._next_seq = 0

@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.errors import BufferSizeError, CommunicatorError
 from repro.simmpi.datatypes import MAX_USER_TAG
-from repro.simmpi.ops import LocalCopy
+from repro.simmpi.ops import LocalCopy, PostRecv, PostSend, Wait
 
 __all__ = [
     "barrier",
@@ -315,21 +315,29 @@ def alltoallv(comm, sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls):
             dest=recvbuf[rdispls[rank]: rdispls[rank] + recvcounts[rank]],
             source=sendbuf[sdispls[rank]: sdispls[rank] + sendcounts[rank]],
         )
+    # The step loop yields the primitive operations directly (the op sequence
+    # of the former irecv/isend/waitall calls): this is the hot path of every
+    # non-uniform workload simulation, and the per-step buffer checks and
+    # rank translation are loop-invariant.
+    world = comm.group.world_ranks
+    context_id = comm.context_id
     for step in range(1, size):
         dest = (rank + step) % size
         source = (rank - step) % size
         requests = []
         if recvcounts[source]:
-            req = yield from comm.irecv(
+            req = yield PostRecv(
+                world[source],
                 recvbuf[rdispls[source]: rdispls[source] + recvcounts[source]],
-                source=source, tag=TAG_ALLTOALLV,
+                TAG_ALLTOALLV, context_id,
             )
             requests.append(req)
         if sendcounts[dest]:
-            req = yield from comm.isend(
+            req = yield PostSend(
+                world[dest],
                 sendbuf[sdispls[dest]: sdispls[dest] + sendcounts[dest]],
-                dest=dest, tag=TAG_ALLTOALLV,
+                TAG_ALLTOALLV, context_id,
             )
             requests.append(req)
         if requests:
-            yield from comm.waitall(requests)
+            yield Wait(tuple(requests))

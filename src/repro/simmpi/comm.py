@@ -37,14 +37,20 @@ _TAG_SPLIT = MAX_USER_TAG + 64
 class Communicator:
     """Per-rank handle onto a group of simulated processes."""
 
-    __slots__ = ("_allocator", "group", "context_id", "_my_world_rank", "rank")
+    __slots__ = ("_allocator", "group", "context_id", "_my_world_rank", "rank",
+                 "_world_ranks")
 
-    def __init__(self, allocator, world_ranks: Sequence[int], my_world_rank: int, context_id: int) -> None:
+    def __init__(self, allocator, world_ranks: Sequence[int] | Group,
+                 my_world_rank: int, context_id: int) -> None:
         self._allocator = allocator
-        self.group = Group(tuple(world_ranks))
+        # Groups are immutable value objects: every member rank of a
+        # communicator shares one instance (built once by the allocator)
+        # instead of re-validating an identical tuple per rank.
+        self.group = world_ranks if isinstance(world_ranks, Group) else Group(tuple(world_ranks))
         self._my_world_rank = my_world_rank
         self.context_id = context_id
         self.rank = self.group.rank_of(my_world_rank)
+        self._world_ranks = self.group.world_ranks
 
     # -- basic queries -------------------------------------------------------
     @property
@@ -68,12 +74,18 @@ class Communicator:
     def _translate_dest(self, local_rank: int) -> int:
         if local_rank == PROC_NULL:
             return PROC_NULL
-        return self.group.world_rank(local_rank)
+        ranks = self._world_ranks
+        if 0 <= local_rank < len(ranks):
+            return ranks[local_rank]
+        return self.group.world_rank(local_rank)  # out of range: raises
 
     def _translate_source(self, local_rank: int) -> int:
-        if local_rank in (PROC_NULL, ANY_SOURCE):
+        ranks = self._world_ranks
+        if 0 <= local_rank < len(ranks):
+            return ranks[local_rank]
+        if local_rank == PROC_NULL or local_rank == ANY_SOURCE:
             return local_rank
-        return self.group.world_rank(local_rank)
+        return self.group.world_rank(local_rank)  # out of range: raises
 
     @staticmethod
     def _check_buffer(buf: np.ndarray, name: str) -> np.ndarray:
@@ -85,17 +97,13 @@ class Communicator:
     def isend(self, buf: np.ndarray, dest: int, tag: int = 0):
         """Post a non-blocking send of ``buf`` to ``dest``; resumes with a :class:`Request`."""
         self._check_buffer(buf, "send buffer")
-        request = yield PostSend(
-            dest=self._translate_dest(dest), payload=buf, tag=tag, context_id=self.context_id
-        )
+        request = yield PostSend(self._translate_dest(dest), buf, tag, self.context_id)
         return request
 
     def irecv(self, buf: np.ndarray, source: int = ANY_SOURCE, tag: int = ANY_TAG):
         """Post a non-blocking receive into ``buf``; resumes with a :class:`Request`."""
         self._check_buffer(buf, "receive buffer")
-        request = yield PostRecv(
-            source=self._translate_source(source), buffer=buf, tag=tag, context_id=self.context_id
-        )
+        request = yield PostRecv(self._translate_source(source), buf, tag, self.context_id)
         return request
 
     # -- waiting ----------------------------------------------------------------
@@ -110,16 +118,23 @@ class Communicator:
         return statuses
 
     # -- blocking point-to-point ---------------------------------------------------
+    # The blocking/combined calls yield their primitive operations directly
+    # instead of delegating to isend/irecv/wait with ``yield from``: the op
+    # sequence is identical, but the per-call nested generator objects (three
+    # per sendrecv — the hottest call in pairwise exchange) disappear.
+
     def send(self, buf: np.ndarray, dest: int, tag: int = 0):
         """Blocking send (post + wait)."""
-        request = yield from self.isend(buf, dest, tag)
-        yield from self.wait(request)
+        self._check_buffer(buf, "send buffer")
+        request = yield PostSend(self._translate_dest(dest), buf, tag, self.context_id)
+        yield Wait((request,))
 
     def recv(self, buf: np.ndarray, source: int = ANY_SOURCE, tag: int = ANY_TAG):
         """Blocking receive; resumes with the :class:`Status`."""
-        request = yield from self.irecv(buf, source, tag)
-        status = yield from self.wait(request)
-        return status
+        self._check_buffer(buf, "receive buffer")
+        request = yield PostRecv(self._translate_source(source), buf, tag, self.context_id)
+        statuses = yield Wait((request,))
+        return statuses[0]
 
     def sendrecv(
         self,
@@ -135,9 +150,11 @@ class Communicator:
         The receive is posted before the send so two ranks exchanging with
         each other never deadlock, mirroring ``MPI_Sendrecv`` semantics.
         """
-        recv_req = yield from self.irecv(recvbuf, source, recvtag)
-        send_req = yield from self.isend(sendbuf, dest, sendtag)
-        statuses = yield from self.waitall([recv_req, send_req])
+        self._check_buffer(recvbuf, "receive buffer")
+        self._check_buffer(sendbuf, "send buffer")
+        recv_req = yield PostRecv(self._translate_source(source), recvbuf, recvtag, self.context_id)
+        send_req = yield PostSend(self._translate_dest(dest), sendbuf, sendtag, self.context_id)
+        statuses = yield Wait((recv_req, send_req))
         return statuses[0]
 
     # -- collectives -------------------------------------------------------------
@@ -219,7 +236,7 @@ class Communicator:
         context_id = self._allocator.context_for(context_key)
         return Communicator(
             allocator=self._allocator,
-            world_ranks=ranks,
+            world_ranks=self._allocator.group_for(ranks),
             my_world_rank=self._my_world_rank,
             context_id=context_id,
         )

@@ -6,12 +6,20 @@ that yields :mod:`repro.simmpi.ops` operations (usually indirectly, through
 a shared :class:`~repro.netsim.simulator.Simulator`, charging communication
 costs from the machine model, and returns a :class:`JobResult` with per-rank
 results and the simulated elapsed time.
+
+The stepping path is deliberately allocation-lean: operations dispatch on
+their concrete class, continuations are scheduled as ``(fn, args)`` heap
+entries on the simulator heap (no per-step ``functools.partial``), and a blocked
+``Wait`` is represented by a single counter-based :class:`_WaitState`
+instead of a callback list per request.  Diagnostics stay off the hot path:
+the description of what a rank is waiting on is derived lazily, only when a
+deadlock report is actually built.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from functools import partial
+from dataclasses import dataclass
+from heapq import heappush
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -43,6 +51,7 @@ class ContextIdAllocator:
     def __init__(self) -> None:
         self._ids: dict[tuple, int] = {}
         self._next = 1  # id 0 is reserved for the world communicator
+        self._groups: dict[tuple, Any] = {}
 
     def world_context(self) -> int:
         return 0
@@ -54,15 +63,94 @@ class ContextIdAllocator:
             self._next += 1
         return self._ids[key]
 
+    def group_for(self, world_ranks: tuple):
+        """Shared immutable :class:`~repro.simmpi.group.Group` for ``world_ranks``.
 
-@dataclass
+        Every member rank of a communicator builds it from the same rank
+        tuple; validating and materialising the group once per distinct
+        tuple (instead of once per member) removes an O(P^2) setup cost
+        from every job.
+        """
+        group = self._groups.get(world_ranks)
+        if group is None:
+            from repro.simmpi.group import Group
+
+            group = Group(world_ranks)
+            self._groups[world_ranks] = group
+        return group
+
+
 class _RankProcess:
-    rank: int
-    generator: Any
-    local_time: float = 0.0
-    state: str = "ready"  # ready | running | waiting | done | failed
-    finish_time: float | None = None
-    waiting_desc: str = ""
+    """Book-keeping of one simulated rank's generator."""
+
+    __slots__ = ("rank", "generator", "resume", "local_time", "state", "finish_time",
+                 "waiting_on")
+
+    def __init__(self, rank: int, generator: Any) -> None:
+        self.rank = rank
+        self.generator = generator
+        #: ``generator.send`` bound once — the engine resumes the rank on
+        #: every step, and rebinding the method per step costs an allocation.
+        self.resume = generator.send
+        self.local_time = 0.0
+        self.state = "ready"  # ready | waiting | done
+        self.finish_time: float | None = None
+        #: The requests of the ``Wait`` this rank is blocked on (``None``
+        #: while runnable).  Only read when a deadlock report is built.
+        self.waiting_on: Sequence[Request] | None = None
+
+    def waiting_desc(self) -> str:
+        """Lazy description of the blocked wait (deadlock reports only)."""
+        requests = self.waiting_on
+        if not requests:
+            return ""
+        pending = [r for r in requests if not r.completed]
+        kinds = ", ".join(r.kind for r in pending[:8])
+        suffix = "..." if len(pending) > 8 else ""
+        return f"waiting on {len(pending)} of {len(requests)} requests ({kinds}{suffix})"
+
+
+class _WaitState:
+    """Counter-based rendezvous between a blocked rank and its requests.
+
+    One instance per blocking ``Wait``; every pending request points back at
+    it through ``request.waiter``.  The last completion schedules the rank's
+    resume step — no per-request callback lists, no closures.
+    """
+
+    __slots__ = ("engine", "process", "requests", "issue_time", "remaining")
+
+    def __init__(self, engine: "SpmdEngine", process: _RankProcess,
+                 requests: Sequence[Request], issue_time: float) -> None:
+        self.engine = engine
+        self.process = process
+        self.requests = requests
+        self.issue_time = issue_time
+        self.remaining = 0
+
+    def notify(self) -> None:
+        remaining = self.remaining - 1
+        self.remaining = remaining
+        if remaining == 0:
+            engine = self.engine
+            process = self.process
+            requests = self.requests
+            resume_time = self.issue_time
+            statuses = []
+            for request in requests:
+                completion = request.completion_time
+                if completion > resume_time:
+                    resume_time = completion
+                statuses.append(request.status)
+            process.state = "ready"
+            process.waiting_on = None
+            # Every request completes at or after the current simulated time,
+            # so resume_time >= now and the direct heap push (see _schedule
+            # note in SpmdEngine._step) is safe.
+            simulator = engine.simulator
+            seq = simulator._next_seq
+            simulator._next_seq = seq + 1
+            heappush(simulator._heap, (resume_time, seq, engine._bound_step, process, statuses))
 
 
 class RankContext:
@@ -178,6 +266,14 @@ class SpmdEngine:
         self._processes: list[_RankProcess] = []
         self._rank_contexts: list[RankContext] = []
         self._finished = 0
+        params = self.params
+        self._send_overhead = params.send_overhead
+        #: One shared bound method for continuation heap entries — pushing
+        #: ``self._step`` directly would allocate a fresh bound method per
+        #: scheduled event.
+        self._bound_step = self._step
+        self._copy_latency = params.copy_latency
+        self._copy_bandwidth = params.copy_bandwidth
 
     # -- public API ---------------------------------------------------------
     def run(self, program: Callable[..., Any], *args: Any, **kwargs: Any) -> JobResult:
@@ -189,7 +285,7 @@ class SpmdEngine:
             raise SimulationError("an SpmdEngine can only run a single job; create a new engine")
 
         nprocs = self.pmap.nprocs
-        world_group = tuple(range(nprocs))
+        world_group = self.contexts.group_for(tuple(range(nprocs)))
         for rank in range(nprocs):
             ctx = RankContext(rank, self.pmap, self)
             ctx.world = Communicator(
@@ -205,13 +301,13 @@ class SpmdEngine:
                     "communication); got a plain function returning "
                     f"{type(generator).__name__}"
                 )
-            process = _RankProcess(rank=rank, generator=generator)
+            process = _RankProcess(rank, generator)
             ctx._process = process
             self._rank_contexts.append(ctx)
             self._processes.append(process)
 
         for process in self._processes:
-            self.simulator.schedule_at(0.0, partial(self._step, process, None))
+            self.simulator.schedule_call(0.0, self._bound_step, process, None)
 
         self.simulator.run()
         self._check_completion()
@@ -219,92 +315,112 @@ class SpmdEngine:
 
     # -- process stepping -----------------------------------------------------
     def _step(self, process: _RankProcess, send_value: Any) -> None:
-        process.local_time = self.simulator.now
-        process.state = "running"
+        """Advance one rank: resume its generator, dispatch the yielded operation.
+
+        This is the hottest function in the simulator; the operation dispatch
+        is inlined here (one class test per operation kind) and every
+        continuation is scheduled directly as a ``(fn, args)`` heap entry.
+        """
+        # Continuations below are pushed straight onto the simulator's heap:
+        # every scheduled time is `now` plus a non-negative cost (overheads,
+        # delays, completion times), so the past-scheduling guard of
+        # Simulator.schedule_call can never fire on these paths and its call
+        # overhead is spared on every step.  External callers keep the
+        # guarded entry point.
+        # No per-step state write: "running" can never be observed (deadlock
+        # reports only exist once the event queue has drained, and a rank is
+        # then ready, waiting or done).
+        simulator = self.simulator
+        process.local_time = now = simulator._now
         try:
-            operation = process.generator.send(send_value)
+            operation = process.resume(send_value)
         except StopIteration:
             process.state = "done"
-            process.finish_time = process.local_time
+            process.finish_time = now
             self._finished += 1
             return
-        self._dispatch(process, operation)
 
-    def _dispatch(self, process: _RankProcess, operation: Any) -> None:
-        now = process.local_time
-        params = self.params
-        if isinstance(operation, PostSend):
+        cls = operation.__class__
+        if cls is PostSend:
             if operation.dest == PROC_NULL:
                 request = Request("send", process.rank)
                 request.complete(now)
-                self.simulator.schedule_at(now, partial(self._step, process, request))
-                return
-            ready = now + params.send_overhead
-            request = self.router.post_send(
-                process.rank, operation.dest, operation.payload, operation.tag,
-                operation.context_id, ready,
-            )
-            self.simulator.schedule_at(ready, partial(self._step, process, request))
-        elif isinstance(operation, PostRecv):
+                when = now
+            else:
+                when = now + self._send_overhead
+                request = self.router.post_send(
+                    process.rank, operation.dest, operation.payload, operation.tag,
+                    operation.context_id, when,
+                )
+        elif cls is PostRecv:
             if operation.source == PROC_NULL:
                 request = Request("recv", process.rank)
                 request.complete(now, Status(source=PROC_NULL, tag=operation.tag, nbytes=0))
-                self.simulator.schedule_at(now, partial(self._step, process, request))
+                when = now
+            else:
+                when = now + self._send_overhead
+                request = self.router.post_recv(
+                    process.rank, operation.source, operation.buffer, operation.tag,
+                    operation.context_id, when,
+                )
+        elif cls is Wait:
+            # Inlined _handle_wait (one Wait per exchange step).
+            requests = operation.requests
+            state = None
+            remaining = 0
+            for request in requests:
+                if request.completion_time is None:
+                    if state is None:
+                        state = _WaitState(self, process, requests, now)
+                    if request.waiter is not state:
+                        request.waiter = state
+                        remaining += 1
+            if state is None:
+                # Everything already completed: resume at the latest
+                # completion (>= now, so the direct heap push is safe).
+                resume_time = now
+                statuses: list = []
+                for request in requests:
+                    completion = request.completion_time
+                    if completion > resume_time:
+                        resume_time = completion
+                    statuses.append(request.status)
+                process.state = "ready"
+                seq = simulator._next_seq
+                simulator._next_seq = seq + 1
+                heappush(simulator._heap,
+                         (resume_time, seq, self._bound_step, process, statuses))
                 return
-            post_time = now + params.send_overhead
-            request = self.router.post_recv(
-                process.rank, operation.source, operation.buffer, operation.tag,
-                operation.context_id, post_time,
-            )
-            self.simulator.schedule_at(post_time, partial(self._step, process, request))
-        elif isinstance(operation, Wait):
-            self._handle_wait(process, list(operation.requests))
-        elif isinstance(operation, Delay):
-            if operation.seconds < 0.0:
-                raise SimulationError(f"negative delay {operation.seconds}")
-            self.simulator.schedule_at(now + operation.seconds, partial(self._step, process, None))
-        elif isinstance(operation, LocalCopy):
-            nbytes = int(operation.source.nbytes)
-            _copy_local(operation.dest, operation.source)
-            done = now + params.copy_time(nbytes)
-            self.simulator.schedule_at(done, partial(self._step, process, None))
+            state.remaining = remaining
+            process.state = "waiting"
+            process.waiting_on = requests
+            return
+        elif cls is Delay:
+            seconds = operation.seconds
+            if seconds < 0.0:
+                raise SimulationError(f"negative delay {seconds}")
+            when = now + seconds
+            request = None
+        elif cls is LocalCopy:
+            source = operation.source
+            nbytes = source.nbytes
+            _copy_local(operation.dest, source)
+            if nbytes == 0:
+                when = now
+            else:
+                # Grouped like MachineParameters.copy_time so the float result
+                # is bit-identical to the pre-inlined `now + copy_time(nbytes)`.
+                when = now + (self._copy_latency + nbytes / self._copy_bandwidth)
+            request = None
         else:
             raise SimulationError(
                 f"rank {process.rank} yielded an unknown operation {operation!r}; "
                 "did a rank program 'yield' a value instead of 'yield from' a comm call?"
             )
+        seq = simulator._next_seq
+        simulator._next_seq = seq + 1
+        heappush(simulator._heap, (when, seq, self._bound_step, process, request))
 
-    def _handle_wait(self, process: _RankProcess, requests: list[Request]) -> None:
-        issue_time = process.local_time
-        if not requests:
-            self.simulator.schedule_at(issue_time, partial(self._step, process, []))
-            return
-
-        def _resume() -> None:
-            resume_time = max([issue_time] + [r.completion_time for r in requests])
-            statuses = [r.status for r in requests]
-            process.state = "ready"
-            self.simulator.schedule_at(resume_time, partial(self._step, process, statuses))
-
-        pending = [r for r in requests if not r.completed]
-        if not pending:
-            _resume()
-            return
-
-        process.state = "waiting"
-        process.waiting_desc = (
-            f"waiting on {len(pending)} of {len(requests)} requests "
-            f"({', '.join(r.kind for r in pending[:8])}{'...' if len(pending) > 8 else ''})"
-        )
-        remaining = {"count": len(pending)}
-
-        def _on_complete(_req: Request) -> None:
-            remaining["count"] -= 1
-            if remaining["count"] == 0:
-                _resume()
-
-        for request in pending:
-            request.on_complete(_on_complete)
 
     # -- completion ---------------------------------------------------------
     def _check_completion(self) -> None:
@@ -312,7 +428,7 @@ class SpmdEngine:
         if not unfinished:
             return
         lines = [
-            f"rank {p.rank}: state={p.state} t={p.local_time:.3e} {p.waiting_desc}"
+            f"rank {p.rank}: state={p.state} t={p.local_time:.3e} {p.waiting_desc()}"
             for p in unfinished[:32]
         ]
         lines.extend(self.router.pending_summary()[:32])
@@ -339,14 +455,17 @@ class SpmdEngine:
 
 
 def _copy_local(dest: np.ndarray, source: np.ndarray) -> None:
-    if dest.nbytes < source.nbytes:
+    nbytes = source.nbytes
+    if dest.nbytes < nbytes:
         raise CommunicatorError(
             f"local copy destination of {dest.nbytes} bytes is smaller than the "
-            f"{source.nbytes}-byte source"
+            f"{nbytes}-byte source"
         )
+    if nbytes == 0:
+        return
     dest_bytes = dest.reshape(-1).view(np.uint8)
     src_bytes = source.reshape(-1).view(np.uint8)
-    dest_bytes[: source.nbytes] = src_bytes
+    dest_bytes[:nbytes] = src_bytes
 
 
 def run_spmd(

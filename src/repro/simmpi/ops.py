@@ -6,6 +6,13 @@ are resumed by the engine with the operation's result (a request, a status,
 or nothing).  Keeping this interface tiny makes the simulated-MPI semantics
 easy to audit: everything a program can do to the simulated machine is
 listed in this module.
+
+The engine consumes an operation *synchronously*, while the yielding rank
+is still suspended: every field is read (and any payload that must outlive
+the dispatch is copied) before the program resumes.  A program may
+therefore reuse one operation record across yields, mutating its fields in
+place — the hot exchange loops do exactly that to avoid an allocation per
+simulated message.
 """
 
 from __future__ import annotations
@@ -20,12 +27,14 @@ from repro.simmpi.request import Request
 __all__ = ["PostSend", "PostRecv", "Wait", "Delay", "LocalCopy", "Operation"]
 
 
-@dataclass
+@dataclass(slots=True)
 class PostSend:
     """Post a (non-blocking) send of ``payload`` to world rank ``dest``.
 
-    The engine copies the payload at posting time, so the caller may reuse
-    the underlying buffer immediately (the semantics of a buffered send).
+    Buffered-send semantics: the payload is consumed before the operation
+    returns — copied straight into the matching receive buffer when the
+    match happens while posting, snapshotted into the unexpected queue
+    otherwise — so the caller may reuse the underlying buffer immediately.
     Resumes with the :class:`Request`.
     """
 
@@ -35,7 +44,7 @@ class PostSend:
     context_id: int
 
 
-@dataclass
+@dataclass(slots=True)
 class PostRecv:
     """Post a (non-blocking) receive into ``buffer`` from ``source``.
 
@@ -49,7 +58,7 @@ class PostRecv:
     context_id: int
 
 
-@dataclass
+@dataclass(slots=True)
 class Wait:
     """Block until every request in ``requests`` has completed.
 
@@ -60,14 +69,14 @@ class Wait:
     requests: Sequence[Request]
 
 
-@dataclass
+@dataclass(slots=True)
 class Delay:
     """Advance this rank's clock by ``seconds`` of local work (packing, compute)."""
 
     seconds: float
 
 
-@dataclass
+@dataclass(slots=True)
 class LocalCopy:
     """Copy ``source`` into ``dest`` locally, charging the memory-copy cost.
 

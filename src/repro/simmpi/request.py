@@ -5,6 +5,12 @@ the engine.  "Completed" here means the *simulated completion time is
 determined*: the engine may determine at posting time that an eager send
 will complete two microseconds in the future.  Processes that wait on the
 request are resumed no earlier than that time.
+
+Completion notification is split into two paths: the engine's ``Wait``
+handling attaches a single counter-based wait state to the ``waiter`` slot
+(no per-request callback list on the hot path), while :meth:`on_complete`
+keeps the general callback interface for tooling and tests, allocating its
+list only when actually used.
 """
 
 from __future__ import annotations
@@ -23,7 +29,8 @@ _request_ids = itertools.count()
 class Request:
     """Handle for an outstanding non-blocking operation."""
 
-    __slots__ = ("id", "kind", "owner", "completion_time", "status", "_callbacks", "cancelled")
+    __slots__ = ("id", "kind", "owner", "completion_time", "status", "waiter",
+                 "_callbacks")
 
     def __init__(self, kind: str, owner: int) -> None:
         self.id = next(_request_ids)
@@ -35,8 +42,10 @@ class Request:
         self.completion_time: float | None = None
         #: Receive status (populated for recv requests at completion).
         self.status: Status | None = None
-        self._callbacks: list[Callable[["Request"], None]] = []
-        self.cancelled = False
+        #: The engine's wait state (an object with ``notify()``) while the
+        #: owning rank is blocked on this request; ``None`` otherwise.
+        self.waiter = None
+        self._callbacks: list[Callable[["Request"], None]] | None = None
 
     # -- completion ------------------------------------------------------
     @property
@@ -46,20 +55,28 @@ class Request:
 
     def complete(self, time: float, status: Status | None = None) -> None:
         """Mark the request complete at simulated ``time`` (engine use only)."""
-        if self.completed:
+        if self.completion_time is not None:
             raise SimulationError(f"request {self.id} completed twice")
         if time < 0.0:
             raise SimulationError(f"completion time must be non-negative, got {time}")
         self.completion_time = time
         self.status = status
-        callbacks, self._callbacks = self._callbacks, []
-        for cb in callbacks:
-            cb(self)
+        waiter = self.waiter
+        if waiter is not None:
+            self.waiter = None
+            waiter.notify()
+        callbacks = self._callbacks
+        if callbacks is not None:
+            self._callbacks = None
+            for cb in callbacks:
+                cb(self)
 
     def on_complete(self, callback: Callable[["Request"], None]) -> None:
         """Invoke ``callback(request)`` once the completion time is known."""
-        if self.completed:
+        if self.completion_time is not None:
             callback(self)
+        elif self._callbacks is None:
+            self._callbacks = [callback]
         else:
             self._callbacks.append(callback)
 

@@ -7,7 +7,7 @@ from dataclasses import dataclass
 __all__ = ["Status"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Status:
     """Describes a completed receive.
 

@@ -145,12 +145,15 @@ def make_alltoall_sendbuf(rank: int, nprocs: int, block_items: int, dtype=np.int
     if block_items < 0:
         raise ValueError("block_items must be non-negative")
     buf = np.empty(nprocs * block_items, dtype=dtype)
-    view = buf.reshape(nprocs, block_items) if block_items else buf.reshape(nprocs, 0)
-    ramp = np.arange(block_items, dtype=np.int64)
-    for dest in range(nprocs):
-        base = rank * nprocs + dest
-        if block_items:
-            # Compute in int64 and wrap into the target dtype so small integer
-            # dtypes (e.g. uint8 payload buffers) stay valid test patterns.
-            view[dest, :] = (base * 1000 + ramp).astype(dtype)
+    if block_items:
+        # Compute in int64 and wrap into the target dtype so small integer
+        # dtypes (e.g. uint8 payload buffers) stay valid test patterns.  One
+        # vectorised outer sum replaces the former per-destination loop (the
+        # buffer build is part of every simulated job's setup cost).
+        bases = (rank * nprocs + np.arange(nprocs, dtype=np.int64)) * 1000
+        ramp = np.arange(block_items, dtype=np.int64)
+        # One ufunc pass, casting each int64 sum into the target dtype on
+        # store (same C cast as astype) without materialising the int64 grid.
+        np.add(bases[:, None], ramp[None, :],
+               out=buf.reshape(nprocs, block_items), casting="unsafe")
     return buf

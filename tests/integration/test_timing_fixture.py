@@ -1,0 +1,118 @@
+"""Frozen simulated-timing fixture: the hot-path overhaul must be exact.
+
+The golden verify corpus pins the *bytes* every algorithm delivers; this
+fixture pins the *simulated timings*.  It freezes, for a diverse set of
+small jobs (every uniform algorithm, eager and rendezvous sizes, uniform
+and skewed workloads), the exact simulated elapsed time, the sum of the
+per-rank finish times (catches per-rank drift that the max hides) and the
+number of discrete events processed.
+
+Any change to the simulator, the matching layer or the timing model that
+alters a single floating-point operation shows up here as a bitwise
+difference.  Performance refactors must keep this file green *unchanged*;
+an intentional timing-model change refreshes it::
+
+    PYTHONPATH=src python tests/integration/test_timing_fixture.py --refresh
+    git diff tests/golden/simulated_timings.json   # review, commit
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.runner import run_alltoall, run_workload
+from repro.machine.process_map import ProcessMap
+from repro.machine.systems import get_system
+from repro.workloads import make_pattern
+
+FIXTURE_PATH = Path(__file__).resolve().parents[1] / "golden" / "simulated_timings.json"
+
+#: (key, kind, algorithm, nodes, ppn, msg_bytes, pattern, options)
+JOBS = [
+    ("pairwise/4n4p/256B", "uniform", "pairwise", 4, 4, 256, None, {}),
+    ("nonblocking/4n4p/256B", "uniform", "nonblocking", 4, 4, 256, None, {}),
+    ("bruck/4n4p/256B", "uniform", "bruck", 4, 4, 256, None, {}),
+    ("batched/4n4p/256B", "uniform", "batched", 4, 4, 256, None, {}),
+    ("system-mpi/4n4p/256B", "uniform", "system-mpi", 4, 4, 256, None, {}),
+    ("hierarchical/4n4p/256B", "uniform", "hierarchical", 4, 4, 256, None, {}),
+    ("multileader/4n4p/256B", "uniform", "multileader", 4, 4, 256, None,
+     {"procs_per_leader": 2}),
+    ("node-aware/4n4p/256B", "uniform", "node-aware", 4, 4, 256, None, {}),
+    ("locality-aware/4n4p/256B", "uniform", "locality-aware", 4, 4, 256, None,
+     {"procs_per_group": 2}),
+    ("multileader-node-aware/4n4p/256B", "uniform", "multileader-node-aware",
+     4, 4, 256, None, {"procs_per_leader": 2}),
+    # Above the eager limit: exercises the rendezvous handshake path.
+    ("pairwise/4n4p/16384B", "uniform", "pairwise", 4, 4, 16384, None, {}),
+    ("nonblocking/2n4p/32768B", "uniform", "nonblocking", 2, 4, 32768, None, {}),
+    # Non-uniform workloads (alltoallv path, zero-count pairs included).
+    ("workload-pairwise/4n4p/skewed-moe", "workload", "pairwise", 4, 4, 64,
+     "skewed-moe", {}),
+    ("workload-nonblocking/4n4p/zipf", "workload", "nonblocking", 4, 4, 64,
+     "zipf", {}),
+    ("workload-node-aware/4n4p/skewed-moe", "workload", "node-aware", 4, 4, 64,
+     "skewed-moe", {}),
+    ("workload-node-aware/4n4p/sparse", "workload", "node-aware", 4, 4, 64,
+     "sparse", {}),
+]
+
+_PATTERN_SEED = 3
+
+
+def _run(kind, algorithm, nodes, ppn, msg_bytes, pattern, options):
+    cluster = get_system("dane", nodes)
+    pmap = ProcessMap(cluster, ppn=ppn, num_nodes=nodes)
+    if kind == "workload":
+        matrix = make_pattern(pattern, pmap.nprocs, msg_bytes, seed=_PATTERN_SEED)
+        outcome = run_workload(algorithm, pmap, matrix, validate=False, **options)
+    else:
+        outcome = run_alltoall(algorithm, pmap, msg_bytes, validate=False, **options)
+    job = outcome.job
+    return {
+        "elapsed": outcome.elapsed,
+        "finish_time_sum": sum(job.finish_times),
+        "events": job.events_processed,
+    }
+
+
+def build_fixture() -> dict:
+    return {
+        "comment": "frozen simulated timings; refresh only on an intentional "
+                   "timing-model change (see module docstring)",
+        "jobs": {key: _run(*spec) for key, *spec in JOBS},
+    }
+
+
+@pytest.mark.parametrize("key", [job[0] for job in JOBS])
+def test_simulated_timings_are_bit_identical(key):
+    frozen = json.loads(FIXTURE_PATH.read_text(encoding="utf-8"))["jobs"]
+    assert key in frozen, (
+        f"fixture has no entry for {key}; refresh it with "
+        f"`python {Path(__file__).name} --refresh`"
+    )
+    spec = next(job[1:] for job in JOBS if job[0] == key)
+    live = _run(*spec)
+    expected = frozen[key]
+    # Exact equality on purpose: the simulation is deterministic and the
+    # perf overhaul is required to preserve every float bit-for-bit.
+    assert live["events"] == expected["events"], f"{key}: event count drifted"
+    assert live["elapsed"] == expected["elapsed"], (
+        f"{key}: simulated elapsed drifted "
+        f"({expected['elapsed']!r} -> {live['elapsed']!r})"
+    )
+    assert live["finish_time_sum"] == expected["finish_time_sum"], (
+        f"{key}: per-rank finish times drifted"
+    )
+
+
+if __name__ == "__main__":
+    if "--refresh" not in sys.argv:
+        print("usage: python test_timing_fixture.py --refresh", file=sys.stderr)
+        sys.exit(2)
+    FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE_PATH.write_text(
+        json.dumps(build_fixture(), indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {FIXTURE_PATH}")

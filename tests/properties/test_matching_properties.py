@@ -1,0 +1,270 @@
+"""Matching-semantics properties of the indexed message router.
+
+The router replaced linear mailbox scans with ``(context, source, tag)``
+indexed queues plus a FIFO wildcard path; these tests pin the MPI matching
+semantics that must have survived:
+
+* non-overtaking order between messages of the same (source, tag, context);
+* FIFO fairness of ``ANY_SOURCE``/``ANY_TAG`` receives;
+* mixed wildcard/specific interleavings;
+* and — differentially, over seeded random operation sequences — that the
+  indexed router produces the *exact* match pairing and per-match
+  ``scanned`` counts of the reference linear scan it replaced (the counts
+  feed ``match_overhead_per_entry``, so they are timing-visible).
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.machine import ProcessMap, tiny_cluster
+from repro.simmpi import run_spmd
+from repro.simmpi.datatypes import ANY_SOURCE, ANY_TAG
+from repro.simmpi.p2p import MessageRouter, TimingModel
+
+
+# ---------------------------------------------------------------------------
+# Engine-level semantics
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def pmap():
+    return ProcessMap(tiny_cluster(num_nodes=2), ppn=4)
+
+
+class TestNonOvertaking:
+    def test_same_pair_same_tag_arrive_in_post_order(self, pmap):
+        k = 12
+
+        def program(ctx):
+            comm = ctx.world
+            if ctx.rank == 0:
+                for i in range(k):
+                    yield from comm.send(np.array([i], dtype=np.int64), dest=1, tag=5)
+            elif ctx.rank == 1:
+                seen = []
+                buf = np.zeros(1, dtype=np.int64)
+                for _ in range(k):
+                    yield from comm.recv(buf, source=0, tag=5)
+                    seen.append(int(buf[0]))
+                ctx.result = seen
+
+        result = run_spmd(pmap, program)
+        assert result.results[1] == list(range(k))
+
+    def test_interleaved_tags_do_not_reorder_within_a_tag(self, pmap):
+        per_tag = 5
+
+        def program(ctx):
+            comm = ctx.world
+            if ctx.rank == 0:
+                for i in range(per_tag):
+                    yield from comm.send(np.array([10 + i], dtype=np.int64), dest=1, tag=1)
+                    yield from comm.send(np.array([20 + i], dtype=np.int64), dest=1, tag=2)
+            elif ctx.rank == 1:
+                buf = np.zeros(1, dtype=np.int64)
+                tag2 = []
+                for _ in range(per_tag):
+                    yield from comm.recv(buf, source=0, tag=2)
+                    tag2.append(int(buf[0]))
+                tag1 = []
+                for _ in range(per_tag):
+                    yield from comm.recv(buf, source=0, tag=1)
+                    tag1.append(int(buf[0]))
+                ctx.result = (tag1, tag2)
+
+        tag1, tag2 = run_spmd(pmap, program).results[1]
+        assert tag1 == [10 + i for i in range(per_tag)]
+        assert tag2 == [20 + i for i in range(per_tag)]
+
+
+class TestWildcardFairness:
+    def test_any_source_receives_in_arrival_order(self, pmap):
+        senders = list(range(1, 6))
+
+        def program(ctx):
+            comm = ctx.world
+            if ctx.rank in senders:
+                yield from comm.send(np.array([ctx.rank], dtype=np.int64), dest=0, tag=3)
+            elif ctx.rank == 0:
+                order = []
+                buf = np.zeros(1, dtype=np.int64)
+                for _ in senders:
+                    status = yield from comm.recv(buf, source=ANY_SOURCE, tag=3)
+                    order.append((status.source, int(buf[0])))
+                ctx.result = order
+
+        order = run_spmd(pmap, program).results[0]
+        # All ranks dispatch their first operation in rank order at t=0, so
+        # arrival (dispatch) order is rank order — wildcard receives must
+        # drain the queue FIFO, and the status source must match the bytes.
+        assert order == [(r, r) for r in senders]
+
+    def test_any_tag_receives_in_arrival_order(self, pmap):
+        tags = [9, 4, 7, 2]
+
+        def program(ctx):
+            comm = ctx.world
+            if ctx.rank == 1:
+                for tag in tags:
+                    yield from comm.send(np.array([tag], dtype=np.int64), dest=0, tag=tag)
+            elif ctx.rank == 0:
+                yield from comm.barrier()
+                got = []
+                buf = np.zeros(1, dtype=np.int64)
+                for _ in tags:
+                    status = yield from comm.recv(buf, source=1, tag=ANY_TAG)
+                    got.append(status.tag)
+                ctx.result = got
+            if ctx.rank != 0:
+                yield from comm.barrier()
+
+        got = run_spmd(pmap, program).results[0]
+        assert got == tags, "ANY_TAG must drain same-source messages in post order"
+
+
+class TestMixedWildcardSpecific:
+    def test_specific_recv_skips_earlier_nonmatching_then_wildcard_gets_them(self, pmap):
+        def program(ctx):
+            comm = ctx.world
+            if ctx.rank == 1:
+                yield from comm.send(np.array([111], dtype=np.int64), dest=0, tag=1)
+            elif ctx.rank == 2:
+                yield from comm.send(np.array([222], dtype=np.int64), dest=0, tag=2)
+            elif ctx.rank == 0:
+                yield from comm.barrier()
+                buf = np.zeros(1, dtype=np.int64)
+                # Specific receive for the *later-arriving* message first.
+                status = yield from comm.recv(buf, source=2, tag=2)
+                first = (status.source, int(buf[0]))
+                status = yield from comm.recv(buf, source=ANY_SOURCE, tag=ANY_TAG)
+                second = (status.source, int(buf[0]))
+                ctx.result = (first, second)
+            if ctx.rank != 0:
+                yield from comm.barrier()
+
+        first, second = run_spmd(pmap, program).results[0]
+        assert first == (2, 222), "the specific receive must skip rank 1's message"
+        assert second == (1, 111), "the wildcard must then pick up the skipped message"
+
+    def test_wildcard_posted_before_specific_message_arrives(self, pmap):
+        def program(ctx):
+            comm = ctx.world
+            if ctx.rank == 0:
+                buf_any = np.zeros(1, dtype=np.int64)
+                buf_spec = np.zeros(1, dtype=np.int64)
+                req_any = yield from comm.irecv(buf_any, source=ANY_SOURCE, tag=ANY_TAG)
+                req_spec = yield from comm.irecv(buf_spec, source=3, tag=8)
+                yield from comm.waitall([req_any, req_spec])
+                ctx.result = (int(buf_any[0]), int(buf_spec[0]))
+            elif ctx.rank == 3:
+                # Two messages; the wildcard was posted first so it must take
+                # the first one even though the specific receive also matches.
+                yield from comm.send(np.array([31], dtype=np.int64), dest=0, tag=8)
+                yield from comm.send(np.array([32], dtype=np.int64), dest=0, tag=8)
+
+        got_any, got_spec = run_spmd(pmap, program).results[0]
+        assert (got_any, got_spec) == (31, 32)
+
+
+# ---------------------------------------------------------------------------
+# Differential oracle: indexed router vs reference linear scan
+# ---------------------------------------------------------------------------
+
+
+class _LinearOracle:
+    """The removed linear-scan matcher, reimplemented as the reference.
+
+    Mirrors the original ``MessageRouter`` queues: a receive scans the
+    unexpected list front-to-back (counting every entry up to and including
+    the first match), a send scans the posted-receive list the same way.
+    """
+
+    def __init__(self):
+        self.posted = []      # (recv_id, source_spec, tag_spec)
+        self.unexpected = []  # (send_id, src, tag)
+        self.pairs = {}       # recv_id -> send_id
+        self.scanned_log = []
+
+    def send(self, send_id, src, tag):
+        for i, (recv_id, source_spec, tag_spec) in enumerate(self.posted):
+            if (source_spec in (ANY_SOURCE, src)) and (tag_spec in (ANY_TAG, tag)):
+                self.posted.pop(i)
+                self.pairs[recv_id] = send_id
+                self.scanned_log.append(i + 1)
+                return
+        self.unexpected.append((send_id, src, tag))
+
+    def recv(self, recv_id, source_spec, tag_spec):
+        for i, (send_id, src, tag) in enumerate(self.unexpected):
+            if (source_spec in (ANY_SOURCE, src)) and (tag_spec in (ANY_TAG, tag)):
+                self.unexpected.pop(i)
+                self.pairs[recv_id] = send_id
+                self.scanned_log.append(i + 1)
+                return
+        self.posted.append((recv_id, source_spec, tag_spec))
+
+
+def _run_differential(seed: int):
+    rng = random.Random(seed)
+    nsrc = rng.choice([2, 3, 5])
+    ntags = rng.choice([1, 2, 4])
+    wildcard_prob = rng.choice([0.0, 0.25, 0.6])
+    n_ops = rng.randrange(20, 120)
+
+    pmap = ProcessMap(tiny_cluster(num_nodes=2), ppn=4)
+    router = MessageRouter(TimingModel(pmap))
+    oracle = _LinearOracle()
+
+    recv_buffers = {}
+    recv_requests = {}
+    scanned_log = []
+    last_scanned = 0
+    clock = 0.0
+    send_serial = 0
+    recv_serial = 0
+
+    for _ in range(n_ops):
+        clock += 1e-7
+        if rng.random() < 0.5:
+            send_id = send_serial
+            send_serial += 1
+            src = rng.randrange(nsrc)
+            tag = rng.randrange(ntags)
+            payload = np.array([send_id], dtype=np.int64)
+            router.post_send(src, 0, payload, tag, 0, clock)
+            oracle.send(send_id, src, tag)
+        else:
+            recv_id = recv_serial
+            recv_serial += 1
+            source_spec = ANY_SOURCE if rng.random() < wildcard_prob else rng.randrange(nsrc)
+            tag_spec = ANY_TAG if rng.random() < wildcard_prob else rng.randrange(ntags)
+            buffer = np.full(1, -1, dtype=np.int64)
+            recv_buffers[recv_id] = buffer
+            recv_requests[recv_id] = router.post_recv(
+                0, source_spec, buffer, tag_spec, 0, clock
+            )
+            oracle.recv(recv_id, source_spec, tag_spec)
+        if router.entries_scanned != last_scanned:
+            scanned_log.append(router.entries_scanned - last_scanned)
+            last_scanned = router.entries_scanned
+
+    # Same matches, in the same order, each charging the same scanned count.
+    assert scanned_log == oracle.scanned_log, (
+        f"seed {seed}: indexed scanned counts diverge from the linear scan"
+    )
+    assert router.matches == len(oracle.pairs)
+    # Same pairing: each matched receive delivered the oracle's send id.
+    router_pairs = {
+        recv_id: int(recv_buffers[recv_id][0])
+        for recv_id, request in recv_requests.items()
+        if request.completed
+    }
+    assert router_pairs == oracle.pairs, f"seed {seed}: match pairing diverges"
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_indexed_router_matches_linear_scan(seed):
+    _run_differential(seed)

@@ -1,0 +1,111 @@
+"""Buffered-send semantics under single-copy delivery.
+
+``post_send`` no longer snapshots the payload unconditionally: when the
+match happens in the same event cascade the payload is copied once,
+straight into the receive buffer, and only a message parked in the
+unexpected queue is snapshotted.  The user-visible contract is unchanged —
+the sender may overwrite its buffer as soon as the send operation returns —
+and these regression tests pin that contract on every delivery path:
+matched-at-send (receive pre-posted), unexpected (receive posted later),
+for both the eager and the rendezvous protocol.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine import ProcessMap, tiny_cluster
+from repro.simmpi import run_spmd
+
+_TAG = 11
+
+
+@pytest.fixture()
+def pmap():
+    return ProcessMap(tiny_cluster(num_nodes=2), ppn=4)
+
+
+def _payload(n_items, dtype=np.int64):
+    return np.arange(1, n_items + 1, dtype=dtype)
+
+
+def _reuse_program(ctx, n_items, prepost):
+    """Rank 0 sends and immediately trashes its buffer; rank 1 receives."""
+    comm = ctx.world
+    if ctx.rank == 0:
+        if not prepost:
+            # Give rank 1 time to go idle so the message is guaranteed to
+            # land in the unexpected queue (receive not yet posted).
+            pass
+        buf = _payload(n_items)
+        request = yield from comm.isend(buf, dest=1, tag=_TAG)
+        # The send operation has returned: buffered-send semantics say the
+        # buffer is ours again, whether or not the receive exists yet.
+        buf[:] = -1
+        yield from comm.wait(request)
+        buf[:] = -2  # and after completion, obviously, too
+    elif ctx.rank == 1:
+        recv = np.zeros(n_items, dtype=np.int64)
+        if prepost:
+            request = yield from comm.irecv(recv, source=0, tag=_TAG)
+            yield from comm.wait(request)
+        else:
+            from repro.simmpi.ops import Delay
+
+            # Post the receive well after the message has arrived.
+            yield Delay(seconds=1e-3)
+            status = yield from comm.recv(recv, source=0, tag=_TAG)
+            assert status.source == 0
+        ctx.result = recv
+
+
+def _eager_items(pmap):
+    return min(64, pmap.params.eager_limit // 8)
+
+
+def _rendezvous_items(pmap):
+    return (pmap.params.eager_limit // 8) * 2
+
+
+@pytest.mark.parametrize("prepost", [True, False], ids=["matched-at-send", "unexpected"])
+def test_eager_send_buffer_reuse(pmap, prepost):
+    n = _eager_items(pmap)
+    result = run_spmd(pmap, _reuse_program, n, prepost)
+    assert np.array_equal(result.results[1], _payload(n)), (
+        "receiver must observe the payload as it was when the send was posted, "
+        "not the sender's later overwrites"
+    )
+
+
+@pytest.mark.parametrize("prepost", [True, False], ids=["matched-at-send", "unexpected"])
+def test_rendezvous_send_buffer_reuse(pmap, prepost):
+    n = _rendezvous_items(pmap)
+    result = run_spmd(pmap, _reuse_program, n, prepost)
+    assert np.array_equal(result.results[1], _payload(n))
+
+
+def test_forwarded_block_reuse_chain(pmap):
+    """Ring-style forwarding: each rank sends a block it overwrites right after.
+
+    This is the allgather access pattern (send a block of the receive
+    buffer, then receive the next block into an adjacent slot) that makes
+    deferred snapshots dangerous if the copy were taken any later than the
+    send's own event cascade.
+    """
+
+    def program(ctx):
+        comm = ctx.world
+        size, rank = comm.size, comm.rank
+        token = np.array([rank * 100], dtype=np.int64)
+        incoming = np.zeros(1, dtype=np.int64)
+        right = (rank + 1) % size
+        left = (rank - 1) % size
+        for _ in range(size - 1):
+            yield from comm.sendrecv(token, right, incoming, left,
+                                     sendtag=_TAG, recvtag=_TAG)
+            token[0] = incoming[0]  # forward what was just received
+        ctx.result = int(token[0])
+
+    result = run_spmd(pmap, program)
+    size = pmap.nprocs
+    # After size-1 forwarding steps every rank holds its successor's token.
+    assert result.results == [((r + 1) % size) * 100 for r in range(size)]
