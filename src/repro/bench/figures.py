@@ -45,6 +45,8 @@ __all__ = [
     "figure16",
     "figure17",
     "figure18",
+    "figure_contention",
+    "CONTENTION_FABRICS",
     "headline_speedup",
 ]
 
@@ -101,6 +103,7 @@ def table1() -> list[dict[str, str]]:
                 "cpu": cluster.node.name,
                 "cores_per_node": str(cluster.cores_per_node),
                 "network": cluster.network_name,
+                "fabric": cluster.fabric.describe(),
                 "mpi": cluster.system_mpi_name,
             }
         )
@@ -351,6 +354,62 @@ def figure18(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
 
 
 # ---------------------------------------------------------------------------
+# Contention demo (not a paper figure): fabric ladder on a skewed workload
+# ---------------------------------------------------------------------------
+
+#: The fabric ladder of the contention figure: x position -> (label, spec).
+CONTENTION_FABRICS = (
+    ("full-bisection", "full-bisection"),
+    ("fat-tree 2:1", "fat-tree:hosts=2,oversub=2"),
+    ("fat-tree 4:1", "fat-tree:hosts=2,oversub=4"),
+    ("fat-tree 8:1", "fat-tree:hosts=2,oversub=8"),
+    ("dragonfly 8:1", "dragonfly:hosts=1,routers=2,taper=8"),
+)
+
+
+def figure_contention(cluster: Cluster | None = None, *, ppn: int | None = None,
+                      engine: str = "model", executor: SweepExecutor | None = None,
+                      msg_bytes: int = 256, num_nodes: int | None = None) -> FigureResult:
+    """Link contention demo: a skewed MoE shuffle across the fabric ladder.
+
+    Runs the flat algorithms against node-aware aggregation on the same
+    skewed workload while the inter-node fabric degrades from full
+    bisection to an 8:1 oversubscribed fat-tree and a heavily tapered
+    dragonfly.  On the contention-free default the flat non-blocking
+    exchange wins; once shared links queue per message, aggregation's lower
+    inter-node message count pays for its extra phases and the ordering
+    flips — the paper's locality thesis, visible only with a fabric model.
+    """
+    from repro.netsim.fabric import parse_fabric
+    from repro.workloads import skewed_moe
+
+    base = cluster if cluster is not None else dane(8)
+    processes = ppn if ppn is not None else min(base.cores_per_node, 16)
+    nodes = num_nodes or base.num_nodes
+    matrix = skewed_moe(nodes * processes, msg_bytes, seed=0)
+    fig = FigureResult(
+        "contention", "Skewed Workload Under Link Contention", "fabric (ladder index)",
+        configuration=f"{base.name}, {nodes} nodes x {processes} ppn, "
+                      f"skewed-moe {msg_bytes} B, engine={engine}",
+        notes="x = index into the fabric ladder: "
+              + "; ".join(f"{i}={label}" for i, (label, _) in enumerate(CONTENTION_FABRICS)),
+    )
+    for label, algorithm, options in (
+        ("Nonblocking", "nonblocking", {}),
+        ("Pairwise", "pairwise", {}),
+        ("Node-Aware", "node-aware", {}),
+    ):
+        series = DataSeries(label)
+        for index, (_fabric_label, spec) in enumerate(CONTENTION_FABRICS):
+            machine = base.with_fabric(parse_fabric(spec))
+            harness = BenchmarkHarness(machine, processes, engine=engine, executor=executor)
+            point = harness.workload_point(algorithm, matrix, nodes, **options)
+            series.add(index, point.seconds)
+        fig.add_series(series)
+    return fig
+
+
+# ---------------------------------------------------------------------------
 # Headline claim
 # ---------------------------------------------------------------------------
 
@@ -392,4 +451,5 @@ FIGURES: dict[str, Callable[..., FigureResult]] = {
     "fig16": figure16,
     "fig17": figure17,
     "fig18": figure18,
+    "contention": figure_contention,
 }

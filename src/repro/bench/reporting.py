@@ -52,7 +52,7 @@ def format_figure(figure: FigureResult, *, max_label: int = 28) -> str:
 
 def format_table1(rows: list[dict[str, str]]) -> str:
     """Render Table 1 (system architectures)."""
-    columns = ["name", "cpu", "cores_per_node", "network", "mpi"]
+    columns = ["name", "cpu", "cores_per_node", "network", "fabric", "mpi"]
     widths = {c: max(len(c), max(len(r[c]) for r in rows)) + 2 for c in columns}
     out = ["Table 1: System Architectures"]
     out.append("".join(f"{c:<{widths[c]}s}" for c in columns))

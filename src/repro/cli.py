@@ -6,8 +6,8 @@ Installed as the ``repro-bench`` console script (and runnable as
 ``systems``
     Print Table 1 (the three evaluation systems).
 ``figures``
-    Regenerate one or all of the paper's figures and print the series
-    (optionally as CSV).
+    Regenerate one or all of the paper's figures — plus the ``contention``
+    fabric-ladder demo — and print the series (optionally as CSV).
 ``run``
     Simulate a single all-to-all exchange on a chosen system at reduced
     scale and print timing, phase breakdown and traffic.
@@ -49,8 +49,9 @@ from repro.core.runner import run_alltoall, run_workload
 from repro.core.selection import AlgorithmSelector, build_selection_table
 from repro.errors import ConfigurationError
 from repro.machine.process_map import ProcessMap
-from repro.machine.systems import get_system, list_systems
+from repro.machine.systems import SYSTEM_PRESETS, get_system, list_systems
 from repro.model.predict import WORKLOAD_MODELED_ALGORITHMS, predict_workload_time
+from repro.netsim.fabric import FullBisectionFabric, list_fabrics, parse_fabric
 from repro.runtime import ResultStore, SweepExecutor
 from repro.runtime.executor import default_jobs
 from repro.workloads import list_patterns, load_trace, make_pattern
@@ -70,6 +71,34 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
     runtime.add_argument("--no-cache", action="store_true",
                          help="ignore --cache-dir entirely (recompute everything, "
                               "write nothing)")
+
+
+def _add_fabric_argument(parser: argparse.ArgumentParser) -> None:
+    """The inter-node fabric override shared by the simulating subcommands."""
+    parser.add_argument(
+        "--fabric", default=None, metavar="SPEC",
+        help="inter-node fabric topology: 'full-bisection' (default), "
+             "'fat-tree[:hosts=H,oversub=O]' or "
+             "'dragonfly[:hosts=H,routers=R,taper=T]'",
+    )
+
+
+def _fabric_from_args(args: argparse.Namespace):
+    """Parse the --fabric flag (None when absent or explicitly default).
+
+    An explicit ``--fabric full-bisection`` normalises to ``None`` so it
+    behaves exactly like omitting the flag everywhere (no --system
+    requirement for figures, default scenario sampling for verify).
+    """
+    if getattr(args, "fabric", None) is None:
+        return None
+    try:
+        spec = parse_fabric(args.fabric)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from exc
+    if isinstance(spec, FullBisectionFabric):
+        return None
+    return spec
 
 
 def _executor_from_args(args: argparse.Namespace) -> SweepExecutor | None:
@@ -100,9 +129,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("systems", help="print Table 1 (evaluation systems)")
+    systems = sub.add_parser(
+        "systems",
+        help="print Table 1 and list every preset with its node architecture and fabric",
+    )
+    _add_fabric_argument(systems)
 
-    figures = sub.add_parser("figures", help="regenerate the paper's figures")
+    figures = sub.add_parser(
+        "figures",
+        help="regenerate the paper's figures (fig07-fig18) plus the "
+             "'contention' fabric demo; --id all runs every producer",
+    )
     figures.add_argument("--id", default="all", choices=["all", *sorted(FIGURES)],
                          help="which figure to regenerate (default: all)")
     figures.add_argument("--engine", default="model", choices=["model", "simulate"],
@@ -117,6 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--csv", action="store_true", help="emit CSV instead of aligned tables")
     figures.add_argument("--headline", action="store_true",
                          help="also print the headline speedup summary")
+    _add_fabric_argument(figures)
     _add_runtime_arguments(figures)
 
     run = sub.add_parser("run", help="simulate one all-to-all exchange")
@@ -128,6 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--group-size", type=int, default=None,
                      help="processes per leader/group for the hierarchical algorithms")
     run.add_argument("--inner", default=None, choices=["pairwise", "nonblocking", "bruck", "batched"])
+    _add_fabric_argument(run)
 
     select = sub.add_parser("select", help="print the algorithm selection table")
     select.add_argument("--system", default="dane", choices=list_systems())
@@ -139,6 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="model: analytic cost model (instant); simulate: build a "
                              "measurement-driven table from simulator sweeps "
                              "(use small --nodes/--ppn)")
+    _add_fabric_argument(select)
     _add_runtime_arguments(select)
 
     workload = sub.add_parser(
@@ -166,12 +206,21 @@ def build_parser() -> argparse.ArgumentParser:
                           help="sparse: destinations per source")
     workload.add_argument("--pattern-group-size", type=int, default=4,
                           help="block-diagonal: ranks per dense group")
+    workload.add_argument("--hotspots", type=int, default=1,
+                          help="incast: number of victim destination ranks")
+    workload.add_argument("--background-bytes", type=int, default=0,
+                          help="incast: bytes of every non-victim pair")
+    workload.add_argument("--shift", type=int, default=1,
+                          help="neighbor-shift: cyclic rank distance of the exchange")
+    workload.add_argument("--degree", type=int, default=1,
+                          help="neighbor-shift: number of shifted neighbours per rank")
     workload.add_argument("--group-size", type=int, default=None,
                           help="node-aware: aggregation group size (default: whole node)")
     workload.add_argument("--inner", default=None, choices=["pairwise", "nonblocking"],
                           help="node-aware: inner exchange of both phases")
     workload.add_argument("--no-model", action="store_true",
                           help="skip the analytic-model comparison")
+    _add_fabric_argument(workload)
     _add_runtime_arguments(workload)
 
     verify = sub.add_parser(
@@ -189,6 +238,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="upper bound on nodes x ppn per sampled scenario")
     verify.add_argument("--golden", default=None, metavar="PATH",
                         help="also check the golden corpus file and fail on drift")
+    verify.add_argument("--fabric", default=None, metavar="SPEC",
+                        help="verify over fabric-enabled scenarios (adds the "
+                             "incast/neighbor-shift shapes); same syntax as the "
+                             "other subcommands' --fabric")
 
     perf = sub.add_parser(
         "perf", help="time the simulator hot path on the canonical job suite"
@@ -214,8 +267,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_systems(_args: argparse.Namespace) -> int:
+def _cmd_systems(args: argparse.Namespace) -> int:
     print(format_table1(table1()))
+    fabric = _fabric_from_args(args)
+    print()
+    print("Presets" + (f" (with --fabric {args.fabric})" if fabric is not None else "") + ":")
+    for name in sorted(SYSTEM_PRESETS):
+        cluster = get_system(name, fabric=fabric)
+        print(f"  {cluster.describe()}")
+    print()
+    print(f"Fabric kinds for --fabric: {', '.join(list_fabrics())} "
+          "(e.g. fat-tree:hosts=4,oversub=2 or dragonfly:hosts=2,routers=2,taper=4)")
     return 0
 
 
@@ -236,7 +298,12 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             raise SystemExit(
                 "--nodes requires --system with --engine model (the cluster preset to resize)"
             )
-    cluster = get_system(system, nodes) if system is not None else None
+    fabric = _fabric_from_args(args)
+    if fabric is not None and system is None:
+        raise SystemExit(
+            "--fabric requires --system with --engine model (the cluster preset to modify)"
+        )
+    cluster = get_system(system, nodes, fabric=fabric) if system is not None else None
     executor = _executor_from_args(args)
     try:
         for figure_id in selected:
@@ -266,7 +333,7 @@ def _algorithm_options(args: argparse.Namespace) -> dict:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    cluster = get_system(args.system, args.nodes)
+    cluster = get_system(args.system, args.nodes, fabric=_fabric_from_args(args))
     pmap = ProcessMap(cluster, ppn=args.ppn, num_nodes=args.nodes)
     outcome = run_alltoall(args.algorithm, pmap, args.msg_bytes, **_algorithm_options(args))
     print(outcome.summary())
@@ -278,7 +345,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_select(args: argparse.Namespace) -> int:
-    cluster = get_system(args.system, args.nodes)
+    cluster = get_system(args.system, args.nodes, fabric=_fabric_from_args(args))
     ppn = args.ppn if args.ppn is not None else cluster.cores_per_node
     executor = _executor_from_args(args)
     try:
@@ -330,11 +397,19 @@ def _workload_matrix(args: argparse.Namespace, nprocs: int):
         pattern_options = {"out_degree": args.out_degree, "seed": args.seed}
     elif args.pattern == "block-diagonal":
         pattern_options = {"group_size": args.pattern_group_size}
+    elif args.pattern == "incast":
+        pattern_options = {
+            "hotspots": args.hotspots,
+            "background_bytes": args.background_bytes,
+            "seed": args.seed,
+        }
+    elif args.pattern == "neighbor-shift":
+        pattern_options = {"shift": args.shift, "degree": args.degree}
     return make_pattern(args.pattern, nprocs, args.msg_bytes, **pattern_options)
 
 
 def _cmd_workload(args: argparse.Namespace) -> int:
-    cluster = get_system(args.system, args.nodes)
+    cluster = get_system(args.system, args.nodes, fabric=_fabric_from_args(args))
     pmap = ProcessMap(cluster, ppn=args.ppn, num_nodes=args.nodes)
     try:
         matrix = _workload_matrix(args, pmap.nprocs)
@@ -413,7 +488,11 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     if jobs < 1:
         raise SystemExit(f"--jobs must be >= 0, got {args.jobs}")
 
-    tasks = [(args.seed + i, args.max_ranks) for i in range(args.count)]
+    fabric = _fabric_from_args(args)
+    if fabric is None:
+        tasks = [(args.seed + i, args.max_ranks) for i in range(args.count)]
+    else:
+        tasks = [(args.seed + i, args.max_ranks, fabric) for i in range(args.count)]
     with SweepExecutor(jobs) as executor:
         records = executor.map(verify_task, tasks)
     print(format_verification_summary(records))

@@ -1,4 +1,11 @@
-"""Cluster model: many identical nodes connected by an interconnect."""
+"""Cluster model: many identical nodes connected by an interconnect.
+
+Downstream consumers: :class:`repro.machine.ProcessMap` places ranks on a
+cluster, :mod:`repro.simmpi` simulates on it and :mod:`repro.model`
+predicts over it.  The inter-node fabric topology is part of the cluster
+(:attr:`Cluster.fabric`), so simulated and modelled timings agree on which
+links messages share.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +14,7 @@ from dataclasses import dataclass, field, replace
 from repro.errors import TopologyError
 from repro.machine.params import MachineParameters
 from repro.machine.topology import NodeArchitecture
+from repro.netsim.fabric import FabricSpec, FullBisectionFabric
 
 __all__ = ["Cluster"]
 
@@ -16,10 +24,11 @@ class Cluster:
     """A homogeneous cluster of :class:`NodeArchitecture` nodes.
 
     The cluster is the unit every experiment is configured against: it fixes
-    the node architecture, the number of nodes and the communication cost
-    parameters.  A cluster does not know how many MPI ranks run on it —
-    that mapping is handled by :class:`repro.machine.ProcessMap`, so that the
-    same cluster can be reused for different processes-per-node settings.
+    the node architecture, the number of nodes, the communication cost
+    parameters and the inter-node fabric topology.  A cluster does not know
+    how many MPI ranks run on it — that mapping is handled by
+    :class:`repro.machine.ProcessMap`, so that the same cluster can be
+    reused for different processes-per-node settings.
     """
 
     name: str
@@ -30,6 +39,9 @@ class Cluster:
     network_name: str = "generic fat-tree"
     #: Free-form description of the system MPI this cluster emulates.
     system_mpi_name: str = "reference MPI"
+    #: Inter-node fabric topology; the contention-free full-bisection
+    #: default reproduces the pre-fabric simulated timings bit-identically.
+    fabric: FabricSpec = field(default_factory=FullBisectionFabric)
 
     def __post_init__(self) -> None:
         if self.num_nodes <= 0:
@@ -55,9 +67,14 @@ class Cluster:
         """Return a copy with different cost parameters (ablation studies)."""
         return replace(self, params=params)
 
+    def with_fabric(self, fabric: FabricSpec) -> "Cluster":
+        """Return a copy with a different inter-node fabric topology."""
+        return replace(self, fabric=fabric)
+
     def describe(self) -> str:
         """Table 1 style one-line description."""
         return (
             f"{self.name}: {self.num_nodes} nodes x {self.node.describe()} | "
-            f"network={self.network_name} | system MPI={self.system_mpi_name}"
+            f"network={self.network_name} | fabric={self.fabric.describe()} | "
+            f"system MPI={self.system_mpi_name}"
         )

@@ -170,6 +170,17 @@ class ProcessMap:
         """Node index of every rank (length ``nprocs``)."""
         return [r // self.ppn for r in range(self.nprocs)]
 
+    @cached_property
+    def model_fabric_state(self):
+        """Inter-node fabric state for the analytic model's link bounds.
+
+        ``None`` for the contention-free full-bisection default.  The
+        simulator builds its own per-job state (link clocks are mutable);
+        this shared instance is only ever used for its static routes and
+        link bandwidths by :func:`repro.model.loggp.link_phase_bound`.
+        """
+        return self.cluster.fabric.build(self.num_nodes, self.params)
+
     def describe(self) -> str:
         return (
             f"{self.nprocs} ranks = {self.num_nodes} nodes x {self.ppn} ppn "

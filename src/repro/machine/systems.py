@@ -33,6 +33,7 @@ from repro.machine.cluster import Cluster
 from repro.machine.hierarchy import LocalityLevel
 from repro.machine.params import LevelCosts, MachineParameters
 from repro.machine.topology import NodeArchitecture
+from repro.netsim.fabric import FabricSpec, FullBisectionFabric
 
 __all__ = [
     "sapphire_rapids_node",
@@ -151,7 +152,7 @@ def _testing_params() -> MachineParameters:
 # System presets (Table 1)
 # ---------------------------------------------------------------------------
 
-def dane(num_nodes: int = 32) -> Cluster:
+def dane(num_nodes: int = 32, *, fabric: FabricSpec | None = None) -> Cluster:
     """LLNL Dane: Sapphire Rapids + Omni-Path + Open MPI 4.1.2 / libfabric 2.2.0."""
     return Cluster(
         name="dane",
@@ -160,10 +161,11 @@ def dane(num_nodes: int = 32) -> Cluster:
         params=_omnipath_params(latency_scale=1.0),
         network_name="Cornelis Networks Omni-Path",
         system_mpi_name="OpenMPI 4.1.2 (libfabric 2.2.0)",
+        fabric=fabric if fabric is not None else FullBisectionFabric(),
     )
 
 
-def amber(num_nodes: int = 32) -> Cluster:
+def amber(num_nodes: int = 32, *, fabric: FabricSpec | None = None) -> Cluster:
     """SNL Amber: Sapphire Rapids + Omni-Path + Open MPI 4.1.6 / libfabric 2.1.0.
 
     Amber is architecturally identical to Dane; the older libfabric shows up
@@ -177,10 +179,11 @@ def amber(num_nodes: int = 32) -> Cluster:
         params=_omnipath_params(latency_scale=1.15),
         network_name="Cornelis Networks Omni-Path",
         system_mpi_name="OpenMPI 4.1.6 (libfabric 2.1.0)",
+        fabric=fabric if fabric is not None else FullBisectionFabric(),
     )
 
 
-def tuolomne(num_nodes: int = 32) -> Cluster:
+def tuolomne(num_nodes: int = 32, *, fabric: FabricSpec | None = None) -> Cluster:
     """LLNL Tuolomne: MI300A + Slingshot-11 + Cray MPICH 8.1.32."""
     return Cluster(
         name="tuolomne",
@@ -189,11 +192,12 @@ def tuolomne(num_nodes: int = 32) -> Cluster:
         params=_slingshot_params(),
         network_name="HPE Slingshot-11",
         system_mpi_name="Cray MPICH 8.1.32 (libfabric 2.1)",
+        fabric=fabric if fabric is not None else FullBisectionFabric(),
     )
 
 
 def tiny_cluster(num_nodes: int = 4, *, sockets: int = 2, numa_per_socket: int = 2,
-                 cores_per_numa: int = 2) -> Cluster:
+                 cores_per_numa: int = 2, fabric: FabricSpec | None = None) -> Cluster:
     """A small cluster for unit tests and examples (default 4 nodes x 8 cores)."""
     node = NodeArchitecture(
         name="tiny",
@@ -208,6 +212,7 @@ def tiny_cluster(num_nodes: int = 4, *, sockets: int = 2, numa_per_socket: int =
         params=_testing_params(),
         network_name="simulated test fabric",
         system_mpi_name="reference MPI",
+        fabric=fabric if fabric is not None else FullBisectionFabric(),
     )
 
 
@@ -225,14 +230,21 @@ def list_systems() -> list[str]:
     return sorted(SYSTEM_PRESETS)
 
 
-def get_system(name: str, num_nodes: int | None = None) -> Cluster:
-    """Instantiate a system preset by name (case-insensitive)."""
+def get_system(name: str, num_nodes: int | None = None,
+               fabric: FabricSpec | None = None) -> Cluster:
+    """Instantiate a system preset by name (case-insensitive).
+
+    ``fabric`` overrides the preset's inter-node fabric (all presets default
+    to contention-free full bisection); pass a spec built directly or via
+    :func:`repro.netsim.fabric.parse_fabric`.
+    """
     key = name.lower()
     if key not in SYSTEM_PRESETS:
         raise ConfigurationError(
             f"unknown system {name!r}; available systems: {', '.join(list_systems())}"
         )
     factory = SYSTEM_PRESETS[key]
-    if num_nodes is None:
-        return factory()
-    return factory(num_nodes)
+    cluster = factory() if num_nodes is None else factory(num_nodes)
+    if fabric is not None:
+        cluster = cluster.with_fabric(fabric)
+    return cluster

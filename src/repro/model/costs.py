@@ -26,6 +26,7 @@ from repro.model.loggp import (
     fabric_phase_bound,
     linear_rooted_cost,
     nic_phase_bound,
+    uniform_link_bound,
 )
 from repro.utils.partition import validate_group_size
 
@@ -87,8 +88,13 @@ def _flat_cost(pmap: ProcessMap, msg_bytes: int, kind: str, name: str) -> CostBr
         pmap.params,
         cross_numa_bytes_per_node=cross_numa_bytes(pmap, me, peers, msg_bytes) * pmap.ppn,
     )
+    link = uniform_link_bound(
+        pmap,
+        messages_per_node=estimate.inter_messages * pmap.ppn,
+        bytes_per_node=estimate.inter_bytes * pmap.ppn,
+    )
     breakdown = CostBreakdown(name, msg_bytes, pmap.num_nodes, pmap.ppn)
-    breakdown.add(PHASE_INTER, max(estimate.rank_time, nic, fabric))
+    breakdown.add(PHASE_INTER, max(estimate.rank_time, nic, fabric, link))
     return breakdown
 
 
@@ -173,7 +179,12 @@ def hierarchical_cost(
         cross_numa_bytes_per_node=cross_numa_bytes(pmap, leader, peer_leaders, leader_msg)
         * leaders_per_node,
     )
-    breakdown.add(PHASE_INTER, max(estimate.rank_time, nic, leader_fabric))
+    link = uniform_link_bound(
+        pmap,
+        messages_per_node=estimate.inter_messages * leaders_per_node,
+        bytes_per_node=estimate.inter_bytes * leaders_per_node,
+    )
+    breakdown.add(PHASE_INTER, max(estimate.rank_time, nic, leader_fabric, link))
 
     breakdown.add(PHASE_SCATTER, max(linear_rooted_cost(pmap, leader, members, full_buffer), rooted_fabric))
     return breakdown
@@ -214,7 +225,12 @@ def node_aware_cost(
         params,
         cross_numa_bytes_per_node=cross_numa_bytes(pmap, me, peers, inter_msg) * pmap.ppn,
     )
-    breakdown.add(PHASE_INTER, max(estimate.rank_time, nic, inter_fabric))
+    link = uniform_link_bound(
+        pmap,
+        messages_per_node=estimate.inter_messages * pmap.ppn,
+        bytes_per_node=estimate.inter_bytes * pmap.ppn,
+    )
+    breakdown.add(PHASE_INTER, max(estimate.rank_time, nic, inter_fabric, link))
 
     breakdown.add(PHASE_PACK, 2.0 * params.copy_time(nprocs * msg_bytes))
 
@@ -276,7 +292,12 @@ def multileader_node_aware_cost(
         messages_per_node=inter.inter_messages * leaders_per_node,
         bytes_per_node=inter.inter_bytes * leaders_per_node,
     )
-    breakdown.add(PHASE_INTER, max(inter.rank_time, nic))
+    link = uniform_link_bound(
+        pmap,
+        messages_per_node=inter.inter_messages * leaders_per_node,
+        bytes_per_node=inter.inter_bytes * leaders_per_node,
+    )
+    breakdown.add(PHASE_INTER, max(inter.rank_time, nic, link))
 
     # Intra-node phase among the node's leaders: messages of
     # num_nodes * ppl^2 * msg_bytes, all leaders of the node concurrently.

@@ -32,6 +32,8 @@ __all__ = [
     "exchange_estimate_v",
     "nic_phase_bound",
     "fabric_phase_bound",
+    "link_phase_bound",
+    "uniform_link_bound",
     "cross_numa_bytes",
     "cross_numa_bytes_v",
     "linear_rooted_cost",
@@ -186,6 +188,46 @@ def nic_phase_bound(
     if messages_per_node < 0 or bytes_per_node < 0:
         raise ConfigurationError("NIC bound inputs must be non-negative")
     return messages_per_node * params.nic_message_overhead + bytes_per_node / params.injection_bandwidth
+
+
+def link_phase_bound(pmap: ProcessMap, pair_msgs, pair_bytes) -> float:
+    """Lower bound of a phase from the busiest shared inter-node fabric link.
+
+    ``pair_msgs[a][b]`` / ``pair_bytes[a][b]`` give the inter-node messages
+    and bytes node ``a`` sends node ``b`` during the phase (diagonals are
+    ignored by empty routes).  The full-bisection default has no shared
+    links and imposes no bound, so default predictions are unchanged.  This
+    is the congestion-aware sibling of :func:`nic_phase_bound`: the phase
+    cannot finish before the busiest link has carried everything routed
+    over it.
+    """
+    state = pmap.model_fabric_state
+    if state is None:
+        return 0.0
+    return state.phase_bound(pair_msgs, pair_bytes)
+
+
+def uniform_link_bound(
+    pmap: ProcessMap,
+    *,
+    messages_per_node: float,
+    bytes_per_node: float,
+) -> float:
+    """Link bound of a node-symmetric phase (the uniform-algorithm case).
+
+    Each node's inter-node phase load (the same inputs
+    :func:`nic_phase_bound` consumes) is spread evenly over the other
+    ``num_nodes - 1`` destinations — exact for the flat and aggregated
+    uniform exchanges, a uniform approximation for Bruck's log-step
+    pattern.
+    """
+    state = pmap.model_fabric_state
+    if state is None or pmap.num_nodes <= 1:
+        return 0.0
+    if messages_per_node < 0 or bytes_per_node < 0:
+        raise ConfigurationError("link bound inputs must be non-negative")
+    share = 1.0 / (pmap.num_nodes - 1)
+    return state.uniform_phase_bound(messages_per_node * share, bytes_per_node * share)
 
 
 def cross_numa_bytes(pmap: ProcessMap, me: int, peers: Sequence[int], bytes_per_peer: int) -> int:

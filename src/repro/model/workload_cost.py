@@ -11,7 +11,11 @@ size.  The estimation strategy generalises the uniform models:
   and non-empty message count each node injects during the phase (maximum
   over nodes), vectorised through node-level aggregation;
 * the *fabric bound* charges the busiest node's intra-node cross-NUMA bytes
-  against the shared cross-NUMA bandwidth.
+  against the shared cross-NUMA bandwidth;
+* the *link bound* pushes the exact per-node-pair loads over the cluster's
+  inter-node fabric routes (:mod:`repro.netsim.fabric`) and charges the
+  busiest shared link — zero for the full-bisection default, so default
+  predictions are unchanged.
 
 A phase costs the maximum of the three, and an algorithm the sum of its
 phases — the same composition rule the uniform models use, so uniform
@@ -27,7 +31,12 @@ from repro.errors import ConfigurationError
 from repro.machine.hierarchy import LocalityLevel
 from repro.machine.process_map import ProcessMap
 from repro.model.costs import CostBreakdown
-from repro.model.loggp import exchange_estimate_v, fabric_phase_bound, nic_phase_bound
+from repro.model.loggp import (
+    exchange_estimate_v,
+    fabric_phase_bound,
+    link_phase_bound,
+    nic_phase_bound,
+)
 from repro.utils.partition import validate_group_size
 from repro.workloads.matrix import TrafficMatrix
 
@@ -51,14 +60,24 @@ def _check(pmap: ProcessMap, matrix: TrafficMatrix) -> None:
         raise ConfigurationError("cost models require at least two ranks")
 
 
-def _max_nic_load(matrix_bytes: np.ndarray, num_nodes: int, ppn: int) -> tuple[int, int]:
-    """(messages, bytes) of the busiest node's NIC injection for a rank-level matrix."""
+def _node_pair_loads(matrix_bytes: np.ndarray, num_nodes: int, ppn: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-ordered-node-pair (messages, bytes) matrices with zeroed diagonals.
+
+    The shared inputs of the NIC bound (row sums) and the fabric link bound
+    (routed pair loads) for a rank-level traffic matrix.
+    """
     blocks = matrix_bytes.reshape(num_nodes, ppn, num_nodes, ppn)
     node_bytes = blocks.sum(axis=(1, 3))
     node_msgs = (blocks > 0).sum(axis=(1, 3))
-    inter_bytes = node_bytes.sum(axis=1) - np.diagonal(node_bytes)
-    inter_msgs = node_msgs.sum(axis=1) - np.diagonal(node_msgs)
-    return int(inter_msgs.max()), int(inter_bytes.max())
+    np.fill_diagonal(node_bytes, 0)
+    np.fill_diagonal(node_msgs, 0)
+    return node_msgs, node_bytes
+
+
+def _max_nic_load(matrix_bytes: np.ndarray, num_nodes: int, ppn: int) -> tuple[int, int]:
+    """(messages, bytes) of the busiest node's NIC injection for a rank-level matrix."""
+    node_msgs, node_bytes = _node_pair_loads(matrix_bytes, num_nodes, ppn)
+    return int(node_msgs.sum(axis=1).max()), int(node_bytes.sum(axis=1).max())
 
 
 def _max_fabric_load(pmap: ProcessMap, matrix_bytes: np.ndarray) -> int:
@@ -85,13 +104,18 @@ def flat_workload_cost(pmap: ProcessMap, matrix: TrafficMatrix, kind: str) -> Co
     peers = [r for r in range(pmap.nprocs) if r != me]
     peer_bytes = [int(bytes_matrix[me, r]) for r in peers]
     estimate = exchange_estimate_v(pmap, me, peers, peer_bytes, kind)
-    nic_msgs, nic_bytes = _max_nic_load(bytes_matrix, pmap.num_nodes, pmap.ppn)
-    nic = nic_phase_bound(pmap.params, messages_per_node=nic_msgs, bytes_per_node=nic_bytes)
+    pair_msgs, pair_bytes_nodes = _node_pair_loads(bytes_matrix, pmap.num_nodes, pmap.ppn)
+    nic = nic_phase_bound(
+        pmap.params,
+        messages_per_node=int(pair_msgs.sum(axis=1).max()),
+        bytes_per_node=int(pair_bytes_nodes.sum(axis=1).max()),
+    )
     fabric = fabric_phase_bound(
         pmap.params, cross_numa_bytes_per_node=_max_fabric_load(pmap, bytes_matrix)
     )
+    link = link_phase_bound(pmap, pair_msgs, pair_bytes_nodes)
     breakdown = CostBreakdown(kind, matrix.max_pair_bytes, pmap.num_nodes, pmap.ppn)
-    breakdown.add(PHASE_INTER, max(estimate.rank_time, nic, fabric))
+    breakdown.add(PHASE_INTER, max(estimate.rank_time, nic, fabric, link))
     return breakdown
 
 
@@ -138,11 +162,17 @@ def node_aware_workload_cost(
     node_of_rank = np.arange(nprocs) // pmap.ppn
     node_of_group = np.arange(ngroups) // groups_per_node
     crossing = node_of_rank[:, None] != node_of_group[None, :]
-    per_node_view = np.where(crossing, rank_to_group, 0).reshape(pmap.num_nodes, pmap.ppn, ngroups)
+    masked = np.where(crossing, rank_to_group, 0)
+    per_node_view = masked.reshape(pmap.num_nodes, pmap.ppn, ngroups)
     nic_bytes = int(per_node_view.sum(axis=(1, 2)).max())
     nic_msgs = int((per_node_view > 0).sum(axis=(1, 2)).max())
     nic = nic_phase_bound(params, messages_per_node=nic_msgs, bytes_per_node=nic_bytes)
-    breakdown.add(PHASE_INTER, max(estimate.rank_time, nic))
+    # Exact per-node-pair loads of the aggregated phase for the fabric bound.
+    pair_shape = (pmap.num_nodes, pmap.ppn, pmap.num_nodes, groups_per_node)
+    pair_bytes = masked.reshape(pair_shape).sum(axis=(1, 3))
+    pair_msgs = (masked > 0).reshape(pair_shape).sum(axis=(1, 3))
+    link = link_phase_bound(pmap, pair_msgs, pair_bytes)
+    breakdown.add(PHASE_INTER, max(estimate.rank_time, nic, link))
 
     # Phase 2 + 4: repack what the busiest rank relays (its phase-1 receive
     # volume) and its final receive volume.

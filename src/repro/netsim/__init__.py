@@ -2,11 +2,22 @@
 
 This package contains the generic machinery underneath the simulated MPI
 layer: a time-ordered event queue, serial resources used to model NIC
-injection serialization, and a trace recorder for per-message accounting.
-It knows nothing about MPI semantics — those live in :mod:`repro.simmpi`.
+injection serialization, inter-node fabric topologies with per-link
+contention, and a trace recorder for per-message accounting.  It knows
+nothing about MPI semantics — those live in :mod:`repro.simmpi`.
 """
 
 from repro.netsim.events import Event, EventQueue
+from repro.netsim.fabric import (
+    DragonflyFabric,
+    FabricSpec,
+    FabricState,
+    FatTreeFabric,
+    FullBisectionFabric,
+    fabric_from_payload,
+    list_fabrics,
+    parse_fabric,
+)
 from repro.netsim.resources import SerialResource, ThroughputTracker
 from repro.netsim.simulator import Simulator
 from repro.netsim.trace import MessageRecord, TraceRecorder
@@ -19,4 +30,12 @@ __all__ = [
     "Simulator",
     "MessageRecord",
     "TraceRecorder",
+    "FabricSpec",
+    "FabricState",
+    "FullBisectionFabric",
+    "FatTreeFabric",
+    "DragonflyFabric",
+    "fabric_from_payload",
+    "list_fabrics",
+    "parse_fabric",
 ]

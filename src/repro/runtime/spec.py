@@ -26,6 +26,7 @@ from repro.machine.cluster import Cluster
 from repro.machine.hierarchy import LocalityLevel
 from repro.machine.params import LevelCosts, MachineParameters
 from repro.machine.topology import NodeArchitecture
+from repro.netsim.fabric import FullBisectionFabric, fabric_from_payload
 
 __all__ = ["PointSpec", "cluster_payload", "cluster_from_payload"]
 
@@ -50,8 +51,14 @@ def _params_payload(params: MachineParameters) -> dict:
 
 
 def cluster_payload(cluster: Cluster) -> dict:
-    """Serialize a :class:`Cluster` to a plain-JSON dictionary."""
-    return {
+    """Serialize a :class:`Cluster` to a plain-JSON dictionary.
+
+    The fabric is serialized only when it is not the full-bisection
+    default: a missing ``"fabric"`` key means full bisection, which keeps
+    every pre-fabric cache key and golden-corpus digest bit-identical while
+    still making any non-trivial topology part of a point's identity.
+    """
+    payload = {
         "name": cluster.name,
         "num_nodes": cluster.num_nodes,
         "node": {
@@ -64,6 +71,9 @@ def cluster_payload(cluster: Cluster) -> dict:
         "network_name": cluster.network_name,
         "system_mpi_name": cluster.system_mpi_name,
     }
+    if not isinstance(cluster.fabric, FullBisectionFabric):
+        payload["fabric"] = cluster.fabric.payload()
+    return payload
 
 
 def cluster_from_payload(payload: dict) -> Cluster:
@@ -80,6 +90,7 @@ def cluster_from_payload(payload: dict) -> Cluster:
         params=MachineParameters(levels=levels, **params_payload),
         network_name=payload["network_name"],
         system_mpi_name=payload["system_mpi_name"],
+        fabric=fabric_from_payload(payload.get("fabric")),
     )
 
 

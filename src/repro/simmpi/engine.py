@@ -18,7 +18,7 @@ deadlock report is actually built.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from heapq import heappush
 from typing import Any, Callable, Sequence
 
@@ -229,6 +229,8 @@ class JobResult:
     nic_statistics: list[dict]
     #: Number of discrete events processed.
     events_processed: int
+    #: Per-link inter-node fabric accounting (empty for full bisection).
+    fabric_statistics: list[dict] = field(default_factory=list)
 
     def phase_time(self, phase: str, *, reduce: Callable[[Sequence[float]], float] = max) -> float:
         """Aggregate one named phase across ranks (default: max over ranks)."""
@@ -451,6 +453,7 @@ class SpmdEngine:
             trace=self.trace,
             nic_statistics=self.timing.nic_statistics(),
             events_processed=self.simulator.events_processed,
+            fabric_statistics=self.timing.fabric_statistics(),
         )
 
 

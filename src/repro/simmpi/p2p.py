@@ -15,6 +15,10 @@ A message from rank *s* to rank *d* of *n* bytes is charged:
   :class:`~repro.netsim.resources.SerialResource`, each occupying the NIC
   for ``nic_message_overhead + n / injection_bandwidth`` seconds — the
   injection bottleneck the paper identifies for >100-rank nodes;
+* if the cluster configures a contended inter-node fabric
+  (:mod:`repro.netsim.fabric`), FIFO traversal of every shared link on the
+  message's node-to-node route — the queueing delay of fat-tree uplinks or
+  dragonfly global links; the full-bisection default skips this entirely;
 * a wire/fabric term ``alpha_level + n * beta_level`` where the level is
   the locality between the two ranks (NUMA, socket, node or network);
 * at the receiver, a matching cost proportional to the number of queue
@@ -99,6 +103,12 @@ class TimingModel:
         # NUMA boundary (SOCKET and NODE levels) serialize on it, modelling
         # the UPI / inter-chip bandwidth contention of many-core nodes.
         self.fabrics = [SerialResource(name=f"fabric-node{n}") for n in range(pmap.num_nodes)]
+        #: Inter-node fabric state (shared links + routes), or ``None`` for
+        #: the contention-free full-bisection default — in which case every
+        #: network path below keeps its original, fabric-free arithmetic
+        #: and the simulated timings stay bit-identical to the golden
+        #: fixture.
+        self.fabric = pmap.cluster.fabric.build(pmap.num_nodes, pmap.params)
         params = self.params
         self._node_of = [pmap.node_of(rank) for rank in range(pmap.nprocs)]
         self._latency = {level: params.latency(level) for level in LocalityLevel}
@@ -148,7 +158,17 @@ class TimingModel:
             nic.available_at = injected
             nic.busy_time += occupancy
             nic.reservations += 1
-            arrival = injected + self._latency[level] + nbytes * self._byte_time[level]
+            fabric = self.fabric
+            if fabric is None:
+                arrival = injected + self._latency[level] + nbytes * self._byte_time[level]
+            else:
+                # The injected message queues on each shared link of its
+                # route before the terminal wire/latency term; the sender is
+                # free as soon as the NIC finishes injecting.
+                exit_time = fabric.traverse(
+                    self._node_of[src], self._node_of[dst], nbytes, injected
+                )
+                arrival = exit_time + self._latency[level] + nbytes * self._byte_time[level]
             return injected, arrival, level
         # Intra-node: the sender's core streams the data through shared memory.
         # Transfers that cross a NUMA boundary additionally serialize on the
@@ -173,6 +193,12 @@ class TimingModel:
             {"node": i, "messages": nic.reservations, "busy_time": nic.busy_time}
             for i, nic in enumerate(self.nics)
         ]
+
+    def fabric_statistics(self) -> list[dict]:
+        """Per-link inter-node fabric accounting (empty for full bisection)."""
+        if self.fabric is None:
+            return []
+        return self.fabric.statistics()
 
 
 # ---------------------------------------------------------------------------
@@ -520,6 +546,10 @@ class MessageRouter:
         self._injection_bandwidth = timing._injection_bandwidth
         self._net_latency = timing._latency[LocalityLevel.NETWORK]
         self._net_byte_time = timing._byte_time[LocalityLevel.NETWORK]
+        #: Inter-node fabric state shared with the timing model (``None`` for
+        #: the full-bisection default: one attribute test keeps the inlined
+        #: eager path free of any fabric arithmetic).
+        self._fabric = timing.fabric
         #: Matching statistics: total completed matches and the total number
         #: of queue entries charged to the matching-cost model.  Tests use
         #: them to pin the indexed scanned counts to the linear-scan oracle.
@@ -571,7 +601,14 @@ class MessageRouter:
                 nic.available_at = sender_done
                 nic.busy_time += occupancy
                 nic.reservations += 1
-                arrival = sender_done + self._net_latency + nbytes * self._net_byte_time
+                fabric = self._fabric
+                if fabric is None:
+                    arrival = sender_done + self._net_latency + nbytes * self._net_byte_time
+                else:
+                    exit_time = fabric.traverse(
+                        self._node_of[src], self._node_of[dst], nbytes, sender_done
+                    )
+                    arrival = exit_time + self._net_latency + nbytes * self._net_byte_time
             else:
                 sender_done, arrival, level = timing.transfer(src, dst, nbytes, ready_time, level)
             # Inlined Request.complete: the request was created above, so no

@@ -370,17 +370,24 @@ class DifferentialRunner:
         return failure
 
 
-def verify_seed(seed: int, max_ranks: int = 24) -> VerificationRecord:
-    """Verify the scenario of one seed (the programmatic one-liner)."""
-    scenario = ScenarioGenerator(max_ranks=max_ranks).scenario(seed)
+def verify_seed(seed: int, max_ranks: int = 24, *, fabric=None) -> VerificationRecord:
+    """Verify the scenario of one seed (the programmatic one-liner).
+
+    ``fabric`` (a :mod:`repro.netsim.fabric` spec) opts the sampled cluster
+    into a contended inter-node topology and widens the traffic sampler
+    with the link-stressing incast / neighbour-shift shapes.
+    """
+    scenario = ScenarioGenerator(max_ranks=max_ranks, fabric=fabric).scenario(seed)
     return DifferentialRunner().verify(scenario)
 
 
 def verify_task(task: tuple) -> VerificationRecord:
-    """Module-level pool worker: ``task`` is a picklable ``(seed, max_ranks)``.
+    """Module-level pool worker: ``task`` is a picklable ``(seed, max_ranks)``
+    or ``(seed, max_ranks, fabric_spec)``.
 
     Lives at module scope so :meth:`repro.runtime.SweepExecutor.map` can fan
     scenario seeds out over a ``spawn`` process pool.
     """
-    seed, max_ranks = task
-    return verify_seed(seed, max_ranks)
+    seed, max_ranks = task[0], task[1]
+    fabric = task[2] if len(task) > 2 else None
+    return verify_seed(seed, max_ranks, fabric=fabric)

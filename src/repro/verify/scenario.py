@@ -29,6 +29,7 @@ from repro.errors import ConfigurationError
 from repro.machine.cluster import Cluster
 from repro.machine.process_map import ProcessMap
 from repro.machine.systems import get_system, tiny_cluster
+from repro.netsim.fabric import FabricSpec
 from repro.runtime.spec import cluster_payload
 from repro.utils.partition import divisors
 from repro.workloads import TrafficMatrix, make_pattern
@@ -42,9 +43,16 @@ SCENARIO_VERSION = 1
 
 _FAMILIES = ("uniform", "workload")
 
-#: Workload patterns the generator samples from (every registered generator
-#: family; trace replay is covered separately because it needs a source).
+#: Workload patterns the default generator samples from.  Frozen: the golden
+#: corpus pins scenario digests for the default sampler, so new pattern
+#: families must NOT be added here — they join the opt-in fabric tuple below.
 _PATTERN_NAMES = ("uniform", "skewed-moe", "block-diagonal", "zipf", "sparse", "self-only")
+
+#: Extended tuple sampled when a fabric is configured: adds the shapes that
+#: actually stress shared links (incast victims, directional neighbour
+#: shifts).  Fabric-enabled sweeps are opt-in, so widening this tuple never
+#: invalidates the golden corpus.
+_PATTERN_NAMES_FABRIC = _PATTERN_NAMES + ("incast", "neighbor-shift")
 
 _UNIFORM_SIZES = (1, 2, 3, 4, 8, 16, 64, 256, 1024, 4096)
 _WORKLOAD_SIZES = (1, 4, 16, 64, 256)
@@ -143,12 +151,19 @@ class ScenarioGenerator:
         Upper bound on ``nodes * ppn``.  The differential runner simulates
         every applicable algorithm per scenario, so scenarios stay small
         enough that a 25-scenario CI sweep completes in seconds.
+    fabric:
+        Optional inter-node fabric applied to every sampled cluster.  When
+        set, the traffic sampler additionally draws the link-stressing
+        incast / neighbour-shift shapes.  ``None`` (the default) keeps the
+        sampler — and therefore the golden-corpus digests — exactly as
+        before the fabric subsystem existed.
     """
 
-    def __init__(self, max_ranks: int = 24) -> None:
+    def __init__(self, max_ranks: int = 24, *, fabric: FabricSpec | None = None) -> None:
         if max_ranks < 1:
             raise ConfigurationError(f"max_ranks must be positive, got {max_ranks}")
         self.max_ranks = max_ranks
+        self.fabric = fabric
 
     # -- public API ----------------------------------------------------------
     def scenario(self, seed: int) -> Scenario:
@@ -194,9 +209,15 @@ class ScenarioGenerator:
                 numa_per_socket=rng.choice([1, 2]),
                 cores_per_numa=rng.choice([1, 2, 3, 4]),
             )
-            return cluster, "random"
-        name = rng.choice(["tiny", "dane", "amber", "tuolomne"])
-        return get_system(name, 4), name
+        else:
+            name = rng.choice(["tiny", "dane", "amber", "tuolomne"])
+            cluster = get_system(name, 4)
+            if self.fabric is None:
+                return cluster, name
+            return cluster.with_fabric(self.fabric), name
+        if self.fabric is not None:
+            cluster = cluster.with_fabric(self.fabric)
+        return cluster, "random"
 
     def _sample_shape(self, rng: random.Random, cluster: Cluster) -> tuple[int, int]:
         choices = [
@@ -208,7 +229,8 @@ class ScenarioGenerator:
         return rng.choice(choices)
 
     def _sample_matrix(self, rng: random.Random, nprocs: int) -> TrafficMatrix:
-        name = rng.choice(_PATTERN_NAMES)
+        names = _PATTERN_NAMES if self.fabric is None else _PATTERN_NAMES_FABRIC
+        name = rng.choice(names)
         msg_bytes = rng.choice(_WORKLOAD_SIZES)
         sub_seed = rng.randrange(2**31)
         options: dict = {}
@@ -230,6 +252,23 @@ class ScenarioGenerator:
             options = {"exponent": rng.choice([0.8, 1.2, 2.5, 4.0]), "seed": sub_seed}
         elif name == "sparse":
             options = {"out_degree": rng.choice([1, 2, 4]), "seed": sub_seed}
+        elif name == "incast":
+            options = {
+                "hotspots": min(rng.choice([1, 2]), nprocs),
+                "background_bytes": rng.choice([0, 1]),
+                "seed": sub_seed,
+            }
+        elif name == "neighbor-shift":
+            if nprocs == 1:
+                # A single rank has no neighbours; keep the degenerate
+                # single-rank coverage via the self-only shape instead.
+                name = "self-only"
+            else:
+                shifts = [s for s in (1, 2, nprocs // 2) if s % nprocs != 0]
+                options = {
+                    "shift": rng.choice(shifts),
+                    "degree": rng.choice([1, 2]),
+                }
         matrix = make_pattern(name, nprocs, msg_bytes, **options)
         # Degenerate post-op: zero out random send rows (possibly all of
         # them) — ranks that participate but contribute no bytes.

@@ -10,8 +10,9 @@ first-class:
   destination) byte counts with the aggregate views (totals, skew, per-node
   traffic) the runner, cost model and benchmark harness consume;
 * :mod:`~repro.workloads.generators` — pattern generators (``uniform``,
-  ``skewed_moe``, ``block_diagonal``, ``zipf``, ``sparse``, ``from_trace``)
-  behind the :data:`~repro.workloads.generators.PATTERNS` registry;
+  ``skewed_moe``, ``block_diagonal``, ``zipf``, ``sparse``, ``incast``,
+  ``neighbor_shift``, ``from_trace``) behind the
+  :data:`~repro.workloads.generators.PATTERNS` registry;
 * :mod:`~repro.workloads.traceio` — JSON trace replay and persistence.
 
 Downstream entry points: :func:`repro.core.runner.run_workload` simulates a
@@ -37,8 +38,10 @@ from repro.workloads.generators import (
     PATTERNS,
     block_diagonal,
     from_trace,
+    incast,
     list_patterns,
     make_pattern,
+    neighbor_shift,
     self_only,
     skewed_moe,
     sparse,
@@ -56,6 +59,8 @@ __all__ = [
     "block_diagonal",
     "zipf",
     "sparse",
+    "incast",
+    "neighbor_shift",
     "self_only",
     "from_trace",
     "make_pattern",

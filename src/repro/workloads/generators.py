@@ -16,6 +16,10 @@ workloads that motivate the paper:
   follow a Zipf distribution over a source-specific destination order;
 * :func:`sparse` — bounded out-degree: each source sends to a fixed number
   of random destinations only (neighbourhood exchanges, graph workloads);
+* :func:`incast` — every source floods a few victim destinations: the
+  link-contention stressor (fabric downlinks into the victims' nodes);
+* :func:`neighbor_shift` — cyclic shifted neighbour exchange (halo /
+  pipeline hand-off traffic), loading fabric links asymmetrically;
 * :func:`from_trace` — replay a recorded JSON trace
   (see :mod:`repro.workloads.traceio`).
 
@@ -38,6 +42,8 @@ __all__ = [
     "block_diagonal",
     "zipf",
     "sparse",
+    "incast",
+    "neighbor_shift",
     "self_only",
     "from_trace",
     "PATTERNS",
@@ -178,6 +184,77 @@ def sparse(
     return TrafficMatrix(matrix, pattern="sparse")
 
 
+def incast(
+    nprocs: int,
+    msg_bytes: int,
+    *,
+    hotspots: int = 1,
+    background_bytes: int = 0,
+    seed: int = 0,
+) -> TrafficMatrix:
+    """Every source floods a few victim destinations — the classic incast.
+
+    ``hotspots`` destinations (drawn without replacement from the seeded
+    RNG, so they spread across nodes run-to-run) each receive ``msg_bytes``
+    from **every** source; all other pairs carry ``background_bytes``
+    (default none).  With sequential rank placement the victims' nodes —
+    and, on a contended fabric (:mod:`repro.netsim.fabric`), the links into
+    them — become the bottleneck, which is invisible on the contention-free
+    full-bisection default.
+    """
+    _check_args(nprocs, msg_bytes)
+    if not 1 <= hotspots <= nprocs:
+        raise ConfigurationError(
+            f"hotspots must be in [1, {nprocs}], got {hotspots}"
+        )
+    if background_bytes < 0:
+        raise ConfigurationError(
+            f"background_bytes must be non-negative, got {background_bytes}"
+        )
+    rng = np.random.default_rng(seed)
+    victims = rng.permutation(nprocs)[:hotspots]
+    matrix = np.full((nprocs, nprocs), background_bytes, dtype=np.int64)
+    matrix[:, victims] = msg_bytes
+    return TrafficMatrix(matrix, pattern="incast")
+
+
+def neighbor_shift(
+    nprocs: int,
+    msg_bytes: int,
+    *,
+    shift: int = 1,
+    degree: int = 1,
+) -> TrafficMatrix:
+    """Cyclic neighbour exchange: rank ``r`` sends to ``r + k * shift`` (mod n).
+
+    ``degree`` consecutive multiples of ``shift`` receive ``msg_bytes``
+    each — halo exchanges and pipeline-parallel hand-offs.  A ``shift``
+    equal to the job's ppn makes every message cross nodes in the same
+    direction, loading each fabric link asymmetrically (uniform traffic
+    never does), which is what makes this shape a link-contention stressor.
+
+    The traffic is strictly off-diagonal: a shift multiple that wraps back
+    onto the source (``k * shift ≡ 0 mod n``) is skipped rather than
+    silently turned into a self-send, and a ``shift`` that is itself a
+    multiple of ``nprocs`` (no neighbour at all) is rejected.
+    """
+    _check_args(nprocs, msg_bytes)
+    if degree <= 0:
+        raise ConfigurationError(f"degree must be positive, got {degree}")
+    if shift % nprocs == 0:
+        raise ConfigurationError(
+            f"shift={shift} is a multiple of nprocs={nprocs}: every 'neighbour' "
+            "would be the source itself"
+        )
+    matrix = np.zeros((nprocs, nprocs), dtype=np.int64)
+    sources = np.arange(nprocs)
+    for k in range(1, degree + 1):
+        if (k * shift) % nprocs == 0:
+            continue
+        matrix[sources, (sources + k * shift) % nprocs] = msg_bytes
+    return TrafficMatrix(matrix, pattern="neighbor-shift")
+
+
 def self_only(nprocs: int, msg_bytes: int) -> TrafficMatrix:
     """Purely diagonal traffic: every rank sends ``msg_bytes`` only to itself.
 
@@ -210,6 +287,8 @@ PATTERNS: dict[str, Callable[..., TrafficMatrix]] = {
     "block-diagonal": block_diagonal,
     "zipf": zipf,
     "sparse": sparse,
+    "incast": incast,
+    "neighbor-shift": neighbor_shift,
     "self-only": self_only,
 }
 

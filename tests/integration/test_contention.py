@@ -1,0 +1,90 @@
+"""Fabric contention end-to-end: timing identities, ordering flip, verify sweep.
+
+Three properties of the inter-node fabric layer that only show end-to-end:
+
+* the full-bisection default and an ``oversubscription=1`` fat-tree are the
+  *same machine* — simulated timings must be bit-identical, and self /
+  intra-node traffic must never reserve a fabric link;
+* a contended fabric must change which algorithm wins a skewed workload
+  (the acceptance demo of the fabric subsystem): flat non-blocking wins on
+  full bisection, node-aware aggregation wins on a tapered dragonfly;
+* the differential conformance sweep must stay green over fabric-enabled
+  scenarios — contention shifts timings, never delivered bytes.
+"""
+
+import pytest
+
+from repro.bench.figures import figure_contention
+from repro.core.runner import run_alltoall, run_workload
+from repro.machine.process_map import ProcessMap
+from repro.machine.systems import get_system, tiny_cluster
+from repro.netsim.fabric import parse_fabric
+from repro.verify import verify_seed
+from repro.workloads import make_pattern
+
+_FLIP_FABRIC = "dragonfly:hosts=1,routers=2,taper=8"
+
+
+def _elapsed(algorithm, fabric, *, nodes=4, ppn=4, msg_bytes=256):
+    cluster = get_system("dane", nodes, fabric=fabric)
+    pmap = ProcessMap(cluster, ppn=ppn, num_nodes=nodes)
+    matrix = make_pattern("skewed-moe", pmap.nprocs, msg_bytes, seed=0)
+    return run_workload(algorithm, pmap, matrix).elapsed
+
+
+class TestTimingIdentities:
+    def test_oversub_one_fat_tree_equals_full_bisection(self):
+        """A 1:1 fat-tree is non-blocking: timings must be bit-identical."""
+        plain = _elapsed("nonblocking", None)
+        nonblocking_tree = _elapsed("nonblocking", parse_fabric("fat-tree:oversub=1"))
+        assert plain == nonblocking_tree
+
+    def test_single_node_job_never_touches_the_fabric(self):
+        cluster = tiny_cluster(num_nodes=1, fabric=parse_fabric("fat-tree:hosts=1,oversub=4"))
+        pmap = ProcessMap(cluster, ppn=4, num_nodes=1)
+        outcome = run_alltoall("pairwise", pmap, 64)
+        assert outcome.correct
+        assert outcome.job.fabric_statistics == []
+
+    def test_self_and_intra_node_traffic_never_reserve_links(self):
+        # All traffic stays on-node (diagonal blocks): every fabric link of
+        # a heavily contended tree must end the job with zero reservations.
+        cluster = tiny_cluster(num_nodes=2, fabric=parse_fabric("fat-tree:hosts=1,oversub=8"))
+        pmap = ProcessMap(cluster, ppn=4, num_nodes=2)
+        matrix = make_pattern("block-diagonal", 8, 64, group_size=4)
+        outcome = run_workload("pairwise", pmap, matrix)
+        assert outcome.correct
+        stats = outcome.job.fabric_statistics
+        assert stats and all(entry["messages"] == 0 for entry in stats)
+
+    def test_contended_fabric_only_delays(self):
+        fast = _elapsed("nonblocking", None)
+        slow = _elapsed("nonblocking", parse_fabric("fat-tree:hosts=2,oversub=8"))
+        assert slow > fast
+
+
+class TestOrderingFlip:
+    def test_contention_flips_the_winner_on_a_skewed_workload(self):
+        """The fabric subsystem's acceptance demo, pinned as a test."""
+        dragonfly = parse_fabric(_FLIP_FABRIC)
+        assert _elapsed("nonblocking", None) < _elapsed("node-aware", None)
+        assert _elapsed("node-aware", dragonfly) < _elapsed("nonblocking", dragonfly)
+
+    def test_contention_figure_shows_the_flip(self):
+        fig = figure_contention(
+            get_system("dane", 4), ppn=4, engine="simulate", msg_bytes=256
+        )
+        nonblocking = fig.get("Nonblocking")
+        node_aware = fig.get("Node-Aware")
+        # Ladder index 0 = full bisection, last index = tapered dragonfly.
+        first, last = 0, len(fig.xs()) - 1
+        assert nonblocking.at(first).seconds < node_aware.at(first).seconds
+        assert node_aware.at(last).seconds < nonblocking.at(last).seconds
+
+
+class TestFabricVerifySweep:
+    @pytest.mark.parametrize("seed", [2025, 2031])
+    def test_differential_sweep_passes_with_a_fabric(self, seed):
+        record = verify_seed(seed, max_ranks=12, fabric=parse_fabric("fat-tree:hosts=2,oversub=4"))
+        assert record.ok, [f.detail for f in record.failures]
+        assert record.verified

@@ -25,11 +25,16 @@ import pytest
 from repro.core.runner import run_alltoall, run_workload
 from repro.machine.process_map import ProcessMap
 from repro.machine.systems import get_system
+from repro.netsim.fabric import parse_fabric
 from repro.workloads import make_pattern
 
 FIXTURE_PATH = Path(__file__).resolve().parents[1] / "golden" / "simulated_timings.json"
 
-#: (key, kind, algorithm, nodes, ppn, msg_bytes, pattern, options)
+#: Contended fabrics pinned alongside the full-bisection default.
+_FAT_TREE = "fat-tree:hosts=2,oversub=4"
+_DRAGONFLY = "dragonfly:hosts=1,routers=2,taper=4"
+
+#: (key, kind, algorithm, nodes, ppn, msg_bytes, pattern, options[, fabric])
 JOBS = [
     ("pairwise/4n4p/256B", "uniform", "pairwise", 4, 4, 256, None, {}),
     ("nonblocking/4n4p/256B", "uniform", "nonblocking", 4, 4, 256, None, {}),
@@ -56,13 +61,31 @@ JOBS = [
      "skewed-moe", {}),
     ("workload-node-aware/4n4p/sparse", "workload", "node-aware", 4, 4, 64,
      "sparse", {}),
+    # Contended inter-node fabrics (repro.netsim.fabric): the same exchanges
+    # through an oversubscribed fat-tree and a tapered dragonfly.  The
+    # full-bisection entries above must stay bit-identical regardless.
+    ("pairwise/4n4p/256B/fat-tree-o4", "uniform", "pairwise", 4, 4, 256, None,
+     {}, _FAT_TREE),
+    ("nonblocking/4n4p/256B/fat-tree-o4", "uniform", "nonblocking", 4, 4, 256, None,
+     {}, _FAT_TREE),
+    ("node-aware/4n4p/256B/fat-tree-o4", "uniform", "node-aware", 4, 4, 256, None,
+     {}, _FAT_TREE),
+    ("pairwise/4n4p/256B/dragonfly", "uniform", "pairwise", 4, 4, 256, None,
+     {}, _DRAGONFLY),
+    ("node-aware/4n4p/256B/dragonfly", "uniform", "node-aware", 4, 4, 256, None,
+     {}, _DRAGONFLY),
+    ("workload-nonblocking/4n4p/incast/fat-tree-o4", "workload", "nonblocking",
+     4, 4, 64, "incast", {}, _FAT_TREE),
+    ("workload-node-aware/4n4p/incast/dragonfly", "workload", "node-aware",
+     4, 4, 64, "incast", {}, _DRAGONFLY),
 ]
 
 _PATTERN_SEED = 3
 
 
-def _run(kind, algorithm, nodes, ppn, msg_bytes, pattern, options):
-    cluster = get_system("dane", nodes)
+def _run(kind, algorithm, nodes, ppn, msg_bytes, pattern, options, fabric=None):
+    spec = None if fabric is None else parse_fabric(fabric)
+    cluster = get_system("dane", nodes, fabric=spec)
     pmap = ProcessMap(cluster, ppn=ppn, num_nodes=nodes)
     if kind == "workload":
         matrix = make_pattern(pattern, pmap.nprocs, msg_bytes, seed=_PATTERN_SEED)

@@ -14,6 +14,7 @@ from repro.machine.systems import (
     tiny_cluster,
     tuolomne,
 )
+from repro.netsim.fabric import FatTreeFabric, FullBisectionFabric, parse_fabric
 
 
 class TestNodeArchitectures:
@@ -93,3 +94,26 @@ class TestTinyCluster:
         cluster = tiny_cluster(num_nodes=2, sockets=1, numa_per_socket=2, cores_per_numa=3)
         assert cluster.cores_per_node == 6
         assert cluster.num_nodes == 2
+
+
+class TestPresetFabrics:
+    def test_every_preset_defaults_to_full_bisection(self):
+        for factory in (dane, amber, tuolomne, tiny_cluster):
+            assert factory().fabric == FullBisectionFabric()
+
+    def test_every_preset_accepts_a_fabric_override(self):
+        spec = FatTreeFabric(hosts_per_switch=2, oversubscription=2)
+        for factory in (dane, amber, tuolomne, tiny_cluster):
+            cluster = factory(4, fabric=spec)
+            assert cluster.fabric == spec
+            assert "fat-tree" in cluster.describe()
+
+    def test_get_system_fabric_parameter(self):
+        spec = parse_fabric("dragonfly:hosts=2,routers=2,taper=4")
+        assert get_system("tuolomne", 8, fabric=spec).fabric == spec
+        # Without an override the preset keeps its default.
+        assert get_system("tuolomne", 8).fabric == FullBisectionFabric()
+
+    def test_fabric_override_keeps_params_identical(self):
+        spec = FatTreeFabric(hosts_per_switch=2, oversubscription=2)
+        assert dane(4, fabric=spec).params == dane(4).params

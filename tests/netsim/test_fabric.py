@@ -1,0 +1,171 @@
+"""Unit tests for the inter-node fabric layer (specs, parsing, routing)."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.systems import get_system, tiny_cluster
+from repro.netsim.fabric import (
+    DragonflyFabric,
+    FatTreeFabric,
+    FullBisectionFabric,
+    fabric_from_payload,
+    list_fabrics,
+    parse_fabric,
+)
+
+
+class TestParsing:
+    def test_default_kinds(self):
+        assert parse_fabric("full-bisection") == FullBisectionFabric()
+        assert parse_fabric("fat-tree") == FatTreeFabric()
+        assert parse_fabric("dragonfly") == DragonflyFabric()
+
+    def test_fat_tree_options_and_aliases(self):
+        spec = parse_fabric("fat-tree:hosts=8,oversub=4")
+        assert spec == FatTreeFabric(hosts_per_switch=8, oversubscription=4.0)
+        # Radix alias: k=8 means 4 hosts per edge switch.
+        assert parse_fabric("fat-tree:k=8").hosts_per_switch == 4
+
+    def test_dragonfly_options(self):
+        spec = parse_fabric("dragonfly:hosts=4,routers=8,taper=2")
+        assert spec == DragonflyFabric(
+            hosts_per_router=4, routers_per_group=8, global_taper=2.0
+        )
+
+    def test_unknown_kind_and_malformed_options(self):
+        with pytest.raises(ConfigurationError):
+            parse_fabric("torus")
+        with pytest.raises(ConfigurationError):
+            parse_fabric("fat-tree:oversub")
+        with pytest.raises(ConfigurationError):
+            parse_fabric("fat-tree:oversub=fast")
+        with pytest.raises(ConfigurationError):
+            parse_fabric("fat-tree:bogus=1")
+        with pytest.raises(ConfigurationError):
+            parse_fabric("dragonfly:k=8")
+        with pytest.raises(ConfigurationError):
+            parse_fabric("fat-tree:k=abc")
+        with pytest.raises(ConfigurationError):
+            parse_fabric("fat-tree:k=1")
+
+    def test_list_fabrics(self):
+        assert list_fabrics() == ["dragonfly", "fat-tree", "full-bisection"]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FatTreeFabric(hosts_per_switch=0)
+        with pytest.raises(ConfigurationError):
+            FatTreeFabric(oversubscription=0.5)
+        with pytest.raises(ConfigurationError):
+            DragonflyFabric(global_taper=0.0)
+
+
+class TestPayloadRoundtrip:
+    @pytest.mark.parametrize("text", [
+        "full-bisection",
+        "fat-tree:hosts=2,oversub=4",
+        "dragonfly:hosts=2,routers=2,taper=4",
+    ])
+    def test_roundtrip(self, text):
+        spec = parse_fabric(text)
+        assert fabric_from_payload(spec.payload()) == spec
+
+    def test_none_payload_is_default(self):
+        assert fabric_from_payload(None) == FullBisectionFabric()
+
+    def test_unknown_payload_kind(self):
+        with pytest.raises(ConfigurationError):
+            fabric_from_payload({"kind": "torus"})
+
+    def test_specs_pickle(self):
+        for text in ("full-bisection", "fat-tree:oversub=2", "dragonfly"):
+            spec = parse_fabric(text)
+            assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestBuildAndRouting:
+    def _params(self):
+        return tiny_cluster().params
+
+    def test_full_bisection_builds_nothing(self):
+        assert FullBisectionFabric().build(8, self._params()) is None
+
+    def test_oversub_one_builds_nothing(self):
+        assert FatTreeFabric(oversubscription=1.0).build(8, self._params()) is None
+
+    def test_single_switch_builds_nothing(self):
+        # Every node under one edge switch: no oversubscribed core traffic.
+        assert FatTreeFabric(hosts_per_switch=8, oversubscription=4).build(
+            4, self._params()
+        ) is None
+
+    def test_single_node_cluster_builds_nothing(self):
+        assert FatTreeFabric(hosts_per_switch=1, oversubscription=4).build(
+            1, self._params()
+        ) is None
+        assert DragonflyFabric(hosts_per_router=1).build(1, self._params()) is None
+
+    def test_fat_tree_routes(self):
+        state = FatTreeFabric(hosts_per_switch=2, oversubscription=4).build(
+            6, self._params()
+        )
+        # Same switch: no shared links; cross switch: uplink then downlink.
+        assert state.route(0, 1) == ()
+        names = [link.name for link in state.route(0, 3)]
+        assert names == ["ft-up0", "ft-down1"]
+        assert (0, 0) not in state.routes
+
+    def test_dragonfly_routes(self):
+        state = DragonflyFabric(
+            hosts_per_router=2, routers_per_group=2, global_taper=4
+        ).build(8, self._params())
+        assert state.route(0, 1) == ()  # same router
+        assert [l.name for l in state.route(0, 2)] == ["df-r0", "df-r1"]  # same group
+        assert [l.name for l in state.route(0, 6)] == ["df-r0", "df-g0-1", "df-r3"]
+
+    def test_traverse_serializes_on_shared_link(self):
+        state = FatTreeFabric(hosts_per_switch=1, oversubscription=2).build(
+            2, self._params()
+        )
+        first = state.traverse(0, 1, 1000, 0.0)
+        second = state.traverse(0, 1, 1000, 0.0)
+        # The second message queues behind the first on the shared uplink.
+        assert second > first > 0.0
+        stats = {entry["link"]: entry for entry in state.statistics()}
+        assert stats["ft-up0"]["messages"] == 2
+
+    def test_uniform_phase_bound_matches_general_bound(self):
+        state = FatTreeFabric(hosts_per_switch=2, oversubscription=4).build(
+            6, self._params()
+        )
+        n = 6
+        msgs, byts = 3.0, 4096.0
+        pair_msgs = [[0.0 if a == b else msgs for b in range(n)] for a in range(n)]
+        pair_bytes = [[0.0 if a == b else byts for b in range(n)] for a in range(n)]
+        assert state.uniform_phase_bound(msgs, byts) == pytest.approx(
+            state.phase_bound(pair_msgs, pair_bytes)
+        )
+
+    def test_phase_bound_matches_busiest_link(self):
+        state = FatTreeFabric(hosts_per_switch=1, oversubscription=2).build(
+            2, self._params()
+        )
+        pair_msgs = [[0, 3], [0, 0]]
+        pair_bytes = [[0, 3000], [0, 0]]
+        link = state.route(0, 1)[0]
+        expected = 3 * link.hop_overhead + 3000 * link.byte_time
+        assert state.phase_bound(pair_msgs, pair_bytes) == pytest.approx(expected)
+        assert state.phase_bound([[0, 0], [0, 0]], [[0, 0], [0, 0]]) == 0.0
+
+
+class TestClusterIntegration:
+    def test_get_system_fabric_override(self):
+        spec = parse_fabric("fat-tree:oversub=2")
+        cluster = get_system("dane", 4, fabric=spec)
+        assert cluster.fabric == spec
+        assert "fat-tree" in cluster.describe()
+
+    def test_default_fabric_is_full_bisection(self):
+        assert get_system("tiny").fabric == FullBisectionFabric()

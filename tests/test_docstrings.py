@@ -1,0 +1,40 @@
+"""Documentation-layer gate: every module in ``src/repro`` has a docstring.
+
+CI additionally runs ``ruff check src`` with the ``D100``/``D104`` rules
+(see ``pyproject.toml``); this test enforces the same invariant for plain
+``pytest`` runs in environments without ruff, and goes one step further for
+packages: a package docstring must be more than a single bare line, because
+the package docstrings double as the architecture overview referenced from
+``docs/ARCHITECTURE.md``.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC_ROOT = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+MODULES = sorted(SRC_ROOT.rglob("*.py"))
+
+
+def _module_id(path: Path) -> str:
+    return str(path.relative_to(SRC_ROOT.parent))
+
+
+@pytest.mark.parametrize("path", MODULES, ids=_module_id)
+def test_module_has_docstring(path):
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    docstring = ast.get_docstring(tree)
+    assert docstring, f"{_module_id(path)} is missing a module docstring (ruff D100/D104)"
+
+
+@pytest.mark.parametrize(
+    "path", [p for p in MODULES if p.name == "__init__.py"], ids=_module_id
+)
+def test_package_docstring_describes_the_layer(path):
+    docstring = ast.get_docstring(ast.parse(path.read_text(encoding="utf-8")))
+    assert docstring and len(docstring.strip()) >= 40, (
+        f"{_module_id(path)}: package docstrings are the architecture overview; "
+        "say what the layer does and who sits above/below it"
+    )

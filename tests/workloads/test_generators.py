@@ -7,9 +7,11 @@ from repro.errors import ConfigurationError
 from repro.workloads import (
     PATTERNS,
     block_diagonal,
+    incast,
     list_patterns,
     load_trace,
     make_pattern,
+    neighbor_shift,
     save_trace,
     skewed_moe,
     sparse,
@@ -112,10 +114,72 @@ class TestSparse:
             sparse(8, 64, out_degree=0)
 
 
+class TestIncast:
+    def test_victims_receive_from_every_source(self):
+        matrix = incast(8, 64, hotspots=2, seed=1)
+        column_totals = matrix.bytes.sum(axis=0)
+        victims = np.flatnonzero(column_totals == 8 * 64)
+        assert len(victims) == 2
+        assert matrix.bytes[:, victims].min() == 64
+        # Everything else is silent by default.
+        assert matrix.total_bytes == 2 * 8 * 64
+
+    def test_background_traffic(self):
+        matrix = incast(4, 64, hotspots=1, background_bytes=2, seed=0)
+        assert matrix.bytes.min() == 2
+
+    def test_deterministic_per_seed(self):
+        assert np.array_equal(incast(8, 64, seed=5).bytes, incast(8, 64, seed=5).bytes)
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            incast(8, 64, hotspots=0)
+        with pytest.raises(ConfigurationError):
+            incast(8, 64, hotspots=9)
+        with pytest.raises(ConfigurationError):
+            incast(8, 64, background_bytes=-1)
+
+
+class TestNeighborShift:
+    def test_single_shift_ring(self):
+        matrix = neighbor_shift(6, 32, shift=1)
+        for rank in range(6):
+            assert matrix.bytes[rank, (rank + 1) % 6] == 32
+        assert matrix.total_bytes == 6 * 32
+
+    def test_degree_adds_neighbours(self):
+        matrix = neighbor_shift(8, 16, shift=2, degree=3)
+        assert matrix.bytes[0, 2] == 16 and matrix.bytes[0, 4] == 16 and matrix.bytes[0, 6] == 16
+        assert matrix.bytes[0, 1] == 0
+
+    def test_node_crossing_shift(self):
+        # shift == ppn sends every message to the next node over.
+        matrix = neighbor_shift(8, 16, shift=4)
+        assert matrix.bytes[0, 4] == 16 and matrix.bytes[5, 1] == 16
+
+    def test_traffic_stays_off_the_diagonal(self):
+        # A wrap-around multiple (k * shift == n) is skipped, not turned
+        # into a self-send.
+        matrix = neighbor_shift(8, 16, shift=4, degree=2)
+        assert np.diagonal(matrix.bytes).sum() == 0
+        assert matrix.total_bytes == 8 * 16
+
+    def test_shift_multiple_of_nprocs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            neighbor_shift(8, 16, shift=0)
+        with pytest.raises(ConfigurationError):
+            neighbor_shift(8, 16, shift=8)
+
+    def test_invalid_degree(self):
+        with pytest.raises(ConfigurationError):
+            neighbor_shift(8, 16, degree=0)
+
+
 class TestRegistry:
     def test_all_patterns_listed(self):
         assert set(list_patterns()) == {
             "uniform", "skewed-moe", "block-diagonal", "zipf", "sparse", "self-only",
+            "incast", "neighbor-shift",
         }
 
     def test_make_pattern_dispatch(self):
