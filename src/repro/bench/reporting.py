@@ -15,6 +15,7 @@ from repro.errors import ConfigurationError
 
 __all__ = [
     "format_figure",
+    "format_metrics",
     "format_table1",
     "to_csv",
     "format_speedup_summary",
@@ -47,6 +48,45 @@ def format_figure(figure: FigureResult, *, max_label: int = 28) -> str:
             except ConfigurationError:
                 row += f"{'-':>{col_width}s}"
         lines.append(row)
+    return "\n".join(lines)
+
+
+def _format_metric_value(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _flatten_metrics(metrics: dict, prefix: str = "") -> list[tuple[str, object]]:
+    rows: list[tuple[str, object]] = []
+    for name in sorted(metrics):
+        value = metrics[name]
+        dotted = f"{prefix}{name}"
+        if isinstance(value, dict):
+            rows.extend(_flatten_metrics(value, f"{dotted}."))
+        else:
+            rows.append((dotted, value))
+    return rows
+
+
+def format_metrics(metrics: dict, *, title: str = "Metrics") -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` / ``JobResult.metrics`` dict.
+
+    The nested snapshot is flattened back to sorted dotted names — one
+    aligned ``name  value`` row per leaf — so the output is deterministic
+    and greppable whatever the nesting depth.
+    """
+    rows = _flatten_metrics(metrics)
+    if not rows:
+        return f"{title}: (none)"
+    width = max(len(name) for name, _ in rows)
+    lines = [f"{title}:"]
+    for name, value in rows:
+        lines.append(f"  {name:<{width}s}  {_format_metric_value(value)}")
     return "\n".join(lines)
 
 

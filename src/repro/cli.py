@@ -26,6 +26,11 @@ Installed as the ``repro-bench`` console script (and runnable as
     Hot-path microbenchmarks of the discrete-event simulator: time the
     canonical job suite, record/compare the committed ``BENCH_simmpi.json``
     trajectory, and fail on wall-clock regressions beyond the tolerance.
+``trace``
+    Simulate one exchange (uniform or a workload pattern) with a recording
+    event sink attached and export the simulated timeline as Chrome
+    trace-event JSON — one track per rank and per fabric link, loadable in
+    Perfetto / ``chrome://tracing`` — plus an optional metrics sidecar.
 """
 
 from __future__ import annotations
@@ -71,6 +76,10 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
     runtime.add_argument("--no-cache", action="store_true",
                          help="ignore --cache-dir entirely (recompute everything, "
                               "write nothing)")
+    runtime.add_argument("--progress", action="store_true",
+                         help="report sweep progress on stderr as benchmark "
+                              "points resolve (per point when serial, per "
+                              "batch when parallel)")
 
 
 def _add_fabric_argument(parser: argparse.ArgumentParser) -> None:
@@ -101,6 +110,10 @@ def _fabric_from_args(args: argparse.Namespace):
     return spec
 
 
+def _print_progress(done: int, total: int) -> None:
+    print(f"[runtime] {done}/{total} point(s) resolved", file=sys.stderr, flush=True)
+
+
 def _executor_from_args(args: argparse.Namespace) -> SweepExecutor | None:
     """Build the executor the runtime flags ask for (None = legacy inline path)."""
     jobs = args.jobs if args.jobs != 0 else default_jobs()
@@ -109,9 +122,13 @@ def _executor_from_args(args: argparse.Namespace) -> SweepExecutor | None:
     store = None
     if args.cache_dir is not None and not args.no_cache:
         store = ResultStore(args.cache_dir)
-    if jobs == 1 and store is None:
+    progress = getattr(args, "progress", False)
+    if jobs == 1 and store is None and not progress:
         return None
-    return SweepExecutor(jobs, store=store)
+    executor = SweepExecutor(jobs, store=store)
+    if progress:
+        executor.progress = _print_progress
+    return executor
 
 
 def _finish_executor(executor: SweepExecutor | None) -> None:
@@ -242,6 +259,34 @@ def build_parser() -> argparse.ArgumentParser:
                         help="verify over fabric-enabled scenarios (adds the "
                              "incast/neighbor-shift shapes); same syntax as the "
                              "other subcommands' --fabric")
+
+    trace = sub.add_parser(
+        "trace",
+        help="simulate one exchange with tracing on and export a Perfetto-"
+             "compatible Chrome trace-event JSON timeline",
+    )
+    trace.add_argument("--system", default="dane", choices=list_systems())
+    trace.add_argument("--algorithm", default="multileader-node-aware",
+                       help="alltoall algorithm (or a v-algorithm when --pattern is given)")
+    trace.add_argument("--nodes", type=int, default=4)
+    trace.add_argument("--ppn", type=int, default=8)
+    trace.add_argument("--msg-bytes", type=int, default=256)
+    trace.add_argument("--group-size", type=int, default=None,
+                       help="processes per leader/group for the hierarchical algorithms")
+    trace.add_argument("--inner", default=None,
+                       help="inner exchange of the hierarchical/node-aware algorithms")
+    trace.add_argument("--pattern", default=None, choices=list_patterns(),
+                       help="trace a non-uniform workload instead of a uniform "
+                            "alltoall (switches --algorithm to the v-algorithm "
+                            "registry)")
+    trace.add_argument("--seed", type=int, default=0,
+                       help="RNG seed of the random workload patterns")
+    trace.add_argument("--out", default="trace.json", metavar="PATH",
+                       help="Chrome trace-event JSON output (default: trace.json)")
+    trace.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="also write the run's metrics registry snapshot "
+                            "as a JSON sidecar")
+    _add_fabric_argument(trace)
 
     perf = sub.add_parser(
         "perf", help="time the simulator hot path on the canonical job suite"
@@ -515,6 +560,69 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return status
 
 
+#: Workload generators whose output depends on an RNG seed.
+_SEEDED_PATTERNS = frozenset({"skewed-moe", "zipf", "sparse", "incast"})
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.bench.reporting import format_metrics
+    from repro.obs import RecordingSink, validate_chrome_trace, write_chrome_trace
+
+    cluster = get_system(args.system, args.nodes, fabric=_fabric_from_args(args))
+    pmap = ProcessMap(cluster, ppn=args.ppn, num_nodes=args.nodes)
+    sink = RecordingSink()
+    try:
+        if args.pattern is not None:
+            if args.algorithm not in list_v_algorithms():
+                raise SystemExit(
+                    f"--pattern needs a v-algorithm ({', '.join(list_v_algorithms())}), "
+                    f"got {args.algorithm!r}"
+                )
+            options: dict = {}
+            if args.inner is not None:
+                options["inner"] = args.inner
+            if args.group_size is not None:
+                options["procs_per_group"] = args.group_size
+            pattern_options = {"seed": args.seed} if args.pattern in _SEEDED_PATTERNS else {}
+            matrix = make_pattern(args.pattern, pmap.nprocs, args.msg_bytes, **pattern_options)
+            outcome = run_workload(args.algorithm, pmap, matrix, sink=sink, **options)
+        else:
+            outcome = run_alltoall(args.algorithm, pmap, args.msg_bytes, sink=sink,
+                                   **_algorithm_options(args))
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from exc
+
+    configuration = (
+        f"{args.algorithm} on {cluster.name}, {args.nodes} nodes x {args.ppn} ppn, "
+        f"{args.msg_bytes} B"
+    )
+    if args.pattern is not None:
+        configuration += f", pattern={args.pattern}"
+    if args.fabric is not None:
+        configuration += f", fabric={args.fabric}"
+
+    write_chrome_trace(args.out, sink, configuration=configuration)
+    summary = validate_chrome_trace(Path(args.out))
+    print(f"simulated {args.algorithm}: {outcome.elapsed:.3e} s "
+          f"({len(sink)} sink event(s) recorded)")
+    print(f"wrote {args.out}: {summary.describe()}")
+    print("open it at https://ui.perfetto.dev or chrome://tracing")
+
+    metrics = outcome.job.metrics if outcome.job is not None else {}
+    if args.metrics_out is not None:
+        out = Path(args.metrics_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n",
+                       encoding="utf-8")
+        print(f"wrote {args.metrics_out}: metrics registry snapshot")
+    print()
+    print(format_metrics(metrics))
+    return 0 if outcome.correct else 1
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     from repro.bench import micro
 
@@ -572,6 +680,7 @@ _COMMANDS = {
     "workload": _cmd_workload,
     "verify": _cmd_verify,
     "perf": _cmd_perf,
+    "trace": _cmd_trace,
 }
 
 

@@ -65,37 +65,32 @@ def hierarchical_alltoall(
     is_leader = local.rank == 0
 
     # Phase 1: gather every member's full send buffer onto the leader.
-    recorder.start(PHASE_GATHER)
-    gathered = np.empty(ppl * nprocs * block, dtype=sendbuf.dtype) if is_leader else None
-    yield from local.gather(sendbuf, gathered, root=0)
-    recorder.stop(PHASE_GATHER)
+    with recorder.phase(PHASE_GATHER):
+        gathered = np.empty(ppl * nprocs * block, dtype=sendbuf.dtype) if is_leader else None
+        yield from local.gather(sendbuf, gathered, root=0)
 
     scatter_source = None
     if is_leader:
         leaders = cross_group_comm(ctx, ppl)
 
         # Phase 2: repack into destination-group order.
-        recorder.start(PHASE_PACK)
-        leader_send = repack.hierarchical_pack_for_leaders(gathered, ppl, ngroups, block)
-        yield repack.pack_delay(params, leader_send.nbytes)
-        recorder.stop(PHASE_PACK)
+        with recorder.phase(PHASE_PACK):
+            leader_send = repack.hierarchical_pack_for_leaders(gathered, ppl, ngroups, block)
+            yield repack.pack_delay(params, leader_send.nbytes)
 
         # Phase 3: all-to-all among the leaders.
-        recorder.start(PHASE_INTER)
-        leader_recv = np.empty_like(leader_send)
-        yield from exchange(leaders, leader_send, leader_recv)
-        recorder.stop(PHASE_INTER)
+        with recorder.phase(PHASE_INTER):
+            leader_recv = np.empty_like(leader_send)
+            yield from exchange(leaders, leader_send, leader_recv)
 
         # Phase 4: repack into per-member scatter order.
-        recorder.start(PHASE_PACK)
-        scatter_source = repack.hierarchical_unpack_to_scatter(leader_recv, ppl, ngroups, block)
-        yield repack.pack_delay(params, scatter_source.nbytes)
-        recorder.stop(PHASE_PACK)
+        with recorder.phase(PHASE_PACK):
+            scatter_source = repack.hierarchical_unpack_to_scatter(leader_recv, ppl, ngroups, block)
+            yield repack.pack_delay(params, scatter_source.nbytes)
 
     # Phase 5: scatter each member's result back from the leader.
-    recorder.start(PHASE_SCATTER)
-    yield from local.scatter(scatter_source, recvbuf, root=0)
-    recorder.stop(PHASE_SCATTER)
+    with recorder.phase(PHASE_SCATTER):
+        yield from local.scatter(scatter_source, recvbuf, root=0)
 
 
 class HierarchicalAlltoall(AlltoallAlgorithm):

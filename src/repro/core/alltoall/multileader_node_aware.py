@@ -71,10 +71,9 @@ def multileader_node_aware_alltoall(
     is_leader = local.rank == 0
 
     # Phase 1: gather the members' send buffers onto the leader.
-    recorder.start(PHASE_GATHER)
-    gathered = np.empty(ppl * nprocs * block, dtype=sendbuf.dtype) if is_leader else None
-    yield from local.gather(sendbuf, gathered, root=0)
-    recorder.stop(PHASE_GATHER)
+    with recorder.phase(PHASE_GATHER):
+        gathered = np.empty(ppl * nprocs * block, dtype=sendbuf.dtype) if is_leader else None
+        yield from local.gather(sendbuf, gathered, root=0)
 
     scatter_source = None
     if is_leader:
@@ -82,39 +81,33 @@ def multileader_node_aware_alltoall(
         node_leaders = node_leaders_comm(ctx, ppl)   # the leaders of my node
 
         # Phase 2: repack by destination node.
-        recorder.start(PHASE_PACK)
-        inter_send = repack.mlna_pack_for_internode(gathered, ppl, num_nodes, ppn, block)
-        yield repack.pack_delay(params, inter_send.nbytes)
-        recorder.stop(PHASE_PACK)
+        with recorder.phase(PHASE_PACK):
+            inter_send = repack.mlna_pack_for_internode(gathered, ppl, num_nodes, ppn, block)
+            yield repack.pack_delay(params, inter_send.nbytes)
 
         # Phase 3: inter-node all-to-all (one message per remote node).
-        recorder.start(PHASE_INTER)
-        inter_recv = np.empty_like(inter_send)
-        yield from exchange(across_nodes, inter_send, inter_recv)
-        recorder.stop(PHASE_INTER)
+        with recorder.phase(PHASE_INTER):
+            inter_recv = np.empty_like(inter_send)
+            yield from exchange(across_nodes, inter_send, inter_recv)
 
         # Phase 4: repack by destination leader within the node.
-        recorder.start(PHASE_PACK)
-        intra_send = repack.mlna_pack_for_intranode(inter_recv, num_nodes, ppl, leaders_per_node, block)
-        yield repack.pack_delay(params, intra_send.nbytes)
-        recorder.stop(PHASE_PACK)
+        with recorder.phase(PHASE_PACK):
+            intra_send = repack.mlna_pack_for_intranode(inter_recv, num_nodes, ppl, leaders_per_node, block)
+            yield repack.pack_delay(params, intra_send.nbytes)
 
         # Phase 5: intra-node all-to-all among the node's leaders.
-        recorder.start(PHASE_INTRA)
-        intra_recv = np.empty_like(intra_send)
-        yield from exchange(node_leaders, intra_send, intra_recv)
-        recorder.stop(PHASE_INTRA)
+        with recorder.phase(PHASE_INTRA):
+            intra_recv = np.empty_like(intra_send)
+            yield from exchange(node_leaders, intra_send, intra_recv)
 
         # Phase 6: repack into per-member (scatter) order.
-        recorder.start(PHASE_PACK)
-        scatter_source = repack.mlna_unpack_to_scatter(intra_recv, leaders_per_node, num_nodes, ppl, block)
-        yield repack.pack_delay(params, scatter_source.nbytes)
-        recorder.stop(PHASE_PACK)
+        with recorder.phase(PHASE_PACK):
+            scatter_source = repack.mlna_unpack_to_scatter(intra_recv, leaders_per_node, num_nodes, ppl, block)
+            yield repack.pack_delay(params, scatter_source.nbytes)
 
     # Phase 7: scatter each member's result back from its leader.
-    recorder.start(PHASE_SCATTER)
-    yield from local.scatter(scatter_source, recvbuf, root=0)
-    recorder.stop(PHASE_SCATTER)
+    with recorder.phase(PHASE_SCATTER):
+        yield from local.scatter(scatter_source, recvbuf, root=0)
 
 
 class MultiLeaderNodeAwareAlltoall(AlltoallAlgorithm):

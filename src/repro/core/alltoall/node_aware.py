@@ -63,28 +63,24 @@ def node_aware_alltoall(
     # Phase 1: inter-region all-to-all.  The send buffer is already ordered
     # by destination world rank, i.e. by (group, member), so the message for
     # group ``g`` is simply blocks [g*group_size, (g+1)*group_size).
-    recorder.start(PHASE_INTER)
-    inter_recv = np.empty_like(sendbuf)
-    yield from exchange(cross, sendbuf, inter_recv)
-    recorder.stop(PHASE_INTER)
+    with recorder.phase(PHASE_INTER):
+        inter_recv = np.empty_like(sendbuf)
+        yield from exchange(cross, sendbuf, inter_recv)
 
     # Phase 2: repack so the data destined to each group member is contiguous.
-    recorder.start(PHASE_PACK)
-    intra_send = repack.group_transpose_forward(inter_recv, ngroups, group_size, block)
-    yield repack.pack_delay(params, intra_send.nbytes)
-    recorder.stop(PHASE_PACK)
+    with recorder.phase(PHASE_PACK):
+        intra_send = repack.group_transpose_forward(inter_recv, ngroups, group_size, block)
+        yield repack.pack_delay(params, intra_send.nbytes)
 
     # Phase 3: intra-region all-to-all redistributes within the group.
-    recorder.start(PHASE_INTRA)
-    intra_recv = np.empty_like(intra_send)
-    yield from exchange(local, intra_send, intra_recv)
-    recorder.stop(PHASE_INTRA)
+    with recorder.phase(PHASE_INTRA):
+        intra_recv = np.empty_like(intra_send)
+        yield from exchange(local, intra_send, intra_recv)
 
     # Phase 4: reorder into source world-rank order.
-    recorder.start(PHASE_PACK)
-    final = repack.group_transpose_backward(intra_recv, ngroups, group_size, block)
-    yield repack.pack_delay(params, final.nbytes)
-    recorder.stop(PHASE_PACK)
+    with recorder.phase(PHASE_PACK):
+        final = repack.group_transpose_backward(intra_recv, ngroups, group_size, block)
+        yield repack.pack_delay(params, final.nbytes)
     recvbuf[:] = final.reshape(recvbuf.shape)
 
 

@@ -197,49 +197,45 @@ def node_aware_alltoallv(
 
     # Phase 1: inter-region alltoallv.  Send to cross-peer g my blocks for
     # all of group g's members; receive from it its blocks for all of mine.
-    recorder.start(PHASE_INTER)
-    send_cross = counts[rank].reshape(G, L).sum(axis=1)
-    # chunk_sizes[g, k]: items cross-peer g holds for member k of my group.
-    chunk_sizes = counts[np.ix_(reps, group_members)]
-    recv_cross = chunk_sizes.sum(axis=1)
-    inter_recv = np.empty(int(recv_cross.sum()), dtype=dtype)
-    yield from exchange(cross, sendbuf, inter_recv, send_cross, recv_cross)
-    recorder.stop(PHASE_INTER)
+    with recorder.phase(PHASE_INTER):
+        send_cross = counts[rank].reshape(G, L).sum(axis=1)
+        # chunk_sizes[g, k]: items cross-peer g holds for member k of my group.
+        chunk_sizes = counts[np.ix_(reps, group_members)]
+        recv_cross = chunk_sizes.sum(axis=1)
+        inter_recv = np.empty(int(recv_cross.sum()), dtype=dtype)
+        yield from exchange(cross, sendbuf, inter_recv, send_cross, recv_cross)
 
     # Phase 2: repack (source group, dest member) -> (dest member, source group).
-    recorder.start(PHASE_PACK)
-    offsets = np.concatenate(([0], np.cumsum(chunk_sizes.reshape(-1))))
+    with recorder.phase(PHASE_PACK):
+        offsets = np.concatenate(([0], np.cumsum(chunk_sizes.reshape(-1))))
 
-    def chunk(g: int, k: int) -> np.ndarray:
-        start = offsets[g * L + k]
-        return inter_recv[start: start + chunk_sizes[g, k]]
+        def chunk(g: int, k: int) -> np.ndarray:
+            start = offsets[g * L + k]
+            return inter_recv[start: start + chunk_sizes[g, k]]
 
-    intra_send = _concat([chunk(g, k) for k in range(L) for g in range(G)], dtype)
-    yield pack_delay(params, intra_send.nbytes)
-    recorder.stop(PHASE_PACK)
+        intra_send = _concat([chunk(g, k) for k in range(L) for g in range(G)], dtype)
+        yield pack_delay(params, intra_send.nbytes)
 
     # Phase 3: intra-region alltoallv redistributes within the group.
-    recorder.start(PHASE_INTRA)
-    send_local = chunk_sizes.sum(axis=0)
-    # recv_sizes[g, k]: items the position-k sources of group g addressed to me.
-    recv_sizes = counts[:, rank].reshape(G, L)
-    recv_local = recv_sizes.sum(axis=0)
-    intra_recv = np.empty(int(recv_local.sum()), dtype=dtype)
-    yield from exchange(local, intra_send, intra_recv, send_local, recv_local)
-    recorder.stop(PHASE_INTRA)
+    with recorder.phase(PHASE_INTRA):
+        send_local = chunk_sizes.sum(axis=0)
+        # recv_sizes[g, k]: items the position-k sources of group g addressed to me.
+        recv_sizes = counts[:, rank].reshape(G, L)
+        recv_local = recv_sizes.sum(axis=0)
+        intra_recv = np.empty(int(recv_local.sum()), dtype=dtype)
+        yield from exchange(local, intra_send, intra_recv, send_local, recv_local)
 
     # Phase 4: repack (source position, source group) -> source world-rank order.
-    recorder.start(PHASE_PACK)
-    pos_major = np.concatenate(([0], np.cumsum(recv_sizes.T.reshape(-1))))
+    with recorder.phase(PHASE_PACK):
+        pos_major = np.concatenate(([0], np.cumsum(recv_sizes.T.reshape(-1))))
 
-    def final_chunk(g: int, k: int) -> np.ndarray:
-        start = pos_major[k * G + g]
-        return intra_recv[start: start + recv_sizes[g, k]]
+        def final_chunk(g: int, k: int) -> np.ndarray:
+            start = pos_major[k * G + g]
+            return intra_recv[start: start + recv_sizes[g, k]]
 
-    final = _concat([final_chunk(g, k) for g in range(G) for k in range(L)], dtype)
-    recvbuf[:] = final
-    yield pack_delay(params, final.nbytes)
-    recorder.stop(PHASE_PACK)
+        final = _concat([final_chunk(g, k) for g in range(G) for k in range(L)], dtype)
+        recvbuf[:] = final
+        yield pack_delay(params, final.nbytes)
 
 
 class NodeAwareAlltoallv(AlltoallvAlgorithm):

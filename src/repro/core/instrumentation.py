@@ -10,6 +10,8 @@ reduced (max over ranks) by the benchmark harness.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 from repro.errors import AlgorithmError
 from repro.simmpi.engine import RankContext
 
@@ -26,15 +28,21 @@ PHASE_PACK = "pack"
 class PhaseRecorder:
     """Accumulates simulated time per named phase for one rank.
 
-    Usage inside an algorithm generator::
+    The preferred form is the context manager, which guarantees the open
+    phase is cleaned up even when the block raises::
 
         phases = PhaseRecorder(ctx)
-        phases.start(PHASE_GATHER)
-        yield from comm.gather(...)
-        phases.stop(PHASE_GATHER)
+        with phases.phase(PHASE_GATHER):
+            yield from comm.gather(...)
 
-    Phases may be entered repeatedly; durations accumulate.  Nested phases
-    are rejected because the figures assume disjoint phases.
+    The explicit ``start``/``stop`` pair remains supported for call sites
+    whose phase boundaries do not nest lexically.  Phases may be entered
+    repeatedly; durations accumulate.  Nested phases are rejected because
+    the figures assume disjoint phases.
+
+    When the engine carries an event sink (:mod:`repro.obs`), every closed
+    phase is also emitted as a ``(rank, name, start, stop)`` span — the
+    phase slices on the rank tracks of the exported Perfetto timeline.
     """
 
     def __init__(self, ctx: RankContext) -> None:
@@ -55,8 +63,30 @@ class PhaseRecorder:
             raise AlgorithmError(
                 f"cannot stop phase {phase!r}: open phase is {self._open!r}"
             )
-        self._ctx.add_timing(phase, self._ctx.now - self._start_time)
+        ctx = self._ctx
+        now = ctx.now
+        ctx.add_timing(phase, now - self._start_time)
         self._open = None
+        sink = ctx._engine.sink
+        if sink is not None:
+            sink.phase(ctx.rank, phase, self._start_time, now)
+
+    @contextmanager
+    def phase(self, name: str):
+        """Record ``name`` around a block; never leaves the phase dangling.
+
+        On a clean exit the phase is stopped (and its duration recorded);
+        if the block raises — including ``GeneratorExit`` when a rank
+        program is torn down mid-phase — the open phase is discarded so the
+        recorder stays usable and no partial duration is attributed.
+        """
+        self.start(name)
+        try:
+            yield self
+        except BaseException:
+            self._open = None
+            raise
+        self.stop(name)
 
     @property
     def open_phase(self) -> str | None:

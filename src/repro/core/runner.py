@@ -120,6 +120,7 @@ def run_alltoall(
     dtype=np.uint8,
     validate: bool = True,
     record_trace: bool = False,
+    sink=None,
     keep_job: bool = True,
     **algorithm_options: Any,
 ) -> AlltoallOutcome:
@@ -142,6 +143,10 @@ def run_alltoall(
     record_trace:
         Keep a full per-message trace on the returned job (slower, more
         memory; used by the breakdown figures and some tests).
+    sink:
+        Optional :class:`repro.obs.sink.EventSink` observing the job's
+        simulated lifecycle (phase/wait/match/NIC/link events); ``None``
+        keeps tracing off at zero cost.
     algorithm_options:
         Forwarded to the algorithm constructor when ``algorithm`` is a name.
     """
@@ -159,7 +164,8 @@ def run_alltoall(
         raise ConfigurationError("algorithm options can only be given together with an algorithm name")
     algo.validate(pmap)
 
-    job = run_spmd(pmap, alltoall_program, algo, block_items, np.dtype(dtype), record_trace=record_trace)
+    job = run_spmd(pmap, alltoall_program, algo, block_items, np.dtype(dtype),
+                   record_trace=record_trace, sink=sink)
 
     correct = True
     if validate:
@@ -260,6 +266,7 @@ def run_workload(
     dtype=np.uint8,
     validate: bool = True,
     record_trace: bool = False,
+    sink=None,
     keep_job: bool = True,
     **algorithm_options: Any,
 ) -> WorkloadOutcome:
@@ -283,6 +290,8 @@ def run_workload(
         transposition.
     record_trace:
         Keep a full per-message trace on the returned job.
+    sink:
+        Optional :class:`repro.obs.sink.EventSink` (see :func:`run_alltoall`).
     algorithm_options:
         Forwarded to the algorithm constructor when ``algorithm`` is a name
         (e.g. ``procs_per_group=4``, ``inner="nonblocking"``).
@@ -306,7 +315,8 @@ def run_workload(
             )
     algo.validate(pmap, counts)
 
-    job = run_spmd(pmap, workload_program, algo, counts, np.dtype(dtype), record_trace=record_trace)
+    job = run_spmd(pmap, workload_program, algo, counts, np.dtype(dtype),
+                   record_trace=record_trace, sink=sink)
 
     correct = True
     if validate:

@@ -66,9 +66,16 @@ class _Link:
     ``byte_time`` is ``1 / bandwidth`` and ``hop_overhead`` the per-message
     switch processing cost, both precomputed so a traversal hop is two
     multiplies and a comparison on the hot path.
+
+    Besides the :class:`~repro.netsim.resources.SerialResource` accounting
+    (reservations, busy time), each link accumulates the bytes it moved and
+    the queueing delay messages spent waiting behind earlier traffic —
+    ``queued_time`` is the link's time-at-saturation proxy and
+    ``max_queue_delay`` its worst single-message stall.
     """
 
-    __slots__ = ("name", "byte_time", "hop_overhead", "resource")
+    __slots__ = ("name", "byte_time", "hop_overhead", "resource",
+                 "bytes_moved", "queued_time", "max_queue_delay")
 
     def __init__(self, name: str, bandwidth: float, hop_overhead: float) -> None:
         if bandwidth <= 0.0:
@@ -79,6 +86,9 @@ class _Link:
         self.byte_time = 1.0 / bandwidth
         self.hop_overhead = hop_overhead
         self.resource = SerialResource(name=name)
+        self.bytes_moved = 0
+        self.queued_time = 0.0
+        self.max_queue_delay = 0.0
 
 
 class FabricState:
@@ -89,13 +99,16 @@ class FabricState:
     occupancy always starts from an idle fabric.
     """
 
-    __slots__ = ("name", "links", "routes", "_route_counts")
+    __slots__ = ("name", "links", "routes", "sink", "_route_counts")
 
     def __init__(self, name: str, links: list[_Link],
                  routes: dict[tuple[int, int], tuple[_Link, ...]]) -> None:
         self.name = name
         self.links = links
         self.routes = routes
+        #: Optional :class:`repro.obs.sink.EventSink` receiving one ``link``
+        #: event per hop; ``None`` costs one pointer test per traversal.
+        self.sink = None
         #: Lazily computed number of node-pair routes crossing each link
         #: (keyed by ``id(link)``); only the analytic uniform bound needs it.
         self._route_counts: dict[int, int] | None = None
@@ -119,24 +132,43 @@ class FabricState:
         ``hop_overhead + nbytes * byte_time``.
         """
         t = start
+        sink = self.sink
         for link in self.routes[(src_node, dst_node)]:
             occupancy = link.hop_overhead + nbytes * link.byte_time
             resource = link.resource
             available = resource.available_at
             begin = t if t >= available else available
-            t = begin + occupancy
-            resource.available_at = t
+            end = begin + occupancy
+            resource.available_at = end
             resource.busy_time += occupancy
             resource.reservations += 1
+            # Occupancy accounting off the timing arithmetic: `end` above is
+            # computed exactly as before, these accumulators only observe it.
+            link.bytes_moved += nbytes
+            delay = begin - t
+            link.queued_time += delay
+            if delay > link.max_queue_delay:
+                link.max_queue_delay = delay
+            if sink is not None:
+                sink.link(link.name, t, begin, end, nbytes, src_node, dst_node)
+            t = end
         return t
 
     def statistics(self) -> list[dict]:
-        """Per-link accounting (messages, busy time) for reports and tests."""
+        """Per-link accounting for reports, metrics and tests.
+
+        ``queued_time`` — total time messages spent waiting for the link
+        (its time-at-saturation proxy); ``max_queue_delay`` — the worst
+        single-message stall.
+        """
         return [
             {
                 "link": link.name,
                 "messages": link.resource.reservations,
                 "busy_time": link.resource.busy_time,
+                "bytes": link.bytes_moved,
+                "queued_time": link.queued_time,
+                "max_queue_delay": link.max_queue_delay,
             }
             for link in self.links
         ]
@@ -400,6 +432,14 @@ _OPTION_ALIASES = {
 
 _INT_FIELDS = {"hosts_per_switch", "hosts_per_router", "routers_per_group"}
 
+#: Field binding order for bare positional option values
+#: (``dragonfly:64,8,8`` == ``dragonfly:hosts=64,routers=8,taper=8``).
+_POSITIONAL_FIELDS = {
+    "full-bisection": (),
+    "fat-tree": ("hosts_per_switch", "oversubscription"),
+    "dragonfly": ("hosts_per_router", "routers_per_group", "global_taper"),
+}
+
 
 def list_fabrics() -> list[str]:
     """Names of the available fabric kinds."""
@@ -409,7 +449,8 @@ def list_fabrics() -> list[str]:
 def parse_fabric(text: str) -> FabricSpec:
     """Parse a CLI fabric specification string.
 
-    Accepted forms (options are comma-separated ``name=value`` pairs)::
+    Accepted forms (options are comma-separated ``name=value`` pairs, or
+    bare values binding to the kind's fields in declaration order)::
 
         full-bisection
         fat-tree                      # defaults: hosts=4, oversub=2
@@ -417,6 +458,7 @@ def parse_fabric(text: str) -> FabricSpec:
         fat-tree:k=8,oversub=4        # radix-k edge layer: hosts = k/2
         dragonfly
         dragonfly:hosts=2,routers=4,taper=4
+        dragonfly:64,8,8              # hosts=64, routers=8, taper=8
     """
     kind, _, option_text = text.partition(":")
     kind = kind.strip().lower()
@@ -425,11 +467,32 @@ def parse_fabric(text: str) -> FabricSpec:
             f"unknown fabric {kind!r}; available fabrics: {', '.join(list_fabrics())}"
         )
     options: dict[str, float | int] = {}
+    positional = list(_POSITIONAL_FIELDS[kind])
     if option_text.strip():
         for item in option_text.split(","):
             name, sep, value = item.partition("=")
             name = name.strip().lower()
-            if not sep or not name or not value.strip():
+            if not sep:
+                # Bare value: bind to the next positional field of the kind.
+                if not positional:
+                    raise ConfigurationError(
+                        f"too many positional fabric options in {text!r} "
+                        f"({kind} takes {len(_POSITIONAL_FIELDS[kind])})"
+                    )
+                name, value = positional.pop(0), item.strip()
+                if not value:
+                    raise ConfigurationError(
+                        f"malformed fabric option {item!r} in {text!r} "
+                        "(expected name=value or a bare value)"
+                    )
+                try:
+                    options[name] = int(value) if name in _INT_FIELDS else float(value)
+                except ValueError as exc:
+                    raise ConfigurationError(
+                        f"invalid value for fabric option {name!r}: {value!r}"
+                    ) from exc
+                continue
+            if not name or not value.strip():
                 raise ConfigurationError(
                     f"malformed fabric option {item!r} in {text!r} (expected name=value)"
                 )

@@ -1,0 +1,41 @@
+"""Observability: simulated-time tracing, metrics, Perfetto timeline export.
+
+The subsystem has three coordinated pieces, all zero-overhead when off:
+
+* :mod:`repro.obs.sink` — the event-sink protocol the engine, router,
+  timing model and fabric emit into (``None`` by default, one pointer test
+  per emission point);
+* :mod:`repro.obs.metrics` — counter/gauge/histogram primitives and the
+  per-job snapshot stored on ``JobResult.metrics``;
+* :mod:`repro.obs.chrome` / :mod:`repro.obs.schema` — Chrome trace-event
+  JSON export (loads in Perfetto) and its structural validator.
+
+See ``docs/OBSERVABILITY.md`` for the full protocol, trace schema and
+metrics glossary.
+"""
+
+from repro.obs.chrome import chrome_trace, chrome_trace_events, write_chrome_trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    build_job_metrics,
+)
+from repro.obs.schema import validate_chrome_trace
+from repro.obs.sink import NULL_SINK, EventSink, RecordingSink
+
+__all__ = [
+    "EventSink",
+    "NULL_SINK",
+    "RecordingSink",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "build_job_metrics",
+    "chrome_trace",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]

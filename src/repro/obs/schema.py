@@ -1,0 +1,150 @@
+"""Structural validation of exported Chrome trace-event JSON.
+
+The Chrome trace-event format has no official JSON Schema; this module
+checks the structural subset :mod:`repro.obs.chrome` emits and Perfetto
+relies on: a top-level ``traceEvents`` list whose entries carry ``ph``,
+``pid``, ``tid``, ``ts`` (and ``dur`` for complete events), with ``M``
+metadata events naming processes and threads.  The CI trace-schema smoke
+test runs it over a real ``repro-bench trace`` output::
+
+    python -m repro.obs.schema trace.json --require-rank-track --require-link-track
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+__all__ = ["validate_chrome_trace", "TraceSummary"]
+
+_REQUIRED_BY_PHASE = {
+    "X": ("name", "ph", "pid", "tid", "ts", "dur"),
+    "i": ("name", "ph", "pid", "tid", "ts"),
+    "M": ("name", "ph", "pid", "args"),
+    "B": ("name", "ph", "pid", "tid", "ts"),
+    "E": ("ph", "pid", "tid", "ts"),
+    "C": ("name", "ph", "pid", "tid", "ts", "args"),
+}
+
+
+class TraceSummary:
+    """What :func:`validate_chrome_trace` found, for assertions and the CLI."""
+
+    def __init__(self) -> None:
+        self.events = 0
+        self.process_names: dict[int, str] = {}
+        self.threads_per_process: dict[int, set[int]] = {}
+
+    def tracks(self, process_name: str) -> int:
+        """Number of distinct threads under the process named ``process_name``."""
+        for pid, name in self.process_names.items():
+            if name == process_name:
+                return len(self.threads_per_process.get(pid, ()))
+        return 0
+
+    def describe(self) -> str:
+        parts = [f"{self.events} event(s)"]
+        for pid in sorted(self.process_names):
+            name = self.process_names[pid]
+            parts.append(f"{name}: {len(self.threads_per_process.get(pid, ()))} track(s)")
+        return ", ".join(parts)
+
+
+def _fail(index: int, message: str) -> None:
+    raise ConfigurationError(f"trace event #{index}: {message}")
+
+
+def validate_chrome_trace(document) -> TraceSummary:
+    """Validate a trace document (a dict, JSON text, or a file path).
+
+    Raises :class:`~repro.errors.ConfigurationError` on the first
+    structural violation; returns a :class:`TraceSummary` on success.
+    """
+    if isinstance(document, Path):
+        document = json.loads(document.read_text(encoding="utf-8"))
+    elif isinstance(document, str):
+        if document.lstrip().startswith(("{", "[")):
+            document = json.loads(document)
+        else:
+            document = json.loads(Path(document).read_text(encoding="utf-8"))
+    if not isinstance(document, dict):
+        raise ConfigurationError(
+            f"trace document must be a JSON object, got {type(document).__name__}"
+        )
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ConfigurationError("trace document has no 'traceEvents' list")
+
+    summary = TraceSummary()
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            _fail(index, f"must be an object, got {type(event).__name__}")
+        phase = event.get("ph")
+        if not isinstance(phase, str) or not phase:
+            _fail(index, "missing or non-string 'ph'")
+        required = _REQUIRED_BY_PHASE.get(phase)
+        if required is None:
+            _fail(index, f"unsupported event phase {phase!r}")
+        for key in required:
+            if key not in event:
+                _fail(index, f"{phase!r} event missing required key {key!r}")
+        if "ts" in event and not isinstance(event["ts"], (int, float)):
+            _fail(index, "'ts' must be a number")
+        if phase == "X":
+            dur = event["dur"]
+            if not isinstance(dur, (int, float)) or dur < 0:
+                _fail(index, "'dur' must be a non-negative number")
+        if "pid" in event and not isinstance(event["pid"], int):
+            _fail(index, "'pid' must be an integer")
+        if phase == "M":
+            args = event.get("args")
+            if not isinstance(args, dict) or "name" not in args:
+                _fail(index, "metadata event needs args.name")
+            pid = event["pid"]
+            if event["name"] == "process_name":
+                summary.process_names[pid] = args["name"]
+            elif event["name"] == "thread_name":
+                summary.threads_per_process.setdefault(pid, set()).add(event["tid"])
+        else:
+            summary.events += 1
+            tid = event.get("tid")
+            if tid is not None:
+                summary.threads_per_process.setdefault(event["pid"], set()).add(tid)
+    return summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: validate a trace file, optionally requiring tracks."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.schema",
+        description="Validate a Chrome trace-event JSON file emitted by repro-bench trace.",
+    )
+    parser.add_argument("path", help="trace JSON file to validate")
+    parser.add_argument("--require-rank-track", action="store_true",
+                        help="fail unless the trace contains at least one rank track")
+    parser.add_argument("--require-link-track", action="store_true",
+                        help="fail unless the trace contains at least one fabric-link track")
+    options = parser.parse_args(argv)
+    try:
+        summary = validate_chrome_trace(Path(options.path))
+    except (ConfigurationError, OSError, json.JSONDecodeError) as exc:
+        print(f"INVALID: {exc}")
+        return 1
+    problems = []
+    if options.require_rank_track and summary.tracks("ranks") < 1:
+        problems.append("no rank track")
+    if options.require_link_track and summary.tracks("fabric links") < 1:
+        problems.append("no fabric-link track")
+    if problems:
+        print(f"INVALID: {', '.join(problems)} ({summary.describe()})")
+        return 1
+    print(f"OK: {summary.describe()}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,146 @@
+"""The simulated-time event-sink protocol.
+
+An *event sink* receives the observable lifecycle of a simulated job as it
+happens: rank phases opening and closing, ranks blocking on ``Wait``,
+sends/receives being posted, messages matching (fast path or after sitting
+in the unexpected queue), NIC injections and fabric-link occupancy.  All
+timestamps are **simulated** seconds — the sink sees the machine the
+simulator models, not the wall clock of the simulation itself.
+
+Zero-overhead-when-off contract
+-------------------------------
+Every instrumented hot path (``repro.simmpi.engine``, ``repro.simmpi.p2p``,
+``repro.netsim.fabric``) holds a sink reference that defaults to ``None``
+and guards each emission with a single ``if sink is not None`` test.  With
+no sink attached the only cost is that pointer test, so the PR 4 hot-path
+budget is untouched; the perf-smoke CI gate pins this (<25% wall-clock
+drift with :mod:`repro.obs` imported but disabled).  Attaching a sink never
+changes the simulated arithmetic either: sinks observe times that were
+already computed, so simulated timings are bit-identical with tracing on
+(pinned by ``tests/obs/test_tracing_invariance.py`` against the golden
+timing fixture).
+
+:class:`EventSink` is the no-op base (also usable as a structural protocol
+reference); :class:`RecordingSink` accumulates typed event tuples in memory
+for :mod:`repro.obs.chrome` (Perfetto export), :mod:`repro.obs.metrics`
+and the tests.
+"""
+
+from __future__ import annotations
+
+__all__ = ["EventSink", "NULL_SINK", "RecordingSink"]
+
+
+class EventSink:
+    """No-op base sink: every callback is a ``pass``.
+
+    Subclass and override the events you care about.  The engine never
+    calls these through an attached ``None`` sink (the hot paths test
+    ``if sink is not None`` instead of calling into a null object), so the
+    base class exists for subclassing and for explicitly opting into "sink
+    attached but discarding" setups.
+    """
+
+    # -- rank lifecycle ----------------------------------------------------
+    def phase(self, rank: int, name: str, start: float, stop: float) -> None:
+        """A named algorithm phase ran on ``rank`` over ``[start, stop]``."""
+
+    def wait(self, rank: int, start: float, stop: float, requests: int) -> None:
+        """``rank`` blocked in ``Wait`` on ``requests`` requests over ``[start, stop]``."""
+
+    def send_posted(self, rank: int, dest: int, nbytes: int, tag: int, time: float) -> None:
+        """``rank`` posted a send of ``nbytes`` to ``dest`` at ``time``."""
+
+    def recv_posted(self, rank: int, source: int, tag: int, time: float) -> None:
+        """``rank`` posted a receive (``source``/``tag`` may be wildcards) at ``time``."""
+
+    # -- matching lifecycle ------------------------------------------------
+    def matched(self, src: int, dst: int, nbytes: int, tag: int,
+                fast_path: bool, arrival: float, completion: float) -> None:
+        """A message matched at ``dst``; ``fast_path`` means it never queued."""
+
+    def parked(self, src: int, dst: int, nbytes: int, tag: int,
+               time: float, depth: int) -> None:
+        """A message was parked in ``dst``'s unexpected queue (now ``depth`` deep)."""
+
+    # -- shared resources --------------------------------------------------
+    def nic(self, node: int, requested: float, begin: float, end: float,
+            nbytes: int) -> None:
+        """Node ``node``'s NIC injected ``nbytes`` over ``[begin, end]``.
+
+        ``requested`` is when the message wanted the NIC; ``begin -
+        requested`` is therefore the injection queueing delay.
+        """
+
+    def link(self, name: str, requested: float, begin: float, end: float,
+             nbytes: int, src_node: int, dst_node: int) -> None:
+        """Fabric link ``name`` carried ``nbytes`` over ``[begin, end]``.
+
+        ``begin - requested`` is the queueing delay behind earlier traffic
+        on the shared link — the contention the fabric model exists for.
+        """
+
+
+#: Shared no-op instance for "explicitly discard" call sites.
+NULL_SINK = EventSink()
+
+
+class RecordingSink(EventSink):
+    """Accumulates every event as a typed tuple, in emission order.
+
+    The first element of each tuple is the event kind (``"phase"``,
+    ``"wait"``, ``"send"``, ``"recv"``, ``"match"``, ``"park"``, ``"nic"``,
+    ``"link"``); the remaining elements are the callback arguments in
+    declaration order.  Tuples keep recording cheap and make the stream
+    trivially filterable (``sink.of_kind("link")``).
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list[tuple] = []
+
+    # -- rank lifecycle ----------------------------------------------------
+    def phase(self, rank, name, start, stop):
+        self.events.append(("phase", rank, name, start, stop))
+
+    def wait(self, rank, start, stop, requests):
+        self.events.append(("wait", rank, start, stop, requests))
+
+    def send_posted(self, rank, dest, nbytes, tag, time):
+        self.events.append(("send", rank, dest, nbytes, tag, time))
+
+    def recv_posted(self, rank, source, tag, time):
+        self.events.append(("recv", rank, source, tag, time))
+
+    # -- matching lifecycle ------------------------------------------------
+    def matched(self, src, dst, nbytes, tag, fast_path, arrival, completion):
+        self.events.append(("match", src, dst, nbytes, tag, fast_path, arrival, completion))
+
+    def parked(self, src, dst, nbytes, tag, time, depth):
+        self.events.append(("park", src, dst, nbytes, tag, time, depth))
+
+    # -- shared resources --------------------------------------------------
+    def nic(self, node, requested, begin, end, nbytes):
+        self.events.append(("nic", node, requested, begin, end, nbytes))
+
+    def link(self, name, requested, begin, end, nbytes, src_node, dst_node):
+        self.events.append(("link", name, requested, begin, end, nbytes, src_node, dst_node))
+
+    # -- queries -----------------------------------------------------------
+    def of_kind(self, kind: str) -> list[tuple]:
+        """Every recorded event of one kind, in emission order."""
+        return [event for event in self.events if event[0] == kind]
+
+    def kinds(self) -> dict[str, int]:
+        """Event count per kind (diagnostics and tests)."""
+        out: dict[str, int] = {}
+        for event in self.events:
+            out[event[0]] = out.get(event[0], 0) + 1
+        return out
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -22,17 +22,21 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import TYPE_CHECKING, Iterable, Sequence
+import time
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.errors import ConfigurationError
 from repro.runtime.spec import PointSpec
 from repro.runtime.store import ResultStore
 from repro.runtime.worker import run_point
+from repro.utils.logging import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover - runtime must not import bench at module scope
     from repro.bench.datasets import TimedPoint
 
 __all__ = ["SweepExecutor", "execute"]
+
+_log = get_logger("runtime.executor")
 
 
 class SweepExecutor:
@@ -50,6 +54,13 @@ class SweepExecutor:
         self.executed_points = 0
         #: Points served from the result store, cumulative.
         self.cached_points = 0
+        #: Wall-clock seconds spent inside :meth:`run`, cumulative, and the
+        #: number of sweeps (batches) served — the harness's own span timing.
+        self.wall_seconds = 0.0
+        self.sweeps = 0
+        #: Optional ``progress(done, total)`` callback, invoked as unique
+        #: points of the current sweep resolve (``--progress`` in the CLI).
+        self.progress: Callable[[int, int], None] | None = None
 
     # -- pool lifecycle ------------------------------------------------------
     def _ensure_pool(self):
@@ -74,6 +85,7 @@ class SweepExecutor:
     # -- execution -----------------------------------------------------------
     def run(self, specs: Iterable[PointSpec]) -> list[TimedPoint]:
         """Execute a batch of specs; results are returned in input order."""
+        started = time.perf_counter()
         batch = list(specs)
 
         # Identical specs inside one batch (e.g. the same point feeding two
@@ -91,6 +103,8 @@ class SweepExecutor:
         # distinct points, however many duplicates fanned out of them.
         resolved: list[TimedPoint | None] = [None] * len(unique_specs)
         to_compute: list[int] = []
+        progress = self.progress
+        total = len(unique_specs)
         for uidx, spec in enumerate(unique_specs):
             cached = self.store.get(spec) if self.store is not None else None
             if cached is not None:
@@ -98,14 +112,29 @@ class SweepExecutor:
                 self.cached_points += 1
             else:
                 to_compute.append(uidx)
+        done = total - len(to_compute)
+        if progress is not None and done:
+            progress(done, total)
 
-        computed = self._compute([unique_specs[uidx] for uidx in to_compute])
+        computed = self._compute(
+            [unique_specs[uidx] for uidx in to_compute],
+            progress=progress, done=done, total=total,
+        )
         self.executed_points += len(to_compute)
         for uidx, point in zip(to_compute, computed):
             resolved[uidx] = point
             if self.store is not None:
                 self.store.put(unique_specs[uidx], point)
 
+        self.wall_seconds += time.perf_counter() - started
+        self.sweeps += 1
+        # One deterministic summary line per sweep: counts only, no wall
+        # clock, so identical sweeps over identical cache state log
+        # identically whatever the machine or the jobs setting.
+        _log.info(
+            "sweep of %d point(s): %d unique, %d simulated, %d from cache",
+            len(batch), total, len(to_compute), done,
+        )
         return [resolved[unique_index[spec.key()]] for spec in batch]  # type: ignore[misc]
 
     def map(self, func, items: Iterable) -> list:
@@ -127,16 +156,40 @@ class SweepExecutor:
         chunksize = max(1, len(tasks) // (4 * self.jobs))
         return pool.map(func, tasks, chunksize)
 
-    def _compute(self, specs: Sequence[PointSpec]) -> list[TimedPoint]:
-        return self.map(run_point, specs)
+    def _compute(self, specs: Sequence[PointSpec], *, progress=None,
+                 done: int = 0, total: int = 0) -> list[TimedPoint]:
+        if progress is None or not specs:
+            return self.map(run_point, specs)
+        if self.jobs == 1 or len(specs) == 1:
+            # Serial path: report after every point.
+            out = []
+            for spec in specs:
+                out.append(run_point(spec))
+                done += 1
+                progress(done, total)
+            return out
+        # Parallel path: Pool.map is all-or-nothing, so report once when the
+        # whole batch lands (ordering and results stay byte-identical).
+        out = self.map(run_point, specs)
+        progress(done + len(specs), total)
+        return out
 
     # -- reporting -----------------------------------------------------------
     def stats_line(self) -> str:
-        """One-line execution summary (printed by the CLI when caching is on)."""
-        return (
+        """One-line execution summary (printed by the CLI when caching is on).
+
+        The leading ``jobs=N: ... simulated, ... served from cache`` portion
+        is stable (CI greps it); the wall-clock suffix is informational.
+        """
+        line = (
             f"[runtime] jobs={self.jobs}: {self.executed_points} point(s) simulated, "
             f"{self.cached_points} served from cache"
         )
+        if self.sweeps:
+            line += f" ({self.sweeps} sweep(s), {self.wall_seconds:.2f}s wall)"
+        if self.store is not None and self.store.corrupt:
+            line += f" [{self.store.corrupt} corrupt entr(ies) recomputed]"
+        return line
 
 
 def execute(specs: Iterable[PointSpec], executor: SweepExecutor | None = None) -> list[TimedPoint]:

@@ -34,6 +34,13 @@ class ResultStore:
     def __init__(self, cache_dir: str | os.PathLike) -> None:
         self.cache_dir = Path(cache_dir)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
+        #: Lookup accounting, cumulative over the store's lifetime: ``hits``
+        #: served a valid entry, ``misses`` found no entry at all, and
+        #: ``corrupt`` found an entry that failed to parse (which the
+        #: defensive contract turns into a recompute, not an error).
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
 
     def path_for(self, spec: PointSpec) -> Path:
         key = spec.key()
@@ -51,8 +58,13 @@ class ResultStore:
             result = entry["result"]
             seconds = float(result["seconds"])
             phases = {str(name): float(value) for name, value in result["phases"].items()}
-        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError, AttributeError):
+        except FileNotFoundError:
+            self.misses += 1
             return None
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError, AttributeError):
+            self.corrupt += 1
+            return None
+        self.hits += 1
         return TimedPoint(seconds=seconds, phases=phases)
 
     # -- write ---------------------------------------------------------------
@@ -81,6 +93,10 @@ class ResultStore:
             raise
 
     # -- introspection -------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Cumulative lookup counters (every ``get``, including probes)."""
+        return {"hits": self.hits, "misses": self.misses, "corrupt": self.corrupt}
+
     def __len__(self) -> int:
         return sum(1 for _ in self.cache_dir.glob("??/*.json"))
 

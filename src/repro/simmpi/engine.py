@@ -29,6 +29,8 @@ from repro.machine.hierarchy import LocalityLevel
 from repro.machine.process_map import ProcessMap
 from repro.netsim.simulator import Simulator
 from repro.netsim.trace import TraceRecorder
+from repro.obs.metrics import build_job_metrics
+from repro.obs.sink import EventSink
 from repro.simmpi.datatypes import PROC_NULL
 from repro.simmpi.ops import Delay, LocalCopy, PostRecv, PostSend, Wait
 from repro.simmpi.p2p import MessageRouter, TimingModel
@@ -144,6 +146,9 @@ class _WaitState:
                 statuses.append(request.status)
             process.state = "ready"
             process.waiting_on = None
+            sink = engine.sink
+            if sink is not None:
+                sink.wait(process.rank, self.issue_time, resume_time, len(requests))
             # Every request completes at or after the current simulated time,
             # so resume_time >= now and the direct heap push (see _schedule
             # note in SpmdEngine._step) is safe.
@@ -231,6 +236,10 @@ class JobResult:
     events_processed: int
     #: Per-link inter-node fabric accounting (empty for full bisection).
     fabric_statistics: list[dict] = field(default_factory=list)
+    #: Nested metrics snapshot (:func:`repro.obs.metrics.build_job_metrics`):
+    #: matching fast-path/queued splits, unexpected-queue depth, traffic,
+    #: NIC and fabric-link occupancy, engine event counts.  Always populated.
+    metrics: dict = field(default_factory=dict)
 
     def phase_time(self, phase: str, *, reduce: Callable[[Sequence[float]], float] = max) -> float:
         """Aggregate one named phase across ranks (default: max over ranks)."""
@@ -256,14 +265,20 @@ class SpmdEngine:
         pmap: ProcessMap,
         *,
         record_trace: bool = False,
+        sink: "EventSink | None" = None,
         max_events: int = 200_000_000,
     ) -> None:
         self.pmap = pmap
         self.params = pmap.params
         self.simulator = Simulator(max_events=max_events)
-        self.timing = TimingModel(pmap)
+        #: Optional :class:`repro.obs.sink.EventSink` observing the job's
+        #: simulated lifecycle.  ``None`` (the default) keeps every hot-path
+        #: emission point down to a single pointer test; attaching a sink
+        #: never changes the simulated arithmetic (see docs/OBSERVABILITY.md).
+        self.sink = sink
+        self.timing = TimingModel(pmap, sink=sink)
         self.trace = TraceRecorder() if record_trace else None
-        self.router = MessageRouter(self.timing, trace=self.trace)
+        self.router = MessageRouter(self.timing, trace=self.trace, sink=sink)
         self.contexts = ContextIdAllocator()
         self._processes: list[_RankProcess] = []
         self._rank_contexts: list[RankContext] = []
@@ -388,6 +403,9 @@ class SpmdEngine:
                         resume_time = completion
                     statuses.append(request.status)
                 process.state = "ready"
+                sink = self.sink
+                if sink is not None:
+                    sink.wait(process.rank, now, resume_time, len(requests))
                 seq = simulator._next_seq
                 simulator._next_seq = seq + 1
                 heappush(simulator._heap,
@@ -454,6 +472,7 @@ class SpmdEngine:
             nic_statistics=self.timing.nic_statistics(),
             events_processed=self.simulator.events_processed,
             fabric_statistics=self.timing.fabric_statistics(),
+            metrics=build_job_metrics(self),
         )
 
 
@@ -476,8 +495,9 @@ def run_spmd(
     program: Callable[..., Any],
     *args: Any,
     record_trace: bool = False,
+    sink: EventSink | None = None,
     **kwargs: Any,
 ) -> JobResult:
     """Convenience wrapper: build an engine, run ``program`` on every rank, return the result."""
-    engine = SpmdEngine(pmap, record_trace=record_trace)
+    engine = SpmdEngine(pmap, record_trace=record_trace, sink=sink)
     return engine.run(program, *args, **kwargs)

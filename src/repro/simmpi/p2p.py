@@ -95,9 +95,13 @@ class TimingModel:
     once per simulated message on the hot path.
     """
 
-    def __init__(self, pmap: ProcessMap) -> None:
+    def __init__(self, pmap: ProcessMap, *, sink=None) -> None:
         self.pmap = pmap
         self.params: MachineParameters = pmap.params
+        #: Optional :class:`repro.obs.sink.EventSink`; ``None`` keeps every
+        #: emission down to one pointer test (the zero-overhead-when-off
+        #: contract of :mod:`repro.obs`).
+        self.sink = sink
         self.nics = [SerialResource(name=f"nic-node{n}") for n in range(pmap.num_nodes)]
         # Shared cross-NUMA fabric per node: intra-node transfers that cross a
         # NUMA boundary (SOCKET and NODE levels) serialize on it, modelling
@@ -109,6 +113,8 @@ class TimingModel:
         #: and the simulated timings stay bit-identical to the golden
         #: fixture.
         self.fabric = pmap.cluster.fabric.build(pmap.num_nodes, pmap.params)
+        if self.fabric is not None:
+            self.fabric.sink = sink
         params = self.params
         self._node_of = [pmap.node_of(rank) for rank in range(pmap.nprocs)]
         self._latency = {level: params.latency(level) for level in LocalityLevel}
@@ -158,6 +164,9 @@ class TimingModel:
             nic.available_at = injected
             nic.busy_time += occupancy
             nic.reservations += 1
+            sink = self.sink
+            if sink is not None:
+                sink.nic(self._node_of[src], start_time, start, injected, nbytes)
             fabric = self.fabric
             if fabric is None:
                 arrival = injected + self._latency[level] + nbytes * self._byte_time[level]
@@ -526,10 +535,14 @@ class MessageRouter:
         *,
         trace: TraceRecorder | None = None,
         traffic: ThroughputTracker | None = None,
+        sink=None,
     ) -> None:
         self.timing = timing
         self.params = timing.params
         self.trace = trace
+        #: Optional :class:`repro.obs.sink.EventSink` receiving the matching
+        #: lifecycle; ``None`` costs one pointer test per emission point.
+        self.sink = sink
         self.traffic = traffic if traffic is not None else ThroughputTracker(name="p2p")
         self._mailboxes = [_Mailbox() for _ in range(timing.pmap.nprocs)]
         self._eager_limit = self.params.eager_limit
@@ -555,6 +568,18 @@ class MessageRouter:
         #: them to pin the indexed scanned counts to the linear-scan oracle.
         self.matches = 0
         self.entries_scanned = 0
+        #: Matching-lifecycle metrics (surfaced via ``JobResult.metrics``):
+        #: a *fast-path* match found a posted receive waiting when the
+        #: message arrived; a *queued* match had to sit in the unexpected
+        #: queue until a later receive claimed it.
+        self.fast_path_matches = 0
+        self.queued_matches = 0
+        self.unexpected_parked = 0
+        self.max_unexpected_depth = 0
+        self.wildcard_receives = 0
+        #: Linear-scan lengths of wildcard receives that probed the
+        #: unexpected queue (rare path; feeds the wildcard-scan histogram).
+        self.wildcard_scan_lengths: list[int] = []
 
     # -- posting ------------------------------------------------------------
     def post_send(
@@ -585,6 +610,9 @@ class MessageRouter:
         else:
             counts[0] += 1
             counts[1] += nbytes
+        sink = self.sink
+        if sink is not None:
+            sink.send_posted(src, dst, nbytes, tag, ready_time)
 
         mailbox = self._mailboxes[dst]
         key = (context_id, src, tag)
@@ -601,6 +629,8 @@ class MessageRouter:
                 nic.available_at = sender_done
                 nic.busy_time += occupancy
                 nic.reservations += 1
+                if sink is not None:
+                    sink.nic(self._node_of[src], ready_time, start, sender_done, nbytes)
                 fabric = self._fabric
                 if fabric is None:
                     arrival = sender_done + self._net_latency + nbytes * self._net_byte_time
@@ -639,6 +669,7 @@ class MessageRouter:
                 recv = found[0]
                 scanned = found[1]
                 self.matches += 1
+                self.fast_path_matches += 1
                 self.entries_scanned += scanned
                 post_time = recv.post_time
                 later = arrival if arrival >= post_time else post_time  # max()
@@ -663,6 +694,8 @@ class MessageRouter:
                     recv_request._callbacks = None
                     for callback in callbacks:
                         callback(recv_request)
+                if sink is not None:
+                    sink.matched(src, dst, nbytes, tag, True, arrival, completion)
                 if self.trace is not None:
                     self.trace.record(
                         MessageRecord(
@@ -675,11 +708,18 @@ class MessageRouter:
             # The message has to wait for a future receive; snapshot the
             # payload so the sender may reuse its buffer (buffered-send
             # semantics).
-            mailbox.unexpected.append(key, _InboundSend(
+            unexpected = mailbox.unexpected
+            unexpected.append(key, _InboundSend(
                 request, src, dst, tag, context_id, nbytes,
                 np.array(payload.reshape(-1), copy=True),
                 "eager", arrival, ready_time, ready_time, level,
             ))
+            self.unexpected_parked += 1
+            depth = len(unexpected._live)
+            if depth > self.max_unexpected_depth:
+                self.max_unexpected_depth = depth
+            if sink is not None:
+                sink.parked(src, dst, nbytes, tag, arrival, depth)
             return request
 
         # Rendezvous: the data transfer is priced at match time, so the
@@ -693,10 +733,17 @@ class MessageRouter:
         if found is not None:
             recv = found[0]
             self._complete_match(inbound, recv.request, recv.buffer,
-                                 recv.post_time, found[1])
+                                 recv.post_time, found[1], fast_path=True)
             return request
         inbound.payload = np.array(payload.reshape(-1), copy=True)
-        mailbox.unexpected.append(key, inbound)
+        unexpected = mailbox.unexpected
+        unexpected.append(key, inbound)
+        self.unexpected_parked += 1
+        depth = len(unexpected._live)
+        if depth > self.max_unexpected_depth:
+            self.max_unexpected_depth = depth
+        if sink is not None:
+            sink.parked(src, dst, nbytes, tag, rts_arrival, depth)
         return request
 
     def _match_posted(self, mailbox: _Mailbox, key: tuple, context_id: int,
@@ -726,22 +773,31 @@ class MessageRouter:
     ) -> Request:
         """Post a receive at simulated ``post_time``."""
         request = Request("recv", owner)
+        sink = self.sink
+        if sink is not None:
+            sink.recv_posted(owner, source_spec, tag_spec, post_time)
         mailbox = self._mailboxes[owner]
         unexpected = mailbox.unexpected
+        wildcard = source_spec == ANY_SOURCE or tag_spec == ANY_TAG
+        if wildcard:
+            self.wildcard_receives += 1
         if unexpected._live:
-            if source_spec != ANY_SOURCE and tag_spec != ANY_TAG:
+            if not wildcard:
                 found = unexpected.take_for_key((context_id, source_spec, tag_spec))
             else:
                 seq = unexpected.first_matching(
                     lambda send: _matches(source_spec, tag_spec, context_id, send)
                 )
                 found = None if seq is None else unexpected.take(seq)
+                if found is not None:
+                    self.wildcard_scan_lengths.append(found[1])
             if found is not None:
                 # No _PostedRecv record is needed: the receive never enters
                 # a queue, its identity lives entirely in this match.
-                self._complete_match(found[0], request, buffer, post_time, found[1])
+                self._complete_match(found[0], request, buffer, post_time, found[1],
+                                     fast_path=False)
                 return request
-        if source_spec == ANY_SOURCE or tag_spec == ANY_TAG:
+        if wildcard:
             mailbox.wildcards_posted = True
         mailbox.posted.append(
             (context_id, source_spec, tag_spec),
@@ -751,8 +807,13 @@ class MessageRouter:
 
     # -- internal ------------------------------------------------------------
     def _complete_match(self, inbound: _InboundSend, recv_request: Request,
-                        buffer: np.ndarray, post_time: float, scanned: int) -> None:
+                        buffer: np.ndarray, post_time: float, scanned: int,
+                        *, fast_path: bool) -> None:
         self.matches += 1
+        if fast_path:
+            self.fast_path_matches += 1
+        else:
+            self.queued_matches += 1
         self.entries_scanned += scanned
         match_cost = scanned * self._match_overhead
         ready_time = inbound.ready_time
@@ -794,6 +855,10 @@ class MessageRouter:
             recv_request._callbacks = None
             for callback in callbacks:
                 callback(recv_request)
+        sink = self.sink
+        if sink is not None:
+            sink.matched(inbound.src, inbound.dst, inbound.nbytes, inbound.tag,
+                         fast_path, arrival, completion)
         if self.trace is not None:
             self.trace.record(
                 MessageRecord(

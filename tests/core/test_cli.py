@@ -261,3 +261,66 @@ class TestRuntimeFlags:
         with pytest.raises(SystemExit):
             main(["figures", "--id", "fig16", "--engine", "simulate", "--nodes", "2",
                   "--ppn", "4", "--jobs", "-2"])
+
+
+class TestTraceCommand:
+    def test_uniform_trace_end_to_end(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        code = main(["trace", "--algorithm", "node-aware", "--system", "dane",
+                     "--nodes", "8", "--ppn", "2", "--msg-bytes", "128",
+                     "--fabric", "dragonfly:hosts=2,routers=2,taper=4",
+                     "--out", str(out_path), "--metrics-out", str(metrics_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sink event(s) recorded" in out
+        assert "Metrics:" in out
+
+        import json
+
+        from repro.obs.schema import validate_chrome_trace
+
+        summary = validate_chrome_trace(out_path)
+        assert summary.tracks("ranks") >= 1
+        assert summary.tracks("fabric links") >= 1
+        metrics = json.loads(metrics_path.read_text(encoding="utf-8"))
+        assert metrics["matching"]["matches"] > 0
+        assert metrics["fabric"]["bytes"] > 0
+
+    def test_positional_fabric_spec_accepted(self, tmp_path):
+        code = main(["trace", "--algorithm", "pairwise", "--nodes", "4", "--ppn", "2",
+                     "--fabric", "dragonfly:1,2,4",
+                     "--out", str(tmp_path / "t.json")])
+        assert code == 0
+
+    def test_workload_pattern_trace(self, tmp_path, capsys):
+        code = main(["trace", "--pattern", "skewed-moe", "--algorithm", "node-aware",
+                     "--nodes", "4", "--ppn", "4", "--msg-bytes", "64",
+                     "--out", str(tmp_path / "t.json")])
+        assert code == 0
+        assert "pattern=skewed-moe" not in capsys.readouterr().err
+
+    def test_pattern_requires_v_algorithm(self, tmp_path):
+        with pytest.raises(SystemExit, match="v-algorithm"):
+            main(["trace", "--pattern", "skewed-moe", "--algorithm", "bruck",
+                  "--out", str(tmp_path / "t.json")])
+
+    def test_bad_fabric_spec_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "--fabric", "fat-tree:oversub", "--out", str(tmp_path / "t.json")])
+
+
+class TestProgressFlag:
+    def test_progress_streams_resolution_lines(self, capsys):
+        code = main(["select", "--system", "dane", "--nodes", "2", "--ppn", "4",
+                     "--engine", "simulate", "--sizes", "4", "16", "--progress"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "[runtime] 1/" in err
+        assert "point(s) resolved" in err
+
+    def test_without_progress_no_resolution_lines(self, capsys):
+        code = main(["select", "--system", "dane", "--nodes", "2", "--ppn", "4",
+                     "--engine", "simulate", "--sizes", "4", "16"])
+        assert code == 0
+        assert "resolved" not in capsys.readouterr().err

@@ -150,3 +150,75 @@ class TestPhaseRecorder:
 
         with pytest.raises(AlgorithmError):
             run_spmd(two_node_pmap, program)
+
+
+class TestPhaseContextManager:
+    def test_with_block_records_like_start_stop(self):
+        pmap = ProcessMap(tiny_cluster(num_nodes=2), ppn=2)
+
+        def program(ctx):
+            from repro.simmpi.ops import Delay
+
+            phases = PhaseRecorder(ctx)
+            with phases.phase(PHASE_GATHER):
+                yield Delay(1.0e-4)
+            with phases.phase(PHASE_INTER):
+                yield Delay(2.0e-4)
+
+        result = run_spmd(pmap, program)
+        assert result.phase_time(PHASE_GATHER) == pytest.approx(1.0e-4, rel=1e-6)
+        assert result.phase_time(PHASE_INTER) == pytest.approx(2.0e-4, rel=1e-6)
+
+    def test_with_blocks_accumulate_and_mix_with_start_stop(self):
+        pmap = ProcessMap(tiny_cluster(num_nodes=1), ppn=1)
+
+        def program(ctx):
+            from repro.simmpi.ops import Delay
+
+            phases = PhaseRecorder(ctx)
+            with phases.phase("work"):
+                yield Delay(1.0e-5)
+            phases.start("work")          # legacy API still composes
+            yield Delay(1.0e-5)
+            phases.stop("work")
+            with phases.phase("work"):
+                yield Delay(1.0e-5)
+
+        result = run_spmd(pmap, program)
+        assert result.phase_time("work") == pytest.approx(3.0e-5, rel=1e-6)
+
+    def test_nested_with_blocks_rejected(self, two_node_pmap):
+        def program(ctx):
+            phases = PhaseRecorder(ctx)
+            with phases.phase("a"):
+                with phases.phase("b"):
+                    pass
+            return
+            yield  # pragma: no cover
+
+        with pytest.raises(AlgorithmError):
+            run_spmd(two_node_pmap, program)
+
+    def test_raising_block_discards_open_phase(self):
+        recorded = []
+
+        class Ctx:
+            rank = 0
+            now = 0.0
+
+            class _engine:
+                sink = None
+
+            def add_timing(self, phase, seconds):
+                recorded.append((phase, seconds))
+
+        phases = PhaseRecorder(Ctx())
+        with pytest.raises(RuntimeError):
+            with phases.phase("a"):
+                raise RuntimeError("boom")
+        # The failed phase recorded nothing and the recorder stays usable.
+        assert recorded == []
+        assert phases.open_phase is None
+        with phases.phase("b"):
+            pass
+        assert [name for name, _ in recorded] == ["b"]

@@ -1,0 +1,172 @@
+"""Per-link occupancy accounting vs the traffic matrix (conservation law).
+
+Whatever the algorithm interleaves, FIFO-queues or delays, every byte a
+rank sends to a rank on another node crosses each link of that node pair's
+route exactly once.  So the per-link byte totals the fabric accounts (and
+the recording sink observes) must equal the totals derived from the
+traffic matrix plus the static routing table — under the oversubscribed
+fat-tree and the tapered dragonfly alike.  On full bisection there is no
+contended link at all and the same conservation shows up in the
+network-level traffic counters instead.
+"""
+
+from collections import defaultdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.runner import run_alltoall, run_workload
+from repro.machine.process_map import ProcessMap
+from repro.machine.systems import get_system
+from repro.netsim.fabric import parse_fabric
+from repro.obs import RecordingSink
+from repro.workloads import make_pattern
+
+FABRIC_SPECS = [
+    "fat-tree:hosts=2,oversub=4",
+    "fat-tree:hosts=4,oversub=2",
+    "dragonfly:hosts=1,routers=2,taper=4",
+    "dragonfly:hosts=2,routers=2,taper=8",
+]
+
+
+def _cluster_and_pmap(fabric_spec, nodes, ppn):
+    spec = None if fabric_spec is None else parse_fabric(fabric_spec)
+    cluster = get_system("dane", nodes, fabric=spec)
+    return spec, ProcessMap(cluster, ppn=ppn, num_nodes=nodes)
+
+
+def _expected_link_bytes(spec, pmap, pair_bytes):
+    """Walk the routing table: each cross-node byte crosses its route's links once."""
+    state = spec.build(pmap.num_nodes, pmap.params)
+    if state is None:  # topology degenerates to a single switch: no shared links
+        return {}
+    expected: dict[str, int] = defaultdict(int)
+    for (src, dst), nbytes in pair_bytes.items():
+        if nbytes == 0:
+            continue
+        node_a, node_b = pmap.node_of(src), pmap.node_of(dst)
+        if node_a == node_b:
+            continue
+        for link in state.routes[(node_a, node_b)]:
+            expected[link.name] += nbytes
+    return dict(expected)
+
+
+def _observed_link_bytes(sink):
+    observed: dict[str, int] = defaultdict(int)
+    for _, name, _requested, _begin, _end, nbytes, _src, _dst in sink.of_kind("link"):
+        observed[name] += nbytes
+    return dict(observed)
+
+
+def _uniform_pair_bytes(nprocs, msg_bytes):
+    return {(i, j): msg_bytes for i in range(nprocs) for j in range(nprocs) if i != j}
+
+
+class TestUniformExchanges:
+    @pytest.mark.parametrize("fabric_spec", FABRIC_SPECS)
+    @pytest.mark.parametrize("msg_bytes", [256, 16384])  # eager and rendezvous
+    def test_pairwise_byte_totals_equal_traffic_matrix(self, fabric_spec, msg_bytes):
+        spec, pmap = _cluster_and_pmap(fabric_spec, nodes=4, ppn=2)
+        sink = RecordingSink()
+        outcome = run_alltoall("pairwise", pmap, msg_bytes, validate=False, sink=sink)
+        observed = _observed_link_bytes(sink)
+        expected = _expected_link_bytes(
+            spec, pmap, _uniform_pair_bytes(pmap.nprocs, msg_bytes))
+        assert observed == expected
+        # The job's fabric metrics reconcile to the same totals.
+        if expected:
+            assert outcome.job.metrics["fabric"]["bytes"] == sum(expected.values())
+        else:
+            assert "fabric" not in outcome.job.metrics
+
+    @pytest.mark.parametrize("fabric_spec", FABRIC_SPECS[:1] + FABRIC_SPECS[2:3])
+    def test_node_aware_aggregates_before_the_fabric(self, fabric_spec):
+        """Aggregation sends ppn*msg_bytes per rank-pair slot but only once per node pair."""
+        spec, pmap = _cluster_and_pmap(fabric_spec, nodes=4, ppn=2)
+        msg_bytes = 64
+        sink = RecordingSink()
+        run_alltoall("node-aware", pmap, msg_bytes, validate=False, sink=sink)
+        observed = _observed_link_bytes(sink)
+        # One aggregated message of ppn*ppn*msg_bytes per ordered node pair.
+        pair_bytes = {}
+        for node_a in range(pmap.num_nodes):
+            for node_b in range(pmap.num_nodes):
+                if node_a == node_b:
+                    continue
+                src = pmap.ranks_on_node(node_a)[0]
+                dst = pmap.ranks_on_node(node_b)[0]
+                pair_bytes[(src, dst)] = pmap.ppn * pmap.ppn * msg_bytes
+        assert observed == _expected_link_bytes(spec, pmap, pair_bytes)
+
+
+class TestWorkloadExchanges:
+    @pytest.mark.parametrize("fabric_spec", FABRIC_SPECS)
+    def test_skewed_matrix_byte_totals(self, fabric_spec):
+        spec, pmap = _cluster_and_pmap(fabric_spec, nodes=4, ppn=2)
+        matrix = make_pattern("skewed-moe", pmap.nprocs, 64, seed=5)
+        sink = RecordingSink()
+        run_workload("pairwise", pmap, matrix, validate=False, sink=sink)
+        pair_bytes = {
+            (i, j): int(matrix.bytes[i, j])
+            for i in range(pmap.nprocs) for j in range(pmap.nprocs) if i != j
+        }
+        assert _observed_link_bytes(sink) == _expected_link_bytes(spec, pmap, pair_bytes)
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        nodes=st.integers(min_value=2, max_value=5),
+        ppn=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=50),
+        fabric_index=st.integers(min_value=0, max_value=len(FABRIC_SPECS) - 1),
+    )
+    def test_conservation_is_a_property_of_any_shape(self, nodes, ppn, seed, fabric_index):
+        spec, pmap = _cluster_and_pmap(FABRIC_SPECS[fabric_index], nodes, ppn)
+        matrix = make_pattern("sparse", pmap.nprocs, 96, seed=seed)
+        sink = RecordingSink()
+        run_workload("nonblocking", pmap, matrix, validate=False, sink=sink)
+        pair_bytes = {
+            (i, j): int(matrix.bytes[i, j])
+            for i in range(pmap.nprocs) for j in range(pmap.nprocs) if i != j
+        }
+        assert _observed_link_bytes(sink) == _expected_link_bytes(spec, pmap, pair_bytes)
+
+
+class TestSaturationAccounting:
+    def test_queued_time_and_max_delay_surface_contention(self):
+        """An incast through a tapered dragonfly must show queueing on some link."""
+        spec, pmap = _cluster_and_pmap("dragonfly:hosts=1,routers=2,taper=8",
+                                       nodes=4, ppn=4)
+        matrix = make_pattern("incast", pmap.nprocs, 4096, seed=2)
+        sink = RecordingSink()
+        outcome = run_workload("nonblocking", pmap, matrix, validate=False, sink=sink)
+        fabric = outcome.job.metrics["fabric"]
+        assert fabric["queued_time"] > 0.0
+        assert fabric["max_queue_delay"] > 0.0
+        # The sink's per-message view reconciles with the aggregate:
+        # summed (begin - requested) delays equal the queued_time counter.
+        total_delay = sum(begin - requested for _, _, requested, begin, *_rest
+                          in sink.of_kind("link"))
+        assert total_delay == pytest.approx(fabric["queued_time"], rel=1e-12)
+        worst = max(begin - requested for _, _, requested, begin, *_rest
+                    in sink.of_kind("link"))
+        assert worst == pytest.approx(fabric["max_queue_delay"], rel=1e-12)
+
+
+class TestFullBisection:
+    def test_no_link_events_and_network_counters_carry_the_bytes(self):
+        _, pmap = _cluster_and_pmap(None, nodes=4, ppn=2)
+        msg_bytes = 256
+        sink = RecordingSink()
+        outcome = run_alltoall("pairwise", pmap, msg_bytes, validate=False, sink=sink)
+        assert sink.of_kind("link") == []
+        metrics = outcome.job.metrics
+        assert "fabric" not in metrics
+        inter_node = sum(
+            nbytes for (i, j), nbytes in
+            _uniform_pair_bytes(pmap.nprocs, msg_bytes).items()
+            if pmap.node_of(i) != pmap.node_of(j)
+        )
+        assert metrics["traffic"]["by_level"]["network"]["bytes"] == inter_node

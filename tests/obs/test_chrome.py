@@ -1,0 +1,103 @@
+"""Chrome trace-event export: track layout, scaling, clamping, file output."""
+
+import json
+
+from repro.core.runner import run_alltoall
+from repro.machine.process_map import ProcessMap
+from repro.machine.systems import get_system
+from repro.netsim.fabric import parse_fabric
+from repro.obs import RecordingSink, chrome_trace, chrome_trace_events, write_chrome_trace
+from repro.obs.chrome import _MIN_DUR, PID_LINKS, PID_NICS, PID_RANKS
+from repro.obs.schema import validate_chrome_trace
+
+
+def _sample_sink() -> RecordingSink:
+    sink = RecordingSink()
+    sink.phase(0, "gather", 0.0, 2e-6)
+    sink.phase(1, "gather", 0.0, 0.0)          # zero-length: must clamp
+    sink.wait(0, 2e-6, 3e-6, 4)
+    sink.send_posted(0, 1, 64, 7, 1e-6)
+    sink.recv_posted(1, 0, 7, 1e-6)
+    sink.matched(0, 1, 64, 7, False, 1.5e-6, 2.5e-6)
+    sink.parked(0, 1, 64, 7, 1.5e-6, 2)
+    sink.nic(0, 1e-6, 1.2e-6, 1.4e-6, 64)
+    sink.link("fat-tree:up0", 1.4e-6, 1.5e-6, 1.8e-6, 64, 0, 1)
+    return sink
+
+
+class TestChromeTraceEvents:
+    def test_metadata_names_all_three_processes(self):
+        events = chrome_trace_events(_sample_sink())
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["pid"]: e["args"]["name"] for e in meta if e["name"] == "process_name"}
+        assert names == {PID_RANKS: "ranks", PID_LINKS: "fabric links", PID_NICS: "nics"}
+        threads = [e for e in meta if e["name"] == "thread_name"]
+        assert {e["args"]["name"] for e in threads if e["pid"] == PID_RANKS} == \
+            {"rank 0", "rank 1"}
+        assert {e["args"]["name"] for e in threads if e["pid"] == PID_LINKS} == \
+            {"fat-tree:up0"}
+
+    def test_simulated_seconds_scale_to_trace_microseconds(self):
+        events = chrome_trace_events(_sample_sink())
+        phase = next(e for e in events if e["ph"] == "X" and e["name"] == "gather")
+        assert phase["ts"] == 0.0
+        assert phase["dur"] == 2.0  # 2e-6 s -> 2 us
+
+    def test_zero_length_slices_clamped_to_min_duration(self):
+        events = chrome_trace_events(_sample_sink())
+        clamped = [e for e in events
+                   if e["ph"] == "X" and e["name"] == "gather" and e["tid"] == 1]
+        assert clamped and clamped[0]["dur"] == _MIN_DUR
+
+    def test_link_slice_carries_bytes_and_queueing_delay(self):
+        events = chrome_trace_events(_sample_sink())
+        link = next(e for e in events if e.get("cat") == "link")
+        assert link["pid"] == PID_LINKS
+        assert link["name"] == "n0->n1"
+        assert link["args"]["bytes"] == 64
+        assert link["args"]["queued_us"] == (1.5e-6 - 1.4e-6) * 1e6
+
+    def test_instants_mark_p2p_lifecycle(self):
+        events = chrome_trace_events(_sample_sink())
+        instants = {e["name"] for e in events if e["ph"] == "i"}
+        assert instants == {"send", "recv", "match", "unexpected"}
+
+    def test_empty_sink_exports_rank_metadata_only(self):
+        events = chrome_trace_events(RecordingSink())
+        assert all(e["ph"] == "M" for e in events)
+        assert all(e["pid"] == PID_RANKS for e in events)
+
+
+class TestChromeTraceDocument:
+    def test_document_shape_and_configuration(self):
+        document = chrome_trace(_sample_sink(), configuration="pairwise, 2 nodes")
+        assert document["otherData"]["configuration"] == "pairwise, 2 nodes"
+        assert document["otherData"]["producer"] == "repro.obs"
+        summary = validate_chrome_trace(document)
+        assert summary.tracks("ranks") == 2
+        assert summary.tracks("fabric links") == 1
+        assert summary.tracks("nics") == 1
+
+    def test_write_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "trace.json"
+        written = write_chrome_trace(target, _sample_sink(), configuration="cfg")
+        assert written == target and target.is_file()
+        document = json.loads(target.read_text(encoding="utf-8"))
+        assert document["otherData"]["configuration"] == "cfg"
+        validate_chrome_trace(document)
+
+
+class TestEndToEndDragonflyTrace:
+    def test_real_run_has_rank_and_link_tracks(self, tmp_path):
+        """The acceptance shape: a traced run exports >=1 rank and link track."""
+        spec = parse_fabric("dragonfly:hosts=2,routers=2,taper=4")
+        cluster = get_system("dane", 8, fabric=spec)
+        pmap = ProcessMap(cluster, ppn=2, num_nodes=8)
+        sink = RecordingSink()
+        run_alltoall("node-aware", pmap, 128, validate=False, sink=sink)
+        path = write_chrome_trace(tmp_path / "trace.json", sink,
+                                  configuration="node-aware dragonfly")
+        summary = validate_chrome_trace(path)
+        assert summary.tracks("ranks") >= 1
+        assert summary.tracks("fabric links") >= 1
+        assert summary.events == len(sink)

@@ -1,0 +1,132 @@
+"""Metrics primitives and the per-job snapshot every engine run carries."""
+
+import json
+
+import pytest
+
+from repro.core.runner import run_alltoall, run_workload
+from repro.errors import ConfigurationError
+from repro.machine.process_map import ProcessMap
+from repro.machine.systems import get_system, tiny_cluster
+from repro.netsim.fabric import parse_fabric
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.workloads import make_pattern
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(41)
+        assert counter.snapshot() == 42
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ConfigurationError):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_tracks_value_and_peak(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.set(2)
+        assert gauge.snapshot() == {"value": 2, "peak": 5}
+
+
+class TestHistogram:
+    def test_buckets_are_inclusive_upper_edges(self):
+        hist = Histogram("h", bounds=(1, 4))
+        for value in (0, 1, 2, 4, 5):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["buckets"] == {"le_1": 2, "le_4": 2, "overflow": 1}
+        assert snap["count"] == 5
+        assert snap["sum"] == 12
+        assert snap["max"] == 5
+        assert snap["mean"] == pytest.approx(2.4)
+
+    def test_empty_histogram_has_zero_mean(self):
+        assert Histogram("h").snapshot()["mean"] == 0.0
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", bounds=(4, 1))
+
+
+class TestMetricsRegistry:
+    def test_duplicate_names_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b")
+        with pytest.raises(ConfigurationError):
+            registry.counter("a.b")
+
+    def test_snapshot_nests_dotted_names(self):
+        registry = MetricsRegistry()
+        registry.counter("matching.fast_path", 3)
+        registry.counter("matching.queued", 1)
+        registry.counter("engine.ranks", 8)
+        assert registry.snapshot() == {
+            "matching": {"fast_path": 3, "queued": 1},
+            "engine": {"ranks": 8},
+        }
+
+    def test_contains_and_len(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth")
+        assert "depth" in registry and "other" not in registry
+        assert len(registry) == 1
+
+
+def _uniform_metrics(algorithm="pairwise", fabric=None, nodes=4, ppn=4, msg_bytes=256):
+    spec = None if fabric is None else parse_fabric(fabric)
+    cluster = get_system("dane", nodes, fabric=spec)
+    pmap = ProcessMap(cluster, ppn=ppn, num_nodes=nodes)
+    outcome = run_alltoall(algorithm, pmap, msg_bytes, validate=False)
+    return outcome, outcome.job.metrics
+
+
+class TestJobMetrics:
+    def test_every_engine_run_is_populated(self):
+        _, metrics = _uniform_metrics()
+        for section in ("matching", "traffic", "nic", "engine"):
+            assert section in metrics, f"missing {section!r} section"
+        assert json.dumps(metrics)  # JSON-serialisable by construction
+
+    def test_match_classification_reconciles(self):
+        _, metrics = _uniform_metrics()
+        matching = metrics["matching"]
+        assert matching["matches"] == matching["fast_path"] + matching["queued"]
+        # Every queued match was first parked in the unexpected queue.
+        assert matching["queued"] == matching["parked"]
+        assert matching["unexpected_depth"]["peak"] >= matching["unexpected_depth"]["value"]
+
+    def test_traffic_levels_reconcile_to_totals(self):
+        _, metrics = _uniform_metrics()
+        levels = metrics["traffic"]["by_level"]
+        assert sum(v["messages"] for v in levels.values()) == metrics["traffic"]["messages"]
+        assert sum(v["bytes"] for v in levels.values()) == metrics["traffic"]["bytes"]
+
+    def test_fabric_section_only_on_contended_topologies(self):
+        _, flat = _uniform_metrics()
+        assert "fabric" not in flat
+        _, contended = _uniform_metrics(fabric="dragonfly:hosts=1,routers=2,taper=4")
+        fabric = contended["fabric"]
+        assert fabric["links"] > 0
+        assert fabric["bytes"] > 0
+        assert fabric["link_busy_time"]["count"] == fabric["links"]
+        assert fabric["link_occupancy"]["peak"] == fabric["link_busy_time"]["max"]
+        assert fabric["queued_time"] >= 0.0
+
+    def test_wildcard_counters_zero_on_wildcard_free_algorithms(self):
+        _, metrics = _uniform_metrics()
+        assert metrics["matching"]["wildcard_receives"] == 0
+        assert metrics["matching"]["wildcard_scan"]["count"] == 0
+
+    def test_workload_runs_are_populated_too(self):
+        cluster = tiny_cluster(num_nodes=2)
+        pmap = ProcessMap(cluster, ppn=4, num_nodes=2)
+        matrix = make_pattern("skewed-moe", pmap.nprocs, 64, seed=1)
+        outcome = run_workload("node-aware", pmap, matrix, validate=False)
+        metrics = outcome.job.metrics
+        assert metrics["engine"]["ranks"] == pmap.nprocs
+        assert metrics["engine"]["events_processed"] == outcome.job.events_processed

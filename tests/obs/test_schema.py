@@ -1,0 +1,100 @@
+"""Structural validation of trace documents and the schema CLI."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import RecordingSink, chrome_trace
+from repro.obs.schema import main, validate_chrome_trace
+
+
+def _valid_document() -> dict:
+    sink = RecordingSink()
+    sink.phase(0, "gather", 0.0, 1e-6)
+    sink.link("l0", 0.0, 0.0, 1e-6, 64, 0, 1)
+    return chrome_trace(sink)
+
+
+class TestValidateChromeTrace:
+    def test_accepts_dict_json_string_and_path(self, tmp_path):
+        document = _valid_document()
+        assert validate_chrome_trace(document).events == 2
+        assert validate_chrome_trace(json.dumps(document)).events == 2
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps(document), encoding="utf-8")
+        assert validate_chrome_trace(path).events == 2
+        assert validate_chrome_trace(str(path)).events == 2
+
+    def test_rejects_non_object_documents(self):
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            validate_chrome_trace("[]")
+
+    def test_rejects_missing_trace_events(self):
+        with pytest.raises(ConfigurationError, match="traceEvents"):
+            validate_chrome_trace({"otherData": {}})
+
+    def test_rejects_unknown_phase(self):
+        document = {"traceEvents": [{"name": "x", "ph": "Z", "pid": 1, "tid": 0, "ts": 0}]}
+        with pytest.raises(ConfigurationError, match="unsupported event phase"):
+            validate_chrome_trace(document)
+
+    def test_rejects_complete_event_without_duration(self):
+        document = {"traceEvents": [{"name": "x", "ph": "X", "pid": 1, "tid": 0, "ts": 0}]}
+        with pytest.raises(ConfigurationError, match="missing required key 'dur'"):
+            validate_chrome_trace(document)
+
+    def test_rejects_negative_duration(self):
+        document = {"traceEvents": [
+            {"name": "x", "ph": "X", "pid": 1, "tid": 0, "ts": 0, "dur": -1}
+        ]}
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            validate_chrome_trace(document)
+
+    def test_rejects_non_integer_pid(self):
+        document = {"traceEvents": [
+            {"name": "x", "ph": "X", "pid": "one", "tid": 0, "ts": 0, "dur": 1}
+        ]}
+        with pytest.raises(ConfigurationError, match="'pid' must be an integer"):
+            validate_chrome_trace(document)
+
+    def test_error_names_the_offending_event_index(self):
+        good = _valid_document()["traceEvents"]
+        document = {"traceEvents": good + [{"ph": "i", "pid": 1, "tid": 0, "ts": 0}]}
+        with pytest.raises(ConfigurationError, match=rf"event #{len(good)}"):
+            validate_chrome_trace(document)
+
+    def test_summary_counts_tracks_per_process(self):
+        summary = validate_chrome_trace(_valid_document())
+        assert summary.tracks("ranks") == 1
+        assert summary.tracks("fabric links") == 1
+        assert summary.tracks("no-such-process") == 0
+        assert "event(s)" in summary.describe()
+
+
+class TestSchemaCli:
+    def _write(self, tmp_path, document) -> str:
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(document), encoding="utf-8")
+        return str(path)
+
+    def test_ok_on_valid_trace(self, tmp_path, capsys):
+        path = self._write(tmp_path, _valid_document())
+        assert main([path, "--require-rank-track", "--require-link-track"]) == 0
+        assert capsys.readouterr().out.startswith("OK:")
+
+    def test_invalid_on_structural_violation(self, tmp_path, capsys):
+        path = self._write(tmp_path, {"traceEvents": [{"ph": "?"}]})
+        assert main([path]) == 1
+        assert capsys.readouterr().out.startswith("INVALID:")
+
+    def test_require_link_track_fails_without_fabric_events(self, tmp_path, capsys):
+        sink = RecordingSink()
+        sink.phase(0, "gather", 0.0, 1e-6)
+        path = self._write(tmp_path, chrome_trace(sink))
+        assert main([path, "--require-link-track"]) == 1
+        assert "no fabric-link track" in capsys.readouterr().out
+
+    def test_missing_file_is_invalid_not_a_crash(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent.json")]) == 1
+        assert capsys.readouterr().out.startswith("INVALID:")

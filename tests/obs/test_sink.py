@@ -1,0 +1,54 @@
+"""The event-sink protocol: no-op base contract and the recording sink."""
+
+from repro.obs import NULL_SINK, EventSink, RecordingSink
+
+
+class TestEventSinkBase:
+    def test_every_callback_is_a_noop(self):
+        sink = EventSink()
+        assert sink.phase(0, "gather", 0.0, 1.0) is None
+        assert sink.wait(0, 0.0, 1.0, 2) is None
+        assert sink.send_posted(0, 1, 64, 7, 0.0) is None
+        assert sink.recv_posted(1, 0, 7, 0.0) is None
+        assert sink.matched(0, 1, 64, 7, True, 1.0, 2.0) is None
+        assert sink.parked(0, 1, 64, 7, 1.0, 3) is None
+        assert sink.nic(0, 0.0, 0.0, 1.0, 64) is None
+        assert sink.link("link", 0.0, 0.0, 1.0, 64, 0, 1) is None
+
+    def test_null_sink_is_a_shared_event_sink(self):
+        assert isinstance(NULL_SINK, EventSink)
+        assert type(NULL_SINK) is EventSink
+
+
+class TestRecordingSink:
+    def _filled(self) -> RecordingSink:
+        sink = RecordingSink()
+        sink.phase(0, "gather", 0.0, 1.0)
+        sink.send_posted(0, 1, 64, 7, 0.5)
+        sink.send_posted(1, 0, 64, 7, 0.5)
+        sink.matched(0, 1, 64, 7, True, 0.6, 0.7)
+        sink.link("l0", 0.0, 0.1, 0.2, 64, 0, 1)
+        return sink
+
+    def test_records_typed_tuples_in_order(self):
+        sink = self._filled()
+        assert sink.events[0] == ("phase", 0, "gather", 0.0, 1.0)
+        assert sink.events[1] == ("send", 0, 1, 64, 7, 0.5)
+        assert sink.events[3] == ("match", 0, 1, 64, 7, True, 0.6, 0.7)
+        assert sink.events[4] == ("link", "l0", 0.0, 0.1, 0.2, 64, 0, 1)
+
+    def test_of_kind_filters_in_emission_order(self):
+        sink = self._filled()
+        sends = sink.of_kind("send")
+        assert [event[1] for event in sends] == [0, 1]
+        assert sink.of_kind("nic") == []
+
+    def test_kinds_counts_per_kind(self):
+        assert self._filled().kinds() == {"phase": 1, "send": 2, "match": 1, "link": 1}
+
+    def test_len_and_clear(self):
+        sink = self._filled()
+        assert len(sink) == 5
+        sink.clear()
+        assert len(sink) == 0
+        assert sink.kinds() == {}

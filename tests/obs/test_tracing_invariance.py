@@ -1,0 +1,76 @@
+"""Attaching a recording sink must not move a single simulated float.
+
+The golden timing fixture (``tests/golden/simulated_timings.json``) pins
+exact simulated results for a diverse job matrix with tracing *off*; this
+suite reruns every pinned job with a :class:`RecordingSink` attached and
+asserts bit-identical elapsed times, per-rank finish-time sums and event
+counts.  Sinks observe already-computed times — any drift here means an
+emission site leaked into the simulated arithmetic.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.runner import run_alltoall, run_workload
+from repro.machine.process_map import ProcessMap
+from repro.machine.systems import get_system
+from repro.netsim.fabric import parse_fabric
+from repro.obs import RecordingSink
+from repro.workloads import make_pattern
+
+
+def _load_fixture_module():
+    path = Path(__file__).resolve().parents[1] / "integration" / "test_timing_fixture.py"
+    spec = importlib.util.spec_from_file_location("_timing_fixture_defs", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+_fixture = _load_fixture_module()
+JOBS = _fixture.JOBS
+FIXTURE_PATH = _fixture.FIXTURE_PATH
+_PATTERN_SEED = _fixture._PATTERN_SEED
+
+
+def _run_traced(kind, algorithm, nodes, ppn, msg_bytes, pattern, options, fabric=None):
+    sink = RecordingSink()
+    spec = None if fabric is None else parse_fabric(fabric)
+    cluster = get_system("dane", nodes, fabric=spec)
+    pmap = ProcessMap(cluster, ppn=ppn, num_nodes=nodes)
+    if kind == "workload":
+        matrix = make_pattern(pattern, pmap.nprocs, msg_bytes, seed=_PATTERN_SEED)
+        outcome = run_workload(algorithm, pmap, matrix, validate=False, sink=sink,
+                               **options)
+    else:
+        outcome = run_alltoall(algorithm, pmap, msg_bytes, validate=False, sink=sink,
+                               **options)
+    job = outcome.job
+    return sink, {
+        "elapsed": outcome.elapsed,
+        "finish_time_sum": sum(job.finish_times),
+        "events": job.events_processed,
+    }
+
+
+@pytest.mark.parametrize("key", [job[0] for job in JOBS])
+def test_recording_sink_preserves_golden_timings(key):
+    frozen = json.loads(FIXTURE_PATH.read_text(encoding="utf-8"))["jobs"]
+    spec = next(job[1:] for job in JOBS if job[0] == key)
+    sink, live = _run_traced(*spec)
+    expected = frozen[key]
+    # Exact equality on purpose, mirroring the tracing-off fixture test.
+    assert live["events"] == expected["events"], f"{key}: event count drifted with sink on"
+    assert live["elapsed"] == expected["elapsed"], (
+        f"{key}: simulated elapsed drifted with sink on "
+        f"({expected['elapsed']!r} -> {live['elapsed']!r})"
+    )
+    assert live["finish_time_sum"] == expected["finish_time_sum"], (
+        f"{key}: per-rank finish times drifted with sink on"
+    )
+    # And the sink actually observed the run (the guard is not dead code).
+    assert len(sink) > 0
+    assert sink.of_kind("match"), f"{key}: no matches recorded"

@@ -1,0 +1,120 @@
+"""Harness self-observability: store counters, span timing, progress, logs."""
+
+import json
+import logging
+
+from repro.machine.systems import tiny_cluster
+from repro.runtime import PointSpec, ResultStore, SweepExecutor
+
+
+def _spec(**overrides) -> PointSpec:
+    base = dict(cluster=tiny_cluster(num_nodes=2), ppn=4, num_nodes=2,
+                engine="simulate", algorithm="pairwise", msg_bytes=16)
+    base.update(overrides)
+    return PointSpec(**base)
+
+
+class TestResultStoreCounters:
+    def test_miss_then_hit(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = _spec()
+        assert store.get(spec) is None
+        assert store.stats() == {"hits": 0, "misses": 1, "corrupt": 0}
+        with SweepExecutor(1, store=store) as executor:
+            executor.run([spec])   # miss (probed again) + write
+            executor.run([spec])   # hit
+        assert store.hits == 1
+        assert store.misses == 2
+        assert store.corrupt == 0
+
+    def test_corrupt_entry_counts_and_recomputes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = _spec()
+        with SweepExecutor(1, store=store) as executor:
+            executor.run([spec])
+            path = store.path_for(spec)
+            path.write_text("{ truncated", encoding="utf-8")
+            results = executor.run([spec])  # corrupt -> recompute -> rewrite
+            assert executor.executed_points == 2
+        assert store.stats()["corrupt"] == 1
+        assert store.get(spec).seconds == results[0].seconds
+        assert store.hits == 1
+
+    def test_semantically_broken_entry_is_corrupt_not_missing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = _spec()
+        path = store.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"result": {"seconds": "NaN-ish", "phases": 3}}),
+                        encoding="utf-8")
+        assert store.get(spec) is None
+        assert store.stats() == {"hits": 0, "misses": 0, "corrupt": 1}
+
+
+class TestExecutorSpans:
+    def test_wall_seconds_and_sweeps_accumulate(self):
+        with SweepExecutor(1) as executor:
+            assert executor.sweeps == 0 and executor.wall_seconds == 0.0
+            executor.run([_spec()])
+            executor.run([_spec(msg_bytes=32)])
+            assert executor.sweeps == 2
+            assert executor.wall_seconds > 0.0
+
+    def test_stats_line_keeps_grepped_prefix_and_appends_spans(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with SweepExecutor(1, store=store) as executor:
+            executor.run([_spec()])
+            line = executor.stats_line()
+        assert line.startswith("[runtime] jobs=1: 1 point(s) simulated, 0 served from cache")
+        assert "1 sweep(s)" in line and "s wall)" in line
+        assert "corrupt" not in line
+
+    def test_stats_line_reports_corrupt_recomputes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = _spec()
+        with SweepExecutor(1, store=store) as executor:
+            executor.run([spec])
+            store.path_for(spec).write_text("broken", encoding="utf-8")
+            executor.run([spec])
+            line = executor.stats_line()
+        assert "[1 corrupt entr(ies) recomputed]" in line
+
+
+class TestSweepSummaryLine:
+    def test_deterministic_per_sweep_log_line(self, caplog, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = _spec()
+        with caplog.at_level(logging.INFO, logger="repro.runtime.executor"):
+            with SweepExecutor(1, store=store) as executor:
+                executor.run([spec, spec])       # 2 points, 1 unique, 1 simulated
+                executor.run([spec])             # 1 point, served from cache
+        lines = [r.getMessage() for r in caplog.records
+                 if r.name == "repro.runtime.executor"]
+        assert lines == [
+            "sweep of 2 point(s): 1 unique, 1 simulated, 0 from cache",
+            "sweep of 1 point(s): 1 unique, 0 simulated, 1 from cache",
+        ]
+
+
+class TestProgressCallback:
+    def test_serial_progress_reports_each_point(self):
+        seen = []
+        with SweepExecutor(1) as executor:
+            executor.progress = lambda done, total: seen.append((done, total))
+            executor.run([_spec(), _spec(msg_bytes=32), _spec(msg_bytes=64)])
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_cached_points_report_before_computation(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = _spec()
+        with SweepExecutor(1, store=store) as executor:
+            executor.run([spec])
+            seen = []
+            executor.progress = lambda done, total: seen.append((done, total))
+            executor.run([spec, _spec(msg_bytes=32)])
+        assert seen == [(1, 2), (2, 2)]
+
+    def test_no_callback_means_no_overhead_path(self):
+        with SweepExecutor(1) as executor:
+            results = executor.run([_spec()])
+        assert len(results) == 1
