@@ -83,17 +83,19 @@ class BenchmarkHarness:
         return ProcessMap(self.cluster, ppn=self.ppn, num_nodes=num_nodes)
 
     # -- point specs ---------------------------------------------------------
-    def point_spec(self, algorithm: str, msg_bytes: int, num_nodes: int, **options) -> PointSpec:
+    def point_spec(self, algorithm: str, msg_bytes: int, num_nodes: int, *,
+                   fold: str = "off", **options) -> PointSpec:
         """The :class:`PointSpec` of one uniform (algorithm, size, nodes) point.
 
         ``PointSpec`` itself rejects node counts the cluster cannot host.
         """
         return PointSpec.for_alltoall(
             self.cluster, self.ppn, num_nodes, algorithm, msg_bytes,
-            engine=self.engine, repetitions=self.repetitions, **options,
+            engine=self.engine, repetitions=self.repetitions, fold=fold, **options,
         )
 
-    def workload_spec(self, algorithm: str, matrix, num_nodes: int, **options) -> PointSpec:
+    def workload_spec(self, algorithm: str, matrix, num_nodes: int, *,
+                      fold: str = "off", **options) -> PointSpec:
         """The :class:`PointSpec` of one non-uniform workload point."""
         if matrix.nprocs != num_nodes * self.ppn:
             raise ConfigurationError(
@@ -102,7 +104,7 @@ class BenchmarkHarness:
             )
         return PointSpec.for_workload(
             self.cluster, self.ppn, num_nodes, algorithm, matrix,
-            engine=self.engine, repetitions=self.repetitions, **options,
+            engine=self.engine, repetitions=self.repetitions, fold=fold, **options,
         )
 
     # -- timing --------------------------------------------------------------
@@ -144,7 +146,8 @@ class BenchmarkHarness:
                 return TimedPoint(seconds=breakdown.total, phases=dict(breakdown.phases))
             return self._timed_min(
                 lambda: run_workload(
-                    spec.algorithm, pmap, matrix, validate=False, keep_job=False, **options
+                    spec.algorithm, pmap, matrix, validate=False, keep_job=False,
+                    fold=spec.fold, **options
                 ),
                 spec.repetitions,
             )
@@ -153,7 +156,8 @@ class BenchmarkHarness:
             return TimedPoint(seconds=breakdown.total, phases=dict(breakdown.phases))
         return self._timed_min(
             lambda: run_alltoall(
-                spec.algorithm, pmap, spec.msg_bytes, validate=False, keep_job=False, **options
+                spec.algorithm, pmap, spec.msg_bytes, validate=False, keep_job=False,
+                fold=spec.fold, **options
             ),
             spec.repetitions,
         )

@@ -88,6 +88,8 @@ class MicroJob:
     pattern_seed: int = 0
     #: Member of the ``--quick`` subset (CI smoke / fast local check).
     quick: bool = False
+    #: Run symmetry-folded ("on"); the default times the full-width engine.
+    fold: str = "off"
 
     @property
     def nprocs(self) -> int:
@@ -95,14 +97,15 @@ class MicroJob:
 
     def describe(self) -> str:
         traffic = self.pattern if self.pattern is not None else f"{self.msg_bytes}B uniform"
+        folded = ", folded" if self.fold != "off" else ""
         return (
-            f"{self.algorithm} @ {self.nodes} nodes x {self.ppn} ppn ({traffic})"
+            f"{self.algorithm} @ {self.nodes} nodes x {self.ppn} ppn ({traffic}{folded})"
         )
 
 
-def _uniform(key, algorithm, nodes, ppn, msg_bytes=256, quick=False):
+def _uniform(key, algorithm, nodes, ppn, msg_bytes=256, quick=False, fold="off"):
     return MicroJob(key=key, kind="uniform", algorithm=algorithm, nodes=nodes,
-                    ppn=ppn, msg_bytes=msg_bytes, quick=quick)
+                    ppn=ppn, msg_bytes=msg_bytes, quick=quick, fold=fold)
 
 
 def _workload(key, algorithm, nodes, ppn, pattern, msg_bytes=64, quick=False):
@@ -128,6 +131,15 @@ CANONICAL_JOBS: tuple[MicroJob, ...] = (
     _workload("workload-pairwise/8n8p/skewed-moe", "pairwise", 8, 8, "skewed-moe",
               quick=True),
     _workload("workload-node-aware/8n8p/skewed-moe", "node-aware", 8, 8, "skewed-moe"),
+    # Symmetry-folded points.  The 64n8p pair shares its shape with the
+    # unfolded pairwise/64n8p headline job, so their ratio is the measured
+    # fold speedup at a shape the full engine can still run; the two
+    # paper-scale points have no unfolded counterpart by construction.
+    _uniform("fold-pairwise/64n8p/256B", "pairwise", 64, 8, quick=True, fold="on"),
+    _uniform("fold-pairwise/65536n1p/64B", "pairwise", 65536, 1, msg_bytes=64,
+             quick=True, fold="on"),
+    _uniform("fold-node-aware/1536n112p/4B", "node-aware", 1536, 112, msg_bytes=4,
+             fold="on"),
 )
 
 
@@ -182,9 +194,10 @@ def run_job(job: MicroJob, repeats: int = 3) -> MicroResult:
     for _ in range(repeats):
         start = time.perf_counter()
         if matrix is not None:
-            outcome = run_workload(job.algorithm, pmap, matrix, validate=False)
+            outcome = run_workload(job.algorithm, pmap, matrix, validate=False, fold=job.fold)
         else:
-            outcome = run_alltoall(job.algorithm, pmap, job.msg_bytes, validate=False)
+            outcome = run_alltoall(job.algorithm, pmap, job.msg_bytes, validate=False,
+                                   fold=job.fold)
         wall = time.perf_counter() - start
         if wall < best_wall:
             best_wall = wall

@@ -64,6 +64,44 @@ from repro.workloads import list_patterns, load_trace, make_pattern
 __all__ = ["build_parser", "main"]
 
 
+def _positive_int(text: str) -> int:
+    """Argparse type for counts that must be strictly positive (nodes, ppn)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
+def _node_count(text: str):
+    """Argparse type for ``--nodes``: a positive integer or ``paper``.
+
+    ``paper`` resolves to the system's real Table-1 deployment size
+    (see :data:`repro.machine.systems.TABLE1_NODE_COUNTS`).
+    """
+    if text.strip().lower() == "paper":
+        return "paper"
+    return _positive_int(text)
+
+
+def _resolve_nodes(args: argparse.Namespace) -> int:
+    """Turn ``--nodes paper`` into the system's Table-1 node count."""
+    if args.nodes == "paper":
+        from repro.machine.systems import TABLE1_NODE_COUNTS
+
+        counts = TABLE1_NODE_COUNTS
+        key = args.system.lower()
+        if key not in counts:
+            raise SystemExit(
+                f"--nodes paper: no Table-1 deployment size for system {args.system!r} "
+                f"(known: {', '.join(sorted(counts))})"
+            )
+        return counts[key]
+    return args.nodes
+
+
 def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
     """The parallel-runtime flags shared by figures / workload / select."""
     runtime = parser.add_argument_group("parallel runtime")
@@ -164,9 +202,9 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--system", default=None, choices=list_systems(),
                          help="system preset (default: each figure's own system; "
                               "dane for --engine simulate)")
-    figures.add_argument("--nodes", type=int, default=None,
+    figures.add_argument("--nodes", type=_positive_int, default=None,
                          help="cluster size in nodes (default: the preset's; 8 for simulate)")
-    figures.add_argument("--ppn", type=int, default=None,
+    figures.add_argument("--ppn", type=_positive_int, default=None,
                          help="ranks per node (default: all cores; 8 for simulate)")
     figures.add_argument("--csv", action="store_true", help="emit CSV instead of aligned tables")
     figures.add_argument("--headline", action="store_true",
@@ -177,18 +215,23 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="simulate one all-to-all exchange")
     run.add_argument("--system", default="dane", choices=list_systems())
     run.add_argument("--algorithm", default="multileader-node-aware")
-    run.add_argument("--nodes", type=int, default=4)
-    run.add_argument("--ppn", type=int, default=8)
+    run.add_argument("--nodes", type=_node_count, default=4,
+                     help="node count, or 'paper' for the system's Table-1 deployment size")
+    run.add_argument("--ppn", type=_positive_int, default=8)
     run.add_argument("--msg-bytes", type=int, default=256)
     run.add_argument("--group-size", type=int, default=None,
                      help="processes per leader/group for the hierarchical algorithms")
     run.add_argument("--inner", default=None, choices=["pairwise", "nonblocking", "bruck", "batched"])
+    run.add_argument("--fold", default="off", choices=["off", "auto", "on"],
+                     help="symmetry folding: simulate one node's ranks standing in "
+                          "for the whole machine (exact for the uniform exchange; "
+                          "required for paper-scale node counts)")
     _add_fabric_argument(run)
 
     select = sub.add_parser("select", help="print the algorithm selection table")
     select.add_argument("--system", default="dane", choices=list_systems())
-    select.add_argument("--nodes", type=int, default=32)
-    select.add_argument("--ppn", type=int, default=None,
+    select.add_argument("--nodes", type=_positive_int, default=32)
+    select.add_argument("--ppn", type=_positive_int, default=None,
                         help="ranks per node (default: all cores of the system)")
     select.add_argument("--sizes", type=int, nargs="+", default=[4, 16, 64, 256, 1024, 4096])
     select.add_argument("--engine", default="model", choices=["model", "simulate"],
@@ -208,8 +251,8 @@ def build_parser() -> argparse.ArgumentParser:
                           help="JSON trace file to replay (requires --pattern trace)")
     workload.add_argument("--algorithm", default="node-aware", choices=list_v_algorithms())
     workload.add_argument("--system", default="dane", choices=list_systems())
-    workload.add_argument("--nodes", type=int, default=4)
-    workload.add_argument("--ppn", type=int, default=8)
+    workload.add_argument("--nodes", type=_positive_int, default=4)
+    workload.add_argument("--ppn", type=_positive_int, default=8)
     workload.add_argument("--msg-bytes", type=int, default=64,
                           help="base bytes per (source, destination) pair")
     workload.add_argument("--seed", type=int, default=0, help="RNG seed of random patterns")
@@ -235,6 +278,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="node-aware: aggregation group size (default: whole node)")
     workload.add_argument("--inner", default=None, choices=["pairwise", "nonblocking"],
                           help="node-aware: inner exchange of both phases")
+    workload.add_argument("--fold", default="off", choices=["off", "auto", "on"],
+                          help="symmetry folding: 'auto' folds when the traffic "
+                               "matrix is node-rotation symmetric, 'on' demands it, "
+                               "'off' (default) simulates every rank")
     workload.add_argument("--no-model", action="store_true",
                           help="skip the analytic-model comparison")
     _add_fabric_argument(workload)
@@ -255,6 +302,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="upper bound on nodes x ppn per sampled scenario")
     verify.add_argument("--golden", default=None, metavar="PATH",
                         help="also check the golden corpus file and fail on drift")
+    verify.add_argument("--fold-gate", action="store_true",
+                        help="also run the symmetry-folding differential gate: every "
+                             "algorithm folded vs full width with bit-identical "
+                             "timings demanded (plus a folded-vs-model cross-check)")
     verify.add_argument("--fabric", default=None, metavar="SPEC",
                         help="verify over fabric-enabled scenarios (adds the "
                              "incast/neighbor-shift shapes); same syntax as the "
@@ -268,8 +319,8 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--system", default="dane", choices=list_systems())
     trace.add_argument("--algorithm", default="multileader-node-aware",
                        help="alltoall algorithm (or a v-algorithm when --pattern is given)")
-    trace.add_argument("--nodes", type=int, default=4)
-    trace.add_argument("--ppn", type=int, default=8)
+    trace.add_argument("--nodes", type=_positive_int, default=4)
+    trace.add_argument("--ppn", type=_positive_int, default=8)
     trace.add_argument("--msg-bytes", type=int, default=256)
     trace.add_argument("--group-size", type=int, default=None,
                        help="processes per leader/group for the hierarchical algorithms")
@@ -378,9 +429,19 @@ def _algorithm_options(args: argparse.Namespace) -> dict:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    cluster = get_system(args.system, args.nodes, fabric=_fabric_from_args(args))
-    pmap = ProcessMap(cluster, ppn=args.ppn, num_nodes=args.nodes)
-    outcome = run_alltoall(args.algorithm, pmap, args.msg_bytes, **_algorithm_options(args))
+    nodes = _resolve_nodes(args)
+    fold = args.fold
+    if args.nodes == "paper" and fold == "off":
+        # A full-width run at Table-1 scale is out of reach by construction;
+        # folding is the whole point of asking for the paper machine.
+        fold = "auto"
+    cluster = get_system(args.system, nodes, fabric=_fabric_from_args(args))
+    pmap = ProcessMap(cluster, ppn=args.ppn, num_nodes=nodes)
+    try:
+        outcome = run_alltoall(args.algorithm, pmap, args.msg_bytes, fold=fold,
+                               **_algorithm_options(args))
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from exc
     print(outcome.summary())
     print(f"  inter-node messages: {outcome.inter_node_messages}")
     print(f"  inter-node bytes:    {outcome.inter_node_bytes}")
@@ -505,9 +566,12 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         return 0
 
     try:
-        outcome = run_workload(args.algorithm, pmap, matrix, **options)
+        outcome = run_workload(args.algorithm, pmap, matrix, fold=args.fold, **options)
     except ConfigurationError as exc:
         raise SystemExit(str(exc)) from exc
+    if outcome.fold is not None:
+        print(f"Folded: {outcome.fold['simulated_ranks']} representatives x "
+              f"{outcome.fold['multiplicity']} ({outcome.fold['kind']} symmetry)")
     validated = "validated against the reference transposition" if outcome.correct \
         else "** INCORRECT RESULT **"
     print(f"Simulated {outcome.algorithm}: {outcome.elapsed:.3e} s  ({validated})")
@@ -534,10 +598,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         raise SystemExit(f"--jobs must be >= 0, got {args.jobs}")
 
     fabric = _fabric_from_args(args)
-    if fabric is None:
-        tasks = [(args.seed + i, args.max_ranks) for i in range(args.count)]
-    else:
-        tasks = [(args.seed + i, args.max_ranks, fabric) for i in range(args.count)]
+    extra = () if fabric is None else (fabric,)
+    tasks = [(args.seed + i, args.max_ranks, *extra) for i in range(args.count)]
     with SweepExecutor(jobs) as executor:
         records = executor.map(verify_task, tasks)
     print(format_verification_summary(records))
@@ -557,6 +619,19 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             status = 1
         else:
             print("golden corpus: consistent")
+
+    if args.fold_gate:
+        from repro.verify.folding import model_crosscheck, run_fold_gate
+
+        report = run_fold_gate()
+        print(report.describe())
+        if not report.ok:
+            status = 1
+        points = model_crosscheck(node_counts=(256, 1024), algorithms=("pairwise", "node-aware"))
+        for point in points:
+            print(point.describe())
+        if not all(point.ok for point in points):
+            status = 1
     return status
 
 

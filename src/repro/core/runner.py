@@ -29,9 +29,12 @@ from repro.core.alltoall.valgorithms import AlltoallvAlgorithm, get_v_algorithm
 from repro.core.validation import (
     make_workload_sendbuf,
     validate_alltoall_results,
+    validate_folded_alltoall_results,
+    validate_folded_workload_results,
     validate_workload_results,
 )
 from repro.errors import ConfigurationError
+from repro.machine.folding import uniform_certificate
 from repro.machine.hierarchy import LocalityLevel
 from repro.machine.process_map import ProcessMap
 from repro.simmpi.engine import JobResult, run_spmd
@@ -45,7 +48,49 @@ __all__ = [
     "run_workload",
     "alltoall_program",
     "workload_program",
+    "FOLD_MODES",
 ]
+
+#: Accepted values of the ``fold`` parameter / ``--fold`` CLI option.
+FOLD_MODES = ("off", "auto", "on")
+
+
+def _check_fold_mode(fold: str) -> str:
+    if fold not in FOLD_MODES:
+        raise ConfigurationError(
+            f"fold must be one of {', '.join(FOLD_MODES)}; got {fold!r}"
+        )
+    return fold
+
+
+def _resolve_uniform_fold(pmap: ProcessMap, fold: str) -> ProcessMap:
+    """Process map to simulate a *uniform* exchange with under ``fold`` mode.
+
+    Uniform traffic is invariant under every rank rotation, so ``auto`` and
+    ``on`` both fold (unless the map already is, or folding is a no-op on a
+    single node in which case it still works but saves nothing).
+    """
+    _check_fold_mode(fold)
+    if fold == "off" or pmap.is_folded:
+        return pmap
+    return pmap.folded(uniform_certificate(pmap.nprocs, pmap.ppn))
+
+
+def _resolve_workload_fold(pmap: ProcessMap, fold: str, matrix: TrafficMatrix) -> ProcessMap:
+    """Process map for a workload: fold only when the analyzer certifies it."""
+    _check_fold_mode(fold)
+    if fold == "off" or pmap.is_folded:
+        return pmap
+    from repro.workloads.symmetry import analyze_symmetry
+
+    report = analyze_symmetry(matrix, pmap.ppn)
+    if report.foldable:
+        return pmap.folded(report.fold_certificate())
+    if fold == "on":
+        raise ConfigurationError(
+            f"fold requested but the traffic is not foldable: {report.certificate}"
+        )
+    return pmap
 
 
 @dataclass
@@ -70,6 +115,10 @@ class AlltoallOutcome:
     traffic_by_level: dict[LocalityLevel, tuple[int, int]] = field(default_factory=dict)
     #: Full engine result (per-rank data, traces, NIC statistics).
     job: JobResult | None = None
+    #: Symmetry-folding metadata (``None`` for unfolded runs); mirrors
+    #: :attr:`repro.simmpi.engine.JobResult.fold` so it survives
+    #: ``keep_job=False``.
+    fold: dict | None = None
 
     @property
     def nprocs(self) -> int:
@@ -89,9 +138,16 @@ class AlltoallOutcome:
 
     def summary(self) -> str:
         phases = ", ".join(f"{k}={v:.3e}s" for k, v in sorted(self.phase_times.items()))
+        folded = ""
+        if self.fold is not None:
+            folded = (
+                f" [folded: {self.fold['simulated_ranks']} representatives "
+                f"x {self.fold['multiplicity']}]"
+            )
         return (
             f"{self.algorithm}: {self.msg_bytes} B x {self.nprocs} ranks "
             f"({self.num_nodes} nodes x {self.ppn} ppn) -> {self.elapsed:.3e} s"
+            + folded
             + (f" [{phases}]" if phases else "")
             + ("" if self.correct else "  ** INCORRECT RESULT **")
         )
@@ -122,6 +178,7 @@ def run_alltoall(
     record_trace: bool = False,
     sink=None,
     keep_job: bool = True,
+    fold: str = "off",
     **algorithm_options: Any,
 ) -> AlltoallOutcome:
     """Simulate one all-to-all exchange and return its :class:`AlltoallOutcome`.
@@ -147,6 +204,12 @@ def run_alltoall(
         Optional :class:`repro.obs.sink.EventSink` observing the job's
         simulated lifecycle (phase/wait/match/NIC/link events); ``None``
         keeps tracing off at zero cost.
+    fold:
+        Symmetry folding mode — ``"off"`` (default) simulates every rank;
+        ``"auto"`` and ``"on"`` simulate one node's representatives standing
+        in for the whole machine (always sound for the uniform exchange; see
+        :mod:`repro.machine.folding`).  With folding off the simulated
+        arithmetic is bit-identical to what it was before folding existed.
     algorithm_options:
         Forwarded to the algorithm constructor when ``algorithm`` is a name.
     """
@@ -162,6 +225,7 @@ def run_alltoall(
     algo = get_algorithm(algorithm, **algorithm_options) if isinstance(algorithm, str) else algorithm
     if algorithm_options and not isinstance(algorithm, str):
         raise ConfigurationError("algorithm options can only be given together with an algorithm name")
+    pmap = _resolve_uniform_fold(pmap, fold)
     algo.validate(pmap)
 
     job = run_spmd(pmap, alltoall_program, algo, block_items, np.dtype(dtype),
@@ -169,7 +233,12 @@ def run_alltoall(
 
     correct = True
     if validate:
-        correct = validate_alltoall_results(job.results, pmap.nprocs, block_items)
+        if pmap.is_folded:
+            correct = validate_folded_alltoall_results(
+                job.results, pmap.nprocs, pmap.ppn, block_items
+            )
+        else:
+            correct = validate_alltoall_results(job.results, pmap.nprocs, block_items)
 
     phase_times = {name: job.phase_time(name) for name in job.phases()}
     outcome = AlltoallOutcome(
@@ -182,6 +251,7 @@ def run_alltoall(
         phase_times=phase_times,
         traffic_by_level=dict(job.traffic_by_level),
         job=job if keep_job else None,
+        fold=job.fold,
     )
     return outcome
 
@@ -217,6 +287,8 @@ class WorkloadOutcome:
     traffic_by_level: dict[LocalityLevel, tuple[int, int]] = field(default_factory=dict)
     #: Full engine result (per-rank data, traces, NIC statistics).
     job: JobResult | None = None
+    #: Symmetry-folding metadata (``None`` for unfolded runs).
+    fold: dict | None = None
 
     @property
     def nprocs(self) -> int:
@@ -268,6 +340,7 @@ def run_workload(
     record_trace: bool = False,
     sink=None,
     keep_job: bool = True,
+    fold: str = "off",
     **algorithm_options: Any,
 ) -> WorkloadOutcome:
     """Simulate one non-uniform exchange and return its :class:`WorkloadOutcome`.
@@ -292,6 +365,12 @@ def run_workload(
         Keep a full per-message trace on the returned job.
     sink:
         Optional :class:`repro.obs.sink.EventSink` (see :func:`run_alltoall`).
+    fold:
+        Symmetry folding mode.  ``"auto"`` folds when the symmetry analyzer
+        (:func:`repro.workloads.symmetry.analyze_symmetry`) certifies the
+        matrix as node-rotation invariant and falls back to the full
+        simulation otherwise; ``"on"`` raises if the traffic is not
+        foldable; ``"off"`` (default) always simulates every rank.
     algorithm_options:
         Forwarded to the algorithm constructor when ``algorithm`` is a name
         (e.g. ``procs_per_group=4``, ``inner="nonblocking"``).
@@ -313,6 +392,7 @@ def run_workload(
             raise ConfigurationError(
                 "algorithm options can only be given together with an algorithm name"
             )
+    pmap = _resolve_workload_fold(pmap, fold, matrix)
     algo.validate(pmap, counts)
 
     job = run_spmd(pmap, workload_program, algo, counts, np.dtype(dtype),
@@ -320,7 +400,10 @@ def run_workload(
 
     correct = True
     if validate:
-        correct = validate_workload_results(job.results, counts)
+        if pmap.is_folded:
+            correct = validate_folded_workload_results(job.results, counts, pmap.ppn)
+        else:
+            correct = validate_workload_results(job.results, counts)
 
     phase_times = {name: job.phase_time(name) for name in job.phases()}
     return WorkloadOutcome(
@@ -335,4 +418,5 @@ def run_workload(
         phase_times=phase_times,
         traffic_by_level=dict(job.traffic_by_level),
         job=job if keep_job else None,
+        fold=job.fold,
     )

@@ -27,9 +27,13 @@ __all__ = [
     "expected_alltoall_result",
     "validate_alltoall_results",
     "alltoall_reference",
+    "expected_folded_alltoall_result",
+    "validate_folded_alltoall_results",
     "make_workload_sendbuf",
     "expected_workload_result",
     "validate_workload_results",
+    "expected_folded_workload_result",
+    "validate_folded_workload_results",
     "alltoallv_reference",
 ]
 
@@ -73,6 +77,70 @@ def alltoall_reference(sendbufs: Sequence[np.ndarray]) -> list[np.ndarray]:
     return [np.ascontiguousarray(stacked[:, d]).reshape(-1) for d in range(nprocs)]
 
 
+def expected_folded_alltoall_result(
+    rank: int, nprocs: int, ppn: int, block_items: int, dtype=np.int64
+) -> np.ndarray:
+    """Expected receive buffer of representative ``rank`` in a *folded* job.
+
+    A symmetry-folded run (:mod:`repro.machine.folding`) delivers, in place
+    of the message a folded-out rank ``s`` would have sent, the mirror of a
+    representative send — the same bytes the representative with local index
+    ``s % ppn`` staged for the rotated destination.  Composing the rotation
+    across however many hops an algorithm routes the data through, block
+    ``s`` of representative ``rank`` ends up holding the sender pattern of
+    source ``s % ppn`` for destination ``(rank - (s // ppn) * ppn) % nprocs``
+    — the full run's content relabelled by the node rotation, exactly (this
+    holds for every node-rotation-equivariant algorithm; the fold gate
+    checks it across the registry).  Validating against this reference is
+    therefore exact for folded jobs, complementing the unfolded content
+    check of :func:`expected_alltoall_result`.
+    """
+    if block_items < 0:
+        raise BufferSizeError("block_items must be non-negative")
+    out = np.empty(nprocs * block_items, dtype=dtype)
+    view = out.reshape(nprocs, block_items) if block_items else out.reshape(nprocs, 0)
+    ramp = np.arange(block_items, dtype=np.int64)
+    for src in range(nprocs):
+        shifted_dest = (rank - (src // ppn) * ppn) % nprocs
+        base = (src % ppn) * nprocs + shifted_dest
+        if block_items:
+            # Same int64-then-wrap convention as make_alltoall_sendbuf.
+            view[src, :] = (base * 1000 + ramp).astype(dtype)
+    return out
+
+
+def validate_folded_alltoall_results(
+    results: Sequence[np.ndarray],
+    nprocs: int,
+    ppn: int,
+    block_items: int,
+) -> bool:
+    """Check a folded job's representative receive buffers (one per local rank).
+
+    ``results`` holds the ``ppn`` representatives' buffers; each is compared
+    against :func:`expected_folded_alltoall_result`.
+    """
+    if len(results) != ppn:
+        raise BufferSizeError(
+            f"folded job should produce {ppn} representative buffers, got {len(results)}"
+        )
+    for rank, buf in enumerate(results):
+        if buf is None:
+            return False
+        arr = np.asarray(buf)
+        if arr.size != nprocs * block_items:
+            raise BufferSizeError(
+                f"representative {rank} produced {arr.size} items, "
+                f"expected {nprocs * block_items}"
+            )
+        expected = expected_folded_alltoall_result(
+            rank, nprocs, ppn, block_items, dtype=arr.dtype
+        )
+        if not np.array_equal(arr.reshape(-1), expected):
+            return False
+    return True
+
+
 def _workload_pattern(src: int, dest: int, nprocs: int, items: int, dtype) -> np.ndarray:
     # Same int64-then-wrap convention as make_alltoall_sendbuf.
     base = src * nprocs + dest
@@ -110,6 +178,50 @@ def expected_workload_result(rank: int, counts, dtype=np.int64) -> np.ndarray:
         out[pos: pos + items] = _workload_pattern(src, rank, nprocs, items, dtype)
         pos += items
     return out
+
+
+def expected_folded_workload_result(rank: int, counts, ppn: int, dtype=np.int64) -> np.ndarray:
+    """Expected packed receive buffer of representative ``rank`` in a folded job.
+
+    The workload analogue of :func:`expected_folded_alltoall_result`: block
+    ``s`` carries ``counts[s, rank]`` items tagged with source ``s % ppn``
+    and the node-rotated destination.  Only meaningful for count matrices
+    that passed the symmetry analyzer (rotation-invariant), which is the
+    precondition for folding a workload at all.
+    """
+    arr = check_counts_matrix(counts)
+    nprocs = arr.shape[0]
+    col = arr[:, rank]
+    out = np.empty(int(col.sum()), dtype=dtype)
+    pos = 0
+    for src in range(nprocs):
+        items = int(col[src])
+        shifted_dest = (rank - (src // ppn) * ppn) % nprocs
+        out[pos: pos + items] = _workload_pattern(src % ppn, shifted_dest, nprocs, items, dtype)
+        pos += items
+    return out
+
+
+def validate_folded_workload_results(results: Sequence[np.ndarray], counts, ppn: int) -> bool:
+    """Check a folded workload job's representative packed receive buffers."""
+    arr = check_counts_matrix(counts)
+    if len(results) != ppn:
+        raise BufferSizeError(
+            f"folded job should produce {ppn} representative buffers, got {len(results)}"
+        )
+    for rank, buf in enumerate(results):
+        if buf is None:
+            return False
+        got = np.asarray(buf)
+        expected_items = int(arr[:, rank].sum())
+        if got.size != expected_items:
+            raise BufferSizeError(
+                f"representative {rank} produced {got.size} items, expected {expected_items}"
+            )
+        expected = expected_folded_workload_result(rank, arr, ppn, dtype=got.dtype)
+        if not np.array_equal(got.reshape(-1), expected):
+            return False
+    return True
 
 
 def alltoallv_reference(sendbufs: Sequence[np.ndarray], counts) -> list[np.ndarray]:

@@ -12,14 +12,17 @@ from repro.machine.hierarchy import LocalityLevel, coarsest_level, finest_level
 from repro.machine.topology import NodeArchitecture
 from repro.machine.params import LevelCosts, MachineParameters
 from repro.machine.cluster import Cluster
+from repro.machine.folding import FoldCertificate, FoldedProcessMap, fold_process_map
 from repro.machine.process_map import ProcessMap
 from repro.machine.systems import (
     SYSTEM_PRESETS,
+    TABLE1_NODE_COUNTS,
     amber,
     dane,
     get_system,
     list_systems,
     mi300a_node,
+    paper_scale,
     sapphire_rapids_node,
     tiny_cluster,
     tuolomne,
@@ -33,13 +36,18 @@ __all__ = [
     "LevelCosts",
     "MachineParameters",
     "Cluster",
+    "FoldCertificate",
+    "FoldedProcessMap",
+    "fold_process_map",
     "ProcessMap",
     "SYSTEM_PRESETS",
+    "TABLE1_NODE_COUNTS",
     "amber",
     "dane",
     "get_system",
     "list_systems",
     "mi300a_node",
+    "paper_scale",
     "sapphire_rapids_node",
     "tiny_cluster",
     "tuolomne",

@@ -43,6 +43,12 @@ class ProcessMap:
     ppn: int
     num_nodes: int | None = None
 
+    #: Whether the engine should schedule only representative ranks.  The
+    #: base map simulates every rank; :class:`repro.machine.folding.
+    #: FoldedProcessMap` overrides this (plain class attribute, not a field,
+    #: so equality and cache keys of unfolded maps are untouched).
+    is_folded = False
+
     def __post_init__(self) -> None:
         nodes = self.cluster.num_nodes if self.num_nodes is None else self.num_nodes
         if nodes <= 0 or nodes > self.cluster.num_nodes:
@@ -62,6 +68,27 @@ class ProcessMap:
     def nprocs(self) -> int:
         """Total number of ranks in the job."""
         return self.num_nodes * self.ppn
+
+    @property
+    def sim_nodes(self) -> int:
+        """Nodes the engine actually schedules (all of them when unfolded)."""
+        return self.num_nodes
+
+    @property
+    def sim_nprocs(self) -> int:
+        """Ranks the engine actually schedules (all of them when unfolded)."""
+        return self.nprocs
+
+    @property
+    def multiplicity(self) -> int:
+        """Logical ranks per simulated rank (1 when unfolded)."""
+        return 1
+
+    def folded(self, certificate=None):
+        """Symmetry-folded view of this map (see :mod:`repro.machine.folding`)."""
+        from repro.machine.folding import fold_process_map
+
+        return fold_process_map(self, certificate)
 
     @property
     def node_arch(self):

@@ -43,8 +43,10 @@ __all__ = [
     "tuolomne",
     "tiny_cluster",
     "SYSTEM_PRESETS",
+    "TABLE1_NODE_COUNTS",
     "get_system",
     "list_systems",
+    "paper_scale",
 ]
 
 
@@ -214,6 +216,34 @@ def tiny_cluster(num_nodes: int = 4, *, sockets: int = 2, numa_per_socket: int =
         system_mpi_name="reference MPI",
         fabric=fabric if fabric is not None else FullBisectionFabric(),
     )
+
+
+#: Real deployment size of each Table-1 machine (nodes).  Dane and Amber run
+#: 1536 Sapphire Rapids nodes (172,032 ranks at full 112 ppn); Tuolomne runs
+#: 1152 MI300A nodes (110,592 ranks at 96 ppn).  Full-width simulation at
+#: these scales is out of reach; symmetry folding
+#: (:mod:`repro.machine.folding`) simulates them with one node's ranks.
+TABLE1_NODE_COUNTS: dict[str, int] = {
+    "dane": 1536,
+    "amber": 1536,
+    "tuolomne": 1152,
+}
+
+
+def paper_scale(name: str, *, fabric: FabricSpec | None = None) -> Cluster:
+    """A Table-1 preset at its real deployment node count.
+
+    Only the three paper machines have a recorded deployment size; asking
+    for ``tiny`` (or an unknown name) raises
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    key = name.lower()
+    if key not in TABLE1_NODE_COUNTS:
+        raise ConfigurationError(
+            f"no paper-scale node count for {name!r}; Table-1 machines: "
+            f"{', '.join(sorted(TABLE1_NODE_COUNTS))}"
+        )
+    return get_system(key, TABLE1_NODE_COUNTS[key], fabric=fabric)
 
 
 #: Factory registry keyed by lower-case system name.

@@ -48,6 +48,7 @@ __all__ = [
     "FatTreeFabric",
     "DragonflyFabric",
     "FabricState",
+    "FoldedFabricView",
     "FABRIC_KINDS",
     "parse_fabric",
     "fabric_from_payload",
@@ -221,6 +222,148 @@ class FabricState:
                      + bytes_per_pair * by_id[key].byte_time)
             for key, count in counts.items()
         )
+
+
+class FoldedFabricView:
+    """Multiplicity-weighted view of a :class:`FabricState` for folded jobs.
+
+    A symmetry-folded job (:mod:`repro.machine.folding`) simulates only the
+    sends of node 0's representative ranks, so a shared link would see only
+    the fraction of its traffic that originates at the simulated nodes —
+    a fat-tree uplink shared by ``hosts_per_switch`` nodes would be loaded
+    by just one of them and contention would evaporate.  This view restores
+    the absent nodes' load with two per-link multipliers:
+
+    * the **aggregate weight** ``w_L`` — all node-pair routes crossing the
+      link divided by the routes originating at simulated nodes — scales the
+      *accounting* (``busy_time``, ``bytes``), so every link reports exactly
+      the multiplicity-weighted totals of the full run;
+    * the **aligned concurrency** ``a_L`` — the maximum, over destination
+      offsets ``d``, of how many sources ``s`` route ``s -> (s + d) % N``
+      through the link — scales the *timeline reservation*.  Under the
+      node-rotation symmetry every folded-away node runs the representative's
+      schedule at the same instants, so at any moment a link is contended by
+      the sources aligned on the current offset, not by its whole-run
+      average.  Reserving ``a_L`` occupancies per traversal reproduces the
+      full run's per-link saturation (a fat-tree uplink's ``a_L`` is its
+      ``hosts_per_switch``) without the burst amplification that scaling by
+      ``w_L`` would cause on fan-in links (a downlink's ``w_L`` counts every
+      remote switch, but only one switch converges on it at a time).
+
+    Unlike the NIC and matching paths, which the mirror construction makes
+    bit-exact, weighted link occupancy is an *aggregate-faithful smoothing*:
+    per-message queueing is interleaved differently than in the full run.
+    The differential fold gate therefore checks contended-fabric timings
+    against a tolerance rather than bit equality (see
+    :mod:`repro.verify.folding`).
+
+    The view exposes the same ``traverse`` / ``statistics`` / ``sink``
+    surface the timing model uses, so the hot path is unchanged.
+    """
+
+    __slots__ = ("state", "sim_nodes", "_weights", "_concurrency")
+
+    def __init__(self, state: FabricState, sim_nodes: int) -> None:
+        self.state = state
+        self.sim_nodes = sim_nodes
+        total: dict[int, int] = {}
+        simulated: dict[int, int] = {}
+        nodes = 0
+        for (src, dst), route in state.routes.items():
+            if src >= nodes:
+                nodes = src + 1
+            if dst >= nodes:
+                nodes = dst + 1
+            for link in route:
+                key = id(link)
+                total[key] = total.get(key, 0) + 1
+                if src < sim_nodes:
+                    simulated[key] = simulated.get(key, 0) + 1
+        #: id(link) -> accounting multiplier.  Links never reached from a
+        #: simulated node keep no weight: they are never traversed.
+        self._weights = {
+            key: total[key] / simulated[key] for key in total if key in simulated
+        }
+        #: id(link) -> timeline multiplier: max sources aligned on one
+        #: destination offset (one O(nodes^2) sweep at construction).
+        concurrency: dict[int, int] = {}
+        for offset in range(1, nodes):
+            per_offset: dict[int, int] = {}
+            for src in range(nodes):
+                route = state.routes.get((src, (src + offset) % nodes))
+                if not route:
+                    continue
+                for link in route:
+                    key = id(link)
+                    per_offset[key] = per_offset.get(key, 0) + 1
+            for key, count in per_offset.items():
+                if count > concurrency.get(key, 0):
+                    concurrency[key] = count
+        self._concurrency = {
+            key: float(concurrency.get(key, 1)) for key in self._weights
+        }
+
+    @property
+    def name(self) -> str:
+        return f"{self.state.name} [folded]"
+
+    @property
+    def sink(self):
+        return self.state.sink
+
+    @sink.setter
+    def sink(self, value) -> None:
+        self.state.sink = value
+
+    @property
+    def routes(self) -> dict[tuple[int, int], tuple[_Link, ...]]:
+        return self.state.routes
+
+    def fold_weight(self, link: _Link) -> float:
+        """Accounting multiplier (``w_L``) applied to traversals of ``link``."""
+        return self._weights.get(id(link), 1.0)
+
+    def aligned_concurrency(self, link: _Link) -> float:
+        """Timeline multiplier (``a_L``) applied to traversals of ``link``."""
+        return self._concurrency.get(id(link), 1.0)
+
+    def route(self, src_node: int, dst_node: int) -> tuple[_Link, ...]:
+        return self.state.route(src_node, dst_node)
+
+    def traverse(self, src_node: int, dst_node: int, nbytes: int, start: float) -> float:
+        """Weighted :meth:`FabricState.traverse`: same FIFO discipline, the
+        timeline reservation scaled by the link's aligned concurrency and
+        the accounting by its aggregate fold weight."""
+        t = start
+        state = self.state
+        sink = state.sink
+        weights = self._weights
+        concurrency = self._concurrency
+        for link in state.routes[(src_node, dst_node)]:
+            key = id(link)
+            occupancy = link.hop_overhead + nbytes * link.byte_time
+            reserved = occupancy * concurrency.get(key, 1.0)
+            weight = weights.get(key, 1.0)
+            resource = link.resource
+            available = resource.available_at
+            begin = t if t >= available else available
+            end = begin + reserved
+            resource.available_at = end
+            resource.busy_time += occupancy * weight
+            resource.reservations += 1
+            link.bytes_moved += int(nbytes * weight)
+            delay = begin - t
+            link.queued_time += delay
+            if delay > link.max_queue_delay:
+                link.max_queue_delay = delay
+            if sink is not None:
+                sink.link(link.name, t, begin, end, nbytes, src_node, dst_node)
+            t = end
+        return t
+
+    def statistics(self) -> list[dict]:
+        """Per-link accounting (the underlying state's, already weighted)."""
+        return self.state.statistics()
 
 
 # ---------------------------------------------------------------------------

@@ -36,6 +36,8 @@ SPEC_VERSION = 1
 
 _ENGINES = ("simulate", "model")
 
+_FOLD_MODES = ("off", "auto", "on")
+
 
 def _params_payload(params: MachineParameters) -> dict:
     payload: dict[str, Any] = {
@@ -111,10 +113,17 @@ class PointSpec:
     options: tuple[tuple[str, Any], ...] = ()
     msg_bytes: int | None = None
     trace: str | None = None
+    #: Symmetry-folding mode for the simulate engine ("off", "auto", "on").
+    #: Ignored by the model engine, which is scale-free already.
+    fold: str = "off"
 
     def __post_init__(self) -> None:
         if self.engine not in _ENGINES:
             raise ConfigurationError(f"unknown engine {self.engine!r}; choose from {_ENGINES}")
+        if self.fold not in _FOLD_MODES:
+            raise ConfigurationError(
+                f"unknown fold mode {self.fold!r}; choose from {_FOLD_MODES}"
+            )
         if (self.msg_bytes is None) == (self.trace is None):
             raise ConfigurationError("a PointSpec needs exactly one of msg_bytes and trace")
         if self.ppn <= 0 or self.num_nodes <= 0:
@@ -131,16 +140,17 @@ class PointSpec:
     @classmethod
     def for_alltoall(cls, cluster: Cluster, ppn: int, num_nodes: int, algorithm: str,
                      msg_bytes: int, *, engine: str = "model", repetitions: int = 1,
-                     **options: Any) -> "PointSpec":
+                     fold: str = "off", **options: Any) -> "PointSpec":
         """Spec for one uniform all-to-all point."""
         return cls(cluster=cluster, ppn=ppn, num_nodes=num_nodes, engine=engine,
                    algorithm=algorithm, repetitions=repetitions,
-                   options=tuple(sorted(options.items())), msg_bytes=int(msg_bytes))
+                   options=tuple(sorted(options.items())), msg_bytes=int(msg_bytes),
+                   fold=fold)
 
     @classmethod
     def for_workload(cls, cluster: Cluster, ppn: int, num_nodes: int, algorithm: str,
                      matrix, *, engine: str = "model", repetitions: int = 1,
-                     **options: Any) -> "PointSpec":
+                     fold: str = "off", **options: Any) -> "PointSpec":
         """Spec for one non-uniform workload point (the matrix is embedded as a trace)."""
         trace = json.dumps(
             {"pattern": matrix.pattern, "nprocs": matrix.nprocs, "bytes": matrix.bytes.tolist()},
@@ -148,7 +158,7 @@ class PointSpec:
         )
         return cls(cluster=cluster, ppn=ppn, num_nodes=num_nodes, engine=engine,
                    algorithm=algorithm, repetitions=repetitions,
-                   options=tuple(sorted(options.items())), trace=trace)
+                   options=tuple(sorted(options.items())), trace=trace, fold=fold)
 
     # -- execution helpers ---------------------------------------------------
     def matrix(self):
@@ -161,8 +171,14 @@ class PointSpec:
 
     # -- identity ------------------------------------------------------------
     def payload(self) -> dict:
-        """Plain-JSON description of the spec (what the cache stores alongside results)."""
-        return {
+        """Plain-JSON description of the spec (what the cache stores alongside results).
+
+        ``fold`` is serialized only when it is not ``"off"``: a missing key
+        means unfolded, which keeps every pre-folding cache key
+        bit-identical (the same pattern the fabric key uses) while making a
+        folded run part of a point's identity.
+        """
+        payload = {
             "version": SPEC_VERSION,
             "cluster": cluster_payload(self.cluster),
             "ppn": self.ppn,
@@ -174,6 +190,9 @@ class PointSpec:
             "msg_bytes": self.msg_bytes,
             "trace": self.trace,
         }
+        if self.fold != "off":
+            payload["fold"] = self.fold
+        return payload
 
     def canonical(self) -> str:
         """Canonical JSON form; the sole basis of equality, hashing and cache keys.
@@ -205,9 +224,10 @@ class PointSpec:
         opts = ", ".join(f"{k}={v}" for k, v in self.options)
         what = f"{self.msg_bytes} B" if self.msg_bytes is not None else "trace"
         algo = f"{self.algorithm}({opts})" if opts else self.algorithm
+        folded = "" if self.fold == "off" else f", fold={self.fold}"
         return (
             f"{algo} @ {what} on {self.cluster.name} "
-            f"({self.num_nodes} nodes x {self.ppn} ppn, engine={self.engine})"
+            f"({self.num_nodes} nodes x {self.ppn} ppn, engine={self.engine}{folded})"
         )
 
     def __eq__(self, other: object) -> bool:

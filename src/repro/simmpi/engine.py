@@ -240,6 +240,12 @@ class JobResult:
     #: matching fast-path/queued splits, unexpected-queue depth, traffic,
     #: NIC and fabric-link occupancy, engine event counts.  Always populated.
     metrics: dict = field(default_factory=dict)
+    #: Symmetry-folding metadata (``None`` for unfolded jobs): multiplicity,
+    #: logical vs simulated rank counts and the fold certificate.  When set,
+    #: per-rank lists (results, finish times, phase timings) cover only the
+    #: representative ranks, and :attr:`traffic_by_level` is already scaled
+    #: to the logical full-machine totals.
+    fold: dict | None = None
 
     def phase_time(self, phase: str, *, reduce: Callable[[Sequence[float]], float] = max) -> float:
         """Aggregate one named phase across ranks (default: max over ranks)."""
@@ -303,7 +309,10 @@ class SpmdEngine:
 
         nprocs = self.pmap.nprocs
         world_group = self.contexts.group_for(tuple(range(nprocs)))
-        for rank in range(nprocs):
+        # Folded maps schedule only the representative ranks (node 0); each
+        # stands in for its whole equivalence class.  Unfolded maps have
+        # sim_nprocs == nprocs and this is the plain every-rank loop.
+        for rank in range(self.pmap.sim_nprocs):
             ctx = RankContext(rank, self.pmap, self)
             ctx.world = Communicator(
                 allocator=self.contexts,
@@ -459,9 +468,29 @@ class SpmdEngine:
 
     def _build_result(self) -> JobResult:
         finish_times = [p.finish_time if p.finish_time is not None else 0.0 for p in self._processes]
-        traffic = {
-            level: tuple(counts) for level, counts in self.router.traffic.per_key.items()
-        }
+        pmap = self.pmap
+        fold_info = None
+        if pmap.is_folded:
+            # Every node contributes the same counts under node-rotation
+            # symmetry, so the logical full-machine traffic is exactly the
+            # representatives' traffic times the class multiplicity.
+            multiplicity = pmap.multiplicity
+            traffic = {
+                level: (counts[0] * multiplicity, counts[1] * multiplicity)
+                for level, counts in self.router.traffic.per_key.items()
+            }
+            certificate = getattr(pmap, "certificate", None)
+            fold_info = {
+                "multiplicity": multiplicity,
+                "logical_ranks": pmap.nprocs,
+                "simulated_ranks": pmap.sim_nprocs,
+                "kind": certificate.kind if certificate is not None else "unspecified",
+                "certificate": certificate.detail if certificate is not None else "",
+            }
+        else:
+            traffic = {
+                level: tuple(counts) for level, counts in self.router.traffic.per_key.items()
+            }
         return JobResult(
             results=[ctx.result for ctx in self._rank_contexts],
             finish_times=finish_times,
@@ -473,6 +502,7 @@ class SpmdEngine:
             events_processed=self.simulator.events_processed,
             fabric_statistics=self.timing.fabric_statistics(),
             metrics=build_job_metrics(self),
+            fold=fold_info,
         )
 
 

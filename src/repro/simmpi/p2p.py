@@ -102,11 +102,15 @@ class TimingModel:
         #: emission down to one pointer test (the zero-overhead-when-off
         #: contract of :mod:`repro.obs`).
         self.sink = sink
-        self.nics = [SerialResource(name=f"nic-node{n}") for n in range(pmap.num_nodes)]
+        # Folded maps schedule only node 0: per-node mutable resources are
+        # allocated for the simulated nodes only (a 64k-node folded job must
+        # not allocate 64k NIC objects it never touches).
+        sim_nodes = pmap.sim_nodes
+        self.nics = [SerialResource(name=f"nic-node{n}") for n in range(sim_nodes)]
         # Shared cross-NUMA fabric per node: intra-node transfers that cross a
         # NUMA boundary (SOCKET and NODE levels) serialize on it, modelling
         # the UPI / inter-chip bandwidth contention of many-core nodes.
-        self.fabrics = [SerialResource(name=f"fabric-node{n}") for n in range(pmap.num_nodes)]
+        self.fabrics = [SerialResource(name=f"fabric-node{n}") for n in range(sim_nodes)]
         #: Inter-node fabric state (shared links + routes), or ``None`` for
         #: the contention-free full-bisection default — in which case every
         #: network path below keeps its original, fabric-free arithmetic
@@ -114,6 +118,10 @@ class TimingModel:
         #: fixture.
         self.fabric = pmap.cluster.fabric.build(pmap.num_nodes, pmap.params)
         if self.fabric is not None:
+            if pmap.is_folded:
+                from repro.netsim.fabric import FoldedFabricView
+
+                self.fabric = FoldedFabricView(self.fabric, sim_nodes)
             self.fabric.sink = sink
         params = self.params
         self._node_of = [pmap.node_of(rank) for rank in range(pmap.nprocs)]
@@ -544,7 +552,12 @@ class MessageRouter:
         #: lifecycle; ``None`` costs one pointer test per emission point.
         self.sink = sink
         self.traffic = traffic if traffic is not None else ThroughputTracker(name="p2p")
-        self._mailboxes = [_Mailbox() for _ in range(timing.pmap.nprocs)]
+        pmap = timing.pmap
+        #: The folded process map when the job is symmetry-folded, ``None``
+        #: otherwise.  The unfolded hot path pays exactly one pointer test.
+        self._fold = pmap if pmap.is_folded else None
+        self._sim_nprocs = pmap.sim_nprocs
+        self._mailboxes = [_Mailbox() for _ in range(pmap.sim_nprocs)]
         self._eager_limit = self.params.eager_limit
         self._match_overhead = self.params.match_overhead_per_entry
         self._recv_overhead = self.params.recv_overhead
@@ -592,6 +605,8 @@ class MessageRouter:
         ready_time: float,
     ) -> Request:
         """Post a send whose data is ready at simulated ``ready_time``."""
+        if self._fold is not None and dst >= self._sim_nprocs:
+            return self._post_send_folded(src, dst, payload, tag, context_id, ready_time)
         request = Request("send", src)
         nbytes = payload.nbytes
         timing = self.timing
@@ -746,6 +761,170 @@ class MessageRouter:
             sink.parked(src, dst, nbytes, tag, rts_arrival, depth)
         return request
 
+    def _post_send_folded(
+        self,
+        src: int,
+        dst: int,
+        payload: np.ndarray,
+        tag: int,
+        context_id: int,
+        ready_time: float,
+    ) -> Request:
+        """Post a representative's send to a *phantom* destination.
+
+        Folded jobs simulate only node 0; ``dst`` lives on a folded-out
+        node.  The send is **timed** as the original ``src -> dst`` message
+        — node 0's NIC injection, fabric traversal, network latency — so the
+        sender-side costs are exactly those of the full run.  It is
+        **delivered** as its mirror: the unique node-rotation of the pair
+        that lands the destination back on node 0
+        (:meth:`repro.machine.folding.FoldedProcessMap.mirror_inbound`).
+        Under node-rotation symmetry the mirror is precisely the message the
+        folded-out peer would have sent into node 0 at the same simulated
+        times, which keeps node 0's inbound stream — matching order, queue
+        depths, scanned counts — identical to the full run.
+
+        The arithmetic below intentionally replays the eager network path of
+        :meth:`post_send` float-for-float; only the delivery coordinates
+        (mailbox, matching key, status source) use the mirror.
+        """
+        fold = self._fold
+        request = Request("send", src)
+        nbytes = payload.nbytes
+        # Phantom destinations are on other nodes by construction.
+        level = LocalityLevel.NETWORK
+        traffic = self.traffic
+        traffic.messages += 1
+        traffic.total_bytes += nbytes
+        counts = traffic.per_key.get(level)
+        if counts is None:
+            traffic.per_key[level] = [1, nbytes]
+        else:
+            counts[0] += 1
+            counts[1] += nbytes
+        sink = self.sink
+        if sink is not None:
+            sink.send_posted(src, dst, nbytes, tag, ready_time)
+
+        mirror_src, mirror_dst = fold.mirror_inbound(src, dst)
+        mailbox = self._mailboxes[mirror_dst]
+        key = (context_id, mirror_src, tag)
+        if nbytes <= self._eager_limit:
+            occupancy = self._nic_message_overhead + nbytes / self._injection_bandwidth
+            nic = self._nics[self._node_of[src]]
+            available = nic.available_at
+            start = ready_time if ready_time >= available else available
+            sender_done = start + occupancy
+            nic.available_at = sender_done
+            nic.busy_time += occupancy
+            nic.reservations += 1
+            if sink is not None:
+                sink.nic(self._node_of[src], ready_time, start, sender_done, nbytes)
+            fabric = self._fabric
+            if fabric is None:
+                arrival = sender_done + self._net_latency + nbytes * self._net_byte_time
+            else:
+                exit_time = fabric.traverse(
+                    self._node_of[src], self._node_of[dst], nbytes, sender_done
+                )
+                arrival = exit_time + self._net_latency + nbytes * self._net_byte_time
+            request.completion_time = sender_done
+
+            posted = mailbox.posted
+            if not posted._live:
+                found = None
+            elif mailbox.wildcards_posted:
+                seq = posted.first_for_keys((
+                    key,
+                    (context_id, ANY_SOURCE, tag),
+                    (context_id, mirror_src, ANY_TAG),
+                    (context_id, ANY_SOURCE, ANY_TAG),
+                ))
+                found = None if seq is None else posted.take(seq)
+            else:
+                found = posted.take_for_key(key)
+            if found is not None:
+                recv = found[0]
+                scanned = found[1]
+                self.matches += 1
+                self.fast_path_matches += 1
+                self.entries_scanned += scanned
+                post_time = recv.post_time
+                later = arrival if arrival >= post_time else post_time  # max()
+                completion = later + scanned * self._match_overhead + self._recv_overhead
+                buffer = recv.buffer
+                if buffer.dtype is payload.dtype and buffer.ndim == 1 \
+                        and payload.ndim == 1 and buffer.nbytes >= nbytes:
+                    n = payload.shape[0]
+                    if n:
+                        buffer[:n] = payload
+                else:
+                    _copy_payload(buffer, payload)
+                recv_request = recv.request
+                recv_request.completion_time = completion
+                recv_request.status = Status(mirror_src, tag, nbytes)
+                waiter = recv_request.waiter
+                if waiter is not None:
+                    recv_request.waiter = None
+                    waiter.notify()
+                callbacks = recv_request._callbacks
+                if callbacks is not None:
+                    recv_request._callbacks = None
+                    for callback in callbacks:
+                        callback(recv_request)
+                if sink is not None:
+                    sink.matched(mirror_src, mirror_dst, nbytes, tag, True,
+                                 arrival, completion)
+                if self.trace is not None:
+                    self.trace.record(
+                        MessageRecord(
+                            source=mirror_src, dest=mirror_dst, nbytes=nbytes,
+                            level=level, tag=tag, context_id=context_id,
+                            post_time=ready_time, arrival_time=arrival,
+                            completion_time=completion,
+                        )
+                    )
+                return request
+            unexpected = mailbox.unexpected
+            unexpected.append(key, _InboundSend(
+                request, mirror_src, mirror_dst, tag, context_id, nbytes,
+                np.array(payload.reshape(-1), copy=True),
+                "eager", arrival, ready_time, ready_time, level,
+            ))
+            self.unexpected_parked += 1
+            depth = len(unexpected._live)
+            if depth > self.max_unexpected_depth:
+                self.max_unexpected_depth = depth
+            if sink is not None:
+                sink.parked(mirror_src, mirror_dst, nbytes, tag, arrival, depth)
+            return request
+
+        # Rendezvous: parked/matched under the mirror identity; the data
+        # transfer is priced at match time on the original pair (see
+        # _complete_match), so node 0's NIC sees exactly the reservations of
+        # the full run.
+        rts_arrival = ready_time + self._half_rendezvous + self._net_latency
+        inbound = _InboundSend(
+            request, mirror_src, mirror_dst, tag, context_id, nbytes, payload,
+            "rndv", rts_arrival, ready_time, ready_time, level,
+        )
+        found = self._match_posted(mailbox, key, context_id, mirror_src, tag)
+        if found is not None:
+            recv = found[0]
+            self._complete_match(inbound, recv.request, recv.buffer,
+                                 recv.post_time, found[1], fast_path=True)
+            return request
+        inbound.payload = np.array(payload.reshape(-1), copy=True)
+        unexpected = mailbox.unexpected
+        unexpected.append(key, inbound)
+        self.unexpected_parked += 1
+        depth = len(unexpected._live)
+        if depth > self.max_unexpected_depth:
+            self.max_unexpected_depth = depth
+        if sink is not None:
+            sink.parked(mirror_src, mirror_dst, nbytes, tag, rts_arrival, depth)
+        return request
+
     def _match_posted(self, mailbox: _Mailbox, key: tuple, context_id: int,
                       src: int, tag: int):
         """Earliest posted receive matching an arriving message (or ``None``)."""
@@ -826,8 +1005,20 @@ class MessageRouter:
             clear_to_send = handshake + self._half_rendezvous \
                 + self.timing.control_latency(inbound.level)
             data_start = max(inbound.sender_ready, clear_to_send)
+            src = inbound.src
+            fold = self._fold
+            if fold is not None and src >= self._sim_nprocs:
+                # Mirrored rendezvous: price the data transfer as the
+                # original representative send it stands in for.  Every
+                # mirrored transfer corresponds 1:1 (at identical times,
+                # by node-rotation symmetry) to one representative send,
+                # so routing them all through node 0's NIC reproduces the
+                # full run's NIC schedule exactly.
+                src, dst = fold.mirror_outbound(src, inbound.dst)
+            else:
+                dst = inbound.dst
             sender_done, arrival, _ = self.timing.transfer(
-                inbound.src, inbound.dst, inbound.nbytes, data_start, inbound.level
+                src, dst, inbound.nbytes, data_start, inbound.level
             )
             inbound.request.complete(sender_done)
             completion = arrival + self._recv_overhead

@@ -17,6 +17,12 @@ placement x workload space the repository can generate:
 * :class:`~repro.verify.report.FailureReport` — on mismatch, a shrunken
   minimal reproducer carrying the seed, replayable with
   ``repro-bench verify --seed <seed> --count 1``;
+* :mod:`~repro.verify.folding` — the symmetry-folding differential gate:
+  every registered algorithm (eager + rendezvous sizes, uniform and
+  symmetric non-uniform workloads) run folded and at full width with
+  bit-identical timings demanded on contention-free fabrics, plus a
+  folded-simulation vs analytic-model cross-check at scales no full run
+  can reach;
 * :mod:`~repro.verify.golden` — the frozen digest/result-hash corpus under
   ``tests/golden/`` that stops future PRs from silently changing delivered
   bytes.
@@ -30,6 +36,13 @@ Drive it from the CLI (``repro-bench verify --seed 2025 --count 25
     assert record.ok, record.failures
 """
 
+from repro.verify.folding import (
+    FoldGateRecord,
+    FoldGateReport,
+    ModelCrossPoint,
+    model_crosscheck,
+    run_fold_gate,
+)
 from repro.verify.differential import (
     AlgorithmConfig,
     DifferentialRunner,
@@ -47,12 +60,17 @@ __all__ = [
     "AlgorithmConfig",
     "DifferentialRunner",
     "FailureReport",
+    "FoldGateRecord",
+    "FoldGateReport",
+    "ModelCrossPoint",
     "Scenario",
     "ScenarioGenerator",
     "SCENARIO_VERSION",
     "VerificationRecord",
     "format_failure",
+    "model_crosscheck",
     "result_hash",
+    "run_fold_gate",
     "shrink_scenario",
     "uniform_configurations",
     "verify_seed",

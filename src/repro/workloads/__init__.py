@@ -49,10 +49,14 @@ from repro.workloads.generators import (
     zipf,
 )
 from repro.workloads.matrix import TrafficMatrix
+from repro.workloads.symmetry import RankClass, SymmetryReport, analyze_symmetry
 from repro.workloads.traceio import load_trace, save_trace
 
 __all__ = [
     "TrafficMatrix",
+    "RankClass",
+    "SymmetryReport",
+    "analyze_symmetry",
     "PATTERNS",
     "uniform",
     "skewed_moe",

@@ -1,0 +1,181 @@
+"""Symmetry analysis of traffic matrices: which ranks are interchangeable?
+
+The folding layer (:mod:`repro.machine.folding`) can simulate one node
+standing in for all of them — but only when the traffic itself has the
+matching symmetry.  This module decides that question for an explicit
+:class:`~repro.workloads.matrix.TrafficMatrix`: it partitions the ranks into
+equivalence classes and, when the partition is non-trivial, emits a
+*certificate* saying exactly which invariance was checked.
+
+The checked invariance is **node rotation**: ``M[s, d] == M[s + ppn, d +
+ppn]`` with rank arithmetic modulo ``nprocs``.  That is precisely the
+symmetry the folded engine exploits (representative ranks on node 0, one per
+local index), and it is satisfied by the patterns the paper's workloads are
+built from — uniform exchanges, ppn-aligned block-diagonal tiles,
+neighbor-shift rings, and per-node-leader funnels.  Anything else (skewed
+MoE routing, incast hotspots, arbitrary sparse matrices) degrades to
+singleton classes: every rank is its own class and the job must be simulated
+in full.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machine.folding import FoldCertificate
+from repro.workloads.matrix import TrafficMatrix
+
+__all__ = ["RankClass", "SymmetryReport", "analyze_symmetry"]
+
+
+@dataclass(frozen=True)
+class RankClass:
+    """One equivalence class of interchangeable ranks."""
+
+    #: The rank the engine simulates on behalf of the class (smallest member).
+    representative: int
+    #: All member ranks, ascending; the representative is ``members[0]``.
+    members: tuple[int, ...]
+
+    @property
+    def multiplicity(self) -> int:
+        return len(self.members)
+
+
+@dataclass(frozen=True)
+class SymmetryReport:
+    """Partition of a job's ranks into role-equivalence classes."""
+
+    #: Total logical ranks analysed.
+    nprocs: int
+    #: Processes per node the partition was computed against.
+    ppn: int
+    #: Pattern family: ``uniform`` / ``block-diagonal`` / ``neighbor-shift``
+    #: / ``per-node-leader`` / ``node-cyclic`` when foldable, ``asymmetric``
+    #: otherwise.
+    kind: str
+    #: Whether the node-rotation invariance holds (classes = local ranks).
+    foldable: bool
+    #: The partition itself; ``ppn`` classes when foldable, ``nprocs``
+    #: singletons when not.
+    classes: tuple[RankClass, ...]
+    #: Human-readable statement of the invariance checked (or the witness
+    #: pair that broke it).
+    certificate: str
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.classes)
+
+    @property
+    def multiplicity(self) -> int:
+        """Common class size (1 for the singleton fallback)."""
+        return self.classes[0].multiplicity if self.classes else 1
+
+    def fold_certificate(self) -> FoldCertificate:
+        """The compact certificate carried by a folded process map."""
+        if not self.foldable:
+            raise ConfigurationError(
+                f"traffic is not foldable ({self.certificate}); "
+                "simulate it unfolded instead"
+            )
+        return FoldCertificate(kind=self.kind, detail=self.certificate)
+
+    def describe(self) -> str:
+        return (
+            f"{self.num_classes} classes over {self.nprocs} ranks "
+            f"({self.kind}; multiplicity {self.multiplicity}): {self.certificate}"
+        )
+
+
+def _singletons(nprocs: int) -> tuple[RankClass, ...]:
+    return tuple(RankClass(r, (r,)) for r in range(nprocs))
+
+
+def _local_rank_classes(nprocs: int, ppn: int) -> tuple[RankClass, ...]:
+    num_nodes = nprocs // ppn
+    return tuple(
+        RankClass(q, tuple(q + j * ppn for j in range(num_nodes)))
+        for q in range(ppn)
+    )
+
+
+def _classify(arr: np.ndarray, ppn: int) -> str:
+    """Pattern family of a node-rotation-invariant matrix."""
+    nprocs = arr.shape[0]
+    if np.all(arr == arr[0, 0]):
+        return "uniform"
+    # Block-diagonal: all traffic stays inside ppn-aligned node tiles.
+    node = np.arange(nprocs) // ppn
+    off_node = node[:, None] != node[None, :]
+    if not np.any(arr[off_node]):
+        return "block-diagonal"
+    # Per-node-leader: only local rank 0 sends or receives across nodes.
+    local = np.arange(nprocs) % ppn
+    nonleader = local != 0
+    cross = arr * off_node
+    if not np.any(cross[nonleader, :]) and not np.any(cross[:, nonleader]):
+        return "per-node-leader"
+    # Circulant: entries depend only on (d - s) mod nprocs.
+    idx = (np.arange(nprocs)[None, :] - np.arange(nprocs)[:, None]) % nprocs
+    if np.array_equal(arr, arr[0][idx]):
+        return "neighbor-shift"
+    return "node-cyclic"
+
+
+def analyze_symmetry(matrix: TrafficMatrix | np.ndarray, ppn: int) -> SymmetryReport:
+    """Partition the ranks of ``matrix`` into node-rotation equivalence classes.
+
+    Parameters
+    ----------
+    matrix:
+        The per-(source, destination) byte counts, as a
+        :class:`~repro.workloads.matrix.TrafficMatrix` or a square array.
+    ppn:
+        Processes per node of the placement the job will run with.  The
+        rotation step is one node, i.e. ``ppn`` rank positions.
+    """
+    arr = matrix.bytes if isinstance(matrix, TrafficMatrix) else np.asarray(matrix)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ConfigurationError(f"traffic matrix must be square, got shape {arr.shape}")
+    nprocs = arr.shape[0]
+    if ppn <= 0:
+        raise ConfigurationError(f"ppn must be positive, got {ppn}")
+    if nprocs % ppn != 0:
+        return SymmetryReport(
+            nprocs=nprocs, ppn=ppn, kind="asymmetric", foldable=False,
+            classes=_singletons(nprocs),
+            certificate=(
+                f"{nprocs} ranks do not tile into nodes of ppn={ppn}; "
+                "no node rotation exists"
+            ),
+        )
+    num_nodes = nprocs // ppn
+    rolled = np.roll(np.roll(arr, ppn, axis=0), ppn, axis=1)
+    if not np.array_equal(rolled, arr):
+        witness = np.argwhere(rolled != arr)[0]
+        s, d = int(witness[0]), int(witness[1])
+        return SymmetryReport(
+            nprocs=nprocs, ppn=ppn, kind="asymmetric", foldable=False,
+            classes=_singletons(nprocs),
+            certificate=(
+                f"not invariant under rank rotation by ppn={ppn}: "
+                f"M[{s}, {d}] = {int(arr[s, d])} but the rotated matrix "
+                f"carries {int(rolled[s, d])} there; ranks fall back to "
+                "singleton classes"
+            ),
+        )
+    kind = _classify(arr, ppn)
+    return SymmetryReport(
+        nprocs=nprocs, ppn=ppn, kind=kind, foldable=True,
+        classes=_local_rank_classes(nprocs, ppn),
+        certificate=(
+            f"{kind} traffic invariant under the rank rotation by ppn={ppn} "
+            f"(one node): M[s, d] == M[s+{ppn}, d+{ppn}] for all pairs, so the "
+            f"{nprocs} ranks partition into {ppn} classes of the "
+            f"{num_nodes} ranks sharing a local index"
+        ),
+    )

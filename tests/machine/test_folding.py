@@ -1,0 +1,103 @@
+"""Unit tests for the symmetry-folded process map and its mirror maps."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine import ProcessMap, tiny_cluster
+from repro.machine.folding import (
+    FoldCertificate,
+    FoldedProcessMap,
+    fold_process_map,
+    uniform_certificate,
+)
+
+
+@pytest.fixture
+def pmap():
+    return ProcessMap(tiny_cluster(num_nodes=4), ppn=4)
+
+
+def test_plain_process_map_fold_surface(pmap):
+    assert pmap.is_folded is False
+    assert pmap.sim_nodes == pmap.num_nodes == 4
+    assert pmap.sim_nprocs == pmap.nprocs == 16
+    assert pmap.multiplicity == 1
+
+
+def test_folded_map_shrinks_simulated_extent_only(pmap):
+    folded = fold_process_map(pmap)
+    assert folded.is_folded is True
+    assert folded.nprocs == 16            # logical machine unchanged
+    assert folded.num_nodes == 4
+    assert folded.sim_nodes == 1          # simulated extent: one node
+    assert folded.sim_nprocs == 4
+    assert folded.multiplicity == 4
+    assert tuple(folded.representatives) == (0, 1, 2, 3)
+
+
+def test_fold_is_idempotent(pmap):
+    folded = fold_process_map(pmap)
+    assert fold_process_map(folded) is folded
+    assert pmap.folded().folded().is_folded
+
+
+def test_unfolded_roundtrip(pmap):
+    back = fold_process_map(pmap).unfolded()
+    assert not back.is_folded
+    assert back == pmap
+
+
+def test_mirror_inbound_maps_phantom_pairs_onto_node_zero(pmap):
+    folded = fold_process_map(pmap)
+    # A send rep 1 -> phantom 10 (node 2) mirrors to the inbound pair the
+    # representative node receives from the rotated source.
+    mirror_src, mirror_dst = folded.mirror_inbound(1, 10)
+    assert mirror_dst == 10 % 4 == 2          # destination's local index
+    assert mirror_src == 1 + (4 - 2) * 4 == 9  # source rotated by (N - node)
+    # And the outbound recovery inverts it exactly.
+    assert folded.mirror_outbound(mirror_src, mirror_dst) == (1, 10)
+
+
+def test_mirror_maps_are_inverse_over_all_phantom_pairs(pmap):
+    folded = fold_process_map(pmap)
+    ppn, nprocs = 4, 16
+    for src in range(ppn):
+        for dst in range(ppn, nprocs):
+            m_src, m_dst = folded.mirror_inbound(src, dst)
+            assert 0 <= m_dst < ppn
+            assert ppn <= m_src < nprocs  # phantom source, detectable
+            assert folded.mirror_outbound(m_src, m_dst) == (src, dst)
+
+
+def test_certificate_attaches_and_describes(pmap):
+    cert = uniform_certificate(16, 4)
+    folded = fold_process_map(pmap, cert)
+    assert folded.certificate == cert
+    assert "representative" in folded.describe() or "fold" in folded.describe().lower()
+
+
+def test_certificate_is_frozen_value_object():
+    a = FoldCertificate(kind="uniform", detail="x")
+    b = FoldCertificate(kind="uniform", detail="x")
+    assert a == b
+    with pytest.raises(Exception):
+        a.kind = "other"
+
+
+def test_folded_map_is_a_process_map_subtype(pmap):
+    folded = fold_process_map(pmap)
+    assert isinstance(folded, ProcessMap)
+    assert isinstance(folded, FoldedProcessMap)
+    # Locality queries still answer for the whole logical machine.
+    assert folded.node_of(13) == 3
+
+
+def test_paper_scale_presets():
+    from repro.machine import TABLE1_NODE_COUNTS, paper_scale
+
+    dane = paper_scale("dane")
+    assert dane.num_nodes == TABLE1_NODE_COUNTS["dane"] == 1536
+    assert dane.total_cores == 1536 * 112
+    assert paper_scale("tuolomne").num_nodes == 1152
+    with pytest.raises(ConfigurationError):
+        paper_scale("tiny")

@@ -1,0 +1,78 @@
+"""Unit tests for the multiplicity-weighted folded fabric view."""
+
+import pytest
+
+from repro.machine.params import MachineParameters
+from repro.machine.systems import tiny_cluster
+from repro.netsim.fabric import FatTreeFabric, FoldedFabricView
+
+
+@pytest.fixture
+def state():
+    params = tiny_cluster().params
+    fabric = FatTreeFabric(hosts_per_switch=2, oversubscription=2.0)
+    built = fabric.build(8, params)
+    assert built is not None
+    return built
+
+
+def test_aggregate_weights(state):
+    """w_L = routes through the link / routes from simulated nodes."""
+    view = FoldedFabricView(state, 1)
+    by_name = {link.name: link for link in state.links}
+    # up0: 2 sources on switch 0 x 6 cross-switch dsts = 12 routes; node 0
+    # contributes 6 of them.
+    assert view.fold_weight(by_name["ft-up0"]) == pytest.approx(2.0)
+    # down1: 6 sources x 2 dsts = 12 routes; node 0 contributes 2.
+    assert view.fold_weight(by_name["ft-down1"]) == pytest.approx(6.0)
+    # Links node 0 never reaches carry no weight (never traversed).
+    assert view.fold_weight(by_name["ft-up1"]) == 1.0
+
+
+def test_aligned_concurrency(state):
+    """a_L = max sources aligned on one destination offset."""
+    view = FoldedFabricView(state, 1)
+    by_name = {link.name: link for link in state.links}
+    # At any offset, at most both switch-0 hosts cross up0 and at most one
+    # switch's worth of sources converges on down1.
+    assert view.aligned_concurrency(by_name["ft-up0"]) == pytest.approx(2.0)
+    assert view.aligned_concurrency(by_name["ft-down1"]) == pytest.approx(2.0)
+
+
+def test_traverse_scales_accounting_but_reserves_concurrency(state):
+    view = FoldedFabricView(state, 1)
+    by_name = {link.name: link for link in state.links}
+    up0, down1 = by_name["ft-up0"], by_name["ft-down1"]
+    exit_time = view.traverse(0, 2, 1000, 0.0)
+    own = up0.hop_overhead + 1000 * up0.byte_time
+    # Timeline: each hop reserved a_L=2 occupancies, traversed in sequence.
+    assert exit_time == pytest.approx(2 * own + 2 * own)
+    assert up0.resource.available_at == pytest.approx(2 * own)
+    # Accounting: busy scaled by the aggregate weight, not the concurrency.
+    assert up0.resource.busy_time == pytest.approx(2 * own)
+    assert down1.resource.busy_time == pytest.approx(6 * own)
+    assert up0.bytes_moved == 2000
+    assert down1.bytes_moved == 6000
+
+
+def test_view_delegates_surface(state):
+    view = FoldedFabricView(state, 1)
+    assert view.name.endswith("[folded]")
+    assert view.routes is state.routes
+    assert view.route(0, 2) == state.route(0, 2)
+    assert view.statistics() == state.statistics()
+    sentinel = object()
+    view.sink = sentinel
+    assert state.sink is sentinel
+    view.sink = None
+
+
+def test_full_sim_width_collapses_to_plain_weights(state):
+    """sim_nodes = all nodes -> every weight is 1 (no folding in effect)."""
+    view = FoldedFabricView(state, 8)
+    for link in state.links:
+        assert view.fold_weight(link) == 1.0
+
+
+def test_parameters_object_available():
+    assert isinstance(tiny_cluster().params, MachineParameters)

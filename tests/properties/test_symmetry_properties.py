@@ -1,0 +1,141 @@
+"""Property-based tests for the traffic-matrix symmetry analyzer."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.generators import (
+    block_diagonal,
+    incast,
+    neighbor_shift,
+    uniform,
+)
+from repro.workloads.symmetry import analyze_symmetry
+
+
+def _shapes():
+    return st.tuples(
+        st.integers(min_value=1, max_value=6),   # ppn
+        st.integers(min_value=2, max_value=8),   # num_nodes
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(shape=_shapes(), msg=st.integers(min_value=1, max_value=4096))
+def test_uniform_traffic_is_always_foldable(shape, msg):
+    ppn, nodes = shape
+    nprocs = ppn * nodes
+    report = analyze_symmetry(uniform(nprocs, msg), ppn)
+    assert report.foldable
+    assert report.kind == "uniform"
+    assert report.num_classes == ppn
+    assert report.multiplicity == nodes
+
+
+@settings(max_examples=60, deadline=None)
+@given(shape=_shapes(), msg=st.integers(min_value=1, max_value=1024))
+def test_foldable_partition_is_exactly_node_rotation(shape, msg):
+    """Every class holds the ranks sharing a local index, one per node."""
+    ppn, nodes = shape
+    nprocs = ppn * nodes
+    report = analyze_symmetry(uniform(nprocs, msg), ppn)
+    seen = set()
+    for cls in report.classes:
+        assert cls.representative == cls.members[0]
+        assert cls.representative < ppn
+        local = cls.representative % ppn
+        assert cls.members == tuple(local + j * ppn for j in range(nodes))
+        seen.update(cls.members)
+    assert seen == set(range(nprocs))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    shape=_shapes(),
+    msg=st.integers(min_value=1, max_value=1024),
+    data=st.data(),
+)
+def test_single_cell_perturbation_breaks_foldability(shape, msg, data):
+    """Any one asymmetric edit must refine the partition to singletons."""
+    ppn, nodes = shape
+    nprocs = ppn * nodes
+    if nprocs < 2:
+        return
+    matrix = uniform(nprocs, msg)
+    arr = matrix.bytes.copy()
+    src = data.draw(st.integers(min_value=0, max_value=nprocs - 1))
+    dst = data.draw(st.integers(min_value=0, max_value=nprocs - 1))
+    if src == dst:
+        dst = (dst + 1) % nprocs
+    arr[src, dst] += 1
+    report = analyze_symmetry(arr, ppn)
+    # One asymmetric cell cannot survive the roll-invariance check unless the
+    # machine has a single node (rotation by ppn is then the identity).
+    if nodes > 1:
+        assert not report.foldable
+        assert report.num_classes == nprocs
+        assert all(len(cls.members) == 1 for cls in report.classes)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    shape=_shapes(),
+    msg=st.integers(min_value=1, max_value=1024),
+)
+def test_symmetric_generators_fold_with_expected_kind(shape, msg):
+    ppn, nodes = shape
+    nprocs = ppn * nodes
+    cases = [(block_diagonal(nprocs, msg, group_size=ppn), "block-diagonal")]
+    if nprocs > 2:
+        cases.append((neighbor_shift(nprocs, msg, shift=1, degree=1), None))
+    for matrix, kind in cases:
+        report = analyze_symmetry(matrix, ppn)
+        assert report.foldable, matrix.pattern
+        if kind is not None:
+            assert report.kind == kind
+        assert report.num_classes == ppn
+
+
+@settings(max_examples=40, deadline=None)
+@given(shape=_shapes(), msg=st.integers(min_value=1, max_value=1024))
+def test_incast_traffic_is_asymmetric(shape, msg):
+    """A hotspot breaks node-rotation symmetry whenever there are >= 2 nodes."""
+    ppn, nodes = shape
+    nprocs = ppn * nodes
+    if nprocs < 3 or nodes < 2:
+        return
+    report = analyze_symmetry(incast(nprocs, msg, hotspots=1), ppn)
+    assert not report.foldable
+    assert all(len(cls.members) == 1 for cls in report.classes)
+
+
+@settings(max_examples=30, deadline=None)
+@given(shape=_shapes(), msg=st.integers(min_value=1, max_value=512))
+def test_certificate_survives_roundtrip_to_folded_pmap(shape, msg):
+    """A foldable report yields a certificate the machine layer accepts."""
+    from repro.machine import ProcessMap, tiny_cluster
+
+    ppn, nodes = shape
+    nprocs = ppn * nodes
+    report = analyze_symmetry(uniform(nprocs, msg), ppn)
+    cert = report.fold_certificate()
+    pmap = ProcessMap(tiny_cluster(num_nodes=nodes), ppn=ppn).folded(cert)
+    assert pmap.is_folded
+    assert pmap.multiplicity == nodes
+    assert pmap.sim_nprocs == ppn
+    assert pmap.certificate == cert
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    nprocs=st.integers(min_value=2, max_value=48),
+    ppn=st.integers(min_value=1, max_value=48),
+    msg=st.integers(min_value=1, max_value=64),
+)
+def test_indivisible_shapes_degrade_to_singletons(nprocs, ppn, msg):
+    """nprocs % ppn != 0 can never fold, but must not error either."""
+    if ppn == 0 or nprocs % ppn == 0:
+        return
+    report = analyze_symmetry(np.full((nprocs, nprocs), msg), ppn)
+    assert not report.foldable
+    assert report.num_classes == nprocs
