@@ -63,11 +63,12 @@ def _harness(
     default_cluster: Callable[[], Cluster] = dane,
     ppn: int | None,
     engine: str,
-    executor: SweepExecutor | None = None,
+    executor: SweepExecutor | None = None, engine_jobs: int = 1,
 ) -> BenchmarkHarness:
     machine = cluster if cluster is not None else default_cluster()
     processes = ppn if ppn is not None else machine.cores_per_node
-    return BenchmarkHarness(machine, processes, engine=engine, executor=executor)
+    return BenchmarkHarness(machine, processes, engine=engine, executor=executor,
+                            engine_jobs=engine_jobs)
 
 
 def _valid_groups(ppn: int) -> list[int]:
@@ -115,10 +116,10 @@ def table1() -> list[dict[str, str]]:
 # Figures 7-10: size sweeps on Dane, 32 nodes
 # ---------------------------------------------------------------------------
 
-def figure07(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None,
+def figure07(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1,
              msg_sizes=PAPER_MESSAGE_SIZES, num_nodes: int | None = None) -> FigureResult:
     """Figure 7: hierarchical vs multi-leader (4/8/16 processes per leader), 32 nodes of Dane."""
-    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor)
+    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor, engine_jobs=engine_jobs)
     nodes = num_nodes or harness.cluster.num_nodes
     fig = FigureResult("fig07", "Hierarchical vs Multileader", "message size (bytes)",
                        configuration=harness.describe())
@@ -134,10 +135,10 @@ def figure07(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
     return fig
 
 
-def figure08(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None,
+def figure08(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1,
              msg_sizes=PAPER_MESSAGE_SIZES, num_nodes: int | None = None) -> FigureResult:
     """Figure 8: node-aware vs locality-aware aggregation (4/8/16 processes per group)."""
-    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor)
+    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor, engine_jobs=engine_jobs)
     nodes = num_nodes or harness.cluster.num_nodes
     fig = FigureResult("fig08", "Node-Aware vs Locality-Aware", "message size (bytes)",
                        configuration=harness.describe())
@@ -153,10 +154,10 @@ def figure08(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
     return fig
 
 
-def figure09(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None,
+def figure09(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1,
              msg_sizes=PAPER_MESSAGE_SIZES, num_nodes: int | None = None) -> FigureResult:
     """Figure 9: multi-leader + node-aware for 4/8/16 processes per leader, with its two limits."""
-    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor)
+    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor, engine_jobs=engine_jobs)
     nodes = num_nodes or harness.cluster.num_nodes
     fig = FigureResult("fig09", "Multileader + Locality", "message size (bytes)",
                        configuration=harness.describe())
@@ -199,10 +200,10 @@ def _all_algorithm_series(harness: BenchmarkHarness, fig: FigureResult, *, msg_s
             )
 
 
-def figure10(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None,
+def figure10(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1,
              msg_sizes=PAPER_MESSAGE_SIZES, num_nodes: int | None = None) -> FigureResult:
     """Figure 10: all algorithms across message sizes on 32 nodes of Dane."""
-    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor)
+    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor, engine_jobs=engine_jobs)
     nodes = num_nodes or harness.cluster.num_nodes
     fig = FigureResult("fig10", "Various Sizes, 32 Nodes", "message size (bytes)",
                        configuration=harness.describe())
@@ -214,10 +215,10 @@ def figure10(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
 # Figures 11-12: node scaling
 # ---------------------------------------------------------------------------
 
-def figure11(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None,
+def figure11(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1,
              node_counts=PAPER_NODE_COUNTS) -> FigureResult:
     """Figure 11: node scaling at 4 bytes per process pair."""
-    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor)
+    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor, engine_jobs=engine_jobs)
     fig = FigureResult("fig11", "Message Size: 4 bytes, Node Scaling", "nodes",
                        configuration=harness.describe())
     _all_algorithm_series(harness, fig, msg_sizes=None,
@@ -225,10 +226,10 @@ def figure11(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
     return fig
 
 
-def figure12(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None,
+def figure12(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1,
              node_counts=PAPER_NODE_COUNTS) -> FigureResult:
     """Figure 12: node scaling at 4096 bytes per process pair."""
-    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor)
+    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor, engine_jobs=engine_jobs)
     fig = FigureResult("fig12", "Message Size: 4096 bytes, Node Scaling", "nodes",
                        configuration=harness.describe())
     _all_algorithm_series(harness, fig, msg_sizes=None,
@@ -240,10 +241,10 @@ def figure12(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
 # Figures 13-16: intra- vs inter-node breakdowns
 # ---------------------------------------------------------------------------
 
-def figure13(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None,
+def figure13(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1,
              msg_sizes=PAPER_MESSAGE_SIZES, num_nodes: int | None = None) -> FigureResult:
     """Figure 13: hierarchical timing breakdown (gather, scatter, leader all-to-all)."""
-    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor)
+    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor, engine_jobs=engine_jobs)
     nodes = num_nodes or harness.cluster.num_nodes
     fig = FigureResult("fig13", "Hierarchical Timing Breakdown", "per-message size (bytes)",
                        configuration=harness.describe())
@@ -259,10 +260,10 @@ def figure13(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
     return fig
 
 
-def figure14(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None,
+def figure14(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1,
              msg_sizes=PAPER_MESSAGE_SIZES, num_nodes: int | None = None) -> FigureResult:
     """Figure 14: node-aware timing breakdown (intra- vs inter-node all-to-all, both inner exchanges)."""
-    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor)
+    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor, engine_jobs=engine_jobs)
     nodes = num_nodes or harness.cluster.num_nodes
     fig = FigureResult("fig14", "Node-Aware Timing Breakdown", "per-message size (bytes)",
                        configuration=harness.describe())
@@ -276,10 +277,10 @@ def figure14(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
     return fig
 
 
-def figure15(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None,
+def figure15(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1,
              node_counts=PAPER_NODE_COUNTS, msg_bytes: int = 4096) -> FigureResult:
     """Figure 15: node-aware breakdown versus node count at 4096 bytes (1024 integers)."""
-    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor)
+    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor, engine_jobs=engine_jobs)
     fig = FigureResult("fig15", "Node-Aware Breakdown, 4096 B, 2-32 Nodes", "nodes",
                        configuration=harness.describe())
     intra = DataSeries("Intra-Node Alltoall")
@@ -295,10 +296,10 @@ def figure15(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
     return fig
 
 
-def figure16(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None,
+def figure16(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1,
              num_nodes: int | None = None, msg_bytes: int = 4096) -> FigureResult:
     """Figure 16: locality-aware breakdown versus group size (node-aware, 16, 8 and 4 PPG)."""
-    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor)
+    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor, engine_jobs=engine_jobs)
     nodes = num_nodes or harness.cluster.num_nodes
     fig = FigureResult("fig16", "Locality-Aware Breakdown vs Group Size", "group configuration",
                        configuration=harness.describe(),
@@ -324,9 +325,10 @@ def figure16(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
 
 def _best_algorithms_figure(figure_id: str, title: str, machine: Cluster, *, ppn: int | None,
                             engine: str, msg_sizes,
-                            executor: SweepExecutor | None = None) -> FigureResult:
+                            executor: SweepExecutor | None = None,
+                            engine_jobs: int = 1) -> FigureResult:
     harness = BenchmarkHarness(machine, ppn if ppn is not None else machine.cores_per_node,
-                               engine=engine, executor=executor)
+                               engine=engine, executor=executor, engine_jobs=engine_jobs)
     group = _default_group(harness.ppn)
     fig = FigureResult(figure_id, title, "message size (bytes)", configuration=harness.describe())
     fig.add_series(harness.size_sweep("system-mpi", msg_sizes=msg_sizes, label="System MPI"))
@@ -338,20 +340,22 @@ def _best_algorithms_figure(figure_id: str, title: str, machine: Cluster, *, ppn
     return fig
 
 
-def figure17(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None,
+def figure17(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1,
              msg_sizes=PAPER_MESSAGE_SIZES) -> FigureResult:
     """Figure 17: best algorithms vs system MPI on 32 nodes of Amber."""
     machine = cluster if cluster is not None else amber()
     return _best_algorithms_figure("fig17", "Amber, Various Sizes, 32 Nodes", machine,
-                                   ppn=ppn, engine=engine, msg_sizes=msg_sizes, executor=executor)
+                                   ppn=ppn, engine=engine, msg_sizes=msg_sizes, executor=executor,
+                                   engine_jobs=engine_jobs)
 
 
-def figure18(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None,
+def figure18(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1,
              msg_sizes=PAPER_MESSAGE_SIZES) -> FigureResult:
     """Figure 18: best algorithms vs system MPI on 32 nodes of Tuolomne."""
     machine = cluster if cluster is not None else tuolomne()
     return _best_algorithms_figure("fig18", "Tuolomne, Various Sizes, 32 Nodes", machine,
-                                   ppn=ppn, engine=engine, msg_sizes=msg_sizes, executor=executor)
+                                   ppn=ppn, engine=engine, msg_sizes=msg_sizes, executor=executor,
+                                   engine_jobs=engine_jobs)
 
 
 # ---------------------------------------------------------------------------
@@ -369,7 +373,7 @@ CONTENTION_FABRICS = (
 
 
 def figure_contention(cluster: Cluster | None = None, *, ppn: int | None = None,
-                      engine: str = "model", executor: SweepExecutor | None = None,
+                      engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1,
                       msg_bytes: int = 256, num_nodes: int | None = None) -> FigureResult:
     """Link contention demo: a skewed MoE shuffle across the fabric ladder.
 
@@ -403,7 +407,8 @@ def figure_contention(cluster: Cluster | None = None, *, ppn: int | None = None,
         series = DataSeries(label)
         for index, (_fabric_label, spec) in enumerate(CONTENTION_FABRICS):
             machine = base.with_fabric(parse_fabric(spec))
-            harness = BenchmarkHarness(machine, processes, engine=engine, executor=executor)
+            harness = BenchmarkHarness(machine, processes, engine=engine, executor=executor,
+                                       engine_jobs=engine_jobs)
             point = harness.workload_point(algorithm, matrix, nodes, **options)
             series.add(index, point.seconds)
         fig.add_series(series)
@@ -411,7 +416,7 @@ def figure_contention(cluster: Cluster | None = None, *, ppn: int | None = None,
 
 
 def figure_link_utilisation(cluster: Cluster | None = None, *, ppn: int | None = None,
-                            engine: str = "simulate", executor: SweepExecutor | None = None,
+                            engine: str = "simulate", executor: SweepExecutor | None = None, engine_jobs: int = 1,
                             msg_bytes: int = 256, num_nodes: int | None = None,
                             bins: int = 12,
                             fabric_spec: str = "dragonfly:hosts=1,routers=2,taper=8") -> FigureResult:
@@ -454,7 +459,7 @@ def figure_link_utilisation(cluster: Cluster | None = None, *, ppn: int | None =
         sink = RecordingSink()
         pmap = ProcessMap(machine, ppn=processes, num_nodes=nodes)
         outcome = run_workload(algorithm, pmap, matrix, validate=False,
-                               keep_job=False, sink=sink)
+                               keep_job=False, sink=sink, engine_jobs=engine_jobs)
         makespan = outcome.elapsed
         width = makespan / bins if makespan > 0.0 else 1.0
         busy = [0.0] * bins
@@ -479,12 +484,12 @@ def figure_link_utilisation(cluster: Cluster | None = None, *, ppn: int | None =
 # ---------------------------------------------------------------------------
 
 def headline_speedup(cluster: Cluster | None = None, *, ppn: int | None = None,
-                     engine: str = "model", executor: SweepExecutor | None = None,
+                     engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1,
                      msg_sizes=PAPER_MESSAGE_SIZES,
                      num_nodes: int | None = None) -> dict:
     """Section 1's headline: best speedup of the novel algorithms over system MPI at 32 nodes."""
     fig = figure10(cluster, ppn=ppn, engine=engine, executor=executor,
-                   msg_sizes=msg_sizes, num_nodes=num_nodes)
+                   engine_jobs=engine_jobs, msg_sizes=msg_sizes, num_nodes=num_nodes)
     speedups = {}
     for size in fig.xs():
         baseline = fig.get("System MPI").at(size).seconds

@@ -56,17 +56,23 @@ class BenchmarkHarness:
         engine: str = "model",
         repetitions: int = 1,
         executor=None,
+        engine_jobs: int = 1,
     ) -> None:
         if engine not in _ENGINES:
             raise ConfigurationError(f"unknown engine {engine!r}; choose from {_ENGINES}")
         if repetitions <= 0:
             raise ConfigurationError("repetitions must be positive")
+        if engine_jobs < 1:
+            raise ConfigurationError(f"engine_jobs must be >= 1, got {engine_jobs}")
         self.cluster = cluster
         self.ppn = ppn
         self.engine = engine
         self.repetitions = repetitions
         #: Optional :class:`~repro.runtime.SweepExecutor`; ``None`` executes inline.
         self.executor = executor
+        #: Parallel-engine worker count per simulated point (bit-identical
+        #: results at any value; excluded from cache identity).
+        self.engine_jobs = engine_jobs
 
     # -- configuration ------------------------------------------------------
     def describe(self) -> str:
@@ -91,7 +97,8 @@ class BenchmarkHarness:
         """
         return PointSpec.for_alltoall(
             self.cluster, self.ppn, num_nodes, algorithm, msg_bytes,
-            engine=self.engine, repetitions=self.repetitions, fold=fold, **options,
+            engine=self.engine, repetitions=self.repetitions, fold=fold,
+            engine_jobs=self.engine_jobs, **options,
         )
 
     def workload_spec(self, algorithm: str, matrix, num_nodes: int, *,
@@ -104,7 +111,8 @@ class BenchmarkHarness:
             )
         return PointSpec.for_workload(
             self.cluster, self.ppn, num_nodes, algorithm, matrix,
-            engine=self.engine, repetitions=self.repetitions, fold=fold, **options,
+            engine=self.engine, repetitions=self.repetitions, fold=fold,
+            engine_jobs=self.engine_jobs, **options,
         )
 
     # -- timing --------------------------------------------------------------
@@ -147,7 +155,7 @@ class BenchmarkHarness:
             return self._timed_min(
                 lambda: run_workload(
                     spec.algorithm, pmap, matrix, validate=False, keep_job=False,
-                    fold=spec.fold, **options
+                    fold=spec.fold, engine_jobs=spec.engine_jobs, **options
                 ),
                 spec.repetitions,
             )
@@ -157,7 +165,7 @@ class BenchmarkHarness:
         return self._timed_min(
             lambda: run_alltoall(
                 spec.algorithm, pmap, spec.msg_bytes, validate=False, keep_job=False,
-                fold=spec.fold, **options
+                fold=spec.fold, engine_jobs=spec.engine_jobs, **options
             ),
             spec.repetitions,
         )

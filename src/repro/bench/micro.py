@@ -90,6 +90,9 @@ class MicroJob:
     quick: bool = False
     #: Run symmetry-folded ("on"); the default times the full-width engine.
     fold: str = "off"
+    #: Worker threads of the conservative-lookahead parallel engine
+    #: (1 = the serial engine; results are bit-identical at any value).
+    engine_jobs: int = 1
 
     @property
     def nprocs(self) -> int:
@@ -98,19 +101,25 @@ class MicroJob:
     def describe(self) -> str:
         traffic = self.pattern if self.pattern is not None else f"{self.msg_bytes}B uniform"
         folded = ", folded" if self.fold != "off" else ""
+        parallel = f", {self.engine_jobs} workers" if self.engine_jobs != 1 else ""
         return (
-            f"{self.algorithm} @ {self.nodes} nodes x {self.ppn} ppn ({traffic}{folded})"
+            f"{self.algorithm} @ {self.nodes} nodes x {self.ppn} ppn "
+            f"({traffic}{folded}{parallel})"
         )
 
 
-def _uniform(key, algorithm, nodes, ppn, msg_bytes=256, quick=False, fold="off"):
+def _uniform(key, algorithm, nodes, ppn, msg_bytes=256, quick=False, fold="off",
+             engine_jobs=1):
     return MicroJob(key=key, kind="uniform", algorithm=algorithm, nodes=nodes,
-                    ppn=ppn, msg_bytes=msg_bytes, quick=quick, fold=fold)
+                    ppn=ppn, msg_bytes=msg_bytes, quick=quick, fold=fold,
+                    engine_jobs=engine_jobs)
 
 
-def _workload(key, algorithm, nodes, ppn, pattern, msg_bytes=64, quick=False):
+def _workload(key, algorithm, nodes, ppn, pattern, msg_bytes=64, quick=False,
+              engine_jobs=1):
     return MicroJob(key=key, kind="workload", algorithm=algorithm, nodes=nodes,
-                    ppn=ppn, msg_bytes=msg_bytes, pattern=pattern, quick=quick)
+                    ppn=ppn, msg_bytes=msg_bytes, pattern=pattern, quick=quick,
+                    engine_jobs=engine_jobs)
 
 
 #: The canonical suite.  Keys are stable identifiers: changing a job's shape
@@ -140,6 +149,20 @@ CANONICAL_JOBS: tuple[MicroJob, ...] = (
              quick=True, fold="on"),
     _uniform("fold-node-aware/1536n112p/4B", "node-aware", 1536, 112, msg_bytes=4,
              fold="on"),
+    # Parallel-engine points.  Each shape is timed serially and at N
+    # workers, so the stored ratio is the measured parallel-engine cost or
+    # benefit on the recording machine (on a single-core, GIL-bound box the
+    # exact-merge engine cannot beat serial; the points exist to keep its
+    # overhead on the recorded trajectory and in the CI smoke gate).  The
+    # 512-node skewed-moe job is non-foldable (no node symmetry), so the
+    # parallel engine is the only sub-serial-wall path it could ever have.
+    # (serial counterpart of the 4w point: the pairwise/16n8p/256B job above)
+    _uniform("par-pairwise/16n8p/256B/4w", "pairwise", 16, 8, quick=True,
+             engine_jobs=4),
+    _workload("par-workload-pairwise/512n1p/skewed-moe/1w", "pairwise", 512, 1,
+              "skewed-moe"),
+    _workload("par-workload-pairwise/512n1p/skewed-moe/8w", "pairwise", 512, 1,
+              "skewed-moe", engine_jobs=8),
 )
 
 
@@ -194,10 +217,11 @@ def run_job(job: MicroJob, repeats: int = 3) -> MicroResult:
     for _ in range(repeats):
         start = time.perf_counter()
         if matrix is not None:
-            outcome = run_workload(job.algorithm, pmap, matrix, validate=False, fold=job.fold)
+            outcome = run_workload(job.algorithm, pmap, matrix, validate=False,
+                                   fold=job.fold, engine_jobs=job.engine_jobs)
         else:
             outcome = run_alltoall(job.algorithm, pmap, job.msg_bytes, validate=False,
-                                   fold=job.fold)
+                                   fold=job.fold, engine_jobs=job.engine_jobs)
         wall = time.perf_counter() - start
         if wall < best_wall:
             best_wall = wall

@@ -75,6 +75,19 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _job_count(text: str) -> int:
+    """Argparse type for ``--jobs``: a non-negative integer (0 = all CPU cores)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"expected a non-negative integer, got {value}")
+    return value
+
+
 def _node_count(text: str):
     """Argparse type for ``--nodes``: a positive integer or ``paper``.
 
@@ -105,9 +118,13 @@ def _resolve_nodes(args: argparse.Namespace) -> int:
 def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
     """The parallel-runtime flags shared by figures / workload / select."""
     runtime = parser.add_argument_group("parallel runtime")
-    runtime.add_argument("--jobs", type=int, default=1, metavar="N",
+    runtime.add_argument("--jobs", type=_job_count, default=1, metavar="N",
                          help="worker processes for independent benchmark points "
                               "(1 = serial in-process, 0 = all CPU cores)")
+    runtime.add_argument("--engine-jobs", type=_positive_int, default=1, metavar="N",
+                         help="worker threads inside each simulated point "
+                              "(conservative-lookahead parallel engine; results "
+                              "are bit-identical at any value)")
     runtime.add_argument("--cache-dir", default=None, metavar="DIR",
                          help="on-disk result store; already-simulated points are "
                               "served from it and new results are appended")
@@ -155,8 +172,6 @@ def _print_progress(done: int, total: int) -> None:
 def _executor_from_args(args: argparse.Namespace) -> SweepExecutor | None:
     """Build the executor the runtime flags ask for (None = legacy inline path)."""
     jobs = args.jobs if args.jobs != 0 else default_jobs()
-    if jobs < 1:
-        raise SystemExit(f"--jobs must be >= 0, got {args.jobs}")
     store = None
     if args.cache_dir is not None and not args.no_cache:
         store = ResultStore(args.cache_dir)
@@ -218,7 +233,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--nodes", type=_node_count, default=4,
                      help="node count, or 'paper' for the system's Table-1 deployment size")
     run.add_argument("--ppn", type=_positive_int, default=8)
-    run.add_argument("--msg-bytes", type=int, default=256)
+    run.add_argument("--msg-bytes", type=_positive_int, default=256)
+    run.add_argument("--engine-jobs", type=_positive_int, default=1, metavar="N",
+                     help="worker threads of the conservative-lookahead parallel "
+                          "engine (bit-identical results at any value)")
     run.add_argument("--group-size", type=int, default=None,
                      help="processes per leader/group for the hierarchical algorithms")
     run.add_argument("--inner", default=None, choices=["pairwise", "nonblocking", "bruck", "batched"])
@@ -233,7 +251,8 @@ def build_parser() -> argparse.ArgumentParser:
     select.add_argument("--nodes", type=_positive_int, default=32)
     select.add_argument("--ppn", type=_positive_int, default=None,
                         help="ranks per node (default: all cores of the system)")
-    select.add_argument("--sizes", type=int, nargs="+", default=[4, 16, 64, 256, 1024, 4096])
+    select.add_argument("--sizes", type=_positive_int, nargs="+",
+                        default=[4, 16, 64, 256, 1024, 4096])
     select.add_argument("--engine", default="model", choices=["model", "simulate"],
                         help="model: analytic cost model (instant); simulate: build a "
                              "measurement-driven table from simulator sweeps "
@@ -253,7 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--system", default="dane", choices=list_systems())
     workload.add_argument("--nodes", type=_positive_int, default=4)
     workload.add_argument("--ppn", type=_positive_int, default=8)
-    workload.add_argument("--msg-bytes", type=int, default=64,
+    workload.add_argument("--msg-bytes", type=_positive_int, default=64,
                           help="base bytes per (source, destination) pair")
     workload.add_argument("--seed", type=int, default=0, help="RNG seed of random patterns")
     workload.add_argument("--concentration", type=float, default=4.0,
@@ -293,12 +312,15 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--seed", type=int, default=2025,
                         help="base seed; scenario i uses seed SEED+i, so a failure "
                              "at seed S is replayed with --seed S --count 1")
-    verify.add_argument("--count", type=int, default=25,
+    verify.add_argument("--count", type=_positive_int, default=25,
                         help="number of consecutive-seed scenarios to verify")
-    verify.add_argument("--jobs", type=int, default=1, metavar="N",
+    verify.add_argument("--jobs", type=_job_count, default=1, metavar="N",
                         help="worker processes for independent scenarios "
                              "(1 = serial in-process, 0 = all CPU cores)")
-    verify.add_argument("--max-ranks", type=int, default=24,
+    verify.add_argument("--engine-jobs", type=_positive_int, default=1, metavar="N",
+                        help="worker threads of the parallel engine inside every "
+                             "differential run (results must stay bit-identical)")
+    verify.add_argument("--max-ranks", type=_positive_int, default=24,
                         help="upper bound on nodes x ppn per sampled scenario")
     verify.add_argument("--golden", default=None, metavar="PATH",
                         help="also check the golden corpus file and fail on drift")
@@ -344,7 +366,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     perf.add_argument("--quick", action="store_true",
                       help="run only the fast subset (the CI smoke set)")
-    perf.add_argument("--repeats", type=int, default=3,
+    perf.add_argument("--repeats", type=_positive_int, default=3,
                       help="fresh runs per point; the best wall-clock is kept")
     perf.add_argument("--out", default=None, metavar="PATH",
                       help="write/update the report file (default: the committed "
@@ -404,11 +426,13 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     try:
         for figure_id in selected:
             producer = FIGURES[figure_id]
-            figure = producer(cluster, ppn=ppn, engine=args.engine, executor=executor)
+            figure = producer(cluster, ppn=ppn, engine=args.engine, executor=executor,
+                              engine_jobs=args.engine_jobs)
             print(to_csv(figure) if args.csv else format_figure(figure))
             print()
         if args.headline:
-            print(format_speedup_summary(headline_speedup(executor=executor)))
+            print(format_speedup_summary(
+                headline_speedup(executor=executor, engine_jobs=args.engine_jobs)))
     finally:
         _finish_executor(executor)
     return 0
@@ -439,7 +463,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     pmap = ProcessMap(cluster, ppn=args.ppn, num_nodes=nodes)
     try:
         outcome = run_alltoall(args.algorithm, pmap, args.msg_bytes, fold=fold,
-                               **_algorithm_options(args))
+                               engine_jobs=args.engine_jobs, **_algorithm_options(args))
     except ConfigurationError as exc:
         raise SystemExit(str(exc)) from exc
     print(outcome.summary())
@@ -458,7 +482,8 @@ def _cmd_select(args: argparse.Namespace) -> int:
         if args.engine == "simulate":
             table = build_selection_table(cluster, ppn, node_counts=[args.nodes],
                                           msg_sizes=args.sizes, engine="simulate",
-                                          executor=executor)
+                                          executor=executor,
+                                          engine_jobs=args.engine_jobs)
             mapping = {size: table.best(args.nodes, size) for size in args.sizes}
             flavour = " [measured, simulate engine]"
         else:
@@ -551,7 +576,8 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         # unavailable here.
         try:
             harness = BenchmarkHarness(cluster, args.ppn, engine="simulate",
-                                       executor=executor)
+                                       executor=executor,
+                                       engine_jobs=args.engine_jobs)
             point = harness.workload_point(args.algorithm, matrix, args.nodes, **options)
         except ConfigurationError as exc:
             raise SystemExit(str(exc)) from exc
@@ -566,7 +592,8 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         return 0
 
     try:
-        outcome = run_workload(args.algorithm, pmap, matrix, fold=args.fold, **options)
+        outcome = run_workload(args.algorithm, pmap, matrix, fold=args.fold,
+                               engine_jobs=args.engine_jobs, **options)
     except ConfigurationError as exc:
         raise SystemExit(str(exc)) from exc
     if outcome.fold is not None:
@@ -589,16 +616,16 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.verify import format_failure, verify_task
     from repro.verify.golden import check_corpus
 
-    if args.count < 1:
-        raise SystemExit(f"--count must be >= 1, got {args.count}")
-    if args.max_ranks < 1:
-        raise SystemExit(f"--max-ranks must be >= 1, got {args.max_ranks}")
     jobs = args.jobs if args.jobs != 0 else default_jobs()
-    if jobs < 1:
-        raise SystemExit(f"--jobs must be >= 0, got {args.jobs}")
 
     fabric = _fabric_from_args(args)
-    extra = () if fabric is None else (fabric,)
+    # Trailing optional task slots (see verify_task): fabric, then engine_jobs.
+    if args.engine_jobs != 1:
+        extra: tuple = (fabric, args.engine_jobs)
+    elif fabric is not None:
+        extra = (fabric,)
+    else:
+        extra = ()
     tasks = [(args.seed + i, args.max_ranks, *extra) for i in range(args.count)]
     with SweepExecutor(jobs) as executor:
         records = executor.map(verify_task, tasks)
@@ -623,7 +650,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     if args.fold_gate:
         from repro.verify.folding import model_crosscheck, run_fold_gate
 
-        report = run_fold_gate()
+        report = run_fold_gate(engine_jobs=args.engine_jobs)
         print(report.describe())
         if not report.ok:
             status = 1
@@ -701,8 +728,6 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_perf(args: argparse.Namespace) -> int:
     from repro.bench import micro
 
-    if args.repeats < 1:
-        raise SystemExit(f"--repeats must be >= 1, got {args.repeats}")
     tolerance = micro.DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
     if tolerance < 0.0:
         raise SystemExit(f"--tolerance must be non-negative, got {args.tolerance}")

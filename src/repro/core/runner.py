@@ -179,6 +179,7 @@ def run_alltoall(
     sink=None,
     keep_job: bool = True,
     fold: str = "off",
+    engine_jobs: int = 1,
     **algorithm_options: Any,
 ) -> AlltoallOutcome:
     """Simulate one all-to-all exchange and return its :class:`AlltoallOutcome`.
@@ -210,6 +211,11 @@ def run_alltoall(
         in for the whole machine (always sound for the uniform exchange; see
         :mod:`repro.machine.folding`).  With folding off the simulated
         arithmetic is bit-identical to what it was before folding existed.
+    engine_jobs:
+        Worker count of the conservative-lookahead parallel engine
+        (:mod:`repro.simmpi.parallel`).  ``1`` (default) runs the serial
+        engine; any value yields bit-identical simulated timings, so this
+        knob is excluded from cache identity.
     algorithm_options:
         Forwarded to the algorithm constructor when ``algorithm`` is a name.
     """
@@ -229,7 +235,7 @@ def run_alltoall(
     algo.validate(pmap)
 
     job = run_spmd(pmap, alltoall_program, algo, block_items, np.dtype(dtype),
-                   record_trace=record_trace, sink=sink)
+                   record_trace=record_trace, sink=sink, engine_jobs=engine_jobs)
 
     correct = True
     if validate:
@@ -341,6 +347,7 @@ def run_workload(
     sink=None,
     keep_job: bool = True,
     fold: str = "off",
+    engine_jobs: int = 1,
     **algorithm_options: Any,
 ) -> WorkloadOutcome:
     """Simulate one non-uniform exchange and return its :class:`WorkloadOutcome`.
@@ -371,6 +378,9 @@ def run_workload(
         matrix as node-rotation invariant and falls back to the full
         simulation otherwise; ``"on"`` raises if the traffic is not
         foldable; ``"off"`` (default) always simulates every rank.
+    engine_jobs:
+        Parallel-engine worker count (see :func:`run_alltoall`); any value
+        produces bit-identical simulated timings.
     algorithm_options:
         Forwarded to the algorithm constructor when ``algorithm`` is a name
         (e.g. ``procs_per_group=4``, ``inner="nonblocking"``).
@@ -396,7 +406,7 @@ def run_workload(
     algo.validate(pmap, counts)
 
     job = run_spmd(pmap, workload_program, algo, counts, np.dtype(dtype),
-                   record_trace=record_trace, sink=sink)
+                   record_trace=record_trace, sink=sink, engine_jobs=engine_jobs)
 
     correct = True
     if validate:

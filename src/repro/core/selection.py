@@ -168,6 +168,7 @@ def build_selection_table(
     engine: str = "simulate",
     repetitions: int = 1,
     executor: SweepExecutor | None = None,
+    engine_jobs: int = 1,
 ) -> SelectionTable:
     """Build a measurement-driven :class:`SelectionTable` from a benchmark sweep.
 
@@ -184,7 +185,7 @@ def build_selection_table(
     if not chosen:
         raise ConfigurationError("the selection sweep needs at least one candidate")
     harness = BenchmarkHarness(cluster, ppn, engine=engine, repetitions=repetitions,
-                               executor=executor)
+                               executor=executor, engine_jobs=engine_jobs)
     points: list[tuple[int, int, CandidateConfig]] = [
         (nodes, size, candidate)
         for nodes in node_counts

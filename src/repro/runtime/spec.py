@@ -116,6 +116,12 @@ class PointSpec:
     #: Symmetry-folding mode for the simulate engine ("off", "auto", "on").
     #: Ignored by the model engine, which is scale-free already.
     fold: str = "off"
+    #: Parallel-engine worker count for the simulate engine.  Deliberately
+    #: **excluded from the canonical payload** (see :meth:`payload`): the
+    #: conservative-lookahead engine is bit-identical to serial, so a point
+    #: computed at any worker count is the same result and must hit the
+    #: same cache entry.
+    engine_jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.engine not in _ENGINES:
@@ -130,6 +136,8 @@ class PointSpec:
             raise ConfigurationError("ppn and num_nodes must be positive")
         if self.repetitions <= 0:
             raise ConfigurationError("repetitions must be positive")
+        if self.engine_jobs < 1:
+            raise ConfigurationError(f"engine_jobs must be >= 1, got {self.engine_jobs}")
         if self.num_nodes > self.cluster.num_nodes:
             raise ConfigurationError(
                 f"spec requests {self.num_nodes} nodes but the cluster has "
@@ -140,17 +148,17 @@ class PointSpec:
     @classmethod
     def for_alltoall(cls, cluster: Cluster, ppn: int, num_nodes: int, algorithm: str,
                      msg_bytes: int, *, engine: str = "model", repetitions: int = 1,
-                     fold: str = "off", **options: Any) -> "PointSpec":
+                     fold: str = "off", engine_jobs: int = 1, **options: Any) -> "PointSpec":
         """Spec for one uniform all-to-all point."""
         return cls(cluster=cluster, ppn=ppn, num_nodes=num_nodes, engine=engine,
                    algorithm=algorithm, repetitions=repetitions,
                    options=tuple(sorted(options.items())), msg_bytes=int(msg_bytes),
-                   fold=fold)
+                   fold=fold, engine_jobs=engine_jobs)
 
     @classmethod
     def for_workload(cls, cluster: Cluster, ppn: int, num_nodes: int, algorithm: str,
                      matrix, *, engine: str = "model", repetitions: int = 1,
-                     fold: str = "off", **options: Any) -> "PointSpec":
+                     fold: str = "off", engine_jobs: int = 1, **options: Any) -> "PointSpec":
         """Spec for one non-uniform workload point (the matrix is embedded as a trace)."""
         trace = json.dumps(
             {"pattern": matrix.pattern, "nprocs": matrix.nprocs, "bytes": matrix.bytes.tolist()},
@@ -158,7 +166,8 @@ class PointSpec:
         )
         return cls(cluster=cluster, ppn=ppn, num_nodes=num_nodes, engine=engine,
                    algorithm=algorithm, repetitions=repetitions,
-                   options=tuple(sorted(options.items())), trace=trace, fold=fold)
+                   options=tuple(sorted(options.items())), trace=trace, fold=fold,
+                   engine_jobs=engine_jobs)
 
     # -- execution helpers ---------------------------------------------------
     def matrix(self):
@@ -176,7 +185,11 @@ class PointSpec:
         ``fold`` is serialized only when it is not ``"off"``: a missing key
         means unfolded, which keeps every pre-folding cache key
         bit-identical (the same pattern the fabric key uses) while making a
-        folded run part of a point's identity.
+        folded run part of a point's identity.  ``engine_jobs`` is *never*
+        serialized: the parallel engine is bit-identical to serial, so the
+        worker count is an execution detail, not part of the result's
+        identity — a point simulated at any worker count fills (and hits)
+        the same cache entry.
         """
         payload = {
             "version": SPEC_VERSION,

@@ -48,7 +48,15 @@ class ResultStore:
 
     # -- read ----------------------------------------------------------------
     def get(self, spec: PointSpec) -> "TimedPoint | None":
-        """Cached result for ``spec``, or ``None`` on a miss or a corrupt entry."""
+        """Cached result for ``spec``, or ``None`` on a miss or a corrupt entry.
+
+        A corrupt entry is unlinked at detection (best effort), not just
+        counted: leaving it on disk would make every later lookup of the
+        same point — including ``__contains__`` probes and sweeps that
+        crash between the detection and the recompute's ``put`` — pay the
+        parse-and-fail cost again, and would keep ``__len__`` counting a
+        file that can never be served.
+        """
         from repro.bench.datasets import TimedPoint  # deferred to break the import cycle
 
         path = self.path_for(spec)
@@ -63,6 +71,10 @@ class ResultStore:
             return None
         except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError, AttributeError):
             self.corrupt += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
             return None
         self.hits += 1
         return TimedPoint(seconds=seconds, phases=phases)

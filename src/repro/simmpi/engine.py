@@ -86,7 +86,7 @@ class _RankProcess:
     """Book-keeping of one simulated rank's generator."""
 
     __slots__ = ("rank", "generator", "resume", "local_time", "state", "finish_time",
-                 "waiting_on")
+                 "waiting_on", "sim")
 
     def __init__(self, rank: int, generator: Any) -> None:
         self.rank = rank
@@ -100,6 +100,11 @@ class _RankProcess:
         #: The requests of the ``Wait`` this rank is blocked on (``None``
         #: while runnable).  Only read when a deadlock report is built.
         self.waiting_on: Sequence[Request] | None = None
+        #: The :class:`~repro.netsim.simulator.Simulator` whose heap this
+        #: rank's continuations land on.  The serial engine points every
+        #: process at its single simulator; the parallel engine points each
+        #: process at its node partition's simulator.
+        self.sim: Simulator | None = None
 
     def waiting_desc(self) -> str:
         """Lazy description of the blocked wait (deadlock reports only)."""
@@ -151,8 +156,15 @@ class _WaitState:
                 sink.wait(process.rank, self.issue_time, resume_time, len(requests))
             # Every request completes at or after the current simulated time,
             # so resume_time >= now and the direct heap push (see _schedule
-            # note in SpmdEngine._step) is safe.
-            simulator = engine.simulator
+            # note in SpmdEngine._step) is safe.  The push targets the
+            # *owning* process's simulator: under the parallel engine this is
+            # the only site where executing one partition schedules work on
+            # another, so the lookahead guard (a no-op ``None`` on the serial
+            # engine) checks the conservative-PDES invariant here.
+            guard = engine._lookahead_guard
+            if guard is not None:
+                guard(process, resume_time)
+            simulator = process.sim
             seq = simulator._next_seq
             simulator._next_seq = seq + 1
             heappush(simulator._heap, (resume_time, seq, engine._bound_step, process, statuses))
@@ -297,15 +309,34 @@ class SpmdEngine:
         self._bound_step = self._step
         self._copy_latency = params.copy_latency
         self._copy_bandwidth = params.copy_bandwidth
+        #: Hook checked on cross-process wakeups (``_WaitState.notify``).
+        #: ``None`` on the serial engine — one pointer test per wait
+        #: completion; the parallel engine installs its lookahead-invariant
+        #: checker here.
+        self._lookahead_guard: Callable[[_RankProcess, float], None] | None = None
 
     # -- public API ---------------------------------------------------------
     def run(self, program: Callable[..., Any], *args: Any, **kwargs: Any) -> JobResult:
         """Run ``program(ctx, *args, **kwargs)`` on every rank and simulate to completion."""
-        # Imported here to avoid a circular import at module load time.
-        from repro.simmpi.comm import Communicator
-
         if self._processes:
             raise SimulationError("an SpmdEngine can only run a single job; create a new engine")
+        self._spawn(program, *args, **kwargs)
+        self._drive()
+        self._check_completion()
+        return self._build_result()
+
+    # -- job setup -----------------------------------------------------------
+    def _spawn(self, program: Callable[..., Any], *args: Any, **kwargs: Any) -> None:
+        """Instantiate one rank program per simulated process and schedule step 0.
+
+        The initial steps are scheduled in rank order through each process's
+        owning simulator (:meth:`_sim_for`); with the serial engine's single
+        simulator this is exactly the historical schedule, and the parallel
+        engine's shared sequence counter preserves the identical global
+        ``(time, seq)`` keys.
+        """
+        # Imported here to avoid a circular import at module load time.
+        from repro.simmpi.comm import Communicator
 
         nprocs = self.pmap.nprocs
         world_group = self.contexts.group_for(tuple(range(nprocs)))
@@ -328,16 +359,21 @@ class SpmdEngine:
                     f"{type(generator).__name__}"
                 )
             process = _RankProcess(rank, generator)
+            process.sim = self._sim_for(process)
             ctx._process = process
             self._rank_contexts.append(ctx)
             self._processes.append(process)
 
         for process in self._processes:
-            self.simulator.schedule_call(0.0, self._bound_step, process, None)
+            process.sim.schedule_call(0.0, self._bound_step, process, None)
 
+    def _sim_for(self, process: _RankProcess) -> Simulator:
+        """The simulator owning ``process``'s events (partition hook)."""
+        return self.simulator
+
+    def _drive(self) -> None:
+        """Execute events until every queue drains (overridden in parallel)."""
         self.simulator.run()
-        self._check_completion()
-        return self._build_result()
 
     # -- process stepping -----------------------------------------------------
     def _step(self, process: _RankProcess, send_value: Any) -> None:
@@ -356,7 +392,7 @@ class SpmdEngine:
         # No per-step state write: "running" can never be observed (deadlock
         # reports only exist once the event queue has drained, and a rank is
         # then ready, waiting or done).
-        simulator = self.simulator
+        simulator = process.sim
         process.local_time = now = simulator._now
         try:
             operation = process.resume(send_value)
@@ -526,8 +562,25 @@ def run_spmd(
     *args: Any,
     record_trace: bool = False,
     sink: EventSink | None = None,
+    engine_jobs: int = 1,
     **kwargs: Any,
 ) -> JobResult:
-    """Convenience wrapper: build an engine, run ``program`` on every rank, return the result."""
-    engine = SpmdEngine(pmap, record_trace=record_trace, sink=sink)
+    """Convenience wrapper: build an engine, run ``program`` on every rank, return the result.
+
+    ``engine_jobs`` > 1 selects the conservative-lookahead parallel engine
+    (:class:`repro.simmpi.parallel.ParallelSpmdEngine`), which partitions
+    ranks by node across that many workers and produces bit-identical
+    simulated timings.
+    """
+    if engine_jobs < 1:
+        raise SimulationError(f"engine_jobs must be >= 1, got {engine_jobs}")
+    if engine_jobs > 1:
+        # Imported lazily: the serial hot path never pays for threading.
+        from repro.simmpi.parallel import ParallelSpmdEngine
+
+        engine: SpmdEngine = ParallelSpmdEngine(
+            pmap, workers=engine_jobs, record_trace=record_trace, sink=sink
+        )
+    else:
+        engine = SpmdEngine(pmap, record_trace=record_trace, sink=sink)
     return engine.run(program, *args, **kwargs)

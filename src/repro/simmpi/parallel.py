@@ -1,0 +1,330 @@
+"""Conservative-lookahead parallel SPMD engine (bit-identical to serial).
+
+Partitions simulated ranks by node into per-partition event queues (one
+:class:`~repro.netsim.simulator.Simulator` heap each) driven by worker
+threads, and synchronizes them with the classic conservative-PDES recipe:
+a partition may only advance while no other partition holds an earlier
+event, and no cross-partition interaction can take effect sooner than the
+machine's lookahead floor (NIC injection overhead, plus wire latency and
+the fabric's cheapest route for data arrivals — see
+:meth:`repro.simmpi.p2p.TimingModel.lookahead`).
+
+Bit-identity is the hard constraint here (the golden timing fixture, the
+verify corpus and the fold gate all pin simulated floats), and it shapes
+the synchronization protocol.  This engine's MPI matching is
+*synchronous*: executing a send mutates the destination mailbox at send
+time, Fenwick ``scanned`` counts feed match overheads into completion
+floats, and fabric link reservations are order-dependent FIFO.  Replaying
+any two events out of their serial order therefore changes floats, so the
+engine runs an **exact deterministic K-way merge**: all partitions share
+one global sequence counter (events keep the identical ``(time, seq)``
+keys the serial engine would assign), and the worker whose queue holds
+the globally minimal key executes — exclusively — until another
+partition's head becomes minimal, then hands the turn over.  By induction
+the event order, and hence every simulated float, is identical to the
+serial engine's.  The lookahead floor is enforced as a runtime invariant
+on every cross-partition wakeup (the only point where one partition
+schedules work on another): a wakeup earlier than ``now`` plus the NIC
+injection floor would mean the conservative window was unsound, and the
+engine raises instead of silently diverging.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from heapq import heappop
+
+from repro.errors import SimulationError
+from repro.machine.process_map import ProcessMap
+from repro.netsim.simulator import Simulator
+from repro.obs.sink import EventSink
+from repro.simmpi.engine import SpmdEngine, _RankProcess
+
+__all__ = ["ParallelSpmdEngine"]
+
+
+class _SharedSeqSimulator(Simulator):
+    """A :class:`Simulator` whose sequence counter is shared across partitions.
+
+    Sequence numbers break ties in the ``(time, seq, fn, a, b)`` heap keys.
+    Sharing one counter between all partition simulators makes every event's
+    key *globally* unique and — because events are executed in global key
+    order — identical to the key the serial engine would have assigned.
+    That shared counter is the whole bit-identity argument: the merge of the
+    partition heaps is then exactly the serial heap.
+
+    The parent class stores ``_next_seq`` in a slot; the property below
+    shadows that slot descriptor (subclass dict wins in the MRO), so every
+    parent-code read/write of ``self._next_seq`` — including the
+    ``_next_seq = 0`` in ``Simulator.__init__`` — lands in the shared cell.
+    """
+
+    __slots__ = ("_shared_seq",)
+
+    def __init__(self, shared_seq: list, *, max_events: int) -> None:
+        # Must be bound before super().__init__(), which zeroes _next_seq
+        # through the shadowing property.
+        self._shared_seq = shared_seq
+        super().__init__(max_events=max_events)
+
+    @property
+    def _next_seq(self) -> int:
+        return self._shared_seq[0]
+
+    @_next_seq.setter
+    def _next_seq(self, value: int) -> None:
+        self._shared_seq[0] = value
+
+
+class _MergedSimulatorView:
+    """Read-only aggregate over the partition simulators.
+
+    Presents the subset of the :class:`Simulator` surface the result
+    builder and metrics layer consume (``events_processed``, ``now``,
+    ``pending_events``) so downstream code never needs to know whether a
+    job ran serially or partitioned.
+    """
+
+    __slots__ = ("_sims",)
+
+    def __init__(self, sims: list[Simulator]) -> None:
+        self._sims = sims
+
+    @property
+    def events_processed(self) -> int:
+        return sum(sim._processed for sim in self._sims)
+
+    @property
+    def now(self) -> float:
+        return max(sim._now for sim in self._sims)
+
+    @property
+    def pending_events(self) -> int:
+        return sum(len(sim._heap) for sim in self._sims)
+
+
+class ParallelSpmdEngine(SpmdEngine):
+    """Drives one simulated job over node-partitioned event queues.
+
+    ``workers`` caps the partition count; the effective count is
+    ``min(workers, sim_nodes)`` (a folded job simulates one node and
+    degenerates to a single partition).  Nodes map to partitions
+    contiguously and near-evenly (node ``n`` of ``N`` goes to partition
+    ``n * K // N``), and every rank follows its node, so intra-node
+    traffic — the overwhelming majority under hierarchical algorithms —
+    never crosses a partition boundary.
+    """
+
+    def __init__(
+        self,
+        pmap: ProcessMap,
+        *,
+        workers: int,
+        record_trace: bool = False,
+        sink: "EventSink | None" = None,
+        max_events: int = 200_000_000,
+    ) -> None:
+        if workers < 1:
+            raise SimulationError(f"parallel engine workers must be >= 1, got {workers}")
+        super().__init__(pmap, record_trace=record_trace, sink=sink, max_events=max_events)
+        sim_nodes = pmap.sim_nodes
+        self.workers = workers
+        count = min(workers, sim_nodes)
+        self.partitions = count
+        self._max_events = max_events
+        shared_seq = [0]
+        self._sims: list[Simulator] = [
+            _SharedSeqSimulator(shared_seq, max_events=max_events) for _ in range(count)
+        ]
+        self._node_partition = [node * count // sim_nodes for node in range(sim_nodes)]
+        #: Replaces the parent's single simulator for everything downstream
+        #: (result building, metrics); per-event scheduling goes through
+        #: ``process.sim`` and never touches this view.
+        self.simulator = _MergedSimulatorView(self._sims)
+        #: Conservative cross-node data-arrival window (documented bound).
+        self.lookahead = self.timing.lookahead()
+        #: Runtime-guarded floor: sender-side rendezvous completions are
+        #: only bounded by the NIC injection overhead, not the full
+        #: data-arrival lookahead (see TimingModel.lookahead).
+        self._notify_floor = self.params.nic_message_overhead
+        #: Cross-partition wakeups observed (reported via job metrics).
+        self.cross_notifications = 0
+        self._lookahead_guard = self._check_lookahead
+        self._active = 0
+        self._others = [
+            [(q, self._sims[q]) for q in range(count) if q != p] for p in range(count)
+        ]
+        self._lock = threading.Lock()
+        self._conds = [threading.Condition(self._lock) for _ in range(count)]
+        self._turn = -1
+        self._stop = False
+        self._failure: BaseException | None = None
+        self._processed_total = 0
+
+    # -- partition bookkeeping ----------------------------------------------
+    def _sim_for(self, process: _RankProcess) -> Simulator:
+        return self._sims[self._node_partition[self.pmap.node_of(process.rank)]]
+
+    @property
+    def partition_clocks(self) -> list[float]:
+        """Current simulated time of each partition (metrics surface)."""
+        return [sim._now for sim in self._sims]
+
+    @property
+    def partition_events(self) -> list[int]:
+        """Events executed by each partition (metrics surface)."""
+        return [sim._processed for sim in self._sims]
+
+    # -- lookahead invariant -------------------------------------------------
+    def _check_lookahead(self, process: _RankProcess, resume_time: float) -> None:
+        """Validate a wakeup pushed from the active partition onto another.
+
+        Installed as ``engine._lookahead_guard`` and called from
+        ``_WaitState.notify`` — the single site where executing one
+        partition's event schedules work on another partition's queue.  A
+        cross-partition wakeup always involves two distinct nodes (a
+        partition is a union of whole nodes), so its completion went
+        through NIC injection and can never precede ``now`` plus the
+        injection floor.  If it does, the conservative window was unsound
+        and silently diverging timings would follow — fail loudly instead.
+        """
+        active = self._sims[self._active]
+        if process.sim is active:
+            return
+        self.cross_notifications += 1
+        floor = active._now + self._notify_floor
+        if resume_time < floor:
+            tolerance = max(1e-18, 4.0 * math.ulp(floor))
+            if resume_time < floor - tolerance:
+                raise SimulationError(
+                    "lookahead invariant violated: cross-partition wakeup of rank "
+                    f"{process.rank} at t={resume_time!r} precedes the active "
+                    f"partition's clock {active._now!r} plus the injection floor "
+                    f"{self._notify_floor!r}"
+                )
+
+    # -- drive loop -----------------------------------------------------------
+    def _drive(self) -> None:
+        if self.partitions == 1:
+            # One partition (single node or folded job): no synchronization
+            # to pay for; the plain serial run loop is the same merge.
+            self._sims[0].run()
+            return
+        first = self._min_partition()
+        if first is None:
+            return
+        self._turn = first
+        threads = [
+            threading.Thread(
+                target=self._worker, args=(p,), name=f"sim-partition-{p}", daemon=True
+            )
+            for p in range(self.partitions)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        failure = self._failure
+        if failure is not None:
+            raise failure
+
+    def _min_partition(self) -> int | None:
+        """Partition holding the globally minimal event key (None if all empty)."""
+        best_key = None
+        best = None
+        for p, sim in enumerate(self._sims):
+            heap = sim._heap
+            if heap:
+                key = heap[0]
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = p
+        return best
+
+    def _worker(self, p: int) -> None:
+        """Worker thread for partition ``p``: wait for the turn, execute, pass on.
+
+        The turn token (``self._turn``) is the only state a sleeping worker
+        reads, and it is only written under the lock — so spurious
+        condition wakeups are harmless and no worker ever reads a heap
+        while another thread mutates it.  The turn holder runs lock-free:
+        every other worker is parked on its condition variable.
+        """
+        lock = self._lock
+        cond = self._conds[p]
+        try:
+            while True:
+                with lock:
+                    while self._turn != p and not self._stop:
+                        cond.wait()
+                    if self._stop:
+                        return
+                next_partition = self._run_turn(p)
+                with lock:
+                    if self._stop:
+                        return
+                    if next_partition is None:
+                        self._stop = True
+                        for other in self._conds:
+                            other.notify_all()
+                        return
+                    self._turn = next_partition
+                    self._conds[next_partition].notify()
+        except BaseException as failure:  # propagate to _drive, release peers
+            with lock:
+                if self._failure is None:
+                    self._failure = failure
+                self._stop = True
+                for other in self._conds:
+                    other.notify_all()
+
+    def _run_turn(self, p: int) -> int | None:
+        """Execute partition ``p``'s events while it holds the global minimum.
+
+        Returns the partition to hand the turn to (the new global-minimum
+        holder), or ``None`` when every queue has drained.  Runs without
+        the lock: only the turn holder touches heaps, and its pushes onto
+        *other* partitions' heaps (cross-partition wakeups) are safe
+        because those workers are parked.
+        """
+        sim = self._sims[p]
+        heap = sim._heap
+        others = self._others[p]
+        self._active = p
+        max_events = self._max_events
+        processed = self._processed_total
+        local = sim._processed
+        try:
+            while True:
+                # Global-minimum check: heads only change through this
+                # thread (pops from `heap`, cross-partition pushes), so the
+                # scan is exact, not a stale snapshot.  Tuple comparison
+                # settles at the unique shared seq — callables in slot 2
+                # are never compared.
+                best_key = None
+                owner = None
+                for q, other in others:
+                    other_heap = other._heap
+                    if other_heap:
+                        key = other_heap[0]
+                        if best_key is None or key < best_key:
+                            best_key = key
+                            owner = q
+                if not heap:
+                    return owner
+                if best_key is not None and best_key < heap[0]:
+                    return owner
+                time, _seq, fn, a, b = heappop(heap)
+                sim._now = time
+                processed += 1
+                local += 1
+                if processed > max_events:
+                    raise SimulationError(
+                        f"simulation exceeded {max_events} events; "
+                        "likely a livelock in the simulated program"
+                    )
+                fn(a, b)
+        finally:
+            self._processed_total = processed
+            sim._processed = local

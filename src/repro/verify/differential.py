@@ -191,10 +191,15 @@ class DifferentialRunner:
         Attempt to reduce failing scenarios (fewer ranks, fewer bytes) to a
         minimal reproducer before reporting.  Disabled inside the shrinking
         search itself.
+    engine_jobs:
+        Parallel-engine worker count for every simulated run (bit-identical
+        to serial, so verification verdicts and golden digests are
+        unchanged at any value).
     """
 
-    def __init__(self, *, shrink: bool = True) -> None:
+    def __init__(self, *, shrink: bool = True, engine_jobs: int = 1) -> None:
         self.shrink = shrink
+        self.engine_jobs = engine_jobs
 
     # -- public API ----------------------------------------------------------
     def verify(self, scenario: Scenario) -> VerificationRecord:
@@ -273,11 +278,13 @@ class DifferentialRunner:
         try:
             if scenario.family == "uniform":
                 outcome = run_alltoall(
-                    algo, pmap, scenario.msg_bytes, dtype=_DTYPE, validate=True
+                    algo, pmap, scenario.msg_bytes, dtype=_DTYPE, validate=True,
+                    engine_jobs=self.engine_jobs,
                 )
             else:
                 outcome = run_workload(
-                    algo, pmap, scenario.matrix, dtype=_DTYPE, validate=True
+                    algo, pmap, scenario.matrix, dtype=_DTYPE, validate=True,
+                    engine_jobs=self.engine_jobs,
                 )
         except Exception as exc:  # a crash on a valid scenario is a finding
             return self._failure(
@@ -363,31 +370,38 @@ class DifferentialRunner:
             found = self.check_configuration(candidate, candidate_config)
             return found is not None and found.kind == failure.kind
 
-        minimal, minimal_config = shrink_scenario(scenario, config, still_fails)
+        minimal, minimal_config, crash = shrink_scenario(scenario, config, still_fails)
         if minimal is not scenario:
             failure.minimal_payload = minimal.payload()
             failure.minimal_algorithm = minimal_config.describe()
+        if crash is not None:
+            failure.shrink_crash = crash
         return failure
 
 
-def verify_seed(seed: int, max_ranks: int = 24, *, fabric=None) -> VerificationRecord:
+def verify_seed(seed: int, max_ranks: int = 24, *, fabric=None,
+                engine_jobs: int = 1) -> VerificationRecord:
     """Verify the scenario of one seed (the programmatic one-liner).
 
     ``fabric`` (a :mod:`repro.netsim.fabric` spec) opts the sampled cluster
     into a contended inter-node topology and widens the traffic sampler
     with the link-stressing incast / neighbour-shift shapes.
+    ``engine_jobs`` selects the parallel engine for the simulated runs
+    (bit-identical timings, identical verdicts and digests).
     """
     scenario = ScenarioGenerator(max_ranks=max_ranks, fabric=fabric).scenario(seed)
-    return DifferentialRunner().verify(scenario)
+    return DifferentialRunner(engine_jobs=engine_jobs).verify(scenario)
 
 
 def verify_task(task: tuple) -> VerificationRecord:
-    """Module-level pool worker: ``task`` is a picklable ``(seed, max_ranks)``
-    or ``(seed, max_ranks, fabric_spec)``.
+    """Module-level pool worker: ``task`` is a picklable ``(seed, max_ranks)``,
+    ``(seed, max_ranks, fabric_spec)`` or ``(seed, max_ranks, fabric_spec,
+    engine_jobs)``.
 
     Lives at module scope so :meth:`repro.runtime.SweepExecutor.map` can fan
     scenario seeds out over a ``spawn`` process pool.
     """
     seed, max_ranks = task[0], task[1]
     fabric = task[2] if len(task) > 2 else None
-    return verify_seed(seed, max_ranks, fabric=fabric)
+    engine_jobs = task[3] if len(task) > 3 else 1
+    return verify_seed(seed, max_ranks, fabric=fabric, engine_jobs=engine_jobs)

@@ -16,6 +16,7 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Iterator
 
+from repro.errors import ConfigurationError
 from repro.workloads import TrafficMatrix
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle: differential imports report
@@ -50,6 +51,11 @@ class FailureReport:
     #: Algorithm configuration of the minimal reproducer (options may have
     #: been clamped while the placement shrank).
     minimal_algorithm: str | None = None
+    #: Set when a *reduced* scenario crashed the checker outright during
+    #: shrinking (``"ExceptionType: message"``).  The crashing reduction is
+    #: adopted as the reproducer — a crash at a smaller scale is a finding,
+    #: not a dead end.
+    shrink_crash: str | None = None
 
     @property
     def command(self) -> str:
@@ -77,6 +83,11 @@ def format_failure(failure: FailureReport) -> str:
             f"  minimal reproducer: {failure.minimal_algorithm} on {shape}, {traffic}"
         )
         lines.append(f"  minimal scenario JSON: {json.dumps(payload, sort_keys=True)}")
+    if failure.shrink_crash is not None:
+        lines.append(
+            f"  shrink crash: the reduced scenario crashed the checker with "
+            f"{failure.shrink_crash}"
+        )
     return "\n".join(lines)
 
 
@@ -135,16 +146,26 @@ def shrink_scenario(
     still_fails: Callable[["Scenario", "AlgorithmConfig"], bool],
     *,
     max_runs: int = MAX_SHRINK_RUNS,
-) -> tuple["Scenario", "AlgorithmConfig"]:
+) -> tuple["Scenario", "AlgorithmConfig", str | None]:
     """Greedily reduce ``scenario`` while ``still_fails`` holds.
 
     ``still_fails(candidate, candidate_config)`` re-runs only the failing
     configuration (clamped to the candidate's shape) and returns whether the
-    same kind of failure persists.  Returns the smallest (scenario, config)
-    pair found; the original pair when no reduction reproduces the failure
-    or the run budget is exhausted.
+    same kind of failure persists.  A candidate that raises
+    :class:`~repro.errors.ConfigurationError` is a shape this configuration
+    legitimately cannot run — it is skipped.  Any *other* exception means
+    the checker crashed on a valid reduced scenario; that reduction is
+    adopted as the reproducer (a crash at a smaller scale is a finding, not
+    a dead end) and the crash is reported in the third element of the
+    return value.
+
+    Returns ``(scenario, config, crash_detail)`` — the smallest pair found
+    (the original pair when no reduction reproduces the failure or the run
+    budget is exhausted) plus the last crash observed during shrinking, or
+    ``None`` when every reduction ran cleanly.
     """
     current, current_config = scenario, config
+    crash_detail: str | None = None
     runs = 0
     progress = True
     while progress and runs < max_runs:
@@ -154,14 +175,19 @@ def shrink_scenario(
             runs += 1
             try:
                 failing = still_fails(candidate, candidate_config)
-            except Exception:
-                # A reduction that crashes the checker itself is not a
-                # usable reproducer; try the next one.
+            except ConfigurationError:
+                # The reduced shape is invalid for this configuration
+                # (e.g. a group size the smaller ppn cannot host); not a
+                # usable reproducer — try the next reduction.
                 failing = False
+            except Exception as exc:
+                # The checker crashed outright on a valid reduced scenario.
+                crash_detail = f"{type(exc).__name__}: {exc}"
+                failing = True
             if failing:
                 current, current_config = candidate, candidate_config
                 progress = True
                 break
             if runs >= max_runs:
                 break
-    return current, current_config
+    return current, current_config, crash_detail

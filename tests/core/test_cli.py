@@ -263,6 +263,51 @@ class TestRuntimeFlags:
                   "--ppn", "4", "--jobs", "-2"])
 
 
+class TestArgumentValidation:
+    """Count-like flags must be rejected at parse time with a clean exit."""
+
+    @pytest.mark.parametrize("argv", [
+        ["run", "--engine-jobs", "0"],
+        ["run", "--engine-jobs", "-1"],
+        ["run", "--msg-bytes", "0"],
+        ["figures", "--engine-jobs", "0"],
+        ["figures", "--jobs", "-1"],
+        ["figures", "--jobs", "x"],
+        ["select", "--sizes", "4", "0"],
+        ["workload", "--engine-jobs", "0"],
+        ["workload", "--msg-bytes", "-8"],
+        ["perf", "--repeats", "0"],
+    ])
+    def test_non_positive_counts_rejected_at_parse_time(self, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2  # argparse usage error, not a traceback
+
+    def test_jobs_zero_means_all_cores_and_is_accepted(self, capsys):
+        assert main(["figures", "--id", "fig16", "--engine", "simulate",
+                     "--nodes", "2", "--ppn", "4", "--jobs", "0"]) == 0
+
+
+class TestEngineJobsFlag:
+    def test_run_output_identical_at_any_worker_count(self, capsys):
+        argv = ["run", "--system", "dane", "--nodes", "4", "--ppn", "2",
+                "--algorithm", "pairwise", "--msg-bytes", "256"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main([*argv, "--engine-jobs", "4"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_figures_output_identical_at_any_worker_count(self, capsys):
+        argv = ["figures", "--id", "fig10", "--engine", "simulate",
+                "--nodes", "2", "--ppn", "4", "--csv"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main([*argv, "--engine-jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+
 class TestTraceCommand:
     def test_uniform_trace_end_to_end(self, tmp_path, capsys):
         out_path = tmp_path / "trace.json"

@@ -130,6 +130,23 @@ class TestResultStore:
         store.path_for(spec).write_text("{not json at all")
         assert store.get(spec) is None
 
+    def test_corrupted_entry_unlinked_at_detection(self, tmp_path):
+        # The corrupt file must leave the disk at detection time, not at the
+        # recompute's put(): a sweep that crashes between the two would
+        # otherwise leave the poison entry for every later store user.
+        store = ResultStore(tmp_path / "cache")
+        spec = _spec()
+        store.put(spec, TimedPoint(seconds=1.0))
+        store.path_for(spec).write_text("{not json at all")
+        assert store.get(spec) is None
+        assert not store.path_for(spec).exists()
+        # A fresh store over the same directory sees a clean miss, an empty
+        # store, and no residual membership.
+        fresh = ResultStore(tmp_path / "cache")
+        assert len(fresh) == 0
+        assert spec not in fresh
+        assert fresh.stats() == {"hits": 0, "misses": 1, "corrupt": 0}
+
     def test_wrong_shape_entry_reads_as_miss(self, tmp_path):
         store = ResultStore(tmp_path / "cache")
         spec = _spec()

@@ -1,0 +1,222 @@
+"""Tests of the conservative-lookahead parallel engine (bit-identity and guards).
+
+The parallel engine's contract is exact equivalence with the serial engine:
+same event order, same floats, same delivered bytes, at any worker count.
+These tests pin that contract against the frozen golden fixture and against
+fresh serial runs, and exercise the engine-level failure modes (deadlock
+propagation, livelock cap, single-use guard, invalid worker counts).
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.runner import run_alltoall, run_workload
+from repro.errors import DeadlockError, SimulationError
+from repro.machine import ProcessMap, tiny_cluster
+from repro.machine.systems import get_system
+from repro.netsim.fabric import parse_fabric
+from repro.obs import RecordingSink
+from repro.simmpi import run_spmd
+from repro.simmpi.parallel import ParallelSpmdEngine
+from repro.workloads import make_pattern
+
+FIXTURE_PATH = Path(__file__).resolve().parents[1] / "golden" / "simulated_timings.json"
+
+#: Golden-fixture entries re-run through the parallel engine: eager and
+#: rendezvous uniform exchanges, a contended fabric, and a skewed workload.
+_GOLDEN_KEYS = [
+    "pairwise/4n4p/256B",
+    "pairwise/4n4p/16384B",
+    "node-aware/4n4p/256B/dragonfly",
+    "workload-node-aware/4n4p/skewed-moe",
+]
+
+
+def _digest(results) -> str:
+    hasher = hashlib.sha256()
+    for buf in results:
+        arr = np.asarray(buf)
+        hasher.update(str(arr.size).encode())
+        hasher.update(arr.tobytes())
+    return hasher.hexdigest()
+
+
+def _outcome_signature(outcome):
+    job = outcome.job
+    return (
+        outcome.elapsed,
+        tuple(sorted(outcome.phase_times.items())),
+        tuple(job.finish_times),
+        job.events_processed,
+        _digest(job.results),
+    )
+
+
+def _run_fixture_job(key: str, engine_jobs: int):
+    from tests.integration.test_timing_fixture import _PATTERN_SEED, JOBS
+
+    kind, algorithm, nodes, ppn, msg_bytes, pattern, options, *rest = next(
+        job[1:] for job in JOBS if job[0] == key
+    )
+    fabric = parse_fabric(rest[0]) if rest else None
+    cluster = get_system("dane", nodes, fabric=fabric)
+    pmap = ProcessMap(cluster, ppn=ppn, num_nodes=nodes)
+    if kind == "workload":
+        matrix = make_pattern(pattern, pmap.nprocs, msg_bytes, seed=_PATTERN_SEED)
+        return run_workload(algorithm, pmap, matrix, validate=False,
+                            engine_jobs=engine_jobs, **options)
+    return run_alltoall(algorithm, pmap, msg_bytes, validate=False,
+                        engine_jobs=engine_jobs, **options)
+
+
+class TestGoldenFixtureParallel:
+    @pytest.mark.parametrize("workers", [2, 4, 8])
+    @pytest.mark.parametrize("key", _GOLDEN_KEYS)
+    def test_parallel_matches_frozen_timings(self, key, workers):
+        frozen = json.loads(FIXTURE_PATH.read_text(encoding="utf-8"))["jobs"][key]
+        outcome = _run_fixture_job(key, workers)
+        assert outcome.job.events_processed == frozen["events"]
+        assert outcome.elapsed == frozen["elapsed"]
+        assert sum(outcome.job.finish_times) == frozen["finish_time_sum"]
+
+
+class TestSerialEquivalence:
+    @pytest.mark.parametrize("workers", [2, 4, 8])
+    @pytest.mark.parametrize("algorithm", ["pairwise", "bruck", "node-aware"])
+    def test_uniform_exchange_bit_identical(self, algorithm, workers):
+        cluster = get_system("dane", 4)
+        pmap = ProcessMap(cluster, ppn=3, num_nodes=4)
+        serial = run_alltoall(algorithm, pmap, 256, validate=False)
+        parallel = run_alltoall(algorithm, pmap, 256, validate=False,
+                                engine_jobs=workers)
+        assert _outcome_signature(parallel) == _outcome_signature(serial)
+
+    @pytest.mark.parametrize("workers", [2, 8])
+    def test_rendezvous_sizes_bit_identical(self, workers):
+        cluster = get_system("dane", 4)
+        pmap = ProcessMap(cluster, ppn=2, num_nodes=4)
+        serial = run_alltoall("pairwise", pmap, 65536, validate=False)
+        parallel = run_alltoall("pairwise", pmap, 65536, validate=False,
+                                engine_jobs=workers)
+        assert _outcome_signature(parallel) == _outcome_signature(serial)
+
+    def test_fabric_workload_bit_identical(self):
+        fabric = parse_fabric("dragonfly:hosts=2,routers=2,taper=4")
+        cluster = get_system("dane", 4, fabric=fabric)
+        pmap = ProcessMap(cluster, ppn=4, num_nodes=4)
+        matrix = make_pattern("skewed-moe", pmap.nprocs, 64, seed=7)
+        serial = run_workload("node-aware", pmap, matrix, validate=False)
+        parallel = run_workload("node-aware", pmap, matrix, validate=False,
+                                engine_jobs=4)
+        assert _outcome_signature(parallel) == _outcome_signature(serial)
+
+    def test_folded_run_degenerates_to_single_partition(self):
+        cluster = get_system("dane", 64)
+        pmap = ProcessMap(cluster, ppn=4, num_nodes=64)
+        serial = run_alltoall("pairwise", pmap, 256, fold="on", validate=False)
+        parallel = run_alltoall("pairwise", pmap, 256, fold="on", validate=False,
+                                engine_jobs=8)
+        assert parallel.elapsed == serial.elapsed
+        assert parallel.job.events_processed == serial.job.events_processed
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_sink_event_stream_identical(self, workers):
+        cluster = get_system("dane", 4)
+        pmap = ProcessMap(cluster, ppn=2, num_nodes=4)
+        serial_sink = RecordingSink()
+        run_alltoall("node-aware", pmap, 256, validate=False, sink=serial_sink)
+        parallel_sink = RecordingSink()
+        run_alltoall("node-aware", pmap, 256, validate=False, sink=parallel_sink,
+                     engine_jobs=workers)
+        assert parallel_sink.events == serial_sink.events
+
+
+class TestEngineMechanics:
+    def test_partition_mapping_is_contiguous_and_balanced(self, two_node_pmap):
+        engine = ParallelSpmdEngine(two_node_pmap, workers=2)
+        assert engine.partitions == 2
+        assert engine._node_partition == [0, 1]
+        big = ProcessMap(tiny_cluster(num_nodes=6), ppn=2, num_nodes=6)
+        engine = ParallelSpmdEngine(big, workers=4)
+        assert engine.partitions == 4
+        mapping = engine._node_partition
+        assert mapping == sorted(mapping)  # contiguous
+        assert max(mapping) == 3 and min(mapping) == 0
+        # workers beyond the node count are clamped
+        assert ParallelSpmdEngine(big, workers=100).partitions == 6
+
+    def test_merged_view_and_partition_counters(self, two_node_pmap):
+        def program(ctx):
+            comm = ctx.world
+            partner = ctx.rank ^ 1
+            send = np.full(4, ctx.rank, dtype=np.int32)
+            recv = np.zeros(4, dtype=np.int32)
+            rreq = yield from comm.irecv(recv, source=partner, tag=1)
+            sreq = yield from comm.isend(send, dest=partner, tag=1)
+            yield from comm.waitall([rreq, sreq])
+
+        engine = ParallelSpmdEngine(two_node_pmap, workers=2)
+        result = engine.run(program)
+        assert result.events_processed == engine.simulator.events_processed
+        assert sum(engine.partition_events) == engine.simulator.events_processed
+        assert len(engine.partition_clocks) == engine.partitions == 2
+        assert engine.simulator.now == max(engine.partition_clocks)
+        assert engine.lookahead > 0.0
+
+    def test_deadlock_propagates_from_worker_threads(self, two_node_pmap):
+        def program(ctx):
+            comm = ctx.world
+            if ctx.rank == 0:
+                buf = np.zeros(4, dtype=np.uint8)
+                yield from comm.recv(buf, source=1, tag=99)  # nobody sends
+
+        with pytest.raises(DeadlockError, match="never finished"):
+            run_spmd(two_node_pmap, program, engine_jobs=2)
+
+    def test_engine_is_single_use(self, two_node_pmap):
+        def program(ctx):
+            return
+            yield
+
+        engine = ParallelSpmdEngine(two_node_pmap, workers=2)
+        engine.run(program)
+        with pytest.raises(SimulationError):
+            engine.run(program)
+
+    def test_livelock_cap_enforced_across_partitions(self, two_node_pmap):
+        def program(ctx):
+            comm = ctx.world
+            partner = ctx.rank ^ 1
+            for tag in range(64):
+                send = np.zeros(8, dtype=np.uint8)
+                recv = np.zeros(8, dtype=np.uint8)
+                rreq = yield from comm.irecv(recv, source=partner, tag=tag)
+                sreq = yield from comm.isend(send, dest=partner, tag=tag)
+                yield from comm.waitall([rreq, sreq])
+
+        engine = ParallelSpmdEngine(two_node_pmap, workers=2, max_events=50)
+        with pytest.raises(SimulationError, match="exceeded"):
+            engine.run(program)
+
+    def test_invalid_worker_counts_rejected(self, two_node_pmap):
+        def program(ctx):
+            return
+            yield
+
+        with pytest.raises(SimulationError, match=">= 1"):
+            ParallelSpmdEngine(two_node_pmap, workers=0)
+        with pytest.raises(SimulationError, match=">= 1"):
+            run_spmd(two_node_pmap, program, engine_jobs=0)
+
+    def test_cross_partition_wakeups_are_counted_and_guarded(self):
+        cluster = get_system("dane", 4)
+        pmap = ProcessMap(cluster, ppn=2, num_nodes=4)
+        outcome = run_alltoall("pairwise", pmap, 65536, validate=False,
+                               engine_jobs=4)
+        metrics = outcome.job.metrics["engine"]
+        assert metrics["partitions"] == 4
+        assert metrics["cross_partition_wakeups"] > 0

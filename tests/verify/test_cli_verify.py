@@ -22,6 +22,16 @@ class TestArguments:
         with pytest.raises(SystemExit):
             main(["verify", "--max-ranks", "0"])
 
+    def test_invalid_engine_jobs_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["verify", "--engine-jobs", "0"])
+        assert excinfo.value.code == 2
+
+    def test_count_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["verify", "--count", "-3"])
+        assert excinfo.value.code == 2
+
 
 class TestSweep:
     def test_small_green_sweep_exits_zero(self, capsys):
@@ -32,6 +42,13 @@ class TestSweep:
 
     def test_max_ranks_is_honoured(self, capsys):
         assert main(["verify", "--seed", "1", "--count", "2", "--max-ranks", "4"]) == 0
+
+    def test_engine_jobs_sweep_is_bit_identical(self, capsys):
+        assert main(["verify", "--seed", "2025", "--count", "2"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["verify", "--seed", "2025", "--count", "2",
+                     "--engine-jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
 
     def test_failure_exits_nonzero_with_reproducer(self, capsys, monkeypatch):
         import repro.verify

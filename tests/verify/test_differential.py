@@ -3,15 +3,18 @@
 import numpy as np
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.machine.systems import tiny_cluster
 from repro.runtime import SweepExecutor
 from repro.verify import (
     AlgorithmConfig,
     DifferentialRunner,
+    FailureReport,
     Scenario,
     ScenarioGenerator,
     format_failure,
     result_hash,
+    shrink_scenario,
     uniform_configurations,
     verify_seed,
     verify_task,
@@ -132,6 +135,97 @@ class TestFailureDetection:
         assert not record.ok
         assert all(f.kind == "error" for f in record.failures)
         assert "boom" in record.failures[0].detail
+
+
+class TestShrinkerExceptions:
+    """Exception policy of the shrinking search.
+
+    A reduction raising :class:`ConfigurationError` is a shape the failing
+    configuration legitimately cannot run — skipped.  Any *other* exception
+    is the checker crashing on a valid reduced scenario: that reduction is a
+    smaller (louder) reproducer and must be adopted, not discarded — the
+    old bare ``except Exception`` silently threw such findings away.
+    """
+
+    def test_configuration_error_skips_the_reduction(self):
+        scenario, config = _scenario(), AlgorithmConfig.make("pairwise")
+
+        def still_fails(candidate, candidate_config):
+            raise ConfigurationError("this shape cannot host the configuration")
+
+        minimal, minimal_config, crash = shrink_scenario(scenario, config, still_fails)
+        assert minimal is scenario and minimal_config is config
+        assert crash is None
+
+    def test_unexpected_crash_adopted_as_smaller_reproducer(self):
+        scenario, config = _scenario(), AlgorithmConfig.make("pairwise")
+
+        def still_fails(candidate, candidate_config):
+            raise RuntimeError("kaboom at reduced scale")
+
+        minimal, _minimal_config, crash = shrink_scenario(scenario, config, still_fails)
+        # Every reduction "fails" loudly, so the shrinker walks all the way
+        # down instead of giving up at the first crash.
+        assert minimal is not scenario
+        assert minimal.num_nodes == 1 and minimal.ppn == 1 and minimal.msg_bytes == 1
+        assert crash == "RuntimeError: kaboom at reduced scale"
+
+    def test_crash_after_clean_reductions_keeps_both(self):
+        scenario, config = _scenario(), AlgorithmConfig.make("pairwise")
+
+        def still_fails(candidate, candidate_config):
+            if candidate.num_nodes > 1:
+                return True  # normal shrink step
+            raise RuntimeError("only the single-node shape crashes")
+
+        minimal, _minimal_config, crash = shrink_scenario(scenario, config, still_fails)
+        assert minimal.num_nodes == 1
+        assert crash == "RuntimeError: only the single-node shape crashes"
+
+    def test_crash_detail_rendered_in_failure_report(self):
+        failure = FailureReport(
+            kind="mismatch", seed=7, digest="ab" * 16, algorithm="pairwise",
+            detail="wrong bytes", shrink_crash="RuntimeError: boom",
+        )
+        text = format_failure(failure)
+        assert "shrink crash" in text and "RuntimeError: boom" in text
+
+    def test_runner_records_shrink_crash_on_the_failure(self, monkeypatch):
+        import repro.verify.differential as differential
+
+        scenario = _scenario()
+        original_ranks = scenario.nprocs
+
+        def corrupting(*args, **kwargs):
+            outcome = real_run(*args, **kwargs)
+            np.asarray(outcome.job.results[0])[0] += 1
+            return outcome
+
+        real_run = differential.run_alltoall
+        monkeypatch.setattr(differential, "run_alltoall", corrupting)
+        # Reduced shapes crash *outside* check_configuration's try-block
+        # (scenario setup, before the runner is even called) — the path the
+        # old bare except swallowed.
+        real_process_map = Scenario.process_map
+
+        def crashing_process_map(self):
+            if self.nprocs < original_ranks:
+                raise RuntimeError("reduced scenario crashes the checker")
+            return real_process_map(self)
+
+        monkeypatch.setattr(Scenario, "process_map", crashing_process_map)
+        record = DifferentialRunner().verify(scenario)
+        assert not record.ok
+        failure = record.failures[0]
+        assert failure.kind == "mismatch"
+        # The crashing reduction was adopted as the reproducer and the
+        # crash itself was recorded on the report.
+        assert failure.minimal_payload is not None
+        assert failure.minimal_payload["num_nodes"] * failure.minimal_payload["ppn"] \
+            < original_ranks
+        assert failure.shrink_crash is not None
+        assert "reduced scenario crashes the checker" in failure.shrink_crash
+        assert "shrink crash" in format_failure(failure)
 
 
 class TestTimingSanity:
