@@ -47,7 +47,9 @@ __all__ = [
     "figure18",
     "figure_contention",
     "figure_link_utilisation",
+    "figure_robustness",
     "CONTENTION_FABRICS",
+    "ROBUSTNESS_FAULTS",
     "headline_speedup",
 ]
 
@@ -63,12 +65,12 @@ def _harness(
     default_cluster: Callable[[], Cluster] = dane,
     ppn: int | None,
     engine: str,
-    executor: SweepExecutor | None = None, engine_jobs: int = 1,
+    executor: SweepExecutor | None = None, engine_jobs: int = 1, faults=None,
 ) -> BenchmarkHarness:
     machine = cluster if cluster is not None else default_cluster()
     processes = ppn if ppn is not None else machine.cores_per_node
     return BenchmarkHarness(machine, processes, engine=engine, executor=executor,
-                            engine_jobs=engine_jobs)
+                            engine_jobs=engine_jobs, faults=faults)
 
 
 def _valid_groups(ppn: int) -> list[int]:
@@ -116,10 +118,10 @@ def table1() -> list[dict[str, str]]:
 # Figures 7-10: size sweeps on Dane, 32 nodes
 # ---------------------------------------------------------------------------
 
-def figure07(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1,
+def figure07(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1, faults=None,
              msg_sizes=PAPER_MESSAGE_SIZES, num_nodes: int | None = None) -> FigureResult:
     """Figure 7: hierarchical vs multi-leader (4/8/16 processes per leader), 32 nodes of Dane."""
-    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor, engine_jobs=engine_jobs)
+    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor, engine_jobs=engine_jobs, faults=faults)
     nodes = num_nodes or harness.cluster.num_nodes
     fig = FigureResult("fig07", "Hierarchical vs Multileader", "message size (bytes)",
                        configuration=harness.describe())
@@ -135,10 +137,10 @@ def figure07(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
     return fig
 
 
-def figure08(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1,
+def figure08(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1, faults=None,
              msg_sizes=PAPER_MESSAGE_SIZES, num_nodes: int | None = None) -> FigureResult:
     """Figure 8: node-aware vs locality-aware aggregation (4/8/16 processes per group)."""
-    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor, engine_jobs=engine_jobs)
+    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor, engine_jobs=engine_jobs, faults=faults)
     nodes = num_nodes or harness.cluster.num_nodes
     fig = FigureResult("fig08", "Node-Aware vs Locality-Aware", "message size (bytes)",
                        configuration=harness.describe())
@@ -154,10 +156,10 @@ def figure08(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
     return fig
 
 
-def figure09(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1,
+def figure09(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1, faults=None,
              msg_sizes=PAPER_MESSAGE_SIZES, num_nodes: int | None = None) -> FigureResult:
     """Figure 9: multi-leader + node-aware for 4/8/16 processes per leader, with its two limits."""
-    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor, engine_jobs=engine_jobs)
+    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor, engine_jobs=engine_jobs, faults=faults)
     nodes = num_nodes or harness.cluster.num_nodes
     fig = FigureResult("fig09", "Multileader + Locality", "message size (bytes)",
                        configuration=harness.describe())
@@ -200,10 +202,10 @@ def _all_algorithm_series(harness: BenchmarkHarness, fig: FigureResult, *, msg_s
             )
 
 
-def figure10(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1,
+def figure10(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1, faults=None,
              msg_sizes=PAPER_MESSAGE_SIZES, num_nodes: int | None = None) -> FigureResult:
     """Figure 10: all algorithms across message sizes on 32 nodes of Dane."""
-    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor, engine_jobs=engine_jobs)
+    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor, engine_jobs=engine_jobs, faults=faults)
     nodes = num_nodes or harness.cluster.num_nodes
     fig = FigureResult("fig10", "Various Sizes, 32 Nodes", "message size (bytes)",
                        configuration=harness.describe())
@@ -215,10 +217,10 @@ def figure10(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
 # Figures 11-12: node scaling
 # ---------------------------------------------------------------------------
 
-def figure11(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1,
+def figure11(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1, faults=None,
              node_counts=PAPER_NODE_COUNTS) -> FigureResult:
     """Figure 11: node scaling at 4 bytes per process pair."""
-    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor, engine_jobs=engine_jobs)
+    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor, engine_jobs=engine_jobs, faults=faults)
     fig = FigureResult("fig11", "Message Size: 4 bytes, Node Scaling", "nodes",
                        configuration=harness.describe())
     _all_algorithm_series(harness, fig, msg_sizes=None,
@@ -226,10 +228,10 @@ def figure11(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
     return fig
 
 
-def figure12(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1,
+def figure12(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1, faults=None,
              node_counts=PAPER_NODE_COUNTS) -> FigureResult:
     """Figure 12: node scaling at 4096 bytes per process pair."""
-    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor, engine_jobs=engine_jobs)
+    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor, engine_jobs=engine_jobs, faults=faults)
     fig = FigureResult("fig12", "Message Size: 4096 bytes, Node Scaling", "nodes",
                        configuration=harness.describe())
     _all_algorithm_series(harness, fig, msg_sizes=None,
@@ -241,10 +243,10 @@ def figure12(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
 # Figures 13-16: intra- vs inter-node breakdowns
 # ---------------------------------------------------------------------------
 
-def figure13(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1,
+def figure13(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1, faults=None,
              msg_sizes=PAPER_MESSAGE_SIZES, num_nodes: int | None = None) -> FigureResult:
     """Figure 13: hierarchical timing breakdown (gather, scatter, leader all-to-all)."""
-    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor, engine_jobs=engine_jobs)
+    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor, engine_jobs=engine_jobs, faults=faults)
     nodes = num_nodes or harness.cluster.num_nodes
     fig = FigureResult("fig13", "Hierarchical Timing Breakdown", "per-message size (bytes)",
                        configuration=harness.describe())
@@ -260,10 +262,10 @@ def figure13(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
     return fig
 
 
-def figure14(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1,
+def figure14(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1, faults=None,
              msg_sizes=PAPER_MESSAGE_SIZES, num_nodes: int | None = None) -> FigureResult:
     """Figure 14: node-aware timing breakdown (intra- vs inter-node all-to-all, both inner exchanges)."""
-    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor, engine_jobs=engine_jobs)
+    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor, engine_jobs=engine_jobs, faults=faults)
     nodes = num_nodes or harness.cluster.num_nodes
     fig = FigureResult("fig14", "Node-Aware Timing Breakdown", "per-message size (bytes)",
                        configuration=harness.describe())
@@ -277,10 +279,10 @@ def figure14(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
     return fig
 
 
-def figure15(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1,
+def figure15(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1, faults=None,
              node_counts=PAPER_NODE_COUNTS, msg_bytes: int = 4096) -> FigureResult:
     """Figure 15: node-aware breakdown versus node count at 4096 bytes (1024 integers)."""
-    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor, engine_jobs=engine_jobs)
+    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor, engine_jobs=engine_jobs, faults=faults)
     fig = FigureResult("fig15", "Node-Aware Breakdown, 4096 B, 2-32 Nodes", "nodes",
                        configuration=harness.describe())
     intra = DataSeries("Intra-Node Alltoall")
@@ -296,10 +298,10 @@ def figure15(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
     return fig
 
 
-def figure16(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1,
+def figure16(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1, faults=None,
              num_nodes: int | None = None, msg_bytes: int = 4096) -> FigureResult:
     """Figure 16: locality-aware breakdown versus group size (node-aware, 16, 8 and 4 PPG)."""
-    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor, engine_jobs=engine_jobs)
+    harness = _harness(cluster, ppn=ppn, engine=engine, executor=executor, engine_jobs=engine_jobs, faults=faults)
     nodes = num_nodes or harness.cluster.num_nodes
     fig = FigureResult("fig16", "Locality-Aware Breakdown vs Group Size", "group configuration",
                        configuration=harness.describe(),
@@ -326,9 +328,9 @@ def figure16(cluster: Cluster | None = None, *, ppn: int | None = None, engine: 
 def _best_algorithms_figure(figure_id: str, title: str, machine: Cluster, *, ppn: int | None,
                             engine: str, msg_sizes,
                             executor: SweepExecutor | None = None,
-                            engine_jobs: int = 1) -> FigureResult:
+                            engine_jobs: int = 1, faults=None) -> FigureResult:
     harness = BenchmarkHarness(machine, ppn if ppn is not None else machine.cores_per_node,
-                               engine=engine, executor=executor, engine_jobs=engine_jobs)
+                               engine=engine, executor=executor, engine_jobs=engine_jobs, faults=faults)
     group = _default_group(harness.ppn)
     fig = FigureResult(figure_id, title, "message size (bytes)", configuration=harness.describe())
     fig.add_series(harness.size_sweep("system-mpi", msg_sizes=msg_sizes, label="System MPI"))
@@ -340,22 +342,22 @@ def _best_algorithms_figure(figure_id: str, title: str, machine: Cluster, *, ppn
     return fig
 
 
-def figure17(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1,
+def figure17(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1, faults=None,
              msg_sizes=PAPER_MESSAGE_SIZES) -> FigureResult:
     """Figure 17: best algorithms vs system MPI on 32 nodes of Amber."""
     machine = cluster if cluster is not None else amber()
     return _best_algorithms_figure("fig17", "Amber, Various Sizes, 32 Nodes", machine,
                                    ppn=ppn, engine=engine, msg_sizes=msg_sizes, executor=executor,
-                                   engine_jobs=engine_jobs)
+                                   engine_jobs=engine_jobs, faults=faults)
 
 
-def figure18(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1,
+def figure18(cluster: Cluster | None = None, *, ppn: int | None = None, engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1, faults=None,
              msg_sizes=PAPER_MESSAGE_SIZES) -> FigureResult:
     """Figure 18: best algorithms vs system MPI on 32 nodes of Tuolomne."""
     machine = cluster if cluster is not None else tuolomne()
     return _best_algorithms_figure("fig18", "Tuolomne, Various Sizes, 32 Nodes", machine,
                                    ppn=ppn, engine=engine, msg_sizes=msg_sizes, executor=executor,
-                                   engine_jobs=engine_jobs)
+                                   engine_jobs=engine_jobs, faults=faults)
 
 
 # ---------------------------------------------------------------------------
@@ -373,7 +375,7 @@ CONTENTION_FABRICS = (
 
 
 def figure_contention(cluster: Cluster | None = None, *, ppn: int | None = None,
-                      engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1,
+                      engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1, faults=None,
                       msg_bytes: int = 256, num_nodes: int | None = None) -> FigureResult:
     """Link contention demo: a skewed MoE shuffle across the fabric ladder.
 
@@ -408,7 +410,7 @@ def figure_contention(cluster: Cluster | None = None, *, ppn: int | None = None,
         for index, (_fabric_label, spec) in enumerate(CONTENTION_FABRICS):
             machine = base.with_fabric(parse_fabric(spec))
             harness = BenchmarkHarness(machine, processes, engine=engine, executor=executor,
-                                       engine_jobs=engine_jobs)
+                                       engine_jobs=engine_jobs, faults=faults)
             point = harness.workload_point(algorithm, matrix, nodes, **options)
             series.add(index, point.seconds)
         fig.add_series(series)
@@ -416,7 +418,7 @@ def figure_contention(cluster: Cluster | None = None, *, ppn: int | None = None,
 
 
 def figure_link_utilisation(cluster: Cluster | None = None, *, ppn: int | None = None,
-                            engine: str = "simulate", executor: SweepExecutor | None = None, engine_jobs: int = 1,
+                            engine: str = "simulate", executor: SweepExecutor | None = None, engine_jobs: int = 1, faults=None,
                             msg_bytes: int = 256, num_nodes: int | None = None,
                             bins: int = 12,
                             fabric_spec: str = "dragonfly:hosts=1,routers=2,taper=8") -> FigureResult:
@@ -459,7 +461,7 @@ def figure_link_utilisation(cluster: Cluster | None = None, *, ppn: int | None =
         sink = RecordingSink()
         pmap = ProcessMap(machine, ppn=processes, num_nodes=nodes)
         outcome = run_workload(algorithm, pmap, matrix, validate=False,
-                               keep_job=False, sink=sink, engine_jobs=engine_jobs)
+                               keep_job=False, sink=sink, engine_jobs=engine_jobs, faults=faults)
         makespan = outcome.elapsed
         width = makespan / bins if makespan > 0.0 else 1.0
         busy = [0.0] * bins
@@ -480,16 +482,77 @@ def figure_link_utilisation(cluster: Cluster | None = None, *, ppn: int | None =
 
 
 # ---------------------------------------------------------------------------
+# Robustness demo (not a paper figure): fault-induced winner flip
+# ---------------------------------------------------------------------------
+
+#: The fault injected by the robustness figure: one dragonfly global link
+#: running at a quarter of its bandwidth and flapping on/off.
+ROBUSTNESS_FAULTS = "degraded-link:df-g0-1,0.25;flapping-link:df-g0-1,4e-6,0.5"
+
+
+def figure_robustness(cluster: Cluster | None = None, *, ppn: int | None = None,
+                      engine: str = "simulate", executor: SweepExecutor | None = None,
+                      engine_jobs: int = 1, faults=None,
+                      msg_bytes: int = 1024, num_nodes: int | None = None,
+                      fabric_spec: str = "dragonfly:hosts=1,routers=2,taper=2") -> FigureResult:
+    """Fault-induced winner flip: a skewed MoE shuffle on a degraded dragonfly.
+
+    Runs the flat exchanges against node-aware aggregation on the same
+    skewed workload twice — on the healthy dragonfly and with one global
+    link degraded (quarter bandwidth, flapping on/off).  Healthy, the flat
+    non-blocking exchange wins; on the degraded machine every message
+    crossing the sick link risks a stall until its next on-window, so
+    node-aware aggregation's far lower inter-node message count flips the
+    ranking.  An algorithm selection tuned on the healthy machine is wrong
+    on the degraded one — the operational argument for re-running the
+    ``select`` sweep under ``--faults``.
+
+    Always simulates regardless of ``engine`` (fault injection needs the
+    discrete-event machine); ``engine`` is accepted for registry
+    compatibility only.  A non-empty ``faults`` spec replaces the default
+    :data:`ROBUSTNESS_FAULTS` injection.
+    """
+    from repro.faults import parse_faults
+    from repro.netsim.fabric import parse_fabric
+    from repro.workloads import skewed_moe
+
+    base = cluster if cluster is not None else dane(4)
+    processes = ppn if ppn is not None else min(base.cores_per_node, 4)
+    nodes = num_nodes or base.num_nodes
+    machine = base.with_fabric(parse_fabric(fabric_spec))
+    matrix = skewed_moe(nodes * processes, msg_bytes, seed=0)
+    injected = faults if faults else parse_faults(ROBUSTNESS_FAULTS)
+    fig = FigureResult(
+        "robustness", "Fault-Induced Winner Flip", "machine state (0=healthy, 1=faulted)",
+        configuration=f"{base.name}, {nodes} nodes x {processes} ppn, "
+                      f"skewed-moe {msg_bytes} B, fabric={fabric_spec}",
+        notes="x = 0: healthy machine; x = 1: " + injected.describe(),
+    )
+    for label, algorithm in (("Nonblocking", "nonblocking"), ("Pairwise", "pairwise"),
+                             ("Node-Aware", "node-aware")):
+        series = DataSeries(label)
+        for index, spec in enumerate((None, injected)):
+            harness = BenchmarkHarness(machine, processes, engine="simulate",
+                                       executor=executor, engine_jobs=engine_jobs,
+                                       faults=spec)
+            point = harness.workload_point(algorithm, matrix, nodes)
+            series.add(index, point.seconds)
+        fig.add_series(series)
+    return fig
+
+
+# ---------------------------------------------------------------------------
 # Headline claim
 # ---------------------------------------------------------------------------
 
 def headline_speedup(cluster: Cluster | None = None, *, ppn: int | None = None,
-                     engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1,
+                     engine: str = "model", executor: SweepExecutor | None = None, engine_jobs: int = 1, faults=None,
                      msg_sizes=PAPER_MESSAGE_SIZES,
                      num_nodes: int | None = None) -> dict:
     """Section 1's headline: best speedup of the novel algorithms over system MPI at 32 nodes."""
     fig = figure10(cluster, ppn=ppn, engine=engine, executor=executor,
-                   engine_jobs=engine_jobs, msg_sizes=msg_sizes, num_nodes=num_nodes)
+                   engine_jobs=engine_jobs, faults=faults,
+                   msg_sizes=msg_sizes, num_nodes=num_nodes)
     speedups = {}
     for size in fig.xs():
         baseline = fig.get("System MPI").at(size).seconds
@@ -523,4 +586,5 @@ FIGURES: dict[str, Callable[..., FigureResult]] = {
     "fig18": figure18,
     "contention": figure_contention,
     "linkutil": figure_link_utilisation,
+    "robustness": figure_robustness,
 }

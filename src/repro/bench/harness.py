@@ -57,6 +57,7 @@ class BenchmarkHarness:
         repetitions: int = 1,
         executor=None,
         engine_jobs: int = 1,
+        faults=None,
     ) -> None:
         if engine not in _ENGINES:
             raise ConfigurationError(f"unknown engine {engine!r}; choose from {_ENGINES}")
@@ -64,6 +65,13 @@ class BenchmarkHarness:
             raise ConfigurationError("repetitions must be positive")
         if engine_jobs < 1:
             raise ConfigurationError(f"engine_jobs must be >= 1, got {engine_jobs}")
+        if faults is not None and not faults:
+            faults = None
+        if faults is not None and engine != "simulate":
+            raise ConfigurationError(
+                "fault injection requires the simulate engine "
+                f"(got engine={engine!r})"
+            )
         self.cluster = cluster
         self.ppn = ppn
         self.engine = engine
@@ -73,6 +81,9 @@ class BenchmarkHarness:
         #: Parallel-engine worker count per simulated point (bit-identical
         #: results at any value; excluded from cache identity).
         self.engine_jobs = engine_jobs
+        #: Optional :class:`repro.faults.FaultSpec` stamped on every spec
+        #: this harness builds (part of cache identity when non-empty).
+        self.faults = faults
 
     # -- configuration ------------------------------------------------------
     def describe(self) -> str:
@@ -98,7 +109,7 @@ class BenchmarkHarness:
         return PointSpec.for_alltoall(
             self.cluster, self.ppn, num_nodes, algorithm, msg_bytes,
             engine=self.engine, repetitions=self.repetitions, fold=fold,
-            engine_jobs=self.engine_jobs, **options,
+            engine_jobs=self.engine_jobs, faults=self.faults, **options,
         )
 
     def workload_spec(self, algorithm: str, matrix, num_nodes: int, *,
@@ -112,7 +123,7 @@ class BenchmarkHarness:
         return PointSpec.for_workload(
             self.cluster, self.ppn, num_nodes, algorithm, matrix,
             engine=self.engine, repetitions=self.repetitions, fold=fold,
-            engine_jobs=self.engine_jobs, **options,
+            engine_jobs=self.engine_jobs, faults=self.faults, **options,
         )
 
     # -- timing --------------------------------------------------------------
@@ -155,7 +166,8 @@ class BenchmarkHarness:
             return self._timed_min(
                 lambda: run_workload(
                     spec.algorithm, pmap, matrix, validate=False, keep_job=False,
-                    fold=spec.fold, engine_jobs=spec.engine_jobs, **options
+                    fold=spec.fold, engine_jobs=spec.engine_jobs, faults=spec.faults,
+                    **options
                 ),
                 spec.repetitions,
             )
@@ -165,7 +177,8 @@ class BenchmarkHarness:
         return self._timed_min(
             lambda: run_alltoall(
                 spec.algorithm, pmap, spec.msg_bytes, validate=False, keep_job=False,
-                fold=spec.fold, engine_jobs=spec.engine_jobs, **options
+                fold=spec.fold, engine_jobs=spec.engine_jobs, faults=spec.faults,
+                **options
             ),
             spec.repetitions,
         )

@@ -53,11 +53,12 @@ from repro.core.alltoall.valgorithms import list_v_algorithms
 from repro.core.runner import run_alltoall, run_workload
 from repro.core.selection import AlgorithmSelector, build_selection_table
 from repro.errors import ConfigurationError
+from repro.faults import parse_faults
 from repro.machine.process_map import ProcessMap
 from repro.machine.systems import SYSTEM_PRESETS, get_system, list_systems
 from repro.model.predict import WORKLOAD_MODELED_ALGORITHMS, predict_workload_time
 from repro.netsim.fabric import FullBisectionFabric, list_fabrics, parse_fabric
-from repro.runtime import ResultStore, SweepExecutor
+from repro.runtime import ResultStore, RetryPolicy, SweepExecutor
 from repro.runtime.executor import default_jobs
 from repro.workloads import list_patterns, load_trace, make_pattern
 
@@ -72,6 +73,17 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}") from None
     if value <= 0:
         raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """Argparse type for durations that must be strictly positive (timeouts)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {value}")
     return value
 
 
@@ -135,6 +147,16 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
                          help="report sweep progress on stderr as benchmark "
                               "points resolve (per point when serial, per "
                               "batch when parallel)")
+    runtime.add_argument("--point-timeout", type=_positive_float, default=None,
+                         metavar="SECONDS",
+                         help="wall-clock budget per benchmark point when running "
+                              "with a worker pool; a point past its deadline is "
+                              "retried and eventually quarantined")
+    runtime.add_argument("--point-retries", type=_positive_int, default=None,
+                         metavar="N",
+                         help="attempts per benchmark point before it is "
+                              "quarantined (default 3; failures are reported "
+                              "after the surviving points complete)")
 
 
 def _add_fabric_argument(parser: argparse.ArgumentParser) -> None:
@@ -165,6 +187,36 @@ def _fabric_from_args(args: argparse.Namespace):
     return spec
 
 
+def _add_faults_argument(parser: argparse.ArgumentParser) -> None:
+    """The deterministic fault-injection flag shared by the simulating subcommands."""
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="deterministic fault injection: ';'-separated clauses "
+             "'degraded-link:PATTERN,FACTOR', "
+             "'flapping-link:PATTERN,PERIOD,DUTY[,PHASE]', "
+             "'straggler:NODE,FACTOR', 'os-noise:AMPLITUDE' and 'seed:N' "
+             "(e.g. 'degraded-link:df-g*,0.25;os-noise:1e-6;seed:7'); "
+             "requires the simulate engine and fold=off",
+    )
+
+
+def _faults_from_args(args: argparse.Namespace):
+    """Parse the --faults flag (None when absent or empty).
+
+    An empty spec normalises to ``None`` so it behaves exactly like
+    omitting the flag — in particular the result-store cache keys are
+    the healthy keys.
+    """
+    text = getattr(args, "faults", None)
+    if text is None:
+        return None
+    try:
+        spec = parse_faults(text)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from exc
+    return spec if spec else None
+
+
 def _print_progress(done: int, total: int) -> None:
     print(f"[runtime] {done}/{total} point(s) resolved", file=sys.stderr, flush=True)
 
@@ -176,9 +228,15 @@ def _executor_from_args(args: argparse.Namespace) -> SweepExecutor | None:
     if args.cache_dir is not None and not args.no_cache:
         store = ResultStore(args.cache_dir)
     progress = getattr(args, "progress", False)
-    if jobs == 1 and store is None and not progress:
+    retry_kwargs = {}
+    if getattr(args, "point_retries", None) is not None:
+        retry_kwargs["max_attempts"] = args.point_retries
+    if getattr(args, "point_timeout", None) is not None:
+        retry_kwargs["timeout"] = args.point_timeout
+    retry = RetryPolicy(**retry_kwargs) if retry_kwargs else None
+    if jobs == 1 and store is None and not progress and retry is None:
         return None
-    executor = SweepExecutor(jobs, store=store)
+    executor = SweepExecutor(jobs, store=store, retry=retry)
     if progress:
         executor.progress = _print_progress
     return executor
@@ -225,6 +283,7 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--headline", action="store_true",
                          help="also print the headline speedup summary")
     _add_fabric_argument(figures)
+    _add_faults_argument(figures)
     _add_runtime_arguments(figures)
 
     run = sub.add_parser("run", help="simulate one all-to-all exchange")
@@ -245,6 +304,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "for the whole machine (exact for the uniform exchange; "
                           "required for paper-scale node counts)")
     _add_fabric_argument(run)
+    _add_faults_argument(run)
 
     select = sub.add_parser("select", help="print the algorithm selection table")
     select.add_argument("--system", default="dane", choices=list_systems())
@@ -258,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "measurement-driven table from simulator sweeps "
                              "(use small --nodes/--ppn)")
     _add_fabric_argument(select)
+    _add_faults_argument(select)
     _add_runtime_arguments(select)
 
     workload = sub.add_parser(
@@ -304,6 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--no-model", action="store_true",
                           help="skip the analytic-model comparison")
     _add_fabric_argument(workload)
+    _add_faults_argument(workload)
     _add_runtime_arguments(workload)
 
     verify = sub.add_parser(
@@ -332,6 +394,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="verify over fabric-enabled scenarios (adds the "
                              "incast/neighbor-shift shapes); same syntax as the "
                              "other subcommands' --fabric")
+    verify.add_argument("--faults", default=None, metavar="SPEC",
+                        help="inject faults into every differential run (same "
+                             "syntax as the other subcommands' --faults); faults "
+                             "perturb timings only, so verdicts and golden "
+                             "digests must stay unchanged")
 
     trace = sub.add_parser(
         "trace",
@@ -360,6 +427,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the run's metrics registry snapshot "
                             "as a JSON sidecar")
     _add_fabric_argument(trace)
+    _add_faults_argument(trace)
 
     perf = sub.add_parser(
         "perf", help="time the simulator hot path on the canonical job suite"
@@ -421,18 +489,25 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         raise SystemExit(
             "--fabric requires --system with --engine model (the cluster preset to modify)"
         )
+    faults = _faults_from_args(args)
+    if faults is not None and args.engine != "simulate":
+        raise SystemExit(
+            "--faults requires --engine simulate (the analytic model has no "
+            "machine to degrade)"
+        )
     cluster = get_system(system, nodes, fabric=fabric) if system is not None else None
     executor = _executor_from_args(args)
     try:
         for figure_id in selected:
             producer = FIGURES[figure_id]
             figure = producer(cluster, ppn=ppn, engine=args.engine, executor=executor,
-                              engine_jobs=args.engine_jobs)
+                              engine_jobs=args.engine_jobs, faults=faults)
             print(to_csv(figure) if args.csv else format_figure(figure))
             print()
         if args.headline:
             print(format_speedup_summary(
-                headline_speedup(executor=executor, engine_jobs=args.engine_jobs)))
+                headline_speedup(executor=executor, engine_jobs=args.engine_jobs,
+                                 faults=faults)))
     finally:
         _finish_executor(executor)
     return 0
@@ -463,7 +538,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     pmap = ProcessMap(cluster, ppn=args.ppn, num_nodes=nodes)
     try:
         outcome = run_alltoall(args.algorithm, pmap, args.msg_bytes, fold=fold,
-                               engine_jobs=args.engine_jobs, **_algorithm_options(args))
+                               engine_jobs=args.engine_jobs,
+                               faults=_faults_from_args(args),
+                               **_algorithm_options(args))
     except ConfigurationError as exc:
         raise SystemExit(str(exc)) from exc
     print(outcome.summary())
@@ -477,13 +554,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_select(args: argparse.Namespace) -> int:
     cluster = get_system(args.system, args.nodes, fabric=_fabric_from_args(args))
     ppn = args.ppn if args.ppn is not None else cluster.cores_per_node
+    faults = _faults_from_args(args)
+    if faults is not None and args.engine != "simulate":
+        raise SystemExit(
+            "--faults requires --engine simulate (the analytic model has no "
+            "machine to degrade)"
+        )
     executor = _executor_from_args(args)
     try:
         if args.engine == "simulate":
             table = build_selection_table(cluster, ppn, node_counts=[args.nodes],
                                           msg_sizes=args.sizes, engine="simulate",
                                           executor=executor,
-                                          engine_jobs=args.engine_jobs)
+                                          engine_jobs=args.engine_jobs,
+                                          faults=faults)
             mapping = {size: table.best(args.nodes, size) for size in args.sizes}
             flavour = " [measured, simulate engine]"
         else:
@@ -562,6 +646,7 @@ def _cmd_workload(args: argparse.Namespace) -> int:
 
     print(f"Workload: {matrix.describe()}")
     print(f"Machine:  {pmap.describe()}")
+    faults = _faults_from_args(args)
     executor = _executor_from_args(args)
     if executor is not None and executor.store is None:
         # A single workload point gains nothing from a worker pool; keep the
@@ -577,7 +662,8 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         try:
             harness = BenchmarkHarness(cluster, args.ppn, engine="simulate",
                                        executor=executor,
-                                       engine_jobs=args.engine_jobs)
+                                       engine_jobs=args.engine_jobs,
+                                       faults=faults)
             point = harness.workload_point(args.algorithm, matrix, args.nodes, **options)
         except ConfigurationError as exc:
             raise SystemExit(str(exc)) from exc
@@ -593,7 +679,8 @@ def _cmd_workload(args: argparse.Namespace) -> int:
 
     try:
         outcome = run_workload(args.algorithm, pmap, matrix, fold=args.fold,
-                               engine_jobs=args.engine_jobs, **options)
+                               engine_jobs=args.engine_jobs, faults=faults,
+                               **options)
     except ConfigurationError as exc:
         raise SystemExit(str(exc)) from exc
     if outcome.fold is not None:
@@ -619,9 +706,12 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     jobs = args.jobs if args.jobs != 0 else default_jobs()
 
     fabric = _fabric_from_args(args)
-    # Trailing optional task slots (see verify_task): fabric, then engine_jobs.
-    if args.engine_jobs != 1:
-        extra: tuple = (fabric, args.engine_jobs)
+    faults = _faults_from_args(args)
+    # Trailing optional task slots (see verify_task): fabric, engine_jobs, faults.
+    if faults is not None:
+        extra: tuple = (fabric, args.engine_jobs, faults)
+    elif args.engine_jobs != 1:
+        extra = (fabric, args.engine_jobs)
     elif fabric is not None:
         extra = (fabric,)
     else:
@@ -675,6 +765,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     cluster = get_system(args.system, args.nodes, fabric=_fabric_from_args(args))
     pmap = ProcessMap(cluster, ppn=args.ppn, num_nodes=args.nodes)
+    faults = _faults_from_args(args)
     sink = RecordingSink()
     try:
         if args.pattern is not None:
@@ -690,10 +781,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                 options["procs_per_group"] = args.group_size
             pattern_options = {"seed": args.seed} if args.pattern in _SEEDED_PATTERNS else {}
             matrix = make_pattern(args.pattern, pmap.nprocs, args.msg_bytes, **pattern_options)
-            outcome = run_workload(args.algorithm, pmap, matrix, sink=sink, **options)
+            outcome = run_workload(args.algorithm, pmap, matrix, sink=sink,
+                                   faults=faults, **options)
         else:
             outcome = run_alltoall(args.algorithm, pmap, args.msg_bytes, sink=sink,
-                                   **_algorithm_options(args))
+                                   faults=faults, **_algorithm_options(args))
     except ConfigurationError as exc:
         raise SystemExit(str(exc)) from exc
 
@@ -705,6 +797,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         configuration += f", pattern={args.pattern}"
     if args.fabric is not None:
         configuration += f", fabric={args.fabric}"
+    if faults is not None:
+        configuration += f", faults={faults.describe()}"
 
     write_chrome_trace(args.out, sink, configuration=configuration)
     summary = validate_chrome_trace(Path(args.out))

@@ -180,6 +180,7 @@ def run_alltoall(
     keep_job: bool = True,
     fold: str = "off",
     engine_jobs: int = 1,
+    faults=None,
     **algorithm_options: Any,
 ) -> AlltoallOutcome:
     """Simulate one all-to-all exchange and return its :class:`AlltoallOutcome`.
@@ -216,11 +217,24 @@ def run_alltoall(
         (:mod:`repro.simmpi.parallel`).  ``1`` (default) runs the serial
         engine; any value yields bit-identical simulated timings, so this
         knob is excluded from cache identity.
+    faults:
+        Optional :class:`repro.faults.FaultSpec` injecting deterministic
+        machine degradations (degraded/flapping links, stragglers, OS
+        noise).  Empty/``None`` is bit-identical to a fault-free build;
+        incompatible with folding (faults break node-rotation symmetry).
     algorithm_options:
         Forwarded to the algorithm constructor when ``algorithm`` is a name.
     """
     if msg_bytes <= 0:
         raise ConfigurationError(f"msg_bytes must be positive, got {msg_bytes}")
+    if faults is not None and not faults:
+        faults = None
+    if faults is not None and fold != "off":
+        raise ConfigurationError(
+            "fault injection is incompatible with symmetry folding "
+            f"(fold={fold!r}): faults break the node-rotation symmetry the "
+            "fold relies on; run with fold='off'"
+        )
     itemsize = np.dtype(dtype).itemsize
     if msg_bytes % itemsize != 0:
         raise ConfigurationError(
@@ -235,7 +249,8 @@ def run_alltoall(
     algo.validate(pmap)
 
     job = run_spmd(pmap, alltoall_program, algo, block_items, np.dtype(dtype),
-                   record_trace=record_trace, sink=sink, engine_jobs=engine_jobs)
+                   record_trace=record_trace, sink=sink, engine_jobs=engine_jobs,
+                   faults=faults)
 
     correct = True
     if validate:
@@ -348,6 +363,7 @@ def run_workload(
     keep_job: bool = True,
     fold: str = "off",
     engine_jobs: int = 1,
+    faults=None,
     **algorithm_options: Any,
 ) -> WorkloadOutcome:
     """Simulate one non-uniform exchange and return its :class:`WorkloadOutcome`.
@@ -381,12 +397,23 @@ def run_workload(
     engine_jobs:
         Parallel-engine worker count (see :func:`run_alltoall`); any value
         produces bit-identical simulated timings.
+    faults:
+        Optional :class:`repro.faults.FaultSpec` (see :func:`run_alltoall`);
+        incompatible with folding.
     algorithm_options:
         Forwarded to the algorithm constructor when ``algorithm`` is a name
         (e.g. ``procs_per_group=4``, ``inner="nonblocking"``).
     """
     if isinstance(matrix, np.ndarray):
         matrix = TrafficMatrix(matrix)
+    if faults is not None and not faults:
+        faults = None
+    if faults is not None and fold != "off":
+        raise ConfigurationError(
+            "fault injection is incompatible with symmetry folding "
+            f"(fold={fold!r}): faults break the node-rotation symmetry the "
+            "fold relies on; run with fold='off'"
+        )
     if matrix.nprocs != pmap.nprocs:
         raise ConfigurationError(
             f"traffic matrix describes {matrix.nprocs} ranks but the process map "
@@ -406,7 +433,8 @@ def run_workload(
     algo.validate(pmap, counts)
 
     job = run_spmd(pmap, workload_program, algo, counts, np.dtype(dtype),
-                   record_trace=record_trace, sink=sink, engine_jobs=engine_jobs)
+                   record_trace=record_trace, sink=sink, engine_jobs=engine_jobs,
+                   faults=faults)
 
     correct = True
     if validate:

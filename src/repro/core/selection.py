@@ -169,6 +169,7 @@ def build_selection_table(
     repetitions: int = 1,
     executor: SweepExecutor | None = None,
     engine_jobs: int = 1,
+    faults=None,
 ) -> SelectionTable:
     """Build a measurement-driven :class:`SelectionTable` from a benchmark sweep.
 
@@ -178,6 +179,10 @@ def build_selection_table(
     parallelizes it across a process pool and serves repeated builds from
     its result store.  The table records the fastest candidate per
     (node count, size), exactly as an MPI tuning file would.
+
+    ``faults`` (a :class:`repro.faults.FaultSpec`) injects deterministic
+    faults into every simulated point, building the tuning table of the
+    degraded machine instead of the healthy one.
     """
     from repro.bench.harness import BenchmarkHarness  # local import to avoid a cycle
 
@@ -185,7 +190,8 @@ def build_selection_table(
     if not chosen:
         raise ConfigurationError("the selection sweep needs at least one candidate")
     harness = BenchmarkHarness(cluster, ppn, engine=engine, repetitions=repetitions,
-                               executor=executor, engine_jobs=engine_jobs)
+                               executor=executor, engine_jobs=engine_jobs,
+                               faults=faults)
     points: list[tuple[int, int, CandidateConfig]] = [
         (nodes, size, candidate)
         for nodes in node_counts

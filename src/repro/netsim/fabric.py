@@ -73,10 +73,15 @@ class _Link:
     the queueing delay messages spent waiting behind earlier traffic —
     ``queued_time`` is the link's time-at-saturation proxy and
     ``max_queue_delay`` its worst single-message stall.
+
+    ``flap`` is ``None`` on a healthy link; fault injection
+    (:mod:`repro.faults.apply`) installs a ``(period, on_window, phase)``
+    tuple that :meth:`FabricState.traverse` honours by stalling messages
+    whose transmission would begin in an off-window.
     """
 
     __slots__ = ("name", "byte_time", "hop_overhead", "resource",
-                 "bytes_moved", "queued_time", "max_queue_delay")
+                 "bytes_moved", "queued_time", "max_queue_delay", "flap")
 
     def __init__(self, name: str, bandwidth: float, hop_overhead: float) -> None:
         if bandwidth <= 0.0:
@@ -90,6 +95,7 @@ class _Link:
         self.bytes_moved = 0
         self.queued_time = 0.0
         self.max_queue_delay = 0.0
+        self.flap = None
 
 
 class FabricState:
@@ -154,7 +160,11 @@ class FabricState:
         unchanged for an empty route).  Each hop applies the
         :class:`~repro.netsim.resources.SerialResource` discipline inline:
         begin no earlier than the link frees up, occupy it for
-        ``hop_overhead + nbytes * byte_time``.
+        ``hop_overhead + nbytes * byte_time``.  A flapping link
+        additionally stalls the message to the start of the next on-window
+        (only the start must fall inside a window, so large messages still
+        make progress); the stall lands in ``queued_time`` like any other
+        wait.
         """
         t = start
         sink = self.sink
@@ -163,6 +173,16 @@ class FabricState:
             resource = link.resource
             available = resource.available_at
             begin = t if t >= available else available
+            flap = link.flap
+            if flap is not None:
+                period, on_window, phase = flap
+                position = (begin - phase) % period
+                if position >= on_window:
+                    stalled = begin + (period - position)
+                    if sink is not None:
+                        sink.fault("flap-stall", link.name, begin, stalled,
+                                   f"{nbytes} B held for the next on-window")
+                    begin = stalled
             end = begin + occupancy
             resource.available_at = end
             resource.busy_time += occupancy

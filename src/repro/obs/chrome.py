@@ -10,7 +10,10 @@ and in ``chrome://tracing``:
 * **one track per fabric link** (process ``"fabric links"``) carrying one
   slice per message traversal, with the queueing delay behind earlier
   traffic in the slice arguments;
-* **one track per NIC** (process ``"nics"``) carrying injection slices.
+* **one track per NIC** (process ``"nics"``) carrying injection slices;
+* **one track per fault target** (process ``"faults"``, only present when
+  fault injection is active) carrying the t=0 fault manifest instants and
+  ``flap-stall`` spans.
 
 Timestamps are simulated seconds converted to trace microseconds, so a
 10 µs simulated collective renders as a 10 µs timeline.  Durations of
@@ -27,10 +30,11 @@ from repro.obs.sink import RecordingSink
 
 __all__ = ["chrome_trace_events", "chrome_trace", "write_chrome_trace"]
 
-#: Synthetic process ids of the three track families.
+#: Synthetic process ids of the four track families.
 PID_RANKS = 1
 PID_LINKS = 2
 PID_NICS = 3
+PID_FAULTS = 4
 
 _SECONDS_TO_US = 1e6
 #: Minimum slice duration in trace µs (one simulated picosecond) so that
@@ -87,6 +91,14 @@ def chrome_trace_events(sink: RecordingSink) -> list[dict]:
     ranks_seen: set[int] = set()
     link_tids: dict[str, int] = {}
     nics_seen: set[int] = set()
+    fault_tids: dict[str, int] = {}
+
+    def fault_tid(target: str) -> int:
+        tid = fault_tids.get(target)
+        if tid is None:
+            tid = len(fault_tids)
+            fault_tids[target] = tid
+        return tid
 
     def rank_tid(rank: int) -> int:
         ranks_seen.add(rank)
@@ -139,6 +151,16 @@ def chrome_trace_events(sink: RecordingSink) -> list[dict]:
                                  PID_LINKS, link_tid(name), begin, end,
                                  {"bytes": nbytes,
                                   "queued_us": (begin - requested) * _SECONDS_TO_US}))
+        elif kind == "fault":
+            _, fault_kind, target, start, stop, detail = event
+            if stop > start:
+                events.append(_slice(fault_kind, "fault", PID_FAULTS,
+                                     fault_tid(target), start, stop,
+                                     {"detail": detail}))
+            else:
+                events.append(_instant(fault_kind, "fault", PID_FAULTS,
+                                       fault_tid(target), start,
+                                       {"detail": detail}))
 
     metadata: list[dict] = [
         _metadata("process_name", PID_RANKS, 0, "ranks"),
@@ -154,6 +176,10 @@ def chrome_trace_events(sink: RecordingSink) -> list[dict]:
         metadata.append(_metadata("process_name", PID_NICS, 0, "nics"))
         for node in sorted(nics_seen):
             metadata.append(_metadata("thread_name", PID_NICS, node, f"nic node{node}"))
+    if fault_tids:
+        metadata.append(_metadata("process_name", PID_FAULTS, 0, "faults"))
+        for target, tid in sorted(fault_tids.items(), key=lambda item: item[1]):
+            metadata.append(_metadata("thread_name", PID_FAULTS, tid, target))
     return metadata + events
 
 

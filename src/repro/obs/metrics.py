@@ -241,4 +241,12 @@ def build_job_metrics(engine) -> dict:
             events.observe(count)
         registry.counter("engine.cross_partition_wakeups", engine.cross_notifications)
 
+    # Fault-injection surface (absent on healthy runs): how many fault
+    # models were active, so a metrics sidecar always records whether its
+    # timings describe the healthy or a degraded machine.
+    faults = getattr(engine, "faults", None)
+    if faults is not None:
+        registry.counter("faults.active", len(faults.faults))
+        registry.gauge("faults.seed").set(faults.seed)
+
     return registry.snapshot()

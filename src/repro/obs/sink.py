@@ -80,6 +80,18 @@ class EventSink:
         on the shared link — the contention the fabric model exists for.
         """
 
+    # -- fault injection ---------------------------------------------------
+    def fault(self, kind: str, target: str, start: float, stop: float,
+              detail: str) -> None:
+        """A fault-injection event on ``target`` (a link name, ``nodeN``, or
+        ``all-ranks``).
+
+        At job start each active fault model announces itself with
+        ``start == stop == 0.0``; during the run a flapping link emits a
+        ``flap-stall`` span covering the time a message was held for the
+        next on-window.
+        """
+
 
 #: Shared no-op instance for "explicitly discard" call sites.
 NULL_SINK = EventSink()
@@ -90,8 +102,9 @@ class RecordingSink(EventSink):
 
     The first element of each tuple is the event kind (``"phase"``,
     ``"wait"``, ``"send"``, ``"recv"``, ``"match"``, ``"park"``, ``"nic"``,
-    ``"link"``); the remaining elements are the callback arguments in
-    declaration order.  Tuples keep recording cheap and make the stream
+    ``"link"``, ``"fault"``); the remaining elements are the callback
+    arguments in declaration order.  Tuples keep recording cheap and make
+    the stream
     trivially filterable (``sink.of_kind("link")``).
     """
 
@@ -126,6 +139,10 @@ class RecordingSink(EventSink):
 
     def link(self, name, requested, begin, end, nbytes, src_node, dst_node):
         self.events.append(("link", name, requested, begin, end, nbytes, src_node, dst_node))
+
+    # -- fault injection ---------------------------------------------------
+    def fault(self, kind, target, start, stop, detail):
+        self.events.append(("fault", kind, target, start, stop, detail))
 
     # -- queries -----------------------------------------------------------
     def of_kind(self, kind: str) -> list[tuple]:

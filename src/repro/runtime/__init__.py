@@ -12,21 +12,34 @@ embarrassingly parallel.  This package provides the plumbing:
   mapping a spec to a :class:`~repro.bench.datasets.TimedPoint`, safe for
   ``multiprocessing`` spawn;
 * :class:`~repro.runtime.executor.SweepExecutor` — fans specs out over a
-  process pool (``jobs=1`` falls back to in-process execution) with
-  deterministic, input-ordered results;
+  *self-healing* process pool (``jobs=1`` falls back to in-process
+  execution) with deterministic, input-ordered results: per-task dispatch,
+  per-point timeouts and retries (:class:`~repro.runtime.executor.RetryPolicy`),
+  pool respawn on dead workers, and quarantine of points that fail every
+  attempt (:class:`~repro.runtime.executor.FailedPoint`, reported via
+  :class:`~repro.runtime.executor.SweepFailure` once the survivors landed);
 * :class:`~repro.runtime.store.ResultStore` — JSON cache keyed by the
   stable spec hash, so repeated sweeps skip already-simulated points.
 """
 
-from repro.runtime.executor import SweepExecutor, execute
+from repro.runtime.executor import (
+    FailedPoint,
+    RetryPolicy,
+    SweepExecutor,
+    SweepFailure,
+    execute,
+)
 from repro.runtime.spec import PointSpec, cluster_from_payload, cluster_payload
 from repro.runtime.store import ResultStore
 from repro.runtime.worker import run_point
 
 __all__ = [
+    "FailedPoint",
     "PointSpec",
     "ResultStore",
+    "RetryPolicy",
     "SweepExecutor",
+    "SweepFailure",
     "cluster_from_payload",
     "cluster_payload",
     "execute",

@@ -1,21 +1,36 @@
-"""Process-pool executor for benchmark point sweeps.
+"""Self-healing process-pool executor for benchmark point sweeps.
 
 A :class:`SweepExecutor` maps :class:`PointSpec` batches to
-:class:`TimedPoint` results with three guarantees:
+:class:`TimedPoint` results with four guarantees:
 
 * **deterministic ordering** — results come back in input order whatever
-  the worker scheduling (``Pool.map`` semantics; the serial path trivially
-  preserves order), so parallel sweeps are byte-identical to serial ones;
+  the worker scheduling (tasks carry their input index and are reassembled
+  by it), so parallel sweeps are byte-identical to serial ones;
 * **serial fallback** — ``jobs=1`` executes in-process with no pool, no
   pickling and no extra interpreters (the default everywhere, keeping
   library behaviour unchanged unless parallelism is requested);
 * **transparent caching** — with a :class:`ResultStore` attached, cached
-  points are served from disk and only the misses are executed (then
-  written back), with duplicate specs inside one batch computed once.
+  points are served from disk and only the misses are executed, each one
+  written back *as it lands* (a crash mid-sweep loses at most the points
+  still in flight), with duplicate specs inside one batch computed once;
+* **self-healing execution** — every task is dispatched individually with
+  a per-task wall-clock deadline (:class:`RetryPolicy`); crashed or
+  timed-out tasks are retried with exponential backoff, a dead pool is
+  respawned (``BrokenPipeError`` / SIGKILLed workers), and tasks that
+  exhaust every attempt are quarantined into :class:`FailedPoint` records
+  instead of sinking the batch.  The sweep always completes; quarantined
+  points are reported in :meth:`SweepExecutor.stats_line` and raised as a
+  :class:`SweepFailure` *after* every survivor has been computed (and
+  cached).  If the pool cannot be rebuilt at all, execution degrades to
+  the serial in-process path.
 
 The pool is created lazily on the first parallel batch and reused until
 :meth:`close`, so one executor can serve a whole figure's worth of sweeps
-without paying repeated worker start-up costs.
+without paying repeated worker start-up costs.  Timeouts are the *only*
+mechanism that detects a SIGKILLed worker: ``multiprocessing.Pool``
+respawns the process but the in-flight task's ``AsyncResult`` never
+completes, so without a :attr:`RetryPolicy.timeout` such a task would hang
+the sweep forever (see docs/FAULTS.md).
 """
 
 from __future__ import annotations
@@ -23,9 +38,12 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+from collections import deque
+from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
 from repro.runtime.spec import PointSpec
 from repro.runtime.store import ResultStore
 from repro.runtime.worker import run_point
@@ -34,26 +52,111 @@ from repro.utils.logging import get_logger
 if TYPE_CHECKING:  # pragma: no cover - runtime must not import bench at module scope
     from repro.bench.datasets import TimedPoint
 
-__all__ = ["SweepExecutor", "execute"]
+__all__ = ["FailedPoint", "RetryPolicy", "SweepExecutor", "SweepFailure", "execute"]
 
 _log = get_logger("runtime.executor")
 
+#: Poll interval of the dispatch loop (seconds).  Short enough that a
+#: timed-out task is detected promptly, long enough to stay invisible next
+#: to any real simulation work.
+_POLL_SECONDS = 0.005
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry and timeout policy of the resilient task engine.
+
+    ``max_attempts`` counts the first try: 3 means one try plus two
+    retries.  ``timeout`` is the per-task wall-clock deadline in seconds,
+    measured from dispatch (``None`` disables deadlines — then a SIGKILLed
+    worker's task can hang a sweep, see the module docstring).  Retry
+    ``k`` waits ``backoff * backoff_factor**(k-1)`` seconds first.
+    """
+
+    max_attempts: int = 3
+    timeout: float | None = None
+    backoff: float = 0.25
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigurationError(f"timeout must be positive, got {self.timeout}")
+        if self.backoff < 0:
+            raise ConfigurationError(f"backoff must be >= 0, got {self.backoff}")
+        if self.backoff_factor < 1:
+            raise ConfigurationError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+
+    def delay_before(self, attempt: int) -> float:
+        """Backoff before ``attempt`` (attempt 2 is the first retry)."""
+        if attempt <= 2:
+            return self.backoff
+        return self.backoff * self.backoff_factor ** (attempt - 2)
+
+
+@dataclass
+class FailedPoint:
+    """One task that exhausted every attempt and was quarantined.
+
+    ``index`` is the task's position in the batch handed to
+    :meth:`SweepExecutor.run_tasks`; ``task`` is the task value itself
+    (a :class:`PointSpec` for :meth:`SweepExecutor.run` batches).
+    """
+
+    index: int
+    task: object
+    attempts: int
+    error: str
+
+    def describe(self) -> str:
+        what = self.task.describe() if isinstance(self.task, PointSpec) else repr(self.task)
+        return f"task {self.index} ({what}): {self.error} after {self.attempts} attempt(s)"
+
+
+class SweepFailure(ReproError):
+    """A sweep finished with quarantined points.
+
+    Raised only *after* the sweep ran to completion: every healthy point
+    was computed (and written to the result store when one is attached),
+    so a rerun serves the survivors from cache and retries only the
+    quarantined points.  ``failures`` holds the :class:`FailedPoint`
+    records.
+    """
+
+    def __init__(self, failures: Sequence[FailedPoint], total: int) -> None:
+        self.failures = list(failures)
+        self.total = total
+        lines = "; ".join(f.describe() for f in self.failures)
+        super().__init__(
+            f"{len(self.failures)} of {total} point(s) quarantined after retries: {lines}"
+        )
+
 
 class SweepExecutor:
-    """Fan benchmark point specs out over a process pool, with optional caching."""
+    """Fan benchmark point specs out over a self-healing process pool."""
 
     def __init__(self, jobs: int = 1, *, store: ResultStore | None = None,
-                 mp_context: str = "spawn") -> None:
+                 mp_context: str = "spawn", retry: RetryPolicy | None = None) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.store = store
         self.mp_context = mp_context
+        #: Retry/timeout policy for every parallel task (see :class:`RetryPolicy`).
+        self.retry = retry if retry is not None else RetryPolicy()
         self._pool = None
+        #: Set once the pool could not be (re)built: execution degrades to
+        #: the serial in-process path for the rest of the executor's life.
+        self._pool_broken = False
         #: Points actually executed (cache misses included), cumulative.
         self.executed_points = 0
         #: Points served from the result store, cumulative.
         self.cached_points = 0
+        #: Points quarantined after exhausting every attempt, cumulative.
+        self.failed_points = 0
+        #: Worker-pool respawns after a dead/broken pool, cumulative.
+        self.pool_respawns = 0
         #: Wall-clock seconds spent inside :meth:`run`, cumulative, and the
         #: number of sweeps (batches) served — the harness's own span timing.
         self.wall_seconds = 0.0
@@ -69,22 +172,203 @@ class SweepExecutor:
             self._pool = ctx.Pool(processes=self.jobs)
         return self._pool
 
-    def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+    def _respawn_pool(self):
+        """Tear the (possibly dead) pool down and build a fresh one.
+
+        Returns the new pool, or ``None`` when the rebuild itself fails —
+        the executor then degrades to serial execution permanently.
+        """
         if self._pool is not None:
-            self._pool.terminate()
+            try:
+                self._pool.terminate()
+                self._pool.join()
+            except Exception:  # the pool is already in an arbitrary state
+                pass
+            self._pool = None
+        try:
+            pool = self._ensure_pool()
+        except Exception as exc:
+            _log.warning("could not rebuild the worker pool (%s); degrading to serial execution", exc)
+            self._pool_broken = True
+            return None
+        self.pool_respawns += 1
+        _log.info("worker pool respawned (%d so far)", self.pool_respawns)
+        return pool
+
+    def close(self, *, force: bool = False) -> None:
+        """Shut the worker pool down (idempotent).
+
+        Normal shutdown is graceful — ``Pool.close()`` + ``join()`` lets
+        in-flight workers finish (a ``terminate()`` here could kill one
+        mid-``ResultStore.put``; the store's atomic writes make that safe
+        but the computed point would still be lost).  ``force=True`` is the
+        exception path: terminate immediately without draining.
+        """
+        if self._pool is not None:
+            if force:
+                self._pool.terminate()
+            else:
+                self._pool.close()
             self._pool.join()
             self._pool = None
 
     def __enter__(self) -> "SweepExecutor":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, *exc_info) -> None:
+        self.close(force=exc_type is not None)
+
+    # -- resilient task engine ------------------------------------------------
+    def run_tasks(self, func, tasks: Sequence, *,
+                  on_result: Callable[[int, object], None] | None = None,
+                  on_failure: Callable[[int, FailedPoint], None] | None = None,
+                  ) -> tuple[list, list[FailedPoint]]:
+        """Resilient generic fan-out: ``(results, failures)`` in input order.
+
+        ``results[i]`` is ``func(tasks[i])``, or ``None`` when the task was
+        quarantined (its :class:`FailedPoint` is in ``failures``).
+        ``on_result(index, value)`` / ``on_failure(index, failure)`` fire as
+        each task lands, whatever the completion order.
+
+        The serial path (``jobs=1``, single task, or a broken pool) gives
+        each task exactly one attempt: in-process execution is
+        deterministic, so a failure would only repeat — the retry budget
+        exists for the nondeterministic failures of the pool path (crashed
+        workers, timeouts, dead pipes).
+        """
+        tasks = list(tasks)
+        results: list = [None] * len(tasks)
+        failures: list[FailedPoint] = []
+        if not tasks:
+            return results, failures
+        if self.jobs == 1 or len(tasks) == 1 or self._pool_broken:
+            self._run_serial(func, tasks, range(len(tasks)), results, failures,
+                             on_result, on_failure)
+            return results, failures
+        try:
+            pool = self._ensure_pool()
+        except Exception as exc:
+            _log.warning("could not start the worker pool (%s); running serially", exc)
+            self._pool_broken = True
+            self._run_serial(func, tasks, range(len(tasks)), results, failures,
+                             on_result, on_failure)
+            return results, failures
+        self._run_pool(pool, func, tasks, results, failures, on_result, on_failure)
+        return results, failures
+
+    def _run_serial(self, func, tasks, indices, results, failures,
+                    on_result, on_failure) -> None:
+        for index in indices:
+            try:
+                value = func(tasks[index])
+            except Exception as exc:
+                failure = FailedPoint(index=index, task=tasks[index], attempts=1,
+                                      error=f"{type(exc).__name__}: {exc}")
+                failures.append(failure)
+                _log.warning("quarantined %s", failure.describe())
+                if on_failure is not None:
+                    on_failure(index, failure)
+                continue
+            results[index] = value
+            if on_result is not None:
+                on_result(index, value)
+
+    def _run_pool(self, pool, func, tasks, results, failures,
+                  on_result, on_failure) -> None:
+        retry = self.retry
+        timeout = retry.timeout
+        ready: deque[tuple[int, int]] = deque((i, 1) for i in range(len(tasks)))
+        delayed: list[tuple[float, int, int]] = []  # (ready_at, index, attempt) min-heap
+        inflight: dict[int, tuple] = {}  # index -> (AsyncResult, deadline, attempt)
+
+        def settle(index: int, attempt: int, error: str) -> None:
+            if attempt >= retry.max_attempts:
+                failure = FailedPoint(index=index, task=tasks[index],
+                                      attempts=attempt, error=error)
+                failures.append(failure)
+                _log.warning("quarantined %s", failure.describe())
+                if on_failure is not None:
+                    on_failure(index, failure)
+            else:
+                delay = retry.delay_before(attempt + 1)
+                _log.info("task %d attempt %d failed (%s); retrying in %.2fs",
+                          index, attempt, error, delay)
+                heappush(delayed, (time.monotonic() + delay, index, attempt + 1))
+
+        while ready or delayed or inflight:
+            now = time.monotonic()
+            while delayed and delayed[0][0] <= now:
+                _, index, attempt = heappop(delayed)
+                ready.append((index, attempt))
+
+            # Dispatch at most one in-flight task per worker so each
+            # deadline clocks actual execution, not time queued inside the
+            # pool (Pool-internal queuing would expire deadlines spuriously).
+            while ready and len(inflight) < self.jobs:
+                index, attempt = ready.popleft()
+                try:
+                    handle = pool.apply_async(func, (tasks[index],))
+                except Exception as exc:
+                    # The pool itself is gone (result handler dead, pipes
+                    # closed).  Everything in flight belongs to the dead
+                    # pool and will never complete: fold it back in and
+                    # respawn; if that fails, drain serially.
+                    _log.warning("worker pool died at dispatch (%s: %s)",
+                                 type(exc).__name__, exc)
+                    ready.appendleft((index, attempt))
+                    for lost, (_, _, lost_attempt) in inflight.items():
+                        ready.append((lost, lost_attempt))
+                    inflight.clear()
+                    pool = self._respawn_pool()
+                    if pool is None:
+                        pending = sorted({i for i, _ in ready}
+                                         | {i for _, i, _ in delayed})
+                        self._run_serial(func, tasks, pending, results, failures,
+                                         on_result, on_failure)
+                        return
+                    break
+                deadline = None if timeout is None else time.monotonic() + timeout
+                inflight[index] = (handle, deadline, attempt)
+
+            if not inflight:
+                if delayed:
+                    time.sleep(min(0.05, max(0.0, delayed[0][0] - time.monotonic())))
+                continue
+
+            now = time.monotonic()
+            landed = [
+                index for index, (handle, deadline, _) in inflight.items()
+                if handle.ready() or (deadline is not None and now > deadline)
+            ]
+            if not landed:
+                time.sleep(_POLL_SECONDS)
+                continue
+            for index in landed:
+                handle, deadline, attempt = inflight.pop(index)
+                if not handle.ready():
+                    # Deadline expired with no result: the worker was killed
+                    # mid-task (the pool respawns the process but the task's
+                    # AsyncResult never completes) or the point genuinely
+                    # hangs.  Either way, charge the attempt and retry.
+                    settle(index, attempt, f"timed out after {timeout:g}s")
+                    continue
+                try:
+                    value = handle.get()
+                except Exception as exc:
+                    settle(index, attempt, f"{type(exc).__name__}: {exc}")
+                    continue
+                results[index] = value
+                if on_result is not None:
+                    on_result(index, value)
 
     # -- execution -----------------------------------------------------------
     def run(self, specs: Iterable[PointSpec]) -> list[TimedPoint]:
-        """Execute a batch of specs; results are returned in input order."""
+        """Execute a batch of specs; results are returned in input order.
+
+        Raises :class:`SweepFailure` when any unique point was quarantined
+        — but only after the whole sweep completed, with every healthy
+        result already written to the attached store.
+        """
         started = time.perf_counter()
         batch = list(specs)
 
@@ -116,25 +400,56 @@ class SweepExecutor:
         if progress is not None and done:
             progress(done, total)
 
-        computed = self._compute(
-            [unique_specs[uidx] for uidx in to_compute],
-            progress=progress, done=done, total=total,
-        )
-        self.executed_points += len(to_compute)
-        for uidx, point in zip(to_compute, computed):
+        store = self.store
+        landed = {"done": done}
+
+        def on_result(position: int, point) -> None:
+            uidx = to_compute[position]
             resolved[uidx] = point
-            if self.store is not None:
-                self.store.put(unique_specs[uidx], point)
+            if store is not None:
+                # Persisted as it lands: a crash later in the sweep loses
+                # only the points still in flight, never finished work.
+                store.put(unique_specs[uidx], point)
+            landed["done"] += 1
+            if progress is not None:
+                progress(landed["done"], total)
+
+        def on_failure(position: int, failure: FailedPoint) -> None:
+            landed["done"] += 1
+            if progress is not None:
+                progress(landed["done"], total)
+
+        _, task_failures = self.run_tasks(
+            run_point, [unique_specs[uidx] for uidx in to_compute],
+            on_result=on_result, on_failure=on_failure,
+        )
+        self.executed_points += len(to_compute) - len(task_failures)
+        self.failed_points += len(task_failures)
 
         self.wall_seconds += time.perf_counter() - started
         self.sweeps += 1
         # One deterministic summary line per sweep: counts only, no wall
         # clock, so identical sweeps over identical cache state log
         # identically whatever the machine or the jobs setting.
-        _log.info(
-            "sweep of %d point(s): %d unique, %d simulated, %d from cache",
-            len(batch), total, len(to_compute), done,
-        )
+        if task_failures:
+            _log.info(
+                "sweep of %d point(s): %d unique, %d simulated, %d from cache, %d quarantined",
+                len(batch), total, len(to_compute) - len(task_failures), done,
+                len(task_failures),
+            )
+        else:
+            _log.info(
+                "sweep of %d point(s): %d unique, %d simulated, %d from cache",
+                len(batch), total, len(to_compute), done,
+            )
+        if task_failures:
+            raise SweepFailure(
+                [FailedPoint(index=to_compute[f.index],
+                             task=unique_specs[to_compute[f.index]],
+                             attempts=f.attempts, error=f.error)
+                 for f in task_failures],
+                total,
+            )
         return [resolved[unique_index[spec.key()]] for spec in batch]  # type: ignore[misc]
 
     def map(self, func, items: Iterable) -> list:
@@ -143,50 +458,39 @@ class SweepExecutor:
         The generic sibling of :meth:`run` for work that is not a
         :class:`PointSpec` batch (e.g. the conformance scenarios of
         :mod:`repro.verify`).  ``func`` must be picklable by reference — a
-        module-level function — and ``items`` picklable values; results come
-        back in input order (``Pool.map`` semantics).  No store interaction:
-        caching is keyed on spec hashes, which arbitrary tasks do not have.
+        module-level function — and ``items`` picklable values; results
+        come back in input order.  Runs on the same resilient engine as
+        :meth:`run` (per-task dispatch, retries, pool respawn); tasks that
+        exhaust every attempt raise a :class:`SweepFailure` after the rest
+        completed.  No store interaction: caching is keyed on spec hashes,
+        which arbitrary tasks do not have.
         """
         tasks = list(items)
         if not tasks:
             return []
-        if self.jobs == 1 or len(tasks) == 1:
-            return [func(task) for task in tasks]
-        pool = self._ensure_pool()
-        chunksize = max(1, len(tasks) // (4 * self.jobs))
-        return pool.map(func, tasks, chunksize)
-
-    def _compute(self, specs: Sequence[PointSpec], *, progress=None,
-                 done: int = 0, total: int = 0) -> list[TimedPoint]:
-        if progress is None or not specs:
-            return self.map(run_point, specs)
-        if self.jobs == 1 or len(specs) == 1:
-            # Serial path: report after every point.
-            out = []
-            for spec in specs:
-                out.append(run_point(spec))
-                done += 1
-                progress(done, total)
-            return out
-        # Parallel path: Pool.map is all-or-nothing, so report once when the
-        # whole batch lands (ordering and results stay byte-identical).
-        out = self.map(run_point, specs)
-        progress(done + len(specs), total)
-        return out
+        results, failures = self.run_tasks(func, tasks)
+        if failures:
+            raise SweepFailure(failures, len(tasks))
+        return results
 
     # -- reporting -----------------------------------------------------------
     def stats_line(self) -> str:
         """One-line execution summary (printed by the CLI when caching is on).
 
         The leading ``jobs=N: ... simulated, ... served from cache`` portion
-        is stable (CI greps it); the wall-clock suffix is informational.
+        is stable (CI greps it); the quarantine count appears only when
+        non-zero, and the wall-clock suffix is informational.
         """
         line = (
             f"[runtime] jobs={self.jobs}: {self.executed_points} point(s) simulated, "
             f"{self.cached_points} served from cache"
         )
+        if self.failed_points:
+            line += f", {self.failed_points} quarantined"
         if self.sweeps:
             line += f" ({self.sweeps} sweep(s), {self.wall_seconds:.2f}s wall)"
+        if self.pool_respawns:
+            line += f" [{self.pool_respawns} pool respawn(s)]"
         if self.store is not None and self.store.corrupt:
             line += f" [{self.store.corrupt} corrupt entr(ies) recomputed]"
         return line

@@ -116,6 +116,11 @@ class PointSpec:
     #: Symmetry-folding mode for the simulate engine ("off", "auto", "on").
     #: Ignored by the model engine, which is scale-free already.
     fold: str = "off"
+    #: Optional :class:`repro.faults.FaultSpec` injected into the simulate
+    #: engine.  Part of the cache identity when non-empty (a faulted point
+    #: is a different result); empty specs normalise to ``None`` and are
+    #: omitted from the payload, so pre-faults cache keys keep hitting.
+    faults: Any = None
     #: Parallel-engine worker count for the simulate engine.  Deliberately
     #: **excluded from the canonical payload** (see :meth:`payload`): the
     #: conservative-lookahead engine is bit-identical to serial, so a point
@@ -138,6 +143,27 @@ class PointSpec:
             raise ConfigurationError("repetitions must be positive")
         if self.engine_jobs < 1:
             raise ConfigurationError(f"engine_jobs must be >= 1, got {self.engine_jobs}")
+        if self.faults is not None:
+            from repro.faults.spec import FaultSpec
+
+            if not isinstance(self.faults, FaultSpec):
+                raise ConfigurationError(
+                    f"faults must be a FaultSpec or None, got {type(self.faults).__name__}"
+                )
+            if not self.faults:
+                # An empty spec is the healthy machine: normalise to None so
+                # equality, hashing and the cache key cannot distinguish them.
+                object.__setattr__(self, "faults", None)
+            elif self.engine != "simulate":
+                raise ConfigurationError(
+                    "fault injection requires the simulate engine "
+                    f"(got engine={self.engine!r})"
+                )
+            elif self.fold != "off":
+                raise ConfigurationError(
+                    "fault injection is incompatible with symmetry folding "
+                    f"(fold={self.fold!r})"
+                )
         if self.num_nodes > self.cluster.num_nodes:
             raise ConfigurationError(
                 f"spec requests {self.num_nodes} nodes but the cluster has "
@@ -148,17 +174,19 @@ class PointSpec:
     @classmethod
     def for_alltoall(cls, cluster: Cluster, ppn: int, num_nodes: int, algorithm: str,
                      msg_bytes: int, *, engine: str = "model", repetitions: int = 1,
-                     fold: str = "off", engine_jobs: int = 1, **options: Any) -> "PointSpec":
+                     fold: str = "off", engine_jobs: int = 1, faults=None,
+                     **options: Any) -> "PointSpec":
         """Spec for one uniform all-to-all point."""
         return cls(cluster=cluster, ppn=ppn, num_nodes=num_nodes, engine=engine,
                    algorithm=algorithm, repetitions=repetitions,
                    options=tuple(sorted(options.items())), msg_bytes=int(msg_bytes),
-                   fold=fold, engine_jobs=engine_jobs)
+                   fold=fold, engine_jobs=engine_jobs, faults=faults)
 
     @classmethod
     def for_workload(cls, cluster: Cluster, ppn: int, num_nodes: int, algorithm: str,
                      matrix, *, engine: str = "model", repetitions: int = 1,
-                     fold: str = "off", engine_jobs: int = 1, **options: Any) -> "PointSpec":
+                     fold: str = "off", engine_jobs: int = 1, faults=None,
+                     **options: Any) -> "PointSpec":
         """Spec for one non-uniform workload point (the matrix is embedded as a trace)."""
         trace = json.dumps(
             {"pattern": matrix.pattern, "nprocs": matrix.nprocs, "bytes": matrix.bytes.tolist()},
@@ -167,7 +195,7 @@ class PointSpec:
         return cls(cluster=cluster, ppn=ppn, num_nodes=num_nodes, engine=engine,
                    algorithm=algorithm, repetitions=repetitions,
                    options=tuple(sorted(options.items())), trace=trace, fold=fold,
-                   engine_jobs=engine_jobs)
+                   engine_jobs=engine_jobs, faults=faults)
 
     # -- execution helpers ---------------------------------------------------
     def matrix(self):
@@ -185,7 +213,10 @@ class PointSpec:
         ``fold`` is serialized only when it is not ``"off"``: a missing key
         means unfolded, which keeps every pre-folding cache key
         bit-identical (the same pattern the fabric key uses) while making a
-        folded run part of a point's identity.  ``engine_jobs`` is *never*
+        folded run part of a point's identity.  ``faults`` follows the same
+        pattern: serialized only when present (empty specs were already
+        normalised to ``None``), so pre-faults cache keys keep hitting
+        while a faulted point gets its own identity.  ``engine_jobs`` is *never*
         serialized: the parallel engine is bit-identical to serial, so the
         worker count is an execution detail, not part of the result's
         identity — a point simulated at any worker count fills (and hits)
@@ -205,6 +236,8 @@ class PointSpec:
         }
         if self.fold != "off":
             payload["fold"] = self.fold
+        if self.faults is not None:
+            payload["faults"] = self.faults.payload()
         return payload
 
     def canonical(self) -> str:
@@ -238,9 +271,10 @@ class PointSpec:
         what = f"{self.msg_bytes} B" if self.msg_bytes is not None else "trace"
         algo = f"{self.algorithm}({opts})" if opts else self.algorithm
         folded = "" if self.fold == "off" else f", fold={self.fold}"
+        faulted = "" if self.faults is None else ", faulted"
         return (
             f"{algo} @ {what} on {self.cluster.name} "
-            f"({self.num_nodes} nodes x {self.ppn} ppn, engine={self.engine}{folded})"
+            f"({self.num_nodes} nodes x {self.ppn} ppn, engine={self.engine}{folded}{faulted})"
         )
 
     def __eq__(self, other: object) -> bool:

@@ -285,6 +285,7 @@ class SpmdEngine:
         record_trace: bool = False,
         sink: "EventSink | None" = None,
         max_events: int = 200_000_000,
+        faults=None,
     ) -> None:
         self.pmap = pmap
         self.params = pmap.params
@@ -294,7 +295,16 @@ class SpmdEngine:
         #: emission point down to a single pointer test; attaching a sink
         #: never changes the simulated arithmetic (see docs/OBSERVABILITY.md).
         self.sink = sink
-        self.timing = TimingModel(pmap, sink=sink)
+        #: Active :class:`repro.faults.FaultSpec`; empty specs normalise to
+        #: ``None`` so the healthy machine pays one pointer test per site.
+        self.faults = faults if faults else None
+        if self.faults is not None and pmap.is_folded:
+            raise SimulationError(
+                "fault injection is incompatible with symmetry folding: "
+                "faults break the node-rotation symmetry the fold relies on "
+                "(run with fold='off')"
+            )
+        self.timing = TimingModel(pmap, sink=sink, faults=self.faults)
         self.trace = TraceRecorder() if record_trace else None
         self.router = MessageRouter(self.timing, trace=self.trace, sink=sink)
         self.contexts = ContextIdAllocator()
@@ -309,6 +319,15 @@ class SpmdEngine:
         self._bound_step = self._step
         self._copy_latency = params.copy_latency
         self._copy_bandwidth = params.copy_bandwidth
+        #: Per-rank OS-noise jitter streams, or ``None`` (the default): the
+        #: healthy posting path pays one pointer test per operation.
+        self._noise = None
+        if self.faults is not None:
+            amplitude = self.faults.noise_amplitude()
+            if amplitude > 0.0:
+                from repro.faults.apply import OsNoiseState
+
+                self._noise = OsNoiseState(amplitude, self.faults.seed)
         #: Hook checked on cross-process wakeups (``_WaitState.notify``).
         #: ``None`` on the serial engine — one pointer test per wait
         #: completion; the parallel engine installs its lookahead-invariant
@@ -409,7 +428,11 @@ class SpmdEngine:
                 request.complete(now)
                 when = now
             else:
-                when = now + self._send_overhead
+                noise = self._noise
+                if noise is None:
+                    when = now + self._send_overhead
+                else:
+                    when = now + self._send_overhead + noise.draw(process.rank)
                 request = self.router.post_send(
                     process.rank, operation.dest, operation.payload, operation.tag,
                     operation.context_id, when,
@@ -420,7 +443,11 @@ class SpmdEngine:
                 request.complete(now, Status(source=PROC_NULL, tag=operation.tag, nbytes=0))
                 when = now
             else:
-                when = now + self._send_overhead
+                noise = self._noise
+                if noise is None:
+                    when = now + self._send_overhead
+                else:
+                    when = now + self._send_overhead + noise.draw(process.rank)
                 request = self.router.post_recv(
                     process.rank, operation.source, operation.buffer, operation.tag,
                     operation.context_id, when,
@@ -563,6 +590,7 @@ def run_spmd(
     record_trace: bool = False,
     sink: EventSink | None = None,
     engine_jobs: int = 1,
+    faults=None,
     **kwargs: Any,
 ) -> JobResult:
     """Convenience wrapper: build an engine, run ``program`` on every rank, return the result.
@@ -570,7 +598,10 @@ def run_spmd(
     ``engine_jobs`` > 1 selects the conservative-lookahead parallel engine
     (:class:`repro.simmpi.parallel.ParallelSpmdEngine`), which partitions
     ranks by node across that many workers and produces bit-identical
-    simulated timings.
+    simulated timings.  ``faults`` is an optional
+    :class:`repro.faults.FaultSpec`; every fault model only ever delays
+    traffic, so the parallel engine's conservative lookahead stays sound
+    and faulted runs are bit-identical at any worker count too.
     """
     if engine_jobs < 1:
         raise SimulationError(f"engine_jobs must be >= 1, got {engine_jobs}")
@@ -579,8 +610,9 @@ def run_spmd(
         from repro.simmpi.parallel import ParallelSpmdEngine
 
         engine: SpmdEngine = ParallelSpmdEngine(
-            pmap, workers=engine_jobs, record_trace=record_trace, sink=sink
+            pmap, workers=engine_jobs, record_trace=record_trace, sink=sink,
+            faults=faults,
         )
     else:
-        engine = SpmdEngine(pmap, record_trace=record_trace, sink=sink)
+        engine = SpmdEngine(pmap, record_trace=record_trace, sink=sink, faults=faults)
     return engine.run(program, *args, **kwargs)

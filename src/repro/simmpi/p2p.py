@@ -95,7 +95,7 @@ class TimingModel:
     once per simulated message on the hot path.
     """
 
-    def __init__(self, pmap: ProcessMap, *, sink=None) -> None:
+    def __init__(self, pmap: ProcessMap, *, sink=None, faults=None) -> None:
         self.pmap = pmap
         self.params: MachineParameters = pmap.params
         #: Optional :class:`repro.obs.sink.EventSink`; ``None`` keeps every
@@ -117,6 +117,26 @@ class TimingModel:
         #: and the simulated timings stay bit-identical to the golden
         #: fixture.
         self.fabric = pmap.cluster.fabric.build(pmap.num_nodes, pmap.params)
+        #: Active :class:`repro.faults.FaultSpec` (``None`` for the healthy
+        #: machine — empty specs are normalised to ``None`` so every hot
+        #: path keeps the single-pointer-test contract).
+        self.faults = faults if faults else None
+        #: Per-node NIC occupancy multipliers from straggler faults, or
+        #: ``None`` when no straggler applies (the common case).
+        self._nic_scale = None
+        if self.faults is not None:
+            from repro.faults.apply import apply_link_faults, nic_scale_vector
+
+            if self.fabric is not None:
+                # Link faults mutate the freshly built state before any
+                # traffic; folded views are rejected upstream (faults break
+                # the node-rotation symmetry folding relies on).
+                apply_link_faults(self.fabric, self.faults)
+            self._nic_scale = nic_scale_vector(self.faults, sim_nodes)
+            if sink is not None:
+                from repro.faults.apply import announce_faults
+
+                announce_faults(sink, self.faults)
         if self.fabric is not None:
             if pmap.is_folded:
                 from repro.netsim.fabric import FoldedFabricView
@@ -184,7 +204,11 @@ class TimingModel:
             # Inlined SerialResource.reserve (one reservation per inter-node
             # message): same arithmetic and accounting, no call overhead.
             occupancy = self._nic_message_overhead + nbytes / self._injection_bandwidth
-            nic = self.nics[self._node_of[src]]
+            src_node = self._node_of[src]
+            nic_scale = self._nic_scale
+            if nic_scale is not None:
+                occupancy *= nic_scale[src_node]
+            nic = self.nics[src_node]
             available = nic.available_at
             start = start_time if start_time >= available else available
             injected = start + occupancy
@@ -589,6 +613,7 @@ class MessageRouter:
         self._node_of = timing._node_of
         self._nic_message_overhead = timing._nic_message_overhead
         self._injection_bandwidth = timing._injection_bandwidth
+        self._nic_scale = timing._nic_scale
         self._net_latency = timing._latency[LocalityLevel.NETWORK]
         self._net_byte_time = timing._byte_time[LocalityLevel.NETWORK]
         #: Inter-node fabric state shared with the timing model (``None`` for
@@ -656,6 +681,9 @@ class MessageRouter:
                 # majority of messages in a multi-node job): identical
                 # arithmetic and NIC accounting, no call overhead.
                 occupancy = self._nic_message_overhead + nbytes / self._injection_bandwidth
+                nic_scale = self._nic_scale
+                if nic_scale is not None:
+                    occupancy *= nic_scale[self._node_of[src]]
                 nic = self._nics[self._node_of[src]]
                 available = nic.available_at
                 start = ready_time if ready_time >= available else available
@@ -830,6 +858,9 @@ class MessageRouter:
         key = (context_id, mirror_src, tag)
         if nbytes <= self._eager_limit:
             occupancy = self._nic_message_overhead + nbytes / self._injection_bandwidth
+            nic_scale = self._nic_scale
+            if nic_scale is not None:
+                occupancy *= nic_scale[self._node_of[src]]
             nic = self._nics[self._node_of[src]]
             available = nic.available_at
             start = ready_time if ready_time >= available else available

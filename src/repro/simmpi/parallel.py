@@ -124,10 +124,15 @@ class ParallelSpmdEngine(SpmdEngine):
         record_trace: bool = False,
         sink: "EventSink | None" = None,
         max_events: int = 200_000_000,
+        faults=None,
     ) -> None:
         if workers < 1:
             raise SimulationError(f"parallel engine workers must be >= 1, got {workers}")
-        super().__init__(pmap, record_trace=record_trace, sink=sink, max_events=max_events)
+        # Fault models only ever delay traffic (degraded/flapping links,
+        # stragglers, non-negative noise), so the conservative lookahead
+        # floors below remain valid lower bounds under injection.
+        super().__init__(pmap, record_trace=record_trace, sink=sink,
+                         max_events=max_events, faults=faults)
         sim_nodes = pmap.sim_nodes
         self.workers = workers
         count = min(workers, sim_nodes)

@@ -195,11 +195,18 @@ class DifferentialRunner:
         Parallel-engine worker count for every simulated run (bit-identical
         to serial, so verification verdicts and golden digests are
         unchanged at any value).
+    faults:
+        Optional :class:`repro.faults.FaultSpec` injected into every
+        simulated run.  Faults perturb timings only, never delivered
+        bytes, so verdicts and golden digests must be unchanged under any
+        fault load — running the corpus faulted checks exactly that.
     """
 
-    def __init__(self, *, shrink: bool = True, engine_jobs: int = 1) -> None:
+    def __init__(self, *, shrink: bool = True, engine_jobs: int = 1,
+                 faults=None) -> None:
         self.shrink = shrink
         self.engine_jobs = engine_jobs
+        self.faults = faults if faults else None
 
     # -- public API ----------------------------------------------------------
     def verify(self, scenario: Scenario) -> VerificationRecord:
@@ -279,12 +286,12 @@ class DifferentialRunner:
             if scenario.family == "uniform":
                 outcome = run_alltoall(
                     algo, pmap, scenario.msg_bytes, dtype=_DTYPE, validate=True,
-                    engine_jobs=self.engine_jobs,
+                    engine_jobs=self.engine_jobs, faults=self.faults,
                 )
             else:
                 outcome = run_workload(
                     algo, pmap, scenario.matrix, dtype=_DTYPE, validate=True,
-                    engine_jobs=self.engine_jobs,
+                    engine_jobs=self.engine_jobs, faults=self.faults,
                 )
         except Exception as exc:  # a crash on a valid scenario is a finding
             return self._failure(
@@ -380,7 +387,7 @@ class DifferentialRunner:
 
 
 def verify_seed(seed: int, max_ranks: int = 24, *, fabric=None,
-                engine_jobs: int = 1) -> VerificationRecord:
+                engine_jobs: int = 1, faults=None) -> VerificationRecord:
     """Verify the scenario of one seed (the programmatic one-liner).
 
     ``fabric`` (a :mod:`repro.netsim.fabric` spec) opts the sampled cluster
@@ -388,15 +395,21 @@ def verify_seed(seed: int, max_ranks: int = 24, *, fabric=None,
     with the link-stressing incast / neighbour-shift shapes.
     ``engine_jobs`` selects the parallel engine for the simulated runs
     (bit-identical timings, identical verdicts and digests).
+    ``faults`` (a :class:`repro.faults.FaultSpec`) injects deterministic
+    machine degradations into every simulated run: faults perturb timings
+    only, never the delivered bytes, so the differential byte checks and
+    the golden-corpus digests (hashes of the reference buffers) are
+    unchanged under any fault load — which is itself the conformance
+    property being verified.
     """
     scenario = ScenarioGenerator(max_ranks=max_ranks, fabric=fabric).scenario(seed)
-    return DifferentialRunner(engine_jobs=engine_jobs).verify(scenario)
+    return DifferentialRunner(engine_jobs=engine_jobs, faults=faults).verify(scenario)
 
 
 def verify_task(task: tuple) -> VerificationRecord:
-    """Module-level pool worker: ``task`` is a picklable ``(seed, max_ranks)``,
-    ``(seed, max_ranks, fabric_spec)`` or ``(seed, max_ranks, fabric_spec,
-    engine_jobs)``.
+    """Module-level pool worker: ``task`` is a picklable ``(seed, max_ranks)``
+    optionally extended with ``fabric_spec``, ``engine_jobs`` and a
+    :class:`repro.faults.FaultSpec` (trailing slots may be omitted).
 
     Lives at module scope so :meth:`repro.runtime.SweepExecutor.map` can fan
     scenario seeds out over a ``spawn`` process pool.
@@ -404,4 +417,6 @@ def verify_task(task: tuple) -> VerificationRecord:
     seed, max_ranks = task[0], task[1]
     fabric = task[2] if len(task) > 2 else None
     engine_jobs = task[3] if len(task) > 3 else 1
-    return verify_seed(seed, max_ranks, fabric=fabric, engine_jobs=engine_jobs)
+    faults = task[4] if len(task) > 4 else None
+    return verify_seed(seed, max_ranks, fabric=fabric, engine_jobs=engine_jobs,
+                       faults=faults)

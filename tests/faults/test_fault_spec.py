@@ -1,0 +1,131 @@
+"""Tests for the fault-injection spec layer (repro.faults.spec).
+
+The spec is pure data: frozen, picklable, payload-roundtrippable values
+plus the ``parse_faults`` CLI grammar.  Nothing here touches the
+simulator — the behavioural contract of each fault model lives in
+``test_fault_models.py``.
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    DegradedLink,
+    FaultSpec,
+    FlappingLink,
+    OsNoise,
+    StragglerNode,
+    faults_from_payload,
+    parse_faults,
+)
+
+
+class TestFaultValidation:
+    def test_degraded_factor_must_be_in_unit_interval(self):
+        DegradedLink(link="*", factor=1.0)  # boundary is a healthy no-op
+        with pytest.raises(ConfigurationError):
+            DegradedLink(link="*", factor=0.0)
+        with pytest.raises(ConfigurationError):
+            DegradedLink(link="*", factor=1.5)
+
+    def test_flapping_parameters_validated(self):
+        FlappingLink(link="*", period=1e-3, duty=1.0)  # duty 1 = always up
+        with pytest.raises(ConfigurationError):
+            FlappingLink(link="*", period=0.0)
+        with pytest.raises(ConfigurationError):
+            FlappingLink(link="*", period=1e-3, duty=0.0)
+        with pytest.raises(ConfigurationError):
+            FlappingLink(link="*", period=1e-3, duty=1.5)
+
+    def test_straggler_factor_must_slow_not_speed(self):
+        StragglerNode(node=0, factor=1.0)
+        with pytest.raises(ConfigurationError):
+            StragglerNode(node=0, factor=0.5)
+        with pytest.raises(ConfigurationError):
+            StragglerNode(node=-1, factor=2.0)
+
+    def test_noise_amplitude_non_negative(self):
+        OsNoise(amplitude=0.0)
+        with pytest.raises(ConfigurationError):
+            OsNoise(amplitude=-1e-9)
+
+
+class TestFaultSpec:
+    def test_empty_spec_is_falsy(self):
+        assert not FaultSpec()
+        assert FaultSpec(faults=(DegradedLink(),))
+
+    def test_views(self):
+        spec = FaultSpec(faults=(DegradedLink(link="a"), StragglerNode(node=1),
+                                 OsNoise(amplitude=2e-6), OsNoise(amplitude=3e-6)))
+        assert [f.link for f in spec.link_faults()] == ["a"]
+        assert [f.node for f in spec.stragglers()] == [1]
+        assert spec.noise_amplitude() == pytest.approx(5e-6)
+
+    def test_payload_roundtrip(self):
+        spec = FaultSpec(seed=7, faults=(
+            DegradedLink(link="df-g*", factor=0.25),
+            FlappingLink(link="*", period=2e-6, duty=0.5, phase=1e-7),
+            StragglerNode(node=3, factor=1.5),
+            OsNoise(amplitude=1e-6),
+        ))
+        assert faults_from_payload(spec.payload()) == spec
+
+    def test_absent_payload_reads_as_no_faults(self):
+        assert faults_from_payload(None) is None
+
+    def test_pickle_roundtrip(self):
+        spec = parse_faults("degraded-link:df-g*,0.25;os-noise:1e-6;seed:9")
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_describe_mentions_every_fault(self):
+        spec = parse_faults("degraded-link:x,0.5;straggler:2,3;os-noise:1e-6")
+        text = spec.describe()
+        assert "link x" in text
+        assert "node 2" in text
+        assert "OS noise" in text
+        assert "seed 0" in text
+
+
+class TestParseGrammar:
+    def test_empty_text_is_empty_spec(self):
+        assert parse_faults("") == FaultSpec()
+        assert parse_faults("  ") == FaultSpec()
+
+    def test_positional_and_named_options_agree(self):
+        positional = parse_faults("degraded-link:df-g0-1,0.25")
+        named = parse_faults("degraded-link:link=df-g0-1,factor=0.25")
+        assert positional == named
+
+    def test_seed_clause(self):
+        assert parse_faults("os-noise:1e-6;seed:42").seed == 42
+        assert parse_faults("os-noise:1e-6").seed == 0
+
+    def test_aliases(self):
+        assert parse_faults("degrade:a,0.5") == parse_faults("degraded-link:a,0.5")
+        assert parse_faults("flap:a,1e-6,0.5") == parse_faults("flapping-link:a,1e-6,0.5")
+        assert parse_faults("noise:1e-7") == parse_faults("os-noise:1e-7")
+
+    def test_multiple_clauses_compose(self):
+        spec = parse_faults("degraded-link:a,0.5;degraded-link:b,0.25;straggler:0,2")
+        assert len(spec.faults) == 3
+
+    def test_unknown_clause_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_faults("meteor-strike:everything")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_faults("degraded-link:link=a,speed=2")
+
+    def test_malformed_value_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_faults("degraded-link:a,fast")
+        with pytest.raises(ConfigurationError):
+            parse_faults("straggler:zero,2")
+
+    def test_out_of_range_value_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_faults("degraded-link:a,2.0")

@@ -1,0 +1,84 @@
+"""Fault events on the observability surface: sink, Chrome export, metrics.
+
+Active faults must be visible in every trace: a t=0 manifest instant per
+injected fault (on the dedicated ``faults`` track), ``flap-stall`` spans
+when a flapping link actually holds a message, and a ``faults.active``
+counter in the job metrics — so no one mistakes a degraded machine's
+timings for healthy ones.
+"""
+
+from repro.core.runner import run_alltoall
+from repro.faults import parse_faults
+from repro.machine.process_map import ProcessMap
+from repro.machine.systems import dane
+from repro.netsim.fabric import parse_fabric
+from repro.obs import RecordingSink, validate_chrome_trace, write_chrome_trace
+from repro.obs.chrome import PID_FAULTS, chrome_trace_events
+
+FAULTS = parse_faults(
+    "degraded-link:df-g0-1,0.25;flapping-link:df-*,2e-6,0.5;straggler:0,2;os-noise:1e-7"
+)
+
+
+def _pmap(nodes=4, ppn=2) -> ProcessMap:
+    cluster = dane(nodes).with_fabric(parse_fabric("dragonfly:hosts=1,routers=2,taper=2"))
+    return ProcessMap(cluster, ppn=ppn, num_nodes=nodes)
+
+
+def _faulted_sink() -> RecordingSink:
+    sink = RecordingSink()
+    run_alltoall("pairwise", _pmap(), 1024, sink=sink, keep_job=False, faults=FAULTS)
+    return sink
+
+
+class TestSinkEvents:
+    def test_manifest_announces_every_fault_at_time_zero(self):
+        events = list(_faulted_sink().of_kind("fault"))
+        manifests = [e for e in events if e[3] == 0.0 and e[4] == 0.0]
+        # One t=0 instant per injected fault model.
+        assert len(manifests) == len(FAULTS.faults)
+        kinds = {e[1] for e in manifests}
+        assert kinds == {"degraded-link", "flapping-link", "straggler", "os-noise"}
+
+    def test_flap_stalls_recorded_as_spans(self):
+        events = list(_faulted_sink().of_kind("fault"))
+        stalls = [e for e in events if e[1] == "flap-stall"]
+        assert stalls, "a 50%-duty flap on every global link must stall something"
+        for _, _, target, start, stop, _detail in stalls:
+            assert stop > start >= 0.0
+            assert target.startswith("df-")
+
+    def test_healthy_run_has_no_fault_events(self):
+        sink = RecordingSink()
+        run_alltoall("pairwise", _pmap(), 1024, sink=sink, keep_job=False)
+        assert list(sink.of_kind("fault")) == []
+
+
+class TestChromeExport:
+    def test_fault_track_present_and_valid(self, tmp_path):
+        sink = _faulted_sink()
+        events = chrome_trace_events(sink)
+        fault_events = [e for e in events if e.get("cat") == "fault"]
+        assert fault_events
+        assert {e["pid"] for e in fault_events} == {PID_FAULTS}
+        names = {e["name"] for e in events
+                 if e.get("ph") == "M" and e["name"] == "process_name"
+                 and e["pid"] == PID_FAULTS}
+        assert names == {"process_name"}
+
+        path = tmp_path / "faulted.json"
+        write_chrome_trace(path, sink, configuration="faulted run")
+        summary = validate_chrome_trace(path)
+        assert summary.events > 0
+
+
+class TestMetrics:
+    def test_job_metrics_record_active_faults(self):
+        outcome = run_alltoall("pairwise", _pmap(), 1024, faults=FAULTS)
+        metrics = outcome.job.metrics
+        assert metrics["faults"]["active"] == len(FAULTS.faults)
+        assert metrics["faults"]["seed"]["value"] == FAULTS.seed
+
+    def test_healthy_job_metrics_have_no_faults_section(self):
+        outcome = run_alltoall("pairwise", _pmap(), 1024)
+        assert "faults" not in outcome.job.metrics

@@ -1,0 +1,234 @@
+"""Chaos tests for the self-healing sweep runtime.
+
+These tests inject the real failure modes the executor exists to survive:
+a worker SIGKILLed mid-task, a pool whose dispatch path is dead, a pool
+that cannot be rebuilt at all, a task that hangs past its deadline, and a
+poisoned point that fails deterministically on every attempt.  In every
+case the sweep must complete, the healthy results must land (and persist
+to the store as they land), and only the genuinely doomed points may be
+quarantined.
+
+The pool uses the ``fork`` start method so the module-level task helpers
+stay picklable regardless of how pytest imported this module (the same
+trick as ``test_store_concurrency``).
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.systems import tiny_cluster
+from repro.runtime import (
+    FailedPoint,
+    PointSpec,
+    ResultStore,
+    RetryPolicy,
+    SweepExecutor,
+    SweepFailure,
+)
+
+
+def _spec(**overrides) -> PointSpec:
+    base = dict(cluster=tiny_cluster(num_nodes=2), ppn=4, num_nodes=2,
+                engine="simulate", algorithm="pairwise", msg_bytes=16)
+    base.update(overrides)
+    return PointSpec(**base)
+
+
+# -- module-level task helpers (picklable under the fork start method) -------
+
+def _double(task):
+    value, _flag = task
+    return value * 2
+
+
+def _kill_self_once(task):
+    """SIGKILL the hosting worker on the first attempt, succeed after."""
+    value, flag = task
+    if flag is not None and not os.path.exists(flag):
+        open(flag, "w").close()
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * 2
+
+
+def _always_raises(task):
+    raise ValueError(f"poisoned task {task!r}")
+
+
+def _sleep_forever(task):
+    time.sleep(5.0)
+    return task
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff=-1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(backoff=0.1, backoff_factor=2.0)
+        assert policy.delay_before(2) == pytest.approx(0.1)
+        assert policy.delay_before(3) == pytest.approx(0.2)
+        assert policy.delay_before(4) == pytest.approx(0.4)
+
+
+class TestWorkerKill:
+    def test_sigkilled_worker_mid_sweep_is_retried_to_completion(self, tmp_path):
+        """The acceptance chaos test: SIGKILL a pool worker mid-sweep.
+
+        ``multiprocessing.Pool`` respawns the killed process, but the
+        in-flight task's AsyncResult never completes — only the per-task
+        deadline detects it.  The retry must then succeed and the sweep
+        must finish with zero quarantined points.
+        """
+        flag = str(tmp_path / "killed-once")
+        tasks = [(1, None), (2, flag), (3, None), (4, None), (5, None)]
+        executor = SweepExecutor(
+            2, mp_context="fork",
+            retry=RetryPolicy(max_attempts=3, timeout=1.0, backoff=0.05),
+        )
+        try:
+            results, failures = executor.run_tasks(_kill_self_once, tasks)
+        finally:
+            executor.close(force=True)
+        assert failures == []
+        assert results == [2, 4, 6, 8, 10]
+        assert os.path.exists(flag)  # the kill really happened
+
+
+class TestDeadPool:
+    def test_dead_dispatch_path_respawns_the_pool(self):
+        executor = SweepExecutor(2, mp_context="fork",
+                                 retry=RetryPolicy(backoff=0.01))
+        try:
+            # Close the pool behind the executor's back: the next
+            # apply_async raises, which is exactly what a dead result
+            # handler / closed pipe looks like from the dispatch loop.
+            executor._ensure_pool().close()
+            tasks = [(i, None) for i in range(4)]
+            results, failures = executor.run_tasks(_double, tasks)
+        finally:
+            executor.close(force=True)
+        assert failures == []
+        assert results == [0, 2, 4, 6]
+        assert executor.pool_respawns == 1
+        assert "pool respawn" in executor.stats_line()
+
+    def test_unbuildable_pool_degrades_to_serial(self, monkeypatch):
+        executor = SweepExecutor(2, mp_context="fork")
+
+        def refuse():
+            raise OSError("no processes for you")
+
+        monkeypatch.setattr(executor, "_ensure_pool", refuse)
+        results, failures = executor.run_tasks(_double, [(i, None) for i in range(3)])
+        assert failures == []
+        assert results == [0, 2, 4]
+        assert executor._pool_broken
+
+
+class TestTimeouts:
+    def test_hung_task_is_quarantined_after_deadline(self):
+        executor = SweepExecutor(
+            2, mp_context="fork",
+            retry=RetryPolicy(max_attempts=2, timeout=0.2, backoff=0.01),
+        )
+        try:
+            results, failures = executor.run_tasks(_sleep_forever, ["a", "b"])
+        finally:
+            executor.close(force=True)  # workers are still sleeping: terminate
+        assert results == [None, None]
+        assert len(failures) == 2
+        assert all("timed out" in f.error for f in failures)
+        assert all(f.attempts == 2 for f in failures)
+
+
+class TestQuarantine:
+    def test_serial_path_gives_exactly_one_attempt(self):
+        executor = SweepExecutor(1)
+        results, failures = executor.run_tasks(_always_raises, ["x", "y"])
+        assert results == [None, None]
+        assert [f.attempts for f in failures] == [1, 1]
+        assert all("poisoned task" in f.error for f in failures)
+
+    def test_map_raises_sweep_failure_after_survivors_complete(self):
+        executor = SweepExecutor(1)
+        with pytest.raises(SweepFailure) as err:
+            executor.map(_always_raises, ["x"])
+        assert err.value.total == 1
+        assert isinstance(err.value.failures[0], FailedPoint)
+
+    def test_poisoned_point_quarantined_healthy_points_cached(self, tmp_path):
+        """The acceptance cache test: a poisoned sweep still caches survivors.
+
+        One spec names an algorithm that does not exist, so every attempt
+        fails deterministically.  The sweep must finish, persist the two
+        healthy points to the store, and only then raise; a rerun of the
+        healthy points is served entirely from cache.
+        """
+        store = ResultStore(str(tmp_path / "cache"))
+        healthy = [_spec(msg_bytes=16), _spec(msg_bytes=32)]
+        poison = _spec(algorithm="no-such-algorithm")
+        executor = SweepExecutor(
+            2, store=store, mp_context="fork",
+            retry=RetryPolicy(max_attempts=2, timeout=30.0, backoff=0.01),
+        )
+        try:
+            with pytest.raises(SweepFailure) as err:
+                executor.run([healthy[0], poison, healthy[1]])
+        finally:
+            executor.close(force=True)
+        assert len(err.value.failures) == 1
+        failure = err.value.failures[0]
+        assert failure.task == poison
+        assert failure.attempts == 2
+        assert executor.failed_points == 1
+        assert "1 quarantined" in executor.stats_line()
+        # Survivors persisted as they landed, despite the raised failure.
+        assert store.get(healthy[0]) is not None
+        assert store.get(healthy[1]) is not None
+
+        rerun = SweepExecutor(1, store=store)
+        points = rerun.run(healthy)
+        assert [p.seconds for p in points] == \
+            [store.get(s).seconds for s in healthy]
+        assert rerun.cached_points == 2
+        assert rerun.executed_points == 0
+
+    def test_incremental_persistence_on_failure_path(self, tmp_path):
+        """Healthy results are in the store even though the batch raised."""
+        store = ResultStore(str(tmp_path / "cache"))
+        executor = SweepExecutor(1, store=store)
+        good = _spec()
+        with pytest.raises(SweepFailure):
+            executor.run([good, _spec(algorithm="no-such-algorithm")])
+        assert store.get(good) is not None
+
+
+class TestShutdown:
+    def test_graceful_close_is_idempotent(self):
+        executor = SweepExecutor(2, mp_context="fork")
+        results, failures = executor.run_tasks(_double, [(i, None) for i in range(3)])
+        assert failures == []
+        executor.close()
+        assert executor._pool is None
+        executor.close()  # second close is a no-op
+
+    def test_context_manager_closes_on_success_and_error(self):
+        with SweepExecutor(2, mp_context="fork") as executor:
+            executor.run_tasks(_double, [(1, None), (2, None)])
+        assert executor._pool is None
+        with pytest.raises(RuntimeError):
+            with SweepExecutor(2, mp_context="fork") as executor:
+                executor.run_tasks(_double, [(1, None), (2, None)])
+                raise RuntimeError("boom")
+        assert executor._pool is None  # force path also tore the pool down

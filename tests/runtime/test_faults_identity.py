@@ -1,0 +1,89 @@
+"""Cache-identity contract of faulted PointSpecs.
+
+The load-bearing invariant: an absent or empty FaultSpec must produce the
+*same* spec key and payload as before fault injection existed, so every
+pre-faults ResultStore entry and golden digest stays valid.  A non-empty
+spec must change the key (a degraded machine's timings may not collide
+with healthy ones in the cache).
+"""
+
+import pickle
+
+import pytest
+
+from repro.bench.harness import BenchmarkHarness
+from repro.errors import ConfigurationError
+from repro.faults import FaultSpec, parse_faults
+from repro.machine.systems import tiny_cluster
+from repro.runtime import PointSpec, run_point
+
+FAULTS = parse_faults("straggler:0,2;os-noise:1e-6;seed:5")
+
+
+def _spec(**overrides) -> PointSpec:
+    base = dict(cluster=tiny_cluster(num_nodes=2), ppn=4, num_nodes=2,
+                engine="simulate", algorithm="pairwise", msg_bytes=16)
+    base.update(overrides)
+    return PointSpec(**base)
+
+
+class TestCacheIdentity:
+    def test_empty_spec_normalises_to_none(self):
+        assert _spec(faults=FaultSpec()).faults is None
+
+    def test_empty_spec_key_is_the_healthy_key(self):
+        assert _spec(faults=FaultSpec()).key() == _spec().key()
+
+    def test_payload_omits_faults_when_absent(self):
+        assert "faults" not in _spec().payload()
+        assert "faults" not in _spec(faults=FaultSpec()).payload()
+
+    def test_non_empty_faults_change_the_key(self):
+        assert _spec(faults=FAULTS).key() != _spec().key()
+
+    def test_different_fault_specs_have_different_keys(self):
+        other = parse_faults("straggler:0,2;os-noise:1e-6;seed:6")
+        assert _spec(faults=FAULTS).key() != _spec(faults=other).key()
+
+    def test_faulted_payload_roundtrips_through_pickle(self):
+        spec = _spec(faults=FAULTS)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec and clone.key() == spec.key()
+
+    def test_describe_marks_faulted_specs(self):
+        assert "faulted" in _spec(faults=FAULTS).describe()
+        assert "faulted" not in _spec().describe()
+
+
+class TestValidation:
+    def test_faults_must_be_a_fault_spec(self):
+        with pytest.raises(ConfigurationError):
+            _spec(faults="degraded-link:*,0.5")
+
+    def test_faults_require_simulate_engine(self):
+        with pytest.raises(ConfigurationError):
+            _spec(engine="model", faults=FAULTS)
+
+    def test_faults_incompatible_with_fold(self):
+        with pytest.raises(ConfigurationError):
+            _spec(fold="on", faults=FAULTS)
+
+    def test_harness_rejects_faults_on_model_engine(self):
+        with pytest.raises(ConfigurationError):
+            BenchmarkHarness(tiny_cluster(2), 4, engine="model", faults=FAULTS)
+
+
+class TestExecution:
+    def test_run_point_honours_faults(self):
+        healthy = run_point(_spec()).seconds
+        faulted = run_point(_spec(faults=FAULTS)).seconds
+        assert faulted != healthy
+        # Deterministic: the faulted point reproduces exactly.
+        assert run_point(_spec(faults=FAULTS)).seconds == faulted
+
+    def test_harness_specs_carry_the_harness_faults(self):
+        harness = BenchmarkHarness(tiny_cluster(2), 4, engine="simulate",
+                                   faults=FAULTS)
+        spec = harness.point_spec("pairwise", 16, 2)
+        assert spec.faults == FAULTS
+        assert spec.key() != _spec().key()
