@@ -48,8 +48,11 @@ __all__ = [
     "figure_contention",
     "figure_link_utilisation",
     "figure_robustness",
+    "figure_adaptive",
     "CONTENTION_FABRICS",
     "ROBUSTNESS_FAULTS",
+    "ADAPTIVE_FABRIC",
+    "adaptive_demo_workload",
     "headline_speedup",
 ]
 
@@ -542,6 +545,126 @@ def figure_robustness(cluster: Cluster | None = None, *, ppn: int | None = None,
 
 
 # ---------------------------------------------------------------------------
+# Adaptive demo (not a paper figure): per-phase selection under interference
+# ---------------------------------------------------------------------------
+
+#: The shared fabric of the adaptive figure: a heavily tapered dragonfly, so
+#: the background job's traffic contends with the foreground job's phases.
+ADAPTIVE_FABRIC = "dragonfly:hosts=1,routers=2,taper=8"
+
+
+def adaptive_demo_workload(nprocs: int, msg_bytes: int = 2048):
+    """The foreground job of the adaptive figure: an MoE-style iteration.
+
+    Two phases per iteration whose best algorithms differ on the tapered
+    dragonfly: a heavy skewed ``dispatch`` (token shuffle towards hot
+    experts) and a tiny uniform ``combine`` (per-token result return).
+    Used when :func:`figure_adaptive` is not given an ingested workload.
+    """
+    from repro.workloads import Phase, PhasedWorkload, skewed_moe, uniform
+
+    return PhasedWorkload((
+        Phase("dispatch", skewed_moe(nprocs, msg_bytes, seed=0), repeats=2),
+        Phase("combine", uniform(nprocs, 4), repeats=4),
+    ))
+
+
+def figure_adaptive(cluster: Cluster | None = None, *, ppn: int | None = None,
+                    engine: str = "simulate", executor: SweepExecutor | None = None,
+                    engine_jobs: int = 1, faults=None,
+                    msg_bytes: int = 2048, num_nodes: int | None = None,
+                    fabric_spec: str = ADAPTIVE_FABRIC,
+                    workload=None) -> FigureResult:
+    """Static vs adaptive per-phase selection on a shared dragonfly.
+
+    Two jobs split a tapered dragonfly: a phased foreground job (an
+    MoE-style dispatch/combine iteration, or any ingested
+    :class:`~repro.workloads.PhasedWorkload` passed as ``workload``) and a
+    fixed background job whose skewed shuffle keeps the global links busy.
+    The foreground job runs twice — once with the *static* pick (the single
+    algorithm :func:`~repro.core.selection.select_phased` would pin for the
+    whole iteration) and once with the *adaptive* per-phase assignment —
+    against the identical background.  Because the per-phase winners
+    disagree (the skewed heavy phase wants the flat non-blocking exchange,
+    the tiny uniform phase wants node-aware aggregation), the static pick
+    pays on whichever phase it is wrong about and adaptive wins the
+    realized total under interference.
+
+    Always simulates regardless of ``engine`` (interference needs the
+    discrete-event fabric model); ``engine`` is accepted for registry
+    compatibility only.
+    """
+    from repro.core.runner import PhasedJob
+    from repro.core.selection import select_phased
+    from repro.errors import ConfigurationError
+    from repro.netsim.fabric import parse_fabric
+    from repro.workloads import load_phased, skewed_moe
+
+    base = cluster if cluster is not None else dane(8)
+    processes = ppn if ppn is not None else min(base.cores_per_node, 4)
+    nodes = num_nodes or base.num_nodes
+    machine = base.with_fabric(parse_fabric(fabric_spec))
+    if workload is None:
+        fg_nodes = max(1, nodes // 2)
+        workload = adaptive_demo_workload(fg_nodes * processes, msg_bytes)
+    else:
+        workload = load_phased(workload)
+        if workload.nprocs % processes != 0:
+            raise ConfigurationError(
+                f"phased workload has {workload.nprocs} ranks, "
+                f"not a multiple of ppn={processes}"
+            )
+        fg_nodes = workload.nprocs // processes
+    bg_nodes = nodes - fg_nodes
+    if bg_nodes < 1:
+        raise ConfigurationError(
+            f"the foreground job needs {fg_nodes} of {nodes} nodes; "
+            "no node left for the background job"
+        )
+
+    selection = select_phased(machine, processes, workload, engine="simulate",
+                              executor=executor, engine_jobs=engine_jobs,
+                              faults=faults)
+    from repro.workloads import Phase, PhasedWorkload
+
+    background = PhasedJob.make(
+        PhasedWorkload((
+            Phase("background", skewed_moe(bg_nodes * processes, msg_bytes, seed=1),
+                  repeats=6),
+        )),
+        "nonblocking", bg_nodes,
+    )
+    harness = BenchmarkHarness(machine, processes, engine="simulate",
+                               executor=executor, engine_jobs=engine_jobs,
+                               faults=faults)
+    specs = [
+        harness.phased_spec([PhasedJob.make(workload, assignment, fg_nodes), background])
+        for assignment in (selection.static, selection.assignment)
+    ]
+    static_point, adaptive_point = harness.run_specs(specs)
+
+    fig = FigureResult(
+        "adaptive", "Static vs Adaptive Per-Phase Selection", "phase index",
+        configuration=f"{base.name}, {nodes} nodes x {processes} ppn "
+                      f"({fg_nodes} foreground + {bg_nodes} background), "
+                      f"fabric={fabric_spec}",
+        notes=(
+            "x = foreground phase index; x = "
+            f"{workload.num_phases} is the foreground job's total. "
+            f"static pick = {selection.static.describe()}; adaptive = "
+            + ", ".join(f"{c.phase}: {c.candidate.describe()}" for c in selection.choices)
+        ),
+    )
+    for label, point in (("Static", static_point), ("Adaptive", adaptive_point)):
+        series = DataSeries(label)
+        for index, name in enumerate(workload.names):
+            series.add(index, point.phases[f"job0/phase{index}:{name}"])
+        series.add(workload.num_phases, point.phases["job0:total"])
+        fig.add_series(series)
+    return fig
+
+
+# ---------------------------------------------------------------------------
 # Headline claim
 # ---------------------------------------------------------------------------
 
@@ -587,4 +710,5 @@ FIGURES: dict[str, Callable[..., FigureResult]] = {
     "contention": figure_contention,
     "linkutil": figure_link_utilisation,
     "robustness": figure_robustness,
+    "adaptive": figure_adaptive,
 }

@@ -143,6 +143,18 @@ class BenchmarkHarness:
         """
         return self.run_specs([self.workload_spec(algorithm, matrix, num_nodes, **options)])[0]
 
+    def phased_spec(self, jobs, **spec_kwargs) -> PointSpec:
+        """The :class:`PointSpec` of one phased (possibly multi-job) run.
+
+        ``jobs`` is a sequence of :class:`repro.core.runner.PhasedJob`
+        descriptors; their node counts must sum to a count the cluster can
+        host (checked by the spec itself).
+        """
+        return PointSpec.for_phased(
+            self.cluster, self.ppn, jobs, repetitions=self.repetitions,
+            engine_jobs=self.engine_jobs, faults=self.faults, **spec_kwargs,
+        )
+
     def run_spec(self, spec: PointSpec) -> TimedPoint:
         """Execute one spec in-process (the executor's worker also lands here).
 
@@ -153,6 +165,17 @@ class BenchmarkHarness:
         """
         pmap = ProcessMap(spec.cluster, ppn=spec.ppn, num_nodes=spec.num_nodes)
         options = dict(spec.options)
+        if spec.phases is not None:
+            from repro.core.runner import run_phased  # deferred: phased only
+
+            jobs = spec.phased_jobs()
+            return self._timed_min(
+                lambda: run_phased(
+                    jobs, pmap, validate=False, keep_job=False,
+                    engine_jobs=spec.engine_jobs, faults=spec.faults,
+                ),
+                spec.repetitions,
+            )
         if spec.trace is not None:
             matrix = spec.matrix()
             if matrix.nprocs != pmap.nprocs:

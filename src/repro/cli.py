@@ -18,6 +18,11 @@ Installed as the ``repro-bench`` console script (and runnable as
     Simulate a non-uniform traffic workload (alltoallv semantics) from a
     generated pattern or a recorded JSON trace, validate the exchange, and
     compare against the analytic workload model.
+``ingest``
+    Parse a recorded trace (phase-log JSONL or MoE token-routing),
+    normalise it into a phased workload, and print / save / index it in a
+    content-addressed trace store.  The result feeds the ``--phases``
+    flag of ``workload``, ``select`` and ``figures --id adaptive``.
 ``verify``
     Differential conformance fuzzing: run every registered algorithm on
     seeded random scenarios, assert byte-identical results against the
@@ -217,6 +222,38 @@ def _faults_from_args(args: argparse.Namespace):
     return spec if spec else None
 
 
+def _add_phases_argument(parser: argparse.ArgumentParser, help_suffix: str) -> None:
+    """The phased-workload input flag shared by workload / select / figures."""
+    parser.add_argument(
+        "--phases", default=None, metavar="SOURCE",
+        help="phased workload: a file written by 'ingest --out', inline "
+             "JSON, or 'store:DIR:NAME_OR_KEY' to load from a trace store; "
+             + help_suffix,
+    )
+
+
+def _phases_from_args(args: argparse.Namespace):
+    """Resolve the --phases flag into a PhasedWorkload (None when absent)."""
+    text = getattr(args, "phases", None)
+    if text is None:
+        return None
+    from repro.ingest import TraceStore
+    from repro.workloads import load_phased
+
+    try:
+        if text.startswith("store:"):
+            rest = text[len("store:"):]
+            root, sep, key = rest.rpartition(":")
+            if not sep or not root or not key:
+                raise SystemExit(
+                    f"--phases {text!r}: store syntax is store:DIR:NAME_OR_KEY"
+                )
+            return TraceStore(root).load(key)
+        return load_phased(text)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from exc
+
+
 def _print_progress(done: int, total: int) -> None:
     print(f"[runtime] {done}/{total} point(s) resolved", file=sys.stderr, flush=True)
 
@@ -282,6 +319,8 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--csv", action="store_true", help="emit CSV instead of aligned tables")
     figures.add_argument("--headline", action="store_true",
                          help="also print the headline speedup summary")
+    _add_phases_argument(figures, "only valid with --id adaptive (the "
+                                  "foreground job of the interference demo)")
     _add_fabric_argument(figures)
     _add_faults_argument(figures)
     _add_runtime_arguments(figures)
@@ -317,6 +356,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="model: analytic cost model (instant); simulate: build a "
                              "measurement-driven table from simulator sweeps "
                              "(use small --nodes/--ppn)")
+    _add_phases_argument(select, "switches to adaptive per-phase selection "
+                                 "over the workload's phases (simulate "
+                                 "engine; node count derives from the "
+                                 "workload, --nodes only bounds the cluster)")
     _add_fabric_argument(select)
     _add_faults_argument(select)
     _add_runtime_arguments(select)
@@ -364,6 +407,9 @@ def build_parser() -> argparse.ArgumentParser:
                                "'off' (default) simulates every rank")
     workload.add_argument("--no-model", action="store_true",
                           help="skip the analytic-model comparison")
+    _add_phases_argument(workload, "runs the phases back-to-back on one "
+                                   "engine timeline with --algorithm "
+                                   "(overrides --pattern/--trace)")
     _add_fabric_argument(workload)
     _add_faults_argument(workload)
     _add_runtime_arguments(workload)
@@ -399,6 +445,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "syntax as the other subcommands' --faults); faults "
                              "perturb timings only, so verdicts and golden "
                              "digests must stay unchanged")
+    verify.add_argument("--phased", action="store_true",
+                        help="sample multi-phase scenarios too (phased workloads "
+                             "run end-to-end on one engine timeline); off by "
+                             "default so existing seeds keep their digests")
 
     trace = sub.add_parser(
         "trace",
@@ -426,8 +476,29 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="also write the run's metrics registry snapshot "
                             "as a JSON sidecar")
+    _add_phases_argument(trace, "trace the phases back-to-back on one "
+                                "timeline (phase boundaries become spans on "
+                                "the rank tracks; needs a v-algorithm)")
     _add_fabric_argument(trace)
     _add_faults_argument(trace)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="parse a recorded trace (phase-log JSONL or MoE token-routing) "
+             "into a phased workload and print / save / index it",
+    )
+    ingest.add_argument("trace", nargs="?", default=None,
+                        help="trace file to ingest (omit with --list)")
+    ingest.add_argument("--store", default=None, metavar="DIR",
+                        help="content-addressed trace store directory to index "
+                             "the workload in (created if missing)")
+    ingest.add_argument("--name", default=None,
+                        help="human-readable name to bind in the store index")
+    ingest.add_argument("--out", default=None, metavar="PATH",
+                        help="write the normalised phased workload as canonical "
+                             "JSON (the format --phases accepts)")
+    ingest.add_argument("--list", action="store_true",
+                        help="list the store's indexed workloads (requires --store)")
 
     perf = sub.add_parser(
         "perf", help="time the simulator hot path on the canonical job suite"
@@ -495,13 +566,17 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             "--faults requires --engine simulate (the analytic model has no "
             "machine to degrade)"
         )
+    phased = _phases_from_args(args)
+    if phased is not None and selected != ["adaptive"]:
+        raise SystemExit("--phases is only valid with --id adaptive")
     cluster = get_system(system, nodes, fabric=fabric) if system is not None else None
     executor = _executor_from_args(args)
     try:
         for figure_id in selected:
             producer = FIGURES[figure_id]
+            extra = {"workload": phased} if phased is not None else {}
             figure = producer(cluster, ppn=ppn, engine=args.engine, executor=executor,
-                              engine_jobs=args.engine_jobs, faults=faults)
+                              engine_jobs=args.engine_jobs, faults=faults, **extra)
             print(to_csv(figure) if args.csv else format_figure(figure))
             print()
         if args.headline:
@@ -560,6 +635,31 @@ def _cmd_select(args: argparse.Namespace) -> int:
             "--faults requires --engine simulate (the analytic model has no "
             "machine to degrade)"
         )
+    phased = _phases_from_args(args)
+    if phased is not None:
+        if args.engine != "simulate":
+            raise SystemExit(
+                "--phases requires --engine simulate (per-phase costs come "
+                "from the discrete-event engine)"
+            )
+        from repro.core.selection import select_phased
+
+        executor = _executor_from_args(args)
+        try:
+            selection = select_phased(cluster, ppn, phased, executor=executor,
+                                      engine_jobs=args.engine_jobs, faults=faults)
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc)) from exc
+        finally:
+            _finish_executor(executor)
+        nodes = phased.nprocs // ppn
+        print(f"Adaptive per-phase selection on {cluster.name} "
+              f"({nodes} nodes x {ppn} ppn, {phased.num_phases} phase(s)):")
+        print(selection.describe())
+        if selection.skipped:
+            print("skipped candidates: "
+                  + ", ".join(c.describe() for c in selection.skipped))
+        return 0
     executor = _executor_from_args(args)
     try:
         if args.engine == "simulate":
@@ -623,9 +723,50 @@ def _workload_matrix(args: argparse.Namespace, nprocs: int):
     return make_pattern(args.pattern, nprocs, args.msg_bytes, **pattern_options)
 
 
+def _cmd_workload_phased(args: argparse.Namespace, pmap: ProcessMap, workload) -> int:
+    """The --phases path of the workload subcommand: one phased job, simulated."""
+    from repro.core.runner import run_phased_workload
+
+    if workload.nprocs != pmap.nprocs:
+        raise SystemExit(
+            f"phased workload describes {workload.nprocs} ranks but "
+            f"{args.nodes} nodes x {args.ppn} ppn gives {pmap.nprocs}"
+        )
+    if args.fold != "off":
+        raise SystemExit(
+            "--phases does not support symmetry folding (the phases share "
+            "one engine timeline)"
+        )
+    options: dict = {}
+    if args.inner is not None:
+        options["inner"] = args.inner
+    if args.group_size is not None:
+        if args.algorithm != "node-aware":
+            raise SystemExit(f"--group-size is not applicable to algorithm {args.algorithm!r}")
+        options["procs_per_group"] = args.group_size
+    algorithms = (args.algorithm, tuple(sorted(options.items()))) if options \
+        else args.algorithm
+
+    print(f"Workload: {workload.describe()}")
+    print(f"Machine:  {pmap.describe()}")
+    try:
+        outcome = run_phased_workload(algorithms, pmap, workload,
+                                      engine_jobs=args.engine_jobs,
+                                      faults=_faults_from_args(args))
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from exc
+    print(outcome.summary())
+    for phase, seconds in sorted(outcome.phase_times.items()):
+        print(f"  phase {phase:<22s} {seconds:.3e} s")
+    return 0 if outcome.correct else 1
+
+
 def _cmd_workload(args: argparse.Namespace) -> int:
     cluster = get_system(args.system, args.nodes, fabric=_fabric_from_args(args))
     pmap = ProcessMap(cluster, ppn=args.ppn, num_nodes=args.nodes)
+    phased = _phases_from_args(args)
+    if phased is not None:
+        return _cmd_workload_phased(args, pmap, phased)
     try:
         matrix = _workload_matrix(args, pmap.nprocs)
     except ConfigurationError as exc:
@@ -707,9 +848,12 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
     fabric = _fabric_from_args(args)
     faults = _faults_from_args(args)
-    # Trailing optional task slots (see verify_task): fabric, engine_jobs, faults.
-    if faults is not None:
-        extra: tuple = (fabric, args.engine_jobs, faults)
+    # Trailing optional task slots (see verify_task): fabric, engine_jobs,
+    # faults, phased.
+    if args.phased:
+        extra: tuple = (fabric, args.engine_jobs, faults, True)
+    elif faults is not None:
+        extra = (fabric, args.engine_jobs, faults)
     elif args.engine_jobs != 1:
         extra = (fabric, args.engine_jobs)
     elif fabric is not None:
@@ -766,9 +910,32 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     cluster = get_system(args.system, args.nodes, fabric=_fabric_from_args(args))
     pmap = ProcessMap(cluster, ppn=args.ppn, num_nodes=args.nodes)
     faults = _faults_from_args(args)
+    phased = _phases_from_args(args)
     sink = RecordingSink()
     try:
-        if args.pattern is not None:
+        if phased is not None:
+            from repro.core.runner import run_phased_workload
+
+            if args.algorithm not in list_v_algorithms():
+                raise SystemExit(
+                    f"--phases needs a v-algorithm ({', '.join(list_v_algorithms())}), "
+                    f"got {args.algorithm!r}"
+                )
+            if phased.nprocs != pmap.nprocs:
+                raise SystemExit(
+                    f"phased workload describes {phased.nprocs} ranks but "
+                    f"{args.nodes} nodes x {args.ppn} ppn gives {pmap.nprocs}"
+                )
+            options = {}
+            if args.inner is not None:
+                options["inner"] = args.inner
+            if args.group_size is not None:
+                options["procs_per_group"] = args.group_size
+            algorithms = (args.algorithm, tuple(sorted(options.items()))) \
+                if options else args.algorithm
+            outcome = run_phased_workload(algorithms, pmap, phased, sink=sink,
+                                          faults=faults)
+        elif args.pattern is not None:
             if args.algorithm not in list_v_algorithms():
                 raise SystemExit(
                     f"--pattern needs a v-algorithm ({', '.join(list_v_algorithms())}), "
@@ -793,7 +960,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         f"{args.algorithm} on {cluster.name}, {args.nodes} nodes x {args.ppn} ppn, "
         f"{args.msg_bytes} B"
     )
-    if args.pattern is not None:
+    if phased is not None:
+        configuration += f", phases={','.join(phased.names)}"
+    elif args.pattern is not None:
         configuration += f", pattern={args.pattern}"
     if args.fabric is not None:
         configuration += f", fabric={args.fabric}"
@@ -817,6 +986,48 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print()
     print(format_metrics(metrics))
     return 0 if outcome.correct else 1
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.ingest import TraceStore, normalize_trace, parse_trace
+    from repro.workloads import save_phased
+
+    if args.list:
+        if args.store is None:
+            raise SystemExit("--list requires --store DIR")
+        entries = TraceStore(args.store).entries()
+        if not entries:
+            print(f"trace store {args.store}: empty")
+            return 0
+        print(f"trace store {args.store}: {len(entries)} workload(s)")
+        for entry in entries:
+            print(f"  {entry.describe()}")
+        return 0
+
+    if args.trace is None:
+        raise SystemExit("ingest needs a trace file (or --list with --store)")
+    if args.name is not None and args.store is None:
+        raise SystemExit("--name requires --store")
+    try:
+        parsed = parse_trace(args.trace)
+        workload = normalize_trace(parsed)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from exc
+    print(f"parsed {args.trace}: format={parsed.format}, "
+          f"{len(parsed.records)} record(s)")
+    print(workload.describe())
+    print(f"digest: {workload.digest()}")
+    if args.out is not None:
+        save_phased(workload, args.out)
+        print(f"wrote {args.out}")
+    if args.store is not None:
+        try:
+            key = TraceStore(args.store).put(workload, name=args.name)
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc)) from exc
+        label = f" as {args.name!r}" if args.name is not None else ""
+        print(f"indexed in {args.store}{label} [{key[:12]}]")
+    return 0
 
 
 def _cmd_perf(args: argparse.Namespace) -> int:
@@ -875,6 +1086,7 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "perf": _cmd_perf,
     "trace": _cmd_trace,
+    "ingest": _cmd_ingest,
 }
 
 

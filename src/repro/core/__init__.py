@@ -23,8 +23,25 @@ from repro.core.alltoall import (
     list_algorithms,
     list_v_algorithms,
 )
-from repro.core.runner import AlltoallOutcome, WorkloadOutcome, run_alltoall, run_workload
-from repro.core.selection import AlgorithmSelector, SelectionTable, build_selection_table
+from repro.core.runner import (
+    AlltoallOutcome,
+    JobOutcome,
+    PhasedJob,
+    PhasedOutcome,
+    PhaseResult,
+    WorkloadOutcome,
+    run_alltoall,
+    run_phased,
+    run_phased_workload,
+    run_workload,
+)
+from repro.core.selection import (
+    AlgorithmSelector,
+    PhasedSelection,
+    SelectionTable,
+    build_selection_table,
+    select_phased,
+)
 from repro.core.validation import (
     alltoallv_reference,
     expected_alltoall_result,
@@ -45,11 +62,19 @@ __all__ = [
     "list_v_algorithms",
     "AlltoallOutcome",
     "WorkloadOutcome",
+    "PhasedJob",
+    "PhaseResult",
+    "JobOutcome",
+    "PhasedOutcome",
     "run_alltoall",
     "run_workload",
+    "run_phased",
+    "run_phased_workload",
     "AlgorithmSelector",
+    "PhasedSelection",
     "SelectionTable",
     "build_selection_table",
+    "select_phased",
     "expected_alltoall_result",
     "expected_workload_result",
     "validate_alltoall_results",

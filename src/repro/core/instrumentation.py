@@ -64,12 +64,12 @@ class PhaseRecorder:
                 f"cannot stop phase {phase!r}: open phase is {self._open!r}"
             )
         ctx = self._ctx
-        now = ctx.now
-        ctx.add_timing(phase, now - self._start_time)
-        self._open = None
+        stop_time = ctx.now
+        ctx.add_timing(phase, stop_time - self._start_time)
         sink = ctx._engine.sink
         if sink is not None:
-            sink.phase(ctx.rank, phase, self._start_time, now)
+            sink.phase(ctx.rank, phase, self._start_time, stop_time)
+        self._open = None
 
     @contextmanager
     def phase(self, name: str):

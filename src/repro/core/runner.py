@@ -44,10 +44,17 @@ from repro.workloads.matrix import TrafficMatrix
 __all__ = [
     "AlltoallOutcome",
     "WorkloadOutcome",
+    "PhasedJob",
+    "PhaseResult",
+    "JobOutcome",
+    "PhasedOutcome",
     "run_alltoall",
     "run_workload",
+    "run_phased",
+    "run_phased_workload",
     "alltoall_program",
     "workload_program",
+    "phased_program",
     "FOLD_MODES",
 ]
 
@@ -336,6 +343,357 @@ class WorkloadOutcome:
             + (f" [{phases}]" if phases else "")
             + ("" if self.correct else "  ** INCORRECT RESULT **")
         )
+
+
+# ---------------------------------------------------------------------------
+# Phased workloads (multi-exchange timelines, optional multi-job interference)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PhasedJob:
+    """One job of a phased run: a workload, its per-phase algorithms, its nodes.
+
+    ``algorithms`` holds one ``(name, options)`` pair per phase of the
+    workload — the *assignment*.  A static assignment repeats the same
+    pair for every phase; an adaptive one re-picks per phase (see
+    :func:`repro.core.selection.select_phased`).
+    """
+
+    workload: Any
+    algorithms: tuple[tuple[str, tuple[tuple[str, Any], ...]], ...]
+    num_nodes: int
+
+    @classmethod
+    def make(cls, workload, algorithms, num_nodes: int) -> "PhasedJob":
+        """Build a job, normalising ``algorithms`` into the canonical tuple form.
+
+        ``algorithms`` may be a single algorithm (name, ``(name, options)``
+        pair, or anything with ``.algorithm``/``.as_kwargs()`` such as a
+        :class:`~repro.core.selection.CandidateConfig`) applied to every
+        phase, or a sequence with one such entry per phase.
+        """
+        num_phases = workload.num_phases
+        if isinstance(algorithms, (str, tuple)) or hasattr(algorithms, "algorithm"):
+            entries = [algorithms] * num_phases
+        else:
+            entries = list(algorithms)
+        if len(entries) != num_phases:
+            raise ConfigurationError(
+                f"phased job needs one algorithm per phase: got {len(entries)} "
+                f"for {num_phases} phase(s)"
+            )
+        normalised = []
+        for entry in entries:
+            if hasattr(entry, "algorithm") and hasattr(entry, "as_kwargs"):
+                name, options = entry.algorithm, entry.as_kwargs()
+            elif isinstance(entry, str):
+                name, options = entry, {}
+            elif isinstance(entry, tuple) and len(entry) == 2:
+                name, options = entry[0], dict(entry[1])
+            else:
+                raise ConfigurationError(
+                    f"cannot interpret {entry!r} as a phase algorithm; expected "
+                    "a name, a (name, options) pair or a candidate config"
+                )
+            normalised.append((name, tuple(sorted(options.items()))))
+        return cls(workload=workload, algorithms=tuple(normalised),
+                   num_nodes=num_nodes)
+
+    def describe_assignment(self) -> str:
+        parts = []
+        for (name, options), phase in zip(self.algorithms, self.workload.phases):
+            opts = ", ".join(f"{k}={v}" for k, v in options)
+            parts.append(f"{phase.name}={name}({opts})" if opts else f"{phase.name}={name}")
+        return "; ".join(parts)
+
+
+@dataclass
+class PhaseResult:
+    """Realized timing of one phase of one job."""
+
+    #: Phase name from the workload.
+    name: str
+    #: Algorithm description the phase ran with.
+    algorithm: str
+    #: Back-to-back repeats of the exchange.
+    repeats: int
+    #: Max-over-ranks simulated time spent in the phase (all repeats).
+    elapsed: float
+    #: Whether the phase's receive buffers matched the reference.
+    correct: bool
+
+
+@dataclass
+class JobOutcome:
+    """Realized outcome of one job of a phased run."""
+
+    index: int
+    num_nodes: int
+    ppn: int
+    phases: list[PhaseResult]
+    #: Simulated completion time of the job (max over its ranks).
+    elapsed: float
+
+    @property
+    def correct(self) -> bool:
+        return all(phase.correct for phase in self.phases)
+
+    def summary(self) -> str:
+        steps = ", ".join(
+            f"{p.name}[{p.algorithm}]={p.elapsed:.3e}s" for p in self.phases
+        )
+        return (
+            f"job{self.index} ({self.num_nodes} nodes x {self.ppn} ppn): "
+            f"{self.elapsed:.3e} s [{steps}]"
+            + ("" if self.correct else "  ** INCORRECT RESULT **")
+        )
+
+
+@dataclass
+class PhasedOutcome:
+    """Result of one phased (possibly multi-job) simulation."""
+
+    jobs: list[JobOutcome]
+    num_nodes: int
+    ppn: int
+    #: Simulated completion time of the whole run (max over all jobs).
+    elapsed: float
+    #: Max-over-ranks duration of every recorded span (phase boundaries,
+    #: per-job totals, and the algorithms' internal phases).
+    phase_times: dict[str, float] = field(default_factory=dict)
+    #: Message and byte counts per locality level (whole run).
+    traffic_by_level: dict[LocalityLevel, tuple[int, int]] = field(default_factory=dict)
+    #: Full engine result; ``None`` with ``keep_job=False``.
+    job: JobResult | None = None
+
+    @property
+    def correct(self) -> bool:
+        return all(job.correct for job in self.jobs)
+
+    def summary(self) -> str:
+        lines = [
+            f"phased run: {len(self.jobs)} job(s) on {self.num_nodes} nodes "
+            f"x {self.ppn} ppn -> {self.elapsed:.3e} s"
+        ]
+        lines.extend(job.summary() for job in self.jobs)
+        return "\n".join(lines)
+
+
+def _phase_label(num_jobs: int, job_index: int, phase_index: int, name: str) -> str:
+    """Span label of one phase: stable, parseable, unique per (job, phase)."""
+    label = f"phase{phase_index}:{name}"
+    return label if num_jobs == 1 else f"job{job_index}/{label}"
+
+
+def _job_total_label(num_jobs: int, job_index: int) -> str:
+    return "job:total" if num_jobs == 1 else f"job{job_index}:total"
+
+
+@dataclass(frozen=True)
+class _JobPlan:
+    """Resolved per-job execution plan shared by every rank program."""
+
+    index: int
+    rank_base: int
+    pmap: ProcessMap
+    #: One ``(label, algorithm instance, counts, repeats)`` tuple per phase.
+    phases: tuple
+    total_label: str
+
+
+def phased_program(ctx, plans: tuple, dtype):
+    """Rank program of a phased run: my job's phases, back-to-back.
+
+    The rank locates its job by engine-rank range, builds a job-local view
+    (:func:`repro.simmpi.jobview.job_view`) and runs every phase of its
+    job's plan through it.  A job-internal barrier separates consecutive
+    exchanges so no message of one phase can match a receive of the next;
+    jobs never synchronise with each other — their only coupling is link
+    contention on the shared fabric.
+
+    Each phase's span is recorded as ``phase<i>:<name>`` (prefixed with
+    ``job<j>/`` for multi-job runs) via
+    :meth:`~repro.simmpi.engine.RankContext.record_span`, so phase
+    boundaries land on the exported Chrome-trace rank tracks; the job's
+    completion time accumulates under its ``job:total`` label.
+    """
+    from repro.simmpi.jobview import job_view  # deferred: avoids an import cycle
+
+    plan = None
+    for candidate in plans:
+        if candidate.rank_base <= ctx.rank < candidate.rank_base + candidate.pmap.nprocs:
+            plan = candidate
+            break
+    assert plan is not None, f"rank {ctx.rank} belongs to no job"
+    view = job_view(ctx, plan.index, plan.rank_base, plan.pmap)
+    results = []
+    for label, algo, counts, repeats in plan.phases:
+        recvbuf = None
+        for _ in range(repeats):
+            sendbuf = make_workload_sendbuf(view.rank, counts, dtype=dtype)
+            recvbuf = np.zeros(int(counts[:, view.rank].sum()), dtype=dtype)
+            start = ctx.now
+            yield from algo.run(view, counts, sendbuf, recvbuf)
+            ctx.record_span(label, start, ctx.now)
+            # The barrier keeps consecutive exchanges from overlapping on a
+            # shared communicator context; it is job-internal, so other
+            # jobs keep running (and contending) freely.
+            yield from view.world.barrier()
+        results.append(recvbuf)
+    ctx.add_timing(plan.total_label, ctx.now)
+    ctx.result = results
+
+
+def run_phased(
+    jobs,
+    pmap: ProcessMap,
+    *,
+    dtype=np.uint8,
+    validate: bool = True,
+    record_trace: bool = False,
+    sink=None,
+    keep_job: bool = True,
+    engine_jobs: int = 1,
+    faults=None,
+) -> PhasedOutcome:
+    """Simulate one or more phased jobs on a single engine timeline.
+
+    Parameters
+    ----------
+    jobs:
+        Sequence of :class:`PhasedJob` descriptors.  Jobs are placed on
+        contiguous node ranges in order; their node counts must sum to
+        ``pmap.num_nodes`` and every job's workload must describe exactly
+        ``job.num_nodes * pmap.ppn`` ranks.
+    pmap:
+        Process map of the *whole machine* (all jobs).  Its cluster — and
+        in particular its fabric — is what the jobs share: on a tapered
+        dragonfly, one job's traffic delays another's, which is the
+        interference adaptive selection exploits.  Folded maps are
+        rejected (phases and multi-job placements break the rotation
+        symmetry folding relies on).
+    validate / record_trace / sink / keep_job / engine_jobs / faults:
+        As in :func:`run_workload`; validation checks every phase of every
+        job against the non-uniform reference transposition.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        raise ConfigurationError("a phased run needs at least one job")
+    if pmap.is_folded:
+        raise ConfigurationError(
+            "phased runs are incompatible with symmetry folding: phase "
+            "sequences and multi-job placements break the node-rotation "
+            "symmetry the fold relies on"
+        )
+    if faults is not None and not faults:
+        faults = None
+    total_nodes = sum(job.num_nodes for job in jobs)
+    if total_nodes != pmap.num_nodes:
+        raise ConfigurationError(
+            f"job node counts sum to {total_nodes} but the process map has "
+            f"{pmap.num_nodes} nodes"
+        )
+    np_dtype = np.dtype(dtype)
+
+    plans: list[_JobPlan] = []
+    node_base = 0
+    for index, job in enumerate(jobs):
+        if job.num_nodes <= 0:
+            raise ConfigurationError(
+                f"job {index} must occupy at least one node, got {job.num_nodes}"
+            )
+        job_pmap = ProcessMap(pmap.cluster, ppn=pmap.ppn, num_nodes=job.num_nodes)
+        if job.workload.nprocs != job_pmap.nprocs:
+            raise ConfigurationError(
+                f"job {index} workload describes {job.workload.nprocs} ranks "
+                f"but its placement has {job_pmap.nprocs} "
+                f"({job.num_nodes} nodes x {pmap.ppn} ppn)"
+            )
+        phases = []
+        for phase_index, (phase, (name, options)) in enumerate(
+            zip(job.workload.phases, job.algorithms)
+        ):
+            algo = get_v_algorithm(name, **dict(options))
+            counts = phase.matrix.item_counts(np_dtype)
+            algo.validate(job_pmap, counts)
+            label = _phase_label(len(jobs), index, phase_index, phase.name)
+            phases.append((label, algo, counts, phase.repeats))
+        plans.append(
+            _JobPlan(
+                index=index,
+                rank_base=node_base * pmap.ppn,
+                pmap=job_pmap,
+                phases=tuple(phases),
+                total_label=_job_total_label(len(jobs), index),
+            )
+        )
+        node_base += job.num_nodes
+
+    engine_result = run_spmd(
+        pmap, phased_program, tuple(plans), np_dtype,
+        record_trace=record_trace, sink=sink, engine_jobs=engine_jobs,
+        faults=faults,
+    )
+
+    phase_times = {name: engine_result.phase_time(name) for name in engine_result.phases()}
+    job_outcomes: list[JobOutcome] = []
+    for plan, job in zip(plans, jobs):
+        phase_results: list[PhaseResult] = []
+        for (label, algo, counts, repeats), phase in zip(plan.phases, job.workload.phases):
+            correct = True
+            if validate:
+                base = plan.rank_base
+                phase_index = len(phase_results)
+                bufs = [
+                    engine_result.results[base + rank][phase_index]
+                    for rank in range(plan.pmap.nprocs)
+                ]
+                correct = validate_workload_results(bufs, counts)
+            phase_results.append(
+                PhaseResult(
+                    name=phase.name,
+                    algorithm=algo.describe(),
+                    repeats=repeats,
+                    elapsed=phase_times.get(label, 0.0),
+                    correct=correct,
+                )
+            )
+        job_outcomes.append(
+            JobOutcome(
+                index=plan.index,
+                num_nodes=job.num_nodes,
+                ppn=pmap.ppn,
+                phases=phase_results,
+                elapsed=phase_times.get(plan.total_label, 0.0),
+            )
+        )
+
+    return PhasedOutcome(
+        jobs=job_outcomes,
+        num_nodes=pmap.num_nodes,
+        ppn=pmap.ppn,
+        elapsed=engine_result.elapsed,
+        phase_times=phase_times,
+        traffic_by_level=dict(engine_result.traffic_by_level),
+        job=engine_result if keep_job else None,
+    )
+
+
+def run_phased_workload(
+    algorithms,
+    pmap: ProcessMap,
+    workload,
+    **kwargs,
+) -> PhasedOutcome:
+    """Simulate one phased workload occupying the whole machine.
+
+    ``algorithms`` is a single algorithm applied to every phase or a
+    per-phase sequence (see :meth:`PhasedJob.make`); everything else is as
+    in :func:`run_phased`.
+    """
+    job = PhasedJob.make(workload, algorithms, pmap.num_nodes)
+    return run_phased([job], pmap, **kwargs)
 
 
 def workload_program(ctx, algorithm: AlltoallvAlgorithm, counts: np.ndarray, dtype):

@@ -27,6 +27,10 @@ __all__ = [
     "AlgorithmSelector",
     "SelectionTable",
     "build_selection_table",
+    "PhaseChoice",
+    "PhasedSelection",
+    "default_v_candidates",
+    "select_phased",
 ]
 
 
@@ -212,3 +216,186 @@ def _log2(value: int) -> float:
     from math import log2
 
     return log2(value) if value > 0 else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Adaptive per-phase selection for phased workloads
+# ---------------------------------------------------------------------------
+
+
+def default_v_candidates(ppn: int) -> list[CandidateConfig]:
+    """The v-capable candidate set for per-phase (alltoallv) selection."""
+    candidates = [
+        CandidateConfig.make("pairwise"),
+        CandidateConfig.make("nonblocking"),
+        CandidateConfig.make("node-aware"),
+    ]
+    if ppn > 1:
+        candidates.append(CandidateConfig.make("node-aware", inner="nonblocking"))
+    return candidates
+
+
+@dataclass(frozen=True)
+class PhaseChoice:
+    """Adaptive selection's pick for one phase."""
+
+    #: Phase name from the workload.
+    phase: str
+    #: The winning candidate for this phase.
+    candidate: CandidateConfig
+    #: Its per-phase cost (seconds, repeats included).
+    seconds: float
+
+
+@dataclass
+class PhasedSelection:
+    """Static-vs-adaptive selection verdict for one phased workload.
+
+    ``table[phase_index][candidate]`` holds every evaluated per-phase cost
+    (seconds, repeats included); ``static`` is the single candidate with
+    the cheapest *total* across phases (what a tuning file would pin for
+    the whole iteration), ``choices`` re-picks the winner per phase.  By
+    construction ``adaptive_seconds <= static_seconds``; the gap is the
+    price of phase-blind selection, and it widens under fabric
+    interference (see :func:`repro.bench.figures.figure_adaptive`).
+    """
+
+    #: Phase names, in workload order.
+    phases: list[str]
+    #: Candidates that were evaluated on every phase.
+    candidates: list[CandidateConfig]
+    #: Candidates dropped because some phase rejected their configuration.
+    skipped: list[CandidateConfig]
+    #: Per-phase evaluated costs: one ``{candidate: seconds}`` dict per phase.
+    table: list[dict[CandidateConfig, float]]
+    #: Cheapest single candidate by total across phases.
+    static: CandidateConfig
+    #: Its predicted total (seconds).
+    static_seconds: float
+    #: Per-phase winners.
+    choices: list[PhaseChoice]
+    #: Total of the per-phase winners (seconds).
+    adaptive_seconds: float
+
+    @property
+    def assignment(self) -> list[CandidateConfig]:
+        """The adaptive per-phase assignment (one candidate per phase)."""
+        return [choice.candidate for choice in self.choices]
+
+    @property
+    def is_flip(self) -> bool:
+        """Whether adaptive actually deviates from the static pick somewhere."""
+        return any(choice.candidate != self.static for choice in self.choices)
+
+    def describe(self) -> str:
+        lines = [
+            f"static pick: {self.static.describe()} -> {self.static_seconds:.3e} s",
+            f"adaptive:    {self.adaptive_seconds:.3e} s",
+        ]
+        for choice in self.choices:
+            lines.append(
+                f"  {choice.phase}: {choice.candidate.describe()} "
+                f"({choice.seconds:.3e} s)"
+            )
+        return "\n".join(lines)
+
+
+def select_phased(
+    cluster: Cluster,
+    ppn: int,
+    workload,
+    *,
+    candidates: Sequence[CandidateConfig] | None = None,
+    engine: str = "simulate",
+    repetitions: int = 1,
+    executor: SweepExecutor | None = None,
+    engine_jobs: int = 1,
+    faults=None,
+) -> PhasedSelection:
+    """Evaluate every candidate on every phase and pick static vs adaptive.
+
+    Each (phase, candidate) pair becomes one ordinary workload
+    :class:`~repro.runtime.PointSpec` over the phase's traffic matrix —
+    cacheable and executor-parallel exactly like any other benchmark
+    point.  Candidates whose configuration is rejected by *any* phase
+    (e.g. a group size the placement cannot host) are dropped from the
+    comparison and reported in ``skipped``.
+
+    The phase costs are priced in isolation — which is precisely what a
+    tuning table can do.  Under fabric interference the realized totals
+    shift, and the adaptive assignment's lead over the static pick is what
+    the ``adaptive`` figure measures end-to-end.
+    """
+    from repro.bench.harness import BenchmarkHarness  # local import to avoid a cycle
+    from repro.core.alltoall.valgorithms import get_v_algorithm
+    from repro.errors import ReproError
+    from repro.machine.process_map import ProcessMap
+
+    chosen = list(candidates) if candidates is not None else default_v_candidates(ppn)
+    if not chosen:
+        raise ConfigurationError("phased selection needs at least one candidate")
+    if workload.nprocs % ppn != 0:
+        raise ConfigurationError(
+            f"workload has {workload.nprocs} ranks, not a multiple of ppn={ppn}"
+        )
+    num_nodes = workload.nprocs // ppn
+    pmap = ProcessMap(cluster, ppn=ppn, num_nodes=num_nodes)
+
+    # Pre-filter: a candidate must be applicable to every phase, or static
+    # selection could not run it for the whole iteration.
+    applicable: list[CandidateConfig] = []
+    skipped: list[CandidateConfig] = []
+    for candidate in chosen:
+        try:
+            algo = get_v_algorithm(candidate.algorithm, **candidate.as_kwargs())
+            for phase in workload.phases:
+                algo.validate(pmap, phase.matrix.item_counts())
+        except ReproError:
+            skipped.append(candidate)
+            continue
+        applicable.append(candidate)
+    if not applicable:
+        raise ConfigurationError(
+            "no candidate is applicable to every phase of the workload; "
+            f"skipped: {[c.describe() for c in skipped]}"
+        )
+
+    harness = BenchmarkHarness(cluster, ppn, engine=engine, repetitions=repetitions,
+                               executor=executor, engine_jobs=engine_jobs,
+                               faults=faults)
+    pairs = [
+        (phase_index, candidate)
+        for phase_index in range(workload.num_phases)
+        for candidate in applicable
+    ]
+    specs = [
+        harness.workload_spec(
+            candidate.algorithm, workload.phases[phase_index].matrix, num_nodes,
+            **candidate.as_kwargs(),
+        )
+        for phase_index, candidate in pairs
+    ]
+    table: list[dict[CandidateConfig, float]] = [{} for _ in workload.phases]
+    for (phase_index, candidate), timed in zip(pairs, harness.run_specs(specs)):
+        table[phase_index][candidate] = timed.seconds * workload.phases[phase_index].repeats
+
+    choices: list[PhaseChoice] = []
+    for phase, costs in zip(workload.phases, table):
+        best = min(applicable, key=lambda c: costs[c])  # first wins ties
+        choices.append(PhaseChoice(phase=phase.name, candidate=best,
+                                   seconds=costs[best]))
+    totals = {
+        candidate: sum(costs[candidate] for costs in table)
+        for candidate in applicable
+    }
+    static = min(applicable, key=lambda c: totals[c])
+    return PhasedSelection(
+        phases=[phase.name for phase in workload.phases],
+        candidates=applicable,
+        skipped=skipped,
+        table=table,
+        static=static,
+        static_seconds=totals[static],
+        choices=choices,
+        adaptive_seconds=sum(choice.seconds for choice in choices),
+    )

@@ -1,0 +1,62 @@
+"""Trace ingestion: from application logs to :class:`~repro.workloads.PhasedWorkload`.
+
+Real workloads do not arrive as clean traffic matrices — they arrive as
+logs: an MoE router dumping per-layer token counts, or a communication
+profiler logging ``(phase, src, dst, bytes)`` tuples.  This package is the
+pipeline that turns those logs into the phased workloads the simulator,
+model and adaptive selector consume, mirroring the classic
+parser → normaliser → indexer chain:
+
+* :mod:`repro.ingest.parser` — reads the two supported JSON(L) formats
+  (``phase-log`` and ``moe-routing``) into a flat stream of
+  :class:`~repro.ingest.parser.TraceRecord` objects plus trace metadata;
+* :mod:`repro.ingest.normalize` — rebases ranks to a contiguous
+  ``0..P-1`` range, merges duplicate ``(phase, src, dst)`` records, splits
+  the stream at phase boundaries and collapses repeated identical phases
+  into repeat counts, yielding a :class:`~repro.workloads.PhasedWorkload`
+  that conserves the input's per-phase byte totals exactly;
+* :mod:`repro.ingest.store` — a content-addressed on-disk
+  :class:`~repro.ingest.store.TraceStore`: every entry is keyed by the
+  SHA-256 of the workload's canonical JSON, so the key is a pure function
+  of the ingested content (independent of record order, ingestion
+  parallelism or wall-clock time).
+
+:func:`ingest_trace` chains all three::
+
+    from repro.ingest import ingest_trace
+
+    workload = ingest_trace("moe-router-dump.jsonl")
+    # or, persisting into a store:
+    workload = ingest_trace("dump.jsonl", store=TraceStore(".traces"), name="moe")
+"""
+
+from __future__ import annotations
+
+from repro.ingest.normalize import normalize_trace
+from repro.ingest.parser import ParsedTrace, TraceRecord, parse_trace
+from repro.ingest.store import StoreEntry, TraceStore
+
+__all__ = [
+    "TraceRecord",
+    "ParsedTrace",
+    "parse_trace",
+    "normalize_trace",
+    "TraceStore",
+    "StoreEntry",
+    "ingest_trace",
+]
+
+
+def ingest_trace(source, *, store: TraceStore | None = None, name: str | None = None):
+    """Parse, normalise and (optionally) index one trace.
+
+    ``source`` is anything :func:`repro.ingest.parser.parse_trace` accepts —
+    a path to a JSON(L) file, the raw text, or already-decoded objects.
+    When ``store`` is given the resulting workload is persisted under its
+    content hash (and under ``name``, if provided).  Returns the
+    :class:`~repro.workloads.PhasedWorkload`.
+    """
+    workload = normalize_trace(parse_trace(source))
+    if store is not None:
+        store.put(workload, name=name)
+    return workload

@@ -1,0 +1,96 @@
+"""Normaliser: flat trace records -> a canonical :class:`PhasedWorkload`.
+
+The parser hands over a raw record stream; this module applies the three
+semantic transformations that make it a well-formed workload:
+
+1. **Rank rebasing** — profilers log global job ranks (often a sparse
+   subset: rank 0 may be a parameter server, a sub-communicator may start
+   at 512).  The observed rank set is remapped onto the contiguous
+   ``0..P-1`` range in sorted order.  When the trace declares ``nprocs``
+   the identity mapping is kept (all declared ranks participate, silent
+   ones simply send nothing) and out-of-range ranks are rejected.
+2. **Record merging** — duplicate ``(phase, src, dst)`` observations (one
+   per microbatch, per message, ...) are summed into a single matrix
+   entry, making the result independent of record order.
+3. **Phase splitting** — records are grouped into ordered phases (the
+   order phases first appear in the trace); adjacent phases that carry an
+   identical matrix and name are collapsed into a repeat count, and the
+   meta line's declared ``repeats`` multiply on top.
+
+Byte totals are conserved exactly: for every phase, the sum of the input
+record bytes equals the phase matrix total (and the workload-level
+:meth:`~repro.workloads.PhasedWorkload.combined_matrix` total equals the
+whole trace's byte volume, repeats included) — pinned by the hypothesis
+property suite in ``tests/properties/test_ingest_properties.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ingest.parser import ParsedTrace, TraceRecord
+from repro.workloads.matrix import TrafficMatrix
+from repro.workloads.phased import Phase, PhasedWorkload
+
+__all__ = ["normalize_trace", "rank_map"]
+
+
+def rank_map(records: list[TraceRecord], nprocs: int | None) -> dict[int, int]:
+    """The observed-rank -> contiguous-rank mapping normalisation applies.
+
+    With a declared ``nprocs`` this is the identity on ``0..nprocs-1`` and
+    every observed rank must fall in that range; without one, the observed
+    ranks are rebased onto ``0..P-1`` in sorted order.
+    """
+    observed = sorted({r.src for r in records} | {r.dst for r in records})
+    if not observed:
+        raise ConfigurationError("a trace must mention at least one rank")
+    if observed[0] < 0:
+        raise ConfigurationError(
+            f"trace record ranks must be non-negative, got {observed[0]}"
+        )
+    if nprocs is not None:
+        if observed[-1] >= nprocs:
+            raise ConfigurationError(
+                f"trace mentions rank {observed[-1]} but declares only "
+                f"{nprocs} ranks"
+            )
+        return {rank: rank for rank in range(nprocs)}
+    return {rank: index for index, rank in enumerate(observed)}
+
+
+def normalize_trace(parsed: ParsedTrace) -> PhasedWorkload:
+    """Rebase, merge and split ``parsed`` into a :class:`PhasedWorkload`."""
+    records = parsed.records
+    if not records:
+        raise ConfigurationError("a trace must contain at least one record")
+    mapping = rank_map(records, parsed.nprocs)
+    size = len(mapping)
+
+    # Group by phase, preserving first-appearance order (the `order` field
+    # is assigned by the parser and survives any on-disk interleaving).
+    grouped: dict[str, tuple[int, np.ndarray]] = {}
+    for record in records:
+        entry = grouped.get(record.phase)
+        if entry is None:
+            entry = (record.order, np.zeros((size, size), dtype=np.int64))
+            grouped[record.phase] = entry
+        # Merge: duplicate (phase, src, dst) observations sum.
+        entry[1][mapping[record.src], mapping[record.dst]] += record.bytes
+
+    phases: list[Phase] = []
+    for name in sorted(grouped, key=lambda n: grouped[n][0]):
+        matrix = TrafficMatrix(grouped[name][1], pattern="trace")
+        repeats = parsed.repeats.get(name, 1)
+        if phases and phases[-1].name == name and phases[-1].matrix == matrix:
+            # Collapse an adjacent identical phase into its repeat count.
+            previous = phases.pop()
+            repeats += previous.repeats
+        phases.append(Phase(name=name, matrix=matrix, repeats=repeats))
+    unknown = set(parsed.repeats) - set(grouped)
+    if unknown:
+        raise ConfigurationError(
+            f"trace meta declares repeats for unknown phase(s): {sorted(unknown)}"
+        )
+    return PhasedWorkload(phases)

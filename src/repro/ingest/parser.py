@@ -1,0 +1,300 @@
+"""Parsers for the two supported trace formats.
+
+Both formats are JSON Lines (one object per line; a single JSON array of
+the same objects is also accepted).  An optional first ``meta`` line
+declares the format explicitly and carries trace-level attributes; without
+it the format is detected from the record keys.
+
+``phase-log`` — a communication profiler's dump, one record per observed
+transfer::
+
+    {"meta": {"format": "phase-log", "nprocs": 8, "repeats": {"dispatch": 4}}}
+    {"phase": "dispatch", "src": 0, "dst": 3, "bytes": 4096}
+    {"phase": "combine",  "src": 3, "dst": 0, "bytes": 4096}
+
+``moe-routing`` — an MoE router's per-layer token-routing table.  Each
+record says how many tokens rank ``src`` routed to the expert hosted on
+rank ``dst`` in layer ``layer``; bytes are ``tokens * bytes_per_token``.
+Every layer expands into a ``dispatch`` phase (token shuffle to the
+experts) and a ``combine`` phase (the transposed return traffic)::
+
+    {"meta": {"format": "moe-routing", "bytes_per_token": 64, "nprocs": 8}}
+    {"layer": 0, "src": 0, "dst": 3, "tokens": 17}
+
+The parser is deliberately dumb: it validates shape and types, converts to
+a flat :class:`TraceRecord` stream and leaves every semantic decision
+(rank rebasing, merging, phase ordering) to :mod:`repro.ingest.normalize`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TraceRecord", "ParsedTrace", "parse_trace"]
+
+_FORMATS = ("phase-log", "moe-routing")
+
+#: Default payload size of one routed MoE token (bytes): a 32-wide hidden
+#: dimension of fp16 activations.  Overridable via the meta line.
+DEFAULT_BYTES_PER_TOKEN = 64
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One flat trace event: ``bytes`` sent ``src`` -> ``dst`` in ``phase``.
+
+    ``order`` is the phase's appearance index in the raw trace — the
+    normaliser uses it to keep phase execution order stable regardless of
+    how records are interleaved on disk.
+    """
+
+    phase: str
+    src: int
+    dst: int
+    bytes: int
+    order: int = 0
+
+
+@dataclass
+class ParsedTrace:
+    """Parser output: the flat record stream plus trace-level metadata."""
+
+    format: str
+    records: list[TraceRecord]
+    nprocs: int | None = None
+    #: Per-phase repeat counts declared by the meta line.
+    repeats: dict[str, int] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        declared = f", {self.nprocs} ranks declared" if self.nprocs else ""
+        return f"{self.format}: {len(self.records)} record(s){declared}"
+
+
+def _read_objects(source) -> list[Any]:
+    """Decode ``source`` (path / text / decoded objects) into a list of dicts."""
+    if isinstance(source, (str, os.PathLike)):
+        text = str(source)
+        is_path = isinstance(source, os.PathLike) or os.path.exists(text)
+        if is_path or not text.lstrip().startswith(("{", "[")):
+            try:
+                with open(source, "r", encoding="utf-8") as handle:
+                    text = handle.read()
+            except OSError as exc:
+                raise ConfigurationError(f"cannot read trace file {source!r}: {exc}") from exc
+        source = text
+        stripped = source.lstrip()
+        if stripped.startswith("["):
+            try:
+                decoded = json.loads(source)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(f"trace is not valid JSON: {exc}") from exc
+            return list(decoded)
+        objects = []
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                objects.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"trace line {lineno} is not valid JSON: {exc}"
+                ) from exc
+        return objects
+    if isinstance(source, dict):
+        return [source]
+    if isinstance(source, Iterable):
+        return list(source)
+    raise ConfigurationError(
+        f"cannot parse a trace from {type(source).__name__}; "
+        "expected a path, JSON(L) text or decoded objects"
+    )
+
+
+def _int_field(obj: dict, key: str, *, lineno: int) -> int:
+    try:
+        value = obj[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"trace record {lineno} is missing the {key!r} field: {obj!r}"
+        ) from None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(
+            f"trace record {lineno} field {key!r} must be an integer, got {value!r}"
+        )
+    return value
+
+
+def _split_meta(objects: list[Any]) -> tuple[dict, list[Any]]:
+    if objects and isinstance(objects[0], dict) and "meta" in objects[0]:
+        meta = objects[0]["meta"]
+        if not isinstance(meta, dict):
+            raise ConfigurationError(f"trace 'meta' must be an object, got {meta!r}")
+        return meta, objects[1:]
+    return {}, objects
+
+
+def _detect_format(meta: dict, records: list[Any]) -> str:
+    declared = meta.get("format")
+    if declared is not None:
+        if declared not in _FORMATS:
+            raise ConfigurationError(
+                f"unknown trace format {declared!r}; expected one of {_FORMATS}"
+            )
+        return declared
+    for obj in records:
+        if isinstance(obj, dict):
+            if "phase" in obj:
+                return "phase-log"
+            if "layer" in obj or "tokens" in obj:
+                return "moe-routing"
+    raise ConfigurationError(
+        "cannot detect the trace format: no meta line and no record carries "
+        "a 'phase' (phase-log) or 'layer'/'tokens' (moe-routing) key"
+    )
+
+
+def _meta_nprocs(meta: dict) -> int | None:
+    nprocs = meta.get("nprocs")
+    if nprocs is None:
+        return None
+    if isinstance(nprocs, bool) or not isinstance(nprocs, int) or nprocs <= 0:
+        raise ConfigurationError(
+            f"trace meta 'nprocs' must be a positive integer, got {nprocs!r}"
+        )
+    return nprocs
+
+
+def _meta_repeats(meta: dict) -> dict[str, int]:
+    repeats = meta.get("repeats", {})
+    if not isinstance(repeats, dict):
+        raise ConfigurationError(
+            f"trace meta 'repeats' must map phase names to counts, got {repeats!r}"
+        )
+    for name, count in repeats.items():
+        if isinstance(count, bool) or not isinstance(count, int) or count <= 0:
+            raise ConfigurationError(
+                f"trace meta repeat for phase {name!r} must be a positive "
+                f"integer, got {count!r}"
+            )
+    return dict(repeats)
+
+
+def _parse_phase_log(raw: list[Any]) -> tuple[list[TraceRecord], list[str]]:
+    records: list[TraceRecord] = []
+    order: dict[str, int] = {}
+    for lineno, obj in enumerate(raw, start=1):
+        if not isinstance(obj, dict):
+            raise ConfigurationError(
+                f"trace record {lineno} must be an object, got {type(obj).__name__}"
+            )
+        phase = obj.get("phase")
+        if not isinstance(phase, str) or not phase:
+            raise ConfigurationError(
+                f"trace record {lineno} 'phase' must be a non-empty string, "
+                f"got {phase!r}"
+            )
+        nbytes = _int_field(obj, "bytes", lineno=lineno)
+        if nbytes < 0:
+            raise ConfigurationError(
+                f"trace record {lineno} carries negative bytes: {nbytes}"
+            )
+        if phase not in order:
+            order[phase] = len(order)
+        records.append(
+            TraceRecord(
+                phase=phase,
+                src=_int_field(obj, "src", lineno=lineno),
+                dst=_int_field(obj, "dst", lineno=lineno),
+                bytes=nbytes,
+                order=order[phase],
+            )
+        )
+    return records, list(order)
+
+
+def _parse_moe_routing(raw: list[Any], meta: dict) -> tuple[list[TraceRecord], list[str]]:
+    bytes_per_token = meta.get("bytes_per_token", DEFAULT_BYTES_PER_TOKEN)
+    if (
+        isinstance(bytes_per_token, bool)
+        or not isinstance(bytes_per_token, int)
+        or bytes_per_token <= 0
+    ):
+        raise ConfigurationError(
+            f"trace meta 'bytes_per_token' must be a positive integer, "
+            f"got {bytes_per_token!r}"
+        )
+    records: list[TraceRecord] = []
+    layers: dict[int, int] = {}
+    for lineno, obj in enumerate(raw, start=1):
+        if not isinstance(obj, dict):
+            raise ConfigurationError(
+                f"trace record {lineno} must be an object, got {type(obj).__name__}"
+            )
+        layer = obj.get("layer", 0)
+        if isinstance(layer, bool) or not isinstance(layer, int) or layer < 0:
+            raise ConfigurationError(
+                f"trace record {lineno} 'layer' must be a non-negative integer, "
+                f"got {layer!r}"
+            )
+        tokens = _int_field(obj, "tokens", lineno=lineno)
+        if tokens < 0:
+            raise ConfigurationError(
+                f"trace record {lineno} carries a negative token count: {tokens}"
+            )
+        src = _int_field(obj, "src", lineno=lineno)
+        dst = _int_field(obj, "dst", lineno=lineno)
+        if layer not in layers:
+            layers[layer] = len(layers)
+        nbytes = tokens * bytes_per_token
+        base = 2 * layers[layer]
+        # Each layer is a dispatch (tokens to the experts) followed by a
+        # combine (the processed activations coming back): same volume,
+        # transposed direction.
+        records.append(
+            TraceRecord(
+                phase=f"layer{layer}/dispatch", src=src, dst=dst,
+                bytes=nbytes, order=base,
+            )
+        )
+        records.append(
+            TraceRecord(
+                phase=f"layer{layer}/combine", src=dst, dst=src,
+                bytes=nbytes, order=base + 1,
+            )
+        )
+    names: list[str] = []
+    for layer in sorted(layers, key=layers.get):
+        names.append(f"layer{layer}/dispatch")
+        names.append(f"layer{layer}/combine")
+    return records, names
+
+
+def parse_trace(source) -> ParsedTrace:
+    """Parse a trace (path, JSON(L) text or decoded objects) into records.
+
+    The format is taken from the meta line when present, otherwise detected
+    from the record keys.  Raises
+    :class:`~repro.errors.ConfigurationError` on any malformed input —
+    never a raw ``KeyError``/``TypeError``/``ValueError``.
+    """
+    objects = _read_objects(source)
+    meta, raw = _split_meta(objects)
+    if not raw:
+        raise ConfigurationError("a trace must contain at least one record")
+    fmt = _detect_format(meta, raw)
+    if fmt == "phase-log":
+        records, _names = _parse_phase_log(raw)
+    else:
+        records, _names = _parse_moe_routing(raw, meta)
+    return ParsedTrace(
+        format=fmt,
+        records=records,
+        nprocs=_meta_nprocs(meta),
+        repeats=_meta_repeats(meta),
+    )

@@ -1,0 +1,196 @@
+"""Content-addressed on-disk index of ingested phased workloads.
+
+A :class:`TraceStore` is a directory of canonical-JSON workload files
+named by their SHA-256 content hash, plus a human-readable ``index.json``
+mapping optional names and summary statistics onto those hashes::
+
+    .traces/
+      index.json
+      objects/
+        3f9c…e2.json     # PhasedWorkload.canonical(), digest-named
+
+The key of an entry is :meth:`repro.workloads.PhasedWorkload.digest` — a
+pure function of the workload content.  Ingesting the same trace twice,
+with its records shuffled, or from parallel workers, always lands on the
+same key and the same bytes on disk (writes are atomic rename-into-place,
+so concurrent ingestion of the same content is idempotent).  That purity
+is pinned by the hypothesis suite in
+``tests/properties/test_ingest_properties.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.workloads.phased import PhasedWorkload
+
+__all__ = ["TraceStore", "StoreEntry"]
+
+_INDEX_VERSION = 1
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One indexed workload: its key plus the summary the index carries."""
+
+    key: str
+    name: str | None
+    nprocs: int
+    num_phases: int
+    total_bytes: int
+
+    def describe(self) -> str:
+        label = self.name if self.name else self.key[:12]
+        return (
+            f"{label}: {self.nprocs} ranks, {self.num_phases} phase(s), "
+            f"{self.total_bytes} B [{self.key[:12]}]"
+        )
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    handle = tempfile.NamedTemporaryFile(
+        "w", encoding="utf-8", dir=path.parent, prefix=f".{path.name}.", delete=False
+    )
+    try:
+        with handle:
+            handle.write(text)
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+
+
+class TraceStore:
+    """Directory-backed, content-keyed store of phased workloads."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.objects = self.root / "objects"
+        self.objects.mkdir(parents=True, exist_ok=True)
+
+    # -- index ----------------------------------------------------------------
+    @property
+    def index_path(self) -> Path:
+        return self.root / "index.json"
+
+    def _load_index(self) -> dict:
+        if not self.index_path.exists():
+            return {"version": _INDEX_VERSION, "entries": {}}
+        try:
+            with open(self.index_path, "r", encoding="utf-8") as handle:
+                index = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(
+                f"trace store index {self.index_path} is unreadable: {exc}"
+            ) from exc
+        if index.get("version") != _INDEX_VERSION:
+            raise ConfigurationError(
+                f"trace store index {self.index_path} has unsupported version "
+                f"{index.get('version')!r}"
+            )
+        return index
+
+    def _write_index(self, index: dict) -> None:
+        _atomic_write(
+            self.index_path,
+            json.dumps(index, sort_keys=True, indent=2) + "\n",
+        )
+
+    # -- public API ------------------------------------------------------------
+    def put(self, workload: PhasedWorkload, *, name: str | None = None) -> str:
+        """Index ``workload``; returns its content-hash key.
+
+        Re-putting identical content is a no-op beyond (re)binding
+        ``name``; a name can only move to a *different* key explicitly —
+        rebinding to different content raises so a store can never
+        silently alias two traces under one label.
+        """
+        key = workload.digest()
+        object_path = self.objects / f"{key}.json"
+        if not object_path.exists():
+            _atomic_write(object_path, workload.canonical() + "\n")
+        index = self._load_index()
+        entries = index.setdefault("entries", {})
+        entry = {
+            "name": name,
+            "nprocs": workload.nprocs,
+            "num_phases": workload.num_phases,
+            "total_bytes": workload.total_bytes,
+        }
+        if name is not None:
+            for other_key, other in entries.items():
+                if other.get("name") == name and other_key != key:
+                    raise ConfigurationError(
+                        f"trace store already binds name {name!r} to "
+                        f"{other_key[:12]}; refusing to alias it to {key[:12]}"
+                    )
+        previous = entries.get(key)
+        if previous is not None and name is None:
+            entry["name"] = previous.get("name")
+        entries[key] = entry
+        self._write_index(index)
+        return key
+
+    def get(self, key: str) -> PhasedWorkload:
+        """Load the workload stored under the content-hash ``key``."""
+        object_path = self.objects / f"{key}.json"
+        if not object_path.exists():
+            raise ConfigurationError(f"trace store has no entry {key!r}")
+        with open(object_path, "r", encoding="utf-8") as handle:
+            workload = PhasedWorkload.from_payload(handle.read())
+        if workload.digest() != key:
+            raise ConfigurationError(
+                f"trace store entry {key[:12]} is corrupt: content hashes to "
+                f"{workload.digest()[:12]}"
+            )
+        return workload
+
+    def resolve(self, name_or_key: str) -> str:
+        """Turn a name or (abbreviated) key into a full content-hash key."""
+        entries = self._load_index().get("entries", {})
+        for key, entry in sorted(entries.items()):
+            if entry.get("name") == name_or_key:
+                return key
+        matches = [k for k in sorted(entries) if k.startswith(name_or_key)]
+        if len(matches) == 1:
+            return matches[0]
+        if len(matches) > 1:
+            raise ConfigurationError(
+                f"trace store key prefix {name_or_key!r} is ambiguous "
+                f"({len(matches)} matches)"
+            )
+        raise ConfigurationError(
+            f"trace store has no entry named or keyed {name_or_key!r}"
+        )
+
+    def load(self, name_or_key: str) -> PhasedWorkload:
+        """``get(resolve(...))`` in one step."""
+        return self.get(self.resolve(name_or_key))
+
+    def entries(self) -> list[StoreEntry]:
+        """All indexed workloads, sorted by key (deterministic listing)."""
+        entries = self._load_index().get("entries", {})
+        return [
+            StoreEntry(
+                key=key,
+                name=entry.get("name"),
+                nprocs=entry.get("nprocs", 0),
+                num_phases=entry.get("num_phases", 0),
+                total_bytes=entry.get("total_bytes", 0),
+            )
+            for key, entry in sorted(entries.items())
+        ]
+
+    def __contains__(self, key: str) -> bool:
+        return (self.objects / f"{key}.json").exists()
+
+    def __len__(self) -> int:
+        return len(self._load_index().get("entries", {}))

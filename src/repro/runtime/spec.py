@@ -113,6 +113,11 @@ class PointSpec:
     options: tuple[tuple[str, Any], ...] = ()
     msg_bytes: int | None = None
     trace: str | None = None
+    #: Canonical JSON of a phased run plan (jobs, workloads, per-phase
+    #: algorithm assignments) — see :meth:`for_phased`.  ``None`` for every
+    #: uniform / workload spec; serialized into the payload only when
+    #: present, so all pre-phases cache keys are bit-identical.
+    phases: str | None = None
     #: Symmetry-folding mode for the simulate engine ("off", "auto", "on").
     #: Ignored by the model engine, which is scale-free already.
     fold: str = "off"
@@ -135,7 +140,23 @@ class PointSpec:
             raise ConfigurationError(
                 f"unknown fold mode {self.fold!r}; choose from {_FOLD_MODES}"
             )
-        if (self.msg_bytes is None) == (self.trace is None):
+        if self.phases is not None:
+            if self.msg_bytes is not None or self.trace is not None:
+                raise ConfigurationError(
+                    "a phased PointSpec cannot also carry msg_bytes or trace"
+                )
+            if self.engine != "simulate":
+                raise ConfigurationError(
+                    "phased specs require the simulate engine "
+                    f"(got engine={self.engine!r}): interference between "
+                    "phases and jobs is not analytically modelled"
+                )
+            if self.fold != "off":
+                raise ConfigurationError(
+                    "phased specs are incompatible with symmetry folding "
+                    f"(fold={self.fold!r})"
+                )
+        elif (self.msg_bytes is None) == (self.trace is None):
             raise ConfigurationError("a PointSpec needs exactly one of msg_bytes and trace")
         if self.ppn <= 0 or self.num_nodes <= 0:
             raise ConfigurationError("ppn and num_nodes must be positive")
@@ -197,7 +218,64 @@ class PointSpec:
                    options=tuple(sorted(options.items())), trace=trace, fold=fold,
                    engine_jobs=engine_jobs, faults=faults)
 
+    @classmethod
+    def for_phased(cls, cluster: Cluster, ppn: int, jobs, *, repetitions: int = 1,
+                   engine_jobs: int = 1, faults=None) -> "PointSpec":
+        """Spec for one phased run (one or more jobs sharing the machine).
+
+        ``jobs`` is a sequence of :class:`repro.core.runner.PhasedJob`
+        descriptors.  The whole plan — every job's node count, workload
+        content and per-phase algorithm assignment — is embedded as
+        canonical JSON in the ``phases`` field, so the cache key is a pure
+        function of everything that determines the simulated timeline.
+        The engine is always ``"simulate"``.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            raise ConfigurationError("a phased spec needs at least one job")
+        payload = {
+            "jobs": [
+                {
+                    "nodes": job.num_nodes,
+                    "workload": job.workload.payload(),
+                    "algorithms": [
+                        [name, [[k, v] for k, v in options]]
+                        for name, options in job.algorithms
+                    ],
+                }
+                for job in jobs
+            ]
+        }
+        phases = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        num_nodes = sum(job.num_nodes for job in jobs)
+        return cls(cluster=cluster, ppn=ppn, num_nodes=num_nodes,
+                   engine="simulate", algorithm="phased",
+                   repetitions=repetitions, phases=phases,
+                   engine_jobs=engine_jobs, faults=faults)
+
     # -- execution helpers ---------------------------------------------------
+    def phased_jobs(self):
+        """Rebuild the :class:`repro.core.runner.PhasedJob` list of a phased spec."""
+        if self.phases is None:
+            raise ConfigurationError("not a phased spec: no phases attached")
+        from repro.core.runner import PhasedJob  # deferred: core is heavier
+        from repro.workloads.phased import PhasedWorkload
+
+        decoded = json.loads(self.phases)
+        jobs = []
+        for entry in decoded["jobs"]:
+            jobs.append(
+                PhasedJob(
+                    workload=PhasedWorkload.from_payload(entry["workload"]),
+                    algorithms=tuple(
+                        (name, tuple((k, v) for k, v in options))
+                        for name, options in entry["algorithms"]
+                    ),
+                    num_nodes=entry["nodes"],
+                )
+            )
+        return jobs
+
     def matrix(self):
         """Rebuild the :class:`~repro.workloads.TrafficMatrix` of a workload spec."""
         if self.trace is None:
@@ -216,7 +294,9 @@ class PointSpec:
         folded run part of a point's identity.  ``faults`` follows the same
         pattern: serialized only when present (empty specs were already
         normalised to ``None``), so pre-faults cache keys keep hitting
-        while a faulted point gets its own identity.  ``engine_jobs`` is *never*
+        while a faulted point gets its own identity.  ``phases`` follows it
+        too: only phased specs carry the key, so every pre-phases cache key
+        and golden digest is bit-identical.  ``engine_jobs`` is *never*
         serialized: the parallel engine is bit-identical to serial, so the
         worker count is an execution detail, not part of the result's
         identity — a point simulated at any worker count fills (and hits)
@@ -238,6 +318,8 @@ class PointSpec:
             payload["fold"] = self.fold
         if self.faults is not None:
             payload["faults"] = self.faults.payload()
+        if self.phases is not None:
+            payload["phases"] = self.phases
         return payload
 
     def canonical(self) -> str:
@@ -268,7 +350,14 @@ class PointSpec:
 
     def describe(self) -> str:
         opts = ", ".join(f"{k}={v}" for k, v in self.options)
-        what = f"{self.msg_bytes} B" if self.msg_bytes is not None else "trace"
+        if self.phases is not None:
+            jobs = self.phased_jobs()
+            phases = sum(job.workload.num_phases for job in jobs)
+            what = f"{len(jobs)} job(s), {phases} phase(s)"
+        elif self.msg_bytes is not None:
+            what = f"{self.msg_bytes} B"
+        else:
+            what = "trace"
         algo = f"{self.algorithm}({opts})" if opts else self.algorithm
         folded = "" if self.fold == "off" else f", fold={self.fold}"
         faulted = "" if self.faults is None else ", faulted"

@@ -225,6 +225,21 @@ class RankContext:
         """Accumulate ``elapsed`` seconds into the named phase."""
         self.timings[phase] = self.timings.get(phase, 0.0) + elapsed
 
+    def record_span(self, name: str, start: float, stop: float) -> None:
+        """Attribute the ``[start, stop]`` interval to phase ``name``.
+
+        Accumulates into :attr:`timings` like :meth:`add_timing` and, when
+        the engine carries an event sink, also emits the interval as a
+        phase span so it shows up on the rank track of an exported
+        timeline.  This is the primitive behind
+        :class:`repro.core.instrumentation.PhaseRecorder` and the
+        phase-boundary markers of phased (multi-exchange) runs.
+        """
+        self.add_timing(name, stop - start)
+        sink = self._engine.sink
+        if sink is not None:
+            sink.phase(self.rank, name, start, stop)
+
 
 @dataclass
 class JobResult:

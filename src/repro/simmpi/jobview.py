@@ -1,0 +1,144 @@
+"""Job-local rank views for multi-job (interference) simulations.
+
+One engine timeline can host several independent *jobs* sharing the same
+machine and fabric: each job owns a contiguous range of nodes, runs its own
+algorithm schedule, and never exchanges a message with another job — yet
+all their packets contend for the same links, which is exactly the
+interference a shared dragonfly inflicts on co-scheduled tenants.
+
+Rank programs are written against the :class:`~repro.simmpi.engine.RankContext`
+API (``ctx.rank``, ``ctx.pmap``, ``ctx.world``); to reuse every existing
+algorithm unchanged inside a job, this module provides a façade that
+re-exposes that API *job-locally*:
+
+* :class:`JobComm` — a :class:`~repro.simmpi.comm.Communicator` over the
+  job's engine ranks whose :meth:`~JobComm.create_subcomm` accepts
+  **job-local** rank lists (the form :mod:`repro.simmpi.split` derives
+  from a process map) and translates them to engine ranks;
+* :class:`JobView` — the per-rank context façade: ``rank`` is the
+  job-local rank, ``pmap`` the job's own process map, ``world`` the
+  :class:`JobComm`; time, timings and the event sink delegate to the
+  underlying engine context.
+
+Build one with :func:`job_view`.  An algorithm generator handed a
+:class:`JobView` runs bit-identically to a dedicated-machine run of the
+same job — except for the contention its traffic shares with the other
+jobs, which is the quantity interference experiments measure.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.machine.process_map import ProcessMap
+from repro.simmpi.comm import Communicator
+from repro.simmpi.engine import RankContext
+
+__all__ = ["JobComm", "JobView", "job_view"]
+
+
+class JobComm(Communicator):
+    """Communicator whose ``create_subcomm`` takes *job-local* rank lists.
+
+    The topology-derived layouts of :mod:`repro.simmpi.split` compute rank
+    lists from ``ctx.pmap`` — job-local numbering when ``ctx`` is a
+    :class:`JobView`.  This subclass translates those to engine world
+    ranks through its own group before delegating, so hierarchical
+    algorithms build their node/group communicators inside the job without
+    knowing the job is a tenant of a larger simulation.
+    """
+
+    __slots__ = ()
+
+    def create_subcomm(self, world_ranks: Sequence[int], key: tuple | None = None) -> Communicator:
+        engine_ranks = [self.group.world_rank(int(r)) for r in world_ranks]
+        return Communicator.create_subcomm(self, engine_ranks, key=key)
+
+
+class JobView:
+    """Job-local façade over a :class:`~repro.simmpi.engine.RankContext`.
+
+    Exposes the full rank-program API with job-local identity: algorithms,
+    communicator layouts and phase recorders written against
+    ``RankContext`` run unchanged.  Simulated time, phase timings and the
+    result slot delegate to the engine context, so instrumentation and
+    results land in the enclosing job's :class:`~repro.simmpi.engine.JobResult`.
+    """
+
+    __slots__ = ("rank", "pmap", "world", "job_index", "_base")
+
+    def __init__(self, base: RankContext, job_index: int, job_rank: int,
+                 job_pmap: ProcessMap, job_world: Communicator) -> None:
+        self._base = base
+        self.job_index = job_index
+        self.rank = job_rank
+        self.pmap = job_pmap
+        self.world = job_world
+
+    # -- identity helpers (job-local) ---------------------------------------
+    @property
+    def nprocs(self) -> int:
+        return self.pmap.nprocs
+
+    @property
+    def node(self) -> int:
+        return self.pmap.node_of(self.rank)
+
+    @property
+    def local_rank(self) -> int:
+        return self.pmap.local_rank(self.rank)
+
+    # -- engine delegation ---------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._base.now
+
+    @property
+    def _engine(self):
+        return self._base._engine
+
+    @property
+    def result(self):
+        return self._base.result
+
+    @result.setter
+    def result(self, value) -> None:
+        self._base.result = value
+
+    @property
+    def timings(self) -> dict:
+        return self._base.timings
+
+    def add_timing(self, phase: str, elapsed: float) -> None:
+        self._base.add_timing(phase, elapsed)
+
+    def record_span(self, name: str, start: float, stop: float) -> None:
+        self._base.record_span(name, start, stop)
+
+
+def job_view(ctx: RankContext, job_index: int, rank_base: int,
+             job_pmap: ProcessMap) -> JobView:
+    """Build the :class:`JobView` of ``ctx`` for the job owning it.
+
+    The job occupies the contiguous engine ranks ``[rank_base,
+    rank_base + job_pmap.nprocs)``; ``ctx.rank`` must fall inside that
+    range.  The job's world communicator is constructed deterministically
+    (every member derives the same context id without communication),
+    keyed by ``job_index`` so distinct jobs never share a context.
+    """
+    nprocs = job_pmap.nprocs
+    if not rank_base <= ctx.rank < rank_base + nprocs:
+        raise ConfigurationError(
+            f"rank {ctx.rank} is outside job {job_index} "
+            f"(engine ranks {rank_base}..{rank_base + nprocs - 1})"
+        )
+    engine_ranks = tuple(range(rank_base, rank_base + nprocs))
+    sub = ctx.world.create_subcomm(engine_ranks, key=("phased-job", job_index))
+    world = JobComm(
+        allocator=sub._allocator,
+        world_ranks=sub.group,
+        my_world_rank=ctx.rank,
+        context_id=sub.context_id,
+    )
+    return JobView(ctx, job_index, world.rank, job_pmap, world)

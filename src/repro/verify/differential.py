@@ -34,7 +34,7 @@ import numpy as np
 
 from repro.core.alltoall.registry import get_algorithm
 from repro.core.alltoall.valgorithms import get_v_algorithm
-from repro.core.runner import run_alltoall, run_workload
+from repro.core.runner import run_alltoall, run_phased_workload, run_workload
 from repro.core.validation import expected_alltoall_result, expected_workload_result
 from repro.errors import ReproError
 from repro.model.predict import (
@@ -155,11 +155,28 @@ def workload_configurations(scenario: Scenario) -> list[AlgorithmConfig]:
 
 
 def reference_buffers(scenario: Scenario) -> list[np.ndarray]:
-    """Closed-form expected receive buffers (the defining transposition)."""
+    """Closed-form expected receive buffers (the defining transposition).
+
+    Phased scenarios return one buffer per rank: the concatenation of the
+    per-phase expected results in phase order, matching how
+    :meth:`DifferentialRunner._execute_and_compare` flattens the phased
+    engine results before comparing.
+    """
     nprocs = scenario.nprocs
     if scenario.family == "uniform":
         return [
             expected_alltoall_result(rank, nprocs, scenario.msg_bytes, dtype=_DTYPE)
+            for rank in range(nprocs)
+        ]
+    if scenario.family == "phased":
+        per_phase = [
+            phase.matrix.item_counts(_DTYPE) for phase in scenario.phases.phases
+        ]
+        return [
+            np.concatenate([
+                expected_workload_result(rank, counts, dtype=_DTYPE)
+                for counts in per_phase
+            ])
             for rank in range(nprocs)
         ]
     counts = scenario.matrix.item_counts(_DTYPE)
@@ -218,6 +235,8 @@ class DifferentialRunner:
             description=scenario.describe(),
             result_hash=result_hash(scenario),
         )
+        # Phased scenarios run the same v-capable set as workloads — every
+        # configuration must deliver the reference bytes in every phase.
         configs = (
             uniform_configurations(scenario)
             if scenario.family == "uniform"
@@ -240,7 +259,9 @@ class DifferentialRunner:
             elif failure.kind == "inapplicable":
                 record.skipped.append(config.describe())
             else:
-                if self.shrink:
+                # The shrinker reduces ranks/bytes through the matrix field,
+                # which phased scenarios don't carry — report them unshrunk.
+                if self.shrink and scenario.family != "phased":
                     failure = self._shrink(scenario, config, failure)
                 record.failures.append(failure)
         return record
@@ -274,6 +295,10 @@ class DifferentialRunner:
             if scenario.family == "uniform":
                 algo = get_algorithm(config.name, **options)
                 algo.validate(pmap)
+            elif scenario.family == "phased":
+                algo = get_v_algorithm(config.name, **options)
+                for phase in scenario.phases.phases:
+                    algo.validate(pmap, phase.matrix.item_counts(_DTYPE))
             else:
                 algo = get_v_algorithm(config.name, **options)
                 algo.validate(pmap, scenario.matrix.item_counts(_DTYPE))
@@ -286,6 +311,12 @@ class DifferentialRunner:
             if scenario.family == "uniform":
                 outcome = run_alltoall(
                     algo, pmap, scenario.msg_bytes, dtype=_DTYPE, validate=True,
+                    engine_jobs=self.engine_jobs, faults=self.faults,
+                )
+            elif scenario.family == "phased":
+                outcome = run_phased_workload(
+                    (config.name, options), pmap, scenario.phases,
+                    dtype=_DTYPE, validate=True,
                     engine_jobs=self.engine_jobs, faults=self.faults,
                 )
             else:
@@ -305,6 +336,10 @@ class DifferentialRunner:
                 "(reference transposition violated)",
             ), outcome
         for rank, (got, want) in enumerate(zip(outcome.job.results, reference)):
+            if scenario.family == "phased":
+                got = np.concatenate(
+                    [np.asarray(part).reshape(-1) for part in got]
+                )
             if not np.array_equal(np.asarray(got).reshape(-1), want):
                 return self._failure(
                     scenario, config, "mismatch",
@@ -319,6 +354,10 @@ class DifferentialRunner:
                 scenario, config, "timing",
                 f"simulated time is not a finite non-negative value: {elapsed!r}",
             )
+        if scenario.family == "phased":
+            # The analytic model prices single exchanges; a phased run is a
+            # sequence of them, so only the finiteness check above applies.
+            return None
         options = config.as_dict()
         try:
             if scenario.family == "uniform":
@@ -387,7 +426,8 @@ class DifferentialRunner:
 
 
 def verify_seed(seed: int, max_ranks: int = 24, *, fabric=None,
-                engine_jobs: int = 1, faults=None) -> VerificationRecord:
+                engine_jobs: int = 1, faults=None,
+                phased: bool = False) -> VerificationRecord:
     """Verify the scenario of one seed (the programmatic one-liner).
 
     ``fabric`` (a :mod:`repro.netsim.fabric` spec) opts the sampled cluster
@@ -401,15 +441,22 @@ def verify_seed(seed: int, max_ranks: int = 24, *, fabric=None,
     the golden-corpus digests (hashes of the reference buffers) are
     unchanged under any fault load — which is itself the conformance
     property being verified.
+    ``phased`` opts the sampler into multi-phase scenarios
+    (:class:`repro.workloads.PhasedWorkload` run end-to-end on one engine
+    timeline); the default sampler is untouched so existing seeds keep
+    their scenarios and digests.
     """
-    scenario = ScenarioGenerator(max_ranks=max_ranks, fabric=fabric).scenario(seed)
+    scenario = ScenarioGenerator(
+        max_ranks=max_ranks, fabric=fabric, phased=phased
+    ).scenario(seed)
     return DifferentialRunner(engine_jobs=engine_jobs, faults=faults).verify(scenario)
 
 
 def verify_task(task: tuple) -> VerificationRecord:
     """Module-level pool worker: ``task`` is a picklable ``(seed, max_ranks)``
-    optionally extended with ``fabric_spec``, ``engine_jobs`` and a
-    :class:`repro.faults.FaultSpec` (trailing slots may be omitted).
+    optionally extended with ``fabric_spec``, ``engine_jobs``, a
+    :class:`repro.faults.FaultSpec` and a ``phased`` sampler flag
+    (trailing slots may be omitted).
 
     Lives at module scope so :meth:`repro.runtime.SweepExecutor.map` can fan
     scenario seeds out over a ``spawn`` process pool.
@@ -418,5 +465,6 @@ def verify_task(task: tuple) -> VerificationRecord:
     fabric = task[2] if len(task) > 2 else None
     engine_jobs = task[3] if len(task) > 3 else 1
     faults = task[4] if len(task) > 4 else None
+    phased = task[5] if len(task) > 5 else False
     return verify_seed(seed, max_ranks, fabric=fabric, engine_jobs=engine_jobs,
-                       faults=faults)
+                       faults=faults, phased=phased)

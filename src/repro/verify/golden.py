@@ -30,6 +30,7 @@ from repro.verify.scenario import SCENARIO_VERSION, ScenarioGenerator
 
 __all__ = [
     "GOLDEN_SEEDS",
+    "PHASED_GOLDEN_SEEDS",
     "DEFAULT_CORPUS_PATH",
     "build_corpus",
     "check_corpus",
@@ -40,25 +41,47 @@ __all__ = [
 #: the corpus so existing entries keep their meaning.
 GOLDEN_SEEDS: tuple[int, ...] = tuple(range(2025000, 2025012))
 
+#: Seeds sampled with the phased-aware generator
+#: (``ScenarioGenerator(phased=True)``).  Hand-scanned from 2025100 upward
+#: for seeds that actually draw the phased family — distinct from
+#: :data:`GOLDEN_SEEDS` so the default sampler (and every existing digest)
+#: is untouched.  Their corpus entries carry ``"sampler": "phased"``.
+PHASED_GOLDEN_SEEDS: tuple[int, ...] = (2025100, 2025104, 2025112, 2025115)
+
 DEFAULT_CORPUS_PATH = Path(__file__).resolve().parents[3] / "tests" / "golden" / "verify_corpus.json"
 
 
-def build_corpus(seeds: Sequence[int] = GOLDEN_SEEDS) -> dict:
-    """Compute the corpus entries for ``seeds`` (no simulation: oracle only)."""
+def _entry(scenario, seed: int, sampler: str | None = None) -> dict:
+    entry = {
+        "seed": seed,
+        "digest": scenario.digest(),
+        "result_hash": result_hash(scenario),
+        "family": scenario.family,
+        "pattern": scenario.pattern,
+        "nprocs": scenario.nprocs,
+    }
+    # The key is present only for non-default samplers so the original
+    # entries stay byte-identical (the same optional-key invariant
+    # Scenario.payload() and PointSpec.payload() follow).
+    if sampler is not None:
+        entry["sampler"] = sampler
+    return entry
+
+
+def build_corpus(seeds: Sequence[int] = GOLDEN_SEEDS,
+                 phased_seeds: Sequence[int] = PHASED_GOLDEN_SEEDS) -> dict:
+    """Compute the corpus entries for ``seeds`` (no simulation: oracle only).
+
+    ``seeds`` go through the default generator; ``phased_seeds`` through
+    ``ScenarioGenerator(phased=True)`` and are appended after them.
+    """
     generator = ScenarioGenerator()
-    entries = []
-    for seed in seeds:
-        scenario = generator.scenario(seed)
-        entries.append(
-            {
-                "seed": seed,
-                "digest": scenario.digest(),
-                "result_hash": result_hash(scenario),
-                "family": scenario.family,
-                "pattern": scenario.pattern,
-                "nprocs": scenario.nprocs,
-            }
-        )
+    entries = [_entry(generator.scenario(seed), seed) for seed in seeds]
+    phased_generator = ScenarioGenerator(phased=True)
+    entries.extend(
+        _entry(phased_generator.scenario(seed), seed, sampler="phased")
+        for seed in phased_seeds
+    )
     return {"version": SCENARIO_VERSION, "entries": entries}
 
 
@@ -79,10 +102,16 @@ def check_corpus(path: Path | str = DEFAULT_CORPUS_PATH) -> list[str]:
     # A hand-edited or half-merged corpus may be valid JSON with the wrong
     # shape; that is a divergence to report, not a crash of the checker.
     try:
-        seeds = [entry["seed"] for entry in frozen["entries"]]
-        current = {e["seed"]: e for e in build_corpus(seeds)["entries"]}
+        seeds = [e["seed"] for e in frozen["entries"] if e.get("sampler") is None]
+        phased_seeds = [
+            e["seed"] for e in frozen["entries"] if e.get("sampler") == "phased"
+        ]
+        current = {
+            (e.get("sampler"), e["seed"]): e
+            for e in build_corpus(seeds, phased_seeds)["entries"]
+        }
         for entry in frozen["entries"]:
-            live = current[entry["seed"]]
+            live = current[(entry.get("sampler"), entry["seed"])]
             for key in ("digest", "result_hash", "family", "pattern", "nprocs"):
                 if entry[key] != live[key]:
                     problems.append(
@@ -98,12 +127,15 @@ def check_corpus(path: Path | str = DEFAULT_CORPUS_PATH) -> list[str]:
 
 
 def write_corpus(path: Path | str = DEFAULT_CORPUS_PATH,
-                 seeds: Sequence[int] = GOLDEN_SEEDS) -> Path:
+                 seeds: Sequence[int] = GOLDEN_SEEDS,
+                 phased_seeds: Sequence[int] = PHASED_GOLDEN_SEEDS) -> Path:
     """(Re)write the corpus file; returns the path written."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(build_corpus(seeds), indent=2, sort_keys=True) + "\n",
-                    encoding="utf-8")
+    path.write_text(
+        json.dumps(build_corpus(seeds, phased_seeds), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
     return path
 
 

@@ -32,7 +32,7 @@ from repro.machine.systems import get_system, tiny_cluster
 from repro.netsim.fabric import FabricSpec
 from repro.runtime.spec import cluster_payload
 from repro.utils.partition import divisors
-from repro.workloads import TrafficMatrix, make_pattern
+from repro.workloads import Phase, PhasedWorkload, TrafficMatrix, make_pattern
 
 __all__ = ["Scenario", "ScenarioGenerator", "SCENARIO_VERSION"]
 
@@ -41,7 +41,7 @@ __all__ = ["Scenario", "ScenarioGenerator", "SCENARIO_VERSION"]
 #: comparing incomparable scenarios.
 SCENARIO_VERSION = 1
 
-_FAMILIES = ("uniform", "workload")
+_FAMILIES = ("uniform", "workload", "phased")
 
 #: Workload patterns the default generator samples from.  Frozen: the golden
 #: corpus pins scenario digests for the default sampler, so new pattern
@@ -79,10 +79,32 @@ class Scenario:
     group_size: int
     #: Sampled inner exchange for the hierarchical/aggregating algorithms.
     inner: str
+    #: Phased workload of a ``"phased"`` scenario (None for the others).
+    #: Optional-with-default so pre-phased constructions — and their
+    #: payloads and digests — are untouched.
+    phases: PhasedWorkload | None = None
 
     def __post_init__(self) -> None:
         if self.family not in _FAMILIES:
             raise ConfigurationError(f"unknown scenario family {self.family!r}")
+        if self.family == "phased":
+            if self.phases is None:
+                raise ConfigurationError("a phased scenario needs a phased workload")
+            if self.msg_bytes is not None or self.matrix is not None:
+                raise ConfigurationError(
+                    "a phased scenario carries its traffic in the workload; "
+                    "msg_bytes and matrix must be None"
+                )
+            if self.phases.nprocs != self.num_nodes * self.ppn:
+                raise ConfigurationError(
+                    f"scenario workload describes {self.phases.nprocs} ranks but "
+                    f"the placement has {self.num_nodes * self.ppn}"
+                )
+            return
+        if self.phases is not None:
+            raise ConfigurationError(
+                f"family {self.family!r} does not take a phased workload"
+            )
         if (self.msg_bytes is None) == (self.matrix is None):
             raise ConfigurationError("a scenario needs exactly one of msg_bytes and matrix")
         if self.matrix is not None and self.matrix.nprocs != self.num_nodes * self.ppn:
@@ -99,6 +121,8 @@ class Scenario:
     @property
     def pattern(self) -> str:
         """Traffic-pattern name (``"uniform"`` for the uniform family)."""
+        if self.family == "phased":
+            return "phased"
         return "uniform" if self.matrix is None else self.matrix.pattern
 
     def process_map(self) -> ProcessMap:
@@ -106,8 +130,14 @@ class Scenario:
 
     # -- identity ------------------------------------------------------------
     def payload(self) -> dict:
-        """Plain-JSON description; the sole basis of :meth:`digest`."""
-        return {
+        """Plain-JSON description; the sole basis of :meth:`digest`.
+
+        The ``phases`` key only appears on phased scenarios — the same
+        optional-key invariant :class:`~repro.runtime.spec.PointSpec` keeps,
+        so every pre-phased scenario digest (and with it the golden corpus)
+        is byte-identical to before the family existed.
+        """
+        payload = {
             "version": SCENARIO_VERSION,
             "seed": self.seed,
             "system": self.system,
@@ -121,6 +151,9 @@ class Scenario:
             "group_size": self.group_size,
             "inner": self.inner,
         }
+        if self.phases is not None:
+            payload["phases"] = self.phases.payload()
+        return payload
 
     def canonical(self) -> str:
         return json.dumps(self.payload(), sort_keys=True, separators=(",", ":"))
@@ -130,11 +163,15 @@ class Scenario:
         return sha256(self.canonical().encode("utf-8")).hexdigest()
 
     def describe(self) -> str:
-        traffic = (
-            f"{self.msg_bytes} B uniform"
-            if self.msg_bytes is not None
-            else f"{self.pattern} ({self.matrix.total_bytes} B total)"
-        )
+        if self.family == "phased":
+            traffic = (
+                f"phased x{self.phases.num_phases} "
+                f"({self.phases.total_bytes} B total)"
+            )
+        elif self.msg_bytes is not None:
+            traffic = f"{self.msg_bytes} B uniform"
+        else:
+            traffic = f"{self.pattern} ({self.matrix.total_bytes} B total)"
         return (
             f"seed {self.seed}: {traffic} on {self.cluster.name} "
             f"({self.num_nodes} nodes x {self.ppn} ppn, group={self.group_size}, "
@@ -157,13 +194,22 @@ class ScenarioGenerator:
         incast / neighbour-shift shapes.  ``None`` (the default) keeps the
         sampler — and therefore the golden-corpus digests — exactly as
         before the fabric subsystem existed.
+    phased:
+        Opt the sampler into the ``"phased"`` scenario family: with some
+        probability a scenario becomes a 2-3 phase workload (each phase an
+        independently sampled traffic matrix with repeats) verified through
+        :func:`repro.core.runner.run_phased_workload`.  Off by default for
+        the same reason ``fabric`` is — the default sampler's digests are
+        pinned by the golden corpus.
     """
 
-    def __init__(self, max_ranks: int = 24, *, fabric: FabricSpec | None = None) -> None:
+    def __init__(self, max_ranks: int = 24, *, fabric: FabricSpec | None = None,
+                 phased: bool = False) -> None:
         if max_ranks < 1:
             raise ConfigurationError(f"max_ranks must be positive, got {max_ranks}")
         self.max_ranks = max_ranks
         self.fabric = fabric
+        self.phased = phased
 
     # -- public API ----------------------------------------------------------
     def scenario(self, seed: int) -> Scenario:
@@ -173,6 +219,17 @@ class ScenarioGenerator:
         num_nodes, ppn = self._sample_shape(rng, cluster)
         group_size = rng.choice(divisors(ppn))
         inner = rng.choice(["pairwise", "nonblocking"])
+        # The phased roll draws from its own derived stream, not ``rng``:
+        # a seed that misses the roll must sample the byte-identical
+        # scenario a default generator would (phased=True is a strict
+        # superset of the default sampler, never a reshuffle of it).
+        if self.phased and random.Random(f"repro-verify-phased:{seed}").random() < 0.35:
+            workload = self._sample_phases(rng, num_nodes * ppn)
+            return Scenario(
+                seed=seed, system=system, cluster=cluster, num_nodes=num_nodes,
+                ppn=ppn, family="phased", msg_bytes=None, matrix=None,
+                group_size=group_size, inner=inner, phases=workload,
+            )
         if rng.random() < 0.4:
             return Scenario(
                 seed=seed, system=system, cluster=cluster, num_nodes=num_nodes,
@@ -227,6 +284,19 @@ class ScenarioGenerator:
             if nodes * ppn <= self.max_ranks
         ]
         return rng.choice(choices)
+
+    def _sample_phases(self, rng: random.Random, nprocs: int) -> PhasedWorkload:
+        """A 2-3 phase workload of independently sampled matrices."""
+        count = rng.choice([2, 3])
+        phases = []
+        for index in range(count):
+            matrix = self._sample_matrix(rng, nprocs)
+            phases.append(Phase(
+                name=f"p{index}-{matrix.pattern}",
+                matrix=matrix,
+                repeats=rng.choice([1, 1, 2]),
+            ))
+        return PhasedWorkload(phases)
 
     def _sample_matrix(self, rng: random.Random, nprocs: int) -> TrafficMatrix:
         names = _PATTERN_NAMES if self.fabric is None else _PATTERN_NAMES_FABRIC

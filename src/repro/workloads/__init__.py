@@ -49,11 +49,16 @@ from repro.workloads.generators import (
     zipf,
 )
 from repro.workloads.matrix import TrafficMatrix
+from repro.workloads.phased import Phase, PhasedWorkload, load_phased, save_phased
 from repro.workloads.symmetry import RankClass, SymmetryReport, analyze_symmetry
 from repro.workloads.traceio import load_trace, save_trace
 
 __all__ = [
     "TrafficMatrix",
+    "Phase",
+    "PhasedWorkload",
+    "load_phased",
+    "save_phased",
     "RankClass",
     "SymmetryReport",
     "analyze_symmetry",

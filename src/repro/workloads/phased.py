@@ -1,0 +1,286 @@
+"""Phased workloads: an ordered sequence of traffic matrices.
+
+A training iteration is not one exchange.  An MoE forward/backward pass
+alternates dense allreduce-like shuffles with skewed expert-routing
+all-to-alls; an FFT pipeline alternates transposes of different shapes.  A
+:class:`PhasedWorkload` captures that structure as an ordered list of
+:class:`Phase` objects — each a named :class:`~repro.workloads.matrix.TrafficMatrix`
+with a repeat count — so the selection question ("which algorithm wins?")
+can be asked *per phase* instead of once.
+
+The class is deliberately value-like: phases are validated once (uniform
+rank count, positive repeats), equality is structural, and
+:meth:`PhasedWorkload.payload` / :meth:`PhasedWorkload.digest` give the
+canonical JSON form and content hash used for cache identity
+(:class:`repro.runtime.spec.PointSpec`) and the ingestion
+:class:`~repro.ingest.store.TraceStore`.  :func:`load_phased` /
+:func:`save_phased` persist that JSON form on disk.
+
+Construction paths:
+
+* programmatic — build matrices with :mod:`repro.workloads.generators` and
+  wrap them in phases;
+* ingestion — :mod:`repro.ingest` parses phase-logged / MoE token-routing
+  traces and normalises them into a :class:`PhasedWorkload`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from hashlib import sha256
+from typing import Any, Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.workloads.matrix import TrafficMatrix
+
+__all__ = ["Phase", "PhasedWorkload", "load_phased", "save_phased"]
+
+_NAME_MAX = 128
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One named step of a phased workload.
+
+    Parameters
+    ----------
+    name:
+        Phase label (``"dispatch"``, ``"combine"``, ...).  Shows up in the
+        per-phase selection tables, the Chrome trace and the adaptive
+        figure; must be non-empty and contain no newlines.
+    matrix:
+        The :class:`~repro.workloads.matrix.TrafficMatrix` exchanged in
+        this phase.
+    repeats:
+        How many back-to-back times the exchange runs (a positive int) —
+        e.g. the number of microbatches per iteration.
+    """
+
+    name: str
+    matrix: TrafficMatrix
+    repeats: int = 1
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name or len(self.name) > _NAME_MAX:
+            raise ConfigurationError(
+                f"phase name must be a non-empty string of at most {_NAME_MAX} "
+                f"characters, got {self.name!r}"
+            )
+        if any(ch in self.name for ch in "\n\r"):
+            raise ConfigurationError(f"phase name must not contain newlines: {self.name!r}")
+        if not isinstance(self.matrix, TrafficMatrix):
+            raise ConfigurationError(
+                f"phase {self.name!r} needs a TrafficMatrix, got {type(self.matrix).__name__}"
+            )
+        if isinstance(self.repeats, bool) or not isinstance(self.repeats, int):
+            raise ConfigurationError(
+                f"phase {self.name!r} repeats must be an integer, got {self.repeats!r}"
+            )
+        if self.repeats <= 0:
+            raise ConfigurationError(
+                f"phase {self.name!r} repeats must be positive, got {self.repeats}"
+            )
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes this phase moves across all repeats."""
+        return self.matrix.total_bytes * self.repeats
+
+    def payload(self) -> dict:
+        """Canonical JSON-compatible form of the phase (cache identity)."""
+        return {
+            "name": self.name,
+            "repeats": self.repeats,
+            "pattern": self.matrix.pattern,
+            "bytes": self.matrix.bytes.tolist(),
+        }
+
+    def describe(self) -> str:
+        reps = f" x{self.repeats}" if self.repeats != 1 else ""
+        return f"{self.name}{reps}: {self.matrix.describe()}"
+
+
+class PhasedWorkload:
+    """An ordered, validated sequence of :class:`Phase` objects.
+
+    All phases must describe the same number of ranks; the workload as a
+    whole then has a single ``nprocs`` the runner, selector and
+    :class:`~repro.runtime.spec.PointSpec` agree on.
+    """
+
+    __slots__ = ("phases", "_payload_json", "_digest")
+
+    def __init__(self, phases: Iterable[Phase]) -> None:
+        items = tuple(phases)
+        if not items:
+            raise ConfigurationError("a phased workload needs at least one phase")
+        for phase in items:
+            if not isinstance(phase, Phase):
+                raise ConfigurationError(
+                    f"phased workload entries must be Phase objects, got "
+                    f"{type(phase).__name__}"
+                )
+        nprocs = items[0].matrix.nprocs
+        for phase in items[1:]:
+            if phase.matrix.nprocs != nprocs:
+                raise ConfigurationError(
+                    f"all phases must have the same rank count: phase "
+                    f"{phase.name!r} has {phase.matrix.nprocs} ranks, "
+                    f"expected {nprocs}"
+                )
+        self.phases = items
+        self._payload_json: str | None = None
+        self._digest: str | None = None
+
+    # -- sizes ---------------------------------------------------------------
+    @property
+    def nprocs(self) -> int:
+        """Rank count shared by every phase."""
+        return self.phases[0].matrix.nprocs
+
+    @property
+    def num_phases(self) -> int:
+        return len(self.phases)
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes moved by the whole workload (all phases, all repeats)."""
+        return sum(phase.total_bytes for phase in self.phases)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(phase.name for phase in self.phases)
+
+    # -- identity ------------------------------------------------------------
+    def payload(self) -> dict:
+        """JSON-compatible canonical form (the on-disk and cache-key shape)."""
+        return {
+            "nprocs": self.nprocs,
+            "phases": [phase.payload() for phase in self.phases],
+        }
+
+    def canonical(self) -> str:
+        """Canonical JSON string: sorted keys, no whitespace — hash input."""
+        if self._payload_json is None:
+            self._payload_json = json.dumps(
+                self.payload(), sort_keys=True, separators=(",", ":")
+            )
+        return self._payload_json
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical form: pure function of the content."""
+        if self._digest is None:
+            self._digest = sha256(self.canonical().encode("utf-8")).hexdigest()
+        return self._digest
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PhasedWorkload):
+            return NotImplemented
+        return self.canonical() == other.canonical()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical())
+
+    # -- views ---------------------------------------------------------------
+    def combined_matrix(self) -> TrafficMatrix:
+        """The single matrix summing every phase (repeats included).
+
+        This is what a phase-blind tool sees: the static selector prices
+        candidates against it, and it anchors the byte-conservation
+        property the ingestion chain is tested for.
+        """
+        total = sum(
+            phase.matrix.bytes * phase.repeats for phase in self.phases
+        )
+        return TrafficMatrix(total, pattern="phased-total")
+
+    def describe(self) -> str:
+        steps = "; ".join(phase.describe() for phase in self.phases)
+        return (
+            f"phased workload: {self.nprocs} ranks, {self.num_phases} phase(s), "
+            f"{self.total_bytes} B total [{steps}]"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PhasedWorkload {self.nprocs} ranks, {self.num_phases} phase(s)>"
+
+    # -- construction ----------------------------------------------------------
+    @classmethod
+    def from_payload(cls, obj: Any) -> "PhasedWorkload":
+        """Rebuild a workload from :meth:`payload` output (or its JSON text)."""
+        if isinstance(obj, str):
+            try:
+                obj = json.loads(obj)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"phased workload is not valid JSON: {exc}"
+                ) from exc
+        if not isinstance(obj, dict) or "phases" not in obj:
+            raise ConfigurationError(
+                "a phased workload payload must be an object with a 'phases' list"
+            )
+        raw_phases = obj["phases"]
+        if not isinstance(raw_phases, Sequence) or isinstance(raw_phases, (str, bytes)):
+            raise ConfigurationError("'phases' must be a list of phase objects")
+        phases = []
+        for entry in raw_phases:
+            if not isinstance(entry, dict):
+                raise ConfigurationError(
+                    f"phase entries must be objects, got {type(entry).__name__}"
+                )
+            try:
+                matrix = TrafficMatrix(
+                    entry["bytes"], pattern=entry.get("pattern", "trace")
+                )
+            except KeyError as exc:
+                raise ConfigurationError(
+                    "phase entries must carry a 'bytes' matrix"
+                ) from exc
+            phases.append(
+                Phase(
+                    name=entry.get("name", f"phase{len(phases)}"),
+                    matrix=matrix,
+                    repeats=entry.get("repeats", 1),
+                )
+            )
+        workload = cls(phases)
+        declared = obj.get("nprocs")
+        if declared is not None and declared != workload.nprocs:
+            raise ConfigurationError(
+                f"phased workload declares {declared} ranks but its phases "
+                f"have {workload.nprocs}"
+            )
+        return workload
+
+
+def load_phased(source) -> PhasedWorkload:
+    """Load a :class:`PhasedWorkload` from a path, JSON string or dict."""
+    if isinstance(source, PhasedWorkload):
+        return source
+    if isinstance(source, dict):
+        return PhasedWorkload.from_payload(source)
+    if isinstance(source, (str, os.PathLike)):
+        text = str(source)
+        is_path = isinstance(source, os.PathLike) or os.path.exists(text)
+        if is_path or not text.lstrip().startswith("{"):
+            try:
+                with open(source, "r", encoding="utf-8") as handle:
+                    text = handle.read()
+            except OSError as exc:
+                raise ConfigurationError(
+                    f"cannot read phased workload file {source!r}: {exc}"
+                ) from exc
+        return PhasedWorkload.from_payload(text)
+    raise ConfigurationError(
+        f"cannot load a phased workload from {type(source).__name__}; "
+        "expected a path, JSON string or dict"
+    )
+
+
+def save_phased(workload: PhasedWorkload, path) -> None:
+    """Write ``workload`` to ``path`` in its canonical JSON form."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(workload.canonical())
+        handle.write("\n")

@@ -35,6 +35,19 @@ def _matrix_from_records(records: list, nprocs: int | None) -> TrafficMatrix:
         raise ConfigurationError(
             "trace records must be objects with 'src', 'dst' and 'bytes' keys"
         ) from exc
+    # Validate *before* sizing the matrix: a record list whose ranks are all
+    # negative would otherwise compute a non-positive size and surface as a
+    # raw numpy ValueError, and a non-integer nprocs as a raw TypeError from
+    # the max_rank comparison.
+    for s, d, _ in triples:
+        if s < 0 or d < 0:
+            raise ConfigurationError(
+                f"trace record ranks must be non-negative, got src={s} dst={d}"
+            )
+    if nprocs is not None and (isinstance(nprocs, bool) or not isinstance(nprocs, int)):
+        raise ConfigurationError(
+            f"trace 'nprocs' must be an integer, got {nprocs!r}"
+        )
     max_rank = max(max(s, d) for s, d, _ in triples)
     size = (max_rank + 1) if nprocs is None else nprocs
     if max_rank >= size:
@@ -43,8 +56,6 @@ def _matrix_from_records(records: list, nprocs: int | None) -> TrafficMatrix:
         )
     matrix = np.zeros((size, size), dtype=np.int64)
     for s, d, n in triples:
-        if s < 0 or d < 0:
-            raise ConfigurationError("trace record ranks must be non-negative")
         matrix[s, d] += n
     return TrafficMatrix(matrix, pattern="trace")
 

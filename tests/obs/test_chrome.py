@@ -101,3 +101,30 @@ class TestEndToEndDragonflyTrace:
         assert summary.tracks("ranks") >= 1
         assert summary.tracks("fabric links") >= 1
         assert summary.events == len(sink)
+
+
+class TestPhasedTraceSpans:
+    def test_phased_run_exports_phase_boundary_spans(self, tmp_path):
+        """Phase boundaries of a phased run land on the rank tracks."""
+        import json
+
+        from repro.core import run_phased_workload
+        from repro.workloads import Phase, PhasedWorkload, uniform
+
+        cluster = get_system("dane", 2)
+        pmap = ProcessMap(cluster, ppn=2, num_nodes=2)
+        workload = PhasedWorkload((
+            Phase("dispatch", uniform(4, 64), repeats=2),
+            Phase("combine", uniform(4, 8)),
+        ))
+        sink = RecordingSink()
+        run_phased_workload("nonblocking", pmap, workload, sink=sink)
+        path = write_chrome_trace(tmp_path / "trace.json", sink,
+                                  configuration="phased nonblocking")
+        validate_chrome_trace(path)
+        names = {
+            event.get("name")
+            for event in json.loads(path.read_text())["traceEvents"]
+        }
+        assert "phase0:dispatch" in names
+        assert "phase1:combine" in names

@@ -91,3 +91,22 @@ class TestGoldenFlag:
                      "--golden", str(corpus)])
         assert code == 1
         assert "digest changed" in capsys.readouterr().err
+
+
+class TestPhasedFlag:
+    def test_phased_sweep_exits_zero(self, capsys):
+        # Seed 2025100 samples the phased family under --phased.
+        assert main(["verify", "--seed", "2025100", "--count", "2",
+                     "--phased", "--max-ranks", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "phased" in out
+
+    def test_phased_flag_off_keeps_old_sampling(self, capsys):
+        assert main(["verify", "--seed", "2025100", "--count", "1",
+                     "--max-ranks", "12"]) == 0
+        assert "phased" not in capsys.readouterr().out
+
+    def test_phased_composes_with_engine_jobs(self, capsys):
+        assert main(["verify", "--seed", "2025100", "--count", "1", "--phased",
+                     "--engine-jobs", "2", "--max-ranks", "12"]) == 0
+        assert "phased" in capsys.readouterr().out

@@ -15,6 +15,7 @@ from repro.verify import DifferentialRunner, ScenarioGenerator
 from repro.verify.golden import (
     DEFAULT_CORPUS_PATH,
     GOLDEN_SEEDS,
+    PHASED_GOLDEN_SEEDS,
     build_corpus,
     check_corpus,
     write_corpus,
@@ -33,8 +34,15 @@ class TestCorpusFile:
 
     def test_corpus_covers_both_families(self):
         entries = json.loads(CORPUS.read_text())["entries"]
-        assert {entry["seed"] for entry in entries} == set(GOLDEN_SEEDS)
-        assert {entry["family"] for entry in entries} == {"uniform", "workload"}
+        default = [e for e in entries if e.get("sampler") is None]
+        assert {entry["seed"] for entry in default} == set(GOLDEN_SEEDS)
+        assert {entry["family"] for entry in default} == {"uniform", "workload"}
+
+    def test_corpus_covers_the_phased_sampler(self):
+        entries = json.loads(CORPUS.read_text())["entries"]
+        phased = [e for e in entries if e.get("sampler") == "phased"]
+        assert {entry["seed"] for entry in phased} == set(PHASED_GOLDEN_SEEDS)
+        assert {entry["family"] for entry in phased} == {"phased"}
 
 
 class TestCorpusMechanics:

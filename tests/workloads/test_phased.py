@@ -1,0 +1,144 @@
+"""Tests for phased workloads (:mod:`repro.workloads.phased`) and traceio fixes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    Phase,
+    PhasedWorkload,
+    TrafficMatrix,
+    load_phased,
+    load_trace,
+    save_phased,
+    skewed_moe,
+    uniform,
+)
+
+
+def _workload(nprocs: int = 4) -> PhasedWorkload:
+    return PhasedWorkload(
+        (
+            Phase("dispatch", skewed_moe(nprocs, 256, seed=0), repeats=2),
+            Phase("combine", uniform(nprocs, 16)),
+        )
+    )
+
+
+class TestPhase:
+    def test_total_bytes_includes_repeats(self):
+        matrix = uniform(4, 8)
+        assert Phase("p", matrix, repeats=3).total_bytes == 3 * matrix.total_bytes
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            Phase("", uniform(2, 8))
+
+    def test_rejects_newline_in_name(self):
+        with pytest.raises(ConfigurationError):
+            Phase("a\nb", uniform(2, 8))
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ConfigurationError):
+            Phase("p", [[0, 1], [1, 0]])
+
+    @pytest.mark.parametrize("repeats", [0, -1, 1.5, True])
+    def test_rejects_bad_repeats(self, repeats):
+        with pytest.raises(ConfigurationError):
+            Phase("p", uniform(2, 8), repeats=repeats)
+
+
+class TestPhasedWorkload:
+    def test_needs_at_least_one_phase(self):
+        with pytest.raises(ConfigurationError):
+            PhasedWorkload(())
+
+    def test_rejects_mixed_rank_counts(self):
+        with pytest.raises(ConfigurationError):
+            PhasedWorkload((Phase("a", uniform(2, 8)), Phase("b", uniform(4, 8))))
+
+    def test_rejects_non_phase_entries(self):
+        with pytest.raises(ConfigurationError):
+            PhasedWorkload((uniform(2, 8),))
+
+    def test_sizes(self):
+        workload = _workload(4)
+        assert workload.nprocs == 4
+        assert workload.num_phases == 2
+        assert workload.names == ("dispatch", "combine")
+        assert workload.total_bytes == sum(p.total_bytes for p in workload.phases)
+
+    def test_combined_matrix_sums_repeats(self):
+        workload = _workload(4)
+        expected = sum(p.matrix.bytes * p.repeats for p in workload.phases)
+        assert np.array_equal(workload.combined_matrix().bytes, expected)
+
+    def test_payload_round_trip_is_identity(self):
+        workload = _workload(4)
+        rebuilt = PhasedWorkload.from_payload(workload.payload())
+        assert rebuilt == workload
+        assert rebuilt.digest() == workload.digest()
+
+    def test_digest_is_content_pure(self):
+        assert _workload(4).digest() == _workload(4).digest()
+        other = PhasedWorkload((Phase("dispatch", uniform(4, 8)),))
+        assert other.digest() != _workload(4).digest()
+
+    def test_save_load_round_trip(self, tmp_path):
+        workload = _workload(4)
+        path = tmp_path / "phased.json"
+        save_phased(workload, path)
+        assert load_phased(path) == workload
+        # And the canonical text itself loads too.
+        assert load_phased(path.read_text(encoding="utf-8")) == workload
+
+    def test_load_rejects_nprocs_mismatch(self):
+        payload = _workload(4).payload()
+        payload["nprocs"] = 8
+        with pytest.raises(ConfigurationError):
+            load_phased(payload)
+
+    def test_load_rejects_malformed_payloads(self):
+        with pytest.raises(ConfigurationError):
+            load_phased("{not json")
+        with pytest.raises(ConfigurationError):
+            load_phased({"phases": "nope"})
+        with pytest.raises(ConfigurationError):
+            load_phased({"phases": [{"name": "p"}]})  # no 'bytes' matrix
+        with pytest.raises(ConfigurationError):
+            load_phased(42)
+
+    def test_load_missing_file_reports_read_error(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_phased(tmp_path / "{missing}.json")
+
+
+class TestTraceioValidation:
+    """Regression tests for the traceio validation fix.
+
+    Negative ranks used to size a non-positive matrix and surface as a raw
+    numpy ``ValueError``; a non-integer ``nprocs`` as a raw ``TypeError``
+    from the max-rank comparison.  Both must be ConfigurationErrors.
+    """
+
+    def test_all_negative_ranks_rejected_cleanly(self):
+        with pytest.raises(ConfigurationError):
+            load_trace([{"src": -1, "dst": -2, "bytes": 8}])
+
+    def test_mixed_negative_rank_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_trace([{"src": 0, "dst": -1, "bytes": 8}])
+
+    def test_non_integer_nprocs_rejected_cleanly(self):
+        with pytest.raises(ConfigurationError):
+            load_trace({"nprocs": "four", "records": [{"src": 0, "dst": 1, "bytes": 8}]})
+
+    def test_boolean_nprocs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_trace({"nprocs": True, "records": [{"src": 0, "dst": 0, "bytes": 8}]})
+
+    def test_valid_trace_still_loads(self):
+        matrix = load_trace({"nprocs": 3, "records": [{"src": 0, "dst": 2, "bytes": 8}]})
+        assert isinstance(matrix, TrafficMatrix)
+        assert matrix.nprocs == 3
+        assert matrix.bytes[0, 2] == 8
